@@ -1,0 +1,80 @@
+//! Scaled-down criterion wrappers of every §VI experiment, so that
+//! `cargo bench` exercises the same code paths as the full harness
+//! binaries (`cargo run -p sommelier-bench --bin <table2|table3|fig6..9>`).
+//!
+//! Each bench runs one full experiment iteration at a tiny scale;
+//! absolute times are not comparable with the paper, but regressions in
+//! any stage of the pipeline (registration, loading, planning,
+//! two-stage execution, derivation) show up here.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sommelier_bench::{experiments, BenchScale};
+use std::hint::black_box;
+
+fn tiny_scale(tag: &str) -> BenchScale {
+    let mut scale = BenchScale::tiny();
+    scale.data_dir = std::env::temp_dir().join(format!(
+        "somm-bench-exp-{tag}-{}",
+        std::process::id()
+    ));
+    scale
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let scale = tiny_scale("t2");
+    // Generate once so iterations measure the cached path + accounting.
+    experiments::table2(&scale);
+    c.bench_function("experiments/table2", |b| {
+        b.iter(|| black_box(experiments::table2(&scale)))
+    });
+}
+
+fn bench_table3_fig6(c: &mut Criterion) {
+    let scale = tiny_scale("t3f6");
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+    g.bench_function("table3_fig6_all_loading_modes", |b| {
+        b.iter(|| black_box(experiments::table3_and_fig6(&scale).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let scale = tiny_scale("f7");
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+    g.bench_function("fig7_cold_hot_queries", |b| {
+        b.iter(|| black_box(experiments::fig7(&scale).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let scale = tiny_scale("f8");
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+    g.bench_function("fig8_data_to_insight", |b| {
+        b.iter(|| black_box(experiments::fig8(&scale).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let scale = tiny_scale("f9");
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+    g.bench_function("fig9_workloads", |b| {
+        b.iter(|| black_box(experiments::fig9(&scale).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table2,
+    bench_table3_fig6,
+    bench_fig7,
+    bench_fig8,
+    bench_fig9
+);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Regenerates the paper's Figure 6 (loading-time breakdown).
+fn main() {
+    let scale = sommelier_bench::BenchScale::from_env();
+    let (_, f6) = sommelier_bench::experiments::table3_and_fig6(&scale).expect("figure 6");
+    f6.print();
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's Figures 7a–7e (cold/hot query performance).
+fn main() {
+    let scale = sommelier_bench::BenchScale::from_env();
+    sommelier_bench::experiments::fig7(&scale).expect("figure 7").print();
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's Figure 8 (data-to-insight vs selectivity).
+fn main() {
+    let scale = sommelier_bench::BenchScale::from_env();
+    sommelier_bench::experiments::fig8(&scale).expect("figure 8").print();
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's Figure 9 (cumulative workload time).
+fn main() {
+    let scale = sommelier_bench::BenchScale::from_env();
+    sommelier_bench::experiments::fig9(&scale).expect("figure 9").print();
+}

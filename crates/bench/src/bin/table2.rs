@@ -1,0 +1,5 @@
+//! Regenerates the paper's Table II (dataset record counts).
+fn main() {
+    let scale = sommelier_bench::BenchScale::from_env();
+    sommelier_bench::experiments::table2(&scale).print();
+}

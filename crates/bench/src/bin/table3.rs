@@ -1,0 +1,6 @@
+//! Regenerates the paper's Table III (dataset sizes).
+fn main() {
+    let scale = sommelier_bench::BenchScale::from_env();
+    let (t3, _) = sommelier_bench::experiments::table3_and_fig6(&scale).expect("table 3");
+    t3.print();
+}

@@ -1,0 +1,344 @@
+//! The experiment implementations — one function per table/figure of
+//! the paper's §VI, shared by the CLI binaries and the criterion
+//! wrappers.
+//!
+//! Absolute numbers differ from the paper (scaled datasets, different
+//! machine, simulated I/O); the *shape* — which approach wins, by
+//! roughly what factor, where the crossovers sit — is the reproduction
+//! target. EXPERIMENTS.md records paper-vs-measured for each.
+
+use crate::datasets::{dataset, BenchScale, DatasetKind};
+use crate::queries;
+use crate::report::{secs, Table};
+use crate::runner::{cold_hot, fresh_system, time_it};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sommelier_core::{LoadingMode, Result};
+use sommelier_mseed::repo::days_for_sf;
+use sommelier_storage::time::days_from_civil;
+
+/// First day of every synthetic dataset (2010-01-01), in days.
+fn start_day() -> i64 {
+    days_from_civil(2010, 1, 1)
+}
+
+/// Paper reference rows for Table II (files, segments, samples).
+fn paper_table2(sf: u32) -> Option<(u64, u64, u64)> {
+    match sf {
+        1 => Some((160, 2_009, 1_273_454_901)),
+        3 => Some((484, 7_802, 3_929_151_193)),
+        9 => Some((1_464, 12_566, 11_912_163_036)),
+        27 => Some((4_384, 74_526, 33_683_711_338)),
+        _ => None,
+    }
+}
+
+/// Table II — dataset record counts per scale factor.
+pub fn table2(scale: &BenchScale) -> Table {
+    let mut t = Table::new(
+        "Table II: INGV-like dataset (measured vs paper structure)",
+        &["sf", "days", "files", "segments", "samples", "paper_files", "paper_segments", "paper_samples"],
+    );
+    for &sf in &scale.sfs {
+        let (_, stats) = dataset(scale, DatasetKind::Ingv, sf);
+        let paper = paper_table2(sf);
+        t.row(vec![
+            format!("sf-{sf}"),
+            days_for_sf(sf).to_string(),
+            stats.files.to_string(),
+            stats.segments.to_string(),
+            stats.samples.to_string(),
+            paper.map_or("-".into(), |p| p.0.to_string()),
+            paper.map_or("-".into(), |p| p.1.to_string()),
+            paper.map_or("-".into(), |p| p.2.to_string()),
+        ]);
+    }
+    t
+}
+
+/// Table III + Figure 6 — storage footprints and loading-time
+/// breakdowns for all five approaches (shared preparation work).
+pub fn table3_and_fig6(scale: &BenchScale) -> Result<(Table, Table)> {
+    let mut t3 = Table::new(
+        "Table III: dataset sizes",
+        &["sf", "mseed", "csv", "db", "keys_extra", "lazy_metadata"],
+    );
+    let mut f6 = Table::new(
+        "Figure 6: loading-time breakdown (seconds)",
+        &["sf", "approach", "register", "mseed_to_csv", "csv_to_db", "mseed_to_db", "indexing", "dmd", "total"],
+    );
+    for &sf in &scale.sfs {
+        let (repo, stats) = dataset(scale, DatasetKind::Ingv, sf);
+        let mut csv_bytes = 0u64;
+        let mut db_bytes = 0u64;
+        let mut keys_bytes = 0u64;
+        let mut lazy_bytes = 0u64;
+        for mode in LoadingMode::ALL {
+            let guard = fresh_system(scale, &repo, mode)?;
+            let p = &guard.prep;
+            f6.row(vec![
+                format!("sf-{sf}"),
+                mode.label().to_string(),
+                secs(p.register),
+                secs(p.mseed_to_csv),
+                secs(p.csv_to_db),
+                secs(p.mseed_to_db),
+                secs(p.indexing),
+                secs(p.dmd_derivation),
+                secs(p.total()),
+            ]);
+            match mode {
+                LoadingMode::EagerCsv => csv_bytes = p.csv_bytes,
+                LoadingMode::EagerPlain => db_bytes = guard.somm.db_bytes(),
+                LoadingMode::EagerIndex => keys_bytes = guard.somm.index_bytes(),
+                LoadingMode::Lazy => lazy_bytes = guard.somm.metadata_bytes(),
+                LoadingMode::EagerDmd => {}
+            }
+        }
+        t3.row(vec![
+            format!("sf-{sf}"),
+            stats.bytes.to_string(),
+            csv_bytes.to_string(),
+            db_bytes.to_string(),
+            keys_bytes.to_string(),
+            lazy_bytes.to_string(),
+        ]);
+    }
+    Ok((t3, f6))
+}
+
+/// The four loading approaches Figure 7 compares (eager_csv loads the
+/// same data as eager_plain, so the paper omits it here).
+const FIG7_MODES: [LoadingMode; 4] = [
+    LoadingMode::EagerPlain,
+    LoadingMode::EagerIndex,
+    LoadingMode::EagerDmd,
+    LoadingMode::Lazy,
+];
+
+/// Figure 7a–e — cold/hot single-query time per query type, scale
+/// factor, and loading approach. Each query type uses its own 2-day
+/// window of one station (the paper's domain-expert queries), at a
+/// different offset so DMd derivation is observed per type.
+pub fn fig7(scale: &BenchScale) -> Result<Table> {
+    let mut t = Table::new(
+        "Figure 7: single-query performance, cold and hot (seconds)",
+        &["sf", "query", "approach", "cold", "hot"],
+    );
+    let d0 = start_day();
+    for &sf in &scale.sfs {
+        let (repo, _) = dataset(scale, DatasetKind::Ingv, sf);
+        for mode in FIG7_MODES {
+            let guard = fresh_system(scale, &repo, mode)?;
+            let queries: [(&str, String); 5] = [
+                ("T1", queries::t1("ISK")),
+                ("T2", {
+                    let (a, b) = queries::day_range(d0 + 2, 2);
+                    queries::t2("ISK", "BHE", a, b)
+                }),
+                ("T3", {
+                    let (a, b) = queries::day_range(d0 + 6, 2);
+                    queries::t3("ISK", "BHE", a, b)
+                }),
+                ("T4", {
+                    let (a, b) = queries::day_range(d0 + 10, 2);
+                    queries::t4("ISK", "BHE", a, b)
+                }),
+                ("T5", {
+                    let (a, b) = queries::day_range(d0 + 14, 2);
+                    queries::t5("ISK", "BHE", a, b, 10_000.0, 10.0)
+                }),
+            ];
+            for (name, sql) in &queries {
+                let (cold, hot) = cold_hot(&guard.somm, sql, scale.runs)?;
+                t.row(vec![
+                    format!("sf-{sf}"),
+                    name.to_string(),
+                    mode.label().to_string(),
+                    secs(cold),
+                    secs(hot),
+                ]);
+            }
+        }
+    }
+    Ok(t)
+}
+
+/// The approaches Figure 8 sweeps.
+const FIG8_MODES: [LoadingMode; 4] = [
+    LoadingMode::EagerDmd,
+    LoadingMode::EagerIndex,
+    LoadingMode::EagerPlain,
+    LoadingMode::Lazy,
+];
+
+/// Figure 8 — data-to-insight time (preparation + first query) over
+/// query selectivity, on the FIAM dataset, for T4 and T5.
+///
+/// One system is prepared per (sf, approach); the per-selectivity
+/// "first query" is emulated by flushing caches and resetting the
+/// incrementally derived metadata before each point (equivalent to a
+/// fresh prepare, without re-paying the load).
+pub fn fig8(scale: &BenchScale) -> Result<Table> {
+    let mut t = Table::new(
+        "Figure 8: data-to-insight time vs query selectivity (FIAM, seconds)",
+        &["sf", "query", "approach", "selectivity_pct", "prep", "first_query", "data_to_insight"],
+    );
+    let (lo, hi) = scale.sf_extremes();
+    let sfs = if lo == hi { vec![lo] } else { vec![lo, hi] };
+    let d0 = start_day();
+    for &sf in &sfs {
+        let (repo, _) = dataset(scale, DatasetKind::Fiam, sf);
+        let total_days = days_for_sf(sf) as i64;
+        for qtype in ["T4", "T5"] {
+            for mode in FIG8_MODES {
+                let guard = fresh_system(scale, &repo, mode)?;
+                let prep = guard.prep.total();
+                for &sel in &scale.selectivities {
+                    let query_time = if sel == 0 {
+                        std::time::Duration::ZERO
+                    } else {
+                        guard.somm.flush_caches();
+                        if !mode.materializes_dmd() {
+                            guard.somm.reset_dmd()?;
+                        }
+                        let days = ((total_days * sel as i64) / 100).max(1);
+                        let (a, b) = queries::day_range(d0, days);
+                        let sql = if qtype == "T4" {
+                            queries::t4_selectivity(a, b)
+                        } else {
+                            queries::t5_selectivity(a, b)
+                        };
+                        let (r, d) = time_it(|| guard.somm.query(&sql));
+                        r?;
+                        d
+                    };
+                    t.row(vec![
+                        format!("sf-{sf}"),
+                        qtype.to_string(),
+                        mode.label().to_string(),
+                        sel.to_string(),
+                        secs(prep),
+                        secs(query_time),
+                        secs(prep + query_time),
+                    ]);
+                }
+            }
+        }
+    }
+    Ok(t)
+}
+
+/// Figure 9 — cumulative workload time over workload selectivity
+/// (FIAM dataset; fixed 2.5 % query selectivity; T3 against eager_dmd,
+/// T4 against eager_index, both against lazy).
+pub fn fig9(scale: &BenchScale) -> Result<Table> {
+    let mut t = Table::new(
+        "Figure 9: cumulative workload time vs workload selectivity (FIAM, seconds)",
+        &["sf", "query", "approach", "queries", "workload_selectivity_pct", "prep", "workload", "cumulative"],
+    );
+    let (lo, hi) = scale.sf_extremes();
+    let sfs = if lo == hi { vec![lo] } else { vec![lo, hi] };
+    let d0 = start_day();
+    for &sf in &sfs {
+        let (repo, _) = dataset(scale, DatasetKind::Fiam, sf);
+        let total_days = days_for_sf(sf) as i64;
+        // 2.5 % query selectivity, at least one day.
+        let qdays = ((total_days * 25) / 1000).max(1);
+        for (qtype, eager_mode) in [("T3", LoadingMode::EagerDmd), ("T4", LoadingMode::EagerIndex)]
+        {
+            for mode in [eager_mode, LoadingMode::Lazy] {
+                let guard = fresh_system(scale, &repo, mode)?;
+                let prep = guard.prep.total();
+                for &n in &scale.workload_queries {
+                    for &wsel in &scale.workload_selectivities {
+                        let mut workload_time = std::time::Duration::ZERO;
+                        if wsel > 0 {
+                            guard.somm.flush_caches();
+                            if !mode.materializes_dmd() {
+                                guard.somm.reset_dmd()?;
+                            }
+                            let wdays = ((total_days * wsel as i64) / 100).max(qdays);
+                            let mut rng = SmallRng::seed_from_u64(
+                                0xF19_u64 ^ (sf as u64) << 32
+                                    ^ (n as u64) << 16
+                                    ^ wsel as u64
+                                    ^ if qtype == "T3" { 1 } else { 2 },
+                            );
+                            for _ in 0..n {
+                                let span = (wdays - qdays).max(0);
+                                let offset =
+                                    if span == 0 { 0 } else { rng.random_range(0..=span) };
+                                let (a, b) = queries::day_range(d0 + offset, qdays);
+                                let sql = if qtype == "T3" {
+                                    queries::t3_selectivity(a, b)
+                                } else {
+                                    queries::t4_selectivity(a, b)
+                                };
+                                let (r, d) = time_it(|| guard.somm.query(&sql));
+                                r?;
+                                workload_time += d;
+                            }
+                        }
+                        t.row(vec![
+                            format!("sf-{sf}"),
+                            qtype.to_string(),
+                            mode.label().to_string(),
+                            n.to_string(),
+                            wsel.to_string(),
+                            secs(prep),
+                            secs(workload_time),
+                            secs(prep + workload_time),
+                        ]);
+                    }
+                }
+            }
+        }
+    }
+    Ok(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(tag: &str) -> BenchScale {
+        let mut scale = BenchScale::tiny();
+        scale.data_dir =
+            std::env::temp_dir().join(format!("somm-exp-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&scale.data_dir);
+        scale
+    }
+
+    #[test]
+    fn table2_shape() {
+        let scale = tiny("t2");
+        let t = table2(&scale);
+        assert_eq!(t.rows.len(), 1);
+        assert_eq!(t.rows[0][2], "160", "sf-1 has the paper's 160 files");
+        let _ = std::fs::remove_dir_all(&scale.data_dir);
+    }
+
+    #[test]
+    fn table3_fig6_shapes() {
+        let scale = tiny("t3f6");
+        let (t3, f6) = table3_and_fig6(&scale).unwrap();
+        assert_eq!(t3.rows.len(), 1);
+        assert_eq!(f6.rows.len(), 5, "five approaches");
+        // The paper's Table III orderings that survive tiny scale:
+        // mSEED ≪ CSV and DB; indexes add bytes; lazy metadata is tiny.
+        // (The CSV-vs-DB ratio needs realistic sample counts — per-file
+        // headers dominate at 16 samples/segment; the harness binaries
+        // run at ≥256.)
+        let mseed: u64 = t3.rows[0][1].parse().unwrap();
+        let csv: u64 = t3.rows[0][2].parse().unwrap();
+        let db: u64 = t3.rows[0][3].parse().unwrap();
+        let keys: u64 = t3.rows[0][4].parse().unwrap();
+        let lazy: u64 = t3.rows[0][5].parse().unwrap();
+        assert!(mseed < db, "mseed {mseed} < db {db}");
+        assert!(mseed * 3 < csv, "csv expansion: mseed {mseed} vs csv {csv}");
+        assert!(keys > 0, "indexes add bytes");
+        assert!(lazy < db, "metadata {lazy} smaller than the loaded db {db}");
+        let _ = std::fs::remove_dir_all(&scale.data_dir);
+    }
+}

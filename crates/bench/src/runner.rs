@@ -1,0 +1,108 @@
+//! System setup and timing helpers.
+
+use crate::datasets::BenchScale;
+use sommelier_core::{LoadingMode, PrepReport, Sommelier, SommelierConfig};
+use sommelier_mseed::Repository;
+use sommelier_storage::buffer::SimIo;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+static SCRATCH_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Time a closure.
+pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let t = Instant::now();
+    let v = f();
+    (v, t.elapsed())
+}
+
+/// A disk-backed system over `repo`, freshly prepared with `mode`.
+/// The scratch database lives under the scale's data dir and is removed
+/// when the guard drops.
+pub struct SystemGuard {
+    pub somm: Sommelier,
+    pub prep: PrepReport,
+    db_dir: PathBuf,
+}
+
+impl Drop for SystemGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.db_dir);
+    }
+}
+
+/// Build the sommelier configuration the experiments use.
+pub fn bench_config(scale: &BenchScale) -> SommelierConfig {
+    SommelierConfig {
+        buffer_pool_bytes: scale.pool_bytes,
+        recycler_bytes: scale.pool_bytes,
+        sim_io: if scale.sim_io { Some(SimIo { per_page: Duration::from_micros(50) }) } else { None },
+        ..SommelierConfig::default()
+    }
+}
+
+/// Create and prepare a fresh system.
+pub fn fresh_system(
+    scale: &BenchScale,
+    repo: &Repository,
+    mode: LoadingMode,
+) -> sommelier_core::Result<SystemGuard> {
+    let db_dir = scale.data_dir.join(format!(
+        "scratch-db-{}-{}",
+        std::process::id(),
+        SCRATCH_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&db_dir);
+    let somm = Sommelier::create(&db_dir, Repository::at(repo.dir()), bench_config(scale))?;
+    let prep = somm.prepare(mode)?;
+    Ok(SystemGuard { somm, prep, db_dir })
+}
+
+/// Cold + hot timings for one query on a prepared system: cold = caches
+/// flushed, first run (for DMd-referring types this includes incremental
+/// derivation, as in the paper); hot = average of `runs` repeats.
+pub fn cold_hot(
+    somm: &Sommelier,
+    sql: &str,
+    runs: usize,
+) -> sommelier_core::Result<(Duration, Duration)> {
+    somm.flush_caches();
+    let (first, cold) = time_it(|| somm.query(sql));
+    first?;
+    let mut total = Duration::ZERO;
+    let runs = runs.max(1);
+    for _ in 0..runs {
+        let (r, d) = time_it(|| somm.query(sql));
+        r?;
+        total += d;
+    }
+    Ok((cold, total / runs as u32))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::{dataset, DatasetKind};
+
+    #[test]
+    fn fresh_system_prepares_and_cleans_up() {
+        let mut scale = BenchScale::tiny();
+        scale.data_dir =
+            std::env::temp_dir().join(format!("somm-runner-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&scale.data_dir);
+        let (repo, _) = dataset(&scale, DatasetKind::Fiam, 1);
+        let db_dir;
+        {
+            let guard = fresh_system(&scale, &repo, LoadingMode::Lazy).unwrap();
+            db_dir = guard.db_dir.clone();
+            assert!(db_dir.exists());
+            assert_eq!(guard.somm.mode(), Some(LoadingMode::Lazy));
+            let (cold, hot) = cold_hot(&guard.somm, &crate::queries::t1("FIAM"), 2).unwrap();
+            assert!(cold > Duration::ZERO);
+            assert!(hot > Duration::ZERO);
+        }
+        assert!(!db_dir.exists(), "scratch database removed on drop");
+        let _ = std::fs::remove_dir_all(&scale.data_dir);
+    }
+}

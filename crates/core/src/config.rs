@@ -1,0 +1,61 @@
+//! System configuration.
+
+use sommelier_engine::ParallelMode;
+use sommelier_storage::buffer::SimIo;
+
+/// Configuration of a [`crate::Sommelier`] instance.
+#[derive(Debug, Clone)]
+pub struct SommelierConfig {
+    /// Buffer-pool capacity for persistent base tables (bytes).
+    pub buffer_pool_bytes: usize,
+    /// Recycler (chunk cache) budget (bytes). The paper's workload
+    /// experiments limit it to main-memory size.
+    pub recycler_bytes: usize,
+    /// Optional simulated I/O latency per buffer-pool page miss, used
+    /// to re-create the paper's disk-bound regimes at scaled-down
+    /// dataset sizes (see DESIGN.md).
+    pub sim_io: Option<SimIo>,
+    /// Chunk-loading parallelism (the paper's static strategy by
+    /// default; exchange is its future-work alternative).
+    pub parallel: ParallelMode,
+    /// Push selections into per-chunk accesses (run-time rewrite
+    /// refinement, §III).
+    pub chunk_pushdown: bool,
+    /// Enable the Recycler chunk cache.
+    pub use_recycler: bool,
+    /// Verify FK constraints when lazily ingesting chunks. The paper
+    /// omits them ("safe by design", §VI-A); enabling this is the
+    /// ablation knob.
+    pub verify_lazy_fk: bool,
+    /// Worker cap for parallel operations (registration, static loads).
+    pub max_threads: usize,
+}
+
+impl Default for SommelierConfig {
+    fn default() -> Self {
+        SommelierConfig {
+            buffer_pool_bytes: 256 * 1024 * 1024,
+            recycler_bytes: 256 * 1024 * 1024,
+            sim_io: None,
+            parallel: ParallelMode::Static,
+            chunk_pushdown: true,
+            use_recycler: true,
+            verify_lazy_fk: false,
+            max_threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(8),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sensible() {
+        let c = SommelierConfig::default();
+        assert!(c.buffer_pool_bytes > 0);
+        assert!(c.use_recycler);
+        assert!(!c.verify_lazy_fk);
+        assert_eq!(c.parallel, ParallelMode::Static);
+    }
+}

@@ -1,0 +1,81 @@
+//! Unified error type for the sommelier system.
+
+use sommelier_engine::EngineError;
+use sommelier_mseed::MseedError;
+use sommelier_sql::SqlError;
+use sommelier_storage::StorageError;
+use std::fmt;
+
+/// Result alias for the core crate.
+pub type Result<T> = std::result::Result<T, SommelierError>;
+
+/// Any failure in the system.
+#[derive(Debug)]
+pub enum SommelierError {
+    Storage(StorageError),
+    Engine(EngineError),
+    Sql(SqlError),
+    Mseed(MseedError),
+    /// Configuration / usage errors (wrong mode for an operation, ...).
+    Usage(String),
+}
+
+impl fmt::Display for SommelierError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SommelierError::Storage(e) => write!(f, "{e}"),
+            SommelierError::Engine(e) => write!(f, "{e}"),
+            SommelierError::Sql(e) => write!(f, "{e}"),
+            SommelierError::Mseed(e) => write!(f, "{e}"),
+            SommelierError::Usage(m) => write!(f, "usage error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SommelierError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SommelierError::Storage(e) => Some(e),
+            SommelierError::Engine(e) => Some(e),
+            SommelierError::Sql(e) => Some(e),
+            SommelierError::Mseed(e) => Some(e),
+            SommelierError::Usage(_) => None,
+        }
+    }
+}
+
+impl From<StorageError> for SommelierError {
+    fn from(e: StorageError) -> Self {
+        SommelierError::Storage(e)
+    }
+}
+impl From<EngineError> for SommelierError {
+    fn from(e: EngineError) -> Self {
+        SommelierError::Engine(e)
+    }
+}
+impl From<SqlError> for SommelierError {
+    fn from(e: SqlError) -> Self {
+        SommelierError::Sql(e)
+    }
+}
+impl From<MseedError> for SommelierError {
+    fn from(e: MseedError) -> Self {
+        SommelierError::Mseed(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: SommelierError = StorageError::Schema("x".into()).into();
+        assert!(e.to_string().contains('x'));
+        let e: SommelierError = SqlError::Bind("y".into()).into();
+        assert!(e.to_string().contains('y'));
+        let e = SommelierError::Usage("wrong mode".into());
+        assert!(e.to_string().contains("wrong mode"));
+    }
+}

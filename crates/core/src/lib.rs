@@ -1,0 +1,561 @@
+//! # sommelier-core
+//!
+//! The **sommelier** system: a partial-loading-aware analytical DBMS —
+//! a from-scratch Rust reproduction of *"The DBMS – your Big Data
+//! Sommelier"* (Kargın, Kersten, Manegold, Pirk; ICDE 2015).
+//!
+//! Like the paper's sommelier, the system keeps the bottles (actual
+//! data) in the cellar (the chunk-file repository) and the labels (the
+//! metadata) in its head: registering a repository eagerly loads only
+//! the given metadata; queries are executed in two stages so that the
+//! metadata branch determines exactly which chunks to ingest; derived
+//! metadata is an incrementally materialized view (Algorithm 1).
+//!
+//! ```no_run
+//! use sommelier_core::{Sommelier, SommelierConfig, LoadingMode};
+//! use sommelier_mseed::{DatasetSpec, Repository};
+//!
+//! // Generate a tiny synthetic seismic repository ...
+//! let repo = Repository::at("/tmp/somm-repo");
+//! repo.generate(&DatasetSpec::ingv(1, 64)).unwrap();
+//! // ... register it lazily (metadata only) ...
+//! let somm = Sommelier::in_memory(repo, SommelierConfig::default()).unwrap();
+//! somm.prepare(LoadingMode::Lazy).unwrap();
+//! // ... and query: stage 1 picks the chunks, stage 2 ingests just them.
+//! let result = somm
+//!     .query(
+//!         "SELECT AVG(D.sample_value) FROM dataview \
+//!          WHERE F.station = 'ISK' AND F.channel = 'BHE' \
+//!          AND D.sample_time >= '2010-01-05T00:00:00.000' \
+//!          AND D.sample_time <  '2010-01-07T00:00:00.000'",
+//!     )
+//!     .unwrap();
+//! assert_eq!(result.stats.files_loaded, 2); // two days → two chunks
+//! ```
+
+pub mod chunks;
+pub mod config;
+pub mod dmd;
+pub mod error;
+pub mod loader;
+pub mod query;
+pub mod registrar;
+pub mod schema;
+
+pub use config::SommelierConfig;
+pub use error::{Result, SommelierError};
+pub use loader::{LoadingMode, PrepReport};
+pub use query::QueryType;
+
+use chunks::{ChunkRegistry, RepoChunkSource};
+use dmd::{DmdManager, DmdOutcome};
+use parking_lot::Mutex;
+use sommelier_engine::joinorder::{plan_query, PlanOptions};
+use sommelier_engine::twostage::{execute_plan, QueryOutcome, TwoStageConfig};
+use sommelier_engine::{ExecStats, QuerySpec, Recycler, Relation};
+use sommelier_mseed::Repository;
+use sommelier_sql::BindCatalog;
+use sommelier_storage::buffer::BufferPoolConfig;
+use sommelier_storage::catalog::Disposition;
+use sommelier_storage::Database;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A query result: the relation plus everything the experiments report.
+#[derive(Debug)]
+pub struct QueryResult {
+    pub relation: Relation,
+    pub stats: ExecStats,
+    pub qtype: QueryType,
+    /// Algorithm-1 bookkeeping, when the query referred to DMd.
+    pub dmd: Option<DmdOutcome>,
+}
+
+struct Prepared {
+    mode: LoadingMode,
+    registry: Arc<ChunkRegistry>,
+    source: Arc<RepoChunkSource>,
+}
+
+/// The system façade.
+pub struct Sommelier {
+    db: Arc<Database>,
+    repo: Repository,
+    config: SommelierConfig,
+    catalog: BindCatalog,
+    recycler: Recycler,
+    dmd: DmdManager,
+    prepared: Mutex<Option<Prepared>>,
+    csv_dir: PathBuf,
+}
+
+impl Sommelier {
+    fn build(
+        db: Database,
+        repo: Repository,
+        config: SommelierConfig,
+        csv_dir: PathBuf,
+        disposition: Disposition,
+    ) -> Result<Self> {
+        for schema in schema::all_schemas() {
+            db.create_table(schema, disposition)?;
+        }
+        Ok(Sommelier {
+            db: Arc::new(db),
+            repo,
+            recycler: Recycler::new(config.recycler_bytes),
+            config,
+            catalog: schema::bind_catalog(),
+            dmd: DmdManager::new(),
+            prepared: Mutex::new(None),
+            csv_dir,
+        })
+    }
+
+    /// An in-memory system over `repo` (tests, examples).
+    pub fn in_memory(repo: Repository, config: SommelierConfig) -> Result<Self> {
+        let db = Database::in_memory(BufferPoolConfig {
+            capacity_bytes: config.buffer_pool_bytes,
+            sim_io: config.sim_io,
+        });
+        let csv_dir = std::env::temp_dir().join(format!(
+            "sommelier-csv-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        Sommelier::build(db, repo, config, csv_dir, Disposition::Resident)
+    }
+
+    /// A disk-backed system: database files under `db_dir`, chunk
+    /// repository at `repo`.
+    pub fn create(db_dir: &Path, repo: Repository, config: SommelierConfig) -> Result<Self> {
+        let db = Database::create(
+            db_dir,
+            BufferPoolConfig {
+                capacity_bytes: config.buffer_pool_bytes,
+                sim_io: config.sim_io,
+            },
+        )?;
+        let csv_dir = db_dir.join("csv_cache");
+        Sommelier::build(db, repo, config, csv_dir, Disposition::Persistent)
+    }
+
+    /// Re-open a previously prepared disk-backed system. The chunk
+    /// registry is rebuilt from the persisted metadata tables; the
+    /// loading mode is inferred from whether `D` holds rows (persisted
+    /// join indices are rebuilt on demand by re-running
+    /// [`Sommelier::prepare`] instead).
+    pub fn open(db_dir: &Path, repo: Repository, config: SommelierConfig) -> Result<Self> {
+        let db = Database::open(
+            db_dir,
+            BufferPoolConfig {
+                capacity_bytes: config.buffer_pool_bytes,
+                sim_io: config.sim_io,
+            },
+        )?;
+        let somm = Sommelier {
+            db: Arc::new(db),
+            repo,
+            recycler: Recycler::new(config.recycler_bytes),
+            config: config.clone(),
+            catalog: schema::bind_catalog(),
+            dmd: DmdManager::new(),
+            prepared: Mutex::new(None),
+            csv_dir: db_dir.join("csv_cache"),
+        };
+        let registry = Arc::new(chunks::registry_from_db(&somm.db)?);
+        let mode = if somm.db.table_rows("D")? > 0 {
+            LoadingMode::EagerPlain
+        } else {
+            LoadingMode::Lazy
+        };
+        // Rows already materialized in H are usable again: mark their
+        // keys covered so Algorithm 1 does not re-derive them.
+        if somm.db.table_rows("H")? > 0 {
+            let cols = somm
+                .db
+                .scan_columns("H", &["window_station", "window_channel", "window_start_ts"])?;
+            let stations = cols[0].as_text()?;
+            let channels = cols[1].as_text()?;
+            let hours = cols[2].as_i64()?;
+            somm.dmd.mark_covered((0..hours.len()).map(|i| {
+                (stations.get(i).to_string(), channels.get(i).to_string(), hours[i])
+            }));
+        }
+        let source = Arc::new(RepoChunkSource::new(
+            Arc::clone(&registry),
+            Arc::clone(&somm.db),
+            config.verify_lazy_fk,
+        ));
+        *somm.prepared.lock() = Some(Prepared { mode, registry, source });
+        Ok(somm)
+    }
+
+    /// Prepare the system with one of the five loading approaches
+    /// (§VI-A), returning the phase-timed report (Figure 6's bars).
+    pub fn prepare(&self, mode: LoadingMode) -> Result<PrepReport> {
+        let mut report = PrepReport::default();
+        let registry = Arc::new(loader::register_phase(
+            &self.db,
+            &self.repo,
+            self.config.max_threads,
+            &mut report,
+        )?);
+        match mode {
+            LoadingMode::Lazy => {}
+            LoadingMode::EagerCsv => {
+                loader::load_eager_csv(
+                    &self.db,
+                    &registry,
+                    &self.csv_dir,
+                    self.config.max_threads,
+                    &mut report,
+                )?;
+            }
+            LoadingMode::EagerPlain | LoadingMode::EagerIndex | LoadingMode::EagerDmd => {
+                loader::load_eager_plain(
+                    &self.db,
+                    &registry,
+                    self.config.max_threads,
+                    &mut report,
+                )?;
+            }
+        }
+        if mode.builds_indices() {
+            loader::build_indices(&self.db, &mut report)?;
+        }
+        let source = Arc::new(RepoChunkSource::new(
+            Arc::clone(&registry),
+            Arc::clone(&self.db),
+            self.config.verify_lazy_fk,
+        ));
+        *self.prepared.lock() = Some(Prepared { mode, registry, source });
+        if mode.materializes_dmd() {
+            let t = Instant::now();
+            dmd::derive_all(&self.db, &self.dmd, &|s| {
+                self.run_spec(s, false)
+                    .map(|r| QueryOutcome { relation: r.relation, stats: r.stats })
+            })?;
+            report.dmd_derivation = t.elapsed();
+        }
+        Ok(report)
+    }
+
+    fn prepared_info(&self) -> Result<(LoadingMode, Arc<RepoChunkSource>)> {
+        let guard = self.prepared.lock();
+        let p = guard
+            .as_ref()
+            .ok_or_else(|| SommelierError::Usage("call prepare(mode) before querying".into()))?;
+        Ok((p.mode, Arc::clone(&p.source)))
+    }
+
+    fn two_stage_config(&self, mode: LoadingMode) -> TwoStageConfig {
+        TwoStageConfig {
+            parallel: self.config.parallel,
+            pushdown: self.config.chunk_pushdown,
+            use_cache: self.config.use_recycler,
+            use_index_joins: mode.builds_indices(),
+            uri_column: "F.uri".to_string(),
+            max_threads: self.config.max_threads,
+            sampling: None,
+        }
+    }
+
+    /// Execute a bound spec. `check_dmd` runs Algorithm 1 first when the
+    /// query refers to derived metadata (internal derivation queries
+    /// pass `false`; they are T4-shaped and cannot recurse anyway).
+    fn run_spec(&self, spec: QuerySpec, check_dmd: bool) -> Result<QueryResult> {
+        self.run_spec_sampled(spec, check_dmd, None)
+    }
+
+    fn run_spec_sampled(
+        &self,
+        mut spec: QuerySpec,
+        check_dmd: bool,
+        sampling: Option<f64>,
+    ) -> Result<QueryResult> {
+        let (mode, source) = self.prepared_info()?;
+        let qtype = query::classify(&spec);
+        query::infer_segment_time_predicates(&mut spec);
+        let dmd_outcome = if check_dmd && qtype.refers_dmd() && !mode.materializes_dmd() {
+            Some(dmd::ensure_dmd(&self.db, &self.dmd, &spec, &|s| {
+                self.run_spec(s, false)
+                    .map(|r| QueryOutcome { relation: r.relation, stats: r.stats })
+            })?)
+        } else {
+            None
+        };
+        let opts = if mode == LoadingMode::Lazy {
+            PlanOptions::lazy(&["F.uri", "F.file_id"])
+        } else {
+            PlanOptions::eager()
+        };
+        let plan = plan_query(&spec, &opts)?;
+        let mut ts_config = self.two_stage_config(mode);
+        ts_config.sampling = sampling;
+        let outcome = execute_plan(
+            &self.db,
+            &plan,
+            if mode == LoadingMode::Lazy { Some(source.as_ref()) } else { None },
+            if self.config.use_recycler { Some(&self.recycler) } else { None },
+            &ts_config,
+        )?;
+        Ok(QueryResult {
+            relation: outcome.relation,
+            stats: outcome.stats,
+            qtype,
+            dmd: dmd_outcome,
+        })
+    }
+
+    /// Compile and run a SQL query.
+    pub fn query(&self, sql: &str) -> Result<QueryResult> {
+        let spec = sommelier_sql::compile(sql, &self.catalog)?;
+        self.run_spec(spec, true)
+    }
+
+    /// Compile and run a SQL query *approximately* (the paper's §VIII
+    /// future-work sketch): in lazy mode, only `fraction` of the
+    /// selected chunks are ingested (deterministic sample). Aggregates
+    /// like `AVG`/`MIN`/`MAX` are estimated from the sample; `COUNT`
+    /// and `SUM` scale down with the fraction. In eager modes this is
+    /// identical to [`Sommelier::query`] (all data already loaded).
+    pub fn query_approx(&self, sql: &str, fraction: f64) -> Result<QueryResult> {
+        if !(0.0..=1.0).contains(&fraction) || fraction == 0.0 {
+            return Err(SommelierError::Usage(format!(
+                "sampling fraction must be in (0, 1], got {fraction}"
+            )));
+        }
+        let spec = sommelier_sql::compile(sql, &self.catalog)?;
+        self.run_spec_sampled(spec, true, Some(fraction))
+    }
+
+    /// Run an already-bound spec (programmatic clients, benches).
+    pub fn query_spec(&self, spec: QuerySpec) -> Result<QueryResult> {
+        self.run_spec(spec, true)
+    }
+
+    /// The logical plan a query would run, as text (EXPLAIN).
+    pub fn explain(&self, sql: &str) -> Result<String> {
+        let (mode, _) = self.prepared_info()?;
+        let mut spec = sommelier_sql::compile(sql, &self.catalog)?;
+        let qtype = query::classify(&spec);
+        query::infer_segment_time_predicates(&mut spec);
+        let opts = if mode == LoadingMode::Lazy {
+            PlanOptions::lazy(&["F.uri", "F.file_id"])
+        } else {
+            PlanOptions::eager()
+        };
+        let plan = plan_query(&spec, &opts)?;
+        Ok(format!("-- mode: {mode}, query type: {}\n{plan}", qtype.label()))
+    }
+
+    /// Drop buffered pages and cached chunks ("cold" run).
+    pub fn flush_caches(&self) {
+        self.db.flush_caches();
+        self.recycler.clear();
+    }
+
+    /// Forget all derived metadata: truncate `H` and reset the PSm
+    /// bookkeeping. Benchmarks use this to measure DMd-deriving query
+    /// types from a pristine state.
+    pub fn reset_dmd(&self) -> Result<()> {
+        self.db.truncate_table("H")?;
+        self.dmd.clear();
+        Ok(())
+    }
+
+    /// The underlying database.
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// The chunk cache.
+    pub fn recycler(&self) -> &Recycler {
+        &self.recycler
+    }
+
+    /// The DMd bookkeeping.
+    pub fn dmd_manager(&self) -> &DmdManager {
+        &self.dmd
+    }
+
+    /// The active loading mode, if prepared.
+    pub fn mode(&self) -> Option<LoadingMode> {
+        self.prepared.lock().as_ref().map(|p| p.mode)
+    }
+
+    /// The chunk repository.
+    pub fn repo(&self) -> &Repository {
+        &self.repo
+    }
+
+    /// Number of registered chunks.
+    pub fn registered_chunks(&self) -> usize {
+        self.prepared.lock().as_ref().map_or(0, |p| p.registry.len())
+    }
+
+    /// Bytes of the source repository (Table III "mSEED").
+    pub fn repo_bytes(&self) -> Result<u64> {
+        Ok(self.repo.total_bytes()?)
+    }
+
+    /// Bytes of database storage (Table III "MonetDB").
+    pub fn db_bytes(&self) -> u64 {
+        self.db.disk_bytes()
+    }
+
+    /// Bytes of metadata tables only (Table III "Lazy").
+    pub fn metadata_bytes(&self) -> u64 {
+        self.db.metadata_bytes()
+    }
+
+    /// Bytes of index structures (Table III "+keys" delta).
+    pub fn index_bytes(&self) -> u64 {
+        self.db.index_bytes()
+    }
+}
+
+impl std::fmt::Debug for Sommelier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sommelier")
+            .field("mode", &self.mode().map(|m| m.label()))
+            .field("chunks", &self.registered_chunks())
+            .field("dmd_covered", &self.dmd.covered_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sommelier_mseed::DatasetSpec;
+    use sommelier_storage::Value;
+
+    fn temp_repo(tag: &str, days: u32, samples: u32) -> Repository {
+        let dir = std::env::temp_dir().join(format!(
+            "somm-core-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let repo = Repository::at(&dir);
+        let mut spec = DatasetSpec::ingv(1, samples);
+        spec.days = days;
+        repo.generate(&spec).unwrap();
+        repo
+    }
+
+    fn query1(from: &str, to: &str) -> String {
+        format!(
+            "SELECT AVG(D.sample_value) FROM dataview \
+             WHERE F.station = 'ISK' AND F.channel = 'BHE' \
+             AND D.sample_time >= '{from}' AND D.sample_time < '{to}'"
+        )
+    }
+
+    #[test]
+    fn unprepared_query_fails() {
+        let repo = temp_repo("unprepared", 1, 8);
+        let somm = Sommelier::in_memory(repo, SommelierConfig::default()).unwrap();
+        assert!(matches!(
+            somm.query("SELECT COUNT(*) FROM F"),
+            Err(SommelierError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn lazy_t4_loads_only_matching_chunks() {
+        let repo = temp_repo("lazy-t4", 4, 32);
+        let somm = Sommelier::in_memory(repo, SommelierConfig::default()).unwrap();
+        let report = somm.prepare(LoadingMode::Lazy).unwrap();
+        assert_eq!(report.rows_loaded, 0, "lazy loads no actual data up front");
+        assert_eq!(somm.db().table_rows("D").unwrap(), 0);
+        let r = somm
+            .query(&query1("2010-01-02T00:00:00.000", "2010-01-04T00:00:00.000"))
+            .unwrap();
+        assert_eq!(r.qtype, QueryType::T4);
+        assert_eq!(r.stats.files_selected, 2, "two days of one station");
+        assert_eq!(r.stats.files_loaded, 2);
+        assert_eq!(r.relation.rows(), 1);
+        // Second run: recycler hits, nothing loaded.
+        let r2 = somm
+            .query(&query1("2010-01-02T00:00:00.000", "2010-01-04T00:00:00.000"))
+            .unwrap();
+        assert_eq!(r2.stats.cache_hits, 2);
+        assert_eq!(r2.stats.files_loaded, 0);
+    }
+
+    #[test]
+    fn lazy_matches_eager_answers() {
+        let sql = query1("2010-01-01T06:00:00.000", "2010-01-02T12:00:00.000");
+        let repo = temp_repo("consistency-a", 3, 32);
+        let lazy = Sommelier::in_memory(repo, SommelierConfig::default()).unwrap();
+        lazy.prepare(LoadingMode::Lazy).unwrap();
+        let lazy_avg = lazy.query(&sql).unwrap().relation.value(0, "avg").unwrap();
+
+        let repo = temp_repo("consistency-b", 3, 32);
+        let eager = Sommelier::in_memory(repo, SommelierConfig::default()).unwrap();
+        eager.prepare(LoadingMode::EagerIndex).unwrap();
+        let eager_avg = eager.query(&sql).unwrap().relation.value(0, "avg").unwrap();
+        match (lazy_avg, eager_avg) {
+            (Value::Float(a), Value::Float(b)) => {
+                assert!((a - b).abs() < 1e-9, "{a} vs {b}")
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn t2_triggers_incremental_derivation() {
+        let repo = temp_repo("t2", 2, 32);
+        let somm = Sommelier::in_memory(repo, SommelierConfig::default()).unwrap();
+        somm.prepare(LoadingMode::Lazy).unwrap();
+        let sql = "SELECT window_start_ts, window_max_val FROM H \
+                   WHERE window_station = 'ISK' AND window_channel = 'BHE' \
+                   AND window_start_ts >= '2010-01-01T00:00:00.000' \
+                   AND window_start_ts < '2010-01-01T06:00:00.000'";
+        let r = somm.query(sql).unwrap();
+        assert_eq!(r.qtype, QueryType::T2);
+        let dmd = r.dmd.expect("algorithm 1 ran");
+        assert_eq!(dmd.requested, 6);
+        assert_eq!(dmd.missing, 6);
+        assert!(dmd.rows_inserted > 0);
+        assert!(r.relation.rows() > 0);
+        // Second time: fully covered.
+        let r2 = somm.query(sql).unwrap();
+        assert_eq!(r2.dmd.unwrap().missing, 0);
+        assert_eq!(r2.relation.rows(), r.relation.rows());
+    }
+
+    #[test]
+    fn eager_dmd_skips_algorithm_1() {
+        let repo = temp_repo("edmd", 2, 16);
+        let somm = Sommelier::in_memory(repo, SommelierConfig::default()).unwrap();
+        let report = somm.prepare(LoadingMode::EagerDmd).unwrap();
+        assert!(report.dmd_derivation > std::time::Duration::ZERO);
+        assert!(somm.db().table_rows("H").unwrap() > 0);
+        let r = somm
+            .query(
+                "SELECT window_max_val FROM H WHERE window_station = 'ISK' \
+                 AND window_start_ts < '2010-01-02T00:00:00.000'",
+            )
+            .unwrap();
+        assert!(r.dmd.is_none(), "eager_dmd answers straight from H");
+        assert!(r.relation.rows() > 0);
+    }
+
+    #[test]
+    fn explain_shows_two_stage_shape() {
+        let repo = temp_repo("explain", 1, 8);
+        let somm = Sommelier::in_memory(repo, SommelierConfig::default()).unwrap();
+        somm.prepare(LoadingMode::Lazy).unwrap();
+        let plan = somm
+            .explain("SELECT AVG(D.sample_value) FROM dataview WHERE F.station = 'ISK'")
+            .unwrap();
+        assert!(plan.contains("QfMark"), "{plan}");
+        assert!(plan.contains("LazyScan D"), "{plan}");
+        assert!(plan.contains("mode: lazy"), "{plan}");
+    }
+}

@@ -1,0 +1,244 @@
+//! Query classification (paper Table I) and metadata-level predicate
+//! inference.
+
+use sommelier_engine::{CmpOp, Expr, QuerySpec};
+use sommelier_storage::{TableClass, Value};
+
+/// The paper's query taxonomy (Table I): which data classes a query
+/// refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryType {
+    /// GMd only.
+    T1,
+    /// DMd only.
+    T2,
+    /// DMd & GMd.
+    T3,
+    /// GMd & AD.
+    T4,
+    /// DMd & GMd & AD.
+    T5,
+    /// AD only — supported, but the system must load every chunk.
+    AdOnly,
+    /// DMd & AD without GMd — outside the paper's focus (§II-B).
+    DmdAd,
+}
+
+impl QueryType {
+    /// Does this query type refer to derived metadata (and hence
+    /// trigger Algorithm 1)?
+    pub fn refers_dmd(self) -> bool {
+        matches!(self, QueryType::T2 | QueryType::T3 | QueryType::T5 | QueryType::DmdAd)
+    }
+
+    /// Does this query type refer to actual data?
+    pub fn refers_ad(self) -> bool {
+        matches!(self, QueryType::T4 | QueryType::T5 | QueryType::AdOnly | QueryType::DmdAd)
+    }
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            QueryType::T1 => "T1",
+            QueryType::T2 => "T2",
+            QueryType::T3 => "T3",
+            QueryType::T4 => "T4",
+            QueryType::T5 => "T5",
+            QueryType::AdOnly => "AD-only",
+            QueryType::DmdAd => "DMd&AD",
+        }
+    }
+}
+
+/// Classify a bound query per Table I.
+pub fn classify(spec: &QuerySpec) -> QueryType {
+    let gmd = spec.references_class(TableClass::MetadataGiven);
+    let dmd = spec.references_class(TableClass::MetadataDerived);
+    let ad = spec.references_class(TableClass::ActualData);
+    match (gmd, dmd, ad) {
+        (_, false, false) => QueryType::T1,
+        (false, true, false) => QueryType::T2,
+        (true, true, false) => QueryType::T3,
+        (true, false, true) => QueryType::T4,
+        (true, true, true) => QueryType::T5,
+        (false, false, true) => QueryType::AdOnly,
+        (false, true, true) => QueryType::DmdAd,
+    }
+}
+
+/// The segment end-time expression:
+/// `S.start_time + (S.sample_count * 1000) / S.frequency` (ms).
+fn segment_end_expr() -> Expr {
+    use sommelier_engine::expr::ArithOp;
+    Expr::Arith(
+        ArithOp::Add,
+        Box::new(Expr::col("S.start_time")),
+        Box::new(Expr::Arith(
+            ArithOp::Div,
+            Box::new(Expr::Arith(
+                ArithOp::Mul,
+                Box::new(Expr::col("S.sample_count")),
+                Box::new(Expr::lit(1000i64)),
+            )),
+            Box::new(Expr::col("S.frequency")),
+        )),
+    )
+}
+
+/// Infer segment-level (metadata) predicates from sample-time
+/// predicates on the actual data.
+///
+/// A sample with `D.sample_time < T` can only live in a segment that
+/// *starts* before `T`; one with `D.sample_time > T` only in a segment
+/// that *ends* after `T`. Propagating the query's time range onto `S`
+/// is what lets the metadata branch `Qf` narrow the chunk list to the
+/// few files covering the requested interval — the paper's "Lazy has to
+/// load only 2 mSEED files" behaviour (§VI-C). Sound: it only excludes
+/// segments that cannot contain qualifying samples.
+pub fn infer_segment_time_predicates(spec: &mut QuerySpec) {
+    let has = |name: &str| spec.tables.iter().any(|t| t.name == name);
+    if !(has("D") && has("S")) {
+        return;
+    }
+    let mut inferred: Vec<(String, Expr)> = Vec::new();
+    for (table, pred) in &spec.predicates {
+        if table != "D" {
+            continue;
+        }
+        for conjunct in pred.clone().split_conjunction() {
+            let Expr::Cmp(op, lhs, rhs) = &conjunct else { continue };
+            // Normalize to column-on-left.
+            let (op, col, lit) = match (&**lhs, &**rhs) {
+                (Expr::Col(c), Expr::Lit(v)) => (*op, c.as_str(), v),
+                (Expr::Lit(v), Expr::Col(c)) => (op.flip(), c.as_str(), v),
+                _ => continue,
+            };
+            if col != "D.sample_time" {
+                continue;
+            }
+            let Ok(t) = lit.coerce_to(sommelier_storage::DataType::Timestamp) else {
+                continue;
+            };
+            let Value::Time(t) = t else { continue };
+            match op {
+                CmpOp::Lt | CmpOp::Le => {
+                    // Sample before T ⇒ segment starts before T.
+                    inferred.push((
+                        "S".to_string(),
+                        Expr::col("S.start_time").cmp(op, Expr::Lit(Value::Time(t))),
+                    ));
+                }
+                CmpOp::Gt | CmpOp::Ge => {
+                    // Sample after T ⇒ segment ends after T.
+                    inferred.push((
+                        "S".to_string(),
+                        segment_end_expr().cmp(op, Expr::Lit(Value::Time(t))),
+                    ));
+                }
+                CmpOp::Eq => {
+                    inferred.push((
+                        "S".to_string(),
+                        Expr::col("S.start_time")
+                            .cmp(CmpOp::Le, Expr::Lit(Value::Time(t)))
+                            .and(segment_end_expr().cmp(CmpOp::Gt, Expr::Lit(Value::Time(t)))),
+                    ));
+                }
+                CmpOp::Ne => {}
+            }
+        }
+    }
+    spec.predicates.extend(inferred);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::bind_catalog;
+    use sommelier_sql::compile;
+
+    fn spec_of(sql: &str) -> QuerySpec {
+        compile(sql, &bind_catalog()).unwrap()
+    }
+
+    #[test]
+    fn classification_matches_table_1() {
+        // T1: GMd only.
+        assert_eq!(classify(&spec_of("SELECT COUNT(*) FROM F WHERE station = 'ISK'")), QueryType::T1);
+        // T2: DMd only.
+        assert_eq!(
+            classify(&spec_of("SELECT window_max_val FROM H WHERE window_station = 'ISK'")),
+            QueryType::T2
+        );
+        // T4: GMd & AD (paper Query 1).
+        assert_eq!(
+            classify(&spec_of(
+                "SELECT AVG(D.sample_value) FROM dataview WHERE F.station = 'ISK'"
+            )),
+            QueryType::T4
+        );
+        // T5: all three (paper Query 2).
+        assert_eq!(
+            classify(&spec_of(
+                "SELECT D.sample_value FROM windowdataview WHERE H.window_max_val > 10000"
+            )),
+            QueryType::T5
+        );
+        assert!(QueryType::T5.refers_dmd());
+        assert!(QueryType::T5.refers_ad());
+        assert!(!QueryType::T4.refers_dmd());
+        assert!(!QueryType::T2.refers_ad());
+    }
+
+    #[test]
+    fn time_predicates_propagate_to_segments() {
+        let mut spec = spec_of(
+            "SELECT AVG(D.sample_value) FROM dataview \
+             WHERE F.station = 'ISK' \
+             AND D.sample_time > '2010-01-12T22:15:00.000' \
+             AND D.sample_time < '2010-01-12T22:15:02.000'",
+        );
+        let before = spec.predicates.len();
+        infer_segment_time_predicates(&mut spec);
+        let s_preds: Vec<&Expr> = spec
+            .predicates
+            .iter()
+            .filter(|(t, _)| t == "S")
+            .map(|(_, e)| e)
+            .collect();
+        assert_eq!(spec.predicates.len(), before + 2);
+        assert_eq!(s_preds.len(), 2);
+        // The upper bound becomes a start_time bound; the lower bound an
+        // end-time bound (start + count/frequency).
+        let rendered: String = s_preds.iter().map(|e| e.to_string()).collect::<Vec<_>>().join(" ");
+        assert!(rendered.contains("S.start_time"), "{rendered}");
+        assert!(rendered.contains("S.sample_count"), "{rendered}");
+    }
+
+    #[test]
+    fn inference_skips_non_time_predicates() {
+        let mut spec = spec_of(
+            "SELECT AVG(D.sample_value) FROM dataview WHERE D.sample_value > 100",
+        );
+        let before = spec.predicates.len();
+        infer_segment_time_predicates(&mut spec);
+        assert_eq!(spec.predicates.len(), before);
+    }
+
+    #[test]
+    fn inference_handles_flipped_literals() {
+        let mut spec = spec_of(
+            "SELECT AVG(D.sample_value) FROM dataview \
+             WHERE '2010-01-12T00:00:00.000' < D.sample_time",
+        );
+        infer_segment_time_predicates(&mut spec);
+        assert!(spec.predicates.iter().any(|(t, _)| t == "S"));
+    }
+
+    #[test]
+    fn inference_requires_both_tables() {
+        // Query over H only: no S/D, no inference.
+        let mut spec = spec_of("SELECT window_max_val FROM H");
+        infer_segment_time_predicates(&mut spec);
+        assert!(spec.predicates.is_empty());
+    }
+}

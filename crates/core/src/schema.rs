@@ -1,0 +1,235 @@
+//! The seismology warehouse schema (paper §II-C, after its reference \[13\]).
+//!
+//! * `F` — given metadata per file (sensor identity + technical
+//!   characteristics), plus the system-assigned `file_id` and the `uri`
+//!   that the lazy loader uses to find the chunk.
+//! * `S` — given metadata per segment (time coverage, sampling rate).
+//! * `D` — the actual data: one row per sample.
+//! * `H` — derived metadata: hourly summary windows
+//!   (max/min/mean/stddev), keyed by (station, channel, window start).
+//!
+//! Plus the two non-materialized views `dataview` (= F ⋈ S ⋈ D) and
+//! `windowdataview` (= F ⋈ S ⋈ D ⋈ H).
+
+use sommelier_engine::{Expr, Func, JoinEdge};
+use sommelier_sql::{BindCatalog, ViewDef};
+use sommelier_storage::{DataType, TableClass, TableSchema};
+
+/// Schema of the given-metadata file table `F`.
+pub fn f_schema() -> TableSchema {
+    TableSchema::new("F", TableClass::MetadataGiven)
+        .column("file_id", DataType::Int64)
+        .column("uri", DataType::Text)
+        .column("network", DataType::Text)
+        .column("station", DataType::Text)
+        .column("location", DataType::Text)
+        .column("channel", DataType::Text)
+        .column("data_quality", DataType::Text)
+        .column("encoding", DataType::Int64)
+        .column("byte_order", DataType::Int64)
+        .primary_key(["file_id"])
+}
+
+/// Schema of the given-metadata segment table `S`.
+pub fn s_schema() -> TableSchema {
+    TableSchema::new("S", TableClass::MetadataGiven)
+        .column("seg_id", DataType::Int64)
+        .column("file_id", DataType::Int64)
+        .column("start_time", DataType::Timestamp)
+        .column("frequency", DataType::Float64)
+        .column("sample_count", DataType::Int64)
+        .primary_key(["seg_id"])
+        .foreign_key(["file_id"], "F", ["file_id"])
+}
+
+/// Schema of the actual-data table `D`.
+pub fn d_schema() -> TableSchema {
+    TableSchema::new("D", TableClass::ActualData)
+        .column("file_id", DataType::Int64)
+        .column("seg_id", DataType::Int64)
+        .column("sample_time", DataType::Timestamp)
+        .column("sample_value", DataType::Float64)
+        .foreign_key(["file_id"], "F", ["file_id"])
+        .foreign_key(["seg_id"], "S", ["seg_id"])
+}
+
+/// Schema of the derived-metadata window table `H`.
+pub fn h_schema() -> TableSchema {
+    TableSchema::new("H", TableClass::MetadataDerived)
+        .column("window_station", DataType::Text)
+        .column("window_channel", DataType::Text)
+        .column("window_start_ts", DataType::Timestamp)
+        .column("window_max_val", DataType::Float64)
+        .column("window_min_val", DataType::Float64)
+        .column("window_mean_val", DataType::Float64)
+        .column("window_std_dev", DataType::Float64)
+        .primary_key(["window_station", "window_channel", "window_start_ts"])
+}
+
+/// All four table schemas.
+pub fn all_schemas() -> Vec<TableSchema> {
+    vec![f_schema(), s_schema(), d_schema(), h_schema()]
+}
+
+/// `dataview = F ⋈ S ⋈ D` (join edges F–S on file, S–D on segment,
+/// D–F on file).
+pub fn dataview() -> ViewDef {
+    ViewDef {
+        name: "dataview".into(),
+        tables: vec!["F".into(), "S".into(), "D".into()],
+        joins: vec![
+            JoinEdge::new("F", "S", vec![Expr::col("F.file_id")], vec![Expr::col("S.file_id")])
+                .expect("static edge"),
+            JoinEdge::new("S", "D", vec![Expr::col("S.seg_id")], vec![Expr::col("D.seg_id")])
+                .expect("static edge"),
+            JoinEdge::new("F", "D", vec![Expr::col("F.file_id")], vec![Expr::col("D.file_id")])
+                .expect("static edge"),
+        ],
+    }
+}
+
+/// `windowdataview = F ⋈ S ⋈ D ⋈ H`.
+///
+/// `H` connects to the metadata side on sensor identity
+/// (station/channel) and on *day* granularity (a window's day must
+/// match a segment's day — sound because chunk files hold one day and
+/// segments never span days; see DESIGN.md), and to `D` on the hour
+/// bucket. The day edge is what lets `Qf` narrow the chunk list to the
+/// days that actually have qualifying windows.
+pub fn windowdataview() -> ViewDef {
+    let mut view = dataview();
+    view.name = "windowdataview".into();
+    view.tables.push("H".into());
+    view.joins.push(
+        JoinEdge::new(
+            "F",
+            "H",
+            vec![Expr::col("F.station"), Expr::col("F.channel")],
+            vec![Expr::col("H.window_station"), Expr::col("H.window_channel")],
+        )
+        .expect("static edge"),
+    );
+    view.joins.push(
+        JoinEdge::new(
+            "S",
+            "H",
+            vec![Expr::Call(Func::DayBucket, vec![Expr::col("S.start_time")])],
+            vec![Expr::Call(Func::DayBucket, vec![Expr::col("H.window_start_ts")])],
+        )
+        .expect("static edge"),
+    );
+    view.joins.push(
+        JoinEdge::new(
+            "D",
+            "H",
+            vec![Expr::Call(Func::HourBucket, vec![Expr::col("D.sample_time")])],
+            vec![Expr::col("H.window_start_ts")],
+        )
+        .expect("static edge"),
+    );
+    view
+}
+
+/// `segview = F ⋈ S` — metadata only (T1 queries).
+pub fn segview() -> ViewDef {
+    ViewDef {
+        name: "segview".into(),
+        tables: vec!["F".into(), "S".into()],
+        joins: vec![JoinEdge::new(
+            "F",
+            "S",
+            vec![Expr::col("F.file_id")],
+            vec![Expr::col("S.file_id")],
+        )
+        .expect("static edge")],
+    }
+}
+
+/// `windowview = F ⋈ H` — given + derived metadata, no actual data
+/// (T3 queries).
+pub fn windowview() -> ViewDef {
+    ViewDef {
+        name: "windowview".into(),
+        tables: vec!["F".into(), "H".into()],
+        joins: vec![JoinEdge::new(
+            "F",
+            "H",
+            vec![Expr::col("F.station"), Expr::col("F.channel")],
+            vec![Expr::col("H.window_station"), Expr::col("H.window_channel")],
+        )
+        .expect("static edge")],
+    }
+}
+
+/// The bind catalog with all tables and views registered.
+pub fn bind_catalog() -> BindCatalog {
+    let mut cat = BindCatalog::new(&all_schemas());
+    cat.add_view(dataview());
+    cat.add_view(windowdataview());
+    cat.add_view(segview());
+    cat.add_view(windowview());
+    cat
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schemas_validate() {
+        for s in all_schemas() {
+            s.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn classes_match_paper() {
+        assert_eq!(f_schema().class, TableClass::MetadataGiven);
+        assert_eq!(s_schema().class, TableClass::MetadataGiven);
+        assert_eq!(d_schema().class, TableClass::ActualData);
+        assert_eq!(h_schema().class, TableClass::MetadataDerived);
+    }
+
+    #[test]
+    fn h_primary_key_is_the_window_triple() {
+        assert_eq!(
+            h_schema().primary_key,
+            vec!["window_station", "window_channel", "window_start_ts"]
+        );
+    }
+
+    #[test]
+    fn views_reference_known_tables() {
+        let names: Vec<String> = all_schemas().into_iter().map(|s| s.name).collect();
+        for v in [dataview(), windowdataview(), segview(), windowview()] {
+            for t in &v.tables {
+                assert!(names.contains(t), "view {} references unknown {t}", v.name);
+            }
+            for j in &v.joins {
+                assert!(v.tables.contains(&j.left));
+                assert!(v.tables.contains(&j.right));
+            }
+        }
+        assert_eq!(windowdataview().joins.len(), 6);
+    }
+
+    #[test]
+    fn catalog_binds_paper_queries() {
+        let cat = bind_catalog();
+        assert!(cat.has_view("dataview"));
+        assert!(cat.has_view("windowdataview"));
+        // Query 1 shape binds.
+        sommelier_sql::compile(
+            "SELECT AVG(D.sample_value) FROM dataview WHERE F.station = 'ISK'",
+            &cat,
+        )
+        .unwrap();
+        // Query 2 shape binds.
+        sommelier_sql::compile(
+            "SELECT D.sample_time, D.sample_value FROM windowdataview \
+             WHERE F.station = 'FIAM' AND H.window_max_val > 10000",
+            &cat,
+        )
+        .unwrap();
+    }
+}

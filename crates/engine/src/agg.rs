@@ -1,0 +1,345 @@
+//! Hash aggregation with group-by.
+//!
+//! Supports the paper's aggregate set: COUNT, SUM, AVG, MIN, MAX and
+//! STDDEV (population — what the `H.window_std_dev` summary metadata
+//! stores). A global aggregate (no GROUP BY) over an empty input yields
+//! an empty relation (this engine's columns carry no NULLs; the paper's
+//! workload never aggregates empty inputs).
+
+use crate::error::{EngineError, Result};
+use crate::eval::eval_scalar;
+use crate::expr::{AggFunc, Expr};
+use crate::relation::Relation;
+use sommelier_storage::index::{hash_row, rows_equal};
+use sommelier_storage::{ColumnData, DataType};
+use std::collections::HashMap;
+
+/// Running state for one aggregate over one group.
+#[derive(Debug, Clone)]
+struct AggState {
+    count: u64,
+    sum: f64,
+    sum_sq: f64,
+    min: f64,
+    max: f64,
+    min_i: i64,
+    max_i: i64,
+}
+
+impl AggState {
+    fn new() -> Self {
+        AggState {
+            count: 0,
+            sum: 0.0,
+            sum_sq: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            min_i: i64::MAX,
+            max_i: i64::MIN,
+        }
+    }
+
+    fn update_f(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.sum_sq += v * v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    fn update_i(&mut self, v: i64) {
+        self.update_f(v as f64);
+        self.min_i = self.min_i.min(v);
+        self.max_i = self.max_i.max(v);
+    }
+
+    fn finish(&self, func: AggFunc, input_type: DataType) -> Result<FinishedAgg> {
+        Ok(match func {
+            AggFunc::Count => FinishedAgg::Int(self.count as i64),
+            AggFunc::Sum => FinishedAgg::Float(self.sum),
+            AggFunc::Avg => FinishedAgg::Float(self.sum / self.count as f64),
+            AggFunc::StdDev => {
+                let n = self.count as f64;
+                let var = (self.sum_sq / n) - (self.sum / n) * (self.sum / n);
+                FinishedAgg::Float(var.max(0.0).sqrt())
+            }
+            AggFunc::Min => match input_type {
+                DataType::Float64 => FinishedAgg::Float(self.min),
+                DataType::Int64 => FinishedAgg::Int(self.min_i),
+                DataType::Timestamp => FinishedAgg::Time(self.min_i),
+                DataType::Text => {
+                    return Err(EngineError::Exec("MIN over text not supported".into()))
+                }
+            },
+            AggFunc::Max => match input_type {
+                DataType::Float64 => FinishedAgg::Float(self.max),
+                DataType::Int64 => FinishedAgg::Int(self.max_i),
+                DataType::Timestamp => FinishedAgg::Time(self.max_i),
+                DataType::Text => {
+                    return Err(EngineError::Exec("MAX over text not supported".into()))
+                }
+            },
+        })
+    }
+}
+
+enum FinishedAgg {
+    Int(i64),
+    Float(f64),
+    Time(i64),
+}
+
+/// Result column type of `func` over an input of `input_type`.
+pub fn output_type(func: AggFunc, input_type: DataType) -> DataType {
+    match func {
+        AggFunc::Count => DataType::Int64,
+        AggFunc::Sum | AggFunc::Avg | AggFunc::StdDev => DataType::Float64,
+        AggFunc::Min | AggFunc::Max => input_type,
+    }
+}
+
+/// Execute a hash aggregation.
+pub fn aggregate(
+    input: &Relation,
+    group_by: &[(String, Expr)],
+    aggs: &[(String, AggFunc, Expr)],
+) -> Result<Relation> {
+    // Evaluate grouping keys and aggregate arguments once, vectorized.
+    let key_cols: Vec<ColumnData> = group_by
+        .iter()
+        .map(|(_, e)| eval_scalar(e, input))
+        .collect::<Result<_>>()?;
+    let arg_cols: Vec<ColumnData> = aggs
+        .iter()
+        .map(|(_, _, e)| eval_scalar(e, input))
+        .collect::<Result<_>>()?;
+    let key_refs: Vec<&ColumnData> = key_cols.iter().collect();
+
+    // Group discovery: representative row per group.
+    let rows = input.rows();
+    let mut groups: HashMap<u64, Vec<u32>> = HashMap::new(); // hash -> group reps
+    let mut group_of = Vec::with_capacity(rows);
+    let mut reps: Vec<u32> = Vec::new();
+    if group_by.is_empty() {
+        // One global group, if any rows exist.
+        group_of = vec![0usize; rows];
+        if rows > 0 {
+            reps.push(0);
+        }
+    } else {
+        for r in 0..rows {
+            let h = hash_row(&key_refs, r);
+            let bucket = groups.entry(h).or_default();
+            let gid = bucket
+                .iter()
+                .find(|&&rep| {
+                    rows_equal(&key_refs, reps[rep as usize] as usize, &key_refs, r)
+                })
+                .copied();
+            let gid = match gid {
+                Some(g) => g as usize,
+                None => {
+                    let g = reps.len() as u32;
+                    reps.push(r as u32);
+                    bucket.push(g);
+                    g as usize
+                }
+            };
+            group_of.push(gid);
+        }
+    }
+
+    // Accumulate.
+    let mut states: Vec<Vec<AggState>> =
+        vec![vec![AggState::new(); aggs.len()]; reps.len()];
+    for r in 0..rows {
+        let g = group_of[r];
+        for (ai, col) in arg_cols.iter().enumerate() {
+            let st = &mut states[g][ai];
+            match col {
+                ColumnData::Int64(v) | ColumnData::Timestamp(v) => st.update_i(v[r]),
+                ColumnData::Float64(v) => st.update_f(v[r]),
+                ColumnData::Text(_) => {
+                    if aggs[ai].1 == AggFunc::Count {
+                        st.count += 1;
+                    } else {
+                        return Err(EngineError::Exec(format!(
+                            "{} over text column",
+                            aggs[ai].1.name()
+                        )));
+                    }
+                }
+            }
+        }
+    }
+
+    // Assemble output: group-key columns (representative rows) then aggs.
+    let mut out_cols: Vec<(String, ColumnData)> = Vec::new();
+    for ((name, _), col) in group_by.iter().zip(&key_cols) {
+        out_cols.push((name.clone(), col.take(&reps)));
+    }
+    for (ai, (name, func, _)) in aggs.iter().enumerate() {
+        let in_type = arg_cols[ai].data_type();
+        let mut ints = Vec::new();
+        let mut floats = Vec::new();
+        let out_type = output_type(*func, in_type);
+        for row in &states {
+            match row[ai].finish(*func, in_type)? {
+                FinishedAgg::Int(v) | FinishedAgg::Time(v) => ints.push(v),
+                FinishedAgg::Float(v) => floats.push(v),
+            }
+        }
+        let col = match out_type {
+            DataType::Int64 => ColumnData::Int64(ints),
+            DataType::Timestamp => ColumnData::Timestamp(ints),
+            DataType::Float64 => ColumnData::Float64(floats),
+            DataType::Text => unreachable!("rejected above"),
+        };
+        out_cols.push((name.clone(), col));
+    }
+    Relation::new(out_cols)
+}
+
+/// Duplicate elimination = group by all columns, no aggregates.
+pub fn distinct(input: &Relation) -> Result<Relation> {
+    let group_by: Vec<(String, Expr)> = input
+        .names()
+        .iter()
+        .map(|n| (n.to_string(), Expr::col(*n)))
+        .collect();
+    aggregate(input, &group_by, &[])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sommelier_storage::column::TextColumn;
+    use sommelier_storage::Value;
+
+    fn rel() -> Relation {
+        Relation::new(vec![
+            (
+                "station".into(),
+                ColumnData::Text(TextColumn::from_strs(["ISK", "FIAM", "ISK", "ISK"])),
+            ),
+            ("v".into(), ColumnData::Float64(vec![1.0, 10.0, 3.0, 2.0])),
+            ("t".into(), ColumnData::Timestamp(vec![100, 200, 50, 75])),
+        ])
+        .unwrap()
+    }
+
+    fn agg(name: &str, f: AggFunc, col: &str) -> (String, AggFunc, Expr) {
+        (name.into(), f, Expr::col(col))
+    }
+
+    #[test]
+    fn global_aggregates() {
+        let out = aggregate(
+            &rel(),
+            &[],
+            &[
+                agg("n", AggFunc::Count, "v"),
+                agg("s", AggFunc::Sum, "v"),
+                agg("a", AggFunc::Avg, "v"),
+                agg("mn", AggFunc::Min, "v"),
+                agg("mx", AggFunc::Max, "v"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.rows(), 1);
+        assert_eq!(out.value(0, "n").unwrap(), Value::Int(4));
+        assert_eq!(out.value(0, "s").unwrap(), Value::Float(16.0));
+        assert_eq!(out.value(0, "a").unwrap(), Value::Float(4.0));
+        assert_eq!(out.value(0, "mn").unwrap(), Value::Float(1.0));
+        assert_eq!(out.value(0, "mx").unwrap(), Value::Float(10.0));
+    }
+
+    #[test]
+    fn stddev_population() {
+        let r = Relation::new(vec![(
+            "v".into(),
+            ColumnData::Float64(vec![2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]),
+        )])
+        .unwrap();
+        let out = aggregate(&r, &[], &[agg("sd", AggFunc::StdDev, "v")]).unwrap();
+        // Classic example: population stddev = 2.
+        assert_eq!(out.value(0, "sd").unwrap(), Value::Float(2.0));
+    }
+
+    #[test]
+    fn grouped_aggregates() {
+        let out = aggregate(
+            &rel(),
+            &[("station".into(), Expr::col("station"))],
+            &[agg("n", AggFunc::Count, "v"), agg("mx", AggFunc::Max, "v")],
+        )
+        .unwrap();
+        assert_eq!(out.rows(), 2);
+        // Groups appear in first-seen order: ISK then FIAM.
+        assert_eq!(out.value(0, "station").unwrap(), Value::Text("ISK".into()));
+        assert_eq!(out.value(0, "n").unwrap(), Value::Int(3));
+        assert_eq!(out.value(0, "mx").unwrap(), Value::Float(3.0));
+        assert_eq!(out.value(1, "station").unwrap(), Value::Text("FIAM".into()));
+        assert_eq!(out.value(1, "n").unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn min_max_on_timestamps() {
+        let out = aggregate(
+            &rel(),
+            &[],
+            &[agg("first", AggFunc::Min, "t"), agg("last", AggFunc::Max, "t")],
+        )
+        .unwrap();
+        assert_eq!(out.value(0, "first").unwrap(), Value::Time(50));
+        assert_eq!(out.value(0, "last").unwrap(), Value::Time(200));
+    }
+
+    #[test]
+    fn empty_input_global_yields_no_rows() {
+        let empty = rel().filter(&[false, false, false, false]);
+        let out = aggregate(&empty, &[], &[agg("n", AggFunc::Count, "v")]).unwrap();
+        assert_eq!(out.rows(), 0);
+        assert_eq!(out.width(), 1, "schema preserved");
+    }
+
+    #[test]
+    fn count_works_on_text() {
+        let out = aggregate(&rel(), &[], &[agg("n", AggFunc::Count, "station")]).unwrap();
+        assert_eq!(out.value(0, "n").unwrap(), Value::Int(4));
+        assert!(aggregate(&rel(), &[], &[agg("s", AggFunc::Sum, "station")]).is_err());
+    }
+
+    #[test]
+    fn distinct_removes_duplicates() {
+        let r = Relation::new(vec![
+            ("a".into(), ColumnData::Int64(vec![1, 1, 2, 1])),
+            (
+                "b".into(),
+                ColumnData::Text(TextColumn::from_strs(["x", "x", "y", "z"])),
+            ),
+        ])
+        .unwrap();
+        let out = distinct(&r).unwrap();
+        assert_eq!(out.rows(), 3);
+    }
+
+    #[test]
+    fn grouped_by_computed_expr() {
+        use crate::expr::Func;
+        let r = Relation::new(vec![(
+            "t".into(),
+            ColumnData::Timestamp(vec![0, 1_800_000, 3_600_000, 3_700_000]),
+        )])
+        .unwrap();
+        let out = aggregate(
+            &r,
+            &[("hour".into(), Expr::Call(Func::HourBucket, vec![Expr::col("t")]))],
+            &[agg("n", AggFunc::Count, "t")],
+        )
+        .unwrap();
+        assert_eq!(out.rows(), 2);
+        assert_eq!(out.value(0, "n").unwrap(), Value::Int(2));
+        assert_eq!(out.value(1, "n").unwrap(), Value::Int(2));
+    }
+}

@@ -1,0 +1,64 @@
+//! Engine error type.
+
+use sommelier_storage::StorageError;
+use std::fmt;
+
+/// Result alias for the engine crate.
+pub type Result<T> = std::result::Result<T, EngineError>;
+
+/// Errors raised while planning or executing queries.
+#[derive(Debug)]
+pub enum EngineError {
+    /// Propagated storage-layer error.
+    Storage(StorageError),
+    /// Name resolution / typing problems while binding.
+    Bind(String),
+    /// Planning failures (impossible join orders, missing edges, ...).
+    Plan(String),
+    /// Execution-time failures.
+    Exec(String),
+    /// Chunk ingestion failed (lazy loading).
+    Chunk(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Storage(e) => write!(f, "storage: {e}"),
+            EngineError::Bind(m) => write!(f, "bind error: {m}"),
+            EngineError::Plan(m) => write!(f, "plan error: {m}"),
+            EngineError::Exec(m) => write!(f, "execution error: {m}"),
+            EngineError::Chunk(m) => write!(f, "chunk access error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for EngineError {
+    fn from(e: StorageError) -> Self {
+        EngineError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = EngineError::Bind("unknown column".into());
+        assert!(e.to_string().contains("unknown column"));
+        assert!(e.source().is_none());
+        let e: EngineError = StorageError::Schema("x".into()).into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,395 @@
+//! The bulk (column-at-a-time) executor.
+//!
+//! Executes a [`PhysicalPlan`] bottom-up, materializing every
+//! intermediate [`Relation`] — MonetDB's execution style, which the
+//! paper's two-stage model builds on. Chunk data for
+//! [`PhysicalPlan::ChunkUnion`] must have been pre-loaded into the
+//! [`ExecContext`] by the two-stage driver (the paper's run-time
+//! optimizer inserts the load statements before `Qs` resumes; see
+//! [`crate::twostage`]).
+
+use crate::agg::{aggregate, distinct};
+use crate::error::{EngineError, Result};
+use crate::eval::{eval_mask, eval_scalar};
+use crate::join::{cross_join, hash_join, index_join};
+use crate::physical::PhysicalPlan;
+use crate::relation::Relation;
+use crate::sort::{limit, sort_relation};
+use sommelier_storage::Database;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Everything the executor needs besides the plan.
+pub struct ExecContext<'a> {
+    pub db: &'a Database,
+    /// Materialized stage-1 results, indexed by `ResultScan { id }`.
+    pub materialized: Vec<Relation>,
+    /// Pre-loaded chunk relations by URI (cache-scans and chunk-accesses
+    /// both resolve here; the driver fills it).
+    pub chunks: HashMap<String, Arc<Relation>>,
+}
+
+impl<'a> ExecContext<'a> {
+    /// A context with no stage-1 results or chunks.
+    pub fn new(db: &'a Database) -> Self {
+        ExecContext { db, materialized: Vec::new(), chunks: HashMap::new() }
+    }
+}
+
+/// Scan a base table into a qualified, provenance-carrying relation.
+pub fn scan_base_table(
+    db: &Database,
+    table: &str,
+    columns: &[String],
+    predicate: Option<&crate::expr::Expr>,
+) -> Result<Relation> {
+    let prefix = format!("{table}.");
+    let raw: Vec<&str> = columns
+        .iter()
+        .map(|c| {
+            c.strip_prefix(&prefix).ok_or_else(|| {
+                EngineError::Plan(format!("scan column {c:?} not qualified by {table}"))
+            })
+        })
+        .collect::<Result<_>>()?;
+    let data = db.scan_columns(table, &raw)?;
+    let rel = Relation::new(
+        columns.iter().cloned().zip(data).collect(),
+    )?;
+    let rows: Vec<u32> = (0..rel.rows() as u32).collect();
+    let rel = rel.with_provenance(table, rows);
+    match predicate {
+        Some(p) => {
+            let mask = eval_mask(p, &rel)?;
+            Ok(rel.filter(&mask))
+        }
+        None => Ok(rel),
+    }
+}
+
+/// Execute a physical plan.
+pub fn execute(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<Relation> {
+    match plan {
+        PhysicalPlan::SeqScan { table, columns, predicate } => {
+            scan_base_table(ctx.db, table, columns, predicate.as_ref())
+        }
+        PhysicalPlan::ResultScan { id } => ctx
+            .materialized
+            .get(*id)
+            .cloned()
+            .ok_or_else(|| EngineError::Exec(format!("no materialized result #{id}"))),
+        PhysicalPlan::ChunkUnion { table, chunks, columns, predicate, pushdown } => {
+            if chunks.is_empty() {
+                // Stage 1 selected no files: an empty relation with the
+                // base table's schema (so joins above keep working).
+                let schema = ctx.db.table_schema(table)?;
+                let prefix = format!("{table}.");
+                let cols = columns
+                    .iter()
+                    .map(|c| {
+                        let raw = c.strip_prefix(&prefix).ok_or_else(|| {
+                            EngineError::Plan(format!(
+                                "chunk column {c:?} not qualified by {table}"
+                            ))
+                        })?;
+                        let dtype = schema.col_type(raw)?;
+                        Ok((c.clone(), sommelier_storage::ColumnData::empty(dtype)))
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                return Relation::new(cols);
+            }
+            let mut out = Relation::empty();
+            for chunk in chunks {
+                let rel = ctx.chunks.get(&chunk.uri).ok_or_else(|| {
+                    EngineError::Chunk(format!("chunk {:?} was not pre-loaded", chunk.uri))
+                })?;
+                // Per-chunk projection (and selection, if pushed down).
+                let wanted: Vec<(String, String)> =
+                    columns.iter().map(|c| (c.clone(), c.clone())).collect();
+                let mut part = rel.project_named(&wanted)?;
+                if *pushdown {
+                    if let Some(p) = predicate {
+                        let mask = eval_mask(p, &part)?;
+                        part = part.filter(&mask);
+                    }
+                }
+                out.union_in_place(&part)?;
+            }
+            if !*pushdown {
+                if let Some(p) = predicate {
+                    if out.rows() > 0 {
+                        let mask = eval_mask(p, &out)?;
+                        out = out.filter(&mask);
+                    }
+                }
+            }
+            // An empty union (zero chunks selected) still needs a schema
+            // so joins above keep working.
+            if out.width() == 0 {
+                return Err(EngineError::Chunk(
+                    "chunk union over zero chunks has no schema; stage-1 selected no files"
+                        .into(),
+                ));
+            }
+            Ok(out)
+        }
+        PhysicalPlan::HashJoin { left, right, left_keys, right_keys } => {
+            let l = execute(left, ctx)?;
+            let r = execute(right, ctx)?;
+            hash_join(&l, &r, left_keys, right_keys)
+        }
+        PhysicalPlan::IndexJoin { child, child_table, parent_table, parent_columns, parent_predicate } => {
+            let c = execute(child, ctx)?;
+            match c.provenance() {
+                Some(p) if p.table == *child_table => {}
+                _ => {
+                    return Err(EngineError::Exec(format!(
+                        "index join expected provenance of {child_table}"
+                    )))
+                }
+            }
+            let parent = scan_base_table(ctx.db, parent_table, parent_columns, None)?;
+            let ji = ctx.db.join_index(child_table, parent_table).ok_or_else(|| {
+                EngineError::Exec(format!(
+                    "no join index from {child_table} to {parent_table}"
+                ))
+            })?;
+            index_join(&c, &parent, &ji.positions, parent_predicate.as_ref())
+        }
+        PhysicalPlan::Cross { left, right } => {
+            let l = execute(left, ctx)?;
+            let r = execute(right, ctx)?;
+            cross_join(&l, &r)
+        }
+        PhysicalPlan::Filter { input, predicate } => {
+            let rel = execute(input, ctx)?;
+            let mask = eval_mask(predicate, &rel)?;
+            Ok(rel.filter(&mask))
+        }
+        PhysicalPlan::Project { input, exprs } => {
+            let rel = execute(input, ctx)?;
+            let cols = exprs
+                .iter()
+                .map(|(name, e)| Ok((name.clone(), eval_scalar(e, &rel)?)))
+                .collect::<Result<Vec<_>>>()?;
+            Relation::new(cols)
+        }
+        PhysicalPlan::Aggregate { input, group_by, aggs } => {
+            let rel = execute(input, ctx)?;
+            aggregate(&rel, group_by, aggs)
+        }
+        PhysicalPlan::Distinct { input } => {
+            let rel = execute(input, ctx)?;
+            distinct(&rel)
+        }
+        PhysicalPlan::Sort { input, keys } => {
+            let rel = execute(input, ctx)?;
+            sort_relation(&rel, keys)
+        }
+        PhysicalPlan::Limit { input, n } => {
+            let rel = execute(input, ctx)?;
+            Ok(limit(&rel, *n))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{AggFunc, CmpOp, Expr};
+    use crate::physical::ChunkRef;
+    use sommelier_storage::buffer::BufferPoolConfig;
+    use sommelier_storage::catalog::Disposition;
+    use sommelier_storage::column::TextColumn;
+    use sommelier_storage::{
+        ColumnData, ConstraintPolicy, DataType, TableClass, TableSchema, Value,
+    };
+
+    fn db() -> Database {
+        let db = Database::in_memory(BufferPoolConfig::default());
+        db.create_table(
+            TableSchema::new("F", TableClass::MetadataGiven)
+                .column("file_id", DataType::Int64)
+                .column("station", DataType::Text)
+                .primary_key(["file_id"]),
+            Disposition::Resident,
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::new("D", TableClass::ActualData)
+                .column("file_id", DataType::Int64)
+                .column("sample_value", DataType::Float64)
+                .foreign_key(["file_id"], "F", ["file_id"]),
+            Disposition::Resident,
+        )
+        .unwrap();
+        db.append(
+            "F",
+            &[
+                ColumnData::Int64(vec![1, 2]),
+                ColumnData::Text(TextColumn::from_strs(["ISK", "FIAM"])),
+            ],
+            ConstraintPolicy::all(),
+        )
+        .unwrap();
+        db.append(
+            "D",
+            &[
+                ColumnData::Int64(vec![1, 1, 2, 2]),
+                ColumnData::Float64(vec![1.0, 3.0, 100.0, 200.0]),
+            ],
+            ConstraintPolicy::all(),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn scan_with_predicate_and_provenance() {
+        let db = db();
+        let rel = scan_base_table(
+            &db,
+            "D",
+            &["D.file_id".into(), "D.sample_value".into()],
+            Some(&Expr::col("D.sample_value").cmp(CmpOp::Gt, Expr::lit(2.0))),
+        )
+        .unwrap();
+        assert_eq!(rel.rows(), 3);
+        assert_eq!(rel.provenance().unwrap().rows, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn full_pipeline_hash_join_aggregate() {
+        let db = db();
+        let ctx = ExecContext::new(&db);
+        // AVG(sample_value) of station ISK via hash join.
+        let plan = PhysicalPlan::Aggregate {
+            input: Box::new(PhysicalPlan::HashJoin {
+                left: Box::new(PhysicalPlan::SeqScan {
+                    table: "D".into(),
+                    columns: vec!["D.file_id".into(), "D.sample_value".into()],
+                    predicate: None,
+                }),
+                right: Box::new(PhysicalPlan::SeqScan {
+                    table: "F".into(),
+                    columns: vec!["F.file_id".into(), "F.station".into()],
+                    predicate: Some(Expr::col("F.station").eq(Expr::lit("ISK"))),
+                }),
+                left_keys: vec![Expr::col("D.file_id")],
+                right_keys: vec![Expr::col("F.file_id")],
+            }),
+            group_by: vec![],
+            aggs: vec![("avg_v".into(), AggFunc::Avg, Expr::col("D.sample_value"))],
+        };
+        let out = execute(&plan, &ctx).unwrap();
+        assert_eq!(out.value(0, "avg_v").unwrap(), Value::Float(2.0));
+    }
+
+    #[test]
+    fn index_join_path() {
+        let db = db();
+        db.build_join_indices("D").unwrap();
+        let ctx = ExecContext::new(&db);
+        let plan = PhysicalPlan::IndexJoin {
+            child: Box::new(PhysicalPlan::SeqScan {
+                table: "D".into(),
+                columns: vec!["D.file_id".into(), "D.sample_value".into()],
+                predicate: Some(Expr::col("D.sample_value").cmp(CmpOp::Gt, Expr::lit(1.5))),
+            }),
+            child_table: "D".into(),
+            parent_table: "F".into(),
+            parent_columns: vec!["F.file_id".into(), "F.station".into()],
+            parent_predicate: Some(Expr::col("F.station").eq(Expr::lit("FIAM"))),
+        };
+        let out = execute(&plan, &ctx).unwrap();
+        assert_eq!(out.rows(), 2);
+        assert_eq!(out.value(0, "D.sample_value").unwrap(), Value::Float(100.0));
+    }
+
+    #[test]
+    fn chunk_union_with_pushdown() {
+        let db = db();
+        let mut ctx = ExecContext::new(&db);
+        let mk = |vals: Vec<f64>, ids: Vec<i64>| {
+            Arc::new(
+                Relation::new(vec![
+                    ("D.file_id".into(), ColumnData::Int64(ids)),
+                    ("D.sample_value".into(), ColumnData::Float64(vals)),
+                ])
+                .unwrap(),
+            )
+        };
+        ctx.chunks.insert("a".into(), mk(vec![1.0, 5.0], vec![1, 1]));
+        ctx.chunks.insert("b".into(), mk(vec![7.0], vec![2]));
+        let plan = PhysicalPlan::ChunkUnion {
+            table: "D".into(),
+            chunks: vec![
+                ChunkRef { uri: "a".into(), cached: false },
+                ChunkRef { uri: "b".into(), cached: true },
+            ],
+            columns: vec!["D.file_id".into(), "D.sample_value".into()],
+            predicate: Some(Expr::col("D.sample_value").cmp(CmpOp::Gt, Expr::lit(2.0))),
+            pushdown: true,
+        };
+        let out = execute(&plan, &ctx).unwrap();
+        assert_eq!(out.rows(), 2);
+        // Same result without pushdown.
+        let plan2 = match plan {
+            PhysicalPlan::ChunkUnion { table, chunks, columns, predicate, .. } => {
+                PhysicalPlan::ChunkUnion { table, chunks, columns, predicate, pushdown: false }
+            }
+            _ => unreachable!(),
+        };
+        let out2 = execute(&plan2, &ctx).unwrap();
+        assert_eq!(out2.rows(), 2);
+    }
+
+    #[test]
+    fn missing_chunk_is_an_error() {
+        let db = db();
+        let ctx = ExecContext::new(&db);
+        let plan = PhysicalPlan::ChunkUnion {
+            table: "D".into(),
+            chunks: vec![ChunkRef { uri: "missing".into(), cached: false }],
+            columns: vec!["D.file_id".into()],
+            predicate: None,
+            pushdown: true,
+        };
+        assert!(matches!(execute(&plan, &ctx), Err(EngineError::Chunk(_))));
+    }
+
+    #[test]
+    fn result_scan_reads_materialized() {
+        let db = db();
+        let mut ctx = ExecContext::new(&db);
+        ctx.materialized.push(
+            Relation::new(vec![("x".into(), ColumnData::Int64(vec![42]))]).unwrap(),
+        );
+        let out = execute(&PhysicalPlan::ResultScan { id: 0 }, &ctx).unwrap();
+        assert_eq!(out.value(0, "x").unwrap(), Value::Int(42));
+        assert!(execute(&PhysicalPlan::ResultScan { id: 7 }, &ctx).is_err());
+    }
+
+    #[test]
+    fn project_sort_limit_pipeline() {
+        let db = db();
+        let ctx = ExecContext::new(&db);
+        let plan = PhysicalPlan::Limit {
+            input: Box::new(PhysicalPlan::Sort {
+                input: Box::new(PhysicalPlan::Project {
+                    input: Box::new(PhysicalPlan::SeqScan {
+                        table: "D".into(),
+                        columns: vec!["D.sample_value".into()],
+                        predicate: None,
+                    }),
+                    exprs: vec![("v".into(), Expr::col("D.sample_value"))],
+                }),
+                keys: vec![("v".into(), false)],
+            }),
+            n: 2,
+        };
+        let out = execute(&plan, &ctx).unwrap();
+        assert_eq!(out.rows(), 2);
+        assert_eq!(out.value(0, "v").unwrap(), Value::Float(200.0));
+    }
+}

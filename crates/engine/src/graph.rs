@@ -1,0 +1,185 @@
+//! The colored query graph of §III.
+//!
+//! Vertices are base tables: **red** for metadata tables (given or
+//! derived), **black** for actual-data tables. Edges are join
+//! predicates: **red** between two red vertices, **black** between two
+//! black vertices, **blue** between a red and a black vertex. The
+//! join-order rules R1–R4 ([`crate::joinorder`]) operate on this graph.
+
+use crate::error::{EngineError, Result};
+use crate::expr::Expr;
+use crate::spec::{JoinEdge, QuerySpec};
+use sommelier_storage::TableClass;
+
+/// Vertex color (table classification).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VertexColor {
+    /// Metadata table (given or derived).
+    Red,
+    /// Actual-data table.
+    Black,
+}
+
+/// Edge color derived from its endpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeColor {
+    /// red–red: metadata joins, evaluated first (R1).
+    Red,
+    /// red–black: the bridge from metadata into actual data.
+    Blue,
+    /// black–black: actual-data joins, evaluated last (R4).
+    Black,
+}
+
+/// One graph vertex.
+#[derive(Debug, Clone)]
+pub struct Vertex {
+    pub table: String,
+    pub color: VertexColor,
+    /// Conjoined single-table selection, if any (drives the greedy
+    /// start-vertex choice: selective tables first).
+    pub predicate: Option<Expr>,
+}
+
+/// One graph edge.
+#[derive(Debug, Clone)]
+pub struct GraphEdge {
+    pub a: usize,
+    pub b: usize,
+    pub color: EdgeColor,
+    pub join: JoinEdge,
+}
+
+/// The query graph.
+#[derive(Debug, Clone)]
+pub struct QueryGraph {
+    pub vertices: Vec<Vertex>,
+    pub edges: Vec<GraphEdge>,
+}
+
+impl QueryGraph {
+    /// Build from a validated spec, coloring vertices and edges.
+    pub fn from_spec(spec: &QuerySpec) -> Result<Self> {
+        spec.validate()?;
+        let vertices: Vec<Vertex> = spec
+            .tables
+            .iter()
+            .map(|t| Vertex {
+                table: t.name.clone(),
+                color: match t.class {
+                    TableClass::ActualData => VertexColor::Black,
+                    _ => VertexColor::Red,
+                },
+                predicate: spec.table_predicate(&t.name),
+            })
+            .collect();
+        let index_of = |name: &str| -> Result<usize> {
+            vertices
+                .iter()
+                .position(|v| v.table == name)
+                .ok_or_else(|| EngineError::Plan(format!("edge references unknown table {name:?}")))
+        };
+        let mut edges = Vec::with_capacity(spec.joins.len());
+        for j in &spec.joins {
+            let a = index_of(&j.left)?;
+            let b = index_of(&j.right)?;
+            let color = match (vertices[a].color, vertices[b].color) {
+                (VertexColor::Red, VertexColor::Red) => EdgeColor::Red,
+                (VertexColor::Black, VertexColor::Black) => EdgeColor::Black,
+                _ => EdgeColor::Blue,
+            };
+            edges.push(GraphEdge { a, b, color, join: j.clone() });
+        }
+        Ok(QueryGraph { vertices, edges })
+    }
+
+    /// Vertex indices of the given color.
+    pub fn vertices_of(&self, color: VertexColor) -> Vec<usize> {
+        (0..self.vertices.len()).filter(|&i| self.vertices[i].color == color).collect()
+    }
+
+    /// Edges touching vertex `v` whose other endpoint is in `covered`.
+    pub fn edges_into(&self, v: usize, covered: &[bool]) -> Vec<&GraphEdge> {
+        self.edges
+            .iter()
+            .filter(|e| (e.a == v && covered[e.b]) || (e.b == v && covered[e.a]))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use crate::expr::Func;
+    use crate::spec::{OutputExpr, TableRef};
+
+    /// The windowdataview-shaped query: F, S, H red; D black.
+    pub(crate) fn windowish_spec() -> QuerySpec {
+        QuerySpec {
+            tables: vec![
+                TableRef { name: "F".into(), class: TableClass::MetadataGiven },
+                TableRef { name: "S".into(), class: TableClass::MetadataGiven },
+                TableRef { name: "H".into(), class: TableClass::MetadataDerived },
+                TableRef { name: "D".into(), class: TableClass::ActualData },
+            ],
+            joins: vec![
+                JoinEdge::new("F", "S", vec![Expr::col("F.file_id")], vec![Expr::col("S.file_id")])
+                    .unwrap(),
+                JoinEdge::new(
+                    "F",
+                    "H",
+                    vec![Expr::col("F.station"), Expr::col("F.channel")],
+                    vec![Expr::col("H.window_station"), Expr::col("H.window_channel")],
+                )
+                .unwrap(),
+                JoinEdge::new("S", "D", vec![Expr::col("S.seg_id")], vec![Expr::col("D.seg_id")])
+                    .unwrap(),
+                JoinEdge::new(
+                    "D",
+                    "H",
+                    vec![Expr::Call(Func::HourBucket, vec![Expr::col("D.sample_time")])],
+                    vec![Expr::col("H.window_start_ts")],
+                )
+                .unwrap(),
+            ],
+            predicates: vec![("F".into(), Expr::col("F.station").eq(Expr::lit("FIAM")))],
+            output: vec![OutputExpr::Column {
+                name: "v".into(),
+                expr: Expr::col("D.sample_value"),
+            }],
+            ..QuerySpec::default()
+        }
+    }
+
+    #[test]
+    fn coloring_matches_paper() {
+        let g = QueryGraph::from_spec(&windowish_spec()).unwrap();
+        assert_eq!(g.vertices_of(VertexColor::Red).len(), 3);
+        assert_eq!(g.vertices_of(VertexColor::Black), vec![3]);
+        let colors: Vec<EdgeColor> = g.edges.iter().map(|e| e.color).collect();
+        assert_eq!(
+            colors,
+            vec![EdgeColor::Red, EdgeColor::Red, EdgeColor::Blue, EdgeColor::Blue]
+        );
+    }
+
+    #[test]
+    fn predicates_attach_to_vertices() {
+        let g = QueryGraph::from_spec(&windowish_spec()).unwrap();
+        assert!(g.vertices[0].predicate.is_some());
+        assert!(g.vertices[1].predicate.is_none());
+    }
+
+    #[test]
+    fn edges_into_respects_cover() {
+        let g = QueryGraph::from_spec(&windowish_spec()).unwrap();
+        // Nothing covered: no edges in.
+        assert!(g.edges_into(3, &[false, false, false, false]).is_empty());
+        // With S covered, D connects via one blue edge.
+        let es = g.edges_into(3, &[false, true, false, false]);
+        assert_eq!(es.len(), 1);
+        assert_eq!(es[0].color, EdgeColor::Blue);
+        // With S and H covered, D connects via two edges.
+        assert_eq!(g.edges_into(3, &[false, true, true, false]).len(), 2);
+    }
+}

@@ -1,0 +1,224 @@
+//! Join implementations: multi-key hash join, cross join, and the
+//! index join over a materialized FK join index.
+
+use crate::error::{EngineError, Result};
+use crate::eval::{eval_mask, eval_scalar};
+use crate::expr::Expr;
+use crate::relation::Relation;
+use sommelier_storage::index::HashIndex;
+use sommelier_storage::ColumnData;
+
+/// Evaluate join-key expressions into columns.
+fn key_columns(keys: &[Expr], rel: &Relation) -> Result<Vec<ColumnData>> {
+    keys.iter().map(|k| eval_scalar(k, rel)).collect()
+}
+
+/// Concatenate the columns of two row-aligned gathers into one relation,
+/// carrying the left side's provenance through `left_idx`.
+fn zip_sides(
+    left: &Relation,
+    right: &Relation,
+    left_idx: &[u32],
+    right_idx: &[u32],
+) -> Relation {
+    let mut l = left.take(left_idx);
+    let r = right.take(right_idx);
+    let cols = l.columns_mut();
+    cols.extend(r.columns().iter().cloned());
+    let mut out = Relation::new(std::mem::take(cols)).expect("aligned gathers");
+    if let Some(p) = left.provenance() {
+        let rows = left_idx.iter().map(|&i| p.rows[i as usize]).collect();
+        out = out.with_provenance(p.table.clone(), rows);
+    }
+    out
+}
+
+/// Inner equi-join: hash-build on `right`, probe with `left`.
+pub fn hash_join(
+    left: &Relation,
+    right: &Relation,
+    left_keys: &[Expr],
+    right_keys: &[Expr],
+) -> Result<Relation> {
+    if left_keys.len() != right_keys.len() || left_keys.is_empty() {
+        return Err(EngineError::Exec("hash join key arity mismatch".into()));
+    }
+    let lk = key_columns(left_keys, left)?;
+    let rk = key_columns(right_keys, right)?;
+    let rk_refs: Vec<&ColumnData> = rk.iter().collect();
+    let lk_refs: Vec<&ColumnData> = lk.iter().collect();
+    let index = HashIndex::build(&rk_refs);
+    let mut left_idx: Vec<u32> = Vec::new();
+    let mut right_idx: Vec<u32> = Vec::new();
+    for l in 0..left.rows() {
+        for r in index.probe(&rk_refs, &lk_refs, l) {
+            left_idx.push(l as u32);
+            right_idx.push(r);
+        }
+    }
+    Ok(zip_sides(left, right, &left_idx, &right_idx))
+}
+
+/// Cross product (used by rule R2; inputs are metadata-sized).
+pub fn cross_join(left: &Relation, right: &Relation) -> Result<Relation> {
+    let ln = left.rows();
+    let rn = right.rows();
+    let mut left_idx = Vec::with_capacity(ln * rn);
+    let mut right_idx = Vec::with_capacity(ln * rn);
+    for l in 0..ln {
+        for r in 0..rn {
+            left_idx.push(l as u32);
+            right_idx.push(r as u32);
+        }
+    }
+    Ok(zip_sides(left, right, &left_idx, &right_idx))
+}
+
+/// Index join: `child` rows (which carry base-table provenance) are
+/// mapped to their parents through the FK join index's position array —
+/// "constructing the join index is actually computing the join itself"
+/// (§VI-C). The parent's residual predicate is applied afterwards.
+pub fn index_join(
+    child: &Relation,
+    parent: &Relation,
+    positions: &[u32],
+    parent_predicate: Option<&Expr>,
+) -> Result<Relation> {
+    let prov = child.provenance().ok_or_else(|| {
+        EngineError::Exec("index join requires child provenance".into())
+    })?;
+    let child_idx: Vec<u32> = (0..child.rows() as u32).collect();
+    let parent_idx: Vec<u32> = prov
+        .rows
+        .iter()
+        .map(|&base_row| {
+            positions.get(base_row as usize).copied().ok_or_else(|| {
+                EngineError::Exec(format!(
+                    "join index has no entry for base row {base_row}"
+                ))
+            })
+        })
+        .collect::<Result<_>>()?;
+    let joined = zip_sides(child, parent, &child_idx, &parent_idx);
+    match parent_predicate {
+        Some(pred) => {
+            let mask = eval_mask(pred, &joined)?;
+            Ok(joined.filter(&mask))
+        }
+        None => Ok(joined),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Func;
+    use sommelier_storage::column::TextColumn;
+    use sommelier_storage::Value;
+
+    fn d() -> Relation {
+        Relation::new(vec![
+            ("D.file_id".into(), ColumnData::Int64(vec![1, 1, 2, 3])),
+            ("D.sample_value".into(), ColumnData::Float64(vec![10.0, 11.0, 20.0, 30.0])),
+            ("D.sample_time".into(), ColumnData::Timestamp(vec![0, 3_600_000, 7_200_000, 0])),
+        ])
+        .unwrap()
+    }
+
+    fn f() -> Relation {
+        Relation::new(vec![
+            ("F.file_id".into(), ColumnData::Int64(vec![1, 2])),
+            ("F.station".into(), ColumnData::Text(TextColumn::from_strs(["ISK", "FIAM"]))),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn hash_join_basic() {
+        let out = hash_join(
+            &d(),
+            &f(),
+            &[Expr::col("D.file_id")],
+            &[Expr::col("F.file_id")],
+        )
+        .unwrap();
+        // file 3 has no parent; files 1,1,2 match.
+        assert_eq!(out.rows(), 3);
+        assert_eq!(out.value(0, "F.station").unwrap(), Value::Text("ISK".into()));
+        assert_eq!(out.value(2, "F.station").unwrap(), Value::Text("FIAM".into()));
+        assert_eq!(out.width(), 5);
+    }
+
+    #[test]
+    fn hash_join_multi_key_with_computed_expr() {
+        let h = Relation::new(vec![
+            ("H.window_start_ts".into(), ColumnData::Timestamp(vec![0, 7_200_000])),
+            ("H.window_max_val".into(), ColumnData::Float64(vec![100.0, 200.0])),
+        ])
+        .unwrap();
+        let out = hash_join(
+            &d(),
+            &h,
+            &[Expr::Call(Func::HourBucket, vec![Expr::col("D.sample_time")])],
+            &[Expr::col("H.window_start_ts")],
+        )
+        .unwrap();
+        // Rows at hours 0, 1, 2, 0 → hours 0 and 2 match (3 rows).
+        assert_eq!(out.rows(), 3);
+    }
+
+    #[test]
+    fn hash_join_empty_sides() {
+        let empty_f = f().filter(&[false, false]);
+        let out =
+            hash_join(&d(), &empty_f, &[Expr::col("D.file_id")], &[Expr::col("F.file_id")])
+                .unwrap();
+        assert_eq!(out.rows(), 0);
+        assert_eq!(out.width(), 5, "schema survives empty joins");
+    }
+
+    #[test]
+    fn hash_join_preserves_left_provenance() {
+        let child = d().with_provenance("D", vec![100, 101, 102, 103]);
+        let out = hash_join(&child, &f(), &[Expr::col("D.file_id")], &[Expr::col("F.file_id")])
+            .unwrap();
+        let p = out.provenance().unwrap();
+        assert_eq!(p.rows, vec![100, 101, 102]);
+    }
+
+    #[test]
+    fn cross_join_cardinality() {
+        let out = cross_join(&f(), &f()).unwrap();
+        assert_eq!(out.rows(), 4);
+        assert_eq!(out.width(), 4);
+    }
+
+    #[test]
+    fn index_join_maps_rows() {
+        // positions: base D row -> F row (from a JoinIndex).
+        let positions = vec![0u32, 0, 1, 1];
+        // Child: filtered D (rows 1 and 2 of base).
+        let child = d().with_provenance("D", vec![0, 1, 2, 3]).filter(&[false, true, true, false]);
+        let out = index_join(&child, &f(), &positions, None).unwrap();
+        assert_eq!(out.rows(), 2);
+        assert_eq!(out.value(0, "F.station").unwrap(), Value::Text("ISK".into()));
+        assert_eq!(out.value(1, "F.station").unwrap(), Value::Text("FIAM".into()));
+    }
+
+    #[test]
+    fn index_join_applies_parent_predicate() {
+        let positions = vec![0u32, 0, 1, 1];
+        let child = d().with_provenance("D", vec![0, 1, 2, 3]);
+        let pred = Expr::col("F.station").eq(Expr::lit("FIAM"));
+        let out = index_join(&child, &f(), &positions, Some(&pred)).unwrap();
+        assert_eq!(out.rows(), 2); // base rows 2,3 -> F row 1 (FIAM)
+        // Provenance survives filtered index joins, enabling chaining.
+        assert_eq!(out.provenance().unwrap().rows, vec![2, 3]);
+    }
+
+    #[test]
+    fn index_join_without_provenance_fails() {
+        let positions = vec![0u32; 4];
+        assert!(index_join(&d(), &f(), &positions, None).is_err());
+    }
+}

@@ -1,0 +1,53 @@
+//! # sommelier-engine
+//!
+//! The relational query engine of the `sommelier` reproduction of
+//! *"The DBMS – your Big Data Sommelier"* (ICDE 2015), implementing the
+//! paper's query-processing contributions:
+//!
+//! * **Colored query graphs** ([`graph`]): metadata tables are red
+//!   vertices, actual-data tables black; edges between them are red,
+//!   blue, or black (§III).
+//! * **Join-order rules R1–R4** ([`joinorder`]): red edges first, cross
+//!   products to unify red components if necessary, no bushy plans over
+//!   black vertices, black edges last. The result is a plan decomposed
+//!   as `Q = Qf ▷ Qs` with the metadata branch `Qf` marked.
+//! * **Access paths** ([`physical`]): besides scan/index-scan, the
+//!   paper's three additions — *result-scan* (stage-1 result),
+//!   *cache-scan* (recycler-cached chunk), *chunk-access* (lazy chunk
+//!   ingestion).
+//! * **Two-stage execution** ([`twostage`]): evaluate `Qf`, then apply
+//!   the run-time rewrite `scan(a) → ⋃_f cache-scan(f) | chunk-access(f)`
+//!   (rewrite rule 1, optionally with selection pushdown into the
+//!   per-chunk accesses), then evaluate `Qs` — with the paper's *static*
+//!   per-chunk parallelism or the exchange-style dynamic repartitioning
+//!   it sketches as future work.
+//! * **Recycler** ([`recycler`]): the byte-budgeted LRU chunk cache
+//!   standing in for MonetDB's Recycler.
+//!
+//! The executor is bulk (column-at-a-time), like MonetDB: operators
+//! materialize whole [`relation::Relation`]s.
+
+pub mod agg;
+pub mod error;
+pub mod eval;
+pub mod exec;
+pub mod expr;
+pub mod graph;
+pub mod joinorder;
+pub mod join;
+pub mod logical;
+pub mod physical;
+pub mod recycler;
+pub mod relation;
+pub mod sort;
+pub mod spec;
+pub mod twostage;
+
+pub use error::{EngineError, Result};
+pub use expr::{AggFunc, CmpOp, Expr, Func};
+pub use logical::LogicalPlan;
+pub use physical::PhysicalPlan;
+pub use recycler::Recycler;
+pub use relation::Relation;
+pub use spec::{JoinEdge, QuerySpec, TableRef};
+pub use twostage::{ChunkSource, ExecStats, ParallelMode, TwoStageConfig};

@@ -1,0 +1,241 @@
+//! Logical query plans.
+//!
+//! The shape mirrors §III of the paper: a tree of joins over scans with
+//! two special marks — [`LogicalPlan::QfMark`] delimits the metadata
+//! branch `Qf` (everything below it is evaluated in stage 1), and
+//! [`LogicalPlan::LazyScan`] is the deferred `scan(a)` of an actual-data
+//! table that the run-time optimizer rewrites into
+//! `⋃ cache-scan | chunk-access` once `Qf`'s result is known.
+
+use crate::expr::{AggFunc, Expr};
+use std::fmt;
+
+/// A logical plan node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogicalPlan {
+    /// Scan of a base table with scan-level projection and an optional
+    /// pushed-down selection.
+    Scan {
+        table: String,
+        columns: Vec<String>,
+        predicate: Option<Expr>,
+    },
+    /// Deferred scan of an actual-data table (lazy mode only).
+    LazyScan {
+        table: String,
+        columns: Vec<String>,
+        predicate: Option<Expr>,
+    },
+    /// Equi-join (`left_keys[i] = right_keys[i]`).
+    Join {
+        left: Box<LogicalPlan>,
+        right: Box<LogicalPlan>,
+        left_keys: Vec<Expr>,
+        right_keys: Vec<Expr>,
+    },
+    /// Cross product (rule R2 fallback).
+    Cross { left: Box<LogicalPlan>, right: Box<LogicalPlan> },
+    /// Residual filter.
+    Filter { input: Box<LogicalPlan>, predicate: Expr },
+    /// Projection with computed expressions.
+    Project { input: Box<LogicalPlan>, exprs: Vec<(String, Expr)> },
+    /// Hash aggregation.
+    Aggregate {
+        input: Box<LogicalPlan>,
+        group_by: Vec<(String, Expr)>,
+        aggs: Vec<(String, AggFunc, Expr)>,
+    },
+    /// Duplicate elimination.
+    Distinct { input: Box<LogicalPlan> },
+    /// Ordering.
+    Sort { input: Box<LogicalPlan>, keys: Vec<(String, bool)> },
+    /// Row-count cap.
+    Limit { input: Box<LogicalPlan>, n: usize },
+    /// Marks the root of the metadata branch `Qf`.
+    QfMark { input: Box<LogicalPlan> },
+}
+
+impl LogicalPlan {
+    /// All base tables scanned below this node.
+    pub fn tables(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.visit(&mut |p| {
+            if let LogicalPlan::Scan { table, .. } | LogicalPlan::LazyScan { table, .. } = p {
+                out.push(table.as_str());
+            }
+        });
+        out
+    }
+
+    /// True if any [`LogicalPlan::LazyScan`] occurs below.
+    pub fn has_lazy_scan(&self) -> bool {
+        let mut found = false;
+        self.visit(&mut |p| {
+            if matches!(p, LogicalPlan::LazyScan { .. }) {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// The `Qf` subtree, if marked.
+    pub fn qf(&self) -> Option<&LogicalPlan> {
+        let mut found = None;
+        self.visit(&mut |p| {
+            if let LogicalPlan::QfMark { input } = p {
+                if found.is_none() {
+                    found = Some(&**input);
+                }
+            }
+        });
+        found
+    }
+
+    /// Pre-order visit.
+    pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a LogicalPlan)) {
+        f(self);
+        match self {
+            LogicalPlan::Scan { .. } | LogicalPlan::LazyScan { .. } => {}
+            LogicalPlan::Join { left, right, .. } | LogicalPlan::Cross { left, right } => {
+                left.visit(f);
+                right.visit(f);
+            }
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Aggregate { input, .. }
+            | LogicalPlan::Distinct { input }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Limit { input, .. }
+            | LogicalPlan::QfMark { input } => input.visit(f),
+        }
+    }
+
+    fn fmt_indent(&self, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
+        let pad = "  ".repeat(indent);
+        match self {
+            LogicalPlan::Scan { table, columns, predicate } => {
+                write!(f, "{pad}Scan {table} [{}]", columns.join(", "))?;
+                if let Some(p) = predicate {
+                    write!(f, " where {p}")?;
+                }
+                writeln!(f)
+            }
+            LogicalPlan::LazyScan { table, columns, predicate } => {
+                write!(f, "{pad}LazyScan {table} [{}]", columns.join(", "))?;
+                if let Some(p) = predicate {
+                    write!(f, " where {p}")?;
+                }
+                writeln!(f)
+            }
+            LogicalPlan::Join { left, right, left_keys, right_keys } => {
+                let keys: Vec<String> = left_keys
+                    .iter()
+                    .zip(right_keys)
+                    .map(|(l, r)| format!("{l} = {r}"))
+                    .collect();
+                writeln!(f, "{pad}Join on {}", keys.join(" AND "))?;
+                left.fmt_indent(f, indent + 1)?;
+                right.fmt_indent(f, indent + 1)
+            }
+            LogicalPlan::Cross { left, right } => {
+                writeln!(f, "{pad}Cross")?;
+                left.fmt_indent(f, indent + 1)?;
+                right.fmt_indent(f, indent + 1)
+            }
+            LogicalPlan::Filter { input, predicate } => {
+                writeln!(f, "{pad}Filter {predicate}")?;
+                input.fmt_indent(f, indent + 1)
+            }
+            LogicalPlan::Project { input, exprs } => {
+                let cols: Vec<String> =
+                    exprs.iter().map(|(n, e)| format!("{e} AS {n}")).collect();
+                writeln!(f, "{pad}Project [{}]", cols.join(", "))?;
+                input.fmt_indent(f, indent + 1)
+            }
+            LogicalPlan::Aggregate { input, group_by, aggs } => {
+                let gs: Vec<String> = group_by.iter().map(|(n, e)| format!("{e} AS {n}")).collect();
+                let asr: Vec<String> =
+                    aggs.iter().map(|(n, a, e)| format!("{}({e}) AS {n}", a.name())).collect();
+                writeln!(f, "{pad}Aggregate group=[{}] aggs=[{}]", gs.join(", "), asr.join(", "))?;
+                input.fmt_indent(f, indent + 1)
+            }
+            LogicalPlan::Distinct { input } => {
+                writeln!(f, "{pad}Distinct")?;
+                input.fmt_indent(f, indent + 1)
+            }
+            LogicalPlan::Sort { input, keys } => {
+                let ks: Vec<String> = keys
+                    .iter()
+                    .map(|(c, asc)| format!("{c} {}", if *asc { "ASC" } else { "DESC" }))
+                    .collect();
+                writeln!(f, "{pad}Sort [{}]", ks.join(", "))?;
+                input.fmt_indent(f, indent + 1)
+            }
+            LogicalPlan::Limit { input, n } => {
+                writeln!(f, "{pad}Limit {n}")?;
+                input.fmt_indent(f, indent + 1)
+            }
+            LogicalPlan::QfMark { input } => {
+                writeln!(f, "{pad}QfMark  -- stage-1 boundary (metadata branch)")?;
+                input.fmt_indent(f, indent + 1)
+            }
+        }
+    }
+}
+
+impl fmt::Display for LogicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_indent(f, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> LogicalPlan {
+        LogicalPlan::Aggregate {
+            input: Box::new(LogicalPlan::Join {
+                left: Box::new(LogicalPlan::LazyScan {
+                    table: "D".into(),
+                    columns: vec!["D.file_id".into(), "D.sample_value".into()],
+                    predicate: None,
+                }),
+                right: Box::new(LogicalPlan::QfMark {
+                    input: Box::new(LogicalPlan::Scan {
+                        table: "F".into(),
+                        columns: vec!["F.file_id".into()],
+                        predicate: Some(Expr::col("F.station").eq(Expr::lit("ISK"))),
+                    }),
+                }),
+                left_keys: vec![Expr::col("D.file_id")],
+                right_keys: vec![Expr::col("F.file_id")],
+            }),
+            group_by: vec![],
+            aggs: vec![(
+                "avg_v".into(),
+                AggFunc::Avg,
+                Expr::col("D.sample_value"),
+            )],
+        }
+    }
+
+    #[test]
+    fn tables_and_lazy_detection() {
+        let p = sample();
+        assert_eq!(p.tables(), vec!["D", "F"]);
+        assert!(p.has_lazy_scan());
+        let qf = p.qf().expect("Qf marked");
+        assert_eq!(qf.tables(), vec!["F"]);
+        assert!(!qf.has_lazy_scan());
+    }
+
+    #[test]
+    fn display_shows_structure() {
+        let s = sample().to_string();
+        assert!(s.contains("Aggregate"));
+        assert!(s.contains("LazyScan D"));
+        assert!(s.contains("QfMark"));
+        assert!(s.contains("where (F.station = 'ISK')"));
+    }
+}

@@ -1,0 +1,410 @@
+//! Physical plans and lowering from logical plans.
+//!
+//! Physical access paths follow §III of the paper: besides the base
+//! *scan* and *index-scan* (here: [`PhysicalPlan::IndexJoin`], which
+//! consumes the materialized FK join index), the paper adds
+//! *result-scan* (reads the materialized result of `Qf`), *cache-scan*
+//! and *chunk-access*. The latter two appear here as the per-chunk
+//! entries of [`PhysicalPlan::ChunkUnion`] — the materialization of
+//! run-time rewrite rule (1):
+//!
+//! ```text
+//! scan(a) → ⋃_{f ∈ result-scan(Qf)}  cache-scan(f)   if f ∈ C
+//!                                  | chunk-access(f)  otherwise
+//! ```
+
+use crate::error::{EngineError, Result};
+use crate::expr::{AggFunc, Expr};
+use crate::logical::LogicalPlan;
+use sommelier_storage::Database;
+use std::fmt;
+
+/// One chunk reference in a rewritten actual-data scan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkRef {
+    /// Chunk URI (the file path in the repository).
+    pub uri: String,
+    /// True → cache-scan; false → chunk-access.
+    pub cached: bool,
+}
+
+/// A physical plan node.
+#[derive(Debug, Clone)]
+pub enum PhysicalPlan {
+    /// Sequential scan of a base table (scan-level projection +
+    /// pushed-down selection).
+    SeqScan { table: String, columns: Vec<String>, predicate: Option<Expr> },
+    /// Scan of a materialized stage-1 result (`result-scan`).
+    ResultScan { id: usize },
+    /// The rewritten `scan(a)`: union of cache-scans and chunk-accesses.
+    /// With `pushdown`, the selection applies inside each per-chunk
+    /// access; otherwise once, above the union.
+    ChunkUnion {
+        table: String,
+        chunks: Vec<ChunkRef>,
+        columns: Vec<String>,
+        predicate: Option<Expr>,
+        pushdown: bool,
+    },
+    /// Hash equi-join (build right, probe left).
+    HashJoin {
+        left: Box<PhysicalPlan>,
+        right: Box<PhysicalPlan>,
+        left_keys: Vec<Expr>,
+        right_keys: Vec<Expr>,
+    },
+    /// Index join through a materialized FK join index (child side must
+    /// carry base-table provenance).
+    IndexJoin {
+        child: Box<PhysicalPlan>,
+        child_table: String,
+        parent_table: String,
+        parent_columns: Vec<String>,
+        parent_predicate: Option<Expr>,
+    },
+    /// Cross product.
+    Cross { left: Box<PhysicalPlan>, right: Box<PhysicalPlan> },
+    /// Residual filter.
+    Filter { input: Box<PhysicalPlan>, predicate: Expr },
+    /// Projection.
+    Project { input: Box<PhysicalPlan>, exprs: Vec<(String, Expr)> },
+    /// Hash aggregation.
+    Aggregate {
+        input: Box<PhysicalPlan>,
+        group_by: Vec<(String, Expr)>,
+        aggs: Vec<(String, AggFunc, Expr)>,
+    },
+    /// Duplicate elimination.
+    Distinct { input: Box<PhysicalPlan> },
+    /// Ordering.
+    Sort { input: Box<PhysicalPlan>, keys: Vec<(String, bool)> },
+    /// Row cap.
+    Limit { input: Box<PhysicalPlan>, n: usize },
+}
+
+/// Options controlling logical → physical lowering.
+pub struct LowerOptions<'a> {
+    /// The database (for index lookups).
+    pub db: &'a Database,
+    /// Use FK join indices where available (the *eager index* variant).
+    pub use_index_joins: bool,
+    /// Expansion of [`LogicalPlan::LazyScan`]: the chunk list computed
+    /// by the run-time optimizer. `None` means lazy scans are an error
+    /// (stage-1 lowering and eager plans).
+    pub lazy_chunks: Option<&'a [ChunkRef]>,
+    /// Push selections into per-chunk accesses (rewrite-rule refinement).
+    pub chunk_pushdown: bool,
+    /// What [`LogicalPlan::QfMark`] lowers to: a result-scan of the
+    /// given materialized id, or (if `None`) inline pass-through.
+    pub qf_result_id: Option<usize>,
+}
+
+/// Which base table a subtree's rows still correspond to 1:1 (provenance
+/// chain): scans and filters preserve it, and joins preserve the left
+/// (probe/child) side's.
+fn provenance_table(plan: &LogicalPlan) -> Option<&str> {
+    match plan {
+        LogicalPlan::Scan { table, .. } => Some(table),
+        LogicalPlan::Filter { input, .. } => provenance_table(input),
+        LogicalPlan::Join { left, .. } => provenance_table(left),
+        _ => None,
+    }
+}
+
+/// Lower a logical plan to a physical plan.
+pub fn lower(plan: &LogicalPlan, opts: &LowerOptions) -> Result<PhysicalPlan> {
+    Ok(match plan {
+        LogicalPlan::Scan { table, columns, predicate } => PhysicalPlan::SeqScan {
+            table: table.clone(),
+            columns: columns.clone(),
+            predicate: predicate.clone(),
+        },
+        LogicalPlan::LazyScan { table, columns, predicate } => {
+            let chunks = opts.lazy_chunks.ok_or_else(|| {
+                EngineError::Plan(format!(
+                    "lazy scan of {table} reached lowering without a chunk list \
+                     (stage-2 rewrite missing)"
+                ))
+            })?;
+            PhysicalPlan::ChunkUnion {
+                table: table.clone(),
+                chunks: chunks.to_vec(),
+                columns: columns.clone(),
+                predicate: predicate.clone(),
+                pushdown: opts.chunk_pushdown,
+            }
+        }
+        LogicalPlan::QfMark { input } => match opts.qf_result_id {
+            Some(id) => PhysicalPlan::ResultScan { id },
+            None => lower(input, opts)?,
+        },
+        LogicalPlan::Join { left, right, left_keys, right_keys } => {
+            // Index-join detection: child chain ⋈ parent base scan on a
+            // simple FK → PK column equality, with the join index built.
+            if opts.use_index_joins {
+                if let (Some(child_table), LogicalPlan::Scan { table: parent, columns, predicate }) =
+                    (provenance_table(left), &**right)
+                {
+                    let simple = left_keys.iter().zip(right_keys).all(|(l, r)| {
+                        matches!(
+                            (l, r),
+                            (Expr::Col(a), Expr::Col(b))
+                                if a.starts_with(&format!("{child_table}."))
+                                    && b.starts_with(&format!("{parent}."))
+                        )
+                    });
+                    if simple && opts.db.join_index(child_table, parent).is_some() {
+                        return Ok(PhysicalPlan::IndexJoin {
+                            child: Box::new(lower(left, opts)?),
+                            child_table: child_table.to_string(),
+                            parent_table: parent.clone(),
+                            parent_columns: columns.clone(),
+                            parent_predicate: predicate.clone(),
+                        });
+                    }
+                }
+            }
+            PhysicalPlan::HashJoin {
+                left: Box::new(lower(left, opts)?),
+                right: Box::new(lower(right, opts)?),
+                left_keys: left_keys.clone(),
+                right_keys: right_keys.clone(),
+            }
+        }
+        LogicalPlan::Cross { left, right } => PhysicalPlan::Cross {
+            left: Box::new(lower(left, opts)?),
+            right: Box::new(lower(right, opts)?),
+        },
+        LogicalPlan::Filter { input, predicate } => PhysicalPlan::Filter {
+            input: Box::new(lower(input, opts)?),
+            predicate: predicate.clone(),
+        },
+        LogicalPlan::Project { input, exprs } => PhysicalPlan::Project {
+            input: Box::new(lower(input, opts)?),
+            exprs: exprs.clone(),
+        },
+        LogicalPlan::Aggregate { input, group_by, aggs } => PhysicalPlan::Aggregate {
+            input: Box::new(lower(input, opts)?),
+            group_by: group_by.clone(),
+            aggs: aggs.clone(),
+        },
+        LogicalPlan::Distinct { input } => {
+            PhysicalPlan::Distinct { input: Box::new(lower(input, opts)?) }
+        }
+        LogicalPlan::Sort { input, keys } => {
+            PhysicalPlan::Sort { input: Box::new(lower(input, opts)?), keys: keys.clone() }
+        }
+        LogicalPlan::Limit { input, n } => {
+            PhysicalPlan::Limit { input: Box::new(lower(input, opts)?), n: *n }
+        }
+    })
+}
+
+impl PhysicalPlan {
+    fn fmt_indent(&self, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
+        let pad = "  ".repeat(indent);
+        match self {
+            PhysicalPlan::SeqScan { table, columns, predicate } => {
+                write!(f, "{pad}SeqScan {table} [{}]", columns.join(", "))?;
+                if let Some(p) = predicate {
+                    write!(f, " where {p}")?;
+                }
+                writeln!(f)
+            }
+            PhysicalPlan::ResultScan { id } => writeln!(f, "{pad}ResultScan #{id}"),
+            PhysicalPlan::ChunkUnion { table, chunks, predicate, pushdown, .. } => {
+                let cached = chunks.iter().filter(|c| c.cached).count();
+                write!(
+                    f,
+                    "{pad}ChunkUnion {table}: {} chunk-access + {cached} cache-scan",
+                    chunks.len() - cached
+                )?;
+                if let Some(p) = predicate {
+                    write!(f, " where {p} ({})", if *pushdown { "pushed into chunks" } else { "post-union" })?;
+                }
+                writeln!(f)
+            }
+            PhysicalPlan::HashJoin { left, right, left_keys, right_keys } => {
+                let keys: Vec<String> = left_keys
+                    .iter()
+                    .zip(right_keys)
+                    .map(|(l, r)| format!("{l} = {r}"))
+                    .collect();
+                writeln!(f, "{pad}HashJoin on {}", keys.join(" AND "))?;
+                left.fmt_indent(f, indent + 1)?;
+                right.fmt_indent(f, indent + 1)
+            }
+            PhysicalPlan::IndexJoin { child, child_table, parent_table, parent_predicate, .. } => {
+                write!(f, "{pad}IndexJoin {child_table} -> {parent_table}")?;
+                if let Some(p) = parent_predicate {
+                    write!(f, " where {p}")?;
+                }
+                writeln!(f)?;
+                child.fmt_indent(f, indent + 1)
+            }
+            PhysicalPlan::Cross { left, right } => {
+                writeln!(f, "{pad}Cross")?;
+                left.fmt_indent(f, indent + 1)?;
+                right.fmt_indent(f, indent + 1)
+            }
+            PhysicalPlan::Filter { input, predicate } => {
+                writeln!(f, "{pad}Filter {predicate}")?;
+                input.fmt_indent(f, indent + 1)
+            }
+            PhysicalPlan::Project { input, exprs } => {
+                let cols: Vec<String> = exprs.iter().map(|(n, e)| format!("{e} AS {n}")).collect();
+                writeln!(f, "{pad}Project [{}]", cols.join(", "))?;
+                input.fmt_indent(f, indent + 1)
+            }
+            PhysicalPlan::Aggregate { input, group_by, aggs } => {
+                let gs: Vec<String> = group_by.iter().map(|(n, _)| n.clone()).collect();
+                let asr: Vec<String> =
+                    aggs.iter().map(|(n, a, e)| format!("{}({e}) AS {n}", a.name())).collect();
+                writeln!(f, "{pad}Aggregate group=[{}] aggs=[{}]", gs.join(", "), asr.join(", "))?;
+                input.fmt_indent(f, indent + 1)
+            }
+            PhysicalPlan::Distinct { input } => {
+                writeln!(f, "{pad}Distinct")?;
+                input.fmt_indent(f, indent + 1)
+            }
+            PhysicalPlan::Sort { input, keys } => {
+                let ks: Vec<String> = keys
+                    .iter()
+                    .map(|(c, asc)| format!("{c} {}", if *asc { "ASC" } else { "DESC" }))
+                    .collect();
+                writeln!(f, "{pad}Sort [{}]", ks.join(", "))?;
+                input.fmt_indent(f, indent + 1)
+            }
+            PhysicalPlan::Limit { input, n } => {
+                writeln!(f, "{pad}Limit {n}")?;
+                input.fmt_indent(f, indent + 1)
+            }
+        }
+    }
+}
+
+impl fmt::Display for PhysicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_indent(f, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sommelier_storage::buffer::BufferPoolConfig;
+    use sommelier_storage::catalog::Disposition;
+    use sommelier_storage::{ColumnData, ConstraintPolicy, TableClass, TableSchema};
+
+    fn db_with_index() -> Database {
+        let db = Database::in_memory(BufferPoolConfig::default());
+        db.create_table(
+            TableSchema::new("F", TableClass::MetadataGiven)
+                .column("file_id", sommelier_storage::DataType::Int64)
+                .primary_key(["file_id"]),
+            Disposition::Resident,
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::new("D", TableClass::ActualData)
+                .column("file_id", sommelier_storage::DataType::Int64)
+                .foreign_key(["file_id"], "F", ["file_id"]),
+            Disposition::Resident,
+        )
+        .unwrap();
+        db.append("F", &[ColumnData::Int64(vec![1, 2])], ConstraintPolicy::all()).unwrap();
+        db.append("D", &[ColumnData::Int64(vec![1, 2, 1])], ConstraintPolicy::all()).unwrap();
+        db.build_join_indices("D").unwrap();
+        db
+    }
+
+    fn join_plan() -> LogicalPlan {
+        LogicalPlan::Join {
+            left: Box::new(LogicalPlan::Scan {
+                table: "D".into(),
+                columns: vec!["D.file_id".into()],
+                predicate: None,
+            }),
+            right: Box::new(LogicalPlan::Scan {
+                table: "F".into(),
+                columns: vec!["F.file_id".into()],
+                predicate: None,
+            }),
+            left_keys: vec![Expr::col("D.file_id")],
+            right_keys: vec![Expr::col("F.file_id")],
+        }
+    }
+
+    #[test]
+    fn index_join_selected_when_available() {
+        let db = db_with_index();
+        let opts = LowerOptions {
+            db: &db,
+            use_index_joins: true,
+            lazy_chunks: None,
+            chunk_pushdown: true,
+            qf_result_id: None,
+        };
+        let phys = lower(&join_plan(), &opts).unwrap();
+        assert!(matches!(phys, PhysicalPlan::IndexJoin { .. }), "got {phys}");
+        // Disabled: falls back to hash join.
+        let opts = LowerOptions { use_index_joins: false, ..opts };
+        let phys = lower(&join_plan(), &opts).unwrap();
+        assert!(matches!(phys, PhysicalPlan::HashJoin { .. }));
+    }
+
+    #[test]
+    fn lazy_scan_without_chunks_is_error() {
+        let db = db_with_index();
+        let opts = LowerOptions {
+            db: &db,
+            use_index_joins: false,
+            lazy_chunks: None,
+            chunk_pushdown: true,
+            qf_result_id: None,
+        };
+        let plan = LogicalPlan::LazyScan {
+            table: "D".into(),
+            columns: vec!["D.file_id".into()],
+            predicate: None,
+        };
+        assert!(lower(&plan, &opts).is_err());
+    }
+
+    #[test]
+    fn lazy_scan_expands_to_chunk_union() {
+        let db = db_with_index();
+        let chunks = vec![
+            ChunkRef { uri: "a.msd".into(), cached: false },
+            ChunkRef { uri: "b.msd".into(), cached: true },
+        ];
+        let opts = LowerOptions {
+            db: &db,
+            use_index_joins: false,
+            lazy_chunks: Some(&chunks),
+            chunk_pushdown: true,
+            qf_result_id: Some(0),
+        };
+        let plan = LogicalPlan::QfMark {
+            input: Box::new(LogicalPlan::Scan {
+                table: "F".into(),
+                columns: vec!["F.file_id".into()],
+                predicate: None,
+            }),
+        };
+        let phys = lower(&plan, &opts).unwrap();
+        assert!(matches!(phys, PhysicalPlan::ResultScan { id: 0 }));
+        let plan = LogicalPlan::LazyScan {
+            table: "D".into(),
+            columns: vec!["D.file_id".into()],
+            predicate: None,
+        };
+        match lower(&plan, &opts).unwrap() {
+            PhysicalPlan::ChunkUnion { chunks, .. } => {
+                assert_eq!(chunks.len(), 2);
+                assert!(chunks[1].cached);
+            }
+            other => panic!("expected ChunkUnion, got {other}"),
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! The Recycler: a byte-budgeted LRU cache of lazily loaded chunks.
+//!
+//! Stands in for MonetDB's Recycler component [Ivanova et al.,
+//! SIGMOD'09], which the paper reuses to cache the per-file temporary
+//! tables produced by `chunk-access` (§V). A later query touching the
+//! same chunk takes the *cache-scan* access path instead of re-ingesting
+//! the file. The paper's future-work section notes the Recycler is
+//! plain-LRU; so is this one (a cost-aware policy would slot in behind
+//! the same interface).
+
+use crate::relation::Relation;
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Cache statistics.
+#[derive(Debug, Default)]
+pub struct RecyclerStats {
+    pub hits: AtomicU64,
+    pub misses: AtomicU64,
+    pub insertions: AtomicU64,
+    pub evictions: AtomicU64,
+}
+
+/// Snapshot of [`RecyclerStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecyclerSnapshot {
+    pub hits: u64,
+    pub misses: u64,
+    pub insertions: u64,
+    pub evictions: u64,
+}
+
+struct Entry {
+    relation: Arc<Relation>,
+    bytes: usize,
+    tick: u64,
+}
+
+#[derive(Default)]
+struct State {
+    map: HashMap<String, Entry>,
+    order: BTreeMap<u64, String>,
+    tick: u64,
+    bytes: usize,
+}
+
+/// The chunk cache.
+pub struct Recycler {
+    state: Mutex<State>,
+    budget_bytes: usize,
+    stats: RecyclerStats,
+}
+
+impl Recycler {
+    /// Create a cache with the given byte budget.
+    pub fn new(budget_bytes: usize) -> Self {
+        Recycler { state: Mutex::new(State::default()), budget_bytes, stats: RecyclerStats::default() }
+    }
+
+    /// The configured byte budget.
+    pub fn budget_bytes(&self) -> usize {
+        self.budget_bytes
+    }
+
+    /// Look up a chunk by URI, refreshing its recency.
+    pub fn get(&self, uri: &str) -> Option<Arc<Relation>> {
+        let mut st = self.state.lock();
+        st.tick += 1;
+        let tick = st.tick;
+        match st.map.get_mut(uri) {
+            Some(entry) => {
+                let old = entry.tick;
+                entry.tick = tick;
+                let rel = Arc::clone(&entry.relation);
+                st.order.remove(&old);
+                st.order.insert(tick, uri.to_string());
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                Some(rel)
+            }
+            None => {
+                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Membership check without touching recency or stats (used by the
+    /// run-time optimizer to choose between cache-scan and chunk-access
+    /// without perturbing measurements).
+    pub fn contains(&self, uri: &str) -> bool {
+        self.state.lock().map.contains_key(uri)
+    }
+
+    /// Insert a loaded chunk; evicts LRU entries over budget. A chunk
+    /// larger than the whole budget is not cached at all.
+    pub fn put(&self, uri: &str, relation: Arc<Relation>) {
+        let bytes = relation.approx_bytes();
+        if bytes > self.budget_bytes {
+            return;
+        }
+        let mut st = self.state.lock();
+        st.tick += 1;
+        let tick = st.tick;
+        if let Some(old) = st.map.remove(uri) {
+            st.order.remove(&old.tick);
+            st.bytes -= old.bytes;
+        }
+        st.map.insert(uri.to_string(), Entry { relation, bytes, tick });
+        st.order.insert(tick, uri.to_string());
+        st.bytes += bytes;
+        self.stats.insertions.fetch_add(1, Ordering::Relaxed);
+        while st.bytes > self.budget_bytes {
+            let Some((&oldest, _)) = st.order.iter().next() else { break };
+            let victim = st.order.remove(&oldest).expect("key just observed");
+            if let Some(e) = st.map.remove(&victim) {
+                st.bytes -= e.bytes;
+                self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Bytes currently cached.
+    pub fn resident_bytes(&self) -> usize {
+        self.state.lock().bytes
+    }
+
+    /// Number of cached chunks.
+    pub fn len(&self) -> usize {
+        self.state.lock().map.len()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop everything (cold-run simulation).
+    pub fn clear(&self) {
+        let mut st = self.state.lock();
+        st.map.clear();
+        st.order.clear();
+        st.bytes = 0;
+    }
+
+    /// Snapshot the counters.
+    pub fn stats(&self) -> RecyclerSnapshot {
+        RecyclerSnapshot {
+            hits: self.stats.hits.load(Ordering::Relaxed),
+            misses: self.stats.misses.load(Ordering::Relaxed),
+            insertions: self.stats.insertions.load(Ordering::Relaxed),
+            evictions: self.stats.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for Recycler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recycler")
+            .field("budget_bytes", &self.budget_bytes)
+            .field("resident_bytes", &self.resident_bytes())
+            .field("entries", &self.len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sommelier_storage::ColumnData;
+
+    fn chunk(n: usize) -> Arc<Relation> {
+        Arc::new(
+            Relation::new(vec![("D.v".into(), ColumnData::Int64(vec![0; n]))]).unwrap(),
+        )
+    }
+
+    #[test]
+    fn hit_miss_accounting() {
+        let r = Recycler::new(1 << 20);
+        assert!(r.get("a").is_none());
+        r.put("a", chunk(10));
+        assert!(r.get("a").is_some());
+        let s = r.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (1, 1, 1));
+        assert!(r.contains("a"));
+        assert!(!r.contains("b"));
+    }
+
+    #[test]
+    fn eviction_respects_budget_and_lru() {
+        // Each chunk ~800 bytes (100 i64); budget fits two.
+        let budget = chunk(100).approx_bytes() * 2 + 16;
+        let r = Recycler::new(budget);
+        r.put("a", chunk(100));
+        r.put("b", chunk(100));
+        let _ = r.get("a"); // refresh a
+        r.put("c", chunk(100)); // evicts b
+        assert!(r.contains("a"));
+        assert!(!r.contains("b"));
+        assert!(r.contains("c"));
+        assert_eq!(r.stats().evictions, 1);
+        assert!(r.resident_bytes() <= budget);
+    }
+
+    #[test]
+    fn oversized_chunk_not_cached() {
+        let r = Recycler::new(64);
+        r.put("big", chunk(1000));
+        assert!(!r.contains("big"));
+        assert_eq!(r.stats().insertions, 0);
+    }
+
+    #[test]
+    fn reinsert_replaces() {
+        let r = Recycler::new(1 << 20);
+        r.put("a", chunk(10));
+        let before = r.resident_bytes();
+        r.put("a", chunk(20));
+        assert!(r.resident_bytes() > before);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let r = Recycler::new(1 << 20);
+        r.put("a", chunk(10));
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.resident_bytes(), 0);
+        assert!(r.get("a").is_none());
+    }
+}

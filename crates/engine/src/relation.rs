@@ -1,0 +1,313 @@
+//! Materialized intermediate relations.
+//!
+//! A [`Relation`] is an ordered list of named columns of equal length.
+//! Column names are qualified (`F.station`) at scan time; derived
+//! columns carry whatever name the projection/aggregation gave them.
+//! Lookup accepts either the exact name or an unambiguous suffix match
+//! (`station` finds `F.station`), which is how the SQL layer resolves
+//! bare identifiers.
+//!
+//! A relation may carry *provenance*: the base table it was scanned
+//! from plus the base-table row position of each of its rows. Filters
+//! preserve provenance; that is what lets the executor use a
+//! materialized FK [`sommelier_storage::index::JoinIndex`] (an
+//! *index-scan* access path) on an already-filtered child.
+
+use crate::error::{EngineError, Result};
+use sommelier_storage::{ColumnData, DataType, Value};
+
+/// Row provenance for index joins.
+#[derive(Debug, Clone)]
+pub struct Provenance {
+    /// The base table these rows come from.
+    pub table: String,
+    /// For each relation row, its row position in the base table.
+    pub rows: Vec<u32>,
+}
+
+/// A named-column relation.
+#[derive(Debug, Clone, Default)]
+pub struct Relation {
+    cols: Vec<(String, ColumnData)>,
+    provenance: Option<Provenance>,
+}
+
+impl Relation {
+    /// Empty relation (no columns, no rows).
+    pub fn empty() -> Self {
+        Relation::default()
+    }
+
+    /// Build from named columns; validates equal lengths.
+    pub fn new(cols: Vec<(String, ColumnData)>) -> Result<Self> {
+        if let Some(first) = cols.first().map(|(_, c)| c.len()) {
+            for (name, c) in &cols {
+                if c.len() != first {
+                    return Err(EngineError::Exec(format!(
+                        "ragged relation: column {name} has {} rows, expected {first}",
+                        c.len()
+                    )));
+                }
+            }
+        }
+        Ok(Relation { cols, provenance: None })
+    }
+
+    /// Attach provenance (base table + row positions).
+    pub fn with_provenance(mut self, table: impl Into<String>, rows: Vec<u32>) -> Self {
+        self.provenance = Some(Provenance { table: table.into(), rows });
+        self
+    }
+
+    /// The provenance, if preserved.
+    pub fn provenance(&self) -> Option<&Provenance> {
+        self.provenance.as_ref()
+    }
+
+    /// Drop provenance (after joins and projections that break it).
+    pub fn clear_provenance(&mut self) {
+        self.provenance = None;
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.cols.first().map_or(0, |(_, c)| c.len())
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Column names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.cols.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// The columns (name, data) in order.
+    pub fn columns(&self) -> &[(String, ColumnData)] {
+        &self.cols
+    }
+
+    /// Mutable access (used by union assembly).
+    pub fn columns_mut(&mut self) -> &mut Vec<(String, ColumnData)> {
+        self.provenance = None;
+        &mut self.cols
+    }
+
+    /// Resolve `name` to a column position: exact match first, then an
+    /// unambiguous `.name` suffix match.
+    pub fn resolve(&self, name: &str) -> Result<usize> {
+        if let Some(i) = self.cols.iter().position(|(n, _)| n == name) {
+            return Ok(i);
+        }
+        let suffix = format!(".{name}");
+        let mut found = None;
+        for (i, (n, _)) in self.cols.iter().enumerate() {
+            if n.ends_with(&suffix) {
+                if found.is_some() {
+                    return Err(EngineError::Bind(format!("ambiguous column name {name:?}")));
+                }
+                found = Some(i);
+            }
+        }
+        found.ok_or_else(|| {
+            EngineError::Bind(format!(
+                "unknown column {name:?} (have: {})",
+                self.names().join(", ")
+            ))
+        })
+    }
+
+    /// The column named `name`.
+    pub fn column(&self, name: &str) -> Result<&ColumnData> {
+        Ok(&self.cols[self.resolve(name)?].1)
+    }
+
+    /// Column by position.
+    pub fn column_at(&self, i: usize) -> &ColumnData {
+        &self.cols[i].1
+    }
+
+    /// The scalar at (row, column name) — convenience for tests/results.
+    pub fn value(&self, row: usize, name: &str) -> Result<Value> {
+        Ok(self.column(name)?.get(row))
+    }
+
+    /// Gather rows by position into a new relation (provenance follows).
+    pub fn take(&self, idx: &[u32]) -> Relation {
+        let cols = self
+            .cols
+            .iter()
+            .map(|(n, c)| (n.clone(), c.take(idx)))
+            .collect();
+        let provenance = self.provenance.as_ref().map(|p| Provenance {
+            table: p.table.clone(),
+            rows: idx.iter().map(|&i| p.rows[i as usize]).collect(),
+        });
+        Relation { cols, provenance }
+    }
+
+    /// Filter by a boolean mask (provenance follows).
+    pub fn filter(&self, mask: &[bool]) -> Relation {
+        debug_assert_eq!(mask.len(), self.rows());
+        let idx: Vec<u32> = mask
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &keep)| keep.then_some(i as u32))
+            .collect();
+        self.take(&idx)
+    }
+
+    /// Append `other`'s rows (schemas must match by name & type, in order).
+    pub fn union_in_place(&mut self, other: &Relation) -> Result<()> {
+        if self.cols.is_empty() {
+            *self = other.clone();
+            self.provenance = None;
+            return Ok(());
+        }
+        if self.width() != other.width() {
+            return Err(EngineError::Exec(format!(
+                "union arity mismatch: {} vs {}",
+                self.width(),
+                other.width()
+            )));
+        }
+        for ((an, ac), (bn, bc)) in self.cols.iter_mut().zip(other.cols.iter()) {
+            if an != bn {
+                return Err(EngineError::Exec(format!(
+                    "union column mismatch: {an} vs {bn}"
+                )));
+            }
+            ac.append(bc)?;
+        }
+        self.provenance = None;
+        Ok(())
+    }
+
+    /// Keep only the named columns, renaming to (output name, source name).
+    pub fn project_named(&self, wanted: &[(String, String)]) -> Result<Relation> {
+        let mut cols = Vec::with_capacity(wanted.len());
+        for (out, src) in wanted {
+            let i = self.resolve(src)?;
+            cols.push((out.clone(), self.cols[i].1.clone()));
+        }
+        Relation::new(cols)
+    }
+
+    /// Approximate heap bytes (for the recycler's budget accounting).
+    pub fn approx_bytes(&self) -> usize {
+        self.cols.iter().map(|(n, c)| n.len() + c.approx_bytes()).sum::<usize>()
+            + self.provenance.as_ref().map_or(0, |p| p.rows.len() * 4)
+    }
+
+    /// Render as an aligned text table (examples, debugging).
+    pub fn pretty(&self, limit: usize) -> String {
+        let mut out = String::new();
+        let names = self.names();
+        out.push_str(&names.join(" | "));
+        out.push('\n');
+        out.push_str(&"-".repeat(out.len().saturating_sub(1)));
+        out.push('\n');
+        for r in 0..self.rows().min(limit) {
+            let row: Vec<String> =
+                self.cols.iter().map(|(_, c)| c.get(r).to_string()).collect();
+            out.push_str(&row.join(" | "));
+            out.push('\n');
+        }
+        if self.rows() > limit {
+            out.push_str(&format!("... ({} rows total)\n", self.rows()));
+        }
+        out
+    }
+
+    /// Data types of the columns, in order.
+    pub fn types(&self) -> Vec<DataType> {
+        self.cols.iter().map(|(_, c)| c.data_type()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sommelier_storage::column::TextColumn;
+
+    fn sample() -> Relation {
+        Relation::new(vec![
+            ("F.file_id".into(), ColumnData::Int64(vec![1, 2, 3])),
+            (
+                "F.station".into(),
+                ColumnData::Text(TextColumn::from_strs(["ISK", "FIAM", "ISK"])),
+            ),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn ragged_rejected() {
+        let r = Relation::new(vec![
+            ("a".into(), ColumnData::Int64(vec![1])),
+            ("b".into(), ColumnData::Int64(vec![1, 2])),
+        ]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn resolve_exact_and_suffix() {
+        let r = sample();
+        assert_eq!(r.resolve("F.station").unwrap(), 1);
+        assert_eq!(r.resolve("station").unwrap(), 1);
+        assert!(r.resolve("nope").is_err());
+        // Ambiguity.
+        let r2 = Relation::new(vec![
+            ("F.x".into(), ColumnData::Int64(vec![])),
+            ("S.x".into(), ColumnData::Int64(vec![])),
+        ])
+        .unwrap();
+        assert!(r2.resolve("x").is_err());
+        assert!(r2.resolve("F.x").is_ok());
+    }
+
+    #[test]
+    fn take_filter_and_provenance() {
+        let r = sample().with_provenance("F", vec![10, 11, 12]);
+        let f = r.filter(&[true, false, true]);
+        assert_eq!(f.rows(), 2);
+        assert_eq!(f.value(1, "station").unwrap(), Value::Text("ISK".into()));
+        let p = f.provenance().unwrap();
+        assert_eq!(p.rows, vec![10, 12]);
+        assert_eq!(p.table, "F");
+    }
+
+    #[test]
+    fn union_checks_schema() {
+        let mut a = sample();
+        let b = sample();
+        a.union_in_place(&b).unwrap();
+        assert_eq!(a.rows(), 6);
+        let mismatched = Relation::new(vec![("x".into(), ColumnData::Int64(vec![1]))]).unwrap();
+        assert!(a.union_in_place(&mismatched).is_err());
+        // Union into empty adopts the other's schema.
+        let mut e = Relation::empty();
+        e.union_in_place(&b).unwrap();
+        assert_eq!(e.rows(), 3);
+    }
+
+    #[test]
+    fn project_named_renames() {
+        let r = sample();
+        let p = r
+            .project_named(&[("sid".into(), "file_id".into()), ("st".into(), "F.station".into())])
+            .unwrap();
+        assert_eq!(p.names(), vec!["sid", "st"]);
+        assert_eq!(p.value(0, "sid").unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn pretty_prints_and_truncates() {
+        let r = sample();
+        let s = r.pretty(2);
+        assert!(s.contains("F.station"));
+        assert!(s.contains("3 rows total"));
+    }
+}

@@ -1,0 +1,92 @@
+//! Ordering (ORDER BY) support.
+
+use crate::error::Result;
+use crate::relation::Relation;
+use std::cmp::Ordering;
+
+/// Stable sort of `rel` by the named key columns (`true` = ascending).
+pub fn sort_relation(rel: &Relation, keys: &[(String, bool)]) -> Result<Relation> {
+    let key_idx: Vec<(usize, bool)> = keys
+        .iter()
+        .map(|(name, asc)| Ok((rel.resolve(name)?, *asc)))
+        .collect::<Result<_>>()?;
+    let mut order: Vec<u32> = (0..rel.rows() as u32).collect();
+    order.sort_by(|&a, &b| {
+        for &(ci, asc) in &key_idx {
+            let col = rel.column_at(ci);
+            let va = col.get(a as usize);
+            let vb = col.get(b as usize);
+            let ord = va.compare(&vb).unwrap_or(Ordering::Equal);
+            let ord = if asc { ord } else { ord.reverse() };
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        // Stable tie-break on original position.
+        a.cmp(&b)
+    });
+    Ok(rel.take(&order))
+}
+
+/// Keep only the first `n` rows.
+pub fn limit(rel: &Relation, n: usize) -> Relation {
+    if rel.rows() <= n {
+        return rel.clone();
+    }
+    let idx: Vec<u32> = (0..n as u32).collect();
+    rel.take(&idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sommelier_storage::column::TextColumn;
+    use sommelier_storage::{ColumnData, Value};
+
+    fn rel() -> Relation {
+        Relation::new(vec![
+            ("s".into(), ColumnData::Text(TextColumn::from_strs(["b", "a", "b", "a"]))),
+            ("v".into(), ColumnData::Int64(vec![1, 4, 3, 2])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn single_key_ascending() {
+        let out = sort_relation(&rel(), &[("v".into(), true)]).unwrap();
+        let vs: Vec<Value> = (0..4).map(|r| out.value(r, "v").unwrap()).collect();
+        assert_eq!(vs, vec![Value::Int(1), Value::Int(2), Value::Int(3), Value::Int(4)]);
+    }
+
+    #[test]
+    fn multi_key_mixed_direction() {
+        let out =
+            sort_relation(&rel(), &[("s".into(), true), ("v".into(), false)]).unwrap();
+        let rows: Vec<(String, i64)> = (0..4)
+            .map(|r| {
+                let s = match out.value(r, "s").unwrap() {
+                    Value::Text(s) => s,
+                    _ => unreachable!(),
+                };
+                let v = out.value(r, "v").unwrap().as_i64().unwrap();
+                (s, v)
+            })
+            .collect();
+        assert_eq!(
+            rows,
+            vec![("a".into(), 4), ("a".into(), 2), ("b".into(), 3), ("b".into(), 1)]
+        );
+    }
+
+    #[test]
+    fn unknown_key_errors() {
+        assert!(sort_relation(&rel(), &[("nope".into(), true)]).is_err());
+    }
+
+    #[test]
+    fn limit_caps_rows() {
+        assert_eq!(limit(&rel(), 2).rows(), 2);
+        assert_eq!(limit(&rel(), 10).rows(), 4);
+        assert_eq!(limit(&rel(), 0).rows(), 0);
+    }
+}

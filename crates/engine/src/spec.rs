@@ -1,0 +1,299 @@
+//! Bound query specifications — the optimizer's input.
+//!
+//! The SQL binder (crate `sommelier-sql`) lowers a parsed statement to a
+//! [`QuerySpec`]: the set of base tables, the join edges between them
+//! (equi-joins on per-side key *expressions*, so computed keys like
+//! `HOUR_BUCKET(D.sample_time) = H.window_start_ts` are representable),
+//! per-table selection conjuncts, and the output shape. All column
+//! references in a spec are fully qualified (`F.station`).
+
+use crate::error::{EngineError, Result};
+use crate::expr::{AggFunc, Expr};
+use sommelier_storage::TableClass;
+use std::collections::BTreeSet;
+
+/// A base-table occurrence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableRef {
+    pub name: String,
+    pub class: TableClass,
+}
+
+/// An equi-join edge between two tables. `left_keys[i] = right_keys[i]`
+/// for all `i`; each key expression references only its side's columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinEdge {
+    pub left: String,
+    pub right: String,
+    pub left_keys: Vec<Expr>,
+    pub right_keys: Vec<Expr>,
+}
+
+impl JoinEdge {
+    /// Build an edge, validating arity.
+    pub fn new(
+        left: impl Into<String>,
+        right: impl Into<String>,
+        left_keys: Vec<Expr>,
+        right_keys: Vec<Expr>,
+    ) -> Result<Self> {
+        if left_keys.len() != right_keys.len() || left_keys.is_empty() {
+            return Err(EngineError::Plan("join edge key arity mismatch".into()));
+        }
+        Ok(JoinEdge { left: left.into(), right: right.into(), left_keys, right_keys })
+    }
+
+    /// Column-name pairs if every key is a bare column (used to detect
+    /// FK→PK joins eligible for index joins).
+    pub fn simple_columns(&self) -> Option<Vec<(&str, &str)>> {
+        self.left_keys
+            .iter()
+            .zip(&self.right_keys)
+            .map(|(l, r)| match (l, r) {
+                (Expr::Col(a), Expr::Col(b)) => Some((a.as_str(), b.as_str())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The key expressions belonging to `table`, oriented so that the
+    /// returned pair is (this side, other side); `None` if the edge does
+    /// not touch `table`.
+    pub fn keys_for(&self, table: &str) -> Option<(&[Expr], &[Expr])> {
+        if self.left == table {
+            Some((&self.left_keys, &self.right_keys))
+        } else if self.right == table {
+            Some((&self.right_keys, &self.left_keys))
+        } else {
+            None
+        }
+    }
+}
+
+/// One output item of a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OutputExpr {
+    /// Plain scalar output (`SELECT D.sample_time`).
+    Column { name: String, expr: Expr },
+    /// Aggregate output (`SELECT AVG(D.sample_value)`).
+    Aggregate { name: String, func: AggFunc, expr: Expr },
+}
+
+impl OutputExpr {
+    /// The output column's name.
+    pub fn name(&self) -> &str {
+        match self {
+            OutputExpr::Column { name, .. } | OutputExpr::Aggregate { name, .. } => name,
+        }
+    }
+
+    /// True for aggregates.
+    pub fn is_aggregate(&self) -> bool {
+        matches!(self, OutputExpr::Aggregate { .. })
+    }
+}
+
+/// A bound query.
+#[derive(Debug, Clone, Default)]
+pub struct QuerySpec {
+    pub tables: Vec<TableRef>,
+    pub joins: Vec<JoinEdge>,
+    /// Single-table selection conjuncts: (table, predicate).
+    pub predicates: Vec<(String, Expr)>,
+    /// Predicates spanning multiple tables (applied above the joins).
+    pub residual: Vec<Expr>,
+    pub output: Vec<OutputExpr>,
+    /// Group-by expressions (named, so the output can reference them).
+    pub group_by: Vec<(String, Expr)>,
+    /// Ordering over output column names.
+    pub order_by: Vec<(String, bool)>,
+    pub limit: Option<usize>,
+    pub distinct: bool,
+}
+
+impl QuerySpec {
+    /// Does the query reference any table of the given class?
+    pub fn references_class(&self, class: TableClass) -> bool {
+        self.tables.iter().any(|t| t.class == class)
+    }
+
+    /// The table entry for `name`.
+    pub fn table(&self, name: &str) -> Result<&TableRef> {
+        self.tables
+            .iter()
+            .find(|t| t.name == name)
+            .ok_or_else(|| EngineError::Plan(format!("spec has no table {name:?}")))
+    }
+
+    /// True if the query has any aggregate output.
+    pub fn has_aggregates(&self) -> bool {
+        self.output.iter().any(|o| o.is_aggregate())
+    }
+
+    /// All predicates attached to `table`, conjoined.
+    pub fn table_predicate(&self, table: &str) -> Option<Expr> {
+        Expr::conjoin(
+            self.predicates
+                .iter()
+                .filter(|(t, _)| t == table)
+                .map(|(_, e)| e.clone()),
+        )
+    }
+
+    /// The set of qualified columns of `table` the query needs anywhere
+    /// (selections, join keys, outputs, grouping, ordering) — the
+    /// scan-level projection. `extra` adds caller-required columns
+    /// (e.g. `F.uri` for lazy loading).
+    pub fn needed_columns(&self, table: &str, extra: &[&str]) -> Vec<String> {
+        let prefix = format!("{table}.");
+        let mut out: BTreeSet<String> = BTreeSet::new();
+        let mut add_from = |e: &Expr| {
+            for c in e.columns() {
+                if c.starts_with(&prefix) {
+                    out.insert(c.to_string());
+                }
+            }
+        };
+        for (_, p) in &self.predicates {
+            add_from(p);
+        }
+        for j in &self.joins {
+            for k in j.left_keys.iter().chain(&j.right_keys) {
+                add_from(k);
+            }
+        }
+        for o in &self.output {
+            match o {
+                OutputExpr::Column { expr, .. } | OutputExpr::Aggregate { expr, .. } => {
+                    add_from(expr)
+                }
+            }
+        }
+        for (_, e) in &self.group_by {
+            add_from(e);
+        }
+        for c in extra {
+            if c.starts_with(&prefix) {
+                out.insert((*c).to_string());
+            }
+        }
+        out.into_iter().collect()
+    }
+
+    /// Validate basic well-formedness.
+    pub fn validate(&self) -> Result<()> {
+        if self.tables.is_empty() {
+            return Err(EngineError::Plan("query references no tables".into()));
+        }
+        for (i, t) in self.tables.iter().enumerate() {
+            if self.tables[..i].iter().any(|o| o.name == t.name) {
+                return Err(EngineError::Plan(format!("duplicate table {:?}", t.name)));
+            }
+        }
+        for j in &self.joins {
+            self.table(&j.left)?;
+            self.table(&j.right)?;
+            if j.left == j.right {
+                return Err(EngineError::Plan(format!("self-join edge on {:?}", j.left)));
+            }
+        }
+        for (t, _) in &self.predicates {
+            self.table(t)?;
+        }
+        if self.output.is_empty() {
+            return Err(EngineError::Plan("query outputs nothing".into()));
+        }
+        let mixes_plain =
+            self.output.iter().any(|o| !o.is_aggregate()) && self.group_by.is_empty();
+        if self.has_aggregates() && mixes_plain {
+            return Err(EngineError::Plan(
+                "non-aggregate output without GROUP BY alongside aggregates".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Func;
+
+    fn spec() -> QuerySpec {
+        QuerySpec {
+            tables: vec![
+                TableRef { name: "F".into(), class: TableClass::MetadataGiven },
+                TableRef { name: "D".into(), class: TableClass::ActualData },
+            ],
+            joins: vec![JoinEdge::new(
+                "F",
+                "D",
+                vec![Expr::col("F.file_id")],
+                vec![Expr::col("D.file_id")],
+            )
+            .unwrap()],
+            predicates: vec![("F".into(), Expr::col("F.station").eq(Expr::lit("ISK")))],
+            output: vec![OutputExpr::Aggregate {
+                name: "avg_v".into(),
+                func: AggFunc::Avg,
+                expr: Expr::col("D.sample_value"),
+            }],
+            ..QuerySpec::default()
+        }
+    }
+
+    #[test]
+    fn validates() {
+        spec().validate().unwrap();
+        let mut bad = spec();
+        bad.tables.push(TableRef { name: "F".into(), class: TableClass::MetadataGiven });
+        assert!(bad.validate().is_err());
+        let mut bad = spec();
+        bad.output.clear();
+        assert!(bad.validate().is_err());
+        let mut bad = spec();
+        bad.output.push(OutputExpr::Column { name: "s".into(), expr: Expr::col("F.station") });
+        assert!(bad.validate().is_err(), "mixing plain + aggregate without GROUP BY");
+    }
+
+    #[test]
+    fn needed_columns_gathers_everything() {
+        let s = spec();
+        assert_eq!(s.needed_columns("F", &["F.uri"]), vec!["F.file_id", "F.station", "F.uri"]);
+        assert_eq!(s.needed_columns("D", &[]), vec!["D.file_id", "D.sample_value"]);
+    }
+
+    #[test]
+    fn computed_join_keys_are_not_simple() {
+        let simple = JoinEdge::new(
+            "D",
+            "S",
+            vec![Expr::col("D.seg_id")],
+            vec![Expr::col("S.seg_id")],
+        )
+        .unwrap();
+        assert_eq!(simple.simple_columns().unwrap(), vec![("D.seg_id", "S.seg_id")]);
+        let computed = JoinEdge::new(
+            "D",
+            "H",
+            vec![Expr::Call(Func::HourBucket, vec![Expr::col("D.sample_time")])],
+            vec![Expr::col("H.window_start_ts")],
+        )
+        .unwrap();
+        assert!(computed.simple_columns().is_none());
+        // keys_for orients correctly.
+        let (mine, other) = computed.keys_for("H").unwrap();
+        assert_eq!(mine[0], Expr::col("H.window_start_ts"));
+        assert!(matches!(other[0], Expr::Call(Func::HourBucket, _)));
+        assert!(computed.keys_for("F").is_none());
+    }
+
+    #[test]
+    fn references_class_and_predicates() {
+        let s = spec();
+        assert!(s.references_class(TableClass::ActualData));
+        assert!(!s.references_class(TableClass::MetadataDerived));
+        assert!(s.table_predicate("F").is_some());
+        assert!(s.table_predicate("D").is_none());
+    }
+}

@@ -1,0 +1,613 @@
+//! The two-stage execution driver (§III "Run-time Query Optimization"
+//! and §V "Run-time Optimizer").
+//!
+//! Given a decomposed plan `Q = Qf ▷ Qs`:
+//!
+//! 1. **Stage 1** executes the metadata branch `Qf` and materializes its
+//!    result (the *result-scan* source).
+//! 2. **Run-time rewrite**: the distinct chunk URIs in `Qf`'s result
+//!    determine the chunk list; every [`crate::logical::LogicalPlan::LazyScan`]
+//!    is rewritten into a union of *cache-scan* (chunk already in the
+//!    Recycler) and *chunk-access* (ingest now) entries — rewrite
+//!    rule (1), with optional selection pushdown into the accesses.
+//! 3. Required chunks are ingested — in parallel. [`ParallelMode::Static`]
+//!    reproduces the paper's static strategy (work is pre-partitioned
+//!    per chunk, so few/skewed chunks underutilize cores; §V discusses
+//!    this drawback); [`ParallelMode::Exchange`] implements the
+//!    exchange-operator fix the paper leaves as future work (decode
+//!    units are dynamically pulled from a shared queue).
+//! 4. **Stage 2** executes the remainder `Qs` against the result-scan
+//!    and the loaded chunks.
+
+use crate::error::{EngineError, Result};
+use crate::exec::{execute, ExecContext};
+use crate::logical::LogicalPlan;
+use crate::physical::{lower, ChunkRef, LowerOptions};
+use crate::recycler::Recycler;
+use crate::relation::Relation;
+use parking_lot::Mutex;
+use sommelier_storage::{ColumnData, Database};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A deferred decode unit (e.g. one segment of a chunk file).
+pub type ChunkUnit = Box<dyn FnOnce() -> Result<Relation> + Send>;
+
+/// Where lazily loaded chunk data comes from. Implemented by the core
+/// crate over the mSEED repository; the engine only sees relations.
+pub trait ChunkSource: Send + Sync {
+    /// Ingest one chunk as a relation in the actual-data table's schema
+    /// (qualified column names, e.g. `D.sample_time`).
+    fn load_chunk(&self, uri: &str) -> Result<Relation>;
+
+    /// Split one chunk into independent decode units for exchange-style
+    /// parallelism. The default is a single unit (whole chunk).
+    fn chunk_units(&self, uri: &str) -> Result<Vec<ChunkUnit>> {
+        let uri = uri.to_string();
+        // Cannot capture `self` in a 'static unit; single-unit default
+        // loads eagerly instead.
+        let rel = self.load_chunk(&uri)?;
+        Ok(vec![Box::new(move || Ok(rel))])
+    }
+
+    /// Every chunk in the repository (pure actual-data queries must load
+    /// everything — the paper's "no alternative" case).
+    fn all_chunks(&self) -> Result<Vec<String>>;
+}
+
+/// Chunk-loading parallelism strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParallelMode {
+    /// The paper's strategy: one pre-assigned task per chunk,
+    /// round-robin over up to `max_threads` workers. Few or skewed
+    /// chunks underutilize the machine.
+    Static,
+    /// Exchange-style dynamic repartitioning: decode units from all
+    /// chunks are pulled from a shared queue by `workers` workers.
+    Exchange { workers: usize },
+}
+
+/// Two-stage execution configuration.
+#[derive(Debug, Clone)]
+pub struct TwoStageConfig {
+    pub parallel: ParallelMode,
+    /// Push selections into per-chunk accesses (rewrite-rule refinement).
+    pub pushdown: bool,
+    /// Use the Recycler chunk cache.
+    pub use_cache: bool,
+    /// Use FK join indices where available (eager-index plans).
+    pub use_index_joins: bool,
+    /// Which `Qf` output column carries the chunk URI.
+    pub uri_column: String,
+    /// Worker cap for [`ParallelMode::Static`].
+    pub max_threads: usize,
+    /// Approximate query answering (the paper's §VIII future work):
+    /// ingest only this fraction of the selected chunks, chosen
+    /// deterministically. Aggregates like AVG remain (approximately)
+    /// unbiased; COUNT/SUM scale down with the fraction. `None` = exact.
+    pub sampling: Option<f64>,
+}
+
+impl Default for TwoStageConfig {
+    fn default() -> Self {
+        TwoStageConfig {
+            parallel: ParallelMode::Static,
+            pushdown: true,
+            use_cache: true,
+            use_index_joins: false,
+            uri_column: "F.uri".to_string(),
+            max_threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(8),
+            sampling: None,
+        }
+    }
+}
+
+/// Per-query execution statistics.
+#[derive(Debug, Clone, Default)]
+pub struct ExecStats {
+    /// Stage-1 (metadata branch) wall time.
+    pub stage1: Duration,
+    /// Chunk ingestion wall time.
+    pub load: Duration,
+    /// Stage-2 (remainder) wall time.
+    pub stage2: Duration,
+    /// Chunks selected by `Qf`.
+    pub files_selected: usize,
+    /// Chunks skipped by approximate-answering sampling.
+    pub files_sampled_out: usize,
+    /// Chunks actually ingested (cache misses).
+    pub files_loaded: usize,
+    /// Chunks served by the Recycler.
+    pub cache_hits: usize,
+    /// Rows ingested from chunks.
+    pub rows_loaded: u64,
+    /// Approximate bytes ingested from chunks.
+    pub bytes_loaded: u64,
+}
+
+impl ExecStats {
+    /// Total wall time across stages.
+    pub fn total(&self) -> Duration {
+        self.stage1 + self.load + self.stage2
+    }
+}
+
+/// A query result with its execution statistics.
+#[derive(Debug)]
+pub struct QueryOutcome {
+    pub relation: Relation,
+    pub stats: ExecStats,
+}
+
+/// Execute a (possibly decomposed) logical plan.
+///
+/// Plans without lazy scans (eager loading, or queries that never touch
+/// actual data) run in a single pass; plans with lazy scans go through
+/// the full two-stage protocol.
+pub fn execute_plan(
+    db: &Database,
+    plan: &LogicalPlan,
+    source: Option<&dyn ChunkSource>,
+    recycler: Option<&Recycler>,
+    config: &TwoStageConfig,
+) -> Result<QueryOutcome> {
+    let mut stats = ExecStats::default();
+    let mut ctx = ExecContext::new(db);
+
+    // ---- Stage 1: evaluate the metadata branch Qf, if marked. ------
+    let qf_id = match plan.qf() {
+        Some(qf) => {
+            let t = Instant::now();
+            let opts = LowerOptions {
+                db,
+                use_index_joins: config.use_index_joins,
+                lazy_chunks: None,
+                chunk_pushdown: config.pushdown,
+                qf_result_id: None,
+            };
+            let phys = lower(qf, &opts)?;
+            let rf = execute(&phys, &ctx)?;
+            stats.stage1 = t.elapsed();
+            ctx.materialized.push(rf);
+            Some(0usize)
+        }
+        None => None,
+    };
+
+    // ---- Run-time rewrite + chunk ingestion. -----------------------
+    let chunk_refs: Option<Vec<ChunkRef>> = if plan.has_lazy_scan() {
+        let source = source.ok_or_else(|| {
+            EngineError::Chunk("plan has lazy scans but no chunk source given".into())
+        })?;
+        let uris: Vec<String> = match qf_id {
+            Some(id) => distinct_uris(&ctx.materialized[id], &config.uri_column)?,
+            // Pure-AD query: load the whole repository.
+            None => source.all_chunks()?,
+        };
+        stats.files_selected = uris.len();
+        // Approximate answering: keep a deterministic sample of the
+        // selected chunks (stable across repeated runs of the query).
+        let uris = match config.sampling {
+            Some(fraction) if fraction < 1.0 && uris.len() > 1 => {
+                let keep = ((uris.len() as f64 * fraction.clamp(0.0, 1.0)).ceil() as usize)
+                    .clamp(1, uris.len());
+                let mut ranked: Vec<(u64, String)> = uris
+                    .into_iter()
+                    .map(|u| {
+                        use std::hash::{Hash, Hasher};
+                        let mut h = std::collections::hash_map::DefaultHasher::new();
+                        u.hash(&mut h);
+                        (h.finish(), u)
+                    })
+                    .collect();
+                ranked.sort();
+                stats.files_sampled_out = ranked.len() - keep;
+                ranked.truncate(keep);
+                // Restore a deterministic (name) order for loading.
+                let mut kept: Vec<String> = ranked.into_iter().map(|(_, u)| u).collect();
+                kept.sort();
+                kept
+            }
+            _ => uris,
+        };
+        let refs: Vec<ChunkRef> = uris
+            .iter()
+            .map(|u| ChunkRef {
+                uri: u.clone(),
+                cached: config.use_cache
+                    && recycler.map(|r| r.contains(u)).unwrap_or(false),
+            })
+            .collect();
+        let t = Instant::now();
+        for r in refs.iter().filter(|r| r.cached) {
+            let rel = recycler
+                .expect("cached flag implies recycler")
+                .get(&r.uri)
+                .ok_or_else(|| {
+                    EngineError::Chunk(format!("chunk {:?} evicted mid-query", r.uri))
+                })?;
+            stats.cache_hits += 1;
+            ctx.chunks.insert(r.uri.clone(), rel);
+        }
+        let to_load: Vec<&str> =
+            refs.iter().filter(|r| !r.cached).map(|r| r.uri.as_str()).collect();
+        let loaded = match config.parallel {
+            ParallelMode::Static => load_static(source, &to_load, config.max_threads)?,
+            ParallelMode::Exchange { workers } => load_exchange(source, &to_load, workers)?,
+        };
+        for (uri, rel) in loaded {
+            stats.files_loaded += 1;
+            stats.rows_loaded += rel.rows() as u64;
+            stats.bytes_loaded += rel.approx_bytes() as u64;
+            let rel = Arc::new(rel);
+            if config.use_cache {
+                if let Some(r) = recycler {
+                    r.put(&uri, Arc::clone(&rel));
+                }
+            }
+            ctx.chunks.insert(uri, rel);
+        }
+        stats.load = t.elapsed();
+        Some(refs)
+    } else {
+        None
+    };
+
+    // ---- Stage 2: the remainder Qs. ---------------------------------
+    let t = Instant::now();
+    let opts = LowerOptions {
+        db,
+        use_index_joins: config.use_index_joins,
+        lazy_chunks: chunk_refs.as_deref(),
+        chunk_pushdown: config.pushdown,
+        qf_result_id: qf_id,
+    };
+    let phys = lower(plan, &opts)?;
+    let relation = execute(&phys, &ctx)?;
+    stats.stage2 = t.elapsed();
+    Ok(QueryOutcome { relation, stats })
+}
+
+/// Distinct URIs from the stage-1 result, in first-appearance order.
+fn distinct_uris(rf: &Relation, uri_column: &str) -> Result<Vec<String>> {
+    let col = rf.column(uri_column)?;
+    let text = match col {
+        ColumnData::Text(t) => t,
+        other => {
+            return Err(EngineError::Exec(format!(
+                "uri column {uri_column} has type {}, expected text",
+                other.data_type()
+            )))
+        }
+    };
+    let mut seen = vec![false; text.dict.len()];
+    let mut out = Vec::new();
+    for &code in &text.codes {
+        if !seen[code as usize] {
+            seen[code as usize] = true;
+            out.push(text.dict.get(code).to_string());
+        }
+    }
+    Ok(out)
+}
+
+/// Static parallelism: chunks pre-partitioned round-robin over up to
+/// `max_threads` workers; each worker ingests its fixed share.
+fn load_static(
+    source: &dyn ChunkSource,
+    uris: &[&str],
+    max_threads: usize,
+) -> Result<Vec<(String, Relation)>> {
+    if uris.is_empty() {
+        return Ok(Vec::new());
+    }
+    // Degree of parallelism = number of chunks, capped by the machine —
+    // the paper's static strategy.
+    let workers = uris.len().min(max_threads.max(1));
+    let results: Mutex<Vec<Option<Result<Relation>>>> =
+        Mutex::new((0..uris.len()).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let results = &results;
+            scope.spawn(move || {
+                // Pre-assigned (static) share: indices w, w+workers, ...
+                let mut i = w;
+                while i < uris.len() {
+                    let out = source.load_chunk(uris[i]);
+                    results.lock()[i] = Some(out);
+                    i += workers;
+                }
+            });
+        }
+    });
+    let mut out = Vec::with_capacity(uris.len());
+    for (i, slot) in results.into_inner().into_iter().enumerate() {
+        let rel = slot.expect("every slot filled")?;
+        out.push((uris[i].to_string(), rel));
+    }
+    Ok(out)
+}
+
+/// Exchange-style parallelism: decode units from all chunks feed a
+/// shared queue drained by a fixed worker pool, so skew between chunks
+/// balances out.
+fn load_exchange(
+    source: &dyn ChunkSource,
+    uris: &[&str],
+    workers: usize,
+) -> Result<Vec<(String, Relation)>> {
+    if uris.is_empty() {
+        return Ok(Vec::new());
+    }
+    struct UnitSlot {
+        file: usize,
+        unit: Mutex<Option<ChunkUnit>>,
+        result: Mutex<Option<Result<Relation>>>,
+    }
+    // Build the unit list (cheap: header reads, no decoding) ...
+    let mut slots: Vec<UnitSlot> = Vec::new();
+    for (fi, uri) in uris.iter().enumerate() {
+        for unit in source.chunk_units(uri)? {
+            slots.push(UnitSlot {
+                file: fi,
+                unit: Mutex::new(Some(unit)),
+                result: Mutex::new(None),
+            });
+        }
+    }
+    // ... then decode dynamically: each worker pulls the next unit.
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers.max(1) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= slots.len() {
+                    return;
+                }
+                let unit = slots[i].unit.lock().take().expect("each unit taken once");
+                *slots[i].result.lock() = Some(unit());
+            });
+        }
+    });
+    // Reassemble per-file relations; unit order within a file is the
+    // construction order, so the union is deterministic.
+    let mut per_file: Vec<Relation> = (0..uris.len()).map(|_| Relation::empty()).collect();
+    for slot in slots {
+        let rel = slot.result.into_inner().expect("every unit executed")?;
+        per_file[slot.file].union_in_place(&rel)?;
+    }
+    Ok(uris.iter().map(|u| u.to_string()).zip(per_file).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{AggFunc, CmpOp, Expr};
+    use sommelier_storage::buffer::BufferPoolConfig;
+    use sommelier_storage::catalog::Disposition;
+    use sommelier_storage::column::TextColumn;
+    use sommelier_storage::{
+        ConstraintPolicy, DataType, TableClass, TableSchema, Value,
+    };
+
+    /// A chunk source serving synthetic per-file D relations:
+    /// file `u<i>` has rows with file_id = i and values i*10 .. i*10+2.
+    struct FakeSource {
+        uris: Vec<String>,
+        loads: AtomicUsize,
+    }
+
+    impl FakeSource {
+        fn new(n: usize) -> Self {
+            FakeSource {
+                uris: (0..n).map(|i| format!("u{i}")).collect(),
+                loads: AtomicUsize::new(0),
+            }
+        }
+
+        fn rel_for(i: i64) -> Relation {
+            Relation::new(vec![
+                ("D.file_id".into(), ColumnData::Int64(vec![i, i, i])),
+                (
+                    "D.sample_value".into(),
+                    ColumnData::Float64(vec![i as f64 * 10.0, i as f64 * 10.0 + 1.0, i as f64 * 10.0 + 2.0]),
+                ),
+            ])
+            .unwrap()
+        }
+    }
+
+    impl ChunkSource for FakeSource {
+        fn load_chunk(&self, uri: &str) -> Result<Relation> {
+            self.loads.fetch_add(1, Ordering::Relaxed);
+            let i: i64 = uri[1..].parse().map_err(|_| {
+                EngineError::Chunk(format!("unknown uri {uri:?}"))
+            })?;
+            Ok(Self::rel_for(i))
+        }
+
+        fn chunk_units(&self, uri: &str) -> Result<Vec<ChunkUnit>> {
+            // Two units per chunk: split the 3 rows as 2 + 1.
+            self.loads.fetch_add(1, Ordering::Relaxed);
+            let i: i64 = uri[1..].parse().unwrap();
+            let full = Self::rel_for(i);
+            let a = full.take(&[0, 1]);
+            let b = full.take(&[2]);
+            Ok(vec![Box::new(move || Ok(a)), Box::new(move || Ok(b))])
+        }
+
+        fn all_chunks(&self) -> Result<Vec<String>> {
+            Ok(self.uris.clone())
+        }
+    }
+
+    fn metadata_db() -> Database {
+        let db = Database::in_memory(BufferPoolConfig::default());
+        db.create_table(
+            TableSchema::new("F", TableClass::MetadataGiven)
+                .column("file_id", DataType::Int64)
+                .column("uri", DataType::Text)
+                .column("station", DataType::Text)
+                .primary_key(["file_id"]),
+            Disposition::Resident,
+        )
+        .unwrap();
+        db.append(
+            "F",
+            &[
+                ColumnData::Int64(vec![0, 1, 2]),
+                ColumnData::Text(TextColumn::from_strs(["u0", "u1", "u2"])),
+                ColumnData::Text(TextColumn::from_strs(["ISK", "FIAM", "ISK"])),
+            ],
+            ConstraintPolicy::all(),
+        )
+        .unwrap();
+        db
+    }
+
+    /// AVG(D.sample_value) for station ISK — a T4-shaped two-stage plan.
+    fn lazy_plan() -> LogicalPlan {
+        LogicalPlan::Aggregate {
+            input: Box::new(LogicalPlan::Join {
+                left: Box::new(LogicalPlan::LazyScan {
+                    table: "D".into(),
+                    columns: vec!["D.file_id".into(), "D.sample_value".into()],
+                    predicate: Some(
+                        Expr::col("D.sample_value").cmp(CmpOp::Ge, Expr::lit(0.0)),
+                    ),
+                }),
+                right: Box::new(LogicalPlan::QfMark {
+                    input: Box::new(LogicalPlan::Scan {
+                        table: "F".into(),
+                        columns: vec!["F.file_id".into(), "F.uri".into(), "F.station".into()],
+                        predicate: Some(Expr::col("F.station").eq(Expr::lit("ISK"))),
+                    }),
+                }),
+                left_keys: vec![Expr::col("D.file_id")],
+                right_keys: vec![Expr::col("F.file_id")],
+            }),
+            group_by: vec![],
+            aggs: vec![("avg_v".into(), AggFunc::Avg, Expr::col("D.sample_value"))],
+        }
+    }
+
+    #[test]
+    fn two_stage_loads_only_selected_chunks() {
+        let db = metadata_db();
+        let source = FakeSource::new(3);
+        let recycler = Recycler::new(1 << 20);
+        let config = TwoStageConfig::default();
+        let out =
+            execute_plan(&db, &lazy_plan(), Some(&source), Some(&recycler), &config).unwrap();
+        // Stage 1 selects files 0 and 2 (ISK); their 6 values: 0,1,2,20,21,22.
+        assert_eq!(out.relation.value(0, "avg_v").unwrap(), Value::Float(11.0));
+        assert_eq!(out.stats.files_selected, 2);
+        assert_eq!(out.stats.files_loaded, 2);
+        assert_eq!(out.stats.cache_hits, 0);
+        assert_eq!(out.stats.rows_loaded, 6);
+        assert_eq!(source.loads.load(Ordering::Relaxed), 2, "u1 never touched");
+    }
+
+    #[test]
+    fn second_run_hits_recycler() {
+        let db = metadata_db();
+        let source = FakeSource::new(3);
+        let recycler = Recycler::new(1 << 20);
+        let config = TwoStageConfig::default();
+        execute_plan(&db, &lazy_plan(), Some(&source), Some(&recycler), &config).unwrap();
+        let out =
+            execute_plan(&db, &lazy_plan(), Some(&source), Some(&recycler), &config).unwrap();
+        assert_eq!(out.stats.cache_hits, 2);
+        assert_eq!(out.stats.files_loaded, 0);
+        assert_eq!(source.loads.load(Ordering::Relaxed), 2, "no re-ingestion");
+        assert_eq!(out.relation.value(0, "avg_v").unwrap(), Value::Float(11.0));
+    }
+
+    #[test]
+    fn cache_disabled_always_reloads() {
+        let db = metadata_db();
+        let source = FakeSource::new(3);
+        let recycler = Recycler::new(1 << 20);
+        let config = TwoStageConfig { use_cache: false, ..TwoStageConfig::default() };
+        execute_plan(&db, &lazy_plan(), Some(&source), Some(&recycler), &config).unwrap();
+        let out =
+            execute_plan(&db, &lazy_plan(), Some(&source), Some(&recycler), &config).unwrap();
+        assert_eq!(out.stats.cache_hits, 0);
+        assert_eq!(out.stats.files_loaded, 2);
+        assert_eq!(source.loads.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn exchange_mode_matches_static() {
+        let db = metadata_db();
+        let source = FakeSource::new(3);
+        let config = TwoStageConfig {
+            parallel: ParallelMode::Exchange { workers: 4 },
+            use_cache: false,
+            ..TwoStageConfig::default()
+        };
+        let out = execute_plan(&db, &lazy_plan(), Some(&source), None, &config).unwrap();
+        assert_eq!(out.relation.value(0, "avg_v").unwrap(), Value::Float(11.0));
+        assert_eq!(out.stats.rows_loaded, 6);
+    }
+
+    #[test]
+    fn pure_metadata_plan_runs_single_stage() {
+        let db = metadata_db();
+        let plan = LogicalPlan::Project {
+            input: Box::new(LogicalPlan::QfMark {
+                input: Box::new(LogicalPlan::Scan {
+                    table: "F".into(),
+                    columns: vec!["F.station".into()],
+                    predicate: None,
+                }),
+            }),
+            exprs: vec![("s".into(), Expr::col("F.station"))],
+        };
+        let out =
+            execute_plan(&db, &plan, None, None, &TwoStageConfig::default()).unwrap();
+        assert_eq!(out.relation.rows(), 3);
+        assert_eq!(out.stats.files_selected, 0);
+        assert!(out.stats.stage1 > Duration::ZERO);
+    }
+
+    #[test]
+    fn pure_ad_plan_loads_everything() {
+        let db = metadata_db();
+        let source = FakeSource::new(3);
+        let plan = LogicalPlan::Aggregate {
+            input: Box::new(LogicalPlan::LazyScan {
+                table: "D".into(),
+                columns: vec!["D.sample_value".into()],
+                predicate: None,
+            }),
+            group_by: vec![],
+            aggs: vec![("n".into(), AggFunc::Count, Expr::col("D.sample_value"))],
+        };
+        let out = execute_plan(&db, &plan, Some(&source), None, &TwoStageConfig::default())
+            .unwrap();
+        assert_eq!(out.stats.files_selected, 3, "no metadata: all chunks");
+        assert_eq!(out.relation.value(0, "n").unwrap(), Value::Int(9));
+    }
+
+    #[test]
+    fn missing_source_is_an_error() {
+        let db = metadata_db();
+        assert!(matches!(
+            execute_plan(&db, &lazy_plan(), None, None, &TwoStageConfig::default()),
+            Err(EngineError::Chunk(_))
+        ));
+    }
+
+    #[test]
+    fn distinct_uris_keeps_first_appearance_order() {
+        let rel = Relation::new(vec![(
+            "F.uri".into(),
+            ColumnData::Text(TextColumn::from_strs(["b", "a", "b", "c", "a"])),
+        )])
+        .unwrap();
+        assert_eq!(distinct_uris(&rel, "F.uri").unwrap(), vec!["b", "a", "c"]);
+        assert!(distinct_uris(&rel, "F.nope").is_err());
+    }
+}

@@ -1,0 +1,73 @@
+//! Shared helpers for the workspace-level integration tests in
+//! `tests/` (wired into cargo through this crate's `[[test]]` entries).
+
+use sommelier_core::{LoadingMode, Sommelier, SommelierConfig};
+use sommelier_mseed::{DatasetSpec, Repository};
+use std::path::PathBuf;
+
+/// A self-cleaning scratch directory.
+pub struct TempDir(pub PathBuf);
+
+impl TempDir {
+    /// Create under the system temp dir, uniquely named.
+    pub fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!(
+            "somm-it-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        TempDir(dir)
+    }
+
+    /// Path inside the directory.
+    pub fn join(&self, p: &str) -> PathBuf {
+        self.0.join(p)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Generate a small INGV-like repository (4 stations × `days`).
+pub fn ingv_repo(dir: &TempDir, days: u32, samples: u32) -> Repository {
+    let repo = Repository::at(dir.join("repo"));
+    let mut spec = DatasetSpec::ingv(1, samples);
+    spec.days = days;
+    repo.generate(&spec).expect("generate repo");
+    repo
+}
+
+/// Generate a small FIAM repository (1 station × `days`).
+pub fn fiam_repo(dir: &TempDir, days: u32, samples: u32) -> Repository {
+    let repo = Repository::at(dir.join("repo"));
+    let mut spec = DatasetSpec::fiam(1, samples);
+    spec.days = days;
+    repo.generate(&spec).expect("generate repo");
+    repo
+}
+
+/// An in-memory system prepared with `mode` over the given repository
+/// directory.
+pub fn prepared(repo: &Repository, mode: LoadingMode, config: SommelierConfig) -> Sommelier {
+    let somm =
+        Sommelier::in_memory(Repository::at(repo.dir()), config).expect("create sommelier");
+    somm.prepare(mode).expect("prepare");
+    somm
+}
+
+/// Extract a single f64 cell from a 1×1 result.
+pub fn scalar_f64(result: &sommelier_core::QueryResult, col: &str) -> Option<f64> {
+    if result.relation.rows() != 1 {
+        return None;
+    }
+    match result.relation.value(0, col).ok()? {
+        sommelier_storage::Value::Float(v) => Some(v),
+        sommelier_storage::Value::Int(v) => Some(v as f64),
+        _ => None,
+    }
+}

@@ -1,0 +1,63 @@
+//! Error type for the mseed crate.
+
+use std::fmt;
+use std::io;
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, MseedError>;
+
+/// Errors from reading, writing, or generating chunk files.
+#[derive(Debug)]
+pub enum MseedError {
+    /// Underlying I/O failure with context.
+    Io { context: String, source: io::Error },
+    /// Malformed file contents.
+    Corrupt(String),
+    /// Invalid generation/dataset parameters.
+    Spec(String),
+}
+
+impl MseedError {
+    /// I/O error with context.
+    pub fn io(context: impl Into<String>, source: io::Error) -> Self {
+        MseedError::Io { context: context.into(), source }
+    }
+}
+
+impl fmt::Display for MseedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MseedError::Io { context, source } => write!(f, "i/o error during {context}: {source}"),
+            MseedError::Corrupt(msg) => write!(f, "corrupt mseed file: {msg}"),
+            MseedError::Spec(msg) => write!(f, "invalid dataset spec: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MseedError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MseedError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for MseedError {
+    fn from(e: io::Error) -> Self {
+        MseedError::Io { context: "mseed".into(), source: e }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert!(MseedError::Corrupt("bad".into()).to_string().contains("bad"));
+        assert!(MseedError::io("write", io::Error::other("x"))
+            .to_string()
+            .contains("write"));
+    }
+}

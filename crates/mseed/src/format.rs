@@ -1,0 +1,67 @@
+//! Binary layout of the chunk-file format.
+//!
+//! ```text
+//! +--------------------------------------------------------------+
+//! | magic "MSDX" | version u32 | header fields (length-prefixed) |
+//! | segment_count u32                                            |
+//! +--------------------------------------------------------------+
+//! | segment directory: per segment                               |
+//! |   seg_index u32 | start_time i64 | frequency f64             |
+//! |   sample_count u32 | payload_offset u64 | payload_len u32    |
+//! +--------------------------------------------------------------+
+//! | payloads (Steim-style compressed sample blocks)              |
+//! +--------------------------------------------------------------+
+//! ```
+//!
+//! All integers little-endian. The header + directory prefix is what
+//! [`crate::reader::read_metadata`] parses — the *given metadata* the
+//! paper's Registrar extracts without touching the payload bytes.
+
+/// File magic.
+pub const MAGIC: &[u8; 4] = b"MSDX";
+/// Format version.
+pub const VERSION: u32 = 1;
+/// Encoding tag: Steim-style delta varint.
+pub const ENCODING_STEIM: u8 = 1;
+/// Size in bytes of one segment-directory entry.
+pub const DIR_ENTRY_BYTES: usize = 4 + 8 + 8 + 4 + 8 + 4;
+
+/// Append a length-prefixed string (u8 length).
+pub fn push_str8(out: &mut Vec<u8>, s: &str) {
+    debug_assert!(s.len() <= u8::MAX as usize, "str8 field too long");
+    out.push(s.len() as u8);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Read a length-prefixed string at `pos`; returns (string, next_pos).
+pub fn read_str8(bytes: &[u8], pos: usize) -> Option<(String, usize)> {
+    let len = *bytes.get(pos)? as usize;
+    let start = pos + 1;
+    let end = start + len;
+    let s = std::str::from_utf8(bytes.get(start..end)?).ok()?;
+    Some((s.to_string(), end))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn str8_roundtrip() {
+        let mut buf = Vec::new();
+        push_str8(&mut buf, "FIAM");
+        push_str8(&mut buf, "");
+        let (a, next) = read_str8(&buf, 0).unwrap();
+        assert_eq!(a, "FIAM");
+        let (b, end) = read_str8(&buf, next).unwrap();
+        assert_eq!(b, "");
+        assert_eq!(end, buf.len());
+        assert!(read_str8(&buf, end).is_none());
+    }
+
+    #[test]
+    fn truncated_str8_rejected() {
+        let buf = vec![5u8, b'a', b'b'];
+        assert!(read_str8(&buf, 0).is_none());
+    }
+}

@@ -1,0 +1,108 @@
+//! Writing chunk files.
+
+use crate::error::{MseedError, Result};
+use crate::format::{push_str8, DIR_ENTRY_BYTES, MAGIC, VERSION};
+use crate::record::MseedFile;
+use crate::steim;
+use std::io::Write;
+use std::path::Path;
+
+/// Serialize a chunk file to bytes.
+pub fn to_bytes(file: &MseedFile) -> Result<Vec<u8>> {
+    for seg in &file.segments {
+        if seg.meta.sample_count as usize != seg.samples.len() {
+            return Err(MseedError::Spec(format!(
+                "segment {}: sample_count {} but {} samples",
+                seg.meta.seg_index,
+                seg.meta.sample_count,
+                seg.samples.len()
+            )));
+        }
+        if seg.meta.frequency <= 0.0 {
+            return Err(MseedError::Spec(format!(
+                "segment {}: non-positive frequency",
+                seg.meta.seg_index
+            )));
+        }
+    }
+    let mut header = Vec::with_capacity(64);
+    header.extend_from_slice(MAGIC);
+    header.extend_from_slice(&VERSION.to_le_bytes());
+    push_str8(&mut header, &file.meta.network);
+    push_str8(&mut header, &file.meta.station);
+    push_str8(&mut header, &file.meta.location);
+    push_str8(&mut header, &file.meta.channel);
+    push_str8(&mut header, &file.meta.data_quality);
+    header.push(file.meta.encoding);
+    header.push(file.meta.byte_order);
+    header.extend_from_slice(&(file.segments.len() as u32).to_le_bytes());
+
+    // Encode payloads first to learn their sizes.
+    let payloads: Vec<Vec<u8>> =
+        file.segments.iter().map(|s| steim::encode(&s.samples)).collect();
+
+    let dir_start = header.len();
+    let payload_start = dir_start + file.segments.len() * DIR_ENTRY_BYTES;
+    let mut out = header;
+    out.reserve(payloads.iter().map(|p| p.len()).sum::<usize>() + file.segments.len() * DIR_ENTRY_BYTES);
+    let mut offset = payload_start as u64;
+    for (seg, payload) in file.segments.iter().zip(&payloads) {
+        out.extend_from_slice(&seg.meta.seg_index.to_le_bytes());
+        out.extend_from_slice(&seg.meta.start_time.to_le_bytes());
+        out.extend_from_slice(&seg.meta.frequency.to_le_bytes());
+        out.extend_from_slice(&seg.meta.sample_count.to_le_bytes());
+        out.extend_from_slice(&offset.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        offset += payload.len() as u64;
+    }
+    for payload in &payloads {
+        out.extend_from_slice(payload);
+    }
+    Ok(out)
+}
+
+/// Write a chunk file to `path`.
+pub fn write_file(path: &Path, file: &MseedFile) -> Result<u64> {
+    let bytes = to_bytes(file)?;
+    let mut f = std::fs::File::create(path)
+        .map_err(|e| MseedError::io(format!("creating {}", path.display()), e))?;
+    f.write_all(&bytes)
+        .map_err(|e| MseedError::io(format!("writing {}", path.display()), e))?;
+    Ok(bytes.len() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{FileMeta, SegmentData, SegmentMeta};
+
+    fn sample_file() -> MseedFile {
+        MseedFile {
+            meta: FileMeta::new("IV", "FIAM", "01", "HHZ"),
+            segments: vec![SegmentData {
+                meta: SegmentMeta { seg_index: 0, start_time: 42, frequency: 20.0, sample_count: 3 },
+                samples: vec![5, 6, 4],
+            }],
+        }
+    }
+
+    #[test]
+    fn bytes_start_with_magic() {
+        let bytes = to_bytes(&sample_file()).unwrap();
+        assert_eq!(&bytes[..4], MAGIC);
+    }
+
+    #[test]
+    fn count_mismatch_rejected() {
+        let mut f = sample_file();
+        f.segments[0].meta.sample_count = 99;
+        assert!(matches!(to_bytes(&f), Err(MseedError::Spec(_))));
+    }
+
+    #[test]
+    fn bad_frequency_rejected() {
+        let mut f = sample_file();
+        f.segments[0].meta.frequency = 0.0;
+        assert!(to_bytes(&f).is_err());
+    }
+}

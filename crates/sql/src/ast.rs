@@ -1,0 +1,96 @@
+//! The abstract syntax tree produced by the parser.
+
+/// A (possibly qualified) column name: `station` or `F.station`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Name {
+    pub qualifier: Option<String>,
+    pub name: String,
+}
+
+impl Name {
+    /// Render back to SQL form.
+    pub fn to_sql(&self) -> String {
+        match &self.qualifier {
+            Some(q) => format!("{q}.{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// Binary operators (comparisons, boolean connectives, arithmetic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstExpr {
+    Column(Name),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// String literal (may denote a timestamp; the binder decides).
+    Str(String),
+    /// `*` — only valid inside `COUNT(*)`.
+    Star,
+    Binary { op: BinaryOp, left: Box<AstExpr>, right: Box<AstExpr> },
+    Not(Box<AstExpr>),
+    /// Unary minus.
+    Neg(Box<AstExpr>),
+    /// Function call: scalar (`HOUR_BUCKET(...)`) or aggregate (`AVG(...)`).
+    Call { name: String, args: Vec<AstExpr> },
+}
+
+/// One SELECT-list item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectItem {
+    pub expr: AstExpr,
+    pub alias: Option<String>,
+}
+
+/// An ORDER BY key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderKey {
+    pub expr: AstExpr,
+    pub ascending: bool,
+}
+
+/// A SELECT statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    pub distinct: bool,
+    pub items: Vec<SelectItem>,
+    /// Single source: a base table or a registered view.
+    pub from: String,
+    pub where_clause: Option<AstExpr>,
+    pub group_by: Vec<AstExpr>,
+    pub order_by: Vec<OrderKey>,
+    pub limit: Option<usize>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_to_sql() {
+        assert_eq!(Name { qualifier: None, name: "x".into() }.to_sql(), "x");
+        assert_eq!(
+            Name { qualifier: Some("F".into()), name: "station".into() }.to_sql(),
+            "F.station"
+        );
+    }
+}

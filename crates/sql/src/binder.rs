@@ -1,0 +1,549 @@
+//! Name resolution, view expansion, and lowering to a
+//! [`sommelier_engine::QuerySpec`].
+//!
+//! Views are registered join specifications: `dataview` and
+//! `windowdataview` in the paper's schema (§II-C). Binding a query
+//! against a view expands it to the view's base tables and join edges;
+//! the optimizer then re-orders those joins (the views are
+//! non-materialized, exactly as in the paper — "the DBMS has to
+//! calculate the respective joins when evaluating queries over these
+//! views").
+
+use crate::ast::{AstExpr, BinaryOp, Name, SelectStmt};
+use crate::error::{Result, SqlError};
+use sommelier_engine::{
+    AggFunc, CmpOp, Expr, Func, JoinEdge, QuerySpec, TableRef,
+};
+use sommelier_storage::{TableClass, TableSchema, Value};
+use std::collections::HashMap;
+
+/// A registered (non-materialized) view: base tables + join edges.
+#[derive(Debug, Clone)]
+pub struct ViewDef {
+    pub name: String,
+    pub tables: Vec<String>,
+    pub joins: Vec<JoinEdge>,
+}
+
+/// One bound table description.
+#[derive(Debug, Clone)]
+struct BoundTable {
+    class: TableClass,
+    columns: Vec<String>,
+}
+
+/// The binder's name universe: table schemas and view definitions.
+#[derive(Debug, Default, Clone)]
+pub struct BindCatalog {
+    tables: HashMap<String, BoundTable>,
+    views: HashMap<String, ViewDef>,
+}
+
+impl BindCatalog {
+    /// Build from table schemas.
+    pub fn new(schemas: &[TableSchema]) -> Self {
+        let mut tables = HashMap::new();
+        for s in schemas {
+            tables.insert(
+                s.name.clone(),
+                BoundTable {
+                    class: s.class,
+                    columns: s.columns.iter().map(|c| c.name.clone()).collect(),
+                },
+            );
+        }
+        BindCatalog { tables, views: HashMap::new() }
+    }
+
+    /// Register a view.
+    pub fn add_view(&mut self, view: ViewDef) {
+        self.views.insert(view.name.clone(), view);
+    }
+
+    /// Is `name` a known view?
+    pub fn has_view(&self, name: &str) -> bool {
+        self.views.contains_key(name)
+    }
+
+    fn class_of(&self, table: &str) -> Result<TableClass> {
+        self.tables
+            .get(table)
+            .map(|t| t.class)
+            .ok_or_else(|| SqlError::Bind(format!("unknown table {table:?}")))
+    }
+}
+
+/// Scope: the tables visible to the query being bound.
+struct Scope<'a> {
+    catalog: &'a BindCatalog,
+    tables: Vec<String>,
+}
+
+impl Scope<'_> {
+    /// Resolve a possibly-qualified name to `Table.column`.
+    fn resolve(&self, name: &Name) -> Result<String> {
+        match &name.qualifier {
+            Some(q) => {
+                if !self.tables.iter().any(|t| t == q) {
+                    return Err(SqlError::Bind(format!(
+                        "table {q:?} is not in scope (have: {})",
+                        self.tables.join(", ")
+                    )));
+                }
+                let t = &self.catalog.tables[q];
+                if !t.columns.iter().any(|c| c == &name.name) {
+                    return Err(SqlError::Bind(format!(
+                        "table {q} has no column {:?}",
+                        name.name
+                    )));
+                }
+                Ok(format!("{q}.{}", name.name))
+            }
+            None => {
+                let mut hits = Vec::new();
+                for t in &self.tables {
+                    if self.catalog.tables[t].columns.iter().any(|c| c == &name.name) {
+                        hits.push(t.clone());
+                    }
+                }
+                match hits.len() {
+                    0 => Err(SqlError::Bind(format!("unknown column {:?}", name.name))),
+                    1 => Ok(format!("{}.{}", hits[0], name.name)),
+                    _ => Err(SqlError::Bind(format!(
+                        "ambiguous column {:?} (in tables {})",
+                        name.name,
+                        hits.join(", ")
+                    ))),
+                }
+            }
+        }
+    }
+
+    /// Lower a scalar (non-aggregate) expression.
+    fn scalar(&self, e: &AstExpr) -> Result<Expr> {
+        Ok(match e {
+            AstExpr::Column(name) => Expr::Col(self.resolve(name)?),
+            AstExpr::Int(v) => Expr::Lit(Value::Int(*v)),
+            AstExpr::Float(v) => Expr::Lit(Value::Float(*v)),
+            AstExpr::Str(s) => Expr::Lit(Value::Text(s.clone())),
+            AstExpr::Star => {
+                return Err(SqlError::Bind("'*' is only valid in COUNT(*)".into()))
+            }
+            AstExpr::Neg(inner) => match self.scalar(inner)? {
+                Expr::Lit(Value::Int(v)) => Expr::Lit(Value::Int(-v)),
+                Expr::Lit(Value::Float(v)) => Expr::Lit(Value::Float(-v)),
+                other => Expr::Arith(
+                    sommelier_engine::expr::ArithOp::Mul,
+                    Box::new(Expr::Lit(Value::Int(-1))),
+                    Box::new(other),
+                ),
+            },
+            AstExpr::Not(inner) => Expr::Not(Box::new(self.scalar(inner)?)),
+            AstExpr::Binary { op, left, right } => {
+                let l = Box::new(self.scalar(left)?);
+                let r = Box::new(self.scalar(right)?);
+                match op {
+                    BinaryOp::Eq => Expr::Cmp(CmpOp::Eq, l, r),
+                    BinaryOp::Ne => Expr::Cmp(CmpOp::Ne, l, r),
+                    BinaryOp::Lt => Expr::Cmp(CmpOp::Lt, l, r),
+                    BinaryOp::Le => Expr::Cmp(CmpOp::Le, l, r),
+                    BinaryOp::Gt => Expr::Cmp(CmpOp::Gt, l, r),
+                    BinaryOp::Ge => Expr::Cmp(CmpOp::Ge, l, r),
+                    BinaryOp::And => Expr::And(l, r),
+                    BinaryOp::Or => Expr::Or(l, r),
+                    BinaryOp::Add => Expr::Arith(sommelier_engine::expr::ArithOp::Add, l, r),
+                    BinaryOp::Sub => Expr::Arith(sommelier_engine::expr::ArithOp::Sub, l, r),
+                    BinaryOp::Mul => Expr::Arith(sommelier_engine::expr::ArithOp::Mul, l, r),
+                    BinaryOp::Div => Expr::Arith(sommelier_engine::expr::ArithOp::Div, l, r),
+                }
+            }
+            AstExpr::Call { name, args } => {
+                if AggFunc::from_name(name).is_some() {
+                    return Err(SqlError::Bind(format!(
+                        "aggregate {name} not allowed here"
+                    )));
+                }
+                let func = Func::from_name(name).ok_or_else(|| {
+                    SqlError::Bind(format!("unknown function {name:?}"))
+                })?;
+                Expr::Call(
+                    func,
+                    args.iter().map(|a| self.scalar(a)).collect::<Result<_>>()?,
+                )
+            }
+        })
+    }
+}
+
+/// The tables an expression references (by qualified-name prefix).
+fn tables_of(e: &Expr) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    for c in e.columns() {
+        if let Some((t, _)) = c.split_once('.') {
+            if !out.iter().any(|x| x == t) {
+                out.push(t.to_string());
+            }
+        }
+    }
+    out
+}
+
+/// Derive an output name for an unaliased select item.
+fn derived_name(expr: &AstExpr, index: usize) -> String {
+    match expr {
+        AstExpr::Column(n) => n.name.clone(),
+        AstExpr::Call { name, .. } => name.to_ascii_lowercase(),
+        _ => format!("col{index}"),
+    }
+}
+
+/// Bind a parsed statement into a query spec.
+pub fn bind(stmt: &SelectStmt, catalog: &BindCatalog) -> Result<QuerySpec> {
+    // ---- FROM: view expansion or single base table -----------------
+    let (table_names, joins) = if let Some(view) = catalog.views.get(&stmt.from) {
+        (view.tables.clone(), view.joins.clone())
+    } else if catalog.tables.contains_key(&stmt.from) {
+        (vec![stmt.from.clone()], Vec::new())
+    } else {
+        return Err(SqlError::Bind(format!(
+            "unknown table or view {:?}",
+            stmt.from
+        )));
+    };
+    let scope = Scope { catalog, tables: table_names.clone() };
+    let tables: Vec<TableRef> = table_names
+        .iter()
+        .map(|t| {
+            Ok(TableRef { name: t.clone(), class: catalog.class_of(t)? })
+        })
+        .collect::<Result<_>>()?;
+
+    // ---- WHERE: split conjuncts into per-table and residual --------
+    let mut predicates: Vec<(String, Expr)> = Vec::new();
+    let mut residual: Vec<Expr> = Vec::new();
+    if let Some(w) = &stmt.where_clause {
+        let bound = scope.scalar(w)?;
+        for conjunct in bound.split_conjunction() {
+            match tables_of(&conjunct).as_slice() {
+                [single] => predicates.push((single.clone(), conjunct)),
+                [] => residual.push(conjunct), // constant predicate
+                _ => residual.push(conjunct),
+            }
+        }
+    }
+
+    // ---- SELECT list ------------------------------------------------
+    let mut output = Vec::new();
+    let mut used_names: Vec<String> = Vec::new();
+    let mut uniquify = |base: String| -> String {
+        let mut name = base.clone();
+        let mut k = 1;
+        while used_names.iter().any(|n| n == &name) {
+            k += 1;
+            name = format!("{base}_{k}");
+        }
+        used_names.push(name.clone());
+        name
+    };
+    // (plain expr AST, output name) pairs for group-by matching.
+    let mut plain_items: Vec<(AstExpr, String)> = Vec::new();
+    for (i, item) in stmt.items.iter().enumerate() {
+        let base = item.alias.clone().unwrap_or_else(|| derived_name(&item.expr, i));
+        let name = uniquify(base);
+        match &item.expr {
+            AstExpr::Call { name: fname, args }
+                if AggFunc::from_name(fname).is_some() =>
+            {
+                let func = AggFunc::from_name(fname).expect("checked");
+                let arg = match args.as_slice() {
+                    [AstExpr::Star] if func == AggFunc::Count => Expr::Lit(Value::Int(1)),
+                    [one] => scope.scalar(one)?,
+                    _ => {
+                        return Err(SqlError::Bind(format!(
+                            "{fname} takes exactly one argument"
+                        )))
+                    }
+                };
+                output.push(sommelier_engine::spec::OutputExpr::Aggregate {
+                    name,
+                    func,
+                    expr: arg,
+                });
+            }
+            other => {
+                let bound = scope.scalar(other)?;
+                plain_items.push((other.clone(), name.clone()));
+                output.push(sommelier_engine::spec::OutputExpr::Column { name, expr: bound });
+            }
+        }
+    }
+
+    // ---- GROUP BY ----------------------------------------------------
+    let mut group_by: Vec<(String, Expr)> = Vec::new();
+    for (i, g) in stmt.group_by.iter().enumerate() {
+        let bound = scope.scalar(g)?;
+        // Reuse the select item's name when the expressions match, so
+        // the final projection can reference the aggregate's output.
+        let name = plain_items
+            .iter()
+            .find(|(ast, _)| ast == g)
+            .map(|(_, n)| n.clone())
+            .unwrap_or_else(|| format!("__group_{i}"));
+        group_by.push((name, bound));
+    }
+    // Every plain select item must appear in GROUP BY when grouping.
+    if !group_by.is_empty() || output.iter().any(|o| o.is_aggregate()) {
+        for (ast, name) in &plain_items {
+            if !stmt.group_by.iter().any(|g| g == ast) {
+                return Err(SqlError::Bind(format!(
+                    "column {name:?} must appear in GROUP BY or an aggregate"
+                )));
+            }
+        }
+    }
+
+    // ---- ORDER BY -----------------------------------------------------
+    let mut order_by = Vec::new();
+    for key in &stmt.order_by {
+        let name = match &key.expr {
+            AstExpr::Column(n) => {
+                // Prefer an output column name; else a column that was
+                // selected under a different (derived) name.
+                if used_names.iter().any(|u| u == &n.name) && n.qualifier.is_none() {
+                    n.name.clone()
+                } else {
+                    let qualified = scope.resolve(n)?;
+                    plain_items
+                        .iter()
+                        .find_map(|(ast, out_name)| match ast {
+                            AstExpr::Column(c) if scope.resolve(c).ok()? == qualified => {
+                                Some(out_name.clone())
+                            }
+                            _ => None,
+                        })
+                        .ok_or_else(|| {
+                            SqlError::Bind(format!(
+                                "ORDER BY column {:?} is not in the select list",
+                                n.to_sql()
+                            ))
+                        })?
+                }
+            }
+            other => {
+                return Err(SqlError::Bind(format!(
+                    "ORDER BY supports output columns only, got {other:?}"
+                )))
+            }
+        };
+        order_by.push((name, key.ascending));
+    }
+
+    let spec = QuerySpec {
+        tables,
+        joins,
+        predicates,
+        residual,
+        output,
+        group_by,
+        order_by,
+        limit: stmt.limit,
+        distinct: stmt.distinct,
+    };
+    spec.validate().map_err(|e| SqlError::Bind(e.to_string()))?;
+    Ok(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use sommelier_storage::DataType;
+
+    /// The paper's seismology schema (abridged).
+    fn catalog() -> BindCatalog {
+        let f = TableSchema::new("F", TableClass::MetadataGiven)
+            .column("file_id", DataType::Int64)
+            .column("uri", DataType::Text)
+            .column("station", DataType::Text)
+            .column("channel", DataType::Text);
+        let s = TableSchema::new("S", TableClass::MetadataGiven)
+            .column("seg_id", DataType::Int64)
+            .column("file_id", DataType::Int64)
+            .column("start_time", DataType::Timestamp);
+        let d = TableSchema::new("D", TableClass::ActualData)
+            .column("file_id", DataType::Int64)
+            .column("seg_id", DataType::Int64)
+            .column("sample_time", DataType::Timestamp)
+            .column("sample_value", DataType::Float64);
+        let h = TableSchema::new("H", TableClass::MetadataDerived)
+            .column("window_station", DataType::Text)
+            .column("window_channel", DataType::Text)
+            .column("window_start_ts", DataType::Timestamp)
+            .column("window_max_val", DataType::Float64)
+            .column("window_std_dev", DataType::Float64);
+        let mut cat = BindCatalog::new(&[f, s, d, h]);
+        cat.add_view(ViewDef {
+            name: "dataview".into(),
+            tables: vec!["F".into(), "S".into(), "D".into()],
+            joins: vec![
+                JoinEdge::new("F", "S", vec![Expr::col("F.file_id")], vec![Expr::col("S.file_id")])
+                    .unwrap(),
+                JoinEdge::new("S", "D", vec![Expr::col("S.seg_id")], vec![Expr::col("D.seg_id")])
+                    .unwrap(),
+            ],
+        });
+        cat
+    }
+
+    #[test]
+    fn binds_paper_query_1() {
+        let stmt = parse(
+            "SELECT AVG(D.sample_value) FROM dataview \
+             WHERE F.station = 'ISK' AND F.channel = 'BHE' \
+             AND D.sample_time > '2010-01-12T22:15:00.000' \
+             AND D.sample_time < '2010-01-12T22:15:02.000'",
+        )
+        .unwrap();
+        let spec = bind(&stmt, &catalog()).unwrap();
+        assert_eq!(spec.tables.len(), 3);
+        assert_eq!(spec.joins.len(), 2);
+        // Conjuncts split per table: 2 on F, 2 on D.
+        assert_eq!(spec.predicates.iter().filter(|(t, _)| t == "F").count(), 2);
+        assert_eq!(spec.predicates.iter().filter(|(t, _)| t == "D").count(), 2);
+        assert!(spec.residual.is_empty());
+        assert!(spec.has_aggregates());
+        assert_eq!(spec.output[0].name(), "avg");
+    }
+
+    #[test]
+    fn bare_columns_qualify_uniquely() {
+        let stmt = parse("SELECT station FROM dataview WHERE sample_value > 10").unwrap();
+        let spec = bind(&stmt, &catalog()).unwrap();
+        match &spec.output[0] {
+            sommelier_engine::spec::OutputExpr::Column { expr, .. } => {
+                assert_eq!(expr, &Expr::col("F.station"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(spec.predicates[0].0, "D");
+    }
+
+    #[test]
+    fn ambiguous_column_rejected() {
+        // file_id exists in F, S and D.
+        let stmt = parse("SELECT file_id FROM dataview").unwrap();
+        match bind(&stmt, &catalog()) {
+            Err(SqlError::Bind(m)) => assert!(m.contains("ambiguous"), "{m}"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_names_rejected() {
+        let cat = catalog();
+        for sql in [
+            "SELECT x FROM nope",
+            "SELECT nope FROM F",
+            "SELECT F.nope FROM F",
+            "SELECT D.sample_value FROM F", // D not in scope for base table F
+        ] {
+            let stmt = parse(sql).unwrap();
+            assert!(bind(&stmt, &cat).is_err(), "should reject {sql:?}");
+        }
+    }
+
+    #[test]
+    fn cross_table_predicate_goes_residual() {
+        let stmt =
+            parse("SELECT station FROM dataview WHERE S.start_time = D.sample_time").unwrap();
+        let spec = bind(&stmt, &catalog()).unwrap();
+        assert!(spec.predicates.is_empty());
+        assert_eq!(spec.residual.len(), 1);
+    }
+
+    #[test]
+    fn group_by_names_match_select_items() {
+        let stmt = parse(
+            "SELECT station AS s, COUNT(*) AS n FROM F GROUP BY station ORDER BY n DESC",
+        )
+        .unwrap();
+        let spec = bind(&stmt, &catalog()).unwrap();
+        assert_eq!(spec.group_by.len(), 1);
+        assert_eq!(spec.group_by[0].0, "s");
+        assert_eq!(spec.order_by, vec![("n".to_string(), false)]);
+        // COUNT(*) became COUNT(1).
+        match &spec.output[1] {
+            sommelier_engine::spec::OutputExpr::Aggregate { func, expr, .. } => {
+                assert_eq!(*func, AggFunc::Count);
+                assert_eq!(expr, &Expr::Lit(Value::Int(1)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ungrouped_plain_column_with_aggregate_rejected() {
+        let stmt = parse("SELECT station, COUNT(*) FROM F").unwrap();
+        assert!(bind(&stmt, &catalog()).is_err());
+    }
+
+    #[test]
+    fn aggregate_in_where_rejected() {
+        let stmt = parse("SELECT station FROM F WHERE AVG(station) = 1").unwrap();
+        match bind(&stmt, &catalog()) {
+            Err(SqlError::Bind(m)) => assert!(m.contains("aggregate"), "{m}"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn order_by_resolves_underlying_column() {
+        let stmt = parse("SELECT F.station FROM F ORDER BY station").unwrap();
+        let spec = bind(&stmt, &catalog()).unwrap();
+        assert_eq!(spec.order_by[0].0, "station");
+        // Ordering by something not selected fails.
+        let stmt = parse("SELECT station FROM F ORDER BY uri").unwrap();
+        assert!(bind(&stmt, &catalog()).is_err());
+    }
+
+    #[test]
+    fn duplicate_output_names_uniquified() {
+        let stmt = parse("SELECT station, station FROM F GROUP BY station").unwrap();
+        let spec = bind(&stmt, &catalog()).unwrap();
+        assert_eq!(spec.output[0].name(), "station");
+        assert_eq!(spec.output[1].name(), "station_2");
+    }
+
+    #[test]
+    fn negative_literals_fold() {
+        let stmt = parse("SELECT station FROM F WHERE file_id > -5").unwrap();
+        let spec = bind(&stmt, &catalog()).unwrap();
+        let (_, pred) = &spec.predicates[0];
+        assert!(pred.to_string().contains("-5"), "{pred}");
+    }
+
+    #[test]
+    fn distinct_and_limit_carry_through() {
+        let stmt = parse("SELECT DISTINCT station FROM F LIMIT 3").unwrap();
+        let spec = bind(&stmt, &catalog()).unwrap();
+        assert!(spec.distinct);
+        assert_eq!(spec.limit, Some(3));
+    }
+
+    #[test]
+    fn hour_bucket_binds_as_scalar_function() {
+        let stmt = parse(
+            "SELECT HOUR_BUCKET(sample_time) AS h, MAX(sample_value) AS m \
+             FROM dataview GROUP BY HOUR_BUCKET(sample_time)",
+        )
+        .unwrap();
+        let spec = bind(&stmt, &catalog()).unwrap();
+        assert_eq!(spec.group_by[0].0, "h");
+        match &spec.group_by[0].1 {
+            Expr::Call(Func::HourBucket, args) => {
+                assert_eq!(args[0], Expr::col("D.sample_time"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! SQL front-end errors.
+
+use std::fmt;
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, SqlError>;
+
+/// Lexing, parsing, or binding failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SqlError {
+    /// Tokenizer error at a byte offset.
+    Lex { pos: usize, message: String },
+    /// Parser error (unexpected token, premature end).
+    Parse { pos: usize, message: String },
+    /// Binder error (unknown names, type problems, unsupported shapes).
+    Bind(String),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Lex { pos, message } => write!(f, "lex error at byte {pos}: {message}"),
+            SqlError::Parse { pos, message } => write!(f, "parse error at byte {pos}: {message}"),
+            SqlError::Bind(m) => write!(f, "bind error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_position() {
+        let e = SqlError::Parse { pos: 17, message: "expected FROM".into() };
+        assert!(e.to_string().contains("17"));
+        assert!(e.to_string().contains("expected FROM"));
+    }
+}

@@ -1,0 +1,26 @@
+//! # sommelier-sql
+//!
+//! A small SQL front end for the `sommelier` system — the subset the
+//! paper's workload needs (§II-C, §VI-A): single-source `SELECT` with
+//! aggregates, conjunctive/disjunctive `WHERE` clauses, `GROUP BY`,
+//! `ORDER BY`, `LIMIT` and `DISTINCT`, over base tables or the
+//! predefined denormalized views (`dataview`, `windowdataview`).
+//!
+//! Pipeline: [`token`] (lexer) → [`parser`] (AST) → [`binder`]
+//! (name/type resolution + view expansion → [`sommelier_engine::QuerySpec`]).
+
+pub mod ast;
+pub mod binder;
+pub mod error;
+pub mod parser;
+pub mod token;
+
+pub use binder::{BindCatalog, ViewDef};
+pub use error::{Result, SqlError};
+
+/// Parse and bind a SQL string against a catalog, yielding a query spec
+/// ready for the optimizer.
+pub fn compile(sql: &str, catalog: &BindCatalog) -> Result<sommelier_engine::QuerySpec> {
+    let stmt = parser::parse(sql)?;
+    binder::bind(&stmt, catalog)
+}

@@ -1,0 +1,459 @@
+//! Recursive-descent parser for the SELECT subset.
+//!
+//! Grammar (keywords case-insensitive):
+//!
+//! ```text
+//! select   := SELECT [DISTINCT] items FROM ident [WHERE expr]
+//!             [GROUP BY exprs] [ORDER BY key (',' key)*] [LIMIT num]
+//! items    := item (',' item)*
+//! item     := expr [[AS] ident]
+//! expr     := or ; or := and (OR and)* ; and := not (AND not)*
+//! not      := NOT not | cmp
+//! cmp      := add (cmpop add)?
+//! add      := mul (('+'|'-') mul)*
+//! mul      := unary (('*'|'/') unary)*
+//! unary    := '-' unary | primary
+//! primary  := number | string | '*' | ident '(' args ')'
+//!           | ident ['.' ident] | '(' expr ')'
+//! ```
+
+use crate::ast::{AstExpr, BinaryOp, Name, OrderKey, SelectItem, SelectStmt};
+use crate::error::{Result, SqlError};
+use crate::token::{tokenize, Token, TokenKind};
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, message: impl Into<String>) -> SqlError {
+        SqlError::Parse { pos: self.peek().pos, message: message.into() }
+    }
+
+    /// If the next token is the keyword `kw` (case-insensitive), consume it.
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if let TokenKind::Ident(s) = &self.peek().kind {
+            if s.eq_ignore_ascii_case(kw) {
+                self.advance();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {kw}, found {}", self.peek().kind.describe())))
+        }
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(&self.peek().kind, TokenKind::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if &self.peek().kind == kind {
+            self.advance();
+            return true;
+        }
+        false
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<()> {
+        if self.eat(&kind) {
+            Ok(())
+        } else {
+            Err(self.error(format!(
+                "expected {}, found {}",
+                kind.describe(),
+                self.peek().kind.describe()
+            )))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) => {
+                let s = s.clone();
+                self.advance();
+                Ok(s)
+            }
+            other => Err(self.error(format!("expected identifier, found {}", other.describe()))),
+        }
+    }
+
+    // ---- expression grammar ---------------------------------------
+
+    fn expr(&mut self) -> Result<AstExpr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<AstExpr> {
+        let mut left = self.and_expr()?;
+        while self.eat_keyword("OR") {
+            let right = self.and_expr()?;
+            left = AstExpr::Binary { op: BinaryOp::Or, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<AstExpr> {
+        let mut left = self.not_expr()?;
+        while self.eat_keyword("AND") {
+            let right = self.not_expr()?;
+            left =
+                AstExpr::Binary { op: BinaryOp::And, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<AstExpr> {
+        if self.eat_keyword("NOT") {
+            return Ok(AstExpr::Not(Box::new(self.not_expr()?)));
+        }
+        self.cmp_expr()
+    }
+
+    fn cmp_expr(&mut self) -> Result<AstExpr> {
+        let left = self.add_expr()?;
+        let op = match self.peek().kind {
+            TokenKind::Eq => BinaryOp::Eq,
+            TokenKind::Ne => BinaryOp::Ne,
+            TokenKind::Lt => BinaryOp::Lt,
+            TokenKind::Le => BinaryOp::Le,
+            TokenKind::Gt => BinaryOp::Gt,
+            TokenKind::Ge => BinaryOp::Ge,
+            _ => return Ok(left),
+        };
+        self.advance();
+        let right = self.add_expr()?;
+        Ok(AstExpr::Binary { op, left: Box::new(left), right: Box::new(right) })
+    }
+
+    fn add_expr(&mut self) -> Result<AstExpr> {
+        let mut left = self.mul_expr()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Plus => BinaryOp::Add,
+                TokenKind::Minus => BinaryOp::Sub,
+                _ => return Ok(left),
+            };
+            self.advance();
+            let right = self.mul_expr()?;
+            left = AstExpr::Binary { op, left: Box::new(left), right: Box::new(right) };
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<AstExpr> {
+        let mut left = self.unary_expr()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Star => BinaryOp::Mul,
+                TokenKind::Slash => BinaryOp::Div,
+                _ => return Ok(left),
+            };
+            self.advance();
+            let right = self.unary_expr()?;
+            left = AstExpr::Binary { op, left: Box::new(left), right: Box::new(right) };
+        }
+    }
+
+    fn unary_expr(&mut self) -> Result<AstExpr> {
+        if self.eat(&TokenKind::Minus) {
+            return Ok(AstExpr::Neg(Box::new(self.unary_expr()?)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<AstExpr> {
+        match self.peek().kind.clone() {
+            TokenKind::Number(text) => {
+                self.advance();
+                if text.contains('.') {
+                    text.parse::<f64>()
+                        .map(AstExpr::Float)
+                        .map_err(|_| self.error(format!("bad number {text}")))
+                } else {
+                    text.parse::<i64>()
+                        .map(AstExpr::Int)
+                        .map_err(|_| self.error(format!("bad number {text}")))
+                }
+            }
+            TokenKind::Str(s) => {
+                self.advance();
+                Ok(AstExpr::Str(s))
+            }
+            TokenKind::Star => {
+                self.advance();
+                Ok(AstExpr::Star)
+            }
+            TokenKind::LParen => {
+                self.advance();
+                let e = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(first) => {
+                self.advance();
+                if self.eat(&TokenKind::LParen) {
+                    // Function call.
+                    let mut args = Vec::new();
+                    if !self.eat(&TokenKind::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.eat(&TokenKind::RParen) {
+                                break;
+                            }
+                            self.expect(TokenKind::Comma)?;
+                        }
+                    }
+                    return Ok(AstExpr::Call { name: first, args });
+                }
+                if self.eat(&TokenKind::Dot) {
+                    let second = self.ident()?;
+                    return Ok(AstExpr::Column(Name {
+                        qualifier: Some(first),
+                        name: second,
+                    }));
+                }
+                Ok(AstExpr::Column(Name { qualifier: None, name: first }))
+            }
+            other => Err(self.error(format!("unexpected {}", other.describe()))),
+        }
+    }
+
+    // ---- statement grammar ----------------------------------------
+
+    fn select(&mut self) -> Result<SelectStmt> {
+        self.expect_keyword("SELECT")?;
+        let distinct = self.eat_keyword("DISTINCT");
+        let mut items = Vec::new();
+        loop {
+            let expr = self.expr()?;
+            let implicit_alias = !self.peek_any_keyword(&["FROM", "WHERE", "GROUP", "ORDER", "LIMIT"])
+                && matches!(self.peek().kind, TokenKind::Ident(_));
+            let alias = if self.eat_keyword("AS") || implicit_alias {
+                Some(self.ident()?)
+            } else {
+                None
+            };
+            items.push(SelectItem { expr, alias });
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect_keyword("FROM")?;
+        let from = self.ident()?;
+        let where_clause = if self.eat_keyword("WHERE") { Some(self.expr()?) } else { None };
+        let mut group_by = Vec::new();
+        if self.eat_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            loop {
+                group_by.push(self.expr()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.eat_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            loop {
+                let expr = self.expr()?;
+                let ascending = if self.eat_keyword("DESC") {
+                    false
+                } else {
+                    self.eat_keyword("ASC");
+                    true
+                };
+                order_by.push(OrderKey { expr, ascending });
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_keyword("LIMIT") {
+            match self.peek().kind.clone() {
+                TokenKind::Number(text) => {
+                    self.advance();
+                    Some(
+                        text.parse::<usize>()
+                            .map_err(|_| self.error(format!("bad LIMIT {text}")))?,
+                    )
+                }
+                other => {
+                    return Err(self.error(format!("expected number, found {}", other.describe())))
+                }
+            }
+        } else {
+            None
+        };
+        if self.peek().kind != TokenKind::Eof {
+            return Err(self.error(format!(
+                "trailing input: {}",
+                self.peek().kind.describe()
+            )));
+        }
+        Ok(SelectStmt { distinct, items, from, where_clause, group_by, order_by, limit })
+    }
+
+    fn peek_any_keyword(&self, kws: &[&str]) -> bool {
+        kws.iter().any(|k| self.peek_keyword(k))
+    }
+}
+
+/// Parse one SELECT statement.
+pub fn parse(sql: &str) -> Result<SelectStmt> {
+    let tokens = tokenize(sql)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    parser.select()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_query_1() {
+        // Query 1 from the paper (Figure 2).
+        let stmt = parse(
+            "SELECT AVG(D.sample_value) \
+             FROM dataview \
+             WHERE F.station = 'ISK' AND F.channel = 'BHE' \
+             AND D.sample_time > '2010-01-12T22:15:00.000' \
+             AND D.sample_time < '2010-01-12T22:15:02.000'",
+        )
+        .unwrap();
+        assert_eq!(stmt.from, "dataview");
+        assert_eq!(stmt.items.len(), 1);
+        match &stmt.items[0].expr {
+            AstExpr::Call { name, args } => {
+                assert!(name.eq_ignore_ascii_case("avg"));
+                assert_eq!(args.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(stmt.where_clause.is_some());
+    }
+
+    #[test]
+    fn parses_paper_query_2() {
+        // Query 2 from the paper (Figure 3).
+        let stmt = parse(
+            "SELECT D.sample_time, D.sample_value \
+             FROM windowdataview \
+             WHERE F.station = 'FIAM' AND F.channel = 'HHZ' \
+             AND H.window_start_ts >= '2010-04-20T23:00:00.000' \
+             AND H.window_start_ts < '2010-04-21T02:00:00.000' \
+             AND H.window_max_val > 10000 AND H.window_std_dev > 10",
+        )
+        .unwrap();
+        assert_eq!(stmt.items.len(), 2);
+        assert_eq!(stmt.from, "windowdataview");
+    }
+
+    #[test]
+    fn aliases_group_order_limit() {
+        let stmt = parse(
+            "SELECT station AS s, COUNT(*) n FROM F \
+             GROUP BY station ORDER BY n DESC, s LIMIT 5",
+        )
+        .unwrap();
+        assert_eq!(stmt.items[0].alias.as_deref(), Some("s"));
+        assert_eq!(stmt.items[1].alias.as_deref(), Some("n"));
+        assert_eq!(stmt.group_by.len(), 1);
+        assert_eq!(stmt.order_by.len(), 2);
+        assert!(!stmt.order_by[0].ascending);
+        assert!(stmt.order_by[1].ascending);
+        assert_eq!(stmt.limit, Some(5));
+    }
+
+    #[test]
+    fn distinct_and_expressions() {
+        let stmt = parse("SELECT DISTINCT uri FROM F WHERE NOT (a = 1 OR b < -2.5)").unwrap();
+        assert!(stmt.distinct);
+        match stmt.where_clause.unwrap() {
+            AstExpr::Not(inner) => match *inner {
+                AstExpr::Binary { op: BinaryOp::Or, .. } => {}
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn operator_precedence() {
+        // a + b * c parses as a + (b * c).
+        let stmt = parse("SELECT a + b * c FROM t").unwrap();
+        match &stmt.items[0].expr {
+            AstExpr::Binary { op: BinaryOp::Add, right, .. } => {
+                assert!(matches!(**right, AstExpr::Binary { op: BinaryOp::Mul, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // AND binds tighter than OR.
+        let stmt = parse("SELECT x FROM t WHERE a = 1 OR b = 2 AND c = 3").unwrap();
+        match stmt.where_clause.unwrap() {
+            AstExpr::Binary { op: BinaryOp::Or, right, .. } => {
+                assert!(matches!(*right, AstExpr::Binary { op: BinaryOp::And, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_cases() {
+        for sql in [
+            "",
+            "SELECT",
+            "SELECT FROM t",
+            "SELECT a",
+            "SELECT a FROM",
+            "SELECT a FROM t WHERE",
+            "SELECT a FROM t LIMIT x",
+            "SELECT a FROM t extra garbage (",
+            "SELECT f( FROM t",
+        ] {
+            assert!(parse(sql).is_err(), "should reject {sql:?}");
+        }
+    }
+
+    #[test]
+    fn hour_bucket_call_parses() {
+        let stmt =
+            parse("SELECT HOUR_BUCKET(D.sample_time) h, MAX(v) FROM dataview GROUP BY HOUR_BUCKET(D.sample_time)")
+                .unwrap();
+        assert_eq!(stmt.group_by.len(), 1);
+        match &stmt.items[0].expr {
+            AstExpr::Call { name, .. } => assert_eq!(name, "HOUR_BUCKET"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn count_star() {
+        let stmt = parse("SELECT COUNT(*) FROM F").unwrap();
+        match &stmt.items[0].expr {
+            AstExpr::Call { name, args } => {
+                assert!(name.eq_ignore_ascii_case("count"));
+                assert_eq!(args, &vec![AstExpr::Star]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,313 @@
+//! The SQL lexer.
+
+use crate::error::{Result, SqlError};
+
+/// One token with its byte position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub pos: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Keyword or identifier (case preserved; keyword matching is
+    /// case-insensitive at the parser level).
+    Ident(String),
+    /// Possibly-qualified identifier is produced by the parser from
+    /// `Ident Dot Ident`; the lexer emits the parts.
+    Number(String),
+    /// Single-quoted string literal (quotes stripped, `''` unescaped).
+    Str(String),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Human-readable name for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier {s:?}"),
+            TokenKind::Number(s) => format!("number {s}"),
+            TokenKind::Str(s) => format!("string '{s}'"),
+            TokenKind::LParen => "'('".into(),
+            TokenKind::RParen => "')'".into(),
+            TokenKind::Comma => "','".into(),
+            TokenKind::Dot => "'.'".into(),
+            TokenKind::Star => "'*'".into(),
+            TokenKind::Plus => "'+'".into(),
+            TokenKind::Minus => "'-'".into(),
+            TokenKind::Slash => "'/'".into(),
+            TokenKind::Eq => "'='".into(),
+            TokenKind::Ne => "'<>'".into(),
+            TokenKind::Lt => "'<'".into(),
+            TokenKind::Le => "'<='".into(),
+            TokenKind::Gt => "'>'".into(),
+            TokenKind::Ge => "'>='".into(),
+            TokenKind::Eof => "end of input".into(),
+        }
+    }
+}
+
+/// Tokenize `sql`.
+pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
+    let bytes = sql.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        let start = i;
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                i += 1;
+            }
+            b'-' if bytes.get(i + 1) == Some(&b'-') => {
+                // Line comment.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'(' => {
+                out.push(Token { kind: TokenKind::LParen, pos: start });
+                i += 1;
+            }
+            b')' => {
+                out.push(Token { kind: TokenKind::RParen, pos: start });
+                i += 1;
+            }
+            b',' => {
+                out.push(Token { kind: TokenKind::Comma, pos: start });
+                i += 1;
+            }
+            b'.' => {
+                out.push(Token { kind: TokenKind::Dot, pos: start });
+                i += 1;
+            }
+            b'*' => {
+                out.push(Token { kind: TokenKind::Star, pos: start });
+                i += 1;
+            }
+            b'+' => {
+                out.push(Token { kind: TokenKind::Plus, pos: start });
+                i += 1;
+            }
+            b'-' => {
+                out.push(Token { kind: TokenKind::Minus, pos: start });
+                i += 1;
+            }
+            b'/' => {
+                out.push(Token { kind: TokenKind::Slash, pos: start });
+                i += 1;
+            }
+            b'=' => {
+                out.push(Token { kind: TokenKind::Eq, pos: start });
+                i += 1;
+            }
+            b'<' => {
+                let kind = match bytes.get(i + 1) {
+                    Some(&b'=') => {
+                        i += 2;
+                        TokenKind::Le
+                    }
+                    Some(&b'>') => {
+                        i += 2;
+                        TokenKind::Ne
+                    }
+                    _ => {
+                        i += 1;
+                        TokenKind::Lt
+                    }
+                };
+                out.push(Token { kind, pos: start });
+            }
+            b'>' => {
+                let kind = if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    TokenKind::Ge
+                } else {
+                    i += 1;
+                    TokenKind::Gt
+                };
+                out.push(Token { kind, pos: start });
+            }
+            b'!' if bytes.get(i + 1) == Some(&b'=') => {
+                out.push(Token { kind: TokenKind::Ne, pos: start });
+                i += 2;
+            }
+            b'\'' => {
+                // String literal with '' escaping.
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        Some(&b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some(&b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                        None => {
+                            return Err(SqlError::Lex {
+                                pos: start,
+                                message: "unterminated string literal".into(),
+                            })
+                        }
+                    }
+                }
+                out.push(Token { kind: TokenKind::Str(s), pos: start });
+            }
+            b'0'..=b'9' => {
+                let mut j = i;
+                let mut seen_dot = false;
+                while j < bytes.len()
+                    && (bytes[j].is_ascii_digit() || (bytes[j] == b'.' && !seen_dot))
+                {
+                    // A dot only continues the number if a digit follows
+                    // (so `1.x` lexes as number 1, dot, ident x).
+                    if bytes[j] == b'.' {
+                        if j + 1 < bytes.len() && bytes[j + 1].is_ascii_digit() {
+                            seen_dot = true;
+                        } else {
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+                out.push(Token {
+                    kind: TokenKind::Number(sql[i..j].to_string()),
+                    pos: start,
+                });
+                i = j;
+            }
+            b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
+                let mut j = i;
+                while j < bytes.len()
+                    && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                out.push(Token { kind: TokenKind::Ident(sql[i..j].to_string()), pos: start });
+                i = j;
+            }
+            other => {
+                return Err(SqlError::Lex {
+                    pos: start,
+                    message: format!("unexpected character {:?}", other as char),
+                })
+            }
+        }
+    }
+    out.push(Token { kind: TokenKind::Eof, pos: bytes.len() });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        tokenize(sql).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            kinds("SELECT a.b, 'x''y' <= 1.5 <> 2"),
+            vec![
+                TokenKind::Ident("SELECT".into()),
+                TokenKind::Ident("a".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("b".into()),
+                TokenKind::Comma,
+                TokenKind::Str("x'y".into()),
+                TokenKind::Le,
+                TokenKind::Number("1.5".into()),
+                TokenKind::Ne,
+                TokenKind::Number("2".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_whitespace_skipped() {
+        assert_eq!(
+            kinds("a -- comment here\n b"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            kinds("< <= > >= = <> !="),
+            vec![
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Gt,
+                TokenKind::Ge,
+                TokenKind::Eq,
+                TokenKind::Ne,
+                TokenKind::Ne,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn number_dot_ident_disambiguation() {
+        assert_eq!(
+            kinds("1.x"),
+            vec![
+                TokenKind::Number("1".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("x".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_rejected() {
+        assert!(matches!(tokenize("'abc"), Err(SqlError::Lex { .. })));
+    }
+
+    #[test]
+    fn unexpected_character_rejected() {
+        assert!(matches!(tokenize("a ; b"), Err(SqlError::Lex { .. })));
+    }
+
+    #[test]
+    fn iso_timestamps_survive_as_strings() {
+        let ts = "'2010-01-12T22:15:00.000'";
+        match &kinds(ts)[0] {
+            TokenKind::Str(s) => assert_eq!(s, "2010-01-12T22:15:00.000"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Robustness of the SQL front end: the lexer/parser must never panic,
+//! whatever bytes arrive; well-formed inputs must parse deterministically.
+
+use proptest::prelude::*;
+use sommelier_sql::parser::parse;
+use sommelier_sql::token::tokenize;
+
+proptest! {
+    /// Arbitrary ASCII never panics the lexer or parser (errors only).
+    #[test]
+    fn no_panics_on_arbitrary_ascii(input in "[ -~]{0,120}") {
+        let _ = tokenize(&input);
+        let _ = parse(&input);
+    }
+
+    /// Arbitrary UTF-8 never panics either.
+    #[test]
+    fn no_panics_on_arbitrary_utf8(input in ".{0,80}") {
+        let _ = tokenize(&input);
+        let _ = parse(&input);
+    }
+
+    /// Structurally valid SELECTs parse, with the expected piece counts.
+    #[test]
+    fn generated_selects_parse(
+        cols in proptest::collection::vec("[a-z][a-z0-9_]{0,6}", 1..5),
+        table in "[a-z][a-z0-9_]{0,8}",
+        lit in any::<i32>(),
+        limit in proptest::option::of(0usize..1000),
+    ) {
+        let mut sql = format!("SELECT {} FROM {}", cols.join(", "), table);
+        sql.push_str(&format!(" WHERE {} > {}", cols[0], lit));
+        if let Some(n) = limit {
+            sql.push_str(&format!(" LIMIT {n}"));
+        }
+        // Column names could collide with keywords (e.g. "or"); only
+        // require a clean parse when they don't.
+        let keywords = ["select", "from", "where", "group", "order", "limit",
+                        "and", "or", "not", "by", "as", "distinct", "asc", "desc"];
+        prop_assume!(cols.iter().all(|c| !keywords.contains(&c.as_str())));
+        prop_assume!(!keywords.contains(&table.as_str()));
+        let stmt = parse(&sql).unwrap_or_else(|e| panic!("{sql:?}: {e}"));
+        prop_assert_eq!(stmt.items.len(), cols.len());
+        prop_assert_eq!(stmt.from, table);
+        prop_assert!(stmt.where_clause.is_some());
+        prop_assert_eq!(stmt.limit, limit);
+    }
+
+    /// Numeric literals round-trip through the expression AST.
+    #[test]
+    fn numeric_literals(v in any::<i64>()) {
+        prop_assume!(v >= 0); // negative literals are unary minus
+        let stmt = parse(&format!("SELECT x FROM t WHERE x = {v}")).unwrap();
+        let rendered = format!("{:?}", stmt.where_clause.unwrap());
+        prop_assert!(rendered.contains(&v.to_string()));
+    }
+
+    /// String literals with embedded quotes survive the lexer.
+    #[test]
+    fn string_literals(s in "[a-zA-Z0-9 ]{0,20}") {
+        let escaped = s.replace('\'', "''");
+        let stmt = parse(&format!("SELECT x FROM t WHERE x = '{escaped}'")).unwrap();
+        let rendered = format!("{:?}", stmt.where_clause.unwrap());
+        prop_assert!(rendered.contains(&s));
+    }
+}

@@ -1,0 +1,88 @@
+//! Error type shared across the storage layer.
+
+use std::fmt;
+use std::io;
+
+/// Result alias used throughout the storage crate.
+pub type Result<T> = std::result::Result<T, StorageError>;
+
+/// Errors produced by the storage layer.
+#[derive(Debug)]
+pub enum StorageError {
+    /// An underlying I/O error, annotated with the operation context.
+    Io { context: String, source: io::Error },
+    /// On-disk data failed validation (bad magic, truncated file, ...).
+    Corrupt(String),
+    /// Schema-level misuse: unknown table/column, type mismatch, ...
+    Schema(String),
+    /// A primary-key or foreign-key constraint was violated.
+    Constraint(String),
+    /// Catalog (de)serialization problem.
+    Catalog(String),
+    /// Value-level problem (parse failure, type mismatch in comparison).
+    Value(String),
+}
+
+impl StorageError {
+    /// Convenience constructor for I/O errors with context.
+    pub fn io(context: impl Into<String>, source: io::Error) -> Self {
+        StorageError::Io { context: context.into(), source }
+    }
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io { context, source } => {
+                write!(f, "i/o error during {context}: {source}")
+            }
+            StorageError::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
+            StorageError::Schema(msg) => write!(f, "schema error: {msg}"),
+            StorageError::Constraint(msg) => write!(f, "constraint violation: {msg}"),
+            StorageError::Catalog(msg) => write!(f, "catalog error: {msg}"),
+            StorageError::Value(msg) => write!(f, "value error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StorageError {
+    fn from(e: io::Error) -> Self {
+        StorageError::Io { context: "storage".into(), source: e }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = StorageError::io("reading page 3", io::Error::other("boom"));
+        let s = e.to_string();
+        assert!(s.contains("reading page 3"));
+        assert!(s.contains("boom"));
+    }
+
+    #[test]
+    fn from_io_error() {
+        let e: StorageError = io::Error::new(io::ErrorKind::NotFound, "nope").into();
+        assert!(matches!(e, StorageError::Io { .. }));
+    }
+
+    #[test]
+    fn error_source_is_preserved() {
+        use std::error::Error;
+        let e = StorageError::io("x", io::Error::other("inner"));
+        assert!(e.source().is_some());
+        assert!(StorageError::Corrupt("c".into()).source().is_none());
+    }
+}

@@ -1,0 +1,259 @@
+//! Primary-key hash indices and foreign-key join indices.
+//!
+//! The paper's *eager index* loading variant "constructs foreign key
+//! indices, which serve as join indices" (§VI-A). We model both flavors:
+//!
+//! * [`HashIndex`] — a multi-column hash index used (a) to verify PK
+//!   uniqueness on insert and (b) as the build side of index-assisted
+//!   joins.
+//! * [`JoinIndex`] — the materialized FK→parent-position mapping: for
+//!   every child row, the row position of its (unique) parent. Probing
+//!   it during a join is a positional gather, the paper's observation
+//!   that "constructing the join index is actually computing the join
+//!   itself".
+
+use crate::column::ColumnData;
+use crate::error::{Result, StorageError};
+use crate::value::Value;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// Hash one composite key (the values at `row` across `cols`).
+///
+/// Text values hash by string content so that columns with different
+/// dictionaries still agree.
+pub fn hash_row(cols: &[&ColumnData], row: usize) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    for col in cols {
+        match col {
+            ColumnData::Int64(v) | ColumnData::Timestamp(v) => v[row].hash(&mut h),
+            ColumnData::Float64(v) => v[row].to_bits().hash(&mut h),
+            ColumnData::Text(t) => t.get(row).hash(&mut h),
+        }
+    }
+    h.finish()
+}
+
+/// True if the composite keys at `(a_cols, a_row)` and `(b_cols, b_row)`
+/// are equal value-wise.
+pub fn rows_equal(a_cols: &[&ColumnData], a_row: usize, b_cols: &[&ColumnData], b_row: usize) -> bool {
+    debug_assert_eq!(a_cols.len(), b_cols.len());
+    a_cols.iter().zip(b_cols.iter()).all(|(a, b)| match (a, b) {
+        (ColumnData::Int64(x) | ColumnData::Timestamp(x), ColumnData::Int64(y) | ColumnData::Timestamp(y)) => {
+            x[a_row] == y[b_row]
+        }
+        (ColumnData::Float64(x), ColumnData::Float64(y)) => x[a_row] == y[b_row],
+        (ColumnData::Text(x), ColumnData::Text(y)) => x.get(a_row) == y.get(b_row),
+        _ => false,
+    })
+}
+
+/// A multi-column hash index mapping composite keys to row positions.
+#[derive(Debug, Default)]
+pub struct HashIndex {
+    /// hash → candidate row positions (collisions resolved by re-check).
+    buckets: HashMap<u64, Vec<u32>>,
+    rows: usize,
+}
+
+impl HashIndex {
+    /// Build over the given key columns (all must share a length).
+    pub fn build(cols: &[&ColumnData]) -> Self {
+        let rows = cols.first().map_or(0, |c| c.len());
+        let mut buckets: HashMap<u64, Vec<u32>> = HashMap::with_capacity(rows);
+        for r in 0..rows {
+            buckets.entry(hash_row(cols, r)).or_default().push(r as u32);
+        }
+        HashIndex { buckets, rows }
+    }
+
+    /// Build and verify uniqueness (for primary keys). Returns an error
+    /// naming the first duplicate found.
+    pub fn build_unique(cols: &[&ColumnData], table: &str) -> Result<Self> {
+        let rows = cols.first().map_or(0, |c| c.len());
+        let mut buckets: HashMap<u64, Vec<u32>> = HashMap::with_capacity(rows);
+        for r in 0..rows {
+            match buckets.entry(hash_row(cols, r)) {
+                Entry::Vacant(e) => {
+                    e.insert(vec![r as u32]);
+                }
+                Entry::Occupied(mut e) => {
+                    for &prev in e.get().iter() {
+                        if rows_equal(cols, prev as usize, cols, r) {
+                            let key: Vec<Value> =
+                                cols.iter().map(|c| c.get(r)).collect();
+                            return Err(StorageError::Constraint(format!(
+                                "duplicate primary key {key:?} in table {table}"
+                            )));
+                        }
+                    }
+                    e.get_mut().push(r as u32);
+                }
+            }
+        }
+        Ok(HashIndex { buckets, rows })
+    }
+
+    /// Number of indexed rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Insert the composite key at `(cols, row)`, failing if an equal key
+    /// is already present. Used for incremental primary-key maintenance
+    /// on append.
+    pub fn try_insert(&mut self, cols: &[&ColumnData], row: usize, table: &str) -> Result<()> {
+        let h = hash_row(cols, row);
+        if let Some(bucket) = self.buckets.get(&h) {
+            for &prev in bucket {
+                if rows_equal(cols, prev as usize, cols, row) {
+                    let key: Vec<Value> = cols.iter().map(|c| c.get(row)).collect();
+                    return Err(StorageError::Constraint(format!(
+                        "duplicate primary key {key:?} in table {table}"
+                    )));
+                }
+            }
+        }
+        self.buckets.entry(h).or_default().push(row as u32);
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// Probe with the composite key at `(probe_cols, probe_row)`;
+    /// returns matching build-side positions.
+    pub fn probe(
+        &self,
+        build_cols: &[&ColumnData],
+        probe_cols: &[&ColumnData],
+        probe_row: usize,
+    ) -> impl Iterator<Item = u32> + '_ {
+        let hash = hash_row(probe_cols, probe_row);
+        let candidates = self.buckets.get(&hash).map(|v| v.as_slice()).unwrap_or(&[]);
+        // Capture owned copies of what the filter closure needs.
+        let build: Vec<&ColumnData> = build_cols.to_vec();
+        let probe: Vec<&ColumnData> = probe_cols.to_vec();
+        candidates
+            .iter()
+            .copied()
+            .filter(move |&b| rows_equal(&build, b as usize, &probe, probe_row))
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+
+    /// Approximate heap bytes (for the Table III "+keys" column).
+    pub fn approx_bytes(&self) -> usize {
+        self.buckets.len() * 48 + self.rows * 4
+    }
+}
+
+/// The materialized FK→parent join index: `positions[child_row]` is the
+/// parent row position.
+#[derive(Debug)]
+pub struct JoinIndex {
+    pub parent_table: String,
+    pub positions: Vec<u32>,
+}
+
+impl JoinIndex {
+    /// Build by probing the parent PK index with every child FK value.
+    /// Fails if a child row has no parent (dangling FK) — this is the
+    /// constraint-verification work the paper's *lazy* variant skips.
+    pub fn build(
+        parent_table: &str,
+        parent_pk: &HashIndex,
+        parent_cols: &[&ColumnData],
+        child_cols: &[&ColumnData],
+    ) -> Result<Self> {
+        let child_rows = child_cols.first().map_or(0, |c| c.len());
+        let mut positions = Vec::with_capacity(child_rows);
+        for r in 0..child_rows {
+            let mut matches = parent_pk.probe(parent_cols, child_cols, r);
+            match matches.next() {
+                Some(p) => positions.push(p),
+                None => {
+                    let key: Vec<Value> = child_cols.iter().map(|c| c.get(r)).collect();
+                    return Err(StorageError::Constraint(format!(
+                        "foreign key {key:?} has no parent in {parent_table}"
+                    )));
+                }
+            }
+        }
+        Ok(JoinIndex { parent_table: parent_table.to_string(), positions })
+    }
+
+    /// Approximate heap bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.positions.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::TextColumn;
+
+    #[test]
+    fn hash_index_probe_finds_rows() {
+        let keys = ColumnData::Int64(vec![10, 20, 10, 30]);
+        let idx = HashIndex::build(&[&keys]);
+        let probe = ColumnData::Int64(vec![10, 99]);
+        let hits: Vec<u32> = idx.probe(&[&keys], &[&probe], 0).collect();
+        assert_eq!(hits, vec![0, 2]);
+        let misses: Vec<u32> = idx.probe(&[&keys], &[&probe], 1).collect();
+        assert!(misses.is_empty());
+    }
+
+    #[test]
+    fn composite_text_keys() {
+        let station = ColumnData::Text(TextColumn::from_strs(["ISK", "FIAM", "ISK"]));
+        let channel = ColumnData::Text(TextColumn::from_strs(["BHE", "HHZ", "BHZ"]));
+        let idx = HashIndex::build(&[&station, &channel]);
+        // Probe with columns using a *different* dictionary ordering.
+        let p_station = ColumnData::Text(TextColumn::from_strs(["ISK"]));
+        let p_channel = ColumnData::Text(TextColumn::from_strs(["BHZ"]));
+        let hits: Vec<u32> = idx
+            .probe(&[&station, &channel], &[&p_station, &p_channel], 0)
+            .collect();
+        assert_eq!(hits, vec![2]);
+    }
+
+    #[test]
+    fn unique_build_rejects_duplicates() {
+        let keys = ColumnData::Int64(vec![1, 2, 1]);
+        match HashIndex::build_unique(&[&keys], "F") {
+            Err(StorageError::Constraint(msg)) => assert!(msg.contains('F')),
+            other => panic!("expected constraint violation, got {other:?}"),
+        }
+        assert!(HashIndex::build_unique(&[&ColumnData::Int64(vec![1, 2, 3])], "F").is_ok());
+    }
+
+    #[test]
+    fn join_index_maps_children_to_parents() {
+        let parent = ColumnData::Int64(vec![100, 200, 300]);
+        let pk = HashIndex::build_unique(&[&parent], "F").unwrap();
+        let child = ColumnData::Int64(vec![300, 100, 100]);
+        let ji = JoinIndex::build("F", &pk, &[&parent], &[&child]).unwrap();
+        assert_eq!(ji.positions, vec![2, 0, 0]);
+    }
+
+    #[test]
+    fn join_index_detects_dangling_fk() {
+        let parent = ColumnData::Int64(vec![1]);
+        let pk = HashIndex::build_unique(&[&parent], "F").unwrap();
+        let child = ColumnData::Int64(vec![1, 7]);
+        assert!(matches!(
+            JoinIndex::build("F", &pk, &[&parent], &[&child]),
+            Err(StorageError::Constraint(_))
+        ));
+    }
+
+    #[test]
+    fn empty_index() {
+        let keys = ColumnData::Int64(vec![]);
+        let idx = HashIndex::build(&[&keys]);
+        assert_eq!(idx.rows(), 0);
+        let probe = ColumnData::Int64(vec![1]);
+        assert_eq!(idx.probe(&[&keys], &[&probe], 0).count(), 0);
+    }
+}

@@ -1,0 +1,71 @@
+//! Fixed-size pages and page identifiers.
+
+/// Size of a buffer-pool page in bytes.
+///
+/// 64 KiB is large enough that sequential column scans amortize the
+/// per-page bookkeeping, yet small enough that the byte-budgeted pool
+/// gives fine-grained eviction behaviour at our scaled-down dataset
+/// sizes.
+pub const PAGE_SIZE: usize = 64 * 1024;
+
+/// Offset of the first data page within a column file. The file header
+/// occupies the bytes before it (page-aligned so that page `n` maps to
+/// offset `DATA_START + n * PAGE_SIZE`).
+pub const DATA_START: u64 = 4096;
+
+/// Identifies one registered file in the [`crate::buffer::DiskManager`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FileId(pub u64);
+
+/// Identifies one page: a file plus a page number within its data region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageKey {
+    pub file: FileId,
+    pub page_no: u32,
+}
+
+/// An immutable page buffer as handed out by the pool.
+#[derive(Debug)]
+pub struct PageBuf {
+    /// Raw page bytes; the tail beyond the file end is zero.
+    pub data: Box<[u8]>,
+    /// Number of valid bytes actually read from disk.
+    pub valid: usize,
+}
+
+impl PageBuf {
+    /// The valid prefix of the page.
+    pub fn bytes(&self) -> &[u8] {
+        &self.data[..self.valid]
+    }
+}
+
+/// Byte offset in the file where `page_no`'s data region starts.
+pub fn page_offset(page_no: u32) -> u64 {
+    DATA_START + page_no as u64 * PAGE_SIZE as u64
+}
+
+/// The page number containing byte `offset` of the data region, and the
+/// offset within that page.
+pub fn locate(data_offset: u64) -> (u32, usize) {
+    ((data_offset / PAGE_SIZE as u64) as u32, (data_offset % PAGE_SIZE as u64) as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offsets_are_page_aligned() {
+        assert_eq!(page_offset(0), DATA_START);
+        assert_eq!(page_offset(2), DATA_START + 2 * PAGE_SIZE as u64);
+    }
+
+    #[test]
+    fn locate_maps_into_pages() {
+        assert_eq!(locate(0), (0, 0));
+        assert_eq!(locate(PAGE_SIZE as u64 - 1), (0, PAGE_SIZE - 1));
+        assert_eq!(locate(PAGE_SIZE as u64), (1, 0));
+        assert_eq!(locate(3 * PAGE_SIZE as u64 + 17), (3, 17));
+    }
+}

@@ -1,0 +1,211 @@
+//! Table schemas and the metadata/actual-data classification.
+//!
+//! The paper partitions the schema `T = M ∪ A` into metadata tables `M`
+//! (given or derived) and actual-data tables `A` (§III). The class drives
+//! everything downstream: the query-graph coloring, the `Qf`/`Qs`
+//! decomposition, and which tables the Registrar loads eagerly.
+
+use crate::error::{Result, StorageError};
+use crate::value::DataType;
+
+/// The paper's table classification (§II-A, §III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TableClass {
+    /// Given metadata (GMd): loaded eagerly by the Registrar.
+    MetadataGiven,
+    /// Derived metadata (DMd): incrementally materialized views.
+    MetadataDerived,
+    /// Actual data (AD): loaded lazily, chunk by chunk.
+    ActualData,
+}
+
+impl TableClass {
+    /// True for both metadata classes (the "red" vertices of §III).
+    pub fn is_metadata(self) -> bool {
+        !matches!(self, TableClass::ActualData)
+    }
+
+    /// Catalog name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TableClass::MetadataGiven => "metadata_given",
+            TableClass::MetadataDerived => "metadata_derived",
+            TableClass::ActualData => "actual_data",
+        }
+    }
+
+    /// Inverse of [`TableClass::name`].
+    pub fn from_name(name: &str) -> Result<Self> {
+        Ok(match name {
+            "metadata_given" => TableClass::MetadataGiven,
+            "metadata_derived" => TableClass::MetadataDerived,
+            "actual_data" => TableClass::ActualData,
+            other => return Err(StorageError::Catalog(format!("unknown table class {other:?}"))),
+        })
+    }
+}
+
+/// One column definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    pub name: String,
+    pub dtype: DataType,
+}
+
+impl ColumnDef {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        ColumnDef { name: name.into(), dtype }
+    }
+}
+
+/// A foreign-key constraint: `columns` of this table reference
+/// `parent_columns` of `parent_table`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForeignKey {
+    pub columns: Vec<String>,
+    pub parent_table: String,
+    pub parent_columns: Vec<String>,
+}
+
+/// A table schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSchema {
+    pub name: String,
+    pub class: TableClass,
+    pub columns: Vec<ColumnDef>,
+    /// Primary-key column names (empty = no PK).
+    pub primary_key: Vec<String>,
+    pub foreign_keys: Vec<ForeignKey>,
+}
+
+impl TableSchema {
+    /// Start building a schema.
+    pub fn new(name: impl Into<String>, class: TableClass) -> Self {
+        TableSchema {
+            name: name.into(),
+            class,
+            columns: Vec::new(),
+            primary_key: Vec::new(),
+            foreign_keys: Vec::new(),
+        }
+    }
+
+    /// Add a column (builder style).
+    pub fn column(mut self, name: impl Into<String>, dtype: DataType) -> Self {
+        self.columns.push(ColumnDef::new(name, dtype));
+        self
+    }
+
+    /// Set the primary key (builder style).
+    pub fn primary_key<S: Into<String>>(mut self, cols: impl IntoIterator<Item = S>) -> Self {
+        self.primary_key = cols.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Add a foreign key (builder style).
+    pub fn foreign_key<S: Into<String>>(
+        mut self,
+        cols: impl IntoIterator<Item = S>,
+        parent_table: impl Into<String>,
+        parent_cols: impl IntoIterator<Item = S>,
+    ) -> Self {
+        self.foreign_keys.push(ForeignKey {
+            columns: cols.into_iter().map(Into::into).collect(),
+            parent_table: parent_table.into(),
+            parent_columns: parent_cols.into_iter().map(Into::into).collect(),
+        });
+        self
+    }
+
+    /// Index of `name` among the columns.
+    pub fn col_index(&self, name: &str) -> Result<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name == name)
+            .ok_or_else(|| {
+                StorageError::Schema(format!("table {} has no column {name:?}", self.name))
+            })
+    }
+
+    /// Type of column `name`.
+    pub fn col_type(&self, name: &str) -> Result<DataType> {
+        Ok(self.columns[self.col_index(name)?].dtype)
+    }
+
+    /// Validate internal consistency (PK/FK columns exist, no dup names).
+    pub fn validate(&self) -> Result<()> {
+        for (i, c) in self.columns.iter().enumerate() {
+            if self.columns[..i].iter().any(|o| o.name == c.name) {
+                return Err(StorageError::Schema(format!(
+                    "table {}: duplicate column {:?}",
+                    self.name, c.name
+                )));
+            }
+        }
+        for pk in &self.primary_key {
+            self.col_index(pk)?;
+        }
+        for fk in &self.foreign_keys {
+            if fk.columns.len() != fk.parent_columns.len() {
+                return Err(StorageError::Schema(format!(
+                    "table {}: foreign key arity mismatch",
+                    self.name
+                )));
+            }
+            for c in &fk.columns {
+                self.col_index(c)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TableSchema {
+        TableSchema::new("S", TableClass::MetadataGiven)
+            .column("seg_id", DataType::Int64)
+            .column("file_id", DataType::Int64)
+            .column("start_time", DataType::Timestamp)
+            .primary_key(["seg_id"])
+            .foreign_key(["file_id"], "F", ["file_id"])
+    }
+
+    #[test]
+    fn builder_and_lookup() {
+        let s = sample();
+        assert_eq!(s.col_index("file_id").unwrap(), 1);
+        assert_eq!(s.col_type("start_time").unwrap(), DataType::Timestamp);
+        assert!(s.col_index("nope").is_err());
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_duplicates() {
+        let s = TableSchema::new("X", TableClass::ActualData)
+            .column("a", DataType::Int64)
+            .column("a", DataType::Int64);
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_bad_pk() {
+        let s = TableSchema::new("X", TableClass::ActualData)
+            .column("a", DataType::Int64)
+            .primary_key(["b"]);
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn class_roundtrip() {
+        for c in [TableClass::MetadataGiven, TableClass::MetadataDerived, TableClass::ActualData] {
+            assert_eq!(TableClass::from_name(c.name()).unwrap(), c);
+        }
+        assert!(TableClass::MetadataGiven.is_metadata());
+        assert!(TableClass::MetadataDerived.is_metadata());
+        assert!(!TableClass::ActualData.is_metadata());
+    }
+}

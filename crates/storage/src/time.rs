@@ -1,0 +1,195 @@
+//! Civil-time handling without external dependencies.
+//!
+//! The paper's dataset keys everything on ISO-8601 timestamps
+//! (`2010-01-12T22:15:00.000`). We represent instants as **milliseconds
+//! since the Unix epoch** (`i64`) and provide the civil-date conversions
+//! needed to parse/format them and to compute the hourly windows used by
+//! the derived-metadata table `H`.
+//!
+//! The day-count conversions use the classic Howard Hinnant
+//! `days_from_civil` / `civil_from_days` algorithms, valid across the
+//! whole proleptic Gregorian calendar.
+
+use crate::error::{Result, StorageError};
+
+/// Milliseconds per second.
+pub const MS_PER_SEC: i64 = 1_000;
+/// Milliseconds per minute.
+pub const MS_PER_MIN: i64 = 60 * MS_PER_SEC;
+/// Milliseconds per hour.
+pub const MS_PER_HOUR: i64 = 60 * MS_PER_MIN;
+/// Milliseconds per day.
+pub const MS_PER_DAY: i64 = 24 * MS_PER_HOUR;
+
+/// Number of days from 1970-01-01 to the given civil date (may be negative).
+pub fn days_from_civil(y: i64, m: u32, d: u32) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let mp = (m as i64 + 9) % 12; // March = 0
+    let doy = (153 * mp + 2) / 5 + d as i64 - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146_097 + doe - 719_468
+}
+
+/// Inverse of [`days_from_civil`]: civil date for a day count.
+pub fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// Build an epoch-milliseconds timestamp from civil components.
+pub fn ts_from_civil(y: i64, mo: u32, d: u32, h: u32, mi: u32, s: u32, ms: u32) -> i64 {
+    days_from_civil(y, mo, d) * MS_PER_DAY
+        + h as i64 * MS_PER_HOUR
+        + mi as i64 * MS_PER_MIN
+        + s as i64 * MS_PER_SEC
+        + ms as i64
+}
+
+/// Parse an ISO-8601-ish timestamp.
+///
+/// Accepted shapes (as used in the paper's queries):
+/// `YYYY-MM-DD`, `YYYY-MM-DDTHH:MM:SS`, `YYYY-MM-DDTHH:MM:SS.mmm`.
+/// A space is accepted in place of `T`.
+pub fn parse_ts(s: &str) -> Result<i64> {
+    let bad = || StorageError::Value(format!("invalid timestamp literal: {s:?}"));
+    let bytes = s.as_bytes();
+    if bytes.len() < 10 {
+        return Err(bad());
+    }
+    let num = |range: std::ops::Range<usize>| -> Result<i64> {
+        s.get(range)
+            .and_then(|t| t.parse::<i64>().ok())
+            .ok_or_else(bad)
+    };
+    let y = num(0..4)?;
+    if bytes[4] != b'-' || bytes[7] != b'-' {
+        return Err(bad());
+    }
+    let mo = num(5..7)? as u32;
+    let d = num(8..10)? as u32;
+    if !(1..=12).contains(&mo) || !(1..=31).contains(&d) {
+        return Err(bad());
+    }
+    if bytes.len() == 10 {
+        return Ok(ts_from_civil(y, mo, d, 0, 0, 0, 0));
+    }
+    if bytes.len() < 19 || (bytes[10] != b'T' && bytes[10] != b' ') {
+        return Err(bad());
+    }
+    let h = num(11..13)? as u32;
+    let mi = num(14..16)? as u32;
+    let sec = num(17..19)? as u32;
+    if bytes[13] != b':' || bytes[16] != b':' || h > 23 || mi > 59 || sec > 59 {
+        return Err(bad());
+    }
+    let ms = if bytes.len() > 19 {
+        if bytes[19] != b'.' || bytes.len() < 21 {
+            return Err(bad());
+        }
+        // Accept 1-3 fractional digits; scale to milliseconds.
+        let frac = &s[20..];
+        if frac.is_empty() || frac.len() > 3 || !frac.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(bad());
+        }
+        let v: i64 = frac.parse().map_err(|_| bad())?;
+        (v * 10i64.pow(3 - frac.len() as u32)) as u32
+    } else {
+        0
+    };
+    Ok(ts_from_civil(y, mo, d, h, mi, sec, ms))
+}
+
+/// Format an epoch-milliseconds timestamp as `YYYY-MM-DDTHH:MM:SS.mmm`.
+pub fn format_ts(ms: i64) -> String {
+    let days = ms.div_euclid(MS_PER_DAY);
+    let rem = ms.rem_euclid(MS_PER_DAY);
+    let (y, mo, d) = civil_from_days(days);
+    let h = rem / MS_PER_HOUR;
+    let mi = (rem % MS_PER_HOUR) / MS_PER_MIN;
+    let s = (rem % MS_PER_MIN) / MS_PER_SEC;
+    let milli = rem % MS_PER_SEC;
+    format!("{y:04}-{mo:02}-{d:02}T{h:02}:{mi:02}:{s:02}.{milli:03}")
+}
+
+/// Floor a timestamp to the start of its hour (the `H.window_start_ts`
+/// bucketing function from the paper's derived-metadata schema).
+pub fn hour_bucket(ms: i64) -> i64 {
+    ms.div_euclid(MS_PER_HOUR) * MS_PER_HOUR
+}
+
+/// Floor a timestamp to the start of its day.
+pub fn day_bucket(ms: i64) -> i64 {
+    ms.div_euclid(MS_PER_DAY) * MS_PER_DAY
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_day_zero() {
+        assert_eq!(days_from_civil(1970, 1, 1), 0);
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+    }
+
+    #[test]
+    fn known_dates_roundtrip() {
+        // 2010-01-12 is 14621 days after the epoch.
+        assert_eq!(days_from_civil(2010, 1, 12), 14_621);
+        assert_eq!(civil_from_days(14_621), (2010, 1, 12));
+        // Leap day.
+        assert_eq!(civil_from_days(days_from_civil(2012, 2, 29)), (2012, 2, 29));
+    }
+
+    #[test]
+    fn parse_paper_query_literals() {
+        // Literals from Query 1 and Query 2 in the paper.
+        let a = parse_ts("2010-01-12T22:15:00.000").unwrap();
+        let b = parse_ts("2010-01-12T22:15:02.000").unwrap();
+        assert_eq!(b - a, 2 * MS_PER_SEC);
+        let c = parse_ts("2010-04-20T23:00:00.000").unwrap();
+        let d = parse_ts("2010-04-21T02:00:00.000").unwrap();
+        assert_eq!(d - c, 3 * MS_PER_HOUR);
+    }
+
+    #[test]
+    fn parse_short_forms() {
+        assert_eq!(parse_ts("1970-01-01").unwrap(), 0);
+        assert_eq!(parse_ts("1970-01-01T00:00:01").unwrap(), MS_PER_SEC);
+        assert_eq!(parse_ts("1970-01-01 00:00:01.5").unwrap(), MS_PER_SEC + 500);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for s in ["", "2010", "2010-13-01", "2010-01-32", "2010-01-01X00:00:00",
+                  "2010-01-01T25:00:00", "2010-01-01T00:00:00.", "2010-01-01T00:00:00.1234"] {
+            assert!(parse_ts(s).is_err(), "should reject {s:?}");
+        }
+    }
+
+    #[test]
+    fn format_then_parse_roundtrip() {
+        for ms in [0i64, 1, 999, -1, 1_263_334_500_123, -86_400_000] {
+            assert_eq!(parse_ts(&format_ts(ms)).unwrap(), ms, "for {ms}");
+        }
+    }
+
+    #[test]
+    fn hour_bucket_floors() {
+        let t = parse_ts("2010-04-20T23:45:12.345").unwrap();
+        assert_eq!(hour_bucket(t), parse_ts("2010-04-20T23:00:00.000").unwrap());
+        // Negative timestamps floor toward -inf, not toward zero.
+        assert_eq!(hour_bucket(-1), -MS_PER_HOUR);
+        assert_eq!(day_bucket(-1), -MS_PER_DAY);
+    }
+}

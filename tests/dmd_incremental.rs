@@ -1,0 +1,179 @@
+//! End-to-end behaviour of incremental metadata derivation
+//! (Algorithm 1): coverage bookkeeping, partial reuse across
+//! overlapping queries, and equivalence with eager materialization.
+
+use sommelier_core::{LoadingMode, SommelierConfig};
+use sommelier_integration::{fiam_repo, ingv_repo, prepared, TempDir};
+use sommelier_storage::Value;
+
+fn window_query(from_hour: &str, to_hour: &str) -> String {
+    format!(
+        "SELECT window_start_ts, window_max_val FROM H \
+         WHERE window_station = 'FIAM' AND window_channel = 'HHZ' \
+         AND window_start_ts >= '{from_hour}' AND window_start_ts < '{to_hour}' \
+         ORDER BY window_start_ts"
+    )
+}
+
+#[test]
+fn overlapping_queries_derive_only_the_delta() {
+    let dir = TempDir::new("delta");
+    let repo = fiam_repo(&dir, 2, 64);
+    let somm = prepared(&repo, LoadingMode::Lazy, SommelierConfig::default());
+
+    // Hours [0, 6) derived.
+    let r1 = somm
+        .query(&window_query("2010-01-01T00:00:00.000", "2010-01-01T06:00:00.000"))
+        .unwrap();
+    let d1 = r1.dmd.unwrap();
+    assert_eq!((d1.requested, d1.missing), (6, 6));
+
+    // Hours [3, 9): only [6, 9) is new.
+    let r2 = somm
+        .query(&window_query("2010-01-01T03:00:00.000", "2010-01-01T09:00:00.000"))
+        .unwrap();
+    let d2 = r2.dmd.unwrap();
+    assert_eq!((d2.requested, d2.missing), (6, 3), "partial reuse");
+
+    // Strict subset: nothing new.
+    let r3 = somm
+        .query(&window_query("2010-01-01T04:00:00.000", "2010-01-01T08:00:00.000"))
+        .unwrap();
+    assert_eq!(r3.dmd.unwrap().missing, 0);
+    assert_eq!(somm.dmd_manager().covered_count(), 9);
+    assert_eq!(somm.db().table_rows("H").unwrap(), 9);
+}
+
+#[test]
+fn derivation_matches_eager_dmd_materialization() {
+    let dir = TempDir::new("equiv");
+    let repo = fiam_repo(&dir, 2, 64);
+
+    // Eagerly materialized H.
+    let eager = prepared(&repo, LoadingMode::EagerDmd, SommelierConfig::default());
+    // Lazily derived H over the same span.
+    let lazy = prepared(&repo, LoadingMode::Lazy, SommelierConfig::default());
+    let q = window_query("2010-01-01T00:00:00.000", "2010-01-03T00:00:00.000");
+    let want = eager.query(&q).unwrap();
+    let got = lazy.query(&q).unwrap();
+    assert_eq!(want.relation.rows(), got.relation.rows());
+    assert!(want.relation.rows() > 0);
+    for r in 0..want.relation.rows() {
+        let a = want.relation.value(r, "window_max_val").unwrap();
+        let b = got.relation.value(r, "window_max_val").unwrap();
+        match (a, b) {
+            (Value::Float(x), Value::Float(y)) => {
+                assert!((x - y).abs() < 1e-6, "row {r}: {x} vs {y}")
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn unconstrained_station_widens_to_all_sensors() {
+    let dir = TempDir::new("widen");
+    let repo = ingv_repo(&dir, 1, 32); // 4 stations × 1 day
+    let somm = prepared(&repo, LoadingMode::Lazy, SommelierConfig::default());
+    // No station predicate: PSq spans all four sensors for one hour.
+    let r = somm
+        .query(
+            "SELECT window_station, window_max_val FROM H \
+             WHERE window_start_ts = '2010-01-01T05:00:00.000' \
+             ORDER BY window_station",
+        )
+        .unwrap();
+    let dmd = r.dmd.unwrap();
+    // 4 stations × 4 channels × 1 hour (stations and channels widen
+    // independently; nonexistent combinations derive to nothing).
+    assert_eq!(dmd.requested, 16);
+    assert_eq!(r.relation.rows(), 4, "one window per real sensor");
+}
+
+#[test]
+fn derivation_rows_survive_cold_restarts_of_caches() {
+    // Flushing buffer/chunk caches must not lose materialized DMd
+    // (it is a table, not a cache).
+    let dir = TempDir::new("cold-dmd");
+    let repo = fiam_repo(&dir, 1, 64);
+    let somm = prepared(&repo, LoadingMode::Lazy, SommelierConfig::default());
+    let q = window_query("2010-01-01T00:00:00.000", "2010-01-01T04:00:00.000");
+    somm.query(&q).unwrap();
+    let rows_before = somm.db().table_rows("H").unwrap();
+    somm.flush_caches();
+    let r = somm.query(&q).unwrap();
+    assert_eq!(r.dmd.unwrap().missing, 0, "coverage survives cache flush");
+    assert_eq!(somm.db().table_rows("H").unwrap(), rows_before);
+}
+
+#[test]
+fn reset_dmd_forces_rederivation() {
+    let dir = TempDir::new("reset");
+    let repo = fiam_repo(&dir, 1, 64);
+    let somm = prepared(&repo, LoadingMode::Lazy, SommelierConfig::default());
+    let q = window_query("2010-01-01T00:00:00.000", "2010-01-01T03:00:00.000");
+    assert_eq!(somm.query(&q).unwrap().dmd.unwrap().missing, 3);
+    assert_eq!(somm.query(&q).unwrap().dmd.unwrap().missing, 0);
+    somm.reset_dmd().unwrap();
+    assert_eq!(somm.db().table_rows("H").unwrap(), 0);
+    assert_eq!(somm.query(&q).unwrap().dmd.unwrap().missing, 3);
+}
+
+#[test]
+fn t5_uses_windows_to_prune_chunks() {
+    // The point of DMd in the lazy system: a T5 whose window predicate
+    // matches nothing must not load any chunks for stage 2 (the
+    // derivation itself needs the chunks once, though).
+    let dir = TempDir::new("prune");
+    let repo = fiam_repo(&dir, 3, 64);
+    let somm = prepared(&repo, LoadingMode::Lazy, SommelierConfig::default());
+    let r = somm
+        .query(
+            "SELECT AVG(D.sample_value) FROM windowdataview \
+             WHERE F.station = 'FIAM' AND F.channel = 'HHZ' \
+             AND H.window_start_ts < '2010-01-04T00:00:00.000' \
+             AND H.window_max_val > 999999999",
+        )
+        .unwrap();
+    // Derivation loaded the 3 chunks; the main query selected none.
+    assert!(r.dmd.unwrap().files_loaded > 0);
+    assert_eq!(r.stats.files_selected, 0, "no qualifying windows → no chunks");
+    assert_eq!(r.relation.rows(), 0);
+}
+
+#[test]
+fn derived_metadata_values_are_window_statistics() {
+    // Cross-check one derived window against direct aggregation.
+    let dir = TempDir::new("stats-check");
+    let repo = fiam_repo(&dir, 1, 128);
+    let somm = prepared(&repo, LoadingMode::Lazy, SommelierConfig::default());
+    let window = somm
+        .query(
+            "SELECT window_max_val, window_min_val, window_mean_val FROM H \
+             WHERE window_station = 'FIAM' AND window_channel = 'HHZ' \
+             AND window_start_ts = '2010-01-01T10:00:00.000'",
+        )
+        .unwrap();
+    assert_eq!(window.relation.rows(), 1);
+    let direct = somm
+        .query(
+            "SELECT MAX(D.sample_value) AS mx, MIN(D.sample_value) AS mn, \
+             AVG(D.sample_value) AS me FROM dataview \
+             WHERE F.station = 'FIAM' \
+             AND D.sample_time >= '2010-01-01T10:00:00.000' \
+             AND D.sample_time < '2010-01-01T11:00:00.000'",
+        )
+        .unwrap();
+    for (wcol, dcol) in
+        [("window_max_val", "mx"), ("window_min_val", "mn"), ("window_mean_val", "me")]
+    {
+        let w = window.relation.value(0, wcol).unwrap();
+        let d = direct.relation.value(0, dcol).unwrap();
+        match (w, d) {
+            (Value::Float(x), Value::Float(y)) => {
+                assert!((x - y).abs() < 1e-9, "{wcol}: {x} vs {y}")
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

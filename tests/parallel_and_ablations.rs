@@ -1,0 +1,168 @@
+//! The design-choice ablations of DESIGN.md, as correctness tests:
+//! static vs exchange parallelism, selection pushdown, FK verification
+//! on lazy loads, and index joins — every knob must preserve answers.
+
+use sommelier_core::{LoadingMode, SommelierConfig};
+use sommelier_engine::ParallelMode;
+use sommelier_integration::{fiam_repo, ingv_repo, prepared, scalar_f64, TempDir};
+
+const Q: &str = "SELECT AVG(D.sample_value) FROM dataview \
+                 WHERE F.station = 'FIAM' \
+                 AND D.sample_time >= '2010-01-01T00:00:00.000' \
+                 AND D.sample_time < '2010-01-05T00:00:00.000'";
+
+#[test]
+fn exchange_parallelism_matches_static() {
+    let dir = TempDir::new("exchange");
+    let repo = fiam_repo(&dir, 6, 64);
+    let static_somm = prepared(&repo, LoadingMode::Lazy, SommelierConfig::default());
+    let want = scalar_f64(&static_somm.query(Q).unwrap(), "avg").unwrap();
+
+    let config = SommelierConfig {
+        parallel: ParallelMode::Exchange { workers: 3 },
+        ..SommelierConfig::default()
+    };
+    let exchange_somm = prepared(&repo, LoadingMode::Lazy, config);
+    let got_result = exchange_somm.query(Q).unwrap();
+    let got = scalar_f64(&got_result, "avg").unwrap();
+    assert!((want - got).abs() < 1e-9, "{want} vs {got}");
+    assert_eq!(got_result.stats.files_loaded, 4);
+}
+
+#[test]
+fn exchange_with_single_worker_still_correct() {
+    let dir = TempDir::new("exchange-1");
+    let repo = fiam_repo(&dir, 3, 32);
+    let config = SommelierConfig {
+        parallel: ParallelMode::Exchange { workers: 1 },
+        ..SommelierConfig::default()
+    };
+    let somm = prepared(&repo, LoadingMode::Lazy, config);
+    assert!(scalar_f64(&somm.query(Q).unwrap(), "avg").is_some());
+}
+
+#[test]
+fn pushdown_toggle_preserves_answers() {
+    let dir = TempDir::new("pushdown");
+    let repo = fiam_repo(&dir, 4, 64);
+    let with = {
+        let somm = prepared(&repo, LoadingMode::Lazy, SommelierConfig::default());
+        scalar_f64(&somm.query(Q).unwrap(), "avg").unwrap()
+    };
+    let without = {
+        let config =
+            SommelierConfig { chunk_pushdown: false, ..SommelierConfig::default() };
+        let somm = prepared(&repo, LoadingMode::Lazy, config);
+        scalar_f64(&somm.query(Q).unwrap(), "avg").unwrap()
+    };
+    assert!((with - without).abs() < 1e-9, "{with} vs {without}");
+}
+
+#[test]
+fn lazy_fk_verification_passes_on_consistent_data() {
+    // The paper omits FK checks as "safe by design"; with the checks
+    // turned on, system-generated keys must indeed verify.
+    let dir = TempDir::new("fkverify");
+    let repo = fiam_repo(&dir, 3, 32);
+    let config = SommelierConfig { verify_lazy_fk: true, ..SommelierConfig::default() };
+    let somm = prepared(&repo, LoadingMode::Lazy, config);
+    let r = somm.query(Q).unwrap();
+    assert!(r.stats.files_loaded > 0);
+    assert!(scalar_f64(&r, "avg").is_some());
+}
+
+#[test]
+fn index_joins_agree_with_hash_joins() {
+    let dir = TempDir::new("indexjoin");
+    let repo = ingv_repo(&dir, 3, 64);
+    let sql = "SELECT AVG(D.sample_value) FROM dataview \
+               WHERE F.station = 'AQU' AND F.channel = 'BHZ' \
+               AND D.sample_time >= '2010-01-01T12:00:00.000' \
+               AND D.sample_time < '2010-01-03T12:00:00.000'";
+    let plain = prepared(&repo, LoadingMode::EagerPlain, SommelierConfig::default());
+    let index = prepared(&repo, LoadingMode::EagerIndex, SommelierConfig::default());
+    let a = scalar_f64(&plain.query(sql).unwrap(), "avg").unwrap();
+    let b = scalar_f64(&index.query(sql).unwrap(), "avg").unwrap();
+    assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    // The index variant did build its join indices.
+    assert!(index.db().join_index("D", "F").is_some());
+    assert!(index.db().join_index("D", "S").is_some());
+}
+
+#[test]
+fn static_parallelism_loads_every_file_exactly_once() {
+    let dir = TempDir::new("once");
+    let repo = fiam_repo(&dir, 8, 32);
+    let config = SommelierConfig { max_threads: 3, ..SommelierConfig::default() };
+    let somm = prepared(&repo, LoadingMode::Lazy, config);
+    let r = somm
+        .query(
+            "SELECT COUNT(*) AS n FROM dataview \
+             WHERE D.sample_time < '2010-01-09T00:00:00.000'",
+        )
+        .unwrap();
+    assert_eq!(r.stats.files_loaded, 8);
+    // Row count equals the repository's sample count.
+    let total: i64 = r.relation.value(0, "n").unwrap().as_i64().unwrap();
+    let meta = somm.query("SELECT SUM(S.sample_count) AS s FROM segview").unwrap();
+    let expected = scalar_f64(&meta, "s").unwrap();
+    assert_eq!(total as f64, expected);
+}
+
+#[test]
+fn approximate_answering_samples_chunks() {
+    // The paper's §VIII future-work sketch, implemented: a sampled
+    // query ingests a fraction of the selected chunks.
+    let dir = TempDir::new("approx");
+    let repo = fiam_repo(&dir, 10, 64);
+    let somm = prepared(&repo, LoadingMode::Lazy, SommelierConfig::default());
+    let sql = "SELECT AVG(D.sample_value) FROM dataview \
+               WHERE D.sample_time < '2010-01-11T00:00:00.000'";
+    let exact = somm.query(sql).unwrap();
+    assert_eq!(exact.stats.files_selected, 10);
+    somm.flush_caches();
+    let approx = somm.query_approx(sql, 0.3).unwrap();
+    assert_eq!(approx.stats.files_selected, 10, "selection is unchanged");
+    assert_eq!(approx.stats.files_sampled_out, 7, "ceil(0.3 × 10) = 3 kept");
+    assert_eq!(approx.stats.files_loaded, 3);
+    // Deterministic: the same sample every time.
+    somm.flush_caches();
+    let again = somm.query_approx(sql, 0.3).unwrap();
+    assert_eq!(
+        scalar_f64(&approx, "avg").unwrap(),
+        scalar_f64(&again, "avg").unwrap()
+    );
+    // Fraction 1.0 is exact.
+    somm.flush_caches();
+    let full = somm.query_approx(sql, 1.0).unwrap();
+    assert_eq!(full.stats.files_sampled_out, 0);
+    assert_eq!(
+        scalar_f64(&full, "avg").unwrap(),
+        scalar_f64(&exact, "avg").unwrap()
+    );
+    // Invalid fractions rejected.
+    assert!(somm.query_approx(sql, 0.0).is_err());
+    assert!(somm.query_approx(sql, 1.5).is_err());
+}
+
+#[test]
+fn all_knobs_combined() {
+    // Exchange + no pushdown + FK verification + tiny cache: the most
+    // hostile configuration must still answer correctly.
+    let dir = TempDir::new("all-knobs");
+    let repo = fiam_repo(&dir, 4, 32);
+    let reference = {
+        let somm = prepared(&repo, LoadingMode::Lazy, SommelierConfig::default());
+        scalar_f64(&somm.query(Q).unwrap(), "avg").unwrap()
+    };
+    let config = SommelierConfig {
+        parallel: ParallelMode::Exchange { workers: 2 },
+        chunk_pushdown: false,
+        verify_lazy_fk: true,
+        recycler_bytes: 1,
+        ..SommelierConfig::default()
+    };
+    let somm = prepared(&repo, LoadingMode::Lazy, config);
+    let got = scalar_f64(&somm.query(Q).unwrap(), "avg").unwrap();
+    assert!((reference - got).abs() < 1e-9);
+}
