@@ -94,9 +94,7 @@ fn bench_parallelism(c: &mut Criterion) {
             ..SommelierConfig::default()
         };
         let somm = system(&repo, LoadingMode::Lazy, config);
-        g.bench_function(label, |b| {
-            b.iter(|| black_box(somm.query(FULL_SCAN).unwrap()))
-        });
+        g.bench_function(label, |b| b.iter(|| black_box(somm.query(FULL_SCAN).unwrap())));
     }
     g.finish();
     let _ = std::fs::remove_dir_all(&dir);
@@ -111,13 +109,10 @@ fn bench_recycler_ablation(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation/recycler_repeated_access");
     g.sample_size(10);
     for (label, use_recycler) in [("cached", true), ("uncached", false)] {
-        let config =
-            SommelierConfig { use_recycler, ..SommelierConfig::default() };
+        let config = SommelierConfig { use_recycler, ..SommelierConfig::default() };
         let somm = system(&repo, LoadingMode::Lazy, config);
         somm.query(FULL_SCAN).unwrap(); // warm (or not)
-        g.bench_function(label, |b| {
-            b.iter(|| black_box(somm.query(FULL_SCAN).unwrap()))
-        });
+        g.bench_function(label, |b| b.iter(|| black_box(somm.query(FULL_SCAN).unwrap())));
     }
     g.finish();
     let _ = std::fs::remove_dir_all(&dir);
@@ -164,9 +159,7 @@ fn bench_fk_verification_ablation(c: &mut Criterion) {
             ..SommelierConfig::default()
         };
         let somm = system(&repo, LoadingMode::Lazy, config);
-        g.bench_function(label, |b| {
-            b.iter(|| black_box(somm.query(FULL_SCAN).unwrap()))
-        });
+        g.bench_function(label, |b| b.iter(|| black_box(somm.query(FULL_SCAN).unwrap())));
     }
     g.finish();
     let _ = std::fs::remove_dir_all(&dir);

@@ -13,10 +13,8 @@ use std::hint::black_box;
 
 fn tiny_scale(tag: &str) -> BenchScale {
     let mut scale = BenchScale::tiny();
-    scale.data_dir = std::env::temp_dir().join(format!(
-        "somm-bench-exp-{tag}-{}",
-        std::process::id()
-    ));
+    scale.data_dir =
+        std::env::temp_dir().join(format!("somm-bench-exp-{tag}-{}", std::process::id()));
     scale
 }
 

@@ -37,7 +37,8 @@ fn bench_buffer_pool(c: &mut Criterion) {
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("data.bin");
     std::fs::write(&path, vec![7u8; 4096 + 2 * 1024 * 1024]).unwrap();
-    let pool = BufferPool::new(BufferPoolConfig { capacity_bytes: 1024 * 1024, sim_io: None });
+    let pool =
+        BufferPool::new(BufferPoolConfig { capacity_bytes: 1024 * 1024, sim_io: None });
     let fid = pool.disk().register(&path).unwrap();
     let mut g = c.benchmark_group("buffer_pool");
     g.bench_function("hit", |b| {
@@ -113,8 +114,13 @@ fn window_spec() -> QuerySpec {
             TableRef { name: "D".into(), class: TableClass::ActualData },
         ],
         joins: vec![
-            JoinEdge::new("F", "S", vec![Expr::col("F.file_id")], vec![Expr::col("S.file_id")])
-                .unwrap(),
+            JoinEdge::new(
+                "F",
+                "S",
+                vec![Expr::col("F.file_id")],
+                vec![Expr::col("S.file_id")],
+            )
+            .unwrap(),
             JoinEdge::new(
                 "F",
                 "H",
@@ -126,7 +132,10 @@ fn window_spec() -> QuerySpec {
                 .unwrap(),
         ],
         predicates: vec![("F".into(), Expr::col("F.station").eq(Expr::lit("ISK")))],
-        output: vec![OutputExpr::Column { name: "v".into(), expr: Expr::col("D.sample_value") }],
+        output: vec![OutputExpr::Column {
+            name: "v".into(),
+            expr: Expr::col("D.sample_value"),
+        }],
         ..QuerySpec::default()
     }
 }

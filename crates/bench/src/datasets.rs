@@ -57,11 +57,7 @@ impl BenchScale {
         let full = env_flag("SOMM_FULL", false);
         let sfs = std::env::var("SOMM_SFS")
             .ok()
-            .map(|v| {
-                v.split(',')
-                    .filter_map(|s| s.trim().parse().ok())
-                    .collect::<Vec<u32>>()
-            })
+            .map(|v| v.split(',').filter_map(|s| s.trim().parse().ok()).collect::<Vec<u32>>())
             .filter(|v| !v.is_empty())
             .unwrap_or_else(|| if full { vec![1, 3, 9, 27] } else { vec![1, 3] });
         let data_dir = std::env::var("SOMM_DATA_DIR")
@@ -102,7 +98,7 @@ impl BenchScale {
             selectivities: vec![0, 50, 100],
             workload_selectivities: vec![0, 50, 100],
             workload_queries: vec![5],
-            }
+        }
     }
 
     /// Smallest and largest configured scale factor.
@@ -126,7 +122,12 @@ pub fn dataset(scale: &BenchScale, kind: DatasetKind, sf: u32) -> (Repository, R
         if nums.len() == 4 {
             return (
                 repo,
-                RepoStats { files: nums[0], segments: nums[1], samples: nums[2], bytes: nums[3] },
+                RepoStats {
+                    files: nums[0],
+                    segments: nums[1],
+                    samples: nums[2],
+                    bytes: nums[3],
+                },
             );
         }
     }

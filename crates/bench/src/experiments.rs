@@ -10,10 +10,11 @@
 use crate::datasets::{dataset, BenchScale, DatasetKind};
 use crate::queries;
 use crate::report::{secs, Table};
-use crate::runner::{cold_hot, fresh_system, time_it};
+use crate::runner::{bench_config, cold_hot, fresh_system, fresh_system_with, time_it};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use sommelier_core::{LoadingMode, Result};
+use sommelier_core::cellar::CellarPolicyKind;
+use sommelier_core::{LoadingMode, Result, Sommelier, SommelierConfig};
 use sommelier_mseed::repo::days_for_sf;
 use sommelier_storage::time::days_from_civil;
 
@@ -37,7 +38,16 @@ fn paper_table2(sf: u32) -> Option<(u64, u64, u64)> {
 pub fn table2(scale: &BenchScale) -> Table {
     let mut t = Table::new(
         "Table II: INGV-like dataset (measured vs paper structure)",
-        &["sf", "days", "files", "segments", "samples", "paper_files", "paper_segments", "paper_samples"],
+        &[
+            "sf",
+            "days",
+            "files",
+            "segments",
+            "samples",
+            "paper_files",
+            "paper_segments",
+            "paper_samples",
+        ],
     );
     for &sf in &scale.sfs {
         let (_, stats) = dataset(scale, DatasetKind::Ingv, sf);
@@ -65,7 +75,17 @@ pub fn table3_and_fig6(scale: &BenchScale) -> Result<(Table, Table)> {
     );
     let mut f6 = Table::new(
         "Figure 6: loading-time breakdown (seconds)",
-        &["sf", "approach", "register", "mseed_to_csv", "csv_to_db", "mseed_to_db", "indexing", "dmd", "total"],
+        &[
+            "sf",
+            "approach",
+            "register",
+            "mseed_to_csv",
+            "csv_to_db",
+            "mseed_to_db",
+            "indexing",
+            "dmd",
+            "total",
+        ],
     );
     for &sf in &scale.sfs {
         let (repo, stats) = dataset(scale, DatasetKind::Ingv, sf);
@@ -182,7 +202,15 @@ const FIG8_MODES: [LoadingMode; 4] = [
 pub fn fig8(scale: &BenchScale) -> Result<Table> {
     let mut t = Table::new(
         "Figure 8: data-to-insight time vs query selectivity (FIAM, seconds)",
-        &["sf", "query", "approach", "selectivity_pct", "prep", "first_query", "data_to_insight"],
+        &[
+            "sf",
+            "query",
+            "approach",
+            "selectivity_pct",
+            "prep",
+            "first_query",
+            "data_to_insight",
+        ],
     );
     let (lo, hi) = scale.sf_extremes();
     let sfs = if lo == hi { vec![lo] } else { vec![lo, hi] };
@@ -235,7 +263,16 @@ pub fn fig8(scale: &BenchScale) -> Result<Table> {
 pub fn fig9(scale: &BenchScale) -> Result<Table> {
     let mut t = Table::new(
         "Figure 9: cumulative workload time vs workload selectivity (FIAM, seconds)",
-        &["sf", "query", "approach", "queries", "workload_selectivity_pct", "prep", "workload", "cumulative"],
+        &[
+            "sf",
+            "query",
+            "approach",
+            "queries",
+            "workload_selectivity_pct",
+            "prep",
+            "workload",
+            "cumulative",
+        ],
     );
     let (lo, hi) = scale.sf_extremes();
     let sfs = if lo == hi { vec![lo] } else { vec![lo, hi] };
@@ -245,7 +282,8 @@ pub fn fig9(scale: &BenchScale) -> Result<Table> {
         let total_days = days_for_sf(sf) as i64;
         // 2.5 % query selectivity, at least one day.
         let qdays = ((total_days * 25) / 1000).max(1);
-        for (qtype, eager_mode) in [("T3", LoadingMode::EagerDmd), ("T4", LoadingMode::EagerIndex)]
+        for (qtype, eager_mode) in
+            [("T3", LoadingMode::EagerDmd), ("T4", LoadingMode::EagerIndex)]
         {
             for mode in [eager_mode, LoadingMode::Lazy] {
                 let guard = fresh_system(scale, &repo, mode)?;
@@ -260,7 +298,8 @@ pub fn fig9(scale: &BenchScale) -> Result<Table> {
                             }
                             let wdays = ((total_days * wsel as i64) / 100).max(qdays);
                             let mut rng = SmallRng::seed_from_u64(
-                                0xF19_u64 ^ (sf as u64) << 32
+                                0xF19_u64
+                                    ^ (sf as u64) << 32
                                     ^ (n as u64) << 16
                                     ^ wsel as u64
                                     ^ if qtype == "T3" { 1 } else { 2 },
@@ -298,6 +337,125 @@ pub fn fig9(scale: &BenchScale) -> Result<Table> {
     Ok(t)
 }
 
+/// The budget fractions the cellar sweep compares (percent of the
+/// workload's total decoded bytes).
+const CELLAR_FRACTIONS: [u32; 3] = [100, 50, 10];
+
+/// Run the repeated sliding-window workload, returning its wall time
+/// and a correctness checksum (sum of the per-query averages).
+fn cellar_workload(
+    somm: &Sommelier,
+    total_days: i64,
+    rounds: usize,
+) -> Result<(std::time::Duration, f64)> {
+    let d0 = start_day();
+    let window = 2i64.min(total_days);
+    let mut checksum = 0.0;
+    let t = std::time::Instant::now();
+    for _ in 0..rounds {
+        let mut day = 0i64;
+        while day + window <= total_days {
+            let (a, b) = queries::day_range(d0 + day, window);
+            let r = somm.query(&queries::t4("FIAM", "HHZ", a, b))?;
+            if r.relation.rows() == 1 {
+                if let sommelier_storage::Value::Float(v) = r
+                    .relation
+                    .value(0, "avg")
+                    .map_err(sommelier_core::SommelierError::Engine)?
+                {
+                    checksum += v;
+                }
+            }
+            day += window;
+        }
+    }
+    Ok((t.elapsed(), checksum))
+}
+
+/// Cellar sweep — bounded-memory residency under a repeated-query
+/// workload. A calibration pass with an unbounded budget measures the
+/// workload's total decoded bytes; budgets at 100 %, 50 % and 10 % of
+/// that are then swept for both eviction policies, reporting
+/// hit/evict/reload counts alongside wall-clock. The `checksum` column
+/// must be identical in every row: bounding memory must never change
+/// answers.
+pub fn cellar_sweep(scale: &BenchScale) -> Result<Table> {
+    let mut t = Table::new(
+        "Cellar sweep: budget vs hit/evict/reload and wall-clock (FIAM, lazy)",
+        &[
+            "sf",
+            "policy",
+            "budget_pct",
+            "budget_bytes",
+            "workload_s",
+            "hits",
+            "loads",
+            "reloads",
+            "evictions",
+            "peak_resident",
+            "resident_after",
+            "checksum",
+        ],
+    );
+    let (sf, _) = scale.sf_extremes();
+    let (repo, _) = dataset(scale, DatasetKind::Fiam, sf);
+    let total_days = days_for_sf(sf) as i64;
+    let rounds = scale.runs.max(2);
+
+    // Calibration: unbounded budget → the workload's full decoded size.
+    let unbounded = SommelierConfig { cellar_bytes: Some(usize::MAX), ..bench_config(scale) };
+    let guard = fresh_system_with(scale, &repo, LoadingMode::Lazy, unbounded)?;
+    let (wall, reference_checksum) = cellar_workload(&guard.somm, total_days, rounds)?;
+    let cellar = guard.somm.cellar().expect("prepared");
+    let total_bytes = cellar.peak_resident_bytes().max(1);
+    let s = cellar.stats();
+    t.row(vec![
+        format!("sf-{sf}"),
+        "unbounded".into(),
+        "-".into(),
+        total_bytes.to_string(),
+        secs(wall),
+        s.hits.to_string(),
+        s.loads.to_string(),
+        s.reloads.to_string(),
+        s.evictions.to_string(),
+        cellar.peak_resident_bytes().to_string(),
+        cellar.resident_bytes().to_string(),
+        format!("{reference_checksum:.6e}"),
+    ]);
+    drop(guard);
+
+    for policy in [CellarPolicyKind::Lru, CellarPolicyKind::CostAware] {
+        for pct in CELLAR_FRACTIONS {
+            let budget = (total_bytes as u64 * pct as u64 / 100).max(1) as usize;
+            let config = SommelierConfig {
+                cellar_bytes: Some(budget),
+                cellar_policy: policy,
+                ..bench_config(scale)
+            };
+            let guard = fresh_system_with(scale, &repo, LoadingMode::Lazy, config)?;
+            let (wall, checksum) = cellar_workload(&guard.somm, total_days, rounds)?;
+            let cellar = guard.somm.cellar().expect("prepared");
+            let s = cellar.stats();
+            t.row(vec![
+                format!("sf-{sf}"),
+                policy.label().to_string(),
+                pct.to_string(),
+                budget.to_string(),
+                secs(wall),
+                s.hits.to_string(),
+                s.loads.to_string(),
+                s.reloads.to_string(),
+                s.evictions.to_string(),
+                cellar.peak_resident_bytes().to_string(),
+                cellar.resident_bytes().to_string(),
+                format!("{checksum:.6e}"),
+            ]);
+        }
+    }
+    Ok(t)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -316,6 +474,35 @@ mod tests {
         let t = table2(&scale);
         assert_eq!(t.rows.len(), 1);
         assert_eq!(t.rows[0][2], "160", "sf-1 has the paper's 160 files");
+        let _ = std::fs::remove_dir_all(&scale.data_dir);
+    }
+
+    #[test]
+    fn cellar_sweep_shape_and_invariants() {
+        let scale = tiny("cellar");
+        let t = cellar_sweep(&scale).unwrap();
+        // 1 calibration row + 3 fractions × 2 policies.
+        assert_eq!(t.rows.len(), 1 + 3 * 2);
+        // Bounding memory must never change answers: one checksum.
+        let checksums: std::collections::HashSet<&String> =
+            t.rows.iter().map(|r| &r[11]).collect();
+        assert_eq!(checksums.len(), 1, "identical results across budgets: {t:?}");
+        for row in &t.rows[1..] {
+            let pct: u32 = row[2].parse().unwrap();
+            let budget: u64 = row[3].parse().unwrap();
+            let reloads: u64 = row[7].parse().unwrap();
+            let evictions: u64 = row[8].parse().unwrap();
+            let resident_after: u64 = row[10].parse().unwrap();
+            assert!(
+                resident_after <= budget,
+                "resident {resident_after} over budget {budget} in {row:?}"
+            );
+            if pct == 10 {
+                // A 10% budget under a repeated workload must thrash.
+                assert!(evictions > 0, "{row:?}");
+                assert!(reloads > 0, "{row:?}");
+            }
+        }
         let _ = std::fs::remove_dir_all(&scale.data_dir);
     }
 

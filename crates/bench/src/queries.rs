@@ -123,9 +123,8 @@ mod tests {
             (t3_selectivity(day, day + MS_PER_DAY), QueryType::T3),
         ];
         for (sql, expected) in cases {
-            let spec = sommelier_sql::compile(&sql, &cat).unwrap_or_else(|e| {
-                panic!("failed to compile {sql:?}: {e}")
-            });
+            let spec = sommelier_sql::compile(&sql, &cat)
+                .unwrap_or_else(|e| panic!("failed to compile {sql:?}: {e}"));
             assert_eq!(classify(&spec), expected, "for {sql}");
         }
     }

@@ -37,7 +37,11 @@ pub fn bench_config(scale: &BenchScale) -> SommelierConfig {
     SommelierConfig {
         buffer_pool_bytes: scale.pool_bytes,
         recycler_bytes: scale.pool_bytes,
-        sim_io: if scale.sim_io { Some(SimIo { per_page: Duration::from_micros(50) }) } else { None },
+        sim_io: if scale.sim_io {
+            Some(SimIo { per_page: Duration::from_micros(50) })
+        } else {
+            None
+        },
         ..SommelierConfig::default()
     }
 }
@@ -48,13 +52,24 @@ pub fn fresh_system(
     repo: &Repository,
     mode: LoadingMode,
 ) -> sommelier_core::Result<SystemGuard> {
+    fresh_system_with(scale, repo, mode, bench_config(scale))
+}
+
+/// Create and prepare a fresh system with an explicit configuration
+/// (the cellar sweep varies budgets and policies per run).
+pub fn fresh_system_with(
+    scale: &BenchScale,
+    repo: &Repository,
+    mode: LoadingMode,
+    config: SommelierConfig,
+) -> sommelier_core::Result<SystemGuard> {
     let db_dir = scale.data_dir.join(format!(
         "scratch-db-{}-{}",
         std::process::id(),
         SCRATCH_SEQ.fetch_add(1, Ordering::Relaxed)
     ));
     let _ = std::fs::remove_dir_all(&db_dir);
-    let somm = Sommelier::create(&db_dir, Repository::at(repo.dir()), bench_config(scale))?;
+    let somm = Sommelier::create(&db_dir, Repository::at(repo.dir()), config)?;
     let prep = somm.prepare(mode)?;
     Ok(SystemGuard { somm, prep, db_dir })
 }

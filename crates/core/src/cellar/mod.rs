@@ -1,0 +1,1065 @@
+//! The **cellar**: bounded-memory chunk residency management.
+//!
+//! The paper's sommelier takes bottles *out* of the cellar just in
+//! time (Algorithm 1, chunk-access), but never puts one back: once a
+//! chunk is ingested it stays resident, so any workload whose touched
+//! set exceeds RAM degenerates to eager loading. This module is the
+//! inverse of the ingest path — controlled *unloading* — the same
+//! DBMS/file-system residency split that Odysseus/DFS manages
+//! explicitly and AsterixDB handles with a budgeted buffer manager.
+//!
+//! The [`Cellar`] owns the loaded/not-loaded state of every registered
+//! chunk (previously smeared across the chunk registry, the repo chunk
+//! source and the two-stage driver's ad-hoc ingest loop):
+//!
+//! * **Byte budget + pluggable policy** — resident decoded chunks are
+//!   capped by a configurable budget; victims are ranked by a
+//!   [`ResidencyPolicy`] (plain LRU or decode-cost-aware).
+//! * **Pin/unpin** — a query acquires its chunk set before stage 2 and
+//!   releases it after; pinned chunks are never evicted mid-query, so
+//!   [`crate::Sommelier::query`] is safe to call from many threads.
+//! * **Single-flight loading** — concurrent acquisitions of the same
+//!   chunk are collapsed onto one decode via a per-chunk in-flight
+//!   latch (the page-latch idiom of classic buffer managers): N
+//!   queries needing the chunk trigger exactly one ingest.
+//! * **Actual reclamation** — evicting a chunk deletes any rows it
+//!   contributed to the storage layer (chunk-scoped delete on `D`) and
+//!   invalidates derived metadata computed from it: its windows leave
+//!   the covered key space `PSm` and their `H` rows are deleted, so
+//!   Algorithm 1 re-derives them if they are referenced again.
+
+pub mod policy;
+
+pub use policy::{CellarPolicyKind, ResidencyPolicy};
+
+use crate::chunks::{ChunkRegistry, RepoChunkSource};
+use crate::dmd::{DmdKey, DmdManager};
+use parking_lot::{Condvar, Mutex};
+use sommelier_engine::twostage::{AcquiredChunk, ChunkResidency, ChunkSource};
+use sommelier_engine::{EngineError, ParallelMode, Relation};
+use sommelier_storage::time::{hour_bucket, MS_PER_HOUR};
+use sommelier_storage::Database;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Cellar configuration (derived from [`crate::SommelierConfig`]).
+#[derive(Debug, Clone)]
+pub struct CellarConfig {
+    /// Byte budget for resident decoded chunks. Pinned chunks may
+    /// transiently exceed it (a query's working set must fit to run at
+    /// all); once pins are released the budget is enforced again.
+    pub budget_bytes: usize,
+    /// Eviction policy.
+    pub policy: CellarPolicyKind,
+    /// Keep chunks resident after the last pin drops. `false` turns
+    /// the cellar into a pure single-flight loader (every query
+    /// re-ingests, as with the recycler disabled).
+    pub retain: bool,
+}
+
+impl Default for CellarConfig {
+    fn default() -> Self {
+        CellarConfig {
+            budget_bytes: 256 * 1024 * 1024,
+            policy: CellarPolicyKind::Lru,
+            retain: true,
+        }
+    }
+}
+
+/// Counter snapshot (the bench harness reports these per budget).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CellarSnapshot {
+    /// Acquisitions served from residency.
+    pub hits: u64,
+    /// Acquisitions that decoded the chunk.
+    pub loads: u64,
+    /// Acquisitions that joined another thread's in-flight decode.
+    pub joins: u64,
+    /// Loads of chunks that had been evicted before (thrash indicator).
+    pub reloads: u64,
+    /// Evictions (budget pressure, retention policy, or `clear`).
+    pub evictions: u64,
+    /// Storage rows deleted by eviction reclamation (D rows staged for
+    /// the chunk plus H rows derived from it).
+    pub reclaimed_rows: u64,
+    /// Reclamation attempts that failed (left to re-derivation).
+    pub reclaim_failures: u64,
+}
+
+#[derive(Default)]
+struct CellarStats {
+    hits: AtomicU64,
+    loads: AtomicU64,
+    joins: AtomicU64,
+    reloads: AtomicU64,
+    evictions: AtomicU64,
+    reclaimed_rows: AtomicU64,
+    reclaim_failures: AtomicU64,
+}
+
+/// Result of one in-flight load, shared through the latch.
+enum LatchState {
+    Pending,
+    Done(Arc<Relation>, Duration),
+    Failed(String),
+}
+
+/// Per-chunk in-flight latch: the loader publishes here, waiters block
+/// on the condvar (the page-latch idiom).
+struct LoadLatch {
+    state: Mutex<LatchState>,
+    cv: Condvar,
+}
+
+impl LoadLatch {
+    fn new() -> Arc<Self> {
+        Arc::new(LoadLatch { state: Mutex::new(LatchState::Pending), cv: Condvar::new() })
+    }
+
+    fn publish(&self, outcome: Result<(Arc<Relation>, Duration), String>) {
+        let mut st = self.state.lock();
+        *st = match outcome {
+            Ok((rel, cost)) => LatchState::Done(rel, cost),
+            Err(msg) => LatchState::Failed(msg),
+        };
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) -> Result<(Arc<Relation>, Duration), String> {
+        let mut st = self.state.lock();
+        loop {
+            match &*st {
+                LatchState::Pending => self.cv.wait(&mut st),
+                LatchState::Done(rel, cost) => return Ok((Arc::clone(rel), *cost)),
+                LatchState::Failed(msg) => return Err(msg.clone()),
+            }
+        }
+    }
+}
+
+struct ResidentChunk {
+    relation: Arc<Relation>,
+    bytes: usize,
+    pins: u32,
+}
+
+enum Slot {
+    Loading(Arc<LoadLatch>),
+    Resident(ResidentChunk),
+}
+
+/// The (station, channel, hour-range) a chunk's segments cover —
+/// exactly the DMd key-space slice that eviction must invalidate.
+#[derive(Debug, Clone)]
+struct ChunkCoverage {
+    station: String,
+    channel: String,
+    /// Hour-aligned half-open range `[lo, hi)`.
+    hours: (i64, i64),
+}
+
+struct Inner {
+    slots: HashMap<String, Slot>,
+    policy: Box<dyn ResidencyPolicy>,
+    resident_bytes: usize,
+    peak_resident_bytes: usize,
+    ever_evicted: HashSet<String>,
+}
+
+/// The chunk residency manager. See the module docs.
+pub struct Cellar {
+    registry: Arc<ChunkRegistry>,
+    source: Arc<RepoChunkSource>,
+    db: Arc<Database>,
+    dmd: Arc<DmdManager>,
+    config: CellarConfig,
+    inner: Mutex<Inner>,
+    /// Memoized per-chunk DMd coverage (computed on first eviction).
+    coverage: Mutex<HashMap<String, Option<ChunkCoverage>>>,
+    stats: CellarStats,
+}
+
+/// Outcome of decoding one claimed chunk: the relation plus its
+/// measured decode cost.
+type DecodeOutcome = sommelier_engine::Result<(Relation, Duration)>;
+
+/// How one entry of an `acquire_many` batch was classified.
+enum Classified {
+    Hit(Arc<Relation>),
+    Claimed,
+    Joined(Arc<LoadLatch>),
+}
+
+impl Cellar {
+    /// Create a cellar over a registered repository.
+    pub fn new(
+        registry: Arc<ChunkRegistry>,
+        source: Arc<RepoChunkSource>,
+        db: Arc<Database>,
+        dmd: Arc<DmdManager>,
+        config: CellarConfig,
+    ) -> Self {
+        let policy = config.policy.build();
+        Cellar {
+            registry,
+            source,
+            db,
+            dmd,
+            config,
+            inner: Mutex::new(Inner {
+                slots: HashMap::new(),
+                policy,
+                resident_bytes: 0,
+                peak_resident_bytes: 0,
+                ever_evicted: HashSet::new(),
+            }),
+            coverage: Mutex::new(HashMap::new()),
+            stats: CellarStats::default(),
+        }
+    }
+
+    /// The chunk registry backing this cellar.
+    pub fn registry(&self) -> &Arc<ChunkRegistry> {
+        &self.registry
+    }
+
+    /// The configured byte budget.
+    pub fn budget_bytes(&self) -> usize {
+        self.config.budget_bytes
+    }
+
+    /// The active policy's label.
+    pub fn policy_name(&self) -> &'static str {
+        self.config.policy.label()
+    }
+
+    /// Bytes of decoded chunk data currently resident.
+    pub fn resident_bytes(&self) -> usize {
+        self.inner.lock().resident_bytes
+    }
+
+    /// High-water mark of [`Self::resident_bytes`].
+    pub fn peak_resident_bytes(&self) -> usize {
+        self.inner.lock().peak_resident_bytes
+    }
+
+    /// Number of resident chunks.
+    pub fn resident_chunks(&self) -> usize {
+        self.inner.lock().slots.values().filter(|s| matches!(s, Slot::Resident(_))).count()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CellarSnapshot {
+        CellarSnapshot {
+            hits: self.stats.hits.load(Ordering::Relaxed),
+            loads: self.stats.loads.load(Ordering::Relaxed),
+            joins: self.stats.joins.load(Ordering::Relaxed),
+            reloads: self.stats.reloads.load(Ordering::Relaxed),
+            evictions: self.stats.evictions.load(Ordering::Relaxed),
+            reclaimed_rows: self.stats.reclaimed_rows.load(Ordering::Relaxed),
+            reclaim_failures: self.stats.reclaim_failures.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drop every unpinned resident chunk ("cold" run simulation).
+    ///
+    /// Unlike budget eviction this does *not* reclaim derived state:
+    /// flushing caches models a restart, after which derived metadata
+    /// (an incrementally materialized view) remains valid.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        let victims: Vec<String> = inner
+            .slots
+            .iter()
+            .filter_map(|(u, s)| match s {
+                Slot::Resident(r) if r.pins == 0 => Some(u.clone()),
+                _ => None,
+            })
+            .collect();
+        for uri in victims {
+            Self::evict_locked(&mut inner, &self.stats, &uri);
+        }
+    }
+
+    // ---- Acquisition --------------------------------------------------
+
+    fn acquire_impl(
+        &self,
+        uris: &[String],
+        parallel: ParallelMode,
+        max_threads: usize,
+    ) -> sommelier_engine::Result<Vec<AcquiredChunk>> {
+        // Every pin this call takes is recorded in `owned_pins`; on any
+        // failure exactly those pins are released, so the contract "on
+        // error no pins survive" holds without guessing from state that
+        // concurrent callers also mutate.
+        let mut owned_pins: Vec<String> = Vec::new();
+
+        // Phase 1: classify under the lock. Hits are pinned right away
+        // so a concurrent release cannot evict them while we decode the
+        // misses; misses install an in-flight latch (first claimant
+        // becomes the loader, everyone else joins).
+        let mut classified: Vec<Classified> = Vec::with_capacity(uris.len());
+        let mut claims: Vec<(String, Arc<LoadLatch>)> = Vec::new();
+        {
+            let mut inner = self.inner.lock();
+            for uri in uris {
+                match inner.slots.get_mut(uri) {
+                    Some(Slot::Resident(r)) => {
+                        r.pins += 1;
+                        owned_pins.push(uri.clone());
+                        let rel = Arc::clone(&r.relation);
+                        inner.policy.on_touch(uri);
+                        self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                        classified.push(Classified::Hit(rel));
+                    }
+                    Some(Slot::Loading(latch)) => {
+                        classified.push(Classified::Joined(Arc::clone(latch)));
+                    }
+                    None => {
+                        let latch = LoadLatch::new();
+                        inner.slots.insert(uri.clone(), Slot::Loading(Arc::clone(&latch)));
+                        claims.push((uri.clone(), latch));
+                        classified.push(Classified::Claimed);
+                    }
+                }
+            }
+        }
+
+        // Phase 2: decode claimed chunks outside the lock, with the
+        // configured parallelism.
+        let decoded = self.decode_claims(&claims, parallel, max_threads);
+
+        // Phase 3: publish results — admit successes (pinned for this
+        // caller, so they cannot be evicted before assembly), withdraw
+        // failures — then enforce the budget on the unpinned rest.
+        let mut first_error: Option<EngineError> = None;
+        let mut reclaim_list: Vec<String> = Vec::new();
+        let mut claimed_rels: HashMap<&str, Arc<Relation>> = HashMap::new();
+        {
+            let mut inner = self.inner.lock();
+            for ((uri, latch), outcome) in claims.iter().zip(decoded) {
+                match outcome {
+                    Ok((relation, cost)) => {
+                        let relation = Arc::new(relation);
+                        let bytes = relation.approx_bytes();
+                        inner.slots.insert(
+                            uri.clone(),
+                            Slot::Resident(ResidentChunk {
+                                relation: Arc::clone(&relation),
+                                bytes,
+                                pins: 1,
+                            }),
+                        );
+                        owned_pins.push(uri.clone());
+                        inner.resident_bytes += bytes;
+                        inner.peak_resident_bytes =
+                            inner.peak_resident_bytes.max(inner.resident_bytes);
+                        inner.policy.on_admit(uri, bytes, cost);
+                        self.stats.loads.fetch_add(1, Ordering::Relaxed);
+                        if inner.ever_evicted.contains(uri) {
+                            self.stats.reloads.fetch_add(1, Ordering::Relaxed);
+                        }
+                        claimed_rels.insert(uri.as_str(), Arc::clone(&relation));
+                        latch.publish(Ok((relation, cost)));
+                    }
+                    Err(e) => {
+                        inner.slots.remove(uri);
+                        latch.publish(Err(e.to_string()));
+                        if first_error.is_none() {
+                            first_error = Some(e);
+                        }
+                    }
+                }
+            }
+            self.enforce_budget_locked(&mut inner, &mut reclaim_list);
+        }
+        self.reclaim_all(&reclaim_list);
+
+        // Phase 4: wait for joined loads (their loaders publish through
+        // the latch), then assemble. A joined chunk may have been
+        // evicted between its load completing and our wakeup; re-admit
+        // it from the latched relation so that every successfully
+        // acquired URI holds exactly one pin from this call.
+        let mut out: Vec<AcquiredChunk> = Vec::with_capacity(uris.len());
+        for (uri, c) in uris.iter().zip(classified) {
+            if first_error.is_some() {
+                break;
+            }
+            match c {
+                Classified::Hit(relation) => {
+                    out.push(AcquiredChunk { relation, loaded: false, joined: false });
+                }
+                Classified::Claimed => {
+                    let relation = Arc::clone(
+                        claimed_rels.get(uri.as_str()).expect("claim outcome recorded"),
+                    );
+                    out.push(AcquiredChunk { relation, loaded: true, joined: false });
+                }
+                Classified::Joined(latch) => match latch.wait() {
+                    Ok((relation, cost)) => {
+                        self.stats.joins.fetch_add(1, Ordering::Relaxed);
+                        let relation = self.pin_or_readmit(uri, relation, cost);
+                        owned_pins.push(uri.clone());
+                        out.push(AcquiredChunk { relation, loaded: false, joined: true });
+                    }
+                    Err(msg) => {
+                        first_error = Some(EngineError::Chunk(format!(
+                            "joined load of {uri:?} failed: {msg}"
+                        )));
+                    }
+                },
+            }
+        }
+
+        if let Some(e) = first_error {
+            // Contract: on error no pins from this call survive.
+            let refs: Vec<&str> = owned_pins.iter().map(|u| u.as_str()).collect();
+            self.release_uris(&refs);
+            return Err(e);
+        }
+        Ok(out)
+    }
+
+    /// Pin `uri` if still resident; otherwise re-admit the relation
+    /// delivered through a latch, pinned once.
+    fn pin_or_readmit(
+        &self,
+        uri: &str,
+        relation: Arc<Relation>,
+        cost: Duration,
+    ) -> Arc<Relation> {
+        let mut inner = self.inner.lock();
+        match inner.slots.get_mut(uri) {
+            Some(Slot::Resident(r)) => {
+                r.pins += 1;
+                Arc::clone(&r.relation)
+            }
+            _ => {
+                let bytes = relation.approx_bytes();
+                inner.slots.insert(
+                    uri.to_string(),
+                    Slot::Resident(ResidentChunk {
+                        relation: Arc::clone(&relation),
+                        bytes,
+                        pins: 1,
+                    }),
+                );
+                inner.resident_bytes += bytes;
+                inner.peak_resident_bytes =
+                    inner.peak_resident_bytes.max(inner.resident_bytes);
+                inner.policy.on_admit(uri, bytes, cost);
+                relation
+            }
+        }
+    }
+
+    fn decode_claims(
+        &self,
+        claims: &[(String, Arc<LoadLatch>)],
+        parallel: ParallelMode,
+        max_threads: usize,
+    ) -> Vec<DecodeOutcome> {
+        if claims.is_empty() {
+            return Vec::new();
+        }
+        match parallel {
+            ParallelMode::Static => self.decode_static(claims, max_threads),
+            ParallelMode::Exchange { workers } => self.decode_exchange(claims, workers),
+        }
+    }
+
+    /// The paper's static strategy: one pre-assigned share per worker.
+    fn decode_static(
+        &self,
+        claims: &[(String, Arc<LoadLatch>)],
+        max_threads: usize,
+    ) -> Vec<DecodeOutcome> {
+        let workers = claims.len().clamp(1, max_threads.max(1));
+        let slots: Vec<Mutex<Option<DecodeOutcome>>> =
+            (0..claims.len()).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let slots = &slots;
+                let source = &self.source;
+                scope.spawn(move || {
+                    let mut i = w;
+                    while i < claims.len() {
+                        let t = Instant::now();
+                        let out = source.load_chunk(&claims[i].0).map(|r| (r, t.elapsed()));
+                        *slots[i].lock() = Some(out);
+                        i += workers;
+                    }
+                });
+            }
+        });
+        slots.into_iter().map(|s| s.into_inner().expect("slot filled")).collect()
+    }
+
+    /// Exchange-style decoding: per-segment units of all claimed chunks
+    /// feed one shared queue, so skew between chunks balances out.
+    fn decode_exchange(
+        &self,
+        claims: &[(String, Arc<LoadLatch>)],
+        workers: usize,
+    ) -> Vec<DecodeOutcome> {
+        use sommelier_engine::twostage::ChunkUnit;
+        use std::sync::atomic::AtomicUsize;
+
+        struct UnitSlot {
+            file: usize,
+            unit: Mutex<Option<ChunkUnit>>,
+            result: Mutex<Option<DecodeOutcome>>,
+        }
+        // Build unit lists (header reads only). A failure here fails
+        // just that chunk, not the whole batch.
+        let mut slots: Vec<UnitSlot> = Vec::new();
+        let mut out: Vec<DecodeOutcome> =
+            (0..claims.len()).map(|_| Ok((Relation::empty(), Duration::ZERO))).collect();
+        for (fi, (uri, _)) in claims.iter().enumerate() {
+            match self.source.chunk_units(uri) {
+                Ok(units) => {
+                    for unit in units {
+                        slots.push(UnitSlot {
+                            file: fi,
+                            unit: Mutex::new(Some(unit)),
+                            result: Mutex::new(None),
+                        });
+                    }
+                }
+                Err(e) => out[fi] = Err(e),
+            }
+        }
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers.max(1) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= slots.len() {
+                        return;
+                    }
+                    let unit = slots[i].unit.lock().take().expect("each unit taken once");
+                    let t = Instant::now();
+                    let r = unit().map(|rel| (rel, t.elapsed()));
+                    *slots[i].result.lock() = Some(r);
+                });
+            }
+        });
+        for slot in slots {
+            let fi = slot.file;
+            if out[fi].is_err() {
+                continue;
+            }
+            match slot.result.into_inner().expect("every unit executed") {
+                Ok((rel, cost)) => {
+                    if let Ok((acc, total)) = out[fi].as_mut() {
+                        if let Err(e) = acc.union_in_place(&rel) {
+                            out[fi] = Err(e);
+                        } else {
+                            *total += cost;
+                        }
+                    }
+                }
+                Err(e) => out[fi] = Err(e),
+            }
+        }
+        out
+    }
+
+    // ---- Eviction + reclamation --------------------------------------
+
+    fn enforce_budget_locked(&self, inner: &mut Inner, reclaim_list: &mut Vec<String>) {
+        while inner.resident_bytes > self.config.budget_bytes {
+            let victim = {
+                let slots = &inner.slots;
+                inner.policy.victim(
+                    &|uri| matches!(slots.get(uri), Some(Slot::Resident(r)) if r.pins == 0),
+                )
+            };
+            match victim {
+                Some(uri) => {
+                    Self::evict_locked(inner, &self.stats, &uri);
+                    reclaim_list.push(uri);
+                }
+                // Everything left is pinned (or the policy is out of
+                // candidates): a query's working set may transiently
+                // exceed the budget; release re-enforces it.
+                None => break,
+            }
+        }
+    }
+
+    fn evict_locked(inner: &mut Inner, stats: &CellarStats, uri: &str) {
+        if let Some(Slot::Resident(r)) = inner.slots.remove(uri) {
+            debug_assert_eq!(r.pins, 0, "evicting a pinned chunk");
+            inner.resident_bytes -= r.bytes;
+            inner.policy.on_remove(uri);
+            inner.ever_evicted.insert(uri.to_string());
+            stats.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn release_uris(&self, uris: &[&str]) {
+        let mut reclaim_list = Vec::new();
+        {
+            let mut inner = self.inner.lock();
+            for uri in uris {
+                if let Some(Slot::Resident(r)) = inner.slots.get_mut(*uri) {
+                    r.pins = r.pins.saturating_sub(1);
+                    if r.pins == 0 && !self.config.retain {
+                        Self::evict_locked(&mut inner, &self.stats, uri);
+                        reclaim_list.push(uri.to_string());
+                    }
+                }
+            }
+            self.enforce_budget_locked(&mut inner, &mut reclaim_list);
+        }
+        self.reclaim_all(&reclaim_list);
+    }
+
+    /// Undo the evicted chunks' footprint in the storage layer: delete
+    /// their staged `D` rows (chunk-scoped delete per file) and, if no
+    /// DMd query is in flight, invalidate the coverage derived from
+    /// them — one batched `H` pass per release, not one per chunk.
+    ///
+    /// Reclamation is best-effort: a skipped or failed invalidation
+    /// leaves derived rows *and their coverage* in place, which is
+    /// still correct (they were computed from immutable chunk data);
+    /// coverage is only removed after its `H` rows are gone.
+    fn reclaim_all(&self, uris: &[String]) {
+        if uris.is_empty() {
+            return;
+        }
+        match self.try_reclaim_batch(uris) {
+            Ok(rows) => {
+                self.stats.reclaimed_rows.fetch_add(rows, Ordering::Relaxed);
+            }
+            Err(_) => {
+                self.stats.reclaim_failures.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn try_reclaim_batch(&self, uris: &[String]) -> crate::error::Result<u64> {
+        // Staged actual-data rows go unconditionally (nothing reads D
+        // through the cellar's relations).
+        let mut rows = 0;
+        for uri in uris {
+            if let Some(entry) = self.registry.get(uri) {
+                rows += self.db.delete_chunk_rows("D", "file_id", entry.file_id)?;
+            }
+        }
+        // Coverage invalidation is exclusive with DMd-referring
+        // queries: between a query's Algorithm-1 check and its H scan,
+        // its windows must not vanish. Under contention we leave the
+        // (correct) derived rows in place.
+        let Some(_invalidation) = self.dmd.try_invalidate() else {
+            return Ok(rows);
+        };
+        let mut covered: Vec<DmdKey> = Vec::new();
+        for uri in uris {
+            let Some(entry) = self.registry.get(uri) else { continue };
+            let Some(cov) = self.coverage_of(uri, entry.file_id)? else { continue };
+            let mut h = cov.hours.0;
+            while h < cov.hours.1 {
+                let key = (cov.station.clone(), cov.channel.clone(), h);
+                if self.dmd.is_covered(&key) {
+                    covered.push(key);
+                }
+                h += MS_PER_HOUR;
+            }
+        }
+        if covered.is_empty() {
+            return Ok(rows);
+        }
+        // Delete the H rows first, uncover second: if the delete fails,
+        // coverage still matches the surviving rows.
+        let cols = self
+            .db
+            .scan_columns("H", &["window_station", "window_channel", "window_start_ts"])?;
+        let stations = cols[0].as_text()?;
+        let channels = cols[1].as_text()?;
+        let hours = cols[2].as_i64()?;
+        let doomed: HashSet<&DmdKey> = covered.iter().collect();
+        let keep: Vec<bool> = (0..hours.len())
+            .map(|i| {
+                let key =
+                    (stations.get(i).to_string(), channels.get(i).to_string(), hours[i]);
+                !doomed.contains(&key)
+            })
+            .collect();
+        if keep.iter().any(|k| !k) {
+            rows += self.db.retain_rows("H", &keep)?;
+        }
+        self.dmd.uncover(covered);
+        Ok(rows)
+    }
+
+    /// The DMd coverage of `uri` (memoized): which (station, channel,
+    /// hour) keys derive from this chunk's segments.
+    fn coverage_of(
+        &self,
+        uri: &str,
+        file_id: i64,
+    ) -> crate::error::Result<Option<ChunkCoverage>> {
+        if let Some(c) = self.coverage.lock().get(uri) {
+            return Ok(c.clone());
+        }
+        let computed = self.compute_coverage(file_id)?;
+        self.coverage.lock().insert(uri.to_string(), computed.clone());
+        Ok(computed)
+    }
+
+    fn compute_coverage(&self, file_id: i64) -> crate::error::Result<Option<ChunkCoverage>> {
+        let f = self.db.scan_columns("F", &["file_id", "station", "channel"])?;
+        let ids = f[0].as_i64()?;
+        let Some(row) = ids.iter().position(|&id| id == file_id) else {
+            return Ok(None);
+        };
+        let station = f[1].as_text()?.get(row).to_string();
+        let channel = f[2].as_text()?.get(row).to_string();
+        let s = self
+            .db
+            .scan_columns("S", &["file_id", "start_time", "frequency", "sample_count"])?;
+        let s_ids = s[0].as_i64()?;
+        let starts = s[1].as_i64()?;
+        let freqs = s[2].as_f64()?;
+        let counts = s[3].as_i64()?;
+        let mut lo = i64::MAX;
+        let mut hi = i64::MIN;
+        for i in 0..s_ids.len() {
+            if s_ids[i] != file_id {
+                continue;
+            }
+            lo = lo.min(starts[i]);
+            let end = starts[i] + (counts[i] as f64 * 1000.0 / freqs[i]) as i64;
+            hi = hi.max(end);
+        }
+        if lo > hi {
+            return Ok(None);
+        }
+        let hour_lo = hour_bucket(lo);
+        let hour_hi = {
+            let b = hour_bucket(hi);
+            if b == hi {
+                hi
+            } else {
+                b + MS_PER_HOUR
+            }
+        };
+        Ok(Some(ChunkCoverage { station, channel, hours: (hour_lo, hour_hi) }))
+    }
+}
+
+impl ChunkResidency for Cellar {
+    fn is_resident(&self, uri: &str) -> bool {
+        matches!(self.inner.lock().slots.get(uri), Some(Slot::Resident(_)))
+    }
+
+    fn acquire_many(
+        &self,
+        uris: &[String],
+        parallel: ParallelMode,
+        max_threads: usize,
+    ) -> sommelier_engine::Result<Vec<AcquiredChunk>> {
+        self.acquire_impl(uris, parallel, max_threads)
+    }
+
+    fn release_many(&self, uris: &[String]) {
+        let refs: Vec<&str> = uris.iter().map(|u| u.as_str()).collect();
+        self.release_uris(&refs);
+    }
+
+    fn all_chunks(&self) -> sommelier_engine::Result<Vec<String>> {
+        Ok(self.registry.entries().iter().map(|e| e.uri.clone()).collect())
+    }
+}
+
+impl std::fmt::Debug for Cellar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cellar")
+            .field("budget_bytes", &self.config.budget_bytes)
+            .field("policy", &self.config.policy.label())
+            .field("retain", &self.config.retain)
+            .field("resident_chunks", &self.resident_chunks())
+            .field("resident_bytes", &self.resident_bytes())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registrar::register_repository;
+    use crate::schema::all_schemas;
+    use sommelier_mseed::{DatasetSpec, Repository};
+    use sommelier_storage::catalog::Disposition;
+    use sommelier_storage::column::TextColumn;
+    use sommelier_storage::{ColumnData, ConstraintPolicy};
+    use std::path::PathBuf;
+
+    struct Fixture {
+        dir: PathBuf,
+        db: Arc<Database>,
+        registry: Arc<ChunkRegistry>,
+        dmd: Arc<DmdManager>,
+    }
+
+    impl Drop for Fixture {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.dir);
+        }
+    }
+
+    /// A registered FIAM repository with `days` one-day chunks.
+    fn fixture(tag: &str, days: u32, samples: u32) -> Fixture {
+        let dir = std::env::temp_dir().join(format!(
+            "somm-cellar-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let repo = Repository::at(dir.join("repo"));
+        let mut spec = DatasetSpec::fiam(1, samples);
+        spec.days = days;
+        repo.generate(&spec).unwrap();
+        let db = Arc::new(Database::in_memory(Default::default()));
+        for s in all_schemas() {
+            db.create_table(s, Disposition::Resident).unwrap();
+        }
+        let (registry, _) = register_repository(&db, &repo, 2).unwrap();
+        Fixture { dir, db, registry: Arc::new(registry), dmd: Arc::new(DmdManager::new()) }
+    }
+
+    fn cellar_over(fx: &Fixture, config: CellarConfig) -> Cellar {
+        let source = Arc::new(RepoChunkSource::new(
+            Arc::clone(&fx.registry),
+            Arc::clone(&fx.db),
+            false,
+        ));
+        Cellar::new(
+            Arc::clone(&fx.registry),
+            source,
+            Arc::clone(&fx.db),
+            Arc::clone(&fx.dmd),
+            config,
+        )
+    }
+
+    fn uris(fx: &Fixture) -> Vec<String> {
+        fx.registry.entries().iter().map(|e| e.uri.clone()).collect()
+    }
+
+    fn chunk_bytes(cellar: &Cellar, uri: &str) -> usize {
+        // Measure one decoded chunk by loading it through the source.
+        cellar.source.load_chunk(uri).unwrap().approx_bytes()
+    }
+
+    #[test]
+    fn budget_enforced_after_release_never_while_pinned() {
+        let fx = fixture("budget", 4, 64);
+        let all = uris(&fx);
+        let one = chunk_bytes(&cellar_over(&fx, CellarConfig::default()), &all[0]);
+        // Budget fits ~2 chunks; a 4-chunk query must still run.
+        let cellar = cellar_over(
+            &fx,
+            CellarConfig { budget_bytes: one * 2 + one / 2, ..CellarConfig::default() },
+        );
+        let acquired = cellar.acquire_many(&all, ParallelMode::Static, 2).unwrap();
+        assert_eq!(acquired.len(), 4);
+        assert!(acquired.iter().all(|a| a.loaded));
+        // Working set pinned: transiently over budget, nothing evicted.
+        assert_eq!(cellar.resident_chunks(), 4);
+        assert!(cellar.resident_bytes() > cellar.budget_bytes());
+        cellar.release_many(&all);
+        // Budget enforced once pins dropped.
+        assert!(cellar.resident_bytes() <= cellar.budget_bytes());
+        assert!(cellar.stats().evictions >= 2);
+    }
+
+    #[test]
+    fn resident_chunks_hit_without_reload() {
+        let fx = fixture("hits", 2, 32);
+        let all = uris(&fx);
+        let cellar = cellar_over(&fx, CellarConfig::default());
+        let first = cellar.acquire_many(&all, ParallelMode::Static, 2).unwrap();
+        assert!(first.iter().all(|a| a.loaded && !a.joined));
+        cellar.release_many(&all);
+        let second = cellar.acquire_many(&all, ParallelMode::Static, 2).unwrap();
+        assert!(second.iter().all(|a| !a.loaded && !a.joined));
+        cellar.release_many(&all);
+        let s = cellar.stats();
+        assert_eq!((s.loads, s.hits, s.reloads), (2, 2, 0));
+    }
+
+    #[test]
+    fn single_flight_concurrent_acquires_decode_once() {
+        let fx = fixture("flight", 2, 64);
+        let all = uris(&fx);
+        let cellar = cellar_over(&fx, CellarConfig::default());
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let cellar = &cellar;
+                let all = &all;
+                scope.spawn(move || {
+                    let got = cellar.acquire_many(all, ParallelMode::Static, 2).unwrap();
+                    assert_eq!(got.len(), all.len());
+                    // Every thread sees the same relation contents.
+                    let rows: usize = got.iter().map(|a| a.relation.rows()).sum();
+                    assert!(rows > 0);
+                    cellar.release_many(all);
+                });
+            }
+        });
+        let s = cellar.stats();
+        assert_eq!(s.loads, all.len() as u64, "each chunk decoded exactly once");
+        assert_eq!(s.hits + s.joins + s.loads, 8 * all.len() as u64);
+        assert_eq!(s.reloads, 0);
+    }
+
+    #[test]
+    fn retain_false_is_a_pure_single_flight_loader() {
+        let fx = fixture("noretain", 2, 32);
+        let all = uris(&fx);
+        let cellar =
+            cellar_over(&fx, CellarConfig { retain: false, ..CellarConfig::default() });
+        cellar.acquire_many(&all, ParallelMode::Static, 2).unwrap();
+        cellar.release_many(&all);
+        assert_eq!(cellar.resident_chunks(), 0);
+        cellar.acquire_many(&all, ParallelMode::Static, 2).unwrap();
+        cellar.release_many(&all);
+        let s = cellar.stats();
+        assert_eq!(s.loads, 2 * all.len() as u64, "every query re-ingests");
+        assert_eq!(s.reloads, all.len() as u64);
+    }
+
+    #[test]
+    fn exchange_acquisition_matches_static() {
+        let fx = fixture("exchange", 3, 64);
+        let all = uris(&fx);
+        let a = cellar_over(&fx, CellarConfig::default());
+        let b = cellar_over(&fx, CellarConfig::default());
+        let got_a = a.acquire_many(&all, ParallelMode::Static, 2).unwrap();
+        let got_b = b.acquire_many(&all, ParallelMode::Exchange { workers: 3 }, 2).unwrap();
+        for (x, y) in got_a.iter().zip(&got_b) {
+            assert_eq!(x.relation.rows(), y.relation.rows());
+        }
+        a.release_many(&all);
+        b.release_many(&all);
+    }
+
+    #[test]
+    fn eviction_reclaims_storage_rows_and_dmd_coverage() {
+        let fx = fixture("reclaim", 2, 32);
+        let all = uris(&fx);
+        let entry0 = fx.registry.get(&all[0]).unwrap().clone();
+        // Stage some D rows for chunk 0 (as an eager path might) and a
+        // derived H window computed from it.
+        fx.db
+            .append(
+                "D",
+                &[
+                    ColumnData::Int64(vec![entry0.file_id; 3]),
+                    ColumnData::Int64(vec![entry0.seg_base; 3]),
+                    ColumnData::Timestamp(vec![0, 1, 2]),
+                    ColumnData::Float64(vec![1.0, 2.0, 3.0]),
+                ],
+                ConstraintPolicy::none(),
+            )
+            .unwrap();
+        // Chunk 0 covers day 0 of 2010 for FIAM/HHZ; mark one of its
+        // hours as derived, with a matching H row.
+        let day0 = sommelier_storage::time::days_from_civil(2010, 1, 1)
+            * sommelier_storage::time::MS_PER_DAY;
+        let hour = day0 + 3 * MS_PER_HOUR;
+        fx.dmd.mark_covered([("FIAM".to_string(), "HHZ".to_string(), hour)]);
+        fx.db
+            .append(
+                "H",
+                &[
+                    ColumnData::Text(TextColumn::from_strs(["FIAM"])),
+                    ColumnData::Text(TextColumn::from_strs(["HHZ"])),
+                    ColumnData::Timestamp(vec![hour]),
+                    ColumnData::Float64(vec![9.0]),
+                    ColumnData::Float64(vec![1.0]),
+                    ColumnData::Float64(vec![5.0]),
+                    ColumnData::Float64(vec![2.0]),
+                ],
+                ConstraintPolicy::none(),
+            )
+            .unwrap();
+        // Budget 1 byte: everything evicts on release.
+        let cellar =
+            cellar_over(&fx, CellarConfig { budget_bytes: 1, ..CellarConfig::default() });
+        cellar.acquire_many(&all[..1], ParallelMode::Static, 1).unwrap();
+        cellar.release_many(&all[..1]);
+        assert_eq!(cellar.resident_chunks(), 0);
+        // D rows staged for the chunk are gone; other chunks untouched.
+        assert_eq!(fx.db.table_rows("D").unwrap(), 0);
+        // The derived window left PSm and its H row was deleted.
+        assert_eq!(fx.dmd.covered_count(), 0);
+        assert_eq!(fx.db.table_rows("H").unwrap(), 0);
+        let s = cellar.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.reclaimed_rows, 4, "3 D rows + 1 H row");
+        assert_eq!(s.reclaim_failures, 0);
+    }
+
+    #[test]
+    fn clear_drops_residency_but_keeps_derived_metadata() {
+        let fx = fixture("clear", 2, 32);
+        let all = uris(&fx);
+        let day0 = sommelier_storage::time::days_from_civil(2010, 1, 1)
+            * sommelier_storage::time::MS_PER_DAY;
+        fx.dmd.mark_covered([("FIAM".to_string(), "HHZ".to_string(), day0)]);
+        let cellar = cellar_over(&fx, CellarConfig::default());
+        cellar.acquire_many(&all, ParallelMode::Static, 2).unwrap();
+        cellar.release_many(&all);
+        assert_eq!(cellar.resident_chunks(), 2);
+        cellar.clear();
+        assert_eq!(cellar.resident_chunks(), 0);
+        assert_eq!(cellar.resident_bytes(), 0);
+        // A cold restart does not invalidate the materialized view.
+        assert_eq!(fx.dmd.covered_count(), 1);
+    }
+
+    #[test]
+    fn pinned_chunks_are_never_victims() {
+        let fx = fixture("pins", 3, 64);
+        let all = uris(&fx);
+        let one = chunk_bytes(&cellar_over(&fx, CellarConfig::default()), &all[0]);
+        let cellar = cellar_over(
+            &fx,
+            CellarConfig { budget_bytes: one + one / 2, ..CellarConfig::default() },
+        );
+        // Hold a pin on chunk 0 across a second acquisition that
+        // overflows the budget.
+        cellar.acquire_many(&all[..1], ParallelMode::Static, 1).unwrap();
+        cellar.acquire_many(&all[1..2], ParallelMode::Static, 1).unwrap();
+        cellar.release_many(&all[1..2]);
+        // Chunk 0 is pinned: the eviction to restore the budget must
+        // have taken chunk 1.
+        assert!(cellar.is_resident(&all[0]));
+        assert!(!cellar.is_resident(&all[1]));
+        cellar.release_many(&all[..1]);
+        // Now nothing is pinned; the budget holds.
+        assert!(cellar.resident_bytes() <= cellar.budget_bytes());
+    }
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let fx = fixture("peak", 3, 32);
+        let all = uris(&fx);
+        let cellar = cellar_over(&fx, CellarConfig::default());
+        cellar.acquire_many(&all, ParallelMode::Static, 2).unwrap();
+        let peak = cellar.peak_resident_bytes();
+        assert_eq!(peak, cellar.resident_bytes());
+        cellar.release_many(&all);
+        cellar.clear();
+        assert_eq!(cellar.peak_resident_bytes(), peak, "peak survives clears");
+    }
+}

@@ -34,11 +34,7 @@ pub struct ChunkRegistry {
 impl ChunkRegistry {
     /// Build from registration-ordered entries.
     pub fn new(entries: Vec<FileEntry>) -> Self {
-        let by_uri = entries
-            .iter()
-            .enumerate()
-            .map(|(i, e)| (e.uri.clone(), i))
-            .collect();
+        let by_uri = entries.iter().enumerate().map(|(i, e)| (e.uri.clone(), i)).collect();
         ChunkRegistry { entries, by_uri }
     }
 
@@ -145,8 +141,8 @@ impl ChunkSource for RepoChunkSource {
 
     fn chunk_units(&self, uri: &str) -> sommelier_engine::Result<Vec<ChunkUnit>> {
         let entry = self.entry(uri)?;
-        let (bytes, header) = read_full_bytes(Path::new(uri))
-            .map_err(|e| EngineError::Chunk(e.to_string()))?;
+        let (bytes, header) =
+            read_full_bytes(Path::new(uri)).map_err(|e| EngineError::Chunk(e.to_string()))?;
         let bytes = Arc::new(bytes);
         let header = Arc::new(header);
         let file_id = entry.file_id;
@@ -208,8 +204,8 @@ pub fn registry_from_db(db: &Database) -> Result<ChunkRegistry> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::path::PathBuf;
     use sommelier_mseed::{FileMeta, MseedFile, SegmentData, SegmentMeta};
+    use std::path::PathBuf;
 
     fn temp_dir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!(

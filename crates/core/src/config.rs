@@ -1,5 +1,6 @@
 //! System configuration.
 
+use crate::cellar::CellarPolicyKind;
 use sommelier_engine::ParallelMode;
 use sommelier_storage::buffer::SimIo;
 
@@ -8,9 +9,16 @@ use sommelier_storage::buffer::SimIo;
 pub struct SommelierConfig {
     /// Buffer-pool capacity for persistent base tables (bytes).
     pub buffer_pool_bytes: usize,
-    /// Recycler (chunk cache) budget (bytes). The paper's workload
-    /// experiments limit it to main-memory size.
+    /// Chunk-residency (cellar) budget (bytes): decoded chunks kept
+    /// resident across queries. The paper's workload experiments limit
+    /// it to main-memory size. (Historically the Recycler's budget;
+    /// the cellar honors the same knob.)
     pub recycler_bytes: usize,
+    /// Override for the cellar budget; `None` falls back to
+    /// [`Self::recycler_bytes`]. The bench harness sweeps this.
+    pub cellar_bytes: Option<usize>,
+    /// Eviction policy of the cellar.
+    pub cellar_policy: CellarPolicyKind,
     /// Optional simulated I/O latency per buffer-pool page miss, used
     /// to re-create the paper's disk-bound regimes at scaled-down
     /// dataset sizes (see DESIGN.md).
@@ -31,11 +39,20 @@ pub struct SommelierConfig {
     pub max_threads: usize,
 }
 
+impl SommelierConfig {
+    /// The effective cellar byte budget.
+    pub fn effective_cellar_bytes(&self) -> usize {
+        self.cellar_bytes.unwrap_or(self.recycler_bytes)
+    }
+}
+
 impl Default for SommelierConfig {
     fn default() -> Self {
         SommelierConfig {
             buffer_pool_bytes: 256 * 1024 * 1024,
             recycler_bytes: 256 * 1024 * 1024,
+            cellar_bytes: None,
+            cellar_policy: CellarPolicyKind::Lru,
             sim_io: None,
             parallel: ParallelMode::Static,
             chunk_pushdown: true,
@@ -57,5 +74,9 @@ mod tests {
         assert!(c.use_recycler);
         assert!(!c.verify_lazy_fk);
         assert_eq!(c.parallel, ParallelMode::Static);
+        assert_eq!(c.cellar_policy, CellarPolicyKind::Lru);
+        assert_eq!(c.effective_cellar_bytes(), c.recycler_bytes);
+        let c = SommelierConfig { cellar_bytes: Some(1234), ..c };
+        assert_eq!(c.effective_cellar_bytes(), 1234);
     }
 }

@@ -20,10 +20,10 @@
 use crate::error::{Result, SommelierError};
 use crate::query::infer_segment_time_predicates;
 use crate::schema::dataview;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use sommelier_engine::spec::OutputExpr;
 use sommelier_engine::twostage::QueryOutcome;
 use sommelier_engine::{AggFunc, CmpOp, Expr, Func, QuerySpec, TableRef};
-use sommelier_engine::spec::OutputExpr;
 use sommelier_storage::time::MS_PER_HOUR;
 use sommelier_storage::{ColumnData, ConstraintPolicy, Database, TableClass, Value};
 use std::collections::HashSet;
@@ -37,15 +37,39 @@ pub type DmdKey = (String, String, i64);
 /// A key being in `PSm` means its window has been *computed* — whether
 /// or not any rows resulted (a sensor with no data in that hour derives
 /// to nothing, and must not be recomputed every query).
+///
+/// Concurrency: `derivation` serializes Algorithm 1 runs so two
+/// queries over the same uncovered window never derive (and insert)
+/// twice; `readers` is a query-vs-invalidation lock — every
+/// DMd-referring query holds it shared for its whole execution, and
+/// cellar eviction only invalidates coverage when it can take it
+/// exclusively (invalidation is bookkeeping, never required for
+/// correctness, so it is safely skipped under contention).
 #[derive(Debug, Default)]
 pub struct DmdManager {
     covered: Mutex<HashSet<DmdKey>>,
+    derivation: Mutex<()>,
+    readers: RwLock<()>,
 }
 
 impl DmdManager {
     /// Empty manager (fresh database).
     pub fn new() -> Self {
         DmdManager::default()
+    }
+
+    /// Enter a DMd-referring query: shared with other queries, mutually
+    /// exclusive with coverage invalidation. Hold the guard until the
+    /// query's plan has finished reading `H`.
+    pub fn begin_query(&self) -> RwLockReadGuard<'_, ()> {
+        self.readers.read()
+    }
+
+    /// Try to enter coverage invalidation (exclusive with queries).
+    /// `None` while any DMd query is in flight — the caller must then
+    /// leave the (still-correct) derived rows in place.
+    pub fn try_invalidate(&self) -> Option<RwLockWriteGuard<'_, ()>> {
+        self.readers.try_write()
     }
 
     /// Number of covered keys.
@@ -61,6 +85,16 @@ impl DmdManager {
     /// Is a single key covered?
     pub fn is_covered(&self, key: &DmdKey) -> bool {
         self.covered.lock().contains(key)
+    }
+
+    /// Remove keys from the materialized space `PSm`, returning the
+    /// ones that actually were covered. The cellar calls this when a
+    /// chunk is evicted: windows derived from it leave `PSm` (and their
+    /// `H` rows are deleted), so a later query re-runs Algorithm 1 for
+    /// them instead of trusting stale residency bookkeeping.
+    pub fn uncover(&self, keys: impl IntoIterator<Item = DmdKey>) -> Vec<DmdKey> {
+        let mut covered = self.covered.lock();
+        keys.into_iter().filter(|k| covered.remove(k)).collect()
     }
 
     /// Forget everything (tests; dropping a DMd table).
@@ -167,10 +201,12 @@ pub fn extract_key_space(db: &Database, spec: &QuerySpec) -> Result<KeySpace> {
             };
             match col {
                 "H.window_station" if op == CmpOp::Eq => {
-                    stations_eq.push(lit.as_str().map_err(SommelierError::Storage)?.to_string());
+                    stations_eq
+                        .push(lit.as_str().map_err(SommelierError::Storage)?.to_string());
                 }
                 "H.window_channel" if op == CmpOp::Eq => {
-                    channels_eq.push(lit.as_str().map_err(SommelierError::Storage)?.to_string());
+                    channels_eq
+                        .push(lit.as_str().map_err(SommelierError::Storage)?.to_string());
                 }
                 "H.window_start_ts" => {
                     let Value::Time(t) = lit
@@ -265,8 +301,14 @@ pub fn derivation_spec(
         predicates,
         residual: vec![],
         output: vec![
-            OutputExpr::Column { name: "window_station".into(), expr: Expr::col("F.station") },
-            OutputExpr::Column { name: "window_channel".into(), expr: Expr::col("F.channel") },
+            OutputExpr::Column {
+                name: "window_station".into(),
+                expr: Expr::col("F.station"),
+            },
+            OutputExpr::Column {
+                name: "window_channel".into(),
+                expr: Expr::col("F.channel"),
+            },
             OutputExpr::Column { name: "window_start_ts".into(), expr: hour_expr.clone() },
             OutputExpr::Aggregate {
                 name: "window_max_val".into(),
@@ -341,6 +383,12 @@ pub fn ensure_dmd(
 ) -> Result<DmdOutcome> {
     let t0 = Instant::now();
     let mut outcome = DmdOutcome::default();
+    // Serialize Algorithm 1: two concurrent queries over the same
+    // uncovered window must not both derive it (the second insert
+    // would trip H's primary key). The derivation queries themselves
+    // never re-enter (they are T4-shaped), so holding the lock across
+    // `run` cannot deadlock.
+    let _derivation = manager.derivation.lock();
     // Steps 2–3: the referenced key space.
     let space = extract_key_space(db, spec)?;
     let psq = space.enumerate();
@@ -426,6 +474,7 @@ pub fn derive_all(
 ) -> Result<DmdOutcome> {
     let t0 = Instant::now();
     let mut outcome = DmdOutcome::default();
+    let _derivation = manager.derivation.lock();
     let stations = distinct_text(db, "F", "station")?;
     let channels = distinct_text(db, "F", "channel")?;
     let hours = data_hour_range(db)?;
@@ -489,6 +538,20 @@ mod tests {
         assert_eq!(m.covered_count(), 1);
         m.clear();
         assert_eq!(m.covered_count(), 0);
+    }
+
+    #[test]
+    fn uncover_reports_only_previously_covered_keys() {
+        let m = DmdManager::new();
+        let a = ("FIAM".to_string(), "HHZ".to_string(), 0i64);
+        let b = ("FIAM".to_string(), "HHZ".to_string(), MS_PER_HOUR);
+        m.mark_covered([a.clone()]);
+        let gone = m.uncover([a.clone(), b.clone()]);
+        assert_eq!(gone, vec![a.clone()]);
+        assert!(!m.is_covered(&a));
+        assert_eq!(m.covered_count(), 0);
+        // Idempotent.
+        assert!(m.uncover([a]).is_empty());
     }
 
     #[test]
@@ -587,8 +650,7 @@ mod tests {
             Ok(sommelier_engine::twostage::execute_plan(
                 &db,
                 &plan,
-                None,
-                None,
+                sommelier_engine::twostage::ChunkAccess::None,
                 &Default::default(),
             )?)
         };

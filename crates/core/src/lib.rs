@@ -33,6 +33,7 @@
 //! assert_eq!(result.stats.files_loaded, 2); // two days → two chunks
 //! ```
 
+pub mod cellar;
 pub mod chunks;
 pub mod config;
 pub mod dmd;
@@ -47,12 +48,13 @@ pub use error::{Result, SommelierError};
 pub use loader::{LoadingMode, PrepReport};
 pub use query::QueryType;
 
+use cellar::{Cellar, CellarConfig};
 use chunks::{ChunkRegistry, RepoChunkSource};
 use dmd::{DmdManager, DmdOutcome};
 use parking_lot::Mutex;
 use sommelier_engine::joinorder::{plan_query, PlanOptions};
-use sommelier_engine::twostage::{execute_plan, QueryOutcome, TwoStageConfig};
-use sommelier_engine::{ExecStats, QuerySpec, Recycler, Relation};
+use sommelier_engine::twostage::{execute_plan, ChunkAccess, QueryOutcome, TwoStageConfig};
+use sommelier_engine::{ExecStats, QuerySpec, Relation};
 use sommelier_mseed::Repository;
 use sommelier_sql::BindCatalog;
 use sommelier_storage::buffer::BufferPoolConfig;
@@ -75,17 +77,21 @@ pub struct QueryResult {
 struct Prepared {
     mode: LoadingMode,
     registry: Arc<ChunkRegistry>,
-    source: Arc<RepoChunkSource>,
+    cellar: Arc<Cellar>,
 }
 
 /// The system façade.
+///
+/// Thread-safe: [`Sommelier::query`] may be called from any number of
+/// threads concurrently — the cellar pins each query's chunk set for
+/// the duration of stage 2 and deduplicates concurrent loads of the
+/// same chunk (single-flight).
 pub struct Sommelier {
     db: Arc<Database>,
     repo: Repository,
     config: SommelierConfig,
     catalog: BindCatalog,
-    recycler: Recycler,
-    dmd: DmdManager,
+    dmd: Arc<DmdManager>,
     prepared: Mutex<Option<Prepared>>,
     csv_dir: PathBuf,
 }
@@ -104,10 +110,9 @@ impl Sommelier {
         Ok(Sommelier {
             db: Arc::new(db),
             repo,
-            recycler: Recycler::new(config.recycler_bytes),
             config,
             catalog: schema::bind_catalog(),
-            dmd: DmdManager::new(),
+            dmd: Arc::new(DmdManager::new()),
             prepared: Mutex::new(None),
             csv_dir,
         })
@@ -157,10 +162,9 @@ impl Sommelier {
         let somm = Sommelier {
             db: Arc::new(db),
             repo,
-            recycler: Recycler::new(config.recycler_bytes),
             config: config.clone(),
             catalog: schema::bind_catalog(),
-            dmd: DmdManager::new(),
+            dmd: Arc::new(DmdManager::new()),
             prepared: Mutex::new(None),
             csv_dir: db_dir.join("csv_cache"),
         };
@@ -173,9 +177,10 @@ impl Sommelier {
         // Rows already materialized in H are usable again: mark their
         // keys covered so Algorithm 1 does not re-derive them.
         if somm.db.table_rows("H")? > 0 {
-            let cols = somm
-                .db
-                .scan_columns("H", &["window_station", "window_channel", "window_start_ts"])?;
+            let cols = somm.db.scan_columns(
+                "H",
+                &["window_station", "window_channel", "window_start_ts"],
+            )?;
             let stations = cols[0].as_text()?;
             let channels = cols[1].as_text()?;
             let hours = cols[2].as_i64()?;
@@ -183,12 +188,8 @@ impl Sommelier {
                 (stations.get(i).to_string(), channels.get(i).to_string(), hours[i])
             }));
         }
-        let source = Arc::new(RepoChunkSource::new(
-            Arc::clone(&registry),
-            Arc::clone(&somm.db),
-            config.verify_lazy_fk,
-        ));
-        *somm.prepared.lock() = Some(Prepared { mode, registry, source });
+        let cellar = somm.build_cellar(Arc::clone(&registry));
+        *somm.prepared.lock() = Some(Prepared { mode, registry, cellar });
         Ok(somm)
     }
 
@@ -225,12 +226,8 @@ impl Sommelier {
         if mode.builds_indices() {
             loader::build_indices(&self.db, &mut report)?;
         }
-        let source = Arc::new(RepoChunkSource::new(
-            Arc::clone(&registry),
-            Arc::clone(&self.db),
-            self.config.verify_lazy_fk,
-        ));
-        *self.prepared.lock() = Some(Prepared { mode, registry, source });
+        let cellar = self.build_cellar(Arc::clone(&registry));
+        *self.prepared.lock() = Some(Prepared { mode, registry, cellar });
         if mode.materializes_dmd() {
             let t = Instant::now();
             dmd::derive_all(&self.db, &self.dmd, &|s| {
@@ -242,12 +239,32 @@ impl Sommelier {
         Ok(report)
     }
 
-    fn prepared_info(&self) -> Result<(LoadingMode, Arc<RepoChunkSource>)> {
+    /// Assemble the cellar for a freshly built registry.
+    fn build_cellar(&self, registry: Arc<ChunkRegistry>) -> Arc<Cellar> {
+        let source = Arc::new(RepoChunkSource::new(
+            Arc::clone(&registry),
+            Arc::clone(&self.db),
+            self.config.verify_lazy_fk,
+        ));
+        Arc::new(Cellar::new(
+            registry,
+            source,
+            Arc::clone(&self.db),
+            Arc::clone(&self.dmd),
+            CellarConfig {
+                budget_bytes: self.config.effective_cellar_bytes(),
+                policy: self.config.cellar_policy,
+                retain: self.config.use_recycler,
+            },
+        ))
+    }
+
+    fn prepared_info(&self) -> Result<(LoadingMode, Arc<Cellar>)> {
         let guard = self.prepared.lock();
-        let p = guard
-            .as_ref()
-            .ok_or_else(|| SommelierError::Usage("call prepare(mode) before querying".into()))?;
-        Ok((p.mode, Arc::clone(&p.source)))
+        let p = guard.as_ref().ok_or_else(|| {
+            SommelierError::Usage("call prepare(mode) before querying".into())
+        })?;
+        Ok((p.mode, Arc::clone(&p.cellar)))
     }
 
     fn two_stage_config(&self, mode: LoadingMode) -> TwoStageConfig {
@@ -275,9 +292,14 @@ impl Sommelier {
         check_dmd: bool,
         sampling: Option<f64>,
     ) -> Result<QueryResult> {
-        let (mode, source) = self.prepared_info()?;
+        let (mode, cellar) = self.prepared_info()?;
         let qtype = query::classify(&spec);
         query::infer_segment_time_predicates(&mut spec);
+        // DMd-referring queries hold the coverage read guard for their
+        // whole execution: between Algorithm 1 declaring a window
+        // covered and the plan scanning `H`, a concurrent eviction must
+        // not invalidate (and delete) that window out from under us.
+        let _dmd_guard = if qtype.refers_dmd() { Some(self.dmd.begin_query()) } else { None };
         let dmd_outcome = if check_dmd && qtype.refers_dmd() && !mode.materializes_dmd() {
             Some(dmd::ensure_dmd(&self.db, &self.dmd, &spec, &|s| {
                 self.run_spec(s, false)
@@ -294,13 +316,12 @@ impl Sommelier {
         let plan = plan_query(&spec, &opts)?;
         let mut ts_config = self.two_stage_config(mode);
         ts_config.sampling = sampling;
-        let outcome = execute_plan(
-            &self.db,
-            &plan,
-            if mode == LoadingMode::Lazy { Some(source.as_ref()) } else { None },
-            if self.config.use_recycler { Some(&self.recycler) } else { None },
-            &ts_config,
-        )?;
+        let access = if mode == LoadingMode::Lazy {
+            ChunkAccess::Managed(cellar.as_ref())
+        } else {
+            ChunkAccess::None
+        };
+        let outcome = execute_plan(&self.db, &plan, access, &ts_config)?;
         Ok(QueryResult {
             relation: outcome.relation,
             stats: outcome.stats,
@@ -354,7 +375,9 @@ impl Sommelier {
     /// Drop buffered pages and cached chunks ("cold" run).
     pub fn flush_caches(&self) {
         self.db.flush_caches();
-        self.recycler.clear();
+        if let Some(p) = self.prepared.lock().as_ref() {
+            p.cellar.clear();
+        }
     }
 
     /// Forget all derived metadata: truncate `H` and reset the PSm
@@ -371,9 +394,9 @@ impl Sommelier {
         &self.db
     }
 
-    /// The chunk cache.
-    pub fn recycler(&self) -> &Recycler {
-        &self.recycler
+    /// The chunk residency manager, once prepared.
+    pub fn cellar(&self) -> Option<Arc<Cellar>> {
+        self.prepared.lock().as_ref().map(|p| Arc::clone(&p.cellar))
     }
 
     /// The DMd bookkeeping.

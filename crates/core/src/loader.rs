@@ -174,10 +174,7 @@ fn decode_wave(
             });
         }
     });
-    slots
-        .into_iter()
-        .map(|s| s.into_inner().expect("slot filled"))
-        .collect()
+    slots.into_iter().map(|s| s.into_inner().expect("slot filled")).collect()
 }
 
 /// Eager plain: decode everything and load into `D`.
@@ -359,7 +356,11 @@ mod tests {
         assert!(report.csv_bytes > 0);
         // CSV is dramatically larger than the compressed chunks.
         let repo_bytes = Repository::at(dir.join("repo")).total_bytes().unwrap();
-        assert!(report.csv_bytes > 3 * repo_bytes, "csv {} vs msd {repo_bytes}", report.csv_bytes);
+        assert!(
+            report.csv_bytes > 3 * repo_bytes,
+            "csv {} vs msd {repo_bytes}",
+            report.csv_bytes
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -140,7 +140,9 @@ pub fn infer_segment_time_predicates(spec: &mut QuerySpec) {
                         "S".to_string(),
                         Expr::col("S.start_time")
                             .cmp(CmpOp::Le, Expr::Lit(Value::Time(t)))
-                            .and(segment_end_expr().cmp(CmpOp::Gt, Expr::Lit(Value::Time(t)))),
+                            .and(
+                                segment_end_expr().cmp(CmpOp::Gt, Expr::Lit(Value::Time(t))),
+                            ),
                     ));
                 }
                 CmpOp::Ne => {}
@@ -163,7 +165,10 @@ mod tests {
     #[test]
     fn classification_matches_table_1() {
         // T1: GMd only.
-        assert_eq!(classify(&spec_of("SELECT COUNT(*) FROM F WHERE station = 'ISK'")), QueryType::T1);
+        assert_eq!(
+            classify(&spec_of("SELECT COUNT(*) FROM F WHERE station = 'ISK'")),
+            QueryType::T1
+        );
         // T2: DMd only.
         assert_eq!(
             classify(&spec_of("SELECT window_max_val FROM H WHERE window_station = 'ISK'")),
@@ -199,26 +204,22 @@ mod tests {
         );
         let before = spec.predicates.len();
         infer_segment_time_predicates(&mut spec);
-        let s_preds: Vec<&Expr> = spec
-            .predicates
-            .iter()
-            .filter(|(t, _)| t == "S")
-            .map(|(_, e)| e)
-            .collect();
+        let s_preds: Vec<&Expr> =
+            spec.predicates.iter().filter(|(t, _)| t == "S").map(|(_, e)| e).collect();
         assert_eq!(spec.predicates.len(), before + 2);
         assert_eq!(s_preds.len(), 2);
         // The upper bound becomes a start_time bound; the lower bound an
         // end-time bound (start + count/frequency).
-        let rendered: String = s_preds.iter().map(|e| e.to_string()).collect::<Vec<_>>().join(" ");
+        let rendered: String =
+            s_preds.iter().map(|e| e.to_string()).collect::<Vec<_>>().join(" ");
         assert!(rendered.contains("S.start_time"), "{rendered}");
         assert!(rendered.contains("S.sample_count"), "{rendered}");
     }
 
     #[test]
     fn inference_skips_non_time_predicates() {
-        let mut spec = spec_of(
-            "SELECT AVG(D.sample_value) FROM dataview WHERE D.sample_value > 100",
-        );
+        let mut spec =
+            spec_of("SELECT AVG(D.sample_value) FROM dataview WHERE D.sample_value > 100");
         let before = spec.predicates.len();
         infer_segment_time_predicates(&mut spec);
         assert_eq!(spec.predicates.len(), before);

@@ -25,10 +25,7 @@ pub struct RegistrarReport {
 }
 
 /// Read headers of all files, in parallel, preserving file order.
-pub fn read_all_headers(
-    files: &[PathBuf],
-    max_threads: usize,
-) -> Result<Vec<FileHeader>> {
+pub fn read_all_headers(files: &[PathBuf], max_threads: usize) -> Result<Vec<FileHeader>> {
     let workers = files.len().clamp(1, max_threads.max(1));
     let slots: Vec<parking_lot::Mutex<Option<sommelier_mseed::Result<FileHeader>>>> =
         (0..files.len()).map(|_| parking_lot::Mutex::new(None)).collect();
@@ -46,11 +43,7 @@ pub fn read_all_headers(
     });
     slots
         .into_iter()
-        .map(|s| {
-            s.into_inner()
-                .expect("all slots filled")
-                .map_err(SommelierError::Mseed)
-        })
+        .map(|s| s.into_inner().expect("all slots filled").map_err(SommelierError::Mseed))
         .collect()
 }
 

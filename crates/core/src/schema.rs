@@ -78,12 +78,22 @@ pub fn dataview() -> ViewDef {
         name: "dataview".into(),
         tables: vec!["F".into(), "S".into(), "D".into()],
         joins: vec![
-            JoinEdge::new("F", "S", vec![Expr::col("F.file_id")], vec![Expr::col("S.file_id")])
-                .expect("static edge"),
+            JoinEdge::new(
+                "F",
+                "S",
+                vec![Expr::col("F.file_id")],
+                vec![Expr::col("S.file_id")],
+            )
+            .expect("static edge"),
             JoinEdge::new("S", "D", vec![Expr::col("S.seg_id")], vec![Expr::col("D.seg_id")])
                 .expect("static edge"),
-            JoinEdge::new("F", "D", vec![Expr::col("F.file_id")], vec![Expr::col("D.file_id")])
-                .expect("static edge"),
+            JoinEdge::new(
+                "F",
+                "D",
+                vec![Expr::col("F.file_id")],
+                vec![Expr::col("D.file_id")],
+            )
+            .expect("static edge"),
         ],
     }
 }

@@ -105,14 +105,10 @@ pub fn aggregate(
     aggs: &[(String, AggFunc, Expr)],
 ) -> Result<Relation> {
     // Evaluate grouping keys and aggregate arguments once, vectorized.
-    let key_cols: Vec<ColumnData> = group_by
-        .iter()
-        .map(|(_, e)| eval_scalar(e, input))
-        .collect::<Result<_>>()?;
-    let arg_cols: Vec<ColumnData> = aggs
-        .iter()
-        .map(|(_, _, e)| eval_scalar(e, input))
-        .collect::<Result<_>>()?;
+    let key_cols: Vec<ColumnData> =
+        group_by.iter().map(|(_, e)| eval_scalar(e, input)).collect::<Result<_>>()?;
+    let arg_cols: Vec<ColumnData> =
+        aggs.iter().map(|(_, _, e)| eval_scalar(e, input)).collect::<Result<_>>()?;
     let key_refs: Vec<&ColumnData> = key_cols.iter().collect();
 
     // Group discovery: representative row per group.
@@ -150,8 +146,7 @@ pub fn aggregate(
     }
 
     // Accumulate.
-    let mut states: Vec<Vec<AggState>> =
-        vec![vec![AggState::new(); aggs.len()]; reps.len()];
+    let mut states: Vec<Vec<AggState>> = vec![vec![AggState::new(); aggs.len()]; reps.len()];
     for r in 0..rows {
         let g = group_of[r];
         for (ai, col) in arg_cols.iter().enumerate() {
@@ -202,11 +197,8 @@ pub fn aggregate(
 
 /// Duplicate elimination = group by all columns, no aggregates.
 pub fn distinct(input: &Relation) -> Result<Relation> {
-    let group_by: Vec<(String, Expr)> = input
-        .names()
-        .iter()
-        .map(|n| (n.to_string(), Expr::col(*n)))
-        .collect();
+    let group_by: Vec<(String, Expr)> =
+        input.names().iter().map(|n| (n.to_string(), Expr::col(*n))).collect();
     aggregate(input, &group_by, &[])
 }
 
@@ -314,10 +306,7 @@ mod tests {
     fn distinct_removes_duplicates() {
         let r = Relation::new(vec![
             ("a".into(), ColumnData::Int64(vec![1, 1, 2, 1])),
-            (
-                "b".into(),
-                ColumnData::Text(TextColumn::from_strs(["x", "x", "y", "z"])),
-            ),
+            ("b".into(), ColumnData::Text(TextColumn::from_strs(["x", "x", "y", "z"]))),
         ])
         .unwrap();
         let out = distinct(&r).unwrap();

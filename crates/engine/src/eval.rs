@@ -120,7 +120,9 @@ fn arith(op: ArithOp, a: &ColumnData, b: &ColumnData) -> Result<ColumnData> {
         (Int64(x) | Timestamp(x), Int64(y) | Timestamp(y)) => {
             Int64(x.iter().zip(y).map(|(&x, &y)| fi(x, y)).collect())
         }
-        (Float64(x), Float64(y)) => Float64(x.iter().zip(y).map(|(&x, &y)| ff(x, y)).collect()),
+        (Float64(x), Float64(y)) => {
+            Float64(x.iter().zip(y).map(|(&x, &y)| ff(x, y)).collect())
+        }
         (Float64(x), Int64(y) | Timestamp(y)) => {
             Float64(x.iter().zip(y).map(|(&x, &y)| ff(x, y as f64)).collect())
         }
@@ -147,7 +149,9 @@ fn call(f: Func, args: &[Expr], rel: &Relation) -> Result<ColumnData> {
         Func::Abs => {
             let c = arg(0)?;
             Ok(match c {
-                ColumnData::Int64(v) => ColumnData::Int64(v.iter().map(|&x| x.abs()).collect()),
+                ColumnData::Int64(v) => {
+                    ColumnData::Int64(v.iter().map(|&x| x.abs()).collect())
+                }
                 ColumnData::Float64(v) => {
                     ColumnData::Float64(v.iter().map(|&x| x.abs()).collect())
                 }
@@ -190,10 +194,7 @@ fn cmp_col_lit(op: CmpOp, col: &ColumnData, lit: &Value) -> Result<Vec<bool>> {
         }
         ColumnData::Float64(v) => {
             let x = lit.as_f64().map_err(EngineError::Storage)?;
-            Ok(v
-                .iter()
-                .map(|&e| e.partial_cmp(&x).is_some_and(|o| op.test(o)))
-                .collect())
+            Ok(v.iter().map(|&e| e.partial_cmp(&x).is_some_and(|o| op.test(o))).collect())
         }
         ColumnData::Text(t) => {
             let s = lit.as_str().map_err(EngineError::Storage)?;
@@ -274,13 +275,16 @@ mod tests {
     #[test]
     fn literal_comparisons() {
         let r = rel();
-        let m = eval_mask(&Expr::col("sample_value").cmp(CmpOp::Gt, Expr::lit(0.0)), &r).unwrap();
+        let m =
+            eval_mask(&Expr::col("sample_value").cmp(CmpOp::Gt, Expr::lit(0.0)), &r).unwrap();
         assert_eq!(m, vec![true, false, true]);
         // Int literal against float column coerces.
-        let m = eval_mask(&Expr::col("sample_value").cmp(CmpOp::Ge, Expr::lit(10i64)), &r).unwrap();
+        let m = eval_mask(&Expr::col("sample_value").cmp(CmpOp::Ge, Expr::lit(10i64)), &r)
+            .unwrap();
         assert_eq!(m, vec![false, false, true]);
         // Literal on the left flips.
-        let m = eval_mask(&Expr::lit(0.0).cmp(CmpOp::Lt, Expr::col("sample_value")), &r).unwrap();
+        let m =
+            eval_mask(&Expr::lit(0.0).cmp(CmpOp::Lt, Expr::col("sample_value")), &r).unwrap();
         assert_eq!(m, vec![true, false, true]);
     }
 
@@ -303,10 +307,12 @@ mod tests {
         // Absent literal: all false without row scans.
         let m = eval_mask(&Expr::col("station").eq(Expr::lit("NOPE")), &r).unwrap();
         assert_eq!(m, vec![false, false, false]);
-        let m = eval_mask(&Expr::col("station").cmp(CmpOp::Ne, Expr::lit("NOPE")), &r).unwrap();
+        let m =
+            eval_mask(&Expr::col("station").cmp(CmpOp::Ne, Expr::lit("NOPE")), &r).unwrap();
         assert_eq!(m, vec![true, true, true]);
         // Ordered text compare.
-        let m = eval_mask(&Expr::col("station").cmp(CmpOp::Lt, Expr::lit("ISJ")), &r).unwrap();
+        let m =
+            eval_mask(&Expr::col("station").cmp(CmpOp::Lt, Expr::lit("ISJ")), &r).unwrap();
         assert_eq!(m, vec![false, true, false]);
     }
 
@@ -328,11 +334,9 @@ mod tests {
     #[test]
     fn hour_bucket_call() {
         let r = rel();
-        let c = eval_scalar(
-            &Expr::Call(Func::HourBucket, vec![Expr::col("sample_time")]),
-            &r,
-        )
-        .unwrap();
+        let c =
+            eval_scalar(&Expr::Call(Func::HourBucket, vec![Expr::col("sample_time")]), &r)
+                .unwrap();
         assert_eq!(c.as_i64().unwrap(), &[0, 0, MS_PER_HOUR]);
     }
 
@@ -350,7 +354,8 @@ mod tests {
         .unwrap();
         assert_eq!(c.as_f64().unwrap(), &[3.0, -4.0, 20.0]);
         // Abs.
-        let c = eval_scalar(&Expr::Call(Func::Abs, vec![Expr::col("sample_value")]), &r).unwrap();
+        let c =
+            eval_scalar(&Expr::Call(Func::Abs, vec![Expr::col("sample_value")]), &r).unwrap();
         assert_eq!(c.as_f64().unwrap(), &[1.5, 2.0, 10.0]);
     }
 

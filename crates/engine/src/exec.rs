@@ -53,9 +53,7 @@ pub fn scan_base_table(
         })
         .collect::<Result<_>>()?;
     let data = db.scan_columns(table, &raw)?;
-    let rel = Relation::new(
-        columns.iter().cloned().zip(data).collect(),
-    )?;
+    let rel = Relation::new(columns.iter().cloned().zip(data).collect())?;
     let rows: Vec<u32> = (0..rel.rows() as u32).collect();
     let rel = rel.with_provenance(table, rows);
     match predicate {
@@ -138,7 +136,13 @@ pub fn execute(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<Relation> {
             let r = execute(right, ctx)?;
             hash_join(&l, &r, left_keys, right_keys)
         }
-        PhysicalPlan::IndexJoin { child, child_table, parent_table, parent_columns, parent_predicate } => {
+        PhysicalPlan::IndexJoin {
+            child,
+            child_table,
+            parent_table,
+            parent_columns,
+            parent_predicate,
+        } => {
             let c = execute(child, ctx)?;
             match c.provenance() {
                 Some(p) if p.table == *child_table => {}
@@ -336,7 +340,13 @@ mod tests {
         // Same result without pushdown.
         let plan2 = match plan {
             PhysicalPlan::ChunkUnion { table, chunks, columns, predicate, .. } => {
-                PhysicalPlan::ChunkUnion { table, chunks, columns, predicate, pushdown: false }
+                PhysicalPlan::ChunkUnion {
+                    table,
+                    chunks,
+                    columns,
+                    predicate,
+                    pushdown: false,
+                }
             }
             _ => unreachable!(),
         };
@@ -362,9 +372,8 @@ mod tests {
     fn result_scan_reads_materialized() {
         let db = db();
         let mut ctx = ExecContext::new(&db);
-        ctx.materialized.push(
-            Relation::new(vec![("x".into(), ColumnData::Int64(vec![42]))]).unwrap(),
-        );
+        ctx.materialized
+            .push(Relation::new(vec![("x".into(), ColumnData::Int64(vec![42]))]).unwrap());
         let out = execute(&PhysicalPlan::ResultScan { id: 0 }, &ctx).unwrap();
         assert_eq!(out.value(0, "x").unwrap(), Value::Int(42));
         assert!(execute(&PhysicalPlan::ResultScan { id: 7 }, &ctx).is_err());

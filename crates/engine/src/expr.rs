@@ -235,8 +235,12 @@ impl Expr {
             Expr::Cmp(op, a, b) => {
                 Expr::Cmp(*op, Box::new(a.map_columns(f)), Box::new(b.map_columns(f)))
             }
-            Expr::And(a, b) => Expr::And(Box::new(a.map_columns(f)), Box::new(b.map_columns(f))),
-            Expr::Or(a, b) => Expr::Or(Box::new(a.map_columns(f)), Box::new(b.map_columns(f))),
+            Expr::And(a, b) => {
+                Expr::And(Box::new(a.map_columns(f)), Box::new(b.map_columns(f)))
+            }
+            Expr::Or(a, b) => {
+                Expr::Or(Box::new(a.map_columns(f)), Box::new(b.map_columns(f)))
+            }
             Expr::Not(a) => Expr::Not(Box::new(a.map_columns(f))),
             Expr::Arith(op, a, b) => {
                 Expr::Arith(*op, Box::new(a.map_columns(f)), Box::new(b.map_columns(f)))
@@ -302,9 +306,10 @@ mod tests {
 
     #[test]
     fn columns_collects_all_refs() {
-        let e = Expr::col("F.station")
-            .eq(Expr::lit("ISK"))
-            .and(Expr::Call(Func::HourBucket, vec![Expr::col("D.sample_time")]).eq(Expr::col("H.ts")));
+        let e = Expr::col("F.station").eq(Expr::lit("ISK")).and(
+            Expr::Call(Func::HourBucket, vec![Expr::col("D.sample_time")])
+                .eq(Expr::col("H.ts")),
+        );
         let mut cols = e.columns();
         cols.sort();
         assert_eq!(cols, vec!["D.sample_time", "F.station", "H.ts"]);
@@ -331,9 +336,9 @@ mod tests {
 
     #[test]
     fn display_is_readable() {
-        let e = Expr::col("x").cmp(CmpOp::Ge, Expr::lit(3i64)).or(Expr::Not(Box::new(
-            Expr::col("y").eq(Expr::lit("a")),
-        )));
+        let e = Expr::col("x")
+            .cmp(CmpOp::Ge, Expr::lit(3i64))
+            .or(Expr::Not(Box::new(Expr::col("y").eq(Expr::lit("a")))));
         assert_eq!(e.to_string(), "((x >= 3) OR (NOT (y = 'a')))");
     }
 

@@ -74,10 +74,9 @@ impl QueryGraph {
             })
             .collect();
         let index_of = |name: &str| -> Result<usize> {
-            vertices
-                .iter()
-                .position(|v| v.table == name)
-                .ok_or_else(|| EngineError::Plan(format!("edge references unknown table {name:?}")))
+            vertices.iter().position(|v| v.table == name).ok_or_else(|| {
+                EngineError::Plan(format!("edge references unknown table {name:?}"))
+            })
         };
         let mut edges = Vec::with_capacity(spec.joins.len());
         for j in &spec.joins {
@@ -123,8 +122,13 @@ pub(crate) mod tests {
                 TableRef { name: "D".into(), class: TableClass::ActualData },
             ],
             joins: vec![
-                JoinEdge::new("F", "S", vec![Expr::col("F.file_id")], vec![Expr::col("S.file_id")])
-                    .unwrap(),
+                JoinEdge::new(
+                    "F",
+                    "S",
+                    vec![Expr::col("F.file_id")],
+                    vec![Expr::col("S.file_id")],
+                )
+                .unwrap(),
                 JoinEdge::new(
                     "F",
                     "H",
@@ -132,8 +136,13 @@ pub(crate) mod tests {
                     vec![Expr::col("H.window_station"), Expr::col("H.window_channel")],
                 )
                 .unwrap(),
-                JoinEdge::new("S", "D", vec![Expr::col("S.seg_id")], vec![Expr::col("D.seg_id")])
-                    .unwrap(),
+                JoinEdge::new(
+                    "S",
+                    "D",
+                    vec![Expr::col("S.seg_id")],
+                    vec![Expr::col("D.seg_id")],
+                )
+                .unwrap(),
                 JoinEdge::new(
                     "D",
                     "H",

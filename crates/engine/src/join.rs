@@ -84,18 +84,16 @@ pub fn index_join(
     positions: &[u32],
     parent_predicate: Option<&Expr>,
 ) -> Result<Relation> {
-    let prov = child.provenance().ok_or_else(|| {
-        EngineError::Exec("index join requires child provenance".into())
-    })?;
+    let prov = child
+        .provenance()
+        .ok_or_else(|| EngineError::Exec("index join requires child provenance".into()))?;
     let child_idx: Vec<u32> = (0..child.rows() as u32).collect();
     let parent_idx: Vec<u32> = prov
         .rows
         .iter()
         .map(|&base_row| {
             positions.get(base_row as usize).copied().ok_or_else(|| {
-                EngineError::Exec(format!(
-                    "join index has no entry for base row {base_row}"
-                ))
+                EngineError::Exec(format!("join index has no entry for base row {base_row}"))
             })
         })
         .collect::<Result<_>>()?;
@@ -135,13 +133,8 @@ mod tests {
 
     #[test]
     fn hash_join_basic() {
-        let out = hash_join(
-            &d(),
-            &f(),
-            &[Expr::col("D.file_id")],
-            &[Expr::col("F.file_id")],
-        )
-        .unwrap();
+        let out = hash_join(&d(), &f(), &[Expr::col("D.file_id")], &[Expr::col("F.file_id")])
+            .unwrap();
         // file 3 has no parent; files 1,1,2 match.
         assert_eq!(out.rows(), 3);
         assert_eq!(out.value(0, "F.station").unwrap(), Value::Text("ISK".into()));
@@ -180,8 +173,9 @@ mod tests {
     #[test]
     fn hash_join_preserves_left_provenance() {
         let child = d().with_provenance("D", vec![100, 101, 102, 103]);
-        let out = hash_join(&child, &f(), &[Expr::col("D.file_id")], &[Expr::col("F.file_id")])
-            .unwrap();
+        let out =
+            hash_join(&child, &f(), &[Expr::col("D.file_id")], &[Expr::col("F.file_id")])
+                .unwrap();
         let p = out.provenance().unwrap();
         assert_eq!(p.rows, vec![100, 101, 102]);
     }
@@ -198,7 +192,8 @@ mod tests {
         // positions: base D row -> F row (from a JoinIndex).
         let positions = vec![0u32, 0, 1, 1];
         // Child: filtered D (rows 1 and 2 of base).
-        let child = d().with_provenance("D", vec![0, 1, 2, 3]).filter(&[false, true, true, false]);
+        let child =
+            d().with_provenance("D", vec![0, 1, 2, 3]).filter(&[false, true, true, false]);
         let out = index_join(&child, &f(), &positions, None).unwrap();
         assert_eq!(out.rows(), 2);
         assert_eq!(out.value(0, "F.station").unwrap(), Value::Text("ISK".into()));
@@ -212,7 +207,7 @@ mod tests {
         let pred = Expr::col("F.station").eq(Expr::lit("FIAM"));
         let out = index_join(&child, &f(), &positions, Some(&pred)).unwrap();
         assert_eq!(out.rows(), 2); // base rows 2,3 -> F row 1 (FIAM)
-        // Provenance survives filtered index joins, enabling chaining.
+                                   // Provenance survives filtered index joins, enabling chaining.
         assert_eq!(out.provenance().unwrap().rows, vec![2, 3]);
     }
 

@@ -149,12 +149,12 @@ pub fn order_metadata_first(
             .unwrap_or(reds[0]);
         let mut plan = leaf(graph, spec, start, opts);
         covered[start] = true;
-        let mut remaining: Vec<usize> = reds.iter().copied().filter(|&v| v != start).collect();
+        let mut remaining: Vec<usize> =
+            reds.iter().copied().filter(|&v| v != start).collect();
         while !remaining.is_empty() {
             // R1: prefer a red vertex connected by a red edge.
-            let connected = remaining
-                .iter()
-                .position(|&v| !graph.edges_into(v, &covered).is_empty());
+            let connected =
+                remaining.iter().position(|&v| !graph.edges_into(v, &covered).is_empty());
             let idx = connected.unwrap_or(0); // R2: cross product fallback
             let v = remaining.remove(idx);
             let v_leaf = leaf(graph, spec, v, opts);
@@ -180,9 +180,8 @@ pub fn order_metadata_first(
             let mut remaining: Vec<usize> =
                 blacks.iter().copied().filter(|&v| v != start).collect();
             while !remaining.is_empty() {
-                let connected = remaining
-                    .iter()
-                    .position(|&v| !graph.edges_into(v, &covered).is_empty());
+                let connected =
+                    remaining.iter().position(|&v| !graph.edges_into(v, &covered).is_empty());
                 let idx = connected.unwrap_or(0);
                 let v = remaining.remove(idx);
                 let v_leaf = leaf(graph, spec, v, opts);
@@ -199,15 +198,10 @@ pub fn order_metadata_first(
         let pick = remaining
             .iter()
             .position(|&v| {
-                graph
-                    .edges_into(v, &covered)
-                    .iter()
-                    .any(|e| e.color == EdgeColor::Blue)
+                graph.edges_into(v, &covered).iter().any(|e| e.color == EdgeColor::Blue)
             })
             .or_else(|| {
-                remaining
-                    .iter()
-                    .position(|&v| !graph.edges_into(v, &covered).is_empty())
+                remaining.iter().position(|&v| !graph.edges_into(v, &covered).is_empty())
             })
             .unwrap_or(0);
         let v = remaining.remove(pick);
@@ -254,10 +248,7 @@ pub fn order_traditional(graph: &QueryGraph, spec: &QuerySpec) -> Result<Logical
             .copied()
             .filter(|&v| !graph.edges_into(v, &covered).is_empty())
             .collect();
-        let v = connected
-            .into_iter()
-            .min_by_key(|&v| rank(v))
-            .unwrap_or(remaining[0]);
+        let v = connected.into_iter().min_by_key(|&v| rank(v)).unwrap_or(remaining[0]);
         remaining.retain(|&x| x != v);
         let v_leaf = leaf(graph, spec, v, &opts);
         // New table goes on the right: it becomes the hash-join build
@@ -292,11 +283,8 @@ pub fn finish(join_tree: LogicalPlan, spec: &QuerySpec) -> Result<LogicalPlan> {
             aggs,
         };
         // Re-order the aggregate's output to the SELECT-list order.
-        let exprs: Vec<(String, Expr)> = spec
-            .output
-            .iter()
-            .map(|o| (o.name().to_string(), Expr::col(o.name())))
-            .collect();
+        let exprs: Vec<(String, Expr)> =
+            spec.output.iter().map(|o| (o.name().to_string(), Expr::col(o.name()))).collect();
         plan = LogicalPlan::Project { input: Box::new(plan), exprs };
     } else {
         let exprs: Vec<(String, Expr)> = spec
@@ -467,7 +455,9 @@ mod tests {
         // Leftmost leaf should be the D scan.
         fn leftmost(p: &LogicalPlan) -> &LogicalPlan {
             match p {
-                LogicalPlan::Join { left, .. } | LogicalPlan::Cross { left, .. } => leftmost(left),
+                LogicalPlan::Join { left, .. } | LogicalPlan::Cross { left, .. } => {
+                    leftmost(left)
+                }
                 other => other,
             }
         }

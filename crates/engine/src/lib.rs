@@ -33,8 +33,8 @@ pub mod eval;
 pub mod exec;
 pub mod expr;
 pub mod graph;
-pub mod joinorder;
 pub mod join;
+pub mod joinorder;
 pub mod logical;
 pub mod physical;
 pub mod recycler;
@@ -50,4 +50,7 @@ pub use physical::PhysicalPlan;
 pub use recycler::Recycler;
 pub use relation::Relation;
 pub use spec::{JoinEdge, QuerySpec, TableRef};
-pub use twostage::{ChunkSource, ExecStats, ParallelMode, TwoStageConfig};
+pub use twostage::{
+    AcquiredChunk, ChunkAccess, ChunkResidency, ChunkSource, ExecStats, ParallelMode,
+    TwoStageConfig,
+};

@@ -15,17 +15,9 @@ use std::fmt;
 pub enum LogicalPlan {
     /// Scan of a base table with scan-level projection and an optional
     /// pushed-down selection.
-    Scan {
-        table: String,
-        columns: Vec<String>,
-        predicate: Option<Expr>,
-    },
+    Scan { table: String, columns: Vec<String>, predicate: Option<Expr> },
     /// Deferred scan of an actual-data table (lazy mode only).
-    LazyScan {
-        table: String,
-        columns: Vec<String>,
-        predicate: Option<Expr>,
-    },
+    LazyScan { table: String, columns: Vec<String>, predicate: Option<Expr> },
     /// Equi-join (`left_keys[i] = right_keys[i]`).
     Join {
         left: Box<LogicalPlan>,
@@ -153,10 +145,18 @@ impl LogicalPlan {
                 input.fmt_indent(f, indent + 1)
             }
             LogicalPlan::Aggregate { input, group_by, aggs } => {
-                let gs: Vec<String> = group_by.iter().map(|(n, e)| format!("{e} AS {n}")).collect();
-                let asr: Vec<String> =
-                    aggs.iter().map(|(n, a, e)| format!("{}({e}) AS {n}", a.name())).collect();
-                writeln!(f, "{pad}Aggregate group=[{}] aggs=[{}]", gs.join(", "), asr.join(", "))?;
+                let gs: Vec<String> =
+                    group_by.iter().map(|(n, e)| format!("{e} AS {n}")).collect();
+                let asr: Vec<String> = aggs
+                    .iter()
+                    .map(|(n, a, e)| format!("{}({e}) AS {n}", a.name()))
+                    .collect();
+                writeln!(
+                    f,
+                    "{pad}Aggregate group=[{}] aggs=[{}]",
+                    gs.join(", "),
+                    asr.join(", ")
+                )?;
                 input.fmt_indent(f, indent + 1)
             }
             LogicalPlan::Distinct { input } => {
@@ -212,11 +212,7 @@ mod tests {
                 right_keys: vec![Expr::col("F.file_id")],
             }),
             group_by: vec![],
-            aggs: vec![(
-                "avg_v".into(),
-                AggFunc::Avg,
-                Expr::col("D.sample_value"),
-            )],
+            aggs: vec![("avg_v".into(), AggFunc::Avg, Expr::col("D.sample_value"))],
         }
     }
 

@@ -142,8 +142,10 @@ pub fn lower(plan: &LogicalPlan, opts: &LowerOptions) -> Result<PhysicalPlan> {
             // Index-join detection: child chain ⋈ parent base scan on a
             // simple FK → PK column equality, with the join index built.
             if opts.use_index_joins {
-                if let (Some(child_table), LogicalPlan::Scan { table: parent, columns, predicate }) =
-                    (provenance_table(left), &**right)
+                if let (
+                    Some(child_table),
+                    LogicalPlan::Scan { table: parent, columns, predicate },
+                ) = (provenance_table(left), &**right)
                 {
                     let simple = left_keys.iter().zip(right_keys).all(|(l, r)| {
                         matches!(
@@ -220,7 +222,11 @@ impl PhysicalPlan {
                     chunks.len() - cached
                 )?;
                 if let Some(p) = predicate {
-                    write!(f, " where {p} ({})", if *pushdown { "pushed into chunks" } else { "post-union" })?;
+                    write!(
+                        f,
+                        " where {p} ({})",
+                        if *pushdown { "pushed into chunks" } else { "post-union" }
+                    )?;
                 }
                 writeln!(f)
             }
@@ -234,7 +240,13 @@ impl PhysicalPlan {
                 left.fmt_indent(f, indent + 1)?;
                 right.fmt_indent(f, indent + 1)
             }
-            PhysicalPlan::IndexJoin { child, child_table, parent_table, parent_predicate, .. } => {
+            PhysicalPlan::IndexJoin {
+                child,
+                child_table,
+                parent_table,
+                parent_predicate,
+                ..
+            } => {
                 write!(f, "{pad}IndexJoin {child_table} -> {parent_table}")?;
                 if let Some(p) = parent_predicate {
                     write!(f, " where {p}")?;
@@ -252,15 +264,23 @@ impl PhysicalPlan {
                 input.fmt_indent(f, indent + 1)
             }
             PhysicalPlan::Project { input, exprs } => {
-                let cols: Vec<String> = exprs.iter().map(|(n, e)| format!("{e} AS {n}")).collect();
+                let cols: Vec<String> =
+                    exprs.iter().map(|(n, e)| format!("{e} AS {n}")).collect();
                 writeln!(f, "{pad}Project [{}]", cols.join(", "))?;
                 input.fmt_indent(f, indent + 1)
             }
             PhysicalPlan::Aggregate { input, group_by, aggs } => {
                 let gs: Vec<String> = group_by.iter().map(|(n, _)| n.clone()).collect();
-                let asr: Vec<String> =
-                    aggs.iter().map(|(n, a, e)| format!("{}({e}) AS {n}", a.name())).collect();
-                writeln!(f, "{pad}Aggregate group=[{}] aggs=[{}]", gs.join(", "), asr.join(", "))?;
+                let asr: Vec<String> = aggs
+                    .iter()
+                    .map(|(n, a, e)| format!("{}({e}) AS {n}", a.name()))
+                    .collect();
+                writeln!(
+                    f,
+                    "{pad}Aggregate group=[{}] aggs=[{}]",
+                    gs.join(", "),
+                    asr.join(", ")
+                )?;
                 input.fmt_indent(f, indent + 1)
             }
             PhysicalPlan::Distinct { input } => {

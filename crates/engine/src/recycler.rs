@@ -56,7 +56,11 @@ pub struct Recycler {
 impl Recycler {
     /// Create a cache with the given byte budget.
     pub fn new(budget_bytes: usize) -> Self {
-        Recycler { state: Mutex::new(State::default()), budget_bytes, stats: RecyclerStats::default() }
+        Recycler {
+            state: Mutex::new(State::default()),
+            budget_bytes,
+            stats: RecyclerStats::default(),
+        }
     }
 
     /// The configured byte budget.
@@ -136,6 +140,23 @@ impl Recycler {
         self.len() == 0
     }
 
+    /// Drop one entry. For users of the direct (source + recycler)
+    /// two-stage path whose chunk contents change or get reclaimed —
+    /// the cellar-managed path keeps no recycler copies, so it never
+    /// needs this. Returns true if an entry was removed.
+    pub fn remove(&self, uri: &str) -> bool {
+        let mut st = self.state.lock();
+        match st.map.remove(uri) {
+            Some(e) => {
+                st.order.remove(&e.tick);
+                st.bytes -= e.bytes;
+                self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Drop everything (cold-run simulation).
     pub fn clear(&self) {
         let mut st = self.state.lock();
@@ -172,9 +193,7 @@ mod tests {
     use sommelier_storage::ColumnData;
 
     fn chunk(n: usize) -> Arc<Relation> {
-        Arc::new(
-            Relation::new(vec![("D.v".into(), ColumnData::Int64(vec![0; n]))]).unwrap(),
-        )
+        Arc::new(Relation::new(vec![("D.v".into(), ColumnData::Int64(vec![0; n]))]).unwrap())
     }
 
     #[test]
@@ -211,6 +230,20 @@ mod tests {
         r.put("big", chunk(1000));
         assert!(!r.contains("big"));
         assert_eq!(r.stats().insertions, 0);
+    }
+
+    #[test]
+    fn remove_frees_budget_and_counts_as_eviction() {
+        let r = Recycler::new(1 << 20);
+        r.put("a", chunk(10));
+        r.put("b", chunk(10));
+        let before = r.resident_bytes();
+        assert!(r.remove("a"));
+        assert!(!r.remove("a"), "idempotent");
+        assert!(!r.contains("a"));
+        assert!(r.contains("b"));
+        assert!(r.resident_bytes() < before);
+        assert_eq!(r.stats().evictions, 1);
     }
 
     #[test]

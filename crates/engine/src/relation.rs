@@ -136,11 +136,7 @@ impl Relation {
 
     /// Gather rows by position into a new relation (provenance follows).
     pub fn take(&self, idx: &[u32]) -> Relation {
-        let cols = self
-            .cols
-            .iter()
-            .map(|(n, c)| (n.clone(), c.take(idx)))
-            .collect();
+        let cols = self.cols.iter().map(|(n, c)| (n.clone(), c.take(idx))).collect();
         let provenance = self.provenance.as_ref().map(|p| Provenance {
             table: p.table.clone(),
             rows: idx.iter().map(|&i| p.rows[i as usize]).collect(),
@@ -285,7 +281,8 @@ mod tests {
         let b = sample();
         a.union_in_place(&b).unwrap();
         assert_eq!(a.rows(), 6);
-        let mismatched = Relation::new(vec![("x".into(), ColumnData::Int64(vec![1]))]).unwrap();
+        let mismatched =
+            Relation::new(vec![("x".into(), ColumnData::Int64(vec![1]))]).unwrap();
         assert!(a.union_in_place(&mismatched).is_err());
         // Union into empty adopts the other's schema.
         let mut e = Relation::empty();
@@ -297,7 +294,10 @@ mod tests {
     fn project_named_renames() {
         let r = sample();
         let p = r
-            .project_named(&[("sid".into(), "file_id".into()), ("st".into(), "F.station".into())])
+            .project_named(&[
+                ("sid".into(), "file_id".into()),
+                ("st".into(), "F.station".into()),
+            ])
             .unwrap();
         assert_eq!(p.names(), vec!["sid", "st"]);
         assert_eq!(p.value(0, "sid").unwrap(), Value::Int(1));

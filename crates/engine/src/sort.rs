@@ -60,8 +60,7 @@ mod tests {
 
     #[test]
     fn multi_key_mixed_direction() {
-        let out =
-            sort_relation(&rel(), &[("s".into(), true), ("v".into(), false)]).unwrap();
+        let out = sort_relation(&rel(), &[("s".into(), true), ("v".into(), false)]).unwrap();
         let rows: Vec<(String, i64)> = (0..4)
             .map(|r| {
                 let s = match out.value(r, "s").unwrap() {

@@ -133,10 +133,7 @@ impl QuerySpec {
     /// All predicates attached to `table`, conjoined.
     pub fn table_predicate(&self, table: &str) -> Option<Expr> {
         Expr::conjoin(
-            self.predicates
-                .iter()
-                .filter(|(t, _)| t == table)
-                .map(|(_, e)| e.clone()),
+            self.predicates.iter().filter(|(t, _)| t == table).map(|(_, e)| e.clone()),
         )
     }
 
@@ -252,26 +249,26 @@ mod tests {
         bad.output.clear();
         assert!(bad.validate().is_err());
         let mut bad = spec();
-        bad.output.push(OutputExpr::Column { name: "s".into(), expr: Expr::col("F.station") });
+        bad.output
+            .push(OutputExpr::Column { name: "s".into(), expr: Expr::col("F.station") });
         assert!(bad.validate().is_err(), "mixing plain + aggregate without GROUP BY");
     }
 
     #[test]
     fn needed_columns_gathers_everything() {
         let s = spec();
-        assert_eq!(s.needed_columns("F", &["F.uri"]), vec!["F.file_id", "F.station", "F.uri"]);
+        assert_eq!(
+            s.needed_columns("F", &["F.uri"]),
+            vec!["F.file_id", "F.station", "F.uri"]
+        );
         assert_eq!(s.needed_columns("D", &[]), vec!["D.file_id", "D.sample_value"]);
     }
 
     #[test]
     fn computed_join_keys_are_not_simple() {
-        let simple = JoinEdge::new(
-            "D",
-            "S",
-            vec![Expr::col("D.seg_id")],
-            vec![Expr::col("S.seg_id")],
-        )
-        .unwrap();
+        let simple =
+            JoinEdge::new("D", "S", vec![Expr::col("D.seg_id")], vec![Expr::col("S.seg_id")])
+                .unwrap();
         assert_eq!(simple.simple_columns().unwrap(), vec![("D.seg_id", "S.seg_id")]);
         let computed = JoinEdge::new(
             "D",

@@ -56,6 +56,78 @@ pub trait ChunkSource: Send + Sync {
     fn all_chunks(&self) -> Result<Vec<String>>;
 }
 
+/// One chunk handed out by a [`ChunkResidency`] manager: the loaded
+/// relation plus how the acquisition was satisfied.
+#[derive(Debug)]
+pub struct AcquiredChunk {
+    /// The chunk's rows (pinned in the manager until released).
+    pub relation: Arc<Relation>,
+    /// True if this acquisition decoded the chunk (a residency miss);
+    /// false if the chunk was already resident or an in-flight load by
+    /// another thread was joined.
+    pub loaded: bool,
+    /// True if the acquisition waited on another thread's in-flight
+    /// load of the same chunk (single-flight dedup).
+    pub joined: bool,
+}
+
+/// A chunk-granularity residency manager (the core crate's *cellar*).
+///
+/// Unlike the raw [`ChunkSource`] + [`Recycler`] pair, a residency
+/// manager owns the loaded/not-loaded state: acquisitions *pin* chunks
+/// so they cannot be evicted mid-query, concurrent acquisitions of the
+/// same chunk are deduplicated to a single decode (single-flight), and
+/// releasing the pins lets the manager enforce its byte budget.
+pub trait ChunkResidency: Send + Sync {
+    /// Is the chunk resident right now? (Advisory — used to label
+    /// cache-scan vs chunk-access in plans; [`Self::acquire_many`] is
+    /// authoritative.)
+    fn is_resident(&self, uri: &str) -> bool;
+
+    /// Pin and return every chunk in `uris`, loading the missing ones
+    /// with the given parallelism. On error the manager must have
+    /// released any pins it took. The result aligns with `uris`.
+    fn acquire_many(
+        &self,
+        uris: &[String],
+        parallel: ParallelMode,
+        max_threads: usize,
+    ) -> Result<Vec<AcquiredChunk>>;
+
+    /// Release the pins taken by a matching [`Self::acquire_many`].
+    fn release_many(&self, uris: &[String]);
+
+    /// Every chunk in the repository (pure actual-data queries must
+    /// load everything — the paper's "no alternative" case).
+    fn all_chunks(&self) -> Result<Vec<String>>;
+}
+
+/// Where stage 2's chunk rows come from.
+pub enum ChunkAccess<'a> {
+    /// No lazy chunks available (eager plans, pure-metadata queries).
+    None,
+    /// The legacy direct path: decode through `source`, optionally
+    /// caching whole chunks in the recycler. No pinning: a concurrent
+    /// eviction mid-query is an error, and concurrent queries may
+    /// decode the same chunk twice.
+    Direct { source: &'a dyn ChunkSource, recycler: Option<&'a Recycler> },
+    /// A residency manager owns loading, caching, pinning and eviction.
+    Managed(&'a dyn ChunkResidency),
+}
+
+/// RAII guard: releases managed-chunk pins when stage 2 finishes (or
+/// fails).
+struct PinGuard<'a> {
+    residency: &'a dyn ChunkResidency,
+    uris: Vec<String>,
+}
+
+impl Drop for PinGuard<'_> {
+    fn drop(&mut self) {
+        self.residency.release_many(&self.uris);
+    }
+}
+
 /// Chunk-loading parallelism strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ParallelMode {
@@ -148,8 +220,7 @@ pub struct QueryOutcome {
 pub fn execute_plan(
     db: &Database,
     plan: &LogicalPlan,
-    source: Option<&dyn ChunkSource>,
-    recycler: Option<&Recycler>,
+    access: ChunkAccess<'_>,
     config: &TwoStageConfig,
 ) -> Result<QueryOutcome> {
     let mut stats = ExecStats::default();
@@ -176,78 +247,101 @@ pub fn execute_plan(
     };
 
     // ---- Run-time rewrite + chunk ingestion. -----------------------
+    let mut pin_guard: Option<PinGuard<'_>> = None;
     let chunk_refs: Option<Vec<ChunkRef>> = if plan.has_lazy_scan() {
-        let source = source.ok_or_else(|| {
-            EngineError::Chunk("plan has lazy scans but no chunk source given".into())
-        })?;
+        let all_chunks = || -> Result<Vec<String>> {
+            match &access {
+                ChunkAccess::None => Err(EngineError::Chunk(
+                    "plan has lazy scans but no chunk source given".into(),
+                )),
+                ChunkAccess::Direct { source, .. } => source.all_chunks(),
+                ChunkAccess::Managed(residency) => residency.all_chunks(),
+            }
+        };
         let uris: Vec<String> = match qf_id {
-            Some(id) => distinct_uris(&ctx.materialized[id], &config.uri_column)?,
+            Some(id) => {
+                // Fail fast if no access path exists at all.
+                if matches!(access, ChunkAccess::None) {
+                    return Err(EngineError::Chunk(
+                        "plan has lazy scans but no chunk source given".into(),
+                    ));
+                }
+                distinct_uris(&ctx.materialized[id], &config.uri_column)?
+            }
             // Pure-AD query: load the whole repository.
-            None => source.all_chunks()?,
+            None => all_chunks()?,
         };
         stats.files_selected = uris.len();
-        // Approximate answering: keep a deterministic sample of the
-        // selected chunks (stable across repeated runs of the query).
-        let uris = match config.sampling {
-            Some(fraction) if fraction < 1.0 && uris.len() > 1 => {
-                let keep = ((uris.len() as f64 * fraction.clamp(0.0, 1.0)).ceil() as usize)
-                    .clamp(1, uris.len());
-                let mut ranked: Vec<(u64, String)> = uris
-                    .into_iter()
-                    .map(|u| {
-                        use std::hash::{Hash, Hasher};
-                        let mut h = std::collections::hash_map::DefaultHasher::new();
-                        u.hash(&mut h);
-                        (h.finish(), u)
+        let uris = sample_uris(uris, config.sampling, &mut stats);
+        let t = Instant::now();
+        let refs = match &access {
+            ChunkAccess::None => unreachable!("checked above"),
+            ChunkAccess::Direct { source, recycler } => {
+                let refs: Vec<ChunkRef> = uris
+                    .iter()
+                    .map(|u| ChunkRef {
+                        uri: u.clone(),
+                        cached: config.use_cache
+                            && recycler.map(|r| r.contains(u)).unwrap_or(false),
                     })
                     .collect();
-                ranked.sort();
-                stats.files_sampled_out = ranked.len() - keep;
-                ranked.truncate(keep);
-                // Restore a deterministic (name) order for loading.
-                let mut kept: Vec<String> = ranked.into_iter().map(|(_, u)| u).collect();
-                kept.sort();
-                kept
-            }
-            _ => uris,
-        };
-        let refs: Vec<ChunkRef> = uris
-            .iter()
-            .map(|u| ChunkRef {
-                uri: u.clone(),
-                cached: config.use_cache
-                    && recycler.map(|r| r.contains(u)).unwrap_or(false),
-            })
-            .collect();
-        let t = Instant::now();
-        for r in refs.iter().filter(|r| r.cached) {
-            let rel = recycler
-                .expect("cached flag implies recycler")
-                .get(&r.uri)
-                .ok_or_else(|| {
-                    EngineError::Chunk(format!("chunk {:?} evicted mid-query", r.uri))
-                })?;
-            stats.cache_hits += 1;
-            ctx.chunks.insert(r.uri.clone(), rel);
-        }
-        let to_load: Vec<&str> =
-            refs.iter().filter(|r| !r.cached).map(|r| r.uri.as_str()).collect();
-        let loaded = match config.parallel {
-            ParallelMode::Static => load_static(source, &to_load, config.max_threads)?,
-            ParallelMode::Exchange { workers } => load_exchange(source, &to_load, workers)?,
-        };
-        for (uri, rel) in loaded {
-            stats.files_loaded += 1;
-            stats.rows_loaded += rel.rows() as u64;
-            stats.bytes_loaded += rel.approx_bytes() as u64;
-            let rel = Arc::new(rel);
-            if config.use_cache {
-                if let Some(r) = recycler {
-                    r.put(&uri, Arc::clone(&rel));
+                for r in refs.iter().filter(|r| r.cached) {
+                    let rel = recycler
+                        .expect("cached flag implies recycler")
+                        .get(&r.uri)
+                        .ok_or_else(|| {
+                            EngineError::Chunk(format!("chunk {:?} evicted mid-query", r.uri))
+                        })?;
+                    stats.cache_hits += 1;
+                    ctx.chunks.insert(r.uri.clone(), rel);
                 }
+                let to_load: Vec<&str> =
+                    refs.iter().filter(|r| !r.cached).map(|r| r.uri.as_str()).collect();
+                let loaded = match config.parallel {
+                    ParallelMode::Static => {
+                        load_static(*source, &to_load, config.max_threads)?
+                    }
+                    ParallelMode::Exchange { workers } => {
+                        load_exchange(*source, &to_load, workers)?
+                    }
+                };
+                for (uri, rel) in loaded {
+                    stats.files_loaded += 1;
+                    stats.rows_loaded += rel.rows() as u64;
+                    stats.bytes_loaded += rel.approx_bytes() as u64;
+                    let rel = Arc::new(rel);
+                    if config.use_cache {
+                        if let Some(r) = recycler {
+                            r.put(&uri, Arc::clone(&rel));
+                        }
+                    }
+                    ctx.chunks.insert(uri, rel);
+                }
+                refs
             }
-            ctx.chunks.insert(uri, rel);
-        }
+            ChunkAccess::Managed(residency) => {
+                let refs: Vec<ChunkRef> = uris
+                    .iter()
+                    .map(|u| ChunkRef { uri: u.clone(), cached: residency.is_resident(u) })
+                    .collect();
+                let acquired =
+                    residency.acquire_many(&uris, config.parallel, config.max_threads)?;
+                // Pins are held until stage 2 is done (drop of the guard),
+                // so the manager cannot evict these chunks mid-query.
+                pin_guard = Some(PinGuard { residency: *residency, uris: uris.clone() });
+                for (uri, chunk) in uris.iter().zip(acquired) {
+                    if chunk.loaded {
+                        stats.files_loaded += 1;
+                        stats.rows_loaded += chunk.relation.rows() as u64;
+                        stats.bytes_loaded += chunk.relation.approx_bytes() as u64;
+                    } else {
+                        stats.cache_hits += 1;
+                    }
+                    ctx.chunks.insert(uri.clone(), chunk.relation);
+                }
+                refs
+            }
+        };
         stats.load = t.elapsed();
         Some(refs)
     } else {
@@ -266,7 +360,40 @@ pub fn execute_plan(
     let phys = lower(plan, &opts)?;
     let relation = execute(&phys, &ctx)?;
     stats.stage2 = t.elapsed();
+    drop(pin_guard);
     Ok(QueryOutcome { relation, stats })
+}
+
+/// Approximate answering: keep a deterministic sample of the selected
+/// chunks (stable across repeated runs of the query).
+fn sample_uris(
+    uris: Vec<String>,
+    sampling: Option<f64>,
+    stats: &mut ExecStats,
+) -> Vec<String> {
+    match sampling {
+        Some(fraction) if fraction < 1.0 && uris.len() > 1 => {
+            let keep = ((uris.len() as f64 * fraction.clamp(0.0, 1.0)).ceil() as usize)
+                .clamp(1, uris.len());
+            let mut ranked: Vec<(u64, String)> = uris
+                .into_iter()
+                .map(|u| {
+                    use std::hash::{Hash, Hasher};
+                    let mut h = std::collections::hash_map::DefaultHasher::new();
+                    u.hash(&mut h);
+                    (h.finish(), u)
+                })
+                .collect();
+            ranked.sort();
+            stats.files_sampled_out = ranked.len() - keep;
+            ranked.truncate(keep);
+            // Restore a deterministic (name) order for loading.
+            let mut kept: Vec<String> = ranked.into_iter().map(|(_, u)| u).collect();
+            kept.sort();
+            kept
+        }
+        _ => uris,
+    }
 }
 
 /// Distinct URIs from the stage-1 result, in first-appearance order.
@@ -387,9 +514,7 @@ mod tests {
     use sommelier_storage::buffer::BufferPoolConfig;
     use sommelier_storage::catalog::Disposition;
     use sommelier_storage::column::TextColumn;
-    use sommelier_storage::{
-        ConstraintPolicy, DataType, TableClass, TableSchema, Value,
-    };
+    use sommelier_storage::{ConstraintPolicy, DataType, TableClass, TableSchema, Value};
 
     /// A chunk source serving synthetic per-file D relations:
     /// file `u<i>` has rows with file_id = i and values i*10 .. i*10+2.
@@ -411,7 +536,11 @@ mod tests {
                 ("D.file_id".into(), ColumnData::Int64(vec![i, i, i])),
                 (
                     "D.sample_value".into(),
-                    ColumnData::Float64(vec![i as f64 * 10.0, i as f64 * 10.0 + 1.0, i as f64 * 10.0 + 2.0]),
+                    ColumnData::Float64(vec![
+                        i as f64 * 10.0,
+                        i as f64 * 10.0 + 1.0,
+                        i as f64 * 10.0 + 2.0,
+                    ]),
                 ),
             ])
             .unwrap()
@@ -421,9 +550,9 @@ mod tests {
     impl ChunkSource for FakeSource {
         fn load_chunk(&self, uri: &str) -> Result<Relation> {
             self.loads.fetch_add(1, Ordering::Relaxed);
-            let i: i64 = uri[1..].parse().map_err(|_| {
-                EngineError::Chunk(format!("unknown uri {uri:?}"))
-            })?;
+            let i: i64 = uri[1..]
+                .parse()
+                .map_err(|_| EngineError::Chunk(format!("unknown uri {uri:?}")))?;
             Ok(Self::rel_for(i))
         }
 
@@ -498,8 +627,13 @@ mod tests {
         let source = FakeSource::new(3);
         let recycler = Recycler::new(1 << 20);
         let config = TwoStageConfig::default();
-        let out =
-            execute_plan(&db, &lazy_plan(), Some(&source), Some(&recycler), &config).unwrap();
+        let out = execute_plan(
+            &db,
+            &lazy_plan(),
+            ChunkAccess::Direct { source: &source, recycler: Some(&recycler) },
+            &config,
+        )
+        .unwrap();
         // Stage 1 selects files 0 and 2 (ISK); their 6 values: 0,1,2,20,21,22.
         assert_eq!(out.relation.value(0, "avg_v").unwrap(), Value::Float(11.0));
         assert_eq!(out.stats.files_selected, 2);
@@ -515,9 +649,9 @@ mod tests {
         let source = FakeSource::new(3);
         let recycler = Recycler::new(1 << 20);
         let config = TwoStageConfig::default();
-        execute_plan(&db, &lazy_plan(), Some(&source), Some(&recycler), &config).unwrap();
-        let out =
-            execute_plan(&db, &lazy_plan(), Some(&source), Some(&recycler), &config).unwrap();
+        let access = || ChunkAccess::Direct { source: &source, recycler: Some(&recycler) };
+        execute_plan(&db, &lazy_plan(), access(), &config).unwrap();
+        let out = execute_plan(&db, &lazy_plan(), access(), &config).unwrap();
         assert_eq!(out.stats.cache_hits, 2);
         assert_eq!(out.stats.files_loaded, 0);
         assert_eq!(source.loads.load(Ordering::Relaxed), 2, "no re-ingestion");
@@ -530,9 +664,9 @@ mod tests {
         let source = FakeSource::new(3);
         let recycler = Recycler::new(1 << 20);
         let config = TwoStageConfig { use_cache: false, ..TwoStageConfig::default() };
-        execute_plan(&db, &lazy_plan(), Some(&source), Some(&recycler), &config).unwrap();
-        let out =
-            execute_plan(&db, &lazy_plan(), Some(&source), Some(&recycler), &config).unwrap();
+        let access = || ChunkAccess::Direct { source: &source, recycler: Some(&recycler) };
+        execute_plan(&db, &lazy_plan(), access(), &config).unwrap();
+        let out = execute_plan(&db, &lazy_plan(), access(), &config).unwrap();
         assert_eq!(out.stats.cache_hits, 0);
         assert_eq!(out.stats.files_loaded, 2);
         assert_eq!(source.loads.load(Ordering::Relaxed), 4);
@@ -547,7 +681,13 @@ mod tests {
             use_cache: false,
             ..TwoStageConfig::default()
         };
-        let out = execute_plan(&db, &lazy_plan(), Some(&source), None, &config).unwrap();
+        let out = execute_plan(
+            &db,
+            &lazy_plan(),
+            ChunkAccess::Direct { source: &source, recycler: None },
+            &config,
+        )
+        .unwrap();
         assert_eq!(out.relation.value(0, "avg_v").unwrap(), Value::Float(11.0));
         assert_eq!(out.stats.rows_loaded, 6);
     }
@@ -566,7 +706,7 @@ mod tests {
             exprs: vec![("s".into(), Expr::col("F.station"))],
         };
         let out =
-            execute_plan(&db, &plan, None, None, &TwoStageConfig::default()).unwrap();
+            execute_plan(&db, &plan, ChunkAccess::None, &TwoStageConfig::default()).unwrap();
         assert_eq!(out.relation.rows(), 3);
         assert_eq!(out.stats.files_selected, 0);
         assert!(out.stats.stage1 > Duration::ZERO);
@@ -585,8 +725,13 @@ mod tests {
             group_by: vec![],
             aggs: vec![("n".into(), AggFunc::Count, Expr::col("D.sample_value"))],
         };
-        let out = execute_plan(&db, &plan, Some(&source), None, &TwoStageConfig::default())
-            .unwrap();
+        let out = execute_plan(
+            &db,
+            &plan,
+            ChunkAccess::Direct { source: &source, recycler: None },
+            &TwoStageConfig::default(),
+        )
+        .unwrap();
         assert_eq!(out.stats.files_selected, 3, "no metadata: all chunks");
         assert_eq!(out.relation.value(0, "n").unwrap(), Value::Int(9));
     }
@@ -595,7 +740,7 @@ mod tests {
     fn missing_source_is_an_error() {
         let db = metadata_db();
         assert!(matches!(
-            execute_plan(&db, &lazy_plan(), None, None, &TwoStageConfig::default()),
+            execute_plan(&db, &lazy_plan(), ChunkAccess::None, &TwoStageConfig::default()),
             Err(EngineError::Chunk(_))
         ));
     }

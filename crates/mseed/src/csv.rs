@@ -37,8 +37,7 @@ pub fn export_csv(file: &MseedFile, csv_path: &Path) -> Result<u64> {
             let t = seg.meta.sample_time(i as u32);
             let line = format!("{},{},{}\n", seg.meta.seg_index, format_ts(t), v);
             bytes += line.len() as u64;
-            w.write_all(line.as_bytes())
-                .map_err(|e| MseedError::io("writing csv", e))?;
+            w.write_all(line.as_bytes()).map_err(|e| MseedError::io("writing csv", e))?;
         }
     }
     w.flush().map_err(|e| MseedError::io("flushing csv", e))?;
@@ -55,9 +54,7 @@ pub fn import_csv(csv_path: &Path) -> Result<Vec<CsvRow>> {
     let mut lineno = 0usize;
     loop {
         line.clear();
-        let n = reader
-            .read_line(&mut line)
-            .map_err(|e| MseedError::io("reading csv", e))?;
+        let n = reader.read_line(&mut line).map_err(|e| MseedError::io("reading csv", e))?;
         if n == 0 {
             break;
         }
@@ -79,10 +76,8 @@ pub fn import_csv(csv_path: &Path) -> Result<Vec<CsvRow>> {
             .ok_or_else(|| bad("bad segment index"))?;
         let sample_time = parse_ts(parts.next().ok_or_else(|| bad("missing timestamp"))?)
             .map_err(|_| bad("bad timestamp"))?;
-        let sample_value: f64 = parts
-            .next()
-            .and_then(|s| s.parse().ok())
-            .ok_or_else(|| bad("bad value"))?;
+        let sample_value: f64 =
+            parts.next().and_then(|s| s.parse().ok()).ok_or_else(|| bad("bad value"))?;
         rows.push(CsvRow { seg_index, sample_time, sample_value });
     }
     Ok(rows)
@@ -108,7 +103,12 @@ mod tests {
         MseedFile {
             meta: FileMeta::new("IV", "ISK", "", "BHE"),
             segments: vec![SegmentData {
-                meta: SegmentMeta { seg_index: 3, start_time: 1_000, frequency: 10.0, sample_count: 3 },
+                meta: SegmentMeta {
+                    seg_index: 3,
+                    start_time: 1_000,
+                    frequency: 10.0,
+                    sample_count: 3,
+                },
                 samples: vec![7, -8, 9],
             }],
         }
@@ -138,10 +138,7 @@ mod tests {
         file.segments[0].meta.sample_count = 10_000;
         let csv_bytes = export_csv(&file, &path).unwrap();
         let msd_bytes = crate::writer::to_bytes(&file).unwrap().len() as u64;
-        assert!(
-            csv_bytes > 10 * msd_bytes,
-            "csv {csv_bytes} vs msd {msd_bytes}"
-        );
+        assert!(csv_bytes > 10 * msd_bytes, "csv {csv_bytes} vs msd {msd_bytes}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

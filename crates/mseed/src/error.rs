@@ -27,7 +27,9 @@ impl MseedError {
 impl fmt::Display for MseedError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MseedError::Io { context, source } => write!(f, "i/o error during {context}: {source}"),
+            MseedError::Io { context, source } => {
+                write!(f, "i/o error during {context}: {source}")
+            }
             MseedError::Corrupt(msg) => write!(f, "corrupt mseed file: {msg}"),
             MseedError::Spec(msg) => write!(f, "invalid dataset spec: {msg}"),
         }
@@ -56,8 +58,6 @@ mod tests {
     #[test]
     fn display_forms() {
         assert!(MseedError::Corrupt("bad".into()).to_string().contains("bad"));
-        assert!(MseedError::io("write", io::Error::other("x"))
-            .to_string()
-            .contains("write"));
+        assert!(MseedError::io("write", io::Error::other("x")).to_string().contains("write"));
     }
 }

@@ -152,9 +152,6 @@ mod tests {
         let samples = generate_segment(11, &p, 0, 20.0, 20_000);
         let encoded = crate::steim::encode(&samples);
         let bytes_per_sample = encoded.len() as f64 / samples.len() as f64;
-        assert!(
-            bytes_per_sample < 2.5,
-            "expected < 2.5 B/sample, got {bytes_per_sample:.2}"
-        );
+        assert!(bytes_per_sample < 2.5, "expected < 2.5 B/sample, got {bytes_per_sample:.2}");
     }
 }

@@ -46,9 +46,7 @@ fn parse_header(bytes: &[u8], what: &str) -> Result<FileHeader> {
     let location = next_str("location")?;
     let channel = next_str("channel")?;
     let data_quality = next_str("data_quality")?;
-    let tail = bytes
-        .get(pos..pos + 6)
-        .ok_or_else(|| corrupt("truncated fixed header"))?;
+    let tail = bytes.get(pos..pos + 6).ok_or_else(|| corrupt("truncated fixed header"))?;
     let encoding = tail[0];
     let byte_order = tail[1];
     if encoding != ENCODING_STEIM {
@@ -80,7 +78,15 @@ fn parse_header(bytes: &[u8], what: &str) -> Result<FileHeader> {
         pos += DIR_ENTRY_BYTES;
     }
     Ok(FileHeader {
-        meta: FileMeta { network, station, location, channel, data_quality, encoding, byte_order },
+        meta: FileMeta {
+            network,
+            station,
+            location,
+            channel,
+            data_quality,
+            encoding,
+            byte_order,
+        },
         segments,
         payload_spans,
         header_bytes: pos,
@@ -143,9 +149,8 @@ pub fn read_full(path: &Path) -> Result<MseedFile> {
     let header = parse_header(&bytes, &path.display().to_string())?;
     let mut segments = Vec::with_capacity(header.segments.len());
     for (meta, &(offset, len)) in header.segments.iter().zip(&header.payload_spans) {
-        let span = bytes
-            .get(offset as usize..offset as usize + len as usize)
-            .ok_or_else(|| {
+        let span =
+            bytes.get(offset as usize..offset as usize + len as usize).ok_or_else(|| {
                 MseedError::Corrupt(format!("{}: payload span out of bounds", path.display()))
             })?;
         let samples = steim::decode(span, meta.sample_count as usize)?;

@@ -91,7 +91,8 @@ mod tests {
 
     #[test]
     fn sample_times_follow_frequency() {
-        let m = SegmentMeta { seg_index: 0, start_time: 1_000, frequency: 20.0, sample_count: 3 };
+        let m =
+            SegmentMeta { seg_index: 0, start_time: 1_000, frequency: 20.0, sample_count: 3 };
         assert_eq!(m.sample_time(0), 1_000);
         assert_eq!(m.sample_time(1), 1_050);
         assert_eq!(m.sample_time(2), 1_100);
@@ -110,11 +111,21 @@ mod tests {
             meta: FileMeta::new("IV", "FIAM", "", "HHZ"),
             segments: vec![
                 SegmentData {
-                    meta: SegmentMeta { seg_index: 0, start_time: 0, frequency: 1.0, sample_count: 2 },
+                    meta: SegmentMeta {
+                        seg_index: 0,
+                        start_time: 0,
+                        frequency: 1.0,
+                        sample_count: 2,
+                    },
                     samples: vec![1, 2],
                 },
                 SegmentData {
-                    meta: SegmentMeta { seg_index: 1, start_time: 10, frequency: 1.0, sample_count: 3 },
+                    meta: SegmentMeta {
+                        seg_index: 1,
+                        start_time: 10,
+                        frequency: 1.0,
+                        sample_count: 3,
+                    },
                     samples: vec![3, 4, 5],
                 },
             ],

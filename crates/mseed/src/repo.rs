@@ -179,14 +179,25 @@ pub fn build_file(spec: &DatasetSpec, station: &StationSpec, day: i64) -> MseedF
         let n = spec.samples_per_segment;
         // Frequency so that n samples cover the span.
         let frequency = (n as f64 * 1000.0 / span_ms as f64).max(0.001);
-        let samples = generate_segment(seed.wrapping_add(s as u64), &spec.params, start, frequency, n as usize);
+        let samples = generate_segment(
+            seed.wrapping_add(s as u64),
+            &spec.params,
+            start,
+            frequency,
+            n as usize,
+        );
         segments.push(SegmentData {
             meta: SegmentMeta { seg_index: s, start_time: start, frequency, sample_count: n },
             samples,
         });
     }
     MseedFile {
-        meta: FileMeta::new(&station.network, &station.station, &station.location, &station.channel),
+        meta: FileMeta::new(
+            &station.network,
+            &station.station,
+            &station.location,
+            &station.channel,
+        ),
         segments,
     }
 }

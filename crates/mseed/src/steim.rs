@@ -42,9 +42,8 @@ fn read_varint(bytes: &[u8], mut pos: usize) -> Result<(u32, usize)> {
     let mut v: u32 = 0;
     let mut shift = 0;
     loop {
-        let byte = *bytes
-            .get(pos)
-            .ok_or_else(|| MseedError::Corrupt("truncated varint".into()))?;
+        let byte =
+            *bytes.get(pos).ok_or_else(|| MseedError::Corrupt("truncated varint".into()))?;
         pos += 1;
         if shift >= 32 {
             return Err(MseedError::Corrupt("varint overflow".into()));

@@ -44,7 +44,10 @@ pub fn to_bytes(file: &MseedFile) -> Result<Vec<u8>> {
     let dir_start = header.len();
     let payload_start = dir_start + file.segments.len() * DIR_ENTRY_BYTES;
     let mut out = header;
-    out.reserve(payloads.iter().map(|p| p.len()).sum::<usize>() + file.segments.len() * DIR_ENTRY_BYTES);
+    out.reserve(
+        payloads.iter().map(|p| p.len()).sum::<usize>()
+            + file.segments.len() * DIR_ENTRY_BYTES,
+    );
     let mut offset = payload_start as u64;
     for (seg, payload) in file.segments.iter().zip(&payloads) {
         out.extend_from_slice(&seg.meta.seg_index.to_le_bytes());
@@ -80,7 +83,12 @@ mod tests {
         MseedFile {
             meta: FileMeta::new("IV", "FIAM", "01", "HHZ"),
             segments: vec![SegmentData {
-                meta: SegmentMeta { seg_index: 0, start_time: 42, frequency: 20.0, sample_count: 3 },
+                meta: SegmentMeta {
+                    seg_index: 0,
+                    start_time: 42,
+                    frequency: 20.0,
+                    sample_count: 3,
+                },
                 samples: vec![5, 6, 4],
             }],
         }

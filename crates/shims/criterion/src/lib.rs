@@ -1,0 +1,213 @@
+//! A minimal, API-compatible stand-in for the `criterion` crate. The
+//! build environment is offline, so the workspace vendors the subset
+//! it uses: `Criterion`, `benchmark_group`, `bench_function`,
+//! `Throughput`, and the `criterion_group!` / `criterion_main!`
+//! macros. No statistics engine — each benchmark is warmed up once and
+//! timed for a fixed number of iterations, reporting mean and min.
+//! Good enough to catch order-of-magnitude regressions and to keep
+//! `cargo bench` exercising the same code paths as the real harness.
+
+use std::time::{Duration, Instant};
+
+/// How work is normalized in reports.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Passed to every benchmark closure; [`Bencher::iter`] runs and times
+/// the payload.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+    min: Duration,
+}
+
+impl Bencher {
+    /// Run `f` for the configured number of iterations, recording total
+    /// and minimum per-iteration time.
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        // One warm-up iteration outside the measurement.
+        std::hint::black_box(f());
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        for _ in 0..self.iterations {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            let d = t.elapsed();
+            total += d;
+            min = min.min(d);
+        }
+        self.elapsed = total;
+        self.min = min;
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn run_one(
+    id: &str,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+    f: impl FnOnce(&mut Bencher),
+) {
+    let mut b = Bencher {
+        iterations: sample_size.max(1),
+        elapsed: Duration::ZERO,
+        min: Duration::MAX,
+    };
+    f(&mut b);
+    let mean = b.elapsed / b.iterations as u32;
+    let mut line = format!(
+        "bench: {id:<48} mean {:>12}  min {:>12}  ({} iters)",
+        fmt_duration(mean),
+        fmt_duration(b.min),
+        b.iterations
+    );
+    if let Some(tp) = throughput {
+        let (n, unit) = match tp {
+            Throughput::Elements(n) => (n, "elem"),
+            Throughput::Bytes(n) => (n, "B"),
+        };
+        if mean > Duration::ZERO {
+            let rate = n as f64 / mean.as_secs_f64();
+            line.push_str(&format!("  {rate:.0} {unit}/s"));
+        }
+    }
+    println!("{line}");
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Keep the offline harness cheap: benches here exist to exercise
+        // code paths and flag gross regressions, not for fine statistics.
+        let sample_size = std::env::var("BENCH_SAMPLE_SIZE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(10);
+        Criterion { sample_size }
+    }
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        run_one(id, self.sample_size, None, f);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _c: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+    _c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-benchmark iteration count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, tp: Throughput) -> &mut Self {
+        self.throughput = Some(tp);
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        run_one(&format!("{}/{id}", self.name), self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Close the group (no-op; exists for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Declare a set of benchmark functions as a single runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($bench:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $bench(&mut c); )+
+        }
+    };
+}
+
+/// Declare the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags (e.g. `--bench`); this
+            // minimal shim ignores them.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_payload() {
+        let mut hits = 0u64;
+        let mut c = Criterion { sample_size: 3 };
+        c.bench_function("probe", |b| b.iter(|| hits += 1));
+        assert_eq!(hits, 4, "1 warm-up + 3 measured");
+    }
+
+    #[test]
+    fn group_runs_with_throughput() {
+        let mut c = Criterion { sample_size: 2 };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2).throughput(Throughput::Elements(10));
+        let mut n = 0;
+        g.bench_function("x", |b| b.iter(|| n += 1));
+        g.finish();
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(5)), "5 ns");
+        assert!(fmt_duration(Duration::from_micros(5)).contains("µs"));
+        assert!(fmt_duration(Duration::from_millis(5)).contains("ms"));
+        assert!(fmt_duration(Duration::from_secs(5)).ends_with(" s"));
+    }
+}

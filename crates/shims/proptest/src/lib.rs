@@ -1,0 +1,470 @@
+//! A minimal, API-compatible stand-in for the `proptest` crate. The
+//! build environment is offline, so the workspace vendors the subset
+//! the tests use:
+//!
+//! * the [`proptest!`] macro over `name in strategy` bindings,
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assume!`],
+//! * strategies: numeric ranges, `any::<T>()`, tuples,
+//!   [`collection::vec`], [`option::of`], [`bool::ANY`], and string
+//!   strategies from a small regex subset (`[a-z]{0,8}`-style
+//!   character classes, `.`, and concatenation).
+//!
+//! Generation-only: failures report the generated inputs but are not
+//! shrunk. Case count defaults to 64 per property (`PROPTEST_CASES`
+//! overrides), seeded deterministically per property name so CI runs
+//! are reproducible.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// How a property-test case ends.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed: discard the case without counting it.
+    Reject,
+    /// An assertion failed.
+    Fail(String),
+}
+
+/// Drives the generation loop for one property.
+pub struct TestRunner {
+    pub rng: SmallRng,
+    pub cases: usize,
+}
+
+impl TestRunner {
+    /// A runner seeded from the property name (stable across runs).
+    pub fn for_property(name: &str) -> Self {
+        let cases =
+            std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64);
+        let seed = name
+            .bytes()
+            .fold(0xcbf29ce484222325u64, |h, b| (h ^ b as u64).wrapping_mul(0x100000001b3));
+        TestRunner { rng: SmallRng::seed_from_u64(seed), cases }
+    }
+
+    /// Run `case` until `cases` accepted executions (rejections from
+    /// `prop_assume!` are retried, up to a cap), panicking on failure.
+    pub fn run(&mut self, mut case: impl FnMut(&mut SmallRng) -> Result<(), TestCaseError>) {
+        let mut accepted = 0usize;
+        let mut attempts = 0usize;
+        let max_attempts = self.cases * 20 + 100;
+        while accepted < self.cases {
+            attempts += 1;
+            assert!(
+                attempts <= max_attempts,
+                "property rejected too many inputs ({attempts} attempts for {} cases)",
+                self.cases
+            );
+            match case(&mut self.rng) {
+                Ok(()) => accepted += 1,
+                Err(TestCaseError::Reject) => {}
+                Err(TestCaseError::Fail(msg)) => panic!("property failed: {msg}"),
+            }
+        }
+    }
+}
+
+/// A value generator.
+pub trait Strategy {
+    type Value;
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+}
+
+macro_rules! range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategies!(i8, i16, i32, i64, u8, u16, u32, u64, usize);
+
+macro_rules! tuple_strategies {
+    ($(($($s:ident/$i:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategies!((A / 0, B / 1), (A / 0, B / 1, C / 2), (A / 0, B / 1, C / 2, D / 3),);
+
+/// Types with a canonical full-range strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut SmallRng) -> Self;
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut SmallRng) -> Self {
+                rng.random_range(<$t>::MIN..=<$t>::MAX)
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(i8, i16, i32, i64, u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut SmallRng) -> Self {
+        rng.random()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut SmallRng) -> Self {
+        // Finite, moderately sized values: full-bit-pattern floats
+        // (NaN/inf) break more algebra than they test.
+        rng.random_range(-1.0e12..1.0e12)
+    }
+}
+
+macro_rules! tuple_arbitrary {
+    ($(($($s:ident),+)),+ $(,)?) => {$(
+        impl<$($s: Arbitrary),+> Arbitrary for ($($s,)+) {
+            fn arbitrary(rng: &mut SmallRng) -> Self {
+                ($($s::arbitrary(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_arbitrary!((A, B), (A, B, C), (A, B, C, D));
+
+/// The `any::<T>()` strategy.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Full-range strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+pub mod collection {
+    use super::{SmallRng, Strategy};
+    use rand::Rng;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `range`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// `proptest::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+            let n = if self.len.is_empty() {
+                self.len.start
+            } else {
+                rng.random_range(self.len.clone())
+            };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use super::{SmallRng, Strategy};
+    use rand::Rng;
+
+    /// Strategy for `Option<S::Value>` (¼ `None`).
+    pub struct OptionStrategy<S>(S);
+
+    /// `proptest::option::of(strategy)`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+            if rng.random_range(0u32..4) == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod bool {
+    /// Strategy for `bool`.
+    pub struct BoolStrategy;
+
+    /// `proptest::bool::ANY`.
+    pub const ANY: BoolStrategy = BoolStrategy;
+
+    impl super::Strategy for BoolStrategy {
+        type Value = core::primitive::bool;
+        fn generate(&self, rng: &mut super::SmallRng) -> core::primitive::bool {
+            use rand::Rng;
+            rng.random()
+        }
+    }
+}
+
+/// One pattern atom: a character class (inclusive ranges) and its
+/// repetition bounds.
+type PatternAtom = (Vec<(char, char)>, usize, usize);
+
+/// The regex subset understood by string strategies: a sequence of
+/// atoms, each a character class (`[a-z0-9_]`, ranges and literals) or
+/// `.`, optionally repeated `{n}` / `{lo,hi}`.
+#[derive(Debug)]
+struct StringPattern {
+    atoms: Vec<PatternAtom>,
+}
+
+fn parse_pattern(pattern: &str) -> StringPattern {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let class: Vec<(char, char)> = match chars[i] {
+            '[' => {
+                let mut class = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        class.push((chars[i], chars[i + 2]));
+                        i += 3;
+                    } else {
+                        class.push((chars[i], chars[i]));
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated class in {pattern:?}");
+                i += 1; // ']'
+                class
+            }
+            '.' => {
+                i += 1;
+                // Printable ASCII plus a couple of multi-byte points, so
+                // `.{0,80}` exercises UTF-8 handling.
+                vec![(' ', '~'), ('à', 'é'), ('α', 'ω')]
+            }
+            c => {
+                i += 1;
+                vec![(c, c)]
+            }
+        };
+        let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..].iter().position(|&c| c == '}').expect("closing brace") + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((a, b)) => (a.trim().parse().unwrap(), b.trim().parse().unwrap()),
+                None => {
+                    let n = body.trim().parse().unwrap();
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        atoms.push((class, lo, hi));
+    }
+    StringPattern { atoms }
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut SmallRng) -> String {
+        let pat = parse_pattern(self);
+        let mut out = String::new();
+        for (class, lo, hi) in &pat.atoms {
+            let n = rng.random_range(*lo..=*hi);
+            for _ in 0..n {
+                let (a, b) = class[rng.random_range(0..class.len())];
+                let span = (b as u32) - (a as u32) + 1;
+                let c = char::from_u32(a as u32 + rng.random_range(0..span)).unwrap_or(a);
+                out.push(c);
+            }
+        }
+        out
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn generate(&self, rng: &mut SmallRng) -> String {
+        self.as_str().generate(rng)
+    }
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Strategy,
+    };
+}
+
+/// Assert inside a property, returning a case failure instead of
+/// panicking (so the harness can report the generated inputs).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "{} ({:?} != {:?})",
+                format!($($fmt)+),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+}
+
+/// Discard the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Define `#[test]` functions over generated inputs:
+///
+/// ```ignore
+/// proptest! {
+///     #[test]
+///     fn addition_commutes(a in 0i64..100, b in any::<i64>()) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let mut runner = $crate::TestRunner::for_property(stringify!($name));
+            runner.run(|rng| {
+                $(let $arg = $crate::Strategy::generate(&$strategy, rng);)+
+                $body
+                ::core::result::Result::Ok(())
+            });
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_hold(a in -5i64..5, b in 0usize..3) {
+            prop_assert!((-5..5).contains(&a));
+            prop_assert!(b < 3);
+        }
+
+        #[test]
+        fn vec_lengths(v in crate::collection::vec(any::<i32>(), 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+        }
+
+        #[test]
+        fn string_pattern_shapes(s in "[a-c]{2,4}") {
+            prop_assert!((2..=4).contains(&s.len()), "{s:?}");
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "{s:?}");
+        }
+
+        #[test]
+        fn concatenated_pattern(s in "[a-z][a-z0-9_]{0,6}") {
+            prop_assert!(!s.is_empty());
+            prop_assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            prop_assert!(s.len() <= 7);
+        }
+
+        #[test]
+        fn assume_rejects(v in 0i64..10) {
+            prop_assume!(v != 3);
+            prop_assert_ne!(v, 3);
+        }
+
+        #[test]
+        fn options_and_tuples(
+            o in crate::option::of(0u8..5),
+            t in (0i64..4, any::<u16>()),
+            b in crate::bool::ANY,
+        ) {
+            if let Some(x) = o { prop_assert!(x < 5); }
+            prop_assert!(t.0 < 4);
+            let _ = (t.1, b);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failing_property_panics() {
+        let mut runner = crate::TestRunner::for_property("always_fails");
+        runner.run(|_| Err(crate::TestCaseError::Fail("boom".into())));
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        use crate::Strategy;
+        let mut a = crate::TestRunner::for_property("x");
+        let mut b = crate::TestRunner::for_property("x");
+        let s = "[a-z]{8}";
+        assert_eq!(s.generate(&mut a.rng), s.generate(&mut b.rng));
+    }
+}

@@ -46,12 +46,19 @@ pub enum AstExpr {
     Str(String),
     /// `*` — only valid inside `COUNT(*)`.
     Star,
-    Binary { op: BinaryOp, left: Box<AstExpr>, right: Box<AstExpr> },
+    Binary {
+        op: BinaryOp,
+        left: Box<AstExpr>,
+        right: Box<AstExpr>,
+    },
     Not(Box<AstExpr>),
     /// Unary minus.
     Neg(Box<AstExpr>),
     /// Function call: scalar (`HOUR_BUCKET(...)`) or aggregate (`AVG(...)`).
-    Call { name: String, args: Vec<AstExpr> },
+    Call {
+        name: String,
+        args: Vec<AstExpr>,
+    },
 }
 
 /// One SELECT-list item.

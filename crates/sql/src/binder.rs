@@ -11,9 +11,7 @@
 
 use crate::ast::{AstExpr, BinaryOp, Name, SelectStmt};
 use crate::error::{Result, SqlError};
-use sommelier_engine::{
-    AggFunc, CmpOp, Expr, Func, JoinEdge, QuerySpec, TableRef,
-};
+use sommelier_engine::{AggFunc, CmpOp, Expr, Func, JoinEdge, QuerySpec, TableRef};
 use sommelier_storage::{TableClass, TableSchema, Value};
 use std::collections::HashMap;
 
@@ -159,17 +157,11 @@ impl Scope<'_> {
             }
             AstExpr::Call { name, args } => {
                 if AggFunc::from_name(name).is_some() {
-                    return Err(SqlError::Bind(format!(
-                        "aggregate {name} not allowed here"
-                    )));
+                    return Err(SqlError::Bind(format!("aggregate {name} not allowed here")));
                 }
-                let func = Func::from_name(name).ok_or_else(|| {
-                    SqlError::Bind(format!("unknown function {name:?}"))
-                })?;
-                Expr::Call(
-                    func,
-                    args.iter().map(|a| self.scalar(a)).collect::<Result<_>>()?,
-                )
+                let func = Func::from_name(name)
+                    .ok_or_else(|| SqlError::Bind(format!("unknown function {name:?}")))?;
+                Expr::Call(func, args.iter().map(|a| self.scalar(a)).collect::<Result<_>>()?)
             }
         })
     }
@@ -205,17 +197,12 @@ pub fn bind(stmt: &SelectStmt, catalog: &BindCatalog) -> Result<QuerySpec> {
     } else if catalog.tables.contains_key(&stmt.from) {
         (vec![stmt.from.clone()], Vec::new())
     } else {
-        return Err(SqlError::Bind(format!(
-            "unknown table or view {:?}",
-            stmt.from
-        )));
+        return Err(SqlError::Bind(format!("unknown table or view {:?}", stmt.from)));
     };
     let scope = Scope { catalog, tables: table_names.clone() };
     let tables: Vec<TableRef> = table_names
         .iter()
-        .map(|t| {
-            Ok(TableRef { name: t.clone(), class: catalog.class_of(t)? })
-        })
+        .map(|t| Ok(TableRef { name: t.clone(), class: catalog.class_of(t)? }))
         .collect::<Result<_>>()?;
 
     // ---- WHERE: split conjuncts into per-table and residual --------
@@ -251,9 +238,7 @@ pub fn bind(stmt: &SelectStmt, catalog: &BindCatalog) -> Result<QuerySpec> {
         let base = item.alias.clone().unwrap_or_else(|| derived_name(&item.expr, i));
         let name = uniquify(base);
         match &item.expr {
-            AstExpr::Call { name: fname, args }
-                if AggFunc::from_name(fname).is_some() =>
-            {
+            AstExpr::Call { name: fname, args } if AggFunc::from_name(fname).is_some() => {
                 let func = AggFunc::from_name(fname).expect("checked");
                 let arg = match args.as_slice() {
                     [AstExpr::Star] if func == AggFunc::Count => Expr::Lit(Value::Int(1)),
@@ -386,10 +371,20 @@ mod tests {
             name: "dataview".into(),
             tables: vec!["F".into(), "S".into(), "D".into()],
             joins: vec![
-                JoinEdge::new("F", "S", vec![Expr::col("F.file_id")], vec![Expr::col("S.file_id")])
-                    .unwrap(),
-                JoinEdge::new("S", "D", vec![Expr::col("S.seg_id")], vec![Expr::col("D.seg_id")])
-                    .unwrap(),
+                JoinEdge::new(
+                    "F",
+                    "S",
+                    vec![Expr::col("F.file_id")],
+                    vec![Expr::col("S.file_id")],
+                )
+                .unwrap(),
+                JoinEdge::new(
+                    "S",
+                    "D",
+                    vec![Expr::col("S.seg_id")],
+                    vec![Expr::col("D.seg_id")],
+                )
+                .unwrap(),
             ],
         });
         cat

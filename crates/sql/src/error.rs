@@ -20,7 +20,9 @@ impl fmt::Display for SqlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SqlError::Lex { pos, message } => write!(f, "lex error at byte {pos}: {message}"),
-            SqlError::Parse { pos, message } => write!(f, "parse error at byte {pos}: {message}"),
+            SqlError::Parse { pos, message } => {
+                write!(f, "parse error at byte {pos}: {message}")
+            }
             SqlError::Bind(m) => write!(f, "bind error: {m}"),
         }
     }

@@ -93,7 +93,9 @@ impl Parser {
                 self.advance();
                 Ok(s)
             }
-            other => Err(self.error(format!("expected identifier, found {}", other.describe()))),
+            other => {
+                Err(self.error(format!("expected identifier, found {}", other.describe())))
+            }
         }
     }
 
@@ -107,7 +109,11 @@ impl Parser {
         let mut left = self.and_expr()?;
         while self.eat_keyword("OR") {
             let right = self.and_expr()?;
-            left = AstExpr::Binary { op: BinaryOp::Or, left: Box::new(left), right: Box::new(right) };
+            left = AstExpr::Binary {
+                op: BinaryOp::Or,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -116,8 +122,11 @@ impl Parser {
         let mut left = self.not_expr()?;
         while self.eat_keyword("AND") {
             let right = self.not_expr()?;
-            left =
-                AstExpr::Binary { op: BinaryOp::And, left: Box::new(left), right: Box::new(right) };
+            left = AstExpr::Binary {
+                op: BinaryOp::And,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -245,7 +254,8 @@ impl Parser {
         let mut items = Vec::new();
         loop {
             let expr = self.expr()?;
-            let implicit_alias = !self.peek_any_keyword(&["FROM", "WHERE", "GROUP", "ORDER", "LIMIT"])
+            let implicit_alias = !self
+                .peek_any_keyword(&["FROM", "WHERE", "GROUP", "ORDER", "LIMIT"])
                 && matches!(self.peek().kind, TokenKind::Ident(_));
             let alias = if self.eat_keyword("AS") || implicit_alias {
                 Some(self.ident()?)
@@ -297,17 +307,18 @@ impl Parser {
                     )
                 }
                 other => {
-                    return Err(self.error(format!("expected number, found {}", other.describe())))
+                    return Err(
+                        self.error(format!("expected number, found {}", other.describe()))
+                    )
                 }
             }
         } else {
             None
         };
         if self.peek().kind != TokenKind::Eof {
-            return Err(self.error(format!(
-                "trailing input: {}",
-                self.peek().kind.describe()
-            )));
+            return Err(
+                self.error(format!("trailing input: {}", self.peek().kind.describe()))
+            );
         }
         Ok(SelectStmt { distinct, items, from, where_clause, group_by, order_by, limit })
     }

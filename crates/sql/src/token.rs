@@ -254,11 +254,7 @@ mod tests {
     fn comments_and_whitespace_skipped() {
         assert_eq!(
             kinds("a -- comment here\n b"),
-            vec![
-                TokenKind::Ident("a".into()),
-                TokenKind::Ident("b".into()),
-                TokenKind::Eof
-            ]
+            vec![TokenKind::Ident("a".into()), TokenKind::Ident("b".into()), TokenKind::Eof]
         );
     }
 

@@ -131,14 +131,10 @@ impl DiskManager {
             .cloned()
             .ok_or_else(|| StorageError::Corrupt(format!("unknown file id {id:?}")))?;
         let mut guard = file.lock();
-        guard
-            .seek(SeekFrom::Start(offset))
-            .map_err(|e| StorageError::io("seek", e))?;
+        guard.seek(SeekFrom::Start(offset)).map_err(|e| StorageError::io("seek", e))?;
         let mut total = 0;
         while total < buf.len() {
-            let n = guard
-                .read(&mut buf[total..])
-                .map_err(|e| StorageError::io("read", e))?;
+            let n = guard.read(&mut buf[total..]).map_err(|e| StorageError::io("read", e))?;
             if n == 0 {
                 break;
             }
@@ -168,7 +164,12 @@ pub struct BufferPool {
 impl BufferPool {
     /// Create a pool with the given configuration.
     pub fn new(config: BufferPoolConfig) -> Self {
-        BufferPool { disk: DiskManager::new(), state: Mutex::new(LruState::default()), config, stats: PoolStats::default() }
+        BufferPool {
+            disk: DiskManager::new(),
+            state: Mutex::new(LruState::default()),
+            config,
+            stats: PoolStats::default(),
+        }
     }
 
     /// The disk manager (used by writers to register files).
@@ -190,7 +191,9 @@ impl BufferPool {
     pub fn get_page(&self, key: PageKey) -> Result<Arc<PageBuf>> {
         {
             let mut st = self.state.lock();
-            if let Some((page, old_tick)) = st.pages.get(&key).map(|(p, t)| (Arc::clone(p), *t)) {
+            if let Some((page, old_tick)) =
+                st.pages.get(&key).map(|(p, t)| (Arc::clone(p), *t))
+            {
                 st.order.remove(&old_tick);
                 st.tick += 1;
                 let tick = st.tick;
@@ -325,10 +328,8 @@ mod tests {
 
         pub fn tempdir(tag: &str) -> TempDirGuard {
             let n = N.fetch_add(1, Ordering::Relaxed);
-            let dir = std::env::temp_dir().join(format!(
-                "somm-{tag}-{}-{n}",
-                std::process::id()
-            ));
+            let dir =
+                std::env::temp_dir().join(format!("somm-{tag}-{}-{n}", std::process::id()));
             std::fs::create_dir_all(&dir).unwrap();
             TempDirGuard(dir)
         }
@@ -338,7 +339,8 @@ mod tests {
     fn read_hits_after_first_miss() {
         let payload: Vec<u8> = (0..PAGE_SIZE * 2).map(|i| (i % 251) as u8).collect();
         let (_dir, path) = temp_file(&payload);
-        let pool = BufferPool::new(BufferPoolConfig { capacity_bytes: 8 * PAGE_SIZE, sim_io: None });
+        let pool =
+            BufferPool::new(BufferPoolConfig { capacity_bytes: 8 * PAGE_SIZE, sim_io: None });
         let fid = pool.disk().register(&path).unwrap();
 
         let p0 = pool.get_page(PageKey { file: fid, page_no: 0 }).unwrap();
@@ -368,7 +370,8 @@ mod tests {
         let payload = vec![1u8; PAGE_SIZE * 4];
         let (_dir, path) = temp_file(&payload);
         // Capacity of exactly two pages.
-        let pool = BufferPool::new(BufferPoolConfig { capacity_bytes: 2 * PAGE_SIZE, sim_io: None });
+        let pool =
+            BufferPool::new(BufferPoolConfig { capacity_bytes: 2 * PAGE_SIZE, sim_io: None });
         let fid = pool.disk().register(&path).unwrap();
         for p in 0..3u32 {
             pool.get_page(PageKey { file: fid, page_no: p }).unwrap();
@@ -385,7 +388,8 @@ mod tests {
     fn touching_refreshes_recency() {
         let payload = vec![1u8; PAGE_SIZE * 4];
         let (_dir, path) = temp_file(&payload);
-        let pool = BufferPool::new(BufferPoolConfig { capacity_bytes: 2 * PAGE_SIZE, sim_io: None });
+        let pool =
+            BufferPool::new(BufferPoolConfig { capacity_bytes: 2 * PAGE_SIZE, sim_io: None });
         let fid = pool.disk().register(&path).unwrap();
         let key = |p| PageKey { file: fid, page_no: p };
         pool.get_page(key(0)).unwrap();

@@ -40,7 +40,9 @@ impl Disposition {
         Ok(match s {
             "persistent" => Disposition::Persistent,
             "resident" => Disposition::Resident,
-            other => return Err(StorageError::Catalog(format!("unknown disposition {other:?}"))),
+            other => {
+                return Err(StorageError::Catalog(format!("unknown disposition {other:?}")))
+            }
         })
     }
 }
@@ -149,9 +151,7 @@ impl Catalog {
         match lines.next() {
             Some("sommelier-catalog v1") => {}
             other => {
-                return Err(StorageError::Catalog(format!(
-                    "bad catalog header: {other:?}"
-                )))
+                return Err(StorageError::Catalog(format!("bad catalog header: {other:?}")))
             }
         }
         let mut catalog = Catalog::new();
@@ -211,7 +211,10 @@ impl Catalog {
                     entry.schema.foreign_keys.push(ForeignKey {
                         columns: rest[..arrow].iter().map(|s| s.to_string()).collect(),
                         parent_table: rest[arrow + 1].to_string(),
-                        parent_columns: rest[colon + 1..].iter().map(|s| s.to_string()).collect(),
+                        parent_columns: rest[colon + 1..]
+                            .iter()
+                            .map(|s| s.to_string())
+                            .collect(),
                     });
                 }
                 Some("end") => {

@@ -101,11 +101,10 @@ impl ColumnFile {
                 self.path.display()
             )));
         }
-        let mut f = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .open(&self.path)
-            .map_err(|e| StorageError::io(format!("opening {}", self.path.display()), e))?;
+        let mut f =
+            OpenOptions::new().read(true).write(true).open(&self.path).map_err(|e| {
+                StorageError::io(format!("opening {}", self.path.display()), e)
+            })?;
         let width = self.dtype.disk_width() as u64;
         f.seek(SeekFrom::Start(DATA_START + self.rows * width))
             .map_err(|e| StorageError::io("seeking to append position", e))?;
@@ -113,12 +112,14 @@ impl ColumnFile {
         match data {
             ColumnData::Int64(v) | ColumnData::Timestamp(v) => {
                 for x in v {
-                    w.write_all(&x.to_le_bytes()).map_err(|e| StorageError::io("append", e))?;
+                    w.write_all(&x.to_le_bytes())
+                        .map_err(|e| StorageError::io("append", e))?;
                 }
             }
             ColumnData::Float64(v) => {
                 for x in v {
-                    w.write_all(&x.to_le_bytes()).map_err(|e| StorageError::io("append", e))?;
+                    w.write_all(&x.to_le_bytes())
+                        .map_err(|e| StorageError::io("append", e))?;
                 }
             }
             ColumnData::Text(t) => {
@@ -188,7 +189,9 @@ impl ColumnFile {
             DataType::Int64 => ColumnData::Int64(decode_i64(&raw)),
             DataType::Timestamp => ColumnData::Timestamp(decode_i64(&raw)),
             DataType::Float64 => ColumnData::Float64(
-                raw.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())).collect(),
+                raw.chunks_exact(8)
+                    .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+                    .collect(),
             ),
             DataType::Text => ColumnData::Text(TextColumn {
                 dict: Arc::clone(self.dict.as_ref().expect("text column has a dict")),
@@ -366,10 +369,12 @@ mod tests {
         cf.append(&ColumnData::Text(TextColumn::from_strs(["AQU", "FIAM"]))).unwrap();
         let pool = pool();
         let back = cf.read_all(&pool).unwrap();
-        let got: Vec<String> = (0..back.len()).map(|i| match back.get(i) {
-            Value::Text(s) => s,
-            other => panic!("unexpected {other:?}"),
-        }).collect();
+        let got: Vec<String> = (0..back.len())
+            .map(|i| match back.get(i) {
+                Value::Text(s) => s,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
         assert_eq!(got, vec!["ISK", "FIAM", "ISK", "AQU", "FIAM"]);
 
         // Reopened handle sees the merged dictionary.

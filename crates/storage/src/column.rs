@@ -62,8 +62,7 @@ impl Dict {
 
     /// Approximate heap footprint in bytes (for cache accounting).
     pub fn approx_bytes(&self) -> usize {
-        self.strs.iter().map(|s| s.len() + 24).sum::<usize>()
-            + self.map.len() * 48
+        self.strs.iter().map(|s| s.len() + 24).sum::<usize>() + self.map.len() * 48
     }
 }
 

@@ -112,9 +112,10 @@ impl Database {
         for entry in catalog.iter() {
             let name = entry.schema.name.clone();
             let table = match entry.disposition {
-                Disposition::Persistent => {
-                    Table::open_persistent(entry.schema.clone(), &dir.join("tables").join(&name))?
-                }
+                Disposition::Persistent => Table::open_persistent(
+                    entry.schema.clone(),
+                    &dir.join("tables").join(&name),
+                )?,
                 // Resident tables start empty after a restart (they are
                 // caches / scratch space by definition).
                 Disposition::Resident => Table::new_resident(entry.schema.clone())?,
@@ -157,7 +158,9 @@ impl Database {
             }
             _ => Table::new_resident(schema)?,
         };
-        inner.tables.insert(name, TableState { table, pk: None, join_indices: HashMap::new() });
+        inner
+            .tables
+            .insert(name, TableState { table, pk: None, join_indices: HashMap::new() });
         self.save_catalog(&inner)?;
         Ok(())
     }
@@ -174,8 +177,9 @@ impl Database {
         if let Some(dir) = &self.dir {
             let tdir = dir.join("tables").join(name);
             if tdir.exists() {
-                std::fs::remove_dir_all(&tdir)
-                    .map_err(|e| StorageError::io(format!("removing {}", tdir.display()), e))?;
+                std::fs::remove_dir_all(&tdir).map_err(|e| {
+                    StorageError::io(format!("removing {}", tdir.display()), e)
+                })?;
             }
         }
         self.save_catalog(&inner)?;
@@ -215,7 +219,12 @@ impl Database {
     }
 
     /// Append a batch, verifying constraints per `policy`.
-    pub fn append(&self, name: &str, cols: &[ColumnData], policy: ConstraintPolicy) -> Result<usize> {
+    pub fn append(
+        &self,
+        name: &str,
+        cols: &[ColumnData],
+        policy: ConstraintPolicy,
+    ) -> Result<usize> {
         let mut inner = self.inner.write();
         let inner = &mut *inner;
         // Primary-key verification: maintain the PK index incrementally.
@@ -370,7 +379,8 @@ impl Database {
             })?;
             let parent_refs: Vec<&ColumnData> = pk.cols.iter().collect();
             let child_refs: Vec<&ColumnData> = child_cols.iter().collect();
-            let ji = JoinIndex::build(&fk.parent_table, &pk.index, &parent_refs, &child_refs)?;
+            let ji =
+                JoinIndex::build(&fk.parent_table, &pk.index, &parent_refs, &child_refs)?;
             inner
                 .tables
                 .get_mut(name)
@@ -379,6 +389,63 @@ impl Database {
                 .insert(fk.parent_table.clone(), Arc::new(ji));
         }
         Ok(())
+    }
+
+    /// Keep only the rows of `name` whose `keep` flag is true. Any
+    /// cached PK state and join indices on the table are dropped (row
+    /// positions shift), and buffer-pool pages of rewritten column
+    /// files are invalidated. Returns the number of deleted rows.
+    pub fn retain_rows(&self, name: &str, keep: &[bool]) -> Result<u64> {
+        let mut inner = self.inner.write();
+        Self::retain_rows_locked(&self.pool, &mut inner, name, keep)
+    }
+
+    fn retain_rows_locked(
+        pool: &BufferPool,
+        inner: &mut Inner,
+        name: &str,
+        keep: &[bool],
+    ) -> Result<u64> {
+        let state = inner
+            .tables
+            .get_mut(name)
+            .ok_or_else(|| StorageError::Catalog(format!("no such table {name:?}")))?;
+        let was_persistent = state.table.is_persistent();
+        let deleted = state.table.retain_rows(pool, keep)?;
+        if deleted > 0 {
+            state.pk = None;
+            state.join_indices.clear();
+            if was_persistent {
+                for path in state.table.column_paths() {
+                    if let Some(fid) = pool.disk().forget(&path) {
+                        pool.invalidate_file(fid);
+                    }
+                }
+            }
+        }
+        Ok(deleted)
+    }
+
+    /// Chunk-scoped delete: remove every row of `name` whose `key_col`
+    /// equals `key` (e.g. all of `D`'s rows for one chunk's `file_id`).
+    /// This is the storage-level reclamation step of cellar eviction —
+    /// the inverse of a lazy chunk ingest. Returns deleted rows.
+    pub fn delete_chunk_rows(&self, name: &str, key_col: &str, key: i64) -> Result<u64> {
+        let mut inner = self.inner.write();
+        let keys = {
+            let state = inner
+                .tables
+                .get(name)
+                .ok_or_else(|| StorageError::Catalog(format!("no such table {name:?}")))?;
+            let schema = state.table.schema();
+            state.table.scan_column(&self.pool, schema.col_index(key_col)?)?
+        };
+        let ids = keys.as_i64()?;
+        if !ids.contains(&key) {
+            return Ok(0);
+        }
+        let keep: Vec<bool> = ids.iter().map(|&id| id != key).collect();
+        Self::retain_rows_locked(&self.pool, &mut inner, name, &keep)
     }
 
     /// Delete all rows of `name` (drop + recreate, schema preserved).
@@ -436,7 +503,8 @@ impl Database {
             .values()
             .map(|s| {
                 let pk = s.pk.as_ref().map_or(0, |p| {
-                    p.index.approx_bytes() + p.cols.iter().map(|c| c.approx_bytes()).sum::<usize>()
+                    p.index.approx_bytes()
+                        + p.cols.iter().map(|c| c.approx_bytes()).sum::<usize>()
                 });
                 let ji: usize = s.join_indices.values().map(|j| j.approx_bytes()).sum();
                 (pk + ji) as u64
@@ -447,7 +515,11 @@ impl Database {
     /// Bytes on disk across all tables.
     pub fn disk_bytes(&self) -> u64 {
         let inner = self.inner.read();
-        inner.tables.values().map(|s| s.table.disk_bytes() + s.table.resident_bytes() as u64).sum()
+        inner
+            .tables
+            .values()
+            .map(|s| s.table.disk_bytes() + s.table.resident_bytes() as u64)
+            .sum()
     }
 
     /// Bytes on disk for metadata-class tables only (Table III "Lazy").
@@ -531,7 +603,8 @@ mod tests {
     fn pk_violation_rejected_across_batches() {
         let db = mem_db();
         let station = || ColumnData::Text(TextColumn::from_strs(["ISK"]));
-        db.append("F", &[ColumnData::Int64(vec![1]), station()], ConstraintPolicy::all()).unwrap();
+        db.append("F", &[ColumnData::Int64(vec![1]), station()], ConstraintPolicy::all())
+            .unwrap();
         let err =
             db.append("F", &[ColumnData::Int64(vec![1]), station()], ConstraintPolicy::all());
         assert!(matches!(err, Err(StorageError::Constraint(_))));
@@ -548,10 +621,7 @@ mod tests {
         let db = mem_db();
         db.append(
             "F",
-            &[
-                ColumnData::Int64(vec![10]),
-                ColumnData::Text(TextColumn::from_strs(["ISK"])),
-            ],
+            &[ColumnData::Int64(vec![10]), ColumnData::Text(TextColumn::from_strs(["ISK"]))],
             ConstraintPolicy::all(),
         )
         .unwrap();
@@ -630,6 +700,104 @@ mod tests {
     }
 
     #[test]
+    fn delete_chunk_rows_removes_only_that_chunk() {
+        let db = mem_db();
+        db.create_table(
+            TableSchema::new("D", TableClass::ActualData)
+                .column("file_id", DataType::Int64)
+                .column("v", DataType::Float64),
+            Disposition::Resident,
+        )
+        .unwrap();
+        db.append(
+            "D",
+            &[
+                ColumnData::Int64(vec![1, 1, 2, 2, 3]),
+                ColumnData::Float64(vec![0.1, 0.2, 0.3, 0.4, 0.5]),
+            ],
+            ConstraintPolicy::none(),
+        )
+        .unwrap();
+        assert_eq!(db.delete_chunk_rows("D", "file_id", 2).unwrap(), 2);
+        assert_eq!(db.table_rows("D").unwrap(), 3);
+        let cols = db.scan_table("D").unwrap();
+        assert_eq!(cols[0].as_i64().unwrap(), &[1, 1, 3]);
+        assert_eq!(cols[1].as_f64().unwrap(), &[0.1, 0.2, 0.5]);
+        // Absent key: no-op.
+        assert_eq!(db.delete_chunk_rows("D", "file_id", 99).unwrap(), 0);
+        assert_eq!(db.table_rows("D").unwrap(), 3);
+    }
+
+    #[test]
+    fn retain_rows_drops_stale_index_state() {
+        let db = mem_db();
+        db.append(
+            "F",
+            &[
+                ColumnData::Int64(vec![10, 20]),
+                ColumnData::Text(TextColumn::from_strs(["ISK", "FIAM"])),
+            ],
+            ConstraintPolicy::all(),
+        )
+        .unwrap();
+        db.append(
+            "S",
+            &[ColumnData::Int64(vec![1, 2]), ColumnData::Int64(vec![10, 20])],
+            ConstraintPolicy::all(),
+        )
+        .unwrap();
+        db.build_join_indices("S").unwrap();
+        assert!(db.join_index("S", "F").is_some());
+        assert_eq!(db.retain_rows("S", &[true, false]).unwrap(), 1);
+        assert!(db.join_index("S", "F").is_none(), "join index invalidated");
+        // The PK index is rebuilt from the surviving rows: re-inserting
+        // the deleted key succeeds, re-inserting a kept key fails.
+        db.append(
+            "S",
+            &[ColumnData::Int64(vec![2]), ColumnData::Int64(vec![10])],
+            ConstraintPolicy::all(),
+        )
+        .unwrap();
+        let dup = db.append(
+            "S",
+            &[ColumnData::Int64(vec![1]), ColumnData::Int64(vec![10])],
+            ConstraintPolicy::all(),
+        );
+        assert!(matches!(dup, Err(StorageError::Constraint(_))));
+    }
+
+    #[test]
+    fn delete_chunk_rows_persistent_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("somm-dbdelete-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let db = Database::create(&dir, BufferPoolConfig::default()).unwrap();
+        db.create_table(
+            TableSchema::new("D", TableClass::ActualData)
+                .column("file_id", DataType::Int64)
+                .column("v", DataType::Float64),
+            Disposition::Persistent,
+        )
+        .unwrap();
+        db.append(
+            "D",
+            &[ColumnData::Int64(vec![7, 8, 7]), ColumnData::Float64(vec![1.0, 2.0, 3.0])],
+            ConstraintPolicy::none(),
+        )
+        .unwrap();
+        // Warm the pool so invalidation is exercised.
+        assert_eq!(db.scan_table("D").unwrap()[0].len(), 3);
+        assert_eq!(db.delete_chunk_rows("D", "file_id", 7).unwrap(), 2);
+        let cols = db.scan_table("D").unwrap();
+        assert_eq!(cols[0].as_i64().unwrap(), &[8]);
+        assert_eq!(cols[1].as_f64().unwrap(), &[2.0]);
+        drop(db);
+        // Survives re-open.
+        let db = Database::open(&dir, BufferPoolConfig::default()).unwrap();
+        assert_eq!(db.table_rows("D").unwrap(), 1);
+        Database::destroy(&dir).unwrap();
+    }
+
+    #[test]
     fn persistent_create_open_cycle() {
         let dir = std::env::temp_dir().join(format!("somm-db-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
@@ -677,8 +845,7 @@ mod tests {
         let db = Database::in_memory(BufferPoolConfig::default());
         db.create_table(f_schema(), Disposition::Resident).unwrap();
         db.create_table(
-            TableSchema::new("D", TableClass::ActualData)
-                .column("v", DataType::Float64),
+            TableSchema::new("D", TableClass::ActualData).column("v", DataType::Float64),
             Disposition::Resident,
         )
         .unwrap();
@@ -688,7 +855,8 @@ mod tests {
             ConstraintPolicy::none(),
         )
         .unwrap();
-        db.append("D", &[ColumnData::Float64(vec![0.0; 1000])], ConstraintPolicy::none()).unwrap();
+        db.append("D", &[ColumnData::Float64(vec![0.0; 1000])], ConstraintPolicy::none())
+            .unwrap();
         assert!(db.metadata_bytes() < db.disk_bytes());
     }
 }

@@ -37,12 +37,18 @@ pub fn hash_row(cols: &[&ColumnData], row: usize) -> u64 {
 
 /// True if the composite keys at `(a_cols, a_row)` and `(b_cols, b_row)`
 /// are equal value-wise.
-pub fn rows_equal(a_cols: &[&ColumnData], a_row: usize, b_cols: &[&ColumnData], b_row: usize) -> bool {
+pub fn rows_equal(
+    a_cols: &[&ColumnData],
+    a_row: usize,
+    b_cols: &[&ColumnData],
+    b_row: usize,
+) -> bool {
     debug_assert_eq!(a_cols.len(), b_cols.len());
     a_cols.iter().zip(b_cols.iter()).all(|(a, b)| match (a, b) {
-        (ColumnData::Int64(x) | ColumnData::Timestamp(x), ColumnData::Int64(y) | ColumnData::Timestamp(y)) => {
-            x[a_row] == y[b_row]
-        }
+        (
+            ColumnData::Int64(x) | ColumnData::Timestamp(x),
+            ColumnData::Int64(y) | ColumnData::Timestamp(y),
+        ) => x[a_row] == y[b_row],
         (ColumnData::Float64(x), ColumnData::Float64(y)) => x[a_row] == y[b_row],
         (ColumnData::Text(x), ColumnData::Text(y)) => x.get(a_row) == y.get(b_row),
         _ => false,
@@ -81,8 +87,7 @@ impl HashIndex {
                 Entry::Occupied(mut e) => {
                     for &prev in e.get().iter() {
                         if rows_equal(cols, prev as usize, cols, r) {
-                            let key: Vec<Value> =
-                                cols.iter().map(|c| c.get(r)).collect();
+                            let key: Vec<Value> = cols.iter().map(|c| c.get(r)).collect();
                             return Err(StorageError::Constraint(format!(
                                 "duplicate primary key {key:?} in table {table}"
                             )));
@@ -103,7 +108,12 @@ impl HashIndex {
     /// Insert the composite key at `(cols, row)`, failing if an equal key
     /// is already present. Used for incremental primary-key maintenance
     /// on append.
-    pub fn try_insert(&mut self, cols: &[&ColumnData], row: usize, table: &str) -> Result<()> {
+    pub fn try_insert(
+        &mut self,
+        cols: &[&ColumnData],
+        row: usize,
+        table: &str,
+    ) -> Result<()> {
         let h = hash_row(cols, row);
         if let Some(bucket) = self.buckets.get(&h) {
             for &prev in bucket {
@@ -212,9 +222,8 @@ mod tests {
         // Probe with columns using a *different* dictionary ordering.
         let p_station = ColumnData::Text(TextColumn::from_strs(["ISK"]));
         let p_channel = ColumnData::Text(TextColumn::from_strs(["BHZ"]));
-        let hits: Vec<u32> = idx
-            .probe(&[&station, &channel], &[&p_station, &p_channel], 0)
-            .collect();
+        let hits: Vec<u32> =
+            idx.probe(&[&station, &channel], &[&p_station, &p_channel], 0).collect();
         assert_eq!(hits, vec![2]);
     }
 

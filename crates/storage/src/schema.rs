@@ -40,7 +40,9 @@ impl TableClass {
             "metadata_given" => TableClass::MetadataGiven,
             "metadata_derived" => TableClass::MetadataDerived,
             "actual_data" => TableClass::ActualData,
-            other => return Err(StorageError::Catalog(format!("unknown table class {other:?}"))),
+            other => {
+                return Err(StorageError::Catalog(format!("unknown table class {other:?}")))
+            }
         })
     }
 }
@@ -120,12 +122,9 @@ impl TableSchema {
 
     /// Index of `name` among the columns.
     pub fn col_index(&self, name: &str) -> Result<usize> {
-        self.columns
-            .iter()
-            .position(|c| c.name == name)
-            .ok_or_else(|| {
-                StorageError::Schema(format!("table {} has no column {name:?}", self.name))
-            })
+        self.columns.iter().position(|c| c.name == name).ok_or_else(|| {
+            StorageError::Schema(format!("table {} has no column {name:?}", self.name))
+        })
     }
 
     /// Type of column `name`.
@@ -201,7 +200,9 @@ mod tests {
 
     #[test]
     fn class_roundtrip() {
-        for c in [TableClass::MetadataGiven, TableClass::MetadataDerived, TableClass::ActualData] {
+        for c in
+            [TableClass::MetadataGiven, TableClass::MetadataDerived, TableClass::ActualData]
+        {
             assert_eq!(TableClass::from_name(c.name()).unwrap(), c);
         }
         assert!(TableClass::MetadataGiven.is_metadata());

@@ -67,9 +67,7 @@ pub fn parse_ts(s: &str) -> Result<i64> {
         return Err(bad());
     }
     let num = |range: std::ops::Range<usize>| -> Result<i64> {
-        s.get(range)
-            .and_then(|t| t.parse::<i64>().ok())
-            .ok_or_else(bad)
+        s.get(range).and_then(|t| t.parse::<i64>().ok()).ok_or_else(bad)
     };
     let y = num(0..4)?;
     if bytes[4] != b'-' || bytes[7] != b'-' {
@@ -171,8 +169,16 @@ mod tests {
 
     #[test]
     fn parse_rejects_garbage() {
-        for s in ["", "2010", "2010-13-01", "2010-01-32", "2010-01-01X00:00:00",
-                  "2010-01-01T25:00:00", "2010-01-01T00:00:00.", "2010-01-01T00:00:00.1234"] {
+        for s in [
+            "",
+            "2010",
+            "2010-13-01",
+            "2010-01-32",
+            "2010-01-01X00:00:00",
+            "2010-01-01T25:00:00",
+            "2010-01-01T00:00:00.",
+            "2010-01-01T00:00:00.1234",
+        ] {
             assert!(parse_ts(s).is_err(), "should reject {s:?}");
         }
     }

@@ -65,7 +65,9 @@ impl DataType {
             "float64" => DataType::Float64,
             "timestamp" => DataType::Timestamp,
             "text" => DataType::Text,
-            other => return Err(StorageError::Catalog(format!("unknown type name {other:?}"))),
+            other => {
+                return Err(StorageError::Catalog(format!("unknown type name {other:?}")))
+            }
         })
     }
 }
@@ -137,9 +139,7 @@ impl Value {
     /// a `Timestamp` column, or an int literal compared to a `Float64`
     /// column).
     pub fn coerce_to(&self, target: DataType) -> Result<Value> {
-        let fail = || {
-            StorageError::Value(format!("cannot coerce {self} to {target}"))
-        };
+        let fail = || StorageError::Value(format!("cannot coerce {self} to {target}"));
         Ok(match (self, target) {
             (Value::Null, _) => Value::Null,
             (Value::Int(v), DataType::Int64) => Value::Int(*v),
@@ -157,9 +157,7 @@ impl Value {
     /// Total order within a type family; errors on cross-type compares
     /// that have no meaning (e.g. text vs int).
     pub fn compare(&self, other: &Value) -> Result<Ordering> {
-        let fail = || {
-            StorageError::Value(format!("cannot compare {self} with {other}"))
-        };
+        let fail = || StorageError::Value(format!("cannot compare {self} with {other}"));
         match (self, other) {
             (Value::Int(a), Value::Int(b)) => Ok(a.cmp(b)),
             (Value::Time(a), Value::Time(b)) => Ok(a.cmp(b)),

@@ -39,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "approach", "prep", "first query", "data-to-insight", "db bytes", "chunks"
     );
     for mode in LoadingMode::ALL {
-        let somm = Sommelier::in_memory(Repository::at(dir.join("repo")), SommelierConfig::default())?;
+        let somm = Sommelier::in_memory(
+            Repository::at(dir.join("repo")),
+            SommelierConfig::default(),
+        )?;
         let t = Instant::now();
         somm.prepare(mode)?;
         let prep = t.elapsed();

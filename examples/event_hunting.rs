@@ -102,10 +102,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                  WHERE F.station = 'FIAM' AND H.window_start_ts = '{loudest}'"
             ))?,
         };
-        println!(
-            "\nSTA around loudest hour {loudest}: \n{}",
-            result.relation.pretty(3)
-        );
+        println!("\nSTA around loudest hour {loudest}: \n{}", result.relation.pretty(3));
     }
 
     println!("\nfinal state: {somm:?}");

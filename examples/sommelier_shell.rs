@@ -18,7 +18,7 @@ fn print_help() {
          \x20                    windowdataview, segview, windowview)\n\
          \x20 EXPLAIN <SELECT>   show the logical plan\n\
          \x20 .mode <lazy|eager_plain|eager_index|eager_dmd|eager_csv>  re-prepare\n\
-         \x20 .stats             recycler / buffer-pool / DMd state\n\
+         \x20 .stats             cellar / buffer-pool / DMd state\n\
          \x20 .cold              flush caches (simulate a cold restart)\n\
          \x20 .help              this text\n\
          \x20 .quit              exit\n\
@@ -35,9 +35,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let repo = Repository::at(&repo_dir);
     repo.generate(&DatasetSpec::ingv(1, 256))?;
 
-    let mut somm = Sommelier::in_memory(Repository::at(&repo_dir), SommelierConfig::default())?;
+    let mut somm =
+        Sommelier::in_memory(Repository::at(&repo_dir), SommelierConfig::default())?;
     somm.prepare(LoadingMode::Lazy)?;
-    println!("prepared lazily: {} chunks registered. Type .help for help.\n", somm.registered_chunks());
+    println!(
+        "prepared lazily: {} chunks registered. Type .help for help.\n",
+        somm.registered_chunks()
+    );
 
     let stdin = std::io::stdin();
     let mut lines = stdin.lock().lines();
@@ -59,9 +63,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!("caches flushed.");
         } else if lower == ".stats" {
             println!(
-                "mode: {:?}\nrecycler: {:?}\nbuffer pool: {:?}\nDMd windows covered: {}",
+                "mode: {:?}\ncellar: {:?}\nbuffer pool: {:?}\nDMd windows covered: {}",
                 somm.mode().map(|m| m.label()),
-                somm.recycler(),
+                somm.cellar(),
                 somm.db().pool(),
                 somm.dmd_manager().covered_count()
             );
@@ -78,13 +82,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 }
             };
             // Re-preparing needs a fresh database.
-            somm = Sommelier::in_memory(Repository::at(&repo_dir), SommelierConfig::default())?;
+            somm =
+                Sommelier::in_memory(Repository::at(&repo_dir), SommelierConfig::default())?;
             let t = Instant::now();
             somm.prepare(mode)?;
             println!("prepared {} in {:?}", mode.label(), t.elapsed());
-        } else if let Some(q) = line
-            .strip_prefix("EXPLAIN ")
-            .or_else(|| line.strip_prefix("explain "))
+        } else if let Some(q) =
+            line.strip_prefix("EXPLAIN ").or_else(|| line.strip_prefix("explain "))
         {
             match somm.explain(q) {
                 Ok(plan) => println!("{plan}"),

@@ -1,0 +1,273 @@
+//! Cellar invariants, end to end:
+//!
+//! 1. **Budget safety** — after any sequence of queries, resident chunk
+//!    bytes never exceed the configured budget (property test).
+//! 2. **Transparency** — a budget-constrained system returns
+//!    byte-identical results to an unbounded one, whatever the
+//!    sequence (the partial-loading guarantee of
+//!    `correctness_lazy_vs_eager`, extended to partial *unloading*).
+//! 3. **Single-flight** — N threads issuing the same query concurrently
+//!    decode each needed chunk exactly once.
+//! 4. **Reclamation** — evicting a chunk invalidates the DMd coverage
+//!    derived from it, and Algorithm 1 transparently re-derives.
+
+use proptest::prelude::*;
+use sommelier_core::{LoadingMode, QueryType, Sommelier, SommelierConfig};
+use sommelier_integration::{fiam_repo, prepared, TempDir};
+use sommelier_storage::time::{days_from_civil, format_ts, MS_PER_DAY};
+use std::sync::{Arc, OnceLock};
+
+const DAYS: i64 = 10;
+
+/// One shared 10-day FIAM repository for the property tests (generated
+/// once; each case builds fresh systems over it).
+fn shared_repo() -> &'static TempDir {
+    static REPO: OnceLock<TempDir> = OnceLock::new();
+    REPO.get_or_init(|| {
+        let dir = TempDir::new("cellar-prop");
+        fiam_repo(&dir, DAYS as u32, 64);
+        dir
+    })
+}
+
+fn t4_query(start_day: i64, window: i64) -> String {
+    let d0 = days_from_civil(2010, 1, 1);
+    format!(
+        "SELECT AVG(D.sample_value) FROM dataview \
+         WHERE D.sample_time >= '{}' AND D.sample_time < '{}'",
+        format_ts((d0 + start_day) * MS_PER_DAY),
+        format_ts((d0 + start_day + window) * MS_PER_DAY)
+    )
+}
+
+fn canonical(rel: &sommelier_engine::Relation) -> Vec<String> {
+    (0..rel.rows())
+        .map(|r| {
+            rel.columns()
+                .iter()
+                .map(|(_, c)| match c.get(r) {
+                    sommelier_storage::Value::Float(f) => format!("{f:.9e}"),
+                    other => other.to_string(),
+                })
+                .collect::<Vec<_>>()
+                .join("|")
+        })
+        .collect()
+}
+
+fn budgeted_config(budget: usize) -> SommelierConfig {
+    SommelierConfig { cellar_bytes: Some(budget), ..SommelierConfig::default() }
+}
+
+proptest! {
+    /// Any query sequence, tiny budget: residency never exceeds the
+    /// budget once the query returns, and every answer matches an
+    /// unbounded twin system's byte for byte.
+    #[test]
+    fn budget_is_never_exceeded_and_answers_never_change(
+        queries in proptest::collection::vec((0i64..9, 1i64..4), 1..6),
+        budget_kb in 1usize..80,
+    ) {
+        let repo = sommelier_mseed::Repository::at(shared_repo().join("repo"));
+        let budget = budget_kb * 1024;
+        let bounded = prepared(&repo, LoadingMode::Lazy, budgeted_config(budget));
+        let unbounded = prepared(&repo, LoadingMode::Lazy, SommelierConfig::default());
+        let cellar = bounded.cellar().expect("prepared");
+        for &(start, w) in &queries {
+            let window = w.min(DAYS - start);
+            let sql = t4_query(start, window);
+            let got = bounded.query(&sql).unwrap();
+            let want = unbounded.query(&sql).unwrap();
+            prop_assert_eq!(
+                canonical(&got.relation),
+                canonical(&want.relation),
+                "bounded vs unbounded diverged on {:?}",
+                sql
+            );
+            prop_assert!(
+                cellar.resident_bytes() <= budget,
+                "resident {} exceeds budget {} after {}",
+                cellar.resident_bytes(),
+                budget,
+                sql
+            );
+        }
+    }
+}
+
+/// The acceptance-criteria configuration: a budget of 10 % of the
+/// dataset's decoded bytes, swept over the whole repository repeatedly.
+#[test]
+fn ten_percent_budget_matches_unbounded_results() {
+    let dir = TempDir::new("cellar-10pct");
+    let repo = fiam_repo(&dir, 10, 64);
+    // Calibrate: decoded size of the full working set.
+    let unbounded = prepared(&repo, LoadingMode::Lazy, SommelierConfig::default());
+    let full_scan = t4_query(0, DAYS);
+    unbounded.query(&full_scan).unwrap();
+    let total = unbounded.cellar().unwrap().peak_resident_bytes();
+    let budget = (total / 10).max(1);
+
+    let bounded = prepared(&repo, LoadingMode::Lazy, budgeted_config(budget));
+    let cellar = bounded.cellar().unwrap();
+    // Two full passes of sliding windows plus a full scan: plenty of
+    // evictions and reloads.
+    let mut sqls: Vec<String> = Vec::new();
+    for _ in 0..2 {
+        for start in 0..DAYS - 1 {
+            sqls.push(t4_query(start, 2));
+        }
+    }
+    sqls.push(full_scan);
+    for sql in &sqls {
+        let got = bounded.query(sql).unwrap();
+        let want = unbounded.query(sql).unwrap();
+        assert_eq!(canonical(&got.relation), canonical(&want.relation), "diverged on {sql}");
+        assert!(
+            cellar.resident_bytes() <= budget,
+            "resident {} exceeds budget {budget} after {sql}",
+            cellar.resident_bytes()
+        );
+    }
+    let s = cellar.stats();
+    assert!(s.evictions > 0, "a 10% budget must evict: {s:?}");
+    assert!(s.reloads > 0, "a repeated workload over a 10% budget must reload: {s:?}");
+}
+
+/// Eight threads, same query, one decode per chunk (single-flight), and
+/// `Sommelier::query` is safe to call concurrently.
+#[test]
+fn concurrent_identical_queries_decode_each_chunk_once() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Sommelier>();
+
+    let dir = TempDir::new("cellar-flight");
+    let repo = fiam_repo(&dir, 6, 64);
+    let somm = Arc::new(prepared(&repo, LoadingMode::Lazy, SommelierConfig::default()));
+    let sql = t4_query(0, 6);
+    let barrier = Arc::new(std::sync::Barrier::new(8));
+    let results: Vec<Vec<String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let somm = Arc::clone(&somm);
+                let sql = sql.clone();
+                let barrier = Arc::clone(&barrier);
+                scope.spawn(move || {
+                    barrier.wait();
+                    let r = somm.query(&sql).unwrap();
+                    assert_eq!(r.stats.files_selected, 6);
+                    canonical(&r.relation)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for r in &results[1..] {
+        assert_eq!(r, &results[0], "concurrent queries must agree");
+    }
+    let s = somm.cellar().unwrap().stats();
+    assert_eq!(s.loads, 6, "each of the 6 chunks decoded exactly once: {s:?}");
+    assert_eq!(s.reloads, 0);
+    assert_eq!(s.hits + s.joins + s.loads, 8 * 6, "every acquisition accounted for: {s:?}");
+}
+
+/// Concurrent DMd-referring queries: Algorithm 1 must derive each
+/// window exactly once (no duplicate `H` inserts, no PK trips), and
+/// coverage invalidation from concurrent evictions must never make a
+/// query's windows vanish mid-flight. Runs a mixed T2 + T4 storm over
+/// one day under a tight budget; every query must succeed and agree
+/// with an unbounded reference.
+#[test]
+fn concurrent_dmd_queries_derive_once_and_stay_consistent() {
+    let dir = TempDir::new("cellar-dmd-race");
+    let repo = fiam_repo(&dir, 3, 64);
+    let t2 = "SELECT window_start_ts, window_max_val FROM H \
+              WHERE window_station = 'FIAM' AND window_channel = 'HHZ' \
+              AND window_start_ts >= '2010-01-01T00:00:00.000' \
+              AND window_start_ts < '2010-01-02T00:00:00.000' \
+              ORDER BY window_start_ts";
+    let reference = {
+        let somm = prepared(&repo, LoadingMode::Lazy, SommelierConfig::default());
+        canonical(&somm.query(t2).unwrap().relation)
+    };
+    assert_eq!(reference.len(), 24, "one window per hour of the day");
+
+    // Budget of one byte: every chunk release tries to evict+invalidate.
+    let somm = Arc::new(prepared(&repo, LoadingMode::Lazy, budgeted_config(1)));
+    let barrier = Arc::new(std::sync::Barrier::new(8));
+    std::thread::scope(|scope| {
+        for i in 0..8 {
+            let somm = Arc::clone(&somm);
+            let barrier = Arc::clone(&barrier);
+            let reference = &reference;
+            scope.spawn(move || {
+                barrier.wait();
+                for _ in 0..3 {
+                    if i % 2 == 0 {
+                        let r = somm.query(t2).unwrap_or_else(|e| panic!("T2 failed: {e}"));
+                        assert_eq!(&canonical(&r.relation), reference, "T2 diverged");
+                    } else {
+                        somm.query(&t4_query(0, 1))
+                            .unwrap_or_else(|e| panic!("T4 failed: {e}"));
+                    }
+                }
+            });
+        }
+    });
+    // However the storm interleaved, H holds each window at most once.
+    let h_rows = somm.db().table_rows("H").unwrap();
+    assert!(h_rows <= 24, "duplicate windows materialized: {h_rows}");
+    // And a final quiet query still agrees.
+    assert_eq!(canonical(&somm.query(t2).unwrap().relation), reference);
+}
+
+/// Evicting a chunk invalidates the DMd windows derived from it; a
+/// later DMd query re-runs Algorithm 1 and gets identical rows.
+#[test]
+fn eviction_invalidates_dmd_coverage_and_rederives() {
+    let dir = TempDir::new("cellar-dmd");
+    let repo = fiam_repo(&dir, 4, 64);
+    let t2 = "SELECT window_start_ts, window_max_val, window_mean_val FROM H \
+              WHERE window_station = 'FIAM' AND window_channel = 'HHZ' \
+              AND window_start_ts >= '2010-01-01T00:00:00.000' \
+              AND window_start_ts < '2010-01-02T00:00:00.000' \
+              ORDER BY window_start_ts";
+
+    // Reference: unbounded system derives once, then serves from H.
+    let unbounded = prepared(&repo, LoadingMode::Lazy, SommelierConfig::default());
+    let first = unbounded.query(t2).unwrap();
+    assert_eq!(first.qtype, QueryType::T2);
+    assert!(first.dmd.as_ref().unwrap().missing > 0);
+    let again = unbounded.query(t2).unwrap();
+    assert_eq!(again.dmd.as_ref().unwrap().missing, 0, "coverage persists unbounded");
+
+    // A 1-byte budget evicts (and reclaims) every chunk at release.
+    let bounded = prepared(&repo, LoadingMode::Lazy, budgeted_config(1));
+    let b1 = bounded.query(t2).unwrap();
+    assert!(b1.dmd.as_ref().unwrap().missing > 0);
+    assert_eq!(
+        canonical(&b1.relation),
+        canonical(&first.relation),
+        "bounded first derivation agrees"
+    );
+    // The derivation's own chunk release precedes coverage marking, so
+    // the freshly derived view survives it.
+    let h_rows = bounded.db().table_rows("H").unwrap();
+    assert!(h_rows > 0, "derived windows materialized");
+    let covered = bounded.dmd_manager().covered_count();
+    assert!(covered > 0);
+
+    // A T4 over the same day re-loads the chunk; its eviction at
+    // release now finds derived coverage and reclaims it: the windows
+    // leave PSm and their H rows are deleted.
+    bounded.query(&t4_query(0, 1)).unwrap();
+    assert_eq!(bounded.db().table_rows("H").unwrap(), 0, "H rows reclaimed");
+    assert_eq!(bounded.dmd_manager().covered_count(), 0, "coverage invalidated");
+    let s = bounded.cellar().unwrap().stats();
+    assert!(s.reclaimed_rows >= h_rows, "H rows deleted by reclamation: {s:?}");
+
+    // The next identical query transparently re-derives.
+    let b2 = bounded.query(t2).unwrap();
+    assert!(b2.dmd.as_ref().unwrap().missing > 0, "re-derivation after eviction");
+    assert_eq!(canonical(&b2.relation), canonical(&first.relation));
+}

@@ -100,9 +100,7 @@ fn all_modes_agree_on_all_query_types() {
     ] {
         let somm = prepared(&repo, mode, SommelierConfig::default());
         for ((name, sql), (_, want)) in queries().iter().zip(&expected) {
-            let got = somm
-                .query(sql)
-                .unwrap_or_else(|e| panic!("{name} under {mode}: {e}"));
+            let got = somm.query(sql).unwrap_or_else(|e| panic!("{name} under {mode}: {e}"));
             assert_eq!(
                 &canonical(&got.relation),
                 want,
@@ -116,13 +114,8 @@ fn all_modes_agree_on_all_query_types() {
 fn classification_is_mode_independent() {
     let dir = TempDir::new("classify");
     let repo = ingv_repo(&dir, 2, 16);
-    let expected = [
-        QueryType::T1,
-        QueryType::T2,
-        QueryType::T3,
-        QueryType::T4,
-        QueryType::T5,
-    ];
+    let expected =
+        [QueryType::T1, QueryType::T2, QueryType::T3, QueryType::T4, QueryType::T5];
     for mode in [LoadingMode::Lazy, LoadingMode::EagerIndex] {
         let somm = prepared(&repo, mode, SommelierConfig::default());
         for ((name, sql), want) in queries().iter().zip(expected) {
@@ -137,8 +130,7 @@ fn repeated_queries_are_stable_under_caching() {
     // Results must not change as the recycler fills up / evicts.
     let dir = TempDir::new("stable");
     let repo = ingv_repo(&dir, 3, 64);
-    let config =
-        SommelierConfig { recycler_bytes: 64 * 1024, ..SommelierConfig::default() };
+    let config = SommelierConfig { recycler_bytes: 64 * 1024, ..SommelierConfig::default() };
     let somm = prepared(&repo, LoadingMode::Lazy, config);
     let (_, t4) = &queries()[3];
     let first = canonical(&somm.query(t4).unwrap().relation);

@@ -50,8 +50,7 @@ fn pushdown_toggle_preserves_answers() {
         scalar_f64(&somm.query(Q).unwrap(), "avg").unwrap()
     };
     let without = {
-        let config =
-            SommelierConfig { chunk_pushdown: false, ..SommelierConfig::default() };
+        let config = SommelierConfig { chunk_pushdown: false, ..SommelierConfig::default() };
         let somm = prepared(&repo, LoadingMode::Lazy, config);
         scalar_f64(&somm.query(Q).unwrap(), "avg").unwrap()
     };
@@ -128,18 +127,12 @@ fn approximate_answering_samples_chunks() {
     // Deterministic: the same sample every time.
     somm.flush_caches();
     let again = somm.query_approx(sql, 0.3).unwrap();
-    assert_eq!(
-        scalar_f64(&approx, "avg").unwrap(),
-        scalar_f64(&again, "avg").unwrap()
-    );
+    assert_eq!(scalar_f64(&approx, "avg").unwrap(), scalar_f64(&again, "avg").unwrap());
     // Fraction 1.0 is exact.
     somm.flush_caches();
     let full = somm.query_approx(sql, 1.0).unwrap();
     assert_eq!(full.stats.files_sampled_out, 0);
-    assert_eq!(
-        scalar_f64(&full, "avg").unwrap(),
-        scalar_f64(&exact, "avg").unwrap()
-    );
+    assert_eq!(scalar_f64(&full, "avg").unwrap(), scalar_f64(&exact, "avg").unwrap());
     // Invalid fractions rejected.
     assert!(somm.query_approx(sql, 0.0).is_err());
     assert!(somm.query_approx(sql, 1.5).is_err());

@@ -125,10 +125,7 @@ fn buffer_pool_budget_bounds_residency() {
          WHERE D.sample_time < '2010-01-05T00:00:00.000'",
     )
     .unwrap();
-    assert!(
-        somm.db().pool().resident_bytes() <= 256 * 1024,
-        "pool stays within budget"
-    );
+    assert!(somm.db().pool().resident_bytes() <= 256 * 1024, "pool stays within budget");
     assert!(somm.db().pool().stats().snapshot().evictions > 0);
 }
 
@@ -155,20 +152,14 @@ fn sommelier_reopens_prepared_database() {
              AND window_start_ts < '2010-01-01T05:00:00.000'",
         )
         .unwrap();
-        (
-            want.relation.value(0, "avg").unwrap(),
-            somm.db().table_rows("H").unwrap(),
-        )
+        (want.relation.value(0, "avg").unwrap(), somm.db().table_rows("H").unwrap())
     };
     assert!(h_rows > 0);
     // Reopen: lazy mode inferred (D empty), registry rebuilt from F/S,
     // DMd coverage recovered from H.
-    let somm = Sommelier::open(
-        &db_dir,
-        Repository::at(repo.dir()),
-        SommelierConfig::default(),
-    )
-    .unwrap();
+    let somm =
+        Sommelier::open(&db_dir, Repository::at(repo.dir()), SommelierConfig::default())
+            .unwrap();
     assert_eq!(somm.mode(), Some(LoadingMode::Lazy));
     assert_eq!(somm.registered_chunks(), 3);
     assert!(somm.dmd_manager().covered_count() >= h_rows as usize);
@@ -190,12 +181,9 @@ fn second_create_in_same_dir_fails() {
     let dir = TempDir::new("dup");
     let repo = fiam_repo(&dir, 1, 16);
     let db_dir = dir.join("db");
-    let _first = Sommelier::create(
-        &db_dir,
-        Repository::at(repo.dir()),
-        SommelierConfig::default(),
-    )
-    .unwrap();
+    let _first =
+        Sommelier::create(&db_dir, Repository::at(repo.dir()), SommelierConfig::default())
+            .unwrap();
     assert!(Sommelier::create(
         &db_dir,
         Repository::at(repo.dir()),

@@ -65,15 +65,11 @@ fn arithmetic_and_functions_in_projections() {
     let dir = TempDir::new("arith");
     let repo = ingv_repo(&dir, 1, 16);
     let somm = prepared(&repo, LoadingMode::Lazy, SommelierConfig::default());
-    let r = somm
-        .query("SELECT file_id * 2 + 1 AS x FROM F ORDER BY x LIMIT 3")
-        .unwrap();
+    let r = somm.query("SELECT file_id * 2 + 1 AS x FROM F ORDER BY x LIMIT 3").unwrap();
     let xs: Vec<i64> =
         (0..3).map(|i| r.relation.value(i, "x").unwrap().as_i64().unwrap()).collect();
     assert_eq!(xs, vec![1, 3, 5]);
-    let r = somm
-        .query("SELECT ABS(file_id - 3) AS d FROM F ORDER BY d LIMIT 1")
-        .unwrap();
+    let r = somm.query("SELECT ABS(file_id - 3) AS d FROM F ORDER BY d LIMIT 1").unwrap();
     assert_eq!(r.relation.value(0, "d").unwrap(), Value::Int(0));
 }
 
@@ -83,9 +79,7 @@ fn or_predicates_and_not() {
     let repo = ingv_repo(&dir, 2, 16);
     let somm = prepared(&repo, LoadingMode::Lazy, SommelierConfig::default());
     let either = somm
-        .query(
-            "SELECT COUNT(*) AS n FROM F WHERE station = 'ISK' OR station = 'TRI'",
-        )
+        .query("SELECT COUNT(*) AS n FROM F WHERE station = 'ISK' OR station = 'TRI'")
         .unwrap();
     assert_eq!(either.relation.value(0, "n").unwrap(), Value::Int(4));
     let negated = somm
@@ -107,10 +101,7 @@ fn error_messages_are_useful() {
         ("SELECT file_id FROM dataview", "ambiguous"),
         ("SELECT station, COUNT(*) FROM F", "GROUP BY"),
         ("SELECT MEDIAN(station) FROM F", "unknown function"),
-        (
-            "SELECT COUNT(*) FROM dataview WHERE D.sample_time = 'not-a-time'",
-            "timestamp",
-        ),
+        ("SELECT COUNT(*) FROM dataview WHERE D.sample_time = 'not-a-time'", "timestamp"),
     ];
     for (sql, needle) in cases {
         match somm.query(sql) {
@@ -135,10 +126,7 @@ fn unprepared_system_is_a_usage_error() {
         SommelierConfig::default(),
     )
     .unwrap();
-    assert!(matches!(
-        somm.query("SELECT COUNT(*) FROM F"),
-        Err(SommelierError::Usage(_))
-    ));
+    assert!(matches!(somm.query("SELECT COUNT(*) FROM F"), Err(SommelierError::Usage(_))));
 }
 
 #[test]
@@ -161,9 +149,7 @@ fn quoted_string_escapes() {
     // No station named O'Brien, but the literal must parse; an OR arm
     // keeps the result non-empty.
     let r = somm
-        .query(
-            "SELECT COUNT(*) AS n FROM F WHERE station = 'O''Brien' OR station = 'ISK'",
-        )
+        .query("SELECT COUNT(*) AS n FROM F WHERE station = 'O''Brien' OR station = 'ISK'")
         .unwrap();
     assert_eq!(r.relation.value(0, "n").unwrap(), Value::Int(1));
 }

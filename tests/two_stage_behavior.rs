@@ -51,9 +51,11 @@ fn metadata_only_queries_load_nothing() {
     assert_eq!(r.relation.rows(), 4);
     assert_eq!(r.stats.files_loaded, 0);
     assert_eq!(r.stats.files_selected, 0);
-    assert_eq!(somm.recycler().len(), 0);
+    assert_eq!(somm.cellar().unwrap().resident_chunks(), 0);
     // T1 with joins: still metadata-only.
-    let r = somm.query("SELECT SUM(S.sample_count) FROM segview WHERE F.station = 'AQU'").unwrap();
+    let r = somm
+        .query("SELECT SUM(S.sample_count) FROM segview WHERE F.station = 'AQU'")
+        .unwrap();
     assert_eq!(r.stats.files_loaded, 0);
 }
 
@@ -125,7 +127,7 @@ fn eager_modes_never_touch_the_chunk_source() {
             .unwrap();
         assert_eq!(r.stats.files_loaded, 0, "{mode:?} reads from the database");
         assert_eq!(r.stats.files_selected, 0);
-        assert_eq!(somm.recycler().len(), 0);
+        assert_eq!(somm.cellar().unwrap().resident_chunks(), 0);
     }
 }
 
