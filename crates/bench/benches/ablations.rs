@@ -11,7 +11,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use sommelier_core::{LoadingMode, Sommelier, SommelierConfig};
 use sommelier_engine::ParallelMode;
 use sommelier_mseed::record::{FileMeta, MseedFile, SegmentData, SegmentMeta};
-use sommelier_mseed::{DatasetSpec, Repository};
+use sommelier_mseed::{DatasetSpec, MseedAdapter, Repository};
 use sommelier_storage::time::MS_PER_DAY;
 use std::hint::black_box;
 use std::path::PathBuf;
@@ -73,8 +73,11 @@ const FULL_SCAN: &str = "SELECT AVG(D.sample_value) FROM dataview \
                          WHERE D.sample_time < '2010-01-09T00:00:00.000'";
 
 fn system(repo: &Repository, mode: LoadingMode, config: SommelierConfig) -> Sommelier {
-    let somm =
-        Sommelier::in_memory(Repository::at(repo.dir()), config).expect("create system");
+    let somm = Sommelier::builder()
+        .source(MseedAdapter::new(Repository::at(repo.dir())))
+        .config(config)
+        .build()
+        .expect("create system");
     somm.prepare(mode).expect("prepare");
     somm
 }

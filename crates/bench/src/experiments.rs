@@ -79,9 +79,9 @@ pub fn table3_and_fig6(scale: &BenchScale) -> Result<(Table, Table)> {
             "sf",
             "approach",
             "register",
-            "mseed_to_csv",
+            "chunks_to_csv",
             "csv_to_db",
-            "mseed_to_db",
+            "chunks_to_db",
             "indexing",
             "dmd",
             "total",
@@ -100,9 +100,9 @@ pub fn table3_and_fig6(scale: &BenchScale) -> Result<(Table, Table)> {
                 format!("sf-{sf}"),
                 mode.label().to_string(),
                 secs(p.register),
-                secs(p.mseed_to_csv),
+                secs(p.chunks_to_csv),
                 secs(p.csv_to_db),
-                secs(p.mseed_to_db),
+                secs(p.chunks_to_db),
                 secs(p.indexing),
                 secs(p.dmd_derivation),
                 secs(p.total()),

@@ -105,12 +105,12 @@ pub fn day_range(start_day: i64, days: i64) -> (i64, i64) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sommelier_core::schema::bind_catalog;
+    use sommelier_core::source::assemble_catalog;
 
     #[test]
     fn all_query_shapes_compile_and_classify() {
         use sommelier_core::query::{classify, QueryType};
-        let cat = bind_catalog();
+        let cat = assemble_catalog(&[&sommelier_mseed::mseed_descriptor()]).unwrap();
         let day = 14_610 * MS_PER_DAY; // 2010-01-01
         let cases: Vec<(String, QueryType)> = vec![
             (t1("ISK"), QueryType::T1),

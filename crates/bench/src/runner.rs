@@ -2,7 +2,7 @@
 
 use crate::datasets::BenchScale;
 use sommelier_core::{LoadingMode, PrepReport, Sommelier, SommelierConfig};
-use sommelier_mseed::Repository;
+use sommelier_mseed::{MseedAdapter, Repository};
 use sommelier_storage::buffer::SimIo;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -69,7 +69,11 @@ pub fn fresh_system_with(
         SCRATCH_SEQ.fetch_add(1, Ordering::Relaxed)
     ));
     let _ = std::fs::remove_dir_all(&db_dir);
-    let somm = Sommelier::create(&db_dir, Repository::at(repo.dir()), config)?;
+    let somm = Sommelier::builder()
+        .source(MseedAdapter::new(Repository::at(repo.dir())))
+        .config(config)
+        .on_disk(&db_dir)
+        .build()?;
     let prep = somm.prepare(mode)?;
     Ok(SystemGuard { somm, prep, db_dir })
 }

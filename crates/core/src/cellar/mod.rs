@@ -9,8 +9,9 @@
 //! explicitly and AsterixDB handles with a budgeted buffer manager.
 //!
 //! The [`Cellar`] owns the loaded/not-loaded state of every registered
-//! chunk (previously smeared across the chunk registry, the repo chunk
-//! source and the two-stage driver's ad-hoc ingest loop):
+//! chunk, across **all** registered sources: a multi-source system has
+//! per-source chunk registries, but one shared byte budget — a seismic
+//! chunk and a log chunk compete for the same residency memory.
 //!
 //! * **Byte budget + pluggable policy** — resident decoded chunks are
 //!   capped by a configurable budget; victims are ranked by a
@@ -23,21 +24,26 @@
 //!   latch (the page-latch idiom of classic buffer managers): N
 //!   queries needing the chunk trigger exactly one ingest.
 //! * **Actual reclamation** — evicting a chunk deletes any rows it
-//!   contributed to the storage layer (chunk-scoped delete on `D`) and
-//!   invalidates derived metadata computed from it: its windows leave
-//!   the covered key space `PSm` and their `H` rows are deleted, so
-//!   Algorithm 1 re-derives them if they are referenced again.
+//!   contributed to the storage layer (chunk-scoped delete on the
+//!   actual-data table) and invalidates derived metadata computed from
+//!   it: its windows leave the covered key space `PSm` and their
+//!   derived rows are deleted, so Algorithm 1 re-derives them if they
+//!   are referenced again. Which windows a chunk covers is computed
+//!   from the source's [`crate::source::DmdSpec`] — no format
+//!   knowledge lives here.
 
 pub mod policy;
 
 pub use policy::{CellarPolicyKind, ResidencyPolicy};
 
-use crate::chunks::{ChunkRegistry, RepoChunkSource};
+use crate::chunks::{AdapterChunkSource, ChunkRegistry};
 use crate::dmd::{DmdKey, DmdManager};
+use crate::error::SommelierError;
+use crate::source::SourceDescriptor;
 use parking_lot::{Condvar, Mutex};
+use sommelier_engine::eval::eval_scalar;
 use sommelier_engine::twostage::{AcquiredChunk, ChunkResidency, ChunkSource};
 use sommelier_engine::{EngineError, ParallelMode, Relation};
-use sommelier_storage::time::{hour_bucket, MS_PER_HOUR};
 use sommelier_storage::Database;
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -47,9 +53,10 @@ use std::time::{Duration, Instant};
 /// Cellar configuration (derived from [`crate::SommelierConfig`]).
 #[derive(Debug, Clone)]
 pub struct CellarConfig {
-    /// Byte budget for resident decoded chunks. Pinned chunks may
-    /// transiently exceed it (a query's working set must fit to run at
-    /// all); once pins are released the budget is enforced again.
+    /// Byte budget for resident decoded chunks, shared by all sources.
+    /// Pinned chunks may transiently exceed it (a query's working set
+    /// must fit to run at all); once pins are released the budget is
+    /// enforced again.
     pub budget_bytes: usize,
     /// Eviction policy.
     pub policy: CellarPolicyKind,
@@ -69,6 +76,15 @@ impl Default for CellarConfig {
     }
 }
 
+/// One source registered into the cellar: its registry, its decode
+/// path, and the derived-metadata bookkeeping eviction must invalidate.
+pub struct CellarSource {
+    pub descriptor: Arc<SourceDescriptor>,
+    pub registry: Arc<ChunkRegistry>,
+    pub source: Arc<AdapterChunkSource>,
+    pub dmd: Arc<DmdManager>,
+}
+
 /// Counter snapshot (the bench harness reports these per budget).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CellarSnapshot {
@@ -82,8 +98,8 @@ pub struct CellarSnapshot {
     pub reloads: u64,
     /// Evictions (budget pressure, retention policy, or `clear`).
     pub evictions: u64,
-    /// Storage rows deleted by eviction reclamation (D rows staged for
-    /// the chunk plus H rows derived from it).
+    /// Storage rows deleted by eviction reclamation (actual-data rows
+    /// staged for the chunk plus derived rows computed from it).
     pub reclaimed_rows: u64,
     /// Reclamation attempts that failed (left to re-derivation).
     pub reclaim_failures: u64,
@@ -151,14 +167,16 @@ enum Slot {
     Resident(ResidentChunk),
 }
 
-/// The (station, channel, hour-range) a chunk's segments cover —
-/// exactly the DMd key-space slice that eviction must invalidate.
+/// The derived-metadata key slice a chunk covers — exactly what
+/// eviction must invalidate.
 #[derive(Debug, Clone)]
 struct ChunkCoverage {
-    station: String,
-    channel: String,
-    /// Hour-aligned half-open range `[lo, hi)`.
-    hours: (i64, i64),
+    /// Dimension values, in the source's [`crate::source::DmdSpec`]
+    /// dims order.
+    dims: Vec<String>,
+    /// Bucket-aligned half-open range `[lo, hi)`.
+    buckets: (i64, i64),
+    bucket_ms: i64,
 }
 
 struct Inner {
@@ -171,10 +189,10 @@ struct Inner {
 
 /// The chunk residency manager. See the module docs.
 pub struct Cellar {
-    registry: Arc<ChunkRegistry>,
-    source: Arc<RepoChunkSource>,
+    sources: Vec<CellarSource>,
+    /// uri → index into `sources`.
+    by_uri: HashMap<String, usize>,
     db: Arc<Database>,
-    dmd: Arc<DmdManager>,
     config: CellarConfig,
     inner: Mutex<Inner>,
     /// Memoized per-chunk DMd coverage (computed on first eviction).
@@ -194,20 +212,34 @@ enum Classified {
 }
 
 impl Cellar {
-    /// Create a cellar over a registered repository.
+    /// Create a cellar over the registered sources. Chunk URIs must be
+    /// unique across sources — the uri is the residency key, so two
+    /// sources claiming the same file would route acquisitions (and
+    /// eviction reclamation) to the wrong decoder.
     pub fn new(
-        registry: Arc<ChunkRegistry>,
-        source: Arc<RepoChunkSource>,
+        sources: Vec<CellarSource>,
         db: Arc<Database>,
-        dmd: Arc<DmdManager>,
         config: CellarConfig,
-    ) -> Self {
+    ) -> crate::error::Result<Self> {
         let policy = config.policy.build();
-        Cellar {
-            registry,
-            source,
+        let mut by_uri = HashMap::new();
+        for (i, s) in sources.iter().enumerate() {
+            for e in s.registry.entries() {
+                if let Some(&other) = by_uri.get(&e.uri) {
+                    let other: &CellarSource = &sources[other];
+                    return Err(SommelierError::Usage(format!(
+                        "chunk {:?} is registered by both source {:?} and source {:?}; \
+                         sources must not overlap on repository files",
+                        e.uri, other.descriptor.name, s.descriptor.name
+                    )));
+                }
+                by_uri.insert(e.uri.clone(), i);
+            }
+        }
+        Ok(Cellar {
+            sources,
+            by_uri,
             db,
-            dmd,
             config,
             inner: Mutex::new(Inner {
                 slots: HashMap::new(),
@@ -218,12 +250,26 @@ impl Cellar {
             }),
             coverage: Mutex::new(HashMap::new()),
             stats: CellarStats::default(),
-        }
+        })
     }
 
-    /// The chunk registry backing this cellar.
-    pub fn registry(&self) -> &Arc<ChunkRegistry> {
-        &self.registry
+    /// The sources backing this cellar.
+    pub fn sources(&self) -> &[CellarSource] {
+        &self.sources
+    }
+
+    /// A view of this cellar restricted to one source: acquisition and
+    /// accounting stay shared (one budget), but "all chunks" — what a
+    /// pure actual-data query must load — is the source's own registry.
+    pub fn scoped(self: &Arc<Self>, source_idx: usize) -> ScopedCellar {
+        ScopedCellar { cellar: Arc::clone(self), source_idx }
+    }
+
+    fn source_of(&self, uri: &str) -> sommelier_engine::Result<&CellarSource> {
+        self.by_uri
+            .get(uri)
+            .map(|&i| &self.sources[i])
+            .ok_or_else(|| EngineError::Chunk(format!("chunk {uri:?} is not registered")))
     }
 
     /// The configured byte budget.
@@ -484,12 +530,14 @@ impl Cellar {
         std::thread::scope(|scope| {
             for w in 0..workers {
                 let slots = &slots;
-                let source = &self.source;
                 scope.spawn(move || {
                     let mut i = w;
                     while i < claims.len() {
                         let t = Instant::now();
-                        let out = source.load_chunk(&claims[i].0).map(|r| (r, t.elapsed()));
+                        let out = self
+                            .source_of(&claims[i].0)
+                            .and_then(|s| s.source.load_chunk(&claims[i].0))
+                            .map(|r| (r, t.elapsed()));
                         *slots[i].lock() = Some(out);
                         i += workers;
                     }
@@ -520,7 +568,7 @@ impl Cellar {
         let mut out: Vec<DecodeOutcome> =
             (0..claims.len()).map(|_| Ok((Relation::empty(), Duration::ZERO))).collect();
         for (fi, (uri, _)) in claims.iter().enumerate() {
-            match self.source.chunk_units(uri) {
+            match self.source_of(uri).and_then(|s| s.source.chunk_units(uri)) {
                 Ok(units) => {
                     for unit in units {
                         slots.push(UnitSlot {
@@ -621,136 +669,179 @@ impl Cellar {
     }
 
     /// Undo the evicted chunks' footprint in the storage layer: delete
-    /// their staged `D` rows (chunk-scoped delete per file) and, if no
-    /// DMd query is in flight, invalidate the coverage derived from
-    /// them — one batched `H` pass per release, not one per chunk.
+    /// their staged actual-data rows (chunk-scoped delete per file)
+    /// and, per source, if no DMd query is in flight, invalidate the
+    /// coverage derived from them — one batched derived-table pass per
+    /// release, not one per chunk.
     ///
     /// Reclamation is best-effort: a skipped or failed invalidation
     /// leaves derived rows *and their coverage* in place, which is
     /// still correct (they were computed from immutable chunk data);
-    /// coverage is only removed after its `H` rows are gone.
+    /// coverage is only removed after its derived rows are gone.
     fn reclaim_all(&self, uris: &[String]) {
         if uris.is_empty() {
             return;
         }
-        match self.try_reclaim_batch(uris) {
-            Ok(rows) => {
-                self.stats.reclaimed_rows.fetch_add(rows, Ordering::Relaxed);
+        // Group per source: coverage invalidation is a per-source
+        // operation (per-source DmdManager and derived table).
+        let mut per_source: Vec<Vec<&String>> = vec![Vec::new(); self.sources.len()];
+        for uri in uris {
+            if let Some(&i) = self.by_uri.get(uri) {
+                per_source[i].push(uri);
             }
-            Err(_) => {
-                self.stats.reclaim_failures.fetch_add(1, Ordering::Relaxed);
+        }
+        for (i, uris) in per_source.iter().enumerate() {
+            if uris.is_empty() {
+                continue;
+            }
+            match self.try_reclaim_batch(&self.sources[i], uris) {
+                Ok(rows) => {
+                    self.stats.reclaimed_rows.fetch_add(rows, Ordering::Relaxed);
+                }
+                Err(_) => {
+                    self.stats.reclaim_failures.fetch_add(1, Ordering::Relaxed);
+                }
             }
         }
     }
 
-    fn try_reclaim_batch(&self, uris: &[String]) -> crate::error::Result<u64> {
-        // Staged actual-data rows go unconditionally (nothing reads D
-        // through the cellar's relations).
+    fn try_reclaim_batch(
+        &self,
+        source: &CellarSource,
+        uris: &[&String],
+    ) -> crate::error::Result<u64> {
+        // Staged actual-data rows go unconditionally (nothing reads the
+        // actual-data table through the cellar's relations).
+        let descriptor = &source.descriptor;
+        let ad_key = descriptor.ad_chunk_id_column()?;
         let mut rows = 0;
         for uri in uris {
-            if let Some(entry) = self.registry.get(uri) {
-                rows += self.db.delete_chunk_rows("D", "file_id", entry.file_id)?;
+            if let Some(entry) = source.registry.get(uri) {
+                rows += self.db.delete_chunk_rows(
+                    &descriptor.ad_table,
+                    &ad_key,
+                    entry.file_id,
+                )?;
             }
         }
+        let Some(dmd_spec) = &descriptor.dmd else { return Ok(rows) };
         // Coverage invalidation is exclusive with DMd-referring
-        // queries: between a query's Algorithm-1 check and its H scan,
-        // its windows must not vanish. Under contention we leave the
-        // (correct) derived rows in place.
-        let Some(_invalidation) = self.dmd.try_invalidate() else {
+        // queries: between a query's Algorithm-1 check and its derived
+        // scan, its windows must not vanish. Under contention we leave
+        // the (correct) derived rows in place.
+        let Some(_invalidation) = source.dmd.try_invalidate() else {
             return Ok(rows);
         };
         let mut covered: Vec<DmdKey> = Vec::new();
         for uri in uris {
-            let Some(entry) = self.registry.get(uri) else { continue };
-            let Some(cov) = self.coverage_of(uri, entry.file_id)? else { continue };
-            let mut h = cov.hours.0;
-            while h < cov.hours.1 {
-                let key = (cov.station.clone(), cov.channel.clone(), h);
-                if self.dmd.is_covered(&key) {
+            let Some(entry) = source.registry.get(uri) else { continue };
+            let Some(cov) = self.coverage_of(source, uri, entry.file_id)? else { continue };
+            let mut b = cov.buckets.0;
+            while b < cov.buckets.1 {
+                let key = (cov.dims.clone(), b);
+                if source.dmd.is_covered(&key) {
                     covered.push(key);
                 }
-                h += MS_PER_HOUR;
+                b += cov.bucket_ms;
             }
         }
         if covered.is_empty() {
             return Ok(rows);
         }
-        // Delete the H rows first, uncover second: if the delete fails,
-        // coverage still matches the surviving rows.
-        let cols = self
-            .db
-            .scan_columns("H", &["window_station", "window_channel", "window_start_ts"])?;
-        let stations = cols[0].as_text()?;
-        let channels = cols[1].as_text()?;
-        let hours = cols[2].as_i64()?;
+        // Delete the derived rows first, uncover second: if the delete
+        // fails, coverage still matches the surviving rows.
+        let mut names: Vec<&str> =
+            dmd_spec.dims.iter().map(|d| d.derived_column.as_str()).collect();
+        names.push(&dmd_spec.bucket_column);
+        let cols = self.db.scan_columns(&dmd_spec.table, &names)?;
+        let buckets = cols.last().expect("bucket column scanned").as_i64()?;
         let doomed: HashSet<&DmdKey> = covered.iter().collect();
-        let keep: Vec<bool> = (0..hours.len())
-            .map(|i| {
-                let key =
-                    (stations.get(i).to_string(), channels.get(i).to_string(), hours[i]);
-                !doomed.contains(&key)
-            })
-            .collect();
-        if keep.iter().any(|k| !k) {
-            rows += self.db.retain_rows("H", &keep)?;
+        let mut keep: Vec<bool> = Vec::with_capacity(buckets.len());
+        for (r, &bucket) in buckets.iter().enumerate() {
+            let mut dims = Vec::with_capacity(dmd_spec.dims.len());
+            for col in &cols[..dmd_spec.dims.len()] {
+                dims.push(col.as_text()?.get(r).to_string());
+            }
+            keep.push(!doomed.contains(&(dims, bucket)));
         }
-        self.dmd.uncover(covered);
+        if keep.iter().any(|k| !k) {
+            rows += self.db.retain_rows(&dmd_spec.table, &keep)?;
+        }
+        source.dmd.uncover(covered);
         Ok(rows)
     }
 
-    /// The DMd coverage of `uri` (memoized): which (station, channel,
-    /// hour) keys derive from this chunk's segments.
+    /// The DMd coverage of `uri` (memoized): which (dims, bucket) keys
+    /// derive from this chunk's rows.
     fn coverage_of(
         &self,
+        source: &CellarSource,
         uri: &str,
         file_id: i64,
     ) -> crate::error::Result<Option<ChunkCoverage>> {
         if let Some(c) = self.coverage.lock().get(uri) {
             return Ok(c.clone());
         }
-        let computed = self.compute_coverage(file_id)?;
+        let computed = self.compute_coverage(source, file_id)?;
         self.coverage.lock().insert(uri.to_string(), computed.clone());
         Ok(computed)
     }
 
-    fn compute_coverage(&self, file_id: i64) -> crate::error::Result<Option<ChunkCoverage>> {
-        let f = self.db.scan_columns("F", &["file_id", "station", "channel"])?;
-        let ids = f[0].as_i64()?;
+    /// Coverage from the source descriptor: the chunk's dimension
+    /// values come from its chunk-table row, the bucket range from the
+    /// DMd spec's range expressions over its range-table rows.
+    fn compute_coverage(
+        &self,
+        source: &CellarSource,
+        file_id: i64,
+    ) -> crate::error::Result<Option<ChunkCoverage>> {
+        let descriptor = &source.descriptor;
+        let Some(dmd_spec) = &descriptor.dmd else { return Ok(None) };
+        // Dimension values from the chunk's row of the chunk table.
+        let mut names: Vec<&str> = vec![&descriptor.chunk_id_column];
+        for d in &dmd_spec.dims {
+            let (_, col) = SourceDescriptor::split_qualified(&d.source_column)?;
+            names.push(col);
+        }
+        let cols = self.db.scan_columns(&descriptor.chunk_table, &names)?;
+        let ids = cols[0].as_i64()?;
         let Some(row) = ids.iter().position(|&id| id == file_id) else {
             return Ok(None);
         };
-        let station = f[1].as_text()?.get(row).to_string();
-        let channel = f[2].as_text()?.get(row).to_string();
-        let s = self
-            .db
-            .scan_columns("S", &["file_id", "start_time", "frequency", "sample_count"])?;
-        let s_ids = s[0].as_i64()?;
-        let starts = s[1].as_i64()?;
-        let freqs = s[2].as_f64()?;
-        let counts = s[3].as_i64()?;
-        let mut lo = i64::MAX;
-        let mut hi = i64::MIN;
-        for i in 0..s_ids.len() {
-            if s_ids[i] != file_id {
-                continue;
-            }
-            lo = lo.min(starts[i]);
-            let end = starts[i] + (counts[i] as f64 * 1000.0 / freqs[i]) as i64;
-            hi = hi.max(end);
+        let mut dims = Vec::with_capacity(dmd_spec.dims.len());
+        for col in &cols[1..] {
+            dims.push(col.as_text()?.get(row).to_string());
         }
+        // Bucket range from the spec's range expressions over this
+        // chunk's range-table rows — the same scan/eval/alignment
+        // helpers Algorithm 1's key-space enumeration uses, so coverage
+        // invalidation can never diverge from it.
+        let rel = crate::dmd::scan_relation(&self.db, &dmd_spec.range_table)?;
+        let chunk_ids = rel
+            .column(&format!("{}.{}", dmd_spec.range_table, dmd_spec.range_chunk_id))
+            .map_err(|_| {
+                SommelierError::Usage(format!(
+                    "range table {:?} lacks column {:?}",
+                    dmd_spec.range_table, dmd_spec.range_chunk_id
+                ))
+            })?
+            .as_i64()?
+            .to_vec();
+        let keep: Vec<bool> = chunk_ids.iter().map(|&id| id == file_id).collect();
+        let rel = rel.filter(&keep);
+        if rel.rows() == 0 {
+            return Ok(None);
+        }
+        let mins = crate::dmd::column_as_ms(&eval_scalar(&dmd_spec.range_min, &rel)?)?;
+        let maxs = crate::dmd::column_as_ms(&eval_scalar(&dmd_spec.range_max, &rel)?)?;
+        let lo = mins.iter().copied().min().expect("non-empty");
+        let hi = maxs.iter().copied().max().expect("non-empty");
         if lo > hi {
             return Ok(None);
         }
-        let hour_lo = hour_bucket(lo);
-        let hour_hi = {
-            let b = hour_bucket(hi);
-            if b == hi {
-                hi
-            } else {
-                b + MS_PER_HOUR
-            }
-        };
-        Ok(Some(ChunkCoverage { station, channel, hours: (hour_lo, hour_hi) }))
+        let w = dmd_spec.bucket_ms;
+        let buckets = (crate::dmd::bucket_floor(lo, w), crate::dmd::bucket_ceil(hi, w));
+        Ok(Some(ChunkCoverage { dims, buckets, bucket_ms: w }))
     }
 }
 
@@ -774,13 +865,52 @@ impl ChunkResidency for Cellar {
     }
 
     fn all_chunks(&self) -> sommelier_engine::Result<Vec<String>> {
-        Ok(self.registry.entries().iter().map(|e| e.uri.clone()).collect())
+        Ok(self
+            .sources
+            .iter()
+            .flat_map(|s| s.registry.entries().iter().map(|e| e.uri.clone()))
+            .collect())
+    }
+}
+
+/// A per-source view of a shared [`Cellar`] (see [`Cellar::scoped`]).
+pub struct ScopedCellar {
+    cellar: Arc<Cellar>,
+    source_idx: usize,
+}
+
+impl ChunkResidency for ScopedCellar {
+    fn is_resident(&self, uri: &str) -> bool {
+        self.cellar.is_resident(uri)
+    }
+
+    fn acquire_many(
+        &self,
+        uris: &[String],
+        parallel: ParallelMode,
+        max_threads: usize,
+    ) -> sommelier_engine::Result<Vec<AcquiredChunk>> {
+        self.cellar.acquire_many(uris, parallel, max_threads)
+    }
+
+    fn release_many(&self, uris: &[String]) {
+        self.cellar.release_many(uris)
+    }
+
+    fn all_chunks(&self) -> sommelier_engine::Result<Vec<String>> {
+        Ok(self.cellar.sources[self.source_idx]
+            .registry
+            .entries()
+            .iter()
+            .map(|e| e.uri.clone())
+            .collect())
     }
 }
 
 impl std::fmt::Debug for Cellar {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Cellar")
+            .field("sources", &self.sources.len())
             .field("budget_bytes", &self.config.budget_bytes)
             .field("policy", &self.config.policy.label())
             .field("retain", &self.config.retain)
@@ -794,17 +924,22 @@ impl std::fmt::Debug for Cellar {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::registrar::register_repository;
-    use crate::schema::all_schemas;
-    use sommelier_mseed::{DatasetSpec, Repository};
+    use crate::adapters::eventlog::{
+        generate_event_logs, write_log_file, EventLogAdapter, EventLogSpec,
+    };
+    use crate::dmd::DmdManager;
+    use crate::registrar::register_source;
+    use crate::source::SourceAdapter;
     use sommelier_storage::catalog::Disposition;
     use sommelier_storage::column::TextColumn;
+    use sommelier_storage::time::{days_from_civil, MS_PER_DAY};
     use sommelier_storage::{ColumnData, ConstraintPolicy};
     use std::path::PathBuf;
 
     struct Fixture {
         dir: PathBuf,
         db: Arc<Database>,
+        adapter: Arc<EventLogAdapter>,
         registry: Arc<ChunkRegistry>,
         dmd: Arc<DmdManager>,
     }
@@ -815,39 +950,51 @@ mod tests {
         }
     }
 
-    /// A registered FIAM repository with `days` one-day chunks.
-    fn fixture(tag: &str, days: u32, samples: u32) -> Fixture {
+    /// A registered single-host event-log repository with `days` daily
+    /// chunks.
+    fn fixture(tag: &str, days: u32, events: u32) -> Fixture {
         let dir = std::env::temp_dir().join(format!(
             "somm-cellar-{tag}-{}-{:?}",
             std::process::id(),
             std::thread::current().id()
         ));
         let _ = std::fs::remove_dir_all(&dir);
-        let repo = Repository::at(dir.join("repo"));
-        let mut spec = DatasetSpec::fiam(1, samples);
-        spec.days = days;
-        repo.generate(&spec).unwrap();
+        let mut spec = EventLogSpec::small(days, events);
+        spec.hosts = vec!["web-1".into()];
+        generate_event_logs(&dir.join("repo"), &spec).unwrap();
+        let adapter = Arc::new(EventLogAdapter::new(dir.join("repo")));
         let db = Arc::new(Database::in_memory(Default::default()));
-        for s in all_schemas() {
-            db.create_table(s, Disposition::Resident).unwrap();
+        for s in &adapter.descriptor().schemas {
+            db.create_table(s.clone(), Disposition::Resident).unwrap();
         }
-        let (registry, _) = register_repository(&db, &repo, 2).unwrap();
-        Fixture { dir, db, registry: Arc::new(registry), dmd: Arc::new(DmdManager::new()) }
+        let (registry, _) = register_source(&db, adapter.as_ref(), 2).unwrap();
+        Fixture {
+            dir,
+            db,
+            adapter,
+            registry: Arc::new(registry),
+            dmd: Arc::new(DmdManager::new()),
+        }
     }
 
-    fn cellar_over(fx: &Fixture, config: CellarConfig) -> Cellar {
-        let source = Arc::new(RepoChunkSource::new(
+    fn binding(fx: &Fixture) -> CellarSource {
+        let adapter: Arc<dyn SourceAdapter> = Arc::clone(&fx.adapter) as _;
+        let source = Arc::new(AdapterChunkSource::new(
+            Arc::clone(&adapter),
             Arc::clone(&fx.registry),
             Arc::clone(&fx.db),
             false,
         ));
-        Cellar::new(
-            Arc::clone(&fx.registry),
+        CellarSource {
+            descriptor: Arc::new(fx.adapter.descriptor().clone()),
+            registry: Arc::clone(&fx.registry),
             source,
-            Arc::clone(&fx.db),
-            Arc::clone(&fx.dmd),
-            config,
-        )
+            dmd: Arc::clone(&fx.dmd),
+        }
+    }
+
+    fn cellar_over(fx: &Fixture, config: CellarConfig) -> Cellar {
+        Cellar::new(vec![binding(fx)], Arc::clone(&fx.db), config).unwrap()
     }
 
     fn uris(fx: &Fixture) -> Vec<String> {
@@ -856,7 +1003,7 @@ mod tests {
 
     fn chunk_bytes(cellar: &Cellar, uri: &str) -> usize {
         // Measure one decoded chunk by loading it through the source.
-        cellar.source.load_chunk(uri).unwrap().approx_bytes()
+        cellar.sources[0].source.load_chunk(uri).unwrap().approx_bytes()
     }
 
     #[test]
@@ -957,37 +1104,33 @@ mod tests {
         let fx = fixture("reclaim", 2, 32);
         let all = uris(&fx);
         let entry0 = fx.registry.get(&all[0]).unwrap().clone();
-        // Stage some D rows for chunk 0 (as an eager path might) and a
-        // derived H window computed from it.
+        // Stage some E rows for chunk 0 (as an eager path might) and a
+        // derived Y summary computed from it.
         fx.db
             .append(
-                "D",
+                "E",
                 &[
                     ColumnData::Int64(vec![entry0.file_id; 3]),
-                    ColumnData::Int64(vec![entry0.seg_base; 3]),
                     ColumnData::Timestamp(vec![0, 1, 2]),
                     ColumnData::Float64(vec![1.0, 2.0, 3.0]),
                 ],
                 ConstraintPolicy::none(),
             )
             .unwrap();
-        // Chunk 0 covers day 0 of 2010 for FIAM/HHZ; mark one of its
-        // hours as derived, with a matching H row.
-        let day0 = sommelier_storage::time::days_from_civil(2010, 1, 1)
-            * sommelier_storage::time::MS_PER_DAY;
-        let hour = day0 + 3 * MS_PER_HOUR;
-        fx.dmd.mark_covered([("FIAM".to_string(), "HHZ".to_string(), hour)]);
+        // Chunk 0 covers the first day for web-1/api; mark its daily
+        // summary as derived, with a matching Y row.
+        let day0 = days_from_civil(2011, 3, 1) * MS_PER_DAY;
+        fx.dmd.mark_covered([(vec!["web-1".to_string(), "api".to_string()], day0)]);
         fx.db
             .append(
-                "H",
+                "Y",
                 &[
-                    ColumnData::Text(TextColumn::from_strs(["FIAM"])),
-                    ColumnData::Text(TextColumn::from_strs(["HHZ"])),
-                    ColumnData::Timestamp(vec![hour]),
+                    ColumnData::Text(TextColumn::from_strs(["web-1"])),
+                    ColumnData::Text(TextColumn::from_strs(["api"])),
+                    ColumnData::Timestamp(vec![day0]),
                     ColumnData::Float64(vec![9.0]),
                     ColumnData::Float64(vec![1.0]),
                     ColumnData::Float64(vec![5.0]),
-                    ColumnData::Float64(vec![2.0]),
                 ],
                 ConstraintPolicy::none(),
             )
@@ -998,14 +1141,14 @@ mod tests {
         cellar.acquire_many(&all[..1], ParallelMode::Static, 1).unwrap();
         cellar.release_many(&all[..1]);
         assert_eq!(cellar.resident_chunks(), 0);
-        // D rows staged for the chunk are gone; other chunks untouched.
-        assert_eq!(fx.db.table_rows("D").unwrap(), 0);
-        // The derived window left PSm and its H row was deleted.
+        // E rows staged for the chunk are gone; other chunks untouched.
+        assert_eq!(fx.db.table_rows("E").unwrap(), 0);
+        // The derived summary left PSm and its Y row was deleted.
         assert_eq!(fx.dmd.covered_count(), 0);
-        assert_eq!(fx.db.table_rows("H").unwrap(), 0);
+        assert_eq!(fx.db.table_rows("Y").unwrap(), 0);
         let s = cellar.stats();
         assert_eq!(s.evictions, 1);
-        assert_eq!(s.reclaimed_rows, 4, "3 D rows + 1 H row");
+        assert_eq!(s.reclaimed_rows, 4, "3 E rows + 1 Y row");
         assert_eq!(s.reclaim_failures, 0);
     }
 
@@ -1013,9 +1156,8 @@ mod tests {
     fn clear_drops_residency_but_keeps_derived_metadata() {
         let fx = fixture("clear", 2, 32);
         let all = uris(&fx);
-        let day0 = sommelier_storage::time::days_from_civil(2010, 1, 1)
-            * sommelier_storage::time::MS_PER_DAY;
-        fx.dmd.mark_covered([("FIAM".to_string(), "HHZ".to_string(), day0)]);
+        let day0 = days_from_civil(2011, 3, 1) * MS_PER_DAY;
+        fx.dmd.mark_covered([(vec!["web-1".to_string(), "api".to_string()], day0)]);
         let cellar = cellar_over(&fx, CellarConfig::default());
         cellar.acquire_many(&all, ParallelMode::Static, 2).unwrap();
         cellar.release_many(&all);
@@ -1061,5 +1203,59 @@ mod tests {
         cellar.release_many(&all);
         cellar.clear();
         assert_eq!(cellar.peak_resident_bytes(), peak, "peak survives clears");
+    }
+
+    #[test]
+    fn scoped_view_restricts_all_chunks() {
+        let fx_a = fixture("scope-a", 2, 16);
+        // Second source over a hand-rolled single chunk, sharing the
+        // same database tables is not required for cellar accounting.
+        let dir_b = fx_a.dir.join("repo-b");
+        std::fs::create_dir_all(&dir_b).unwrap();
+        write_log_file(&dir_b.join("x.evl"), "db-1", "scan", 0, &[(10, 1.0)]).unwrap();
+        let adapter_b = Arc::new(EventLogAdapter::new(&dir_b));
+        let entries = vec![crate::chunks::FileEntry {
+            uri: dir_b.join("x.evl").to_string_lossy().into_owned(),
+            file_id: 0,
+            seg_base: 0,
+            seg_count: 1,
+        }];
+        let registry_b = Arc::new(ChunkRegistry::new(entries));
+        let source_b = Arc::new(AdapterChunkSource::new(
+            Arc::clone(&adapter_b) as Arc<dyn SourceAdapter>,
+            Arc::clone(&registry_b),
+            Arc::clone(&fx_a.db),
+            false,
+        ));
+        let binding_b = CellarSource {
+            descriptor: Arc::new(adapter_b.descriptor().clone()),
+            registry: registry_b,
+            source: source_b,
+            dmd: Arc::new(DmdManager::new()),
+        };
+        let cellar = Arc::new(
+            Cellar::new(
+                vec![binding(&fx_a), binding_b],
+                Arc::clone(&fx_a.db),
+                CellarConfig::default(),
+            )
+            .unwrap(),
+        );
+        // Overlapping registries are refused outright.
+        assert!(Cellar::new(
+            vec![binding(&fx_a), binding(&fx_a)],
+            Arc::clone(&fx_a.db),
+            CellarConfig::default(),
+        )
+        .is_err());
+        assert_eq!(cellar.all_chunks().unwrap().len(), 3, "two sources united");
+        assert_eq!(cellar.scoped(0).all_chunks().unwrap().len(), 2);
+        assert_eq!(cellar.scoped(1).all_chunks().unwrap().len(), 1);
+        // Acquiring through a scoped view still shares the one budget.
+        let scoped = cellar.scoped(1);
+        let uris_b = scoped.all_chunks().unwrap();
+        scoped.acquire_many(&uris_b, ParallelMode::Static, 1).unwrap();
+        assert!(cellar.resident_bytes() > 0);
+        scoped.release_many(&uris_b);
     }
 }

@@ -1,15 +1,16 @@
-//! Chunk registry and the repository-backed [`ChunkSource`].
+//! Chunk registry and the adapter-backed [`ChunkSource`].
 //!
 //! The registry is the system's mapping between chunk URIs and the
-//! system-generated keys (`file_id`, `seg_id`) that the metadata tables
-//! carry — what lets a `chunk-access` produce rows that join correctly
-//! against eagerly loaded metadata.
+//! system-generated keys that the metadata tables carry — what lets a
+//! `chunk-access` produce rows that join correctly against eagerly
+//! loaded metadata. It is format-neutral; everything format-specific
+//! happens behind the [`crate::source::SourceAdapter`] the source was
+//! registered with.
 
-use crate::error::Result;
+use crate::source::SourceAdapter;
 use sommelier_engine::twostage::{ChunkSource, ChunkUnit};
 use sommelier_engine::{EngineError, Relation};
-use sommelier_mseed::reader::{decode_segment, read_full_bytes};
-use sommelier_storage::{ColumnData, Database};
+use sommelier_storage::Database;
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::Arc;
@@ -19,8 +20,10 @@ use std::sync::Arc;
 pub struct FileEntry {
     pub uri: String,
     pub file_id: i64,
-    /// First segment id of this file; segment `k` has id `seg_base + k`.
+    /// First sub-unit id of this chunk (e.g. the first mSEED segment);
+    /// unit `k` has id `seg_base + k`. Sources without sub-units use 0.
     pub seg_base: i64,
+    /// Number of sub-units (1 for sources without sub-units).
     pub seg_count: u32,
 }
 
@@ -58,32 +61,16 @@ impl ChunkRegistry {
         self.entries.is_empty()
     }
 
-    /// Total number of registered segments.
+    /// Total number of registered sub-units.
     pub fn total_segments(&self) -> u64 {
         self.entries.iter().map(|e| e.seg_count as u64).sum()
     }
 }
 
-/// Build the D-schema relation for one decoded segment.
-fn segment_relation(
-    file_id: i64,
-    seg_id: i64,
-    seg: &sommelier_mseed::SegmentData,
-) -> Relation {
-    let n = seg.samples.len();
-    let times: Vec<i64> = (0..n as u32).map(|i| seg.meta.sample_time(i)).collect();
-    let values: Vec<f64> = seg.samples.iter().map(|&v| v as f64).collect();
-    Relation::new(vec![
-        ("D.file_id".into(), ColumnData::Int64(vec![file_id; n])),
-        ("D.seg_id".into(), ColumnData::Int64(vec![seg_id; n])),
-        ("D.sample_time".into(), ColumnData::Timestamp(times)),
-        ("D.sample_value".into(), ColumnData::Float64(values)),
-    ])
-    .expect("columns are aligned by construction")
-}
-
-/// [`ChunkSource`] over an mSEED repository directory.
-pub struct RepoChunkSource {
+/// [`ChunkSource`] over one registered source: resolves URIs through
+/// the registry and decodes through the source's adapter.
+pub struct AdapterChunkSource {
+    adapter: Arc<dyn SourceAdapter>,
     registry: Arc<ChunkRegistry>,
     db: Arc<Database>,
     /// Verify FK integrity of every ingested row against the metadata
@@ -91,74 +78,59 @@ pub struct RepoChunkSource {
     verify_fk: bool,
 }
 
-impl RepoChunkSource {
-    /// Create a source over `registry`.
-    pub fn new(registry: Arc<ChunkRegistry>, db: Arc<Database>, verify_fk: bool) -> Self {
-        RepoChunkSource { registry, db, verify_fk }
+impl AdapterChunkSource {
+    /// Create a source over `registry`, decoding through `adapter`.
+    pub fn new(
+        adapter: Arc<dyn SourceAdapter>,
+        registry: Arc<ChunkRegistry>,
+        db: Arc<Database>,
+        verify_fk: bool,
+    ) -> Self {
+        AdapterChunkSource { adapter, registry, db, verify_fk }
     }
 
-    fn entry(&self, uri: &str) -> sommelier_engine::Result<&FileEntry> {
+    /// The registry backing this source.
+    pub fn registry(&self) -> &Arc<ChunkRegistry> {
+        &self.registry
+    }
+
+    fn entry(&self, uri: &str) -> sommelier_engine::Result<&crate::chunks::FileEntry> {
         self.registry
             .get(uri)
             .ok_or_else(|| EngineError::Chunk(format!("chunk {uri:?} is not registered")))
     }
 
+    /// Probe every foreign key of the actual-data table against its
+    /// parent's primary-key index (schema-driven; no format knowledge).
     fn verify(&self, rel: &Relation) -> sommelier_engine::Result<()> {
         if !self.verify_fk {
             return Ok(());
         }
-        let file_ids = rel.column("D.file_id")?.as_i64()?.to_vec();
-        let seg_ids = rel.column("D.seg_id")?.as_i64()?.to_vec();
-        self.db
-            .pk_probe_i64("F", &file_ids)
-            .and_then(|_| self.db.pk_probe_i64("S", &seg_ids))
-            .map_err(|e| EngineError::Chunk(format!("lazy FK verification failed: {e}")))
+        let d = self.adapter.descriptor();
+        let schema = self
+            .db
+            .table_schema(&d.ad_table)
+            .map_err(|e| EngineError::Chunk(e.to_string()))?;
+        for fk in &schema.foreign_keys {
+            let [col] = fk.columns.as_slice() else { continue };
+            let keys = rel.column(&format!("{}.{col}", d.ad_table))?.as_i64()?.to_vec();
+            self.db.pk_probe_i64(&fk.parent_table, &keys).map_err(|e| {
+                EngineError::Chunk(format!("lazy FK verification failed: {e}"))
+            })?;
+        }
+        Ok(())
     }
 }
 
-impl ChunkSource for RepoChunkSource {
+impl ChunkSource for AdapterChunkSource {
     fn load_chunk(&self, uri: &str) -> sommelier_engine::Result<Relation> {
-        let entry = self.entry(uri)?;
-        let file = sommelier_mseed::read_full(Path::new(uri))
-            .map_err(|e| EngineError::Chunk(e.to_string()))?;
-        let mut out = Relation::empty();
-        for (k, seg) in file.segments.iter().enumerate() {
-            let rel = segment_relation(entry.file_id, entry.seg_base + k as i64, seg);
-            out.union_in_place(&rel)?;
-        }
-        if out.width() == 0 {
-            // Zero-segment chunk: produce an empty D-shaped relation.
-            out = Relation::new(vec![
-                ("D.file_id".into(), ColumnData::Int64(vec![])),
-                ("D.seg_id".into(), ColumnData::Int64(vec![])),
-                ("D.sample_time".into(), ColumnData::Timestamp(vec![])),
-                ("D.sample_value".into(), ColumnData::Float64(vec![])),
-            ])?;
-        }
-        self.verify(&out)?;
-        Ok(out)
+        let rel = self.adapter.load_chunk(self.entry(uri)?)?;
+        self.verify(&rel)?;
+        Ok(rel)
     }
 
     fn chunk_units(&self, uri: &str) -> sommelier_engine::Result<Vec<ChunkUnit>> {
-        let entry = self.entry(uri)?;
-        let (bytes, header) =
-            read_full_bytes(Path::new(uri)).map_err(|e| EngineError::Chunk(e.to_string()))?;
-        let bytes = Arc::new(bytes);
-        let header = Arc::new(header);
-        let file_id = entry.file_id;
-        let seg_base = entry.seg_base;
-        Ok((0..header.segments.len())
-            .map(|k| {
-                let bytes = Arc::clone(&bytes);
-                let header = Arc::clone(&header);
-                let unit: ChunkUnit = Box::new(move || {
-                    let seg = decode_segment(&bytes, &header, k)
-                        .map_err(|e| EngineError::Chunk(e.to_string()))?;
-                    Ok(segment_relation(file_id, seg_base + k as i64, &seg))
-                });
-                unit
-            })
-            .collect())
+        self.adapter.chunk_units(self.entry(uri)?)
     }
 
     fn all_chunks(&self) -> sommelier_engine::Result<Vec<String>> {
@@ -171,140 +143,9 @@ pub fn uri_of(path: &Path) -> String {
     path.to_string_lossy().into_owned()
 }
 
-/// Rebuild a registry from the metadata tables of an already-registered
-/// database (used when re-opening).
-pub fn registry_from_db(db: &Database) -> Result<ChunkRegistry> {
-    let f_cols = db.scan_columns("F", &["file_id", "uri"])?;
-    let s_cols = db.scan_columns("S", &["seg_id", "file_id"])?;
-    let file_ids = f_cols[0].as_i64()?;
-    let uris = f_cols[1].as_text()?;
-    let seg_ids = s_cols[0].as_i64()?;
-    let seg_files = s_cols[1].as_i64()?;
-    // Per file: min seg id and count (registration order is contiguous).
-    let mut seg_base: HashMap<i64, i64> = HashMap::new();
-    let mut seg_count: HashMap<i64, u32> = HashMap::new();
-    for (&sid, &fid) in seg_ids.iter().zip(seg_files) {
-        let base = seg_base.entry(fid).or_insert(sid);
-        *base = (*base).min(sid);
-        *seg_count.entry(fid).or_insert(0) += 1;
-    }
-    let entries = file_ids
-        .iter()
-        .enumerate()
-        .map(|(i, &fid)| FileEntry {
-            uri: uris.get(i).to_string(),
-            file_id: fid,
-            seg_base: seg_base.get(&fid).copied().unwrap_or(0),
-            seg_count: seg_count.get(&fid).copied().unwrap_or(0),
-        })
-        .collect();
-    Ok(ChunkRegistry::new(entries))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sommelier_mseed::{FileMeta, MseedFile, SegmentData, SegmentMeta};
-    use std::path::PathBuf;
-
-    fn temp_dir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "somm-chunks-{tag}-{}-{:?}",
-            std::process::id(),
-            std::thread::current().id()
-        ));
-        let _ = std::fs::remove_dir_all(&dir);
-        std::fs::create_dir_all(&dir).unwrap();
-        dir
-    }
-
-    fn write_test_chunk(dir: &Path) -> String {
-        let file = MseedFile {
-            meta: FileMeta::new("IV", "ISK", "", "BHE"),
-            segments: vec![
-                SegmentData {
-                    meta: SegmentMeta {
-                        seg_index: 0,
-                        start_time: 1_000,
-                        frequency: 10.0,
-                        sample_count: 3,
-                    },
-                    samples: vec![5, 6, 7],
-                },
-                SegmentData {
-                    meta: SegmentMeta {
-                        seg_index: 1,
-                        start_time: 10_000,
-                        frequency: 10.0,
-                        sample_count: 2,
-                    },
-                    samples: vec![-1, -2],
-                },
-            ],
-        };
-        let path = dir.join("x.msd");
-        sommelier_mseed::write_file(&path, &file).unwrap();
-        path.to_string_lossy().into_owned()
-    }
-
-    fn source_for(uri: &str) -> RepoChunkSource {
-        let registry = Arc::new(ChunkRegistry::new(vec![FileEntry {
-            uri: uri.to_string(),
-            file_id: 7,
-            seg_base: 100,
-            seg_count: 2,
-        }]));
-        let db = Arc::new(Database::in_memory(Default::default()));
-        RepoChunkSource::new(registry, db, false)
-    }
-
-    #[test]
-    fn load_chunk_assigns_system_keys() {
-        let dir = temp_dir("load");
-        let uri = write_test_chunk(&dir);
-        let source = source_for(&uri);
-        let rel = source.load_chunk(&uri).unwrap();
-        assert_eq!(rel.rows(), 5);
-        assert_eq!(rel.column("D.file_id").unwrap().as_i64().unwrap(), &[7, 7, 7, 7, 7]);
-        assert_eq!(
-            rel.column("D.seg_id").unwrap().as_i64().unwrap(),
-            &[100, 100, 100, 101, 101]
-        );
-        // Timestamps follow the segment's frequency (10 Hz → 100 ms).
-        assert_eq!(
-            rel.column("D.sample_time").unwrap().as_i64().unwrap(),
-            &[1_000, 1_100, 1_200, 10_000, 10_100]
-        );
-        assert_eq!(
-            rel.column("D.sample_value").unwrap().as_f64().unwrap(),
-            &[5.0, 6.0, 7.0, -1.0, -2.0]
-        );
-        let _ = std::fs::remove_dir_all(&dir);
-    }
-
-    #[test]
-    fn chunk_units_cover_the_same_rows() {
-        let dir = temp_dir("units");
-        let uri = write_test_chunk(&dir);
-        let source = source_for(&uri);
-        let units = source.chunk_units(&uri).unwrap();
-        assert_eq!(units.len(), 2);
-        let mut total = 0;
-        for u in units {
-            total += u().unwrap().rows();
-        }
-        assert_eq!(total, 5);
-        let _ = std::fs::remove_dir_all(&dir);
-    }
-
-    #[test]
-    fn unregistered_uri_rejected() {
-        let dir = temp_dir("unreg");
-        let uri = write_test_chunk(&dir);
-        let source = source_for("some-other-uri");
-        assert!(source.load_chunk(&uri).is_err());
-        let _ = std::fs::remove_dir_all(&dir);
-    }
 
     #[test]
     fn registry_lookup() {
@@ -313,8 +154,15 @@ mod tests {
             FileEntry { uri: "b".into(), file_id: 1, seg_base: 3, seg_count: 2 },
         ]);
         assert_eq!(reg.len(), 2);
+        assert!(!reg.is_empty());
         assert_eq!(reg.get("b").unwrap().seg_base, 3);
         assert!(reg.get("c").is_none());
         assert_eq!(reg.total_segments(), 5);
+    }
+
+    #[test]
+    fn uri_of_roundtrips() {
+        let p = Path::new("/tmp/x/chunk-0001.evl");
+        assert_eq!(uri_of(p), "/tmp/x/chunk-0001.evl");
     }
 }

@@ -1,42 +1,44 @@
 //! Incremental metadata derivation — the paper's Algorithm 1 (§IV).
 //!
-//! Derived metadata (the hourly summary windows of table `H`) is an
-//! incrementally materialized view. When a query refers to `H`:
+//! Derived metadata is an incrementally materialized view whose shape
+//! is declared by the source's [`DmdSpec`] (hourly seismogram windows
+//! for the mSEED adapter, daily log summaries for the event-log
+//! adapter, …). When a query refers to the derived table:
 //!
 //! 1. classify the query (done by the caller);
-//! 2. find the predicates on `H`'s primary-key attributes;
+//! 2. find the predicates on the derived table's primary-key attributes;
 //! 3. enumerate the referenced primary-key space `PSq`;
 //! 4. check it against the already-materialized space `PSm`;
 //! 5. compute the uncovered part `PSu = PSq − PSm`;
-//! 6. derive what `PSu` points to with an internally generated T2-style
+//! 6. derive what `PSu` points to with an internally generated
 //!    aggregation query (which itself runs two-stage and loads lazily),
-//!    and insert it into `H`;
+//!    and insert it into the derived table;
 //! 7. proceed with the original query.
 //!
-//! Per the paper, *all* window statistics are derived together for a
-//! window ("if we derive some metadata for a specific window, then we
-//! derive all possible metadata for that window").
+//! Per the paper, *all* statistics are derived together for a window
+//! ("if we derive some metadata for a specific window, then we derive
+//! all possible metadata for that window").
 
 use crate::error::{Result, SommelierError};
-use crate::query::infer_segment_time_predicates;
-use crate::schema::dataview;
+use crate::source::{DmdSpec, SourceDescriptor};
 use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use sommelier_engine::eval::eval_scalar;
 use sommelier_engine::spec::OutputExpr;
 use sommelier_engine::twostage::QueryOutcome;
-use sommelier_engine::{AggFunc, CmpOp, Expr, Func, QuerySpec, TableRef};
-use sommelier_storage::time::MS_PER_HOUR;
-use sommelier_storage::{ColumnData, ConstraintPolicy, Database, TableClass, Value};
+use sommelier_engine::{CmpOp, Expr, Func, QuerySpec, Relation, TableRef};
+use sommelier_storage::{ColumnData, ConstraintPolicy, Database, Value};
 use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
-/// One DMd primary key: (station, channel, window start).
-pub type DmdKey = (String, String, i64);
+/// One derived-metadata primary key: the text dimension values (in
+/// [`DmdSpec::dims`] order) plus the bucket start.
+pub type DmdKey = (Vec<String>, i64);
 
-/// Tracks the materialized primary-key space `PSm`.
+/// Tracks the materialized primary-key space `PSm` of one source.
 ///
 /// A key being in `PSm` means its window has been *computed* — whether
-/// or not any rows resulted (a sensor with no data in that hour derives
-/// to nothing, and must not be recomputed every query).
+/// or not any rows resulted (a sensor with no data in that window
+/// derives to nothing, and must not be recomputed every query).
 ///
 /// Concurrency: `derivation` serializes Algorithm 1 runs so two
 /// queries over the same uncovered window never derive (and insert)
@@ -60,7 +62,7 @@ impl DmdManager {
 
     /// Enter a DMd-referring query: shared with other queries, mutually
     /// exclusive with coverage invalidation. Hold the guard until the
-    /// query's plan has finished reading `H`.
+    /// query's plan has finished reading the derived table.
     pub fn begin_query(&self) -> RwLockReadGuard<'_, ()> {
         self.readers.read()
     }
@@ -90,8 +92,8 @@ impl DmdManager {
     /// Remove keys from the materialized space `PSm`, returning the
     /// ones that actually were covered. The cellar calls this when a
     /// chunk is evicted: windows derived from it leave `PSm` (and their
-    /// `H` rows are deleted), so a later query re-runs Algorithm 1 for
-    /// them instead of trusting stale residency bookkeeping.
+    /// derived rows are deleted), so a later query re-runs Algorithm 1
+    /// for them instead of trusting stale residency bookkeeping.
     pub fn uncover(&self, keys: impl IntoIterator<Item = DmdKey>) -> Vec<DmdKey> {
         let mut covered = self.covered.lock();
         keys.into_iter().filter(|k| covered.remove(k)).collect()
@@ -106,42 +108,60 @@ impl DmdManager {
 /// The primary-key space referenced by a query (step 3's input).
 #[derive(Debug, Clone)]
 pub struct KeySpace {
-    pub stations: Vec<String>,
-    pub channels: Vec<String>,
-    /// Hour-aligned half-open range `[lo, hi)`.
-    pub hours: (i64, i64),
+    /// Candidate values per dimension, in [`DmdSpec::dims`] order.
+    pub dims: Vec<Vec<String>>,
+    /// Bucket-aligned half-open range `[lo, hi)`.
+    pub buckets: (i64, i64),
+    /// Bucket width (ms).
+    pub bucket_ms: i64,
 }
 
 impl KeySpace {
     /// Number of keys in the space.
     pub fn size(&self) -> usize {
-        let hours = ((self.hours.1 - self.hours.0).max(0) / MS_PER_HOUR) as usize;
-        self.stations.len() * self.channels.len() * hours
+        let buckets = ((self.buckets.1 - self.buckets.0).max(0) / self.bucket_ms) as usize;
+        self.dims.iter().map(|d| d.len()).product::<usize>() * buckets
     }
 
-    /// Enumerate `PSq`.
+    /// Enumerate `PSq` (cartesian product of the dimensions × buckets).
     pub fn enumerate(&self) -> Vec<DmdKey> {
+        let mut combos: Vec<Vec<String>> = vec![Vec::new()];
+        for dim in &self.dims {
+            combos = combos
+                .into_iter()
+                .flat_map(|prefix| {
+                    dim.iter().map(move |v| {
+                        let mut next = prefix.clone();
+                        next.push(v.clone());
+                        next
+                    })
+                })
+                .collect();
+        }
         let mut out = Vec::with_capacity(self.size());
-        for s in &self.stations {
-            for c in &self.channels {
-                let mut h = self.hours.0;
-                while h < self.hours.1 {
-                    out.push((s.clone(), c.clone(), h));
-                    h += MS_PER_HOUR;
-                }
+        for combo in combos {
+            let mut b = self.buckets.0;
+            while b < self.buckets.1 {
+                out.push((combo.clone(), b));
+                b += self.bucket_ms;
             }
         }
         out
     }
 }
 
-/// Smallest hour-aligned timestamp ≥ `t`.
-fn ceil_hour(t: i64) -> i64 {
-    let b = sommelier_storage::time::hour_bucket(t);
+/// Largest bucket-aligned timestamp ≤ `t`.
+pub(crate) fn bucket_floor(t: i64, width: i64) -> i64 {
+    t.div_euclid(width) * width
+}
+
+/// Smallest bucket-aligned timestamp ≥ `t`.
+pub(crate) fn bucket_ceil(t: i64, width: i64) -> i64 {
+    let b = bucket_floor(t, width);
     if b == t {
         t
     } else {
-        b + MS_PER_HOUR
+        b + width
     }
 }
 
@@ -160,36 +180,55 @@ fn distinct_text(db: &Database, table: &str, column: &str) -> Result<Vec<String>
     Ok(out)
 }
 
-/// The whole data time range, derived from segment metadata:
-/// `[hour(min start), ceil_hour(max end))`.
-fn data_hour_range(db: &Database) -> Result<(i64, i64)> {
-    let cols = db.scan_columns("S", &["start_time", "frequency", "sample_count"])?;
-    let starts = cols[0].as_i64()?;
-    let freqs = cols[1].as_f64()?;
-    let counts = cols[2].as_i64()?;
-    if starts.is_empty() {
-        return Ok((0, 0));
-    }
-    let mut lo = i64::MAX;
-    let mut hi = i64::MIN;
-    for i in 0..starts.len() {
-        lo = lo.min(starts[i]);
-        let end = starts[i] + (counts[i] as f64 * 1000.0 / freqs[i]) as i64;
-        hi = hi.max(end);
-    }
-    Ok((sommelier_storage::time::hour_bucket(lo), ceil_hour(hi)))
+/// Scan a table into a relation with qualified column names, so the
+/// spec's range expressions can be evaluated against it.
+pub(crate) fn scan_relation(db: &Database, table: &str) -> Result<Relation> {
+    let schema = db.table_schema(table)?;
+    let cols = db.scan_table(table)?;
+    Ok(Relation::new(
+        schema
+            .columns
+            .iter()
+            .zip(cols)
+            .map(|(c, data)| (format!("{table}.{}", c.name), data))
+            .collect(),
+    )?)
 }
 
-/// Step 2 + 3: extract the PK-attribute predicates of `spec` on `H` and
-/// build the key space. Unconstrained dimensions widen to the values
-/// present in the given metadata.
-pub fn extract_key_space(db: &Database, spec: &QuerySpec) -> Result<KeySpace> {
-    let mut stations_eq: Vec<String> = Vec::new();
-    let mut channels_eq: Vec<String> = Vec::new();
+/// Millisecond view of an evaluated time expression (timestamps stay
+/// exact; float arithmetic results are truncated).
+pub(crate) fn column_as_ms(col: &ColumnData) -> Result<Vec<i64>> {
+    Ok(match col {
+        ColumnData::Float64(v) => v.iter().map(|&x| x as i64).collect(),
+        other => other.as_i64()?.to_vec(),
+    })
+}
+
+/// The whole data time range, from the spec's range expressions over
+/// the given metadata: `[floor(min), ceil(max))`, bucket-aligned.
+pub fn data_range(db: &Database, dmd: &DmdSpec) -> Result<(i64, i64)> {
+    let rel = scan_relation(db, &dmd.range_table)?;
+    if rel.rows() == 0 {
+        return Ok((0, 0));
+    }
+    let mins = column_as_ms(&eval_scalar(&dmd.range_min, &rel)?)?;
+    let maxs = column_as_ms(&eval_scalar(&dmd.range_max, &rel)?)?;
+    let lo = mins.iter().copied().min().expect("non-empty");
+    let hi = maxs.iter().copied().max().expect("non-empty");
+    Ok((bucket_floor(lo, dmd.bucket_ms), bucket_ceil(hi, dmd.bucket_ms)))
+}
+
+/// Step 2 + 3: extract the PK-attribute predicates of `spec` on the
+/// derived table and build the key space. Unconstrained dimensions
+/// widen to the values present in the given metadata; an unconstrained
+/// bucket range widens to the data range.
+pub fn extract_key_space(db: &Database, spec: &QuerySpec, dmd: &DmdSpec) -> Result<KeySpace> {
+    let mut dim_eqs: Vec<Vec<String>> = vec![Vec::new(); dmd.dims.len()];
     let mut lo = i64::MIN;
     let mut hi = i64::MAX;
+    let bucket_qualified = format!("{}.{}", dmd.table, dmd.bucket_column);
     for (table, pred) in &spec.predicates {
-        if table != "H" {
+        if table != &dmd.table {
             continue;
         }
         for conjunct in pred.clone().split_conjunction() {
@@ -199,35 +238,34 @@ pub fn extract_key_space(db: &Database, spec: &QuerySpec) -> Result<KeySpace> {
                 (Expr::Lit(v), Expr::Col(c)) => (op.flip(), c.as_str(), v.clone()),
                 _ => continue,
             };
-            match col {
-                "H.window_station" if op == CmpOp::Eq => {
-                    stations_eq
-                        .push(lit.as_str().map_err(SommelierError::Storage)?.to_string());
-                }
-                "H.window_channel" if op == CmpOp::Eq => {
-                    channels_eq
-                        .push(lit.as_str().map_err(SommelierError::Storage)?.to_string());
-                }
-                "H.window_start_ts" => {
-                    let Value::Time(t) = lit
-                        .coerce_to(sommelier_storage::DataType::Timestamp)
-                        .map_err(SommelierError::Storage)?
-                    else {
-                        continue;
-                    };
-                    match op {
-                        CmpOp::Ge => lo = lo.max(t),
-                        CmpOp::Gt => lo = lo.max(t + 1),
-                        CmpOp::Lt => hi = hi.min(t),
-                        CmpOp::Le => hi = hi.min(t + 1),
-                        CmpOp::Eq => {
-                            lo = lo.max(t);
-                            hi = hi.min(t + 1);
-                        }
-                        CmpOp::Ne => {}
+            if col == bucket_qualified {
+                let Value::Time(t) = lit
+                    .coerce_to(sommelier_storage::DataType::Timestamp)
+                    .map_err(SommelierError::Storage)?
+                else {
+                    continue;
+                };
+                match op {
+                    CmpOp::Ge => lo = lo.max(t),
+                    CmpOp::Gt => lo = lo.max(t + 1),
+                    CmpOp::Lt => hi = hi.min(t),
+                    CmpOp::Le => hi = hi.min(t + 1),
+                    CmpOp::Eq => {
+                        lo = lo.max(t);
+                        hi = hi.min(t + 1);
                     }
+                    CmpOp::Ne => {}
                 }
-                _ => {}
+                continue;
+            }
+            if op != CmpOp::Eq {
+                continue;
+            }
+            for (i, dim) in dmd.dims.iter().enumerate() {
+                if col == format!("{}.{}", dmd.table, dim.derived_column) {
+                    dim_eqs[i]
+                        .push(lit.as_str().map_err(SommelierError::Storage)?.to_string());
+                }
             }
         }
     }
@@ -247,95 +285,99 @@ pub fn extract_key_space(db: &Database, spec: &QuerySpec) -> Result<KeySpace> {
             }
         }
     };
-    let stations = match collapse(stations_eq) {
-        Some(s) => s,
-        None => distinct_text(db, "F", "station")?,
-    };
-    let channels = match collapse(channels_eq) {
-        Some(c) => c,
-        None => distinct_text(db, "F", "channel")?,
-    };
-    let (data_lo, data_hi) = data_hour_range(db)?;
-    let lo = if lo == i64::MIN { data_lo } else { ceil_hour(lo).max(data_lo) };
+    let mut dims = Vec::with_capacity(dmd.dims.len());
+    for (eqs, dim) in dim_eqs.into_iter().zip(&dmd.dims) {
+        match collapse(eqs) {
+            Some(vals) => dims.push(vals),
+            None => {
+                let (table, column) = SourceDescriptor::split_qualified(&dim.source_column)?;
+                dims.push(distinct_text(db, table, column)?);
+            }
+        }
+    }
+    let w = dmd.bucket_ms;
+    let (data_lo, data_hi) = data_range(db, dmd)?;
+    let lo = if lo == i64::MIN { data_lo } else { bucket_ceil(lo, w).max(data_lo) };
     let hi = if hi == i64::MAX {
         data_hi
     } else {
-        // Largest aligned hour h with h < hi is hour(hi - 1); the
-        // half-open end is one hour past it.
-        (sommelier_storage::time::hour_bucket(hi - 1) + MS_PER_HOUR).min(data_hi)
+        // Largest aligned bucket b with b < hi is floor(hi - 1); the
+        // half-open end is one bucket past it.
+        (bucket_floor(hi - 1, w) + w).min(data_hi)
     };
-    Ok(KeySpace { stations, channels, hours: (lo, hi.max(lo)) })
+    Ok(KeySpace { dims, buckets: (lo, hi.max(lo)), bucket_ms: w })
 }
 
-/// Build the internal derivation query (a T2-computing aggregation over
-/// `dataview`): all four window statistics over one contiguous hour
-/// range, optionally restricted to one (station, channel).
+/// Build the internal derivation query (the T2-computing aggregation
+/// over the source's data view): all declared statistics over one
+/// contiguous bucket range, optionally restricted to fixed dimension
+/// values.
 pub fn derivation_spec(
-    station: Option<&str>,
-    channel: Option<&str>,
-    hour_lo: i64,
-    hour_hi: i64,
+    descriptor: &SourceDescriptor,
+    dmd: &DmdSpec,
+    dim_values: &[Option<&str>],
+    bucket_lo: i64,
+    bucket_hi: i64,
 ) -> QuerySpec {
-    let view = dataview();
-    let hour_expr = Expr::Call(Func::HourBucket, vec![Expr::col("D.sample_time")]);
+    debug_assert_eq!(dim_values.len(), dmd.dims.len());
+    let bucket_expr = Expr::Call(
+        Func::TimeBucket,
+        vec![Expr::col(&dmd.bucket_ad_column), Expr::lit(dmd.bucket_ms)],
+    );
     let mut predicates: Vec<(String, Expr)> = Vec::new();
-    if let Some(s) = station {
-        predicates.push(("F".into(), Expr::col("F.station").eq(Expr::lit(s))));
+    for (dim, value) in dmd.dims.iter().zip(dim_values) {
+        if let Some(v) = value {
+            let (table, _) = SourceDescriptor::split_qualified(&dim.source_column)
+                .expect("validated descriptor");
+            predicates
+                .push((table.to_string(), Expr::col(&dim.source_column).eq(Expr::lit(*v))));
+        }
     }
-    if let Some(c) = channel {
-        predicates.push(("F".into(), Expr::col("F.channel").eq(Expr::lit(c))));
-    }
+    let (ad_table, _) = dmd.bucket_ad_column.split_once('.').expect("qualified ad column");
     predicates.push((
-        "D".into(),
-        Expr::col("D.sample_time")
-            .cmp(CmpOp::Ge, Expr::Lit(Value::Time(hour_lo)))
-            .and(Expr::col("D.sample_time").cmp(CmpOp::Lt, Expr::Lit(Value::Time(hour_hi)))),
+        ad_table.to_string(),
+        Expr::col(&dmd.bucket_ad_column)
+            .cmp(CmpOp::Ge, Expr::Lit(Value::Time(bucket_lo)))
+            .and(
+                Expr::col(&dmd.bucket_ad_column)
+                    .cmp(CmpOp::Lt, Expr::Lit(Value::Time(bucket_hi))),
+            ),
     ));
+    let mut output: Vec<OutputExpr> = Vec::new();
+    let mut group_by: Vec<(String, Expr)> = Vec::new();
+    for dim in &dmd.dims {
+        output.push(OutputExpr::Column {
+            name: dim.derived_column.clone(),
+            expr: Expr::col(&dim.source_column),
+        });
+        group_by.push((dim.derived_column.clone(), Expr::col(&dim.source_column)));
+    }
+    output.push(OutputExpr::Column {
+        name: dmd.bucket_column.clone(),
+        expr: bucket_expr.clone(),
+    });
+    group_by.push((dmd.bucket_column.clone(), bucket_expr));
+    for agg in &dmd.aggregates {
+        output.push(OutputExpr::Aggregate {
+            name: agg.derived_column.clone(),
+            func: agg.func,
+            expr: Expr::col(&agg.ad_column),
+        });
+    }
     QuerySpec {
-        tables: vec![
-            TableRef { name: "F".into(), class: TableClass::MetadataGiven },
-            TableRef { name: "S".into(), class: TableClass::MetadataGiven },
-            TableRef { name: "D".into(), class: TableClass::ActualData },
-        ],
-        joins: view.joins,
+        tables: dmd
+            .derive_tables
+            .iter()
+            .map(|t| TableRef {
+                name: t.clone(),
+                class: descriptor.schema(t).expect("validated descriptor").class,
+            })
+            .collect(),
+        joins: dmd.derive_joins.clone(),
         predicates,
         residual: vec![],
-        output: vec![
-            OutputExpr::Column {
-                name: "window_station".into(),
-                expr: Expr::col("F.station"),
-            },
-            OutputExpr::Column {
-                name: "window_channel".into(),
-                expr: Expr::col("F.channel"),
-            },
-            OutputExpr::Column { name: "window_start_ts".into(), expr: hour_expr.clone() },
-            OutputExpr::Aggregate {
-                name: "window_max_val".into(),
-                func: AggFunc::Max,
-                expr: Expr::col("D.sample_value"),
-            },
-            OutputExpr::Aggregate {
-                name: "window_min_val".into(),
-                func: AggFunc::Min,
-                expr: Expr::col("D.sample_value"),
-            },
-            OutputExpr::Aggregate {
-                name: "window_mean_val".into(),
-                func: AggFunc::Avg,
-                expr: Expr::col("D.sample_value"),
-            },
-            OutputExpr::Aggregate {
-                name: "window_std_dev".into(),
-                func: AggFunc::StdDev,
-                expr: Expr::col("D.sample_value"),
-            },
-        ],
-        group_by: vec![
-            ("window_station".into(), Expr::col("F.station")),
-            ("window_channel".into(), Expr::col("F.channel")),
-            ("window_start_ts".into(), hour_expr),
-        ],
+        output,
+        group_by,
         order_by: vec![],
         limit: None,
         distinct: false,
@@ -349,7 +391,7 @@ pub struct DmdOutcome {
     pub requested: usize,
     /// |PSu| — keys that had to be derived now.
     pub missing: usize,
-    /// Rows inserted into `H`.
+    /// Rows inserted into the derived table.
     pub rows_inserted: u64,
     /// Chunks loaded by the derivation queries (lazy mode).
     pub files_loaded: usize,
@@ -357,40 +399,47 @@ pub struct DmdOutcome {
     pub derive_time: Duration,
 }
 
-/// Merge a sorted hour list into contiguous `[lo, hi)` ranges.
-fn hour_ranges(mut hours: Vec<i64>) -> Vec<(i64, i64)> {
-    hours.sort_unstable();
-    hours.dedup();
+/// Merge a sorted bucket list into contiguous `[lo, hi)` ranges.
+fn bucket_ranges(mut buckets: Vec<i64>, width: i64) -> Vec<(i64, i64)> {
+    buckets.sort_unstable();
+    buckets.dedup();
     let mut out: Vec<(i64, i64)> = Vec::new();
-    for h in hours {
+    for b in buckets {
         match out.last_mut() {
-            Some((_, hi)) if *hi == h => *hi = h + MS_PER_HOUR,
-            _ => out.push((h, h + MS_PER_HOUR)),
+            Some((_, hi)) if *hi == b => *hi = b + width,
+            _ => out.push((b, b + width)),
         }
     }
     out
 }
 
-/// Algorithm 1, steps 2–6: make sure every DMd key `spec` refers to is
-/// materialized in `H`, deriving the missing part through `run` (the
-/// caller's query-execution path, so derivation itself is two-stage and
-/// lazy when the system is lazy).
+/// Algorithm 1, steps 2–6: make sure every derived key `spec` refers
+/// to is materialized, deriving the missing part through `run` (the
+/// caller's query-execution path, so derivation itself is two-stage
+/// and lazy when the system is lazy).
 pub fn ensure_dmd(
     db: &Database,
     manager: &DmdManager,
+    descriptor: &SourceDescriptor,
     spec: &QuerySpec,
     run: &dyn Fn(QuerySpec) -> Result<QueryOutcome>,
 ) -> Result<DmdOutcome> {
+    let dmd = descriptor.dmd.as_ref().ok_or_else(|| {
+        SommelierError::Usage(format!(
+            "source {:?} has no derived metadata to ensure",
+            descriptor.name
+        ))
+    })?;
     let t0 = Instant::now();
     let mut outcome = DmdOutcome::default();
     // Serialize Algorithm 1: two concurrent queries over the same
     // uncovered window must not both derive it (the second insert
-    // would trip H's primary key). The derivation queries themselves
-    // never re-enter (they are T4-shaped), so holding the lock across
-    // `run` cannot deadlock.
+    // would trip the derived table's primary key). The derivation
+    // queries themselves never re-enter (they are T4-shaped), so
+    // holding the lock across `run` cannot deadlock.
     let _derivation = manager.derivation.lock();
     // Steps 2–3: the referenced key space.
-    let space = extract_key_space(db, spec)?;
+    let space = extract_key_space(db, spec, dmd)?;
     let psq = space.enumerate();
     outcome.requested = psq.len();
     // Steps 4–5: PSu = PSq − PSm.
@@ -403,20 +452,21 @@ pub fn ensure_dmd(
         outcome.derive_time = t0.elapsed();
         return Ok(outcome);
     }
-    // Step 6: derive per (station, channel), merging hours into ranges.
-    let mut by_sensor: std::collections::BTreeMap<(String, String), Vec<i64>> =
+    // Step 6: derive per dimension combination, merging buckets into
+    // contiguous ranges.
+    let mut by_dims: std::collections::BTreeMap<Vec<String>, Vec<i64>> =
         std::collections::BTreeMap::new();
-    for (s, c, h) in &psu {
-        by_sensor.entry((s.clone(), c.clone())).or_default().push(*h);
+    for (dims, b) in &psu {
+        by_dims.entry(dims.clone()).or_default().push(*b);
     }
     let psu_set: HashSet<DmdKey> = psu.iter().cloned().collect();
-    for ((station, channel), hours) in by_sensor {
-        for (lo, hi) in hour_ranges(hours) {
-            let mut dspec = derivation_spec(Some(&station), Some(&channel), lo, hi);
-            infer_segment_time_predicates(&mut dspec);
+    for (dims, buckets) in by_dims {
+        for (lo, hi) in bucket_ranges(buckets, dmd.bucket_ms) {
+            let fixed: Vec<Option<&str>> = dims.iter().map(|d| Some(d.as_str())).collect();
+            let dspec = derivation_spec(descriptor, dmd, &fixed, lo, hi);
             let result = run(dspec)?;
             outcome.files_loaded += result.stats.files_loaded;
-            insert_derived(db, &result.relation, &psu_set, &mut outcome)?;
+            insert_derived(db, dmd, &result.relation, &psu_set, &mut outcome)?;
         }
     }
     manager.mark_covered(psu);
@@ -424,61 +474,74 @@ pub fn ensure_dmd(
     Ok(outcome)
 }
 
-/// Insert the derivation-result rows whose key is in `PSu` into `H`
-/// (a merged range may brush already-covered hours).
+/// Insert the derivation-result rows whose key is in `PSu` into the
+/// derived table (a merged range may brush already-covered buckets).
 fn insert_derived(
     db: &Database,
-    rel: &sommelier_engine::Relation,
+    dmd: &DmdSpec,
+    rel: &Relation,
     psu_set: &HashSet<DmdKey>,
     outcome: &mut DmdOutcome,
 ) -> Result<()> {
     if rel.rows() == 0 {
         return Ok(());
     }
-    let stations = rel.column("window_station")?.clone();
-    let channels = rel.column("window_channel")?.clone();
-    let hours_col = rel.column("window_start_ts")?.as_i64()?.to_vec();
+    let dim_cols: Vec<ColumnData> = dmd
+        .dims
+        .iter()
+        .map(|d| rel.column(&d.derived_column).cloned())
+        .collect::<sommelier_engine::Result<_>>()?;
+    let buckets = rel.column(&dmd.bucket_column)?.as_i64()?.to_vec();
     let keep: Vec<bool> = (0..rel.rows())
         .map(|r| {
-            let key = (
-                match stations.get(r) {
-                    Value::Text(s) => s,
+            let mut dims = Vec::with_capacity(dim_cols.len());
+            for col in &dim_cols {
+                match col.get(r) {
+                    Value::Text(s) => dims.push(s),
                     _ => return false,
-                },
-                match channels.get(r) {
-                    Value::Text(c) => c,
-                    _ => return false,
-                },
-                hours_col[r],
-            );
-            psu_set.contains(&key)
+                }
+            }
+            psu_set.contains(&(dims, buckets[r]))
         })
         .collect();
     let filtered = rel.filter(&keep);
     if filtered.rows() > 0 {
+        // The derivation output is dims, bucket, aggregates — exactly
+        // the derived table's column order (validated at build time).
         let batch: Vec<ColumnData> =
             filtered.columns().iter().map(|(_, c)| c.clone()).collect();
         outcome.rows_inserted += filtered.rows() as u64;
-        db.append("H", &batch, ConstraintPolicy::pk_only())?;
+        db.append(&dmd.table, &batch, ConstraintPolicy::pk_only())?;
     }
     Ok(())
 }
 
 /// Eagerly materialize the *entire* DMd space (the `eager_dmd` loading
 /// variant): a single unconstrained derivation over the whole data
-/// range (one pass over `D`, grouped by sensor and hour).
+/// range (one pass over the actual data, grouped by the dims and
+/// bucket).
 pub fn derive_all(
     db: &Database,
     manager: &DmdManager,
+    descriptor: &SourceDescriptor,
     run: &dyn Fn(QuerySpec) -> Result<QueryOutcome>,
 ) -> Result<DmdOutcome> {
+    let dmd = descriptor.dmd.as_ref().ok_or_else(|| {
+        SommelierError::Usage(format!(
+            "source {:?} has no derived metadata to materialize",
+            descriptor.name
+        ))
+    })?;
     let t0 = Instant::now();
     let mut outcome = DmdOutcome::default();
     let _derivation = manager.derivation.lock();
-    let stations = distinct_text(db, "F", "station")?;
-    let channels = distinct_text(db, "F", "channel")?;
-    let hours = data_hour_range(db)?;
-    let space = KeySpace { stations, channels, hours };
+    let mut dims = Vec::with_capacity(dmd.dims.len());
+    for dim in &dmd.dims {
+        let (table, column) = SourceDescriptor::split_qualified(&dim.source_column)?;
+        dims.push(distinct_text(db, table, column)?);
+    }
+    let buckets = data_range(db, dmd)?;
+    let space = KeySpace { dims, buckets, bucket_ms: dmd.bucket_ms };
     let psq = space.enumerate();
     outcome.requested = psq.len();
     let psu: Vec<DmdKey> = {
@@ -490,48 +553,87 @@ pub fn derive_all(
         outcome.derive_time = t0.elapsed();
         return Ok(outcome);
     }
-    let mut dspec = derivation_spec(None, None, space.hours.0, space.hours.1);
-    infer_segment_time_predicates(&mut dspec);
+    let unconstrained: Vec<Option<&str>> = vec![None; dmd.dims.len()];
+    let dspec = derivation_spec(descriptor, dmd, &unconstrained, buckets.0, buckets.1);
     let result = run(dspec)?;
     outcome.files_loaded += result.stats.files_loaded;
     let psu_set: HashSet<DmdKey> = psu.iter().cloned().collect();
-    insert_derived(db, &result.relation, &psu_set, &mut outcome)?;
+    insert_derived(db, dmd, &result.relation, &psu_set, &mut outcome)?;
     manager.mark_covered(psu);
     outcome.derive_time = t0.elapsed();
     Ok(outcome)
 }
 
+/// Restore `PSm` from the persisted derived table (re-opening a
+/// disk-backed system): rows already materialized are usable again, so
+/// Algorithm 1 must not re-derive them.
+pub fn restore_coverage(db: &Database, manager: &DmdManager, dmd: &DmdSpec) -> Result<()> {
+    if db.table_rows(&dmd.table)? == 0 {
+        return Ok(());
+    }
+    let mut names: Vec<&str> = dmd.dims.iter().map(|d| d.derived_column.as_str()).collect();
+    names.push(&dmd.bucket_column);
+    let cols = db.scan_columns(&dmd.table, &names)?;
+    let buckets = cols.last().expect("bucket column scanned").as_i64()?;
+    let mut keys = Vec::with_capacity(buckets.len());
+    for (r, &bucket) in buckets.iter().enumerate() {
+        let mut dims = Vec::with_capacity(dmd.dims.len());
+        for col in &cols[..dmd.dims.len()] {
+            dims.push(col.as_text()?.get(r).to_string());
+        }
+        keys.push((dims, bucket));
+    }
+    manager.mark_covered(keys);
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sommelier_storage::time::parse_ts;
+    use crate::adapters::eventlog::EventLogAdapter;
+    use crate::source::assemble_catalog;
+    use sommelier_storage::catalog::Disposition;
+    use sommelier_storage::column::TextColumn;
+    use sommelier_storage::time::{parse_ts, MS_PER_DAY, MS_PER_HOUR};
+
+    fn descriptor() -> SourceDescriptor {
+        EventLogAdapter::descriptor_for_tests()
+    }
+
+    fn key(host: &str, service: &str, bucket: i64) -> DmdKey {
+        (vec![host.to_string(), service.to_string()], bucket)
+    }
 
     #[test]
-    fn hour_ranges_merge_contiguous() {
-        let h = MS_PER_HOUR;
-        assert_eq!(hour_ranges(vec![0, h, 2 * h, 5 * h]), vec![(0, 3 * h), (5 * h, 6 * h)]);
-        assert_eq!(hour_ranges(vec![]), vec![]);
-        assert_eq!(hour_ranges(vec![3 * h, 0, 3 * h]), vec![(0, h), (3 * h, 4 * h)]);
+    fn bucket_ranges_merge_contiguous() {
+        let d = MS_PER_DAY;
+        assert_eq!(
+            bucket_ranges(vec![0, d, 2 * d, 5 * d], d),
+            vec![(0, 3 * d), (5 * d, 6 * d)]
+        );
+        assert_eq!(bucket_ranges(vec![], d), vec![]);
+        assert_eq!(bucket_ranges(vec![3 * d, 0, 3 * d], d), vec![(0, d), (3 * d, 4 * d)]);
     }
 
     #[test]
     fn key_space_enumeration() {
         let ks = KeySpace {
-            stations: vec!["FIAM".into()],
-            channels: vec!["HHZ".into()],
-            hours: (0, 3 * MS_PER_HOUR),
+            dims: vec![vec!["web-1".into(), "web-2".into()], vec!["api".into()]],
+            buckets: (0, 3 * MS_PER_DAY),
+            bucket_ms: MS_PER_DAY,
         };
         let keys = ks.enumerate();
-        assert_eq!(keys.len(), 3);
-        assert_eq!(ks.size(), 3);
-        assert_eq!(keys[0], ("FIAM".into(), "HHZ".into(), 0));
-        assert_eq!(keys[2].2, 2 * MS_PER_HOUR);
+        assert_eq!(keys.len(), 6);
+        assert_eq!(ks.size(), 6);
+        assert_eq!(keys[0], key("web-1", "api", 0));
+        assert_eq!(keys[2].1, 2 * MS_PER_DAY);
+        assert_eq!(keys[5], key("web-2", "api", 2 * MS_PER_DAY));
     }
 
     #[test]
     fn manager_tracks_coverage() {
         let m = DmdManager::new();
-        let k = ("FIAM".to_string(), "HHZ".to_string(), 0i64);
+        let k = key("web-1", "api", 0);
         assert!(!m.is_covered(&k));
         m.mark_covered([k.clone()]);
         assert!(m.is_covered(&k));
@@ -543,8 +645,8 @@ mod tests {
     #[test]
     fn uncover_reports_only_previously_covered_keys() {
         let m = DmdManager::new();
-        let a = ("FIAM".to_string(), "HHZ".to_string(), 0i64);
-        let b = ("FIAM".to_string(), "HHZ".to_string(), MS_PER_HOUR);
+        let a = key("web-1", "api", 0);
+        let b = key("web-1", "api", MS_PER_DAY);
         m.mark_covered([a.clone()]);
         let gone = m.uncover([a.clone(), b.clone()]);
         assert_eq!(gone, vec![a.clone()]);
@@ -555,94 +657,77 @@ mod tests {
     }
 
     #[test]
-    fn ceil_hour_behaviour() {
-        assert_eq!(ceil_hour(0), 0);
-        assert_eq!(ceil_hour(1), MS_PER_HOUR);
-        assert_eq!(ceil_hour(MS_PER_HOUR), MS_PER_HOUR);
+    fn bucket_alignment() {
+        assert_eq!(bucket_floor(1, MS_PER_HOUR), 0);
+        assert_eq!(bucket_ceil(0, MS_PER_HOUR), 0);
+        assert_eq!(bucket_ceil(1, MS_PER_HOUR), MS_PER_HOUR);
+        assert_eq!(bucket_ceil(MS_PER_HOUR, MS_PER_HOUR), MS_PER_HOUR);
+        // Pre-epoch timestamps stay aligned (euclidean division).
+        assert_eq!(bucket_floor(-1, MS_PER_HOUR), -MS_PER_HOUR);
     }
 
     #[test]
     fn derivation_spec_is_valid_and_t4_shaped() {
-        let spec = derivation_spec(Some("FIAM"), Some("HHZ"), 0, 2 * MS_PER_HOUR);
+        let d = descriptor();
+        let dmd = d.dmd.as_ref().unwrap();
+        let spec = derivation_spec(&d, dmd, &[Some("web-1"), Some("api")], 0, 2 * MS_PER_DAY);
         spec.validate().unwrap();
         assert_eq!(crate::query::classify(&spec), crate::query::QueryType::T4);
-        assert_eq!(spec.group_by.len(), 3);
-        assert_eq!(spec.output.len(), 7);
+        assert_eq!(spec.group_by.len(), 3, "two dims + bucket");
+        assert_eq!(spec.output.len(), 6, "dims, bucket, three statistics");
     }
 
-    /// The PSq/PSm/PSu walkthrough of §IV, on the paper's own example:
-    /// Query 2 refers to 3 hours of FIAM/HHZ; one is already
-    /// materialized; PSu must be the other two.
+    /// The PSq/PSm/PSu walkthrough of §IV, transposed onto the
+    /// event-log source: a query refers to 3 days of web-1/api; one is
+    /// already materialized; PSu must be the other two.
     #[test]
     fn paper_example_psu() {
-        use crate::schema::{all_schemas, bind_catalog};
-        use sommelier_storage::catalog::Disposition;
+        let d = descriptor();
+        let dmd_spec = d.dmd.clone().unwrap();
         let db = Database::in_memory(Default::default());
-        for s in all_schemas() {
+        for s in d.schemas.clone() {
             db.create_table(s, Disposition::Resident).unwrap();
         }
-        // Metadata for one FIAM file covering the whole day of
-        // 2010-04-20 .. 21 (so the data range spans the queried hours).
-        let day = parse_ts("2010-04-20").unwrap();
+        // Given metadata: three daily chunks of web-1/api.
+        let day0 = parse_ts("2011-03-01").unwrap();
         db.append(
-            "F",
+            "G",
             &[
-                ColumnData::Int64(vec![0]),
-                ColumnData::Text(sommelier_storage::column::TextColumn::from_strs(["u0"])),
-                ColumnData::Text(sommelier_storage::column::TextColumn::from_strs(["IV"])),
-                ColumnData::Text(sommelier_storage::column::TextColumn::from_strs(["FIAM"])),
-                ColumnData::Text(sommelier_storage::column::TextColumn::from_strs([""])),
-                ColumnData::Text(sommelier_storage::column::TextColumn::from_strs(["HHZ"])),
-                ColumnData::Text(sommelier_storage::column::TextColumn::from_strs(["D"])),
-                ColumnData::Int64(vec![1]),
-                ColumnData::Int64(vec![0]),
-            ],
-            ConstraintPolicy::none(),
-        )
-        .unwrap();
-        db.append(
-            "S",
-            &[
-                ColumnData::Int64(vec![0]),
-                ColumnData::Int64(vec![0]),
-                ColumnData::Timestamp(vec![day]),
-                ColumnData::Float64(vec![1.0]),
-                // 48h of 1 Hz samples: covers 2010-04-20 .. 22.
-                ColumnData::Int64(vec![48 * 3600]),
+                ColumnData::Int64(vec![0, 1, 2]),
+                ColumnData::Text(TextColumn::from_strs(["u0", "u1", "u2"])),
+                ColumnData::Text(TextColumn::from_strs(["web-1", "web-1", "web-1"])),
+                ColumnData::Text(TextColumn::from_strs(["api", "api", "api"])),
+                ColumnData::Timestamp(vec![day0, day0 + MS_PER_DAY, day0 + 2 * MS_PER_DAY]),
             ],
             ConstraintPolicy::none(),
         )
         .unwrap();
 
         let manager = DmdManager::new();
-        // "One of the previous queries already required DMd of
-        // 2010-04-20T23:00".
-        let h23 = parse_ts("2010-04-20T23:00:00.000").unwrap();
-        manager.mark_covered([("FIAM".to_string(), "HHZ".to_string(), h23)]);
+        // "One of the previous queries already required DMd" of day 1.
+        manager.mark_covered([key("web-1", "api", day0 + MS_PER_DAY)]);
 
-        // Query 2's H predicates.
+        let catalog = assemble_catalog(&[&d]).unwrap();
         let spec = sommelier_sql::compile(
-            "SELECT D.sample_time, D.sample_value FROM windowdataview \
-             WHERE F.station = 'FIAM' AND F.channel = 'HHZ' \
-             AND H.window_start_ts >= '2010-04-20T23:00:00.000' \
-             AND H.window_start_ts < '2010-04-21T02:00:00.000' \
-             AND H.window_max_val > 10000 AND H.window_std_dev > 10",
-            &bind_catalog(),
+            "SELECT E.ts, E.val FROM daylogview \
+             WHERE G.host = 'web-1' AND G.service = 'api' \
+             AND Y.day_start_ts >= '2011-03-01T00:00:00.000' \
+             AND Y.day_start_ts < '2011-03-04T00:00:00.000' \
+             AND Y.day_max_val > 100",
+            &catalog,
         )
         .unwrap();
-        let space = extract_key_space(&db, &spec).unwrap();
-        assert_eq!(space.stations, vec!["FIAM"]);
-        assert_eq!(space.channels, vec!["HHZ"]);
+        let space = extract_key_space(&db, &spec, &dmd_spec).unwrap();
+        assert_eq!(space.dims, vec![vec!["web-1".to_string()], vec!["api".to_string()]]);
         let psq = space.enumerate();
-        assert_eq!(psq.len(), 3, "23:00, 00:00, 01:00");
+        assert_eq!(psq.len(), 3, "three days referenced");
 
         // Run Algorithm 1 with a stub runner that returns empty results
-        // (we only check the PSu bookkeeping here; end-to-end derivation
-        // is covered by integration tests).
+        // (we only check the PSu bookkeeping here; end-to-end
+        // derivation is covered by integration tests).
         let runs = std::sync::atomic::AtomicUsize::new(0);
         let run = |dspec: QuerySpec| -> Result<QueryOutcome> {
             runs.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            // The two missing hours are contiguous: one range, one run.
             let plan = sommelier_engine::joinorder::plan_query(
                 &dspec,
                 &sommelier_engine::joinorder::PlanOptions::eager(),
@@ -654,15 +739,47 @@ mod tests {
                 &Default::default(),
             )?)
         };
-        let outcome = ensure_dmd(&db, &manager, &spec, &run).unwrap();
+        let outcome = ensure_dmd(&db, &manager, &d, &spec, &run).unwrap();
         assert_eq!(outcome.requested, 3);
-        assert_eq!(outcome.missing, 2, "PSu excludes the covered 23:00 hour");
-        assert_eq!(runs.load(std::sync::atomic::Ordering::Relaxed), 1, "one merged range");
+        assert_eq!(outcome.missing, 2, "PSu excludes the covered middle day");
+        assert_eq!(
+            runs.load(std::sync::atomic::Ordering::Relaxed),
+            2,
+            "days 0 and 2 are not contiguous: two ranges"
+        );
         assert_eq!(manager.covered_count(), 3);
 
         // Re-running: PSq fully covered, nothing to derive (step 4).
-        let outcome = ensure_dmd(&db, &manager, &spec, &run).unwrap();
+        let outcome = ensure_dmd(&db, &manager, &d, &spec, &run).unwrap();
         assert_eq!(outcome.missing, 0);
-        assert_eq!(runs.load(std::sync::atomic::Ordering::Relaxed), 1);
+        assert_eq!(runs.load(std::sync::atomic::Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn restore_coverage_reads_persisted_rows() {
+        let d = descriptor();
+        let dmd_spec = d.dmd.clone().unwrap();
+        let db = Database::in_memory(Default::default());
+        for s in d.schemas.clone() {
+            db.create_table(s, Disposition::Resident).unwrap();
+        }
+        db.append(
+            "Y",
+            &[
+                ColumnData::Text(TextColumn::from_strs(["web-1", "web-2"])),
+                ColumnData::Text(TextColumn::from_strs(["api", "api"])),
+                ColumnData::Timestamp(vec![0, MS_PER_DAY]),
+                ColumnData::Float64(vec![1.0, 2.0]),
+                ColumnData::Float64(vec![0.5, 0.25]),
+                ColumnData::Float64(vec![0.75, 1.0]),
+            ],
+            ConstraintPolicy::none(),
+        )
+        .unwrap();
+        let manager = DmdManager::new();
+        restore_coverage(&db, &manager, &dmd_spec).unwrap();
+        assert_eq!(manager.covered_count(), 2);
+        assert!(manager.is_covered(&key("web-1", "api", 0)));
+        assert!(manager.is_covered(&key("web-2", "api", MS_PER_DAY)));
     }
 }

@@ -1,7 +1,6 @@
 //! Unified error type for the sommelier system.
 
 use sommelier_engine::EngineError;
-use sommelier_mseed::MseedError;
 use sommelier_sql::SqlError;
 use sommelier_storage::StorageError;
 use std::fmt;
@@ -15,7 +14,10 @@ pub enum SommelierError {
     Storage(StorageError),
     Engine(EngineError),
     Sql(SqlError),
-    Mseed(MseedError),
+    /// A source adapter failed (format decode, repository I/O, ...).
+    /// Adapters live outside this crate, so their error types are
+    /// carried as strings.
+    Adapter(String),
     /// Configuration / usage errors (wrong mode for an operation, ...).
     Usage(String),
 }
@@ -26,7 +28,7 @@ impl fmt::Display for SommelierError {
             SommelierError::Storage(e) => write!(f, "{e}"),
             SommelierError::Engine(e) => write!(f, "{e}"),
             SommelierError::Sql(e) => write!(f, "{e}"),
-            SommelierError::Mseed(e) => write!(f, "{e}"),
+            SommelierError::Adapter(m) => write!(f, "source adapter error: {m}"),
             SommelierError::Usage(m) => write!(f, "usage error: {m}"),
         }
     }
@@ -38,7 +40,7 @@ impl std::error::Error for SommelierError {
             SommelierError::Storage(e) => Some(e),
             SommelierError::Engine(e) => Some(e),
             SommelierError::Sql(e) => Some(e),
-            SommelierError::Mseed(e) => Some(e),
+            SommelierError::Adapter(_) => None,
             SommelierError::Usage(_) => None,
         }
     }
@@ -57,11 +59,6 @@ impl From<EngineError> for SommelierError {
 impl From<SqlError> for SommelierError {
     fn from(e: SqlError) -> Self {
         SommelierError::Sql(e)
-    }
-}
-impl From<MseedError> for SommelierError {
-    fn from(e: MseedError) -> Self {
-        SommelierError::Mseed(e)
     }
 }
 

@@ -11,28 +11,38 @@
 //! metadata branch determines exactly which chunks to ingest; derived
 //! metadata is an incrementally materialized view (Algorithm 1).
 //!
-//! ```no_run
-//! use sommelier_core::{Sommelier, SommelierConfig, LoadingMode};
-//! use sommelier_mseed::{DatasetSpec, Repository};
+//! The system is **format-agnostic**: chunk formats plug in through
+//! the [`source::SourceAdapter`] API, and one system can serve several
+//! sources at once — each with its own schemas, views, inference rules
+//! and derived-metadata shape — under one shared cellar budget. The
+//! seismology format of the paper lives in its own adapter crate; a
+//! CSV event-log source ships in [`adapters`].
 //!
-//! // Generate a tiny synthetic seismic repository ...
-//! let repo = Repository::at("/tmp/somm-repo");
-//! repo.generate(&DatasetSpec::ingv(1, 64)).unwrap();
-//! // ... register it lazily (metadata only) ...
-//! let somm = Sommelier::in_memory(repo, SommelierConfig::default()).unwrap();
+//! ```no_run
+//! use sommelier_core::adapters::{generate_event_logs, EventLogAdapter, EventLogSpec};
+//! use sommelier_core::{LoadingMode, Sommelier};
+//!
+//! // Generate a tiny synthetic event-log repository ...
+//! generate_event_logs("/tmp/somm-logs".as_ref(), &EventLogSpec::small(3, 512)).unwrap();
+//! // ... register it into a system (metadata only) ...
+//! let somm = Sommelier::builder()
+//!     .source(EventLogAdapter::new("/tmp/somm-logs"))
+//!     .build()
+//!     .unwrap();
 //! somm.prepare(LoadingMode::Lazy).unwrap();
 //! // ... and query: stage 1 picks the chunks, stage 2 ingests just them.
 //! let result = somm
 //!     .query(
-//!         "SELECT AVG(D.sample_value) FROM dataview \
-//!          WHERE F.station = 'ISK' AND F.channel = 'BHE' \
-//!          AND D.sample_time >= '2010-01-05T00:00:00.000' \
-//!          AND D.sample_time <  '2010-01-07T00:00:00.000'",
+//!         "SELECT AVG(E.val) FROM eventview \
+//!          WHERE G.host = 'web-1' \
+//!          AND E.ts >= '2011-03-02T00:00:00.000' \
+//!          AND E.ts <  '2011-03-03T00:00:00.000'",
 //!     )
 //!     .unwrap();
-//! assert_eq!(result.stats.files_loaded, 2); // two days → two chunks
+//! assert_eq!(result.stats.files_loaded, 1); // one day of one host → one chunk
 //! ```
 
+pub mod adapters;
 pub mod cellar;
 pub mod chunks;
 pub mod config;
@@ -41,21 +51,23 @@ pub mod error;
 pub mod loader;
 pub mod query;
 pub mod registrar;
-pub mod schema;
+pub mod source;
 
 pub use config::SommelierConfig;
 pub use error::{Result, SommelierError};
 pub use loader::{LoadingMode, PrepReport};
 pub use query::QueryType;
+pub use source::{
+    DmdAgg, DmdDim, DmdSpec, InferenceRule, SourceAdapter, SourceDescriptor, UnitTableSpec,
+};
 
-use cellar::{Cellar, CellarConfig};
-use chunks::{ChunkRegistry, RepoChunkSource};
+use cellar::{Cellar, CellarConfig, CellarSource};
+use chunks::{AdapterChunkSource, ChunkRegistry};
 use dmd::{DmdManager, DmdOutcome};
 use parking_lot::Mutex;
 use sommelier_engine::joinorder::{plan_query, PlanOptions};
 use sommelier_engine::twostage::{execute_plan, ChunkAccess, QueryOutcome, TwoStageConfig};
 use sommelier_engine::{ExecStats, QuerySpec, Relation};
-use sommelier_mseed::Repository;
 use sommelier_sql::BindCatalog;
 use sommelier_storage::buffer::BufferPoolConfig;
 use sommelier_storage::catalog::Disposition;
@@ -63,6 +75,10 @@ use sommelier_storage::Database;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Name of the file (inside a disk-backed system's directory) that
+/// persists the prepared loading mode across restarts.
+const MODE_FILE: &str = "sommelier.mode";
 
 /// A query result: the relation plus everything the experiments report.
 #[derive(Debug)]
@@ -74,10 +90,167 @@ pub struct QueryResult {
     pub dmd: Option<DmdOutcome>,
 }
 
+/// One registered source, alive for the system's lifetime.
+struct SourceRuntime {
+    adapter: Arc<dyn SourceAdapter>,
+    descriptor: Arc<SourceDescriptor>,
+    dmd: Arc<DmdManager>,
+}
+
 struct Prepared {
     mode: LoadingMode,
-    registry: Arc<ChunkRegistry>,
+    /// Per-source chunk registries, aligned with `Sommelier::sources`.
+    registries: Vec<Arc<ChunkRegistry>>,
     cellar: Arc<Cellar>,
+}
+
+/// Where the builder puts the database.
+enum StorageSpec {
+    InMemory,
+    Create(PathBuf),
+    Open(PathBuf),
+}
+
+/// Builder for a [`Sommelier`] system: register one *or several*
+/// [`SourceAdapter`]s, pick a configuration and a storage location,
+/// then [`SommelierBuilder::build`].
+///
+/// ```no_run
+/// use sommelier_core::adapters::EventLogAdapter;
+/// use sommelier_core::{Sommelier, SommelierConfig};
+///
+/// let somm = Sommelier::builder()
+///     .source(EventLogAdapter::new("/data/logs"))
+///     .config(SommelierConfig::default())
+///     .on_disk("/data/somm-db".as_ref())
+///     .build()
+///     .unwrap();
+/// ```
+pub struct SommelierBuilder {
+    config: SommelierConfig,
+    adapters: Vec<Arc<dyn SourceAdapter>>,
+    storage: StorageSpec,
+}
+
+impl SommelierBuilder {
+    /// Register a source (may be called several times; table and view
+    /// names must not collide between sources).
+    pub fn source(mut self, adapter: impl SourceAdapter + 'static) -> Self {
+        self.adapters.push(Arc::new(adapter));
+        self
+    }
+
+    /// Register an already-shared source.
+    pub fn source_arc(mut self, adapter: Arc<dyn SourceAdapter>) -> Self {
+        self.adapters.push(adapter);
+        self
+    }
+
+    /// Set the system configuration (defaults to
+    /// [`SommelierConfig::default`]).
+    pub fn config(mut self, config: SommelierConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Keep the database in memory (tests, examples). The default.
+    pub fn in_memory(mut self) -> Self {
+        self.storage = StorageSpec::InMemory;
+        self
+    }
+
+    /// Create a fresh disk-backed database under `dir`.
+    pub fn on_disk(mut self, dir: &Path) -> Self {
+        self.storage = StorageSpec::Create(dir.to_path_buf());
+        self
+    }
+
+    /// Re-open a previously prepared disk-backed database under `dir`.
+    /// The chunk registries are rebuilt from the persisted metadata
+    /// tables, the prepared loading mode is restored from the persisted
+    /// mode file (systems written before mode persistence fall back to
+    /// inferring it from the actual-data row counts), join indices are
+    /// rebuilt when the restored mode needs them, and derived-metadata
+    /// coverage is restored from the derived tables.
+    pub fn open(mut self, dir: &Path) -> Self {
+        self.storage = StorageSpec::Open(dir.to_path_buf());
+        self
+    }
+
+    /// Assemble the system.
+    pub fn build(self) -> Result<Sommelier> {
+        if self.adapters.is_empty() {
+            return Err(SommelierError::Usage(
+                "register at least one source adapter before build()".into(),
+            ));
+        }
+        let mut sources = Vec::with_capacity(self.adapters.len());
+        for adapter in &self.adapters {
+            let descriptor = Arc::new(adapter.descriptor().clone());
+            descriptor.validate()?;
+            if sources.iter().any(|s: &SourceRuntime| s.descriptor.name == descriptor.name) {
+                return Err(SommelierError::Usage(format!(
+                    "source name {:?} registered twice",
+                    descriptor.name
+                )));
+            }
+            sources.push(SourceRuntime {
+                adapter: Arc::clone(adapter),
+                descriptor,
+                dmd: Arc::new(DmdManager::new()),
+            });
+        }
+        let catalog = source::assemble_catalog(
+            &sources.iter().map(|s| s.descriptor.as_ref()).collect::<Vec<_>>(),
+        )?;
+        let pool = BufferPoolConfig {
+            capacity_bytes: self.config.buffer_pool_bytes,
+            sim_io: self.config.sim_io,
+        };
+        let (db, db_dir, csv_dir, disposition, opened) = match &self.storage {
+            StorageSpec::InMemory => {
+                let csv = std::env::temp_dir().join(format!(
+                    "sommelier-csv-{}-{:?}",
+                    std::process::id(),
+                    std::thread::current().id()
+                ));
+                (Database::in_memory(pool), None, csv, Disposition::Resident, false)
+            }
+            StorageSpec::Create(dir) => (
+                Database::create(dir, pool)?,
+                Some(dir.clone()),
+                dir.join("csv_cache"),
+                Disposition::Persistent,
+                false,
+            ),
+            StorageSpec::Open(dir) => (
+                Database::open(dir, pool)?,
+                Some(dir.clone()),
+                dir.join("csv_cache"),
+                Disposition::Persistent,
+                true,
+            ),
+        };
+        let somm = Sommelier {
+            db: Arc::new(db),
+            config: self.config,
+            catalog,
+            sources,
+            prepared: Mutex::new(None),
+            csv_dir,
+            db_dir,
+        };
+        if opened {
+            somm.restore_on_open()?;
+        } else {
+            for s in &somm.sources {
+                for schema in &s.descriptor.schemas {
+                    somm.db.create_table(schema.clone(), disposition)?;
+                }
+            }
+        }
+        Ok(somm)
+    }
 }
 
 /// The system façade.
@@ -88,175 +261,190 @@ struct Prepared {
 /// same chunk (single-flight).
 pub struct Sommelier {
     db: Arc<Database>,
-    repo: Repository,
     config: SommelierConfig,
     catalog: BindCatalog,
-    dmd: Arc<DmdManager>,
+    sources: Vec<SourceRuntime>,
     prepared: Mutex<Option<Prepared>>,
     csv_dir: PathBuf,
+    db_dir: Option<PathBuf>,
+}
+
+/// A compiled query, ready to plan: routed to its source, classified,
+/// with the source's inference rules applied. One pipeline feeds
+/// [`Sommelier::query`], [`Sommelier::query_approx`],
+/// [`Sommelier::query_spec`] and [`Sommelier::explain`].
+struct CompiledQuery {
+    source_idx: usize,
+    qtype: QueryType,
+    spec: QuerySpec,
 }
 
 impl Sommelier {
-    fn build(
-        db: Database,
-        repo: Repository,
-        config: SommelierConfig,
-        csv_dir: PathBuf,
-        disposition: Disposition,
-    ) -> Result<Self> {
-        for schema in schema::all_schemas() {
-            db.create_table(schema, disposition)?;
+    /// Start building a system.
+    pub fn builder() -> SommelierBuilder {
+        SommelierBuilder {
+            config: SommelierConfig::default(),
+            adapters: Vec::new(),
+            storage: StorageSpec::InMemory,
         }
-        Ok(Sommelier {
-            db: Arc::new(db),
-            repo,
-            config,
-            catalog: schema::bind_catalog(),
-            dmd: Arc::new(DmdManager::new()),
-            prepared: Mutex::new(None),
-            csv_dir,
-        })
     }
 
-    /// An in-memory system over `repo` (tests, examples).
-    pub fn in_memory(repo: Repository, config: SommelierConfig) -> Result<Self> {
-        let db = Database::in_memory(BufferPoolConfig {
-            capacity_bytes: config.buffer_pool_bytes,
-            sim_io: config.sim_io,
-        });
-        let csv_dir = std::env::temp_dir().join(format!(
-            "sommelier-csv-{}-{:?}",
-            std::process::id(),
-            std::thread::current().id()
-        ));
-        Sommelier::build(db, repo, config, csv_dir, Disposition::Resident)
-    }
-
-    /// A disk-backed system: database files under `db_dir`, chunk
-    /// repository at `repo`.
-    pub fn create(db_dir: &Path, repo: Repository, config: SommelierConfig) -> Result<Self> {
-        let db = Database::create(
-            db_dir,
-            BufferPoolConfig {
-                capacity_bytes: config.buffer_pool_bytes,
-                sim_io: config.sim_io,
-            },
-        )?;
-        let csv_dir = db_dir.join("csv_cache");
-        Sommelier::build(db, repo, config, csv_dir, Disposition::Persistent)
-    }
-
-    /// Re-open a previously prepared disk-backed system. The chunk
-    /// registry is rebuilt from the persisted metadata tables; the
-    /// loading mode is inferred from whether `D` holds rows (persisted
-    /// join indices are rebuilt on demand by re-running
-    /// [`Sommelier::prepare`] instead).
-    pub fn open(db_dir: &Path, repo: Repository, config: SommelierConfig) -> Result<Self> {
-        let db = Database::open(
-            db_dir,
-            BufferPoolConfig {
-                capacity_bytes: config.buffer_pool_bytes,
-                sim_io: config.sim_io,
-            },
-        )?;
-        let somm = Sommelier {
-            db: Arc::new(db),
-            repo,
-            config: config.clone(),
-            catalog: schema::bind_catalog(),
-            dmd: Arc::new(DmdManager::new()),
-            prepared: Mutex::new(None),
-            csv_dir: db_dir.join("csv_cache"),
-        };
-        let registry = Arc::new(chunks::registry_from_db(&somm.db)?);
-        let mode = if somm.db.table_rows("D")? > 0 {
-            LoadingMode::EagerPlain
-        } else {
-            LoadingMode::Lazy
-        };
-        // Rows already materialized in H are usable again: mark their
-        // keys covered so Algorithm 1 does not re-derive them.
-        if somm.db.table_rows("H")? > 0 {
-            let cols = somm.db.scan_columns(
-                "H",
-                &["window_station", "window_channel", "window_start_ts"],
-            )?;
-            let stations = cols[0].as_text()?;
-            let channels = cols[1].as_text()?;
-            let hours = cols[2].as_i64()?;
-            somm.dmd.mark_covered((0..hours.len()).map(|i| {
-                (stations.get(i).to_string(), channels.get(i).to_string(), hours[i])
-            }));
+    /// Restore registries, loading mode, indices and DMd coverage of a
+    /// re-opened database.
+    fn restore_on_open(&self) -> Result<()> {
+        let mut registries = Vec::with_capacity(self.sources.len());
+        for s in &self.sources {
+            registries.push(Arc::new(ChunkRegistry::new(source::restore_registry(
+                &self.db,
+                &s.descriptor,
+            )?)));
         }
-        let cellar = somm.build_cellar(Arc::clone(&registry));
-        *somm.prepared.lock() = Some(Prepared { mode, registry, cellar });
-        Ok(somm)
+        let mode = match self.read_persisted_mode() {
+            Some(mode) => mode,
+            // Databases written before mode persistence: infer from
+            // whether any actual data was materialized.
+            None => {
+                let mut any_ad = false;
+                for s in &self.sources {
+                    any_ad |= self.db.table_rows(&s.descriptor.ad_table)? > 0;
+                }
+                if any_ad {
+                    LoadingMode::EagerPlain
+                } else {
+                    LoadingMode::Lazy
+                }
+            }
+        };
+        if mode.builds_indices() {
+            // Join indices are not persisted; rebuild them so the
+            // restored mode keeps its index-join plans.
+            let mut scratch = PrepReport::default();
+            for s in &self.sources {
+                loader::build_indices(&self.db, &s.descriptor, &mut scratch)?;
+            }
+        }
+        // Rows already materialized in the derived tables are usable
+        // again: mark their keys covered so Algorithm 1 does not
+        // re-derive them.
+        for s in &self.sources {
+            if let Some(dmd_spec) = &s.descriptor.dmd {
+                dmd::restore_coverage(&self.db, &s.dmd, dmd_spec)?;
+            }
+        }
+        let cellar = self.build_cellar(&registries)?;
+        *self.prepared.lock() = Some(Prepared { mode, registries, cellar });
+        Ok(())
+    }
+
+    fn read_persisted_mode(&self) -> Option<LoadingMode> {
+        let dir = self.db_dir.as_ref()?;
+        let text = std::fs::read_to_string(dir.join(MODE_FILE)).ok()?;
+        LoadingMode::from_label(text.trim())
+    }
+
+    fn persist_mode(&self, mode: LoadingMode) -> Result<()> {
+        if let Some(dir) = &self.db_dir {
+            std::fs::write(dir.join(MODE_FILE), mode.label()).map_err(|e| {
+                SommelierError::Usage(format!("persisting loading mode: {e}"))
+            })?;
+        }
+        Ok(())
     }
 
     /// Prepare the system with one of the five loading approaches
     /// (§VI-A), returning the phase-timed report (Figure 6's bars).
+    /// Every registered source goes through the same mode; phases
+    /// accumulate across sources.
     pub fn prepare(&self, mode: LoadingMode) -> Result<PrepReport> {
         let mut report = PrepReport::default();
-        let registry = Arc::new(loader::register_phase(
-            &self.db,
-            &self.repo,
-            self.config.max_threads,
-            &mut report,
-        )?);
-        match mode {
-            LoadingMode::Lazy => {}
-            LoadingMode::EagerCsv => {
-                loader::load_eager_csv(
-                    &self.db,
-                    &registry,
-                    &self.csv_dir,
-                    self.config.max_threads,
-                    &mut report,
-                )?;
+        let mut registries = Vec::with_capacity(self.sources.len());
+        for s in &self.sources {
+            let (registry, reg) = registrar::register_source(
+                &self.db,
+                s.adapter.as_ref(),
+                self.config.max_threads,
+            )?;
+            report.register += reg.duration;
+            report.registrar.files += reg.files;
+            report.registrar.segments += reg.segments;
+            report.registrar.duration += reg.duration;
+            registries.push(Arc::new(registry));
+        }
+        for (s, registry) in self.sources.iter().zip(&registries) {
+            match mode {
+                LoadingMode::Lazy => {}
+                LoadingMode::EagerCsv => {
+                    loader::load_eager_csv(
+                        &self.db,
+                        s.adapter.as_ref(),
+                        registry,
+                        &self.csv_dir,
+                        self.config.max_threads,
+                        &mut report,
+                    )?;
+                }
+                LoadingMode::EagerPlain | LoadingMode::EagerIndex | LoadingMode::EagerDmd => {
+                    loader::load_eager_plain(
+                        &self.db,
+                        s.adapter.as_ref(),
+                        registry,
+                        self.config.max_threads,
+                        &mut report,
+                    )?;
+                }
             }
-            LoadingMode::EagerPlain | LoadingMode::EagerIndex | LoadingMode::EagerDmd => {
-                loader::load_eager_plain(
-                    &self.db,
-                    &registry,
-                    self.config.max_threads,
-                    &mut report,
-                )?;
+            if mode.builds_indices() {
+                loader::build_indices(&self.db, &s.descriptor, &mut report)?;
             }
         }
-        if mode.builds_indices() {
-            loader::build_indices(&self.db, &mut report)?;
-        }
-        let cellar = self.build_cellar(Arc::clone(&registry));
-        *self.prepared.lock() = Some(Prepared { mode, registry, cellar });
+        let cellar = self.build_cellar(&registries)?;
+        *self.prepared.lock() = Some(Prepared { mode, registries, cellar });
         if mode.materializes_dmd() {
             let t = Instant::now();
-            dmd::derive_all(&self.db, &self.dmd, &|s| {
-                self.run_spec(s, false)
-                    .map(|r| QueryOutcome { relation: r.relation, stats: r.stats })
-            })?;
+            for s in &self.sources {
+                if s.descriptor.dmd.is_some() {
+                    dmd::derive_all(&self.db, &s.dmd, &s.descriptor, &|spec| {
+                        self.run_spec(spec, false)
+                            .map(|r| QueryOutcome { relation: r.relation, stats: r.stats })
+                    })?;
+                }
+            }
             report.dmd_derivation = t.elapsed();
         }
+        self.persist_mode(mode)?;
         Ok(report)
     }
 
-    /// Assemble the cellar for a freshly built registry.
-    fn build_cellar(&self, registry: Arc<ChunkRegistry>) -> Arc<Cellar> {
-        let source = Arc::new(RepoChunkSource::new(
-            Arc::clone(&registry),
+    /// Assemble the cellar for freshly built registries.
+    fn build_cellar(&self, registries: &[Arc<ChunkRegistry>]) -> Result<Arc<Cellar>> {
+        let bindings = self
+            .sources
+            .iter()
+            .zip(registries)
+            .map(|(s, registry)| {
+                let source = Arc::new(AdapterChunkSource::new(
+                    Arc::clone(&s.adapter),
+                    Arc::clone(registry),
+                    Arc::clone(&self.db),
+                    self.config.verify_lazy_fk,
+                ));
+                CellarSource {
+                    descriptor: Arc::clone(&s.descriptor),
+                    registry: Arc::clone(registry),
+                    source,
+                    dmd: Arc::clone(&s.dmd),
+                }
+            })
+            .collect();
+        Ok(Arc::new(Cellar::new(
+            bindings,
             Arc::clone(&self.db),
-            self.config.verify_lazy_fk,
-        ));
-        Arc::new(Cellar::new(
-            registry,
-            source,
-            Arc::clone(&self.db),
-            Arc::clone(&self.dmd),
             CellarConfig {
                 budget_bytes: self.config.effective_cellar_bytes(),
                 policy: self.config.cellar_policy,
                 retain: self.config.use_recycler,
             },
-        ))
+        )?))
     }
 
     fn prepared_info(&self) -> Result<(LoadingMode, Arc<Cellar>)> {
@@ -267,13 +455,60 @@ impl Sommelier {
         Ok((p.mode, Arc::clone(&p.cellar)))
     }
 
-    fn two_stage_config(&self, mode: LoadingMode) -> TwoStageConfig {
+    /// Which registered source owns every table `spec` references.
+    fn resolve_source(&self, spec: &QuerySpec) -> Result<usize> {
+        let Some(first) = spec.tables.first() else {
+            return Err(SommelierError::Usage("query references no tables".into()));
+        };
+        let idx = self
+            .sources
+            .iter()
+            .position(|s| s.descriptor.owns_table(&first.name))
+            .ok_or_else(|| {
+                SommelierError::Usage(format!(
+                    "no registered source owns table {:?}",
+                    first.name
+                ))
+            })?;
+        for t in &spec.tables {
+            if !self.sources[idx].descriptor.owns_table(&t.name) {
+                return Err(SommelierError::Usage(format!(
+                    "query spans sources: table {:?} is not owned by source {:?}",
+                    t.name, self.sources[idx].descriptor.name
+                )));
+            }
+        }
+        Ok(idx)
+    }
+
+    /// The single compile pipeline: route to a source, classify, apply
+    /// the source's metadata-inference rules.
+    fn compile_spec(&self, mut spec: QuerySpec) -> Result<CompiledQuery> {
+        let source_idx = self.resolve_source(&spec)?;
+        let qtype = query::classify(&spec);
+        query::apply_inference_rules(
+            &mut spec,
+            &self.sources[source_idx].descriptor.inference_rules,
+        );
+        Ok(CompiledQuery { source_idx, qtype, spec })
+    }
+
+    fn plan_options(&self, mode: LoadingMode, source_idx: usize) -> PlanOptions {
+        if mode == LoadingMode::Lazy {
+            let cols = self.sources[source_idx].descriptor.lazy_qf_columns();
+            PlanOptions::lazy(&cols.iter().map(String::as_str).collect::<Vec<_>>())
+        } else {
+            PlanOptions::eager()
+        }
+    }
+
+    fn two_stage_config(&self, mode: LoadingMode, source_idx: usize) -> TwoStageConfig {
         TwoStageConfig {
             parallel: self.config.parallel,
             pushdown: self.config.chunk_pushdown,
             use_cache: self.config.use_recycler,
             use_index_joins: mode.builds_indices(),
-            uri_column: "F.uri".to_string(),
+            uri_column: self.sources[source_idx].descriptor.uri_column(),
             max_threads: self.config.max_threads,
             sampling: None,
         }
@@ -288,36 +523,45 @@ impl Sommelier {
 
     fn run_spec_sampled(
         &self,
-        mut spec: QuerySpec,
+        spec: QuerySpec,
         check_dmd: bool,
         sampling: Option<f64>,
     ) -> Result<QueryResult> {
         let (mode, cellar) = self.prepared_info()?;
-        let qtype = query::classify(&spec);
-        query::infer_segment_time_predicates(&mut spec);
+        let compiled = self.compile_spec(spec)?;
+        let source = &self.sources[compiled.source_idx];
         // DMd-referring queries hold the coverage read guard for their
         // whole execution: between Algorithm 1 declaring a window
-        // covered and the plan scanning `H`, a concurrent eviction must
-        // not invalidate (and delete) that window out from under us.
-        let _dmd_guard = if qtype.refers_dmd() { Some(self.dmd.begin_query()) } else { None };
-        let dmd_outcome = if check_dmd && qtype.refers_dmd() && !mode.materializes_dmd() {
-            Some(dmd::ensure_dmd(&self.db, &self.dmd, &spec, &|s| {
-                self.run_spec(s, false)
-                    .map(|r| QueryOutcome { relation: r.relation, stats: r.stats })
-            })?)
+        // covered and the plan scanning the derived table, a concurrent
+        // eviction must not invalidate (and delete) that window out
+        // from under us.
+        let _dmd_guard =
+            if compiled.qtype.refers_dmd() { Some(source.dmd.begin_query()) } else { None };
+        let dmd_outcome = if check_dmd
+            && compiled.qtype.refers_dmd()
+            && !mode.materializes_dmd()
+            && source.descriptor.dmd.is_some()
+        {
+            Some(dmd::ensure_dmd(
+                &self.db,
+                &source.dmd,
+                &source.descriptor,
+                &compiled.spec,
+                &|s| {
+                    self.run_spec(s, false)
+                        .map(|r| QueryOutcome { relation: r.relation, stats: r.stats })
+                },
+            )?)
         } else {
             None
         };
-        let opts = if mode == LoadingMode::Lazy {
-            PlanOptions::lazy(&["F.uri", "F.file_id"])
-        } else {
-            PlanOptions::eager()
-        };
-        let plan = plan_query(&spec, &opts)?;
-        let mut ts_config = self.two_stage_config(mode);
+        let opts = self.plan_options(mode, compiled.source_idx);
+        let plan = plan_query(&compiled.spec, &opts)?;
+        let mut ts_config = self.two_stage_config(mode, compiled.source_idx);
         ts_config.sampling = sampling;
+        let scoped = cellar.scoped(compiled.source_idx);
         let access = if mode == LoadingMode::Lazy {
-            ChunkAccess::Managed(cellar.as_ref())
+            ChunkAccess::Managed(&scoped)
         } else {
             ChunkAccess::None
         };
@@ -325,7 +569,7 @@ impl Sommelier {
         Ok(QueryResult {
             relation: outcome.relation,
             stats: outcome.stats,
-            qtype,
+            qtype: compiled.qtype,
             dmd: dmd_outcome,
         })
     }
@@ -357,19 +601,19 @@ impl Sommelier {
         self.run_spec(spec, true)
     }
 
-    /// The logical plan a query would run, as text (EXPLAIN).
+    /// The logical plan a query would run, as text (EXPLAIN). Uses the
+    /// same compile pipeline as execution.
     pub fn explain(&self, sql: &str) -> Result<String> {
         let (mode, _) = self.prepared_info()?;
-        let mut spec = sommelier_sql::compile(sql, &self.catalog)?;
-        let qtype = query::classify(&spec);
-        query::infer_segment_time_predicates(&mut spec);
-        let opts = if mode == LoadingMode::Lazy {
-            PlanOptions::lazy(&["F.uri", "F.file_id"])
-        } else {
-            PlanOptions::eager()
-        };
-        let plan = plan_query(&spec, &opts)?;
-        Ok(format!("-- mode: {mode}, query type: {}\n{plan}", qtype.label()))
+        let spec = sommelier_sql::compile(sql, &self.catalog)?;
+        let compiled = self.compile_spec(spec)?;
+        let opts = self.plan_options(mode, compiled.source_idx);
+        let plan = plan_query(&compiled.spec, &opts)?;
+        Ok(format!(
+            "-- source: {}, mode: {mode}, query type: {}\n{plan}",
+            self.sources[compiled.source_idx].descriptor.name,
+            compiled.qtype.label()
+        ))
     }
 
     /// Drop buffered pages and cached chunks ("cold" run).
@@ -380,12 +624,16 @@ impl Sommelier {
         }
     }
 
-    /// Forget all derived metadata: truncate `H` and reset the PSm
-    /// bookkeeping. Benchmarks use this to measure DMd-deriving query
-    /// types from a pristine state.
+    /// Forget all derived metadata: truncate every source's derived
+    /// table and reset the PSm bookkeeping. Benchmarks use this to
+    /// measure DMd-deriving query types from a pristine state.
     pub fn reset_dmd(&self) -> Result<()> {
-        self.db.truncate_table("H")?;
-        self.dmd.clear();
+        for s in &self.sources {
+            if let Some(dmd_spec) = &s.descriptor.dmd {
+                self.db.truncate_table(&dmd_spec.table)?;
+                s.dmd.clear();
+            }
+        }
         Ok(())
     }
 
@@ -399,9 +647,25 @@ impl Sommelier {
         self.prepared.lock().as_ref().map(|p| Arc::clone(&p.cellar))
     }
 
-    /// The DMd bookkeeping.
+    /// The DMd bookkeeping of the first source with derived metadata
+    /// (the common single-source case; multi-source systems use
+    /// [`Sommelier::dmd_manager_of`]).
     pub fn dmd_manager(&self) -> &DmdManager {
-        &self.dmd
+        self.sources
+            .iter()
+            .find(|s| s.descriptor.dmd.is_some())
+            .map(|s| s.dmd.as_ref())
+            .unwrap_or_else(|| self.sources[0].dmd.as_ref())
+    }
+
+    /// The DMd bookkeeping of a source by name.
+    pub fn dmd_manager_of(&self, source: &str) -> Option<&DmdManager> {
+        self.sources.iter().find(|s| s.descriptor.name == source).map(|s| s.dmd.as_ref())
+    }
+
+    /// Names of the registered sources, in registration order.
+    pub fn source_names(&self) -> Vec<&str> {
+        self.sources.iter().map(|s| s.descriptor.name.as_str()).collect()
     }
 
     /// The active loading mode, if prepared.
@@ -409,19 +673,21 @@ impl Sommelier {
         self.prepared.lock().as_ref().map(|p| p.mode)
     }
 
-    /// The chunk repository.
-    pub fn repo(&self) -> &Repository {
-        &self.repo
-    }
-
-    /// Number of registered chunks.
+    /// Number of registered chunks, across all sources.
     pub fn registered_chunks(&self) -> usize {
-        self.prepared.lock().as_ref().map_or(0, |p| p.registry.len())
+        self.prepared
+            .lock()
+            .as_ref()
+            .map_or(0, |p| p.registries.iter().map(|r| r.len()).sum())
     }
 
-    /// Bytes of the source repository (Table III "mSEED").
-    pub fn repo_bytes(&self) -> Result<u64> {
-        Ok(self.repo.total_bytes()?)
+    /// Bytes of the source repositories (Table III's raw-format column).
+    pub fn source_bytes(&self) -> Result<u64> {
+        let mut total = 0;
+        for s in &self.sources {
+            total += s.adapter.source_bytes()?;
+        }
+        Ok(total)
     }
 
     /// Bytes of database storage (Table III "MonetDB").
@@ -443,9 +709,9 @@ impl Sommelier {
 impl std::fmt::Debug for Sommelier {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Sommelier")
+            .field("sources", &self.source_names())
             .field("mode", &self.mode().map(|m| m.label()))
             .field("chunks", &self.registered_chunks())
-            .field("dmd_covered", &self.dmd.covered_count())
             .finish()
     }
 }
@@ -453,73 +719,93 @@ impl std::fmt::Debug for Sommelier {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sommelier_mseed::DatasetSpec;
+    use adapters::{generate_event_logs, EventLogAdapter, EventLogSpec};
     use sommelier_storage::Value;
+    use std::path::PathBuf;
 
-    fn temp_repo(tag: &str, days: u32, samples: u32) -> Repository {
+    fn temp_repo(tag: &str, days: u32, events: u32) -> PathBuf {
         let dir = std::env::temp_dir().join(format!(
             "somm-core-{tag}-{}-{:?}",
             std::process::id(),
             std::thread::current().id()
         ));
         let _ = std::fs::remove_dir_all(&dir);
-        let repo = Repository::at(&dir);
-        let mut spec = DatasetSpec::ingv(1, samples);
-        spec.days = days;
-        repo.generate(&spec).unwrap();
-        repo
+        generate_event_logs(&dir, &EventLogSpec::small(days, events)).unwrap();
+        dir
+    }
+
+    fn system(repo: &Path) -> Sommelier {
+        Sommelier::builder().source(EventLogAdapter::new(repo)).build().unwrap()
     }
 
     fn query1(from: &str, to: &str) -> String {
         format!(
-            "SELECT AVG(D.sample_value) FROM dataview \
-             WHERE F.station = 'ISK' AND F.channel = 'BHE' \
-             AND D.sample_time >= '{from}' AND D.sample_time < '{to}'"
+            "SELECT AVG(E.val) FROM eventview \
+             WHERE G.host = 'web-1' AND G.service = 'api' \
+             AND E.ts >= '{from}' AND E.ts < '{to}'"
         )
     }
 
     #[test]
     fn unprepared_query_fails() {
         let repo = temp_repo("unprepared", 1, 8);
-        let somm = Sommelier::in_memory(repo, SommelierConfig::default()).unwrap();
+        let somm = system(&repo);
         assert!(matches!(
-            somm.query("SELECT COUNT(*) FROM F"),
+            somm.query("SELECT COUNT(*) FROM G"),
             Err(SommelierError::Usage(_))
         ));
+        let _ = std::fs::remove_dir_all(&repo);
+    }
+
+    #[test]
+    fn builder_requires_a_source() {
+        assert!(matches!(Sommelier::builder().build(), Err(SommelierError::Usage(_))));
+    }
+
+    #[test]
+    fn duplicate_sources_rejected() {
+        let repo = temp_repo("dup", 1, 8);
+        let result = Sommelier::builder()
+            .source(EventLogAdapter::new(&repo))
+            .source(EventLogAdapter::new(&repo))
+            .build();
+        assert!(matches!(result, Err(SommelierError::Usage(_))));
+        let _ = std::fs::remove_dir_all(&repo);
     }
 
     #[test]
     fn lazy_t4_loads_only_matching_chunks() {
         let repo = temp_repo("lazy-t4", 4, 32);
-        let somm = Sommelier::in_memory(repo, SommelierConfig::default()).unwrap();
+        let somm = system(&repo);
         let report = somm.prepare(LoadingMode::Lazy).unwrap();
         assert_eq!(report.rows_loaded, 0, "lazy loads no actual data up front");
-        assert_eq!(somm.db().table_rows("D").unwrap(), 0);
+        assert_eq!(somm.db().table_rows("E").unwrap(), 0);
         let r = somm
-            .query(&query1("2010-01-02T00:00:00.000", "2010-01-04T00:00:00.000"))
+            .query(&query1("2011-03-02T00:00:00.000", "2011-03-04T00:00:00.000"))
             .unwrap();
         assert_eq!(r.qtype, QueryType::T4);
-        assert_eq!(r.stats.files_selected, 2, "two days of one station");
+        assert_eq!(r.stats.files_selected, 2, "two days of one host");
         assert_eq!(r.stats.files_loaded, 2);
         assert_eq!(r.relation.rows(), 1);
-        // Second run: recycler hits, nothing loaded.
+        // Second run: residency hits, nothing loaded.
         let r2 = somm
-            .query(&query1("2010-01-02T00:00:00.000", "2010-01-04T00:00:00.000"))
+            .query(&query1("2011-03-02T00:00:00.000", "2011-03-04T00:00:00.000"))
             .unwrap();
         assert_eq!(r2.stats.cache_hits, 2);
         assert_eq!(r2.stats.files_loaded, 0);
+        let _ = std::fs::remove_dir_all(&repo);
     }
 
     #[test]
     fn lazy_matches_eager_answers() {
-        let sql = query1("2010-01-01T06:00:00.000", "2010-01-02T12:00:00.000");
+        let sql = query1("2011-03-01T06:00:00.000", "2011-03-02T12:00:00.000");
         let repo = temp_repo("consistency-a", 3, 32);
-        let lazy = Sommelier::in_memory(repo, SommelierConfig::default()).unwrap();
+        let lazy = system(&repo);
         lazy.prepare(LoadingMode::Lazy).unwrap();
         let lazy_avg = lazy.query(&sql).unwrap().relation.value(0, "avg").unwrap();
 
-        let repo = temp_repo("consistency-b", 3, 32);
-        let eager = Sommelier::in_memory(repo, SommelierConfig::default()).unwrap();
+        let repo_b = temp_repo("consistency-b", 3, 32);
+        let eager = system(&repo_b);
         eager.prepare(LoadingMode::EagerIndex).unwrap();
         let eager_avg = eager.query(&sql).unwrap().relation.value(0, "avg").unwrap();
         match (lazy_avg, eager_avg) {
@@ -528,57 +814,61 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+        let _ = std::fs::remove_dir_all(&repo);
+        let _ = std::fs::remove_dir_all(&repo_b);
     }
 
     #[test]
     fn t2_triggers_incremental_derivation() {
-        let repo = temp_repo("t2", 2, 32);
-        let somm = Sommelier::in_memory(repo, SommelierConfig::default()).unwrap();
+        let repo = temp_repo("t2", 3, 32);
+        let somm = system(&repo);
         somm.prepare(LoadingMode::Lazy).unwrap();
-        let sql = "SELECT window_start_ts, window_max_val FROM H \
-                   WHERE window_station = 'ISK' AND window_channel = 'BHE' \
-                   AND window_start_ts >= '2010-01-01T00:00:00.000' \
-                   AND window_start_ts < '2010-01-01T06:00:00.000'";
+        let sql = "SELECT day_start_ts, day_max_val FROM Y \
+                   WHERE day_host = 'web-1' AND day_service = 'api' \
+                   AND day_start_ts >= '2011-03-01T00:00:00.000' \
+                   AND day_start_ts < '2011-03-03T00:00:00.000'";
         let r = somm.query(sql).unwrap();
         assert_eq!(r.qtype, QueryType::T2);
         let dmd = r.dmd.expect("algorithm 1 ran");
-        assert_eq!(dmd.requested, 6);
-        assert_eq!(dmd.missing, 6);
+        assert_eq!(dmd.requested, 2);
+        assert_eq!(dmd.missing, 2);
         assert!(dmd.rows_inserted > 0);
         assert!(r.relation.rows() > 0);
         // Second time: fully covered.
         let r2 = somm.query(sql).unwrap();
         assert_eq!(r2.dmd.unwrap().missing, 0);
         assert_eq!(r2.relation.rows(), r.relation.rows());
+        let _ = std::fs::remove_dir_all(&repo);
     }
 
     #[test]
     fn eager_dmd_skips_algorithm_1() {
         let repo = temp_repo("edmd", 2, 16);
-        let somm = Sommelier::in_memory(repo, SommelierConfig::default()).unwrap();
+        let somm = system(&repo);
         let report = somm.prepare(LoadingMode::EagerDmd).unwrap();
         assert!(report.dmd_derivation > std::time::Duration::ZERO);
-        assert!(somm.db().table_rows("H").unwrap() > 0);
+        assert!(somm.db().table_rows("Y").unwrap() > 0);
         let r = somm
             .query(
-                "SELECT window_max_val FROM H WHERE window_station = 'ISK' \
-                 AND window_start_ts < '2010-01-02T00:00:00.000'",
+                "SELECT day_max_val FROM Y WHERE day_host = 'web-1' \
+                 AND day_start_ts < '2011-03-02T00:00:00.000'",
             )
             .unwrap();
-        assert!(r.dmd.is_none(), "eager_dmd answers straight from H");
+        assert!(r.dmd.is_none(), "eager_dmd answers straight from Y");
         assert!(r.relation.rows() > 0);
+        let _ = std::fs::remove_dir_all(&repo);
     }
 
     #[test]
     fn explain_shows_two_stage_shape() {
         let repo = temp_repo("explain", 1, 8);
-        let somm = Sommelier::in_memory(repo, SommelierConfig::default()).unwrap();
+        let somm = system(&repo);
         somm.prepare(LoadingMode::Lazy).unwrap();
-        let plan = somm
-            .explain("SELECT AVG(D.sample_value) FROM dataview WHERE F.station = 'ISK'")
-            .unwrap();
+        let plan =
+            somm.explain("SELECT AVG(E.val) FROM eventview WHERE G.host = 'web-1'").unwrap();
         assert!(plan.contains("QfMark"), "{plan}");
-        assert!(plan.contains("LazyScan D"), "{plan}");
+        assert!(plan.contains("LazyScan E"), "{plan}");
         assert!(plan.contains("mode: lazy"), "{plan}");
+        assert!(plan.contains("source: eventlog"), "{plan}");
     }
 }

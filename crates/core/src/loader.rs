@@ -1,24 +1,29 @@
 //! The five loading approaches of §VI-A, with phase-timed reports.
 //!
-//! * **Eager csv** — decode every chunk, serialize to CSV, parse the CSV
-//!   back and bulk-load (the paper's MonetDB `COPY INTO` path).
+//! * **Eager csv** — decode every chunk, serialize to CSV, parse the
+//!   CSV back and bulk-load (the paper's MonetDB `COPY INTO` path).
+//!   The round trip is format-neutral: it serializes the decoded
+//!   relation, not the source format.
 //! * **Eager plain** — decode every chunk and load directly.
 //! * **Eager index** — eager plain + build the FK join indices.
-//! * **Eager dmd** — eager index + materialize all derived metadata
-//!   (the full `H` view).
+//! * **Eager dmd** — eager index + materialize all derived metadata.
 //! * **Lazy** — register metadata only; actual data loads at query time.
 //!
 //! All five register the given metadata first (the eager paths need the
 //! system keys too). Primary keys are verified in every mode; FK
-//! verification is what `Lazy` omits (§VI-A).
+//! verification is what `Lazy` omits (§VI-A). Everything
+//! format-specific is delegated to the source's
+//! [`crate::source::SourceAdapter`].
 
 use crate::chunks::ChunkRegistry;
-use crate::error::Result;
-use crate::registrar::{register_repository, RegistrarReport};
-use sommelier_mseed::csv::{export_csv, import_csv};
-use sommelier_mseed::Repository;
-use sommelier_storage::{ColumnData, ConstraintPolicy, Database};
+use crate::error::{Result, SommelierError};
+use crate::registrar::RegistrarReport;
+use crate::source::{SourceAdapter, SourceDescriptor};
+use sommelier_engine::Relation;
+use sommelier_storage::column::TextColumn;
+use sommelier_storage::{ColumnData, ConstraintPolicy, DataType, Database};
 use std::fmt;
+use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
@@ -53,6 +58,11 @@ impl LoadingMode {
         }
     }
 
+    /// Parse a [`Self::label`] back (mode persistence across reopens).
+    pub fn from_label(label: &str) -> Option<LoadingMode> {
+        LoadingMode::ALL.into_iter().find(|m| m.label() == label)
+    }
+
     /// True for every eager variant.
     pub fn is_eager(self) -> bool {
         !matches!(self, LoadingMode::Lazy)
@@ -76,25 +86,26 @@ impl fmt::Display for LoadingMode {
 }
 
 /// Phase-timed preparation report (the bars of the paper's Figure 6).
+/// In a multi-source system the phases accumulate across sources.
 #[derive(Debug, Clone, Default)]
 pub struct PrepReport {
     /// Metadata extraction + load (all modes; dominates only in Lazy).
     pub register: Duration,
-    /// mSEED → CSV serialization (eager csv only).
-    pub mseed_to_csv: Duration,
+    /// Chunk-decode → CSV serialization (eager csv only).
+    pub chunks_to_csv: Duration,
     /// CSV parse + load (eager csv only).
     pub csv_to_db: Duration,
-    /// Direct mSEED decode + load (other eager modes).
-    pub mseed_to_db: Duration,
+    /// Direct chunk decode + load (other eager modes).
+    pub chunks_to_db: Duration,
     /// FK join-index construction (eager index / dmd).
     pub indexing: Duration,
     /// Full derived-metadata materialization (eager dmd).
     pub dmd_derivation: Duration,
-    /// Rows loaded into `D`.
+    /// Rows loaded into the actual-data tables.
     pub rows_loaded: u64,
     /// Bytes of CSV written (eager csv; Table III).
     pub csv_bytes: u64,
-    /// Registrar detail.
+    /// Registrar detail (accumulated over sources).
     pub registrar: RegistrarReport,
 }
 
@@ -102,9 +113,9 @@ impl PrepReport {
     /// Total preparation time.
     pub fn total(&self) -> Duration {
         self.register
-            + self.mseed_to_csv
+            + self.chunks_to_csv
             + self.csv_to_db
-            + self.mseed_to_db
+            + self.chunks_to_db
             + self.indexing
             + self.dmd_derivation
     }
@@ -114,22 +125,29 @@ impl PrepReport {
 /// eager loads).
 const WAVE: usize = 64;
 
-/// Register metadata; shared first step of every mode.
-pub fn register_phase(
-    db: &Database,
-    repo: &Repository,
-    max_threads: usize,
-    report: &mut PrepReport,
-) -> Result<ChunkRegistry> {
-    let (registry, reg_report) = register_repository(db, repo, max_threads)?;
-    report.register = reg_report.duration;
-    report.registrar = reg_report;
-    Ok(registry)
+/// The actual-data batch (storage column order) of one decoded chunk.
+fn relation_batch(rel: &Relation, descriptor: &SourceDescriptor) -> Result<Vec<ColumnData>> {
+    let schema = descriptor.schema(&descriptor.ad_table).ok_or_else(|| {
+        SommelierError::Usage(format!(
+            "source {:?} lacks the actual-data schema",
+            descriptor.name
+        ))
+    })?;
+    schema
+        .columns
+        .iter()
+        .map(|c| {
+            rel.column(&format!("{}.{}", descriptor.ad_table, c.name))
+                .cloned()
+                .map_err(Into::into)
+        })
+        .collect()
 }
 
-/// Decode a slice of chunk files in parallel into D-shaped column
+/// Decode a slice of chunk files in parallel into actual-data column
 /// batches (order preserved).
 fn decode_wave(
+    adapter: &dyn SourceAdapter,
     registry: &ChunkRegistry,
     wave: &[usize],
     max_threads: usize,
@@ -144,30 +162,10 @@ fn decode_wave(
                 let mut i = w;
                 while i < wave.len() {
                     let entry = &registry.entries()[wave[i]];
-                    let out = (|| -> Result<Vec<ColumnData>> {
-                        let file = sommelier_mseed::read_full(Path::new(&entry.uri))?;
-                        let total: usize =
-                            file.segments.iter().map(|s| s.samples.len()).sum();
-                        let mut file_ids = Vec::with_capacity(total);
-                        let mut seg_ids = Vec::with_capacity(total);
-                        let mut times = Vec::with_capacity(total);
-                        let mut values = Vec::with_capacity(total);
-                        for (k, seg) in file.segments.iter().enumerate() {
-                            let seg_id = entry.seg_base + k as i64;
-                            for (j, &v) in seg.samples.iter().enumerate() {
-                                file_ids.push(entry.file_id);
-                                seg_ids.push(seg_id);
-                                times.push(seg.meta.sample_time(j as u32));
-                                values.push(v as f64);
-                            }
-                        }
-                        Ok(vec![
-                            ColumnData::Int64(file_ids),
-                            ColumnData::Int64(seg_ids),
-                            ColumnData::Timestamp(times),
-                            ColumnData::Float64(values),
-                        ])
-                    })();
+                    let out = adapter
+                        .load_chunk(entry)
+                        .map_err(Into::into)
+                        .and_then(|rel| relation_batch(&rel, adapter.descriptor()));
                     *slots[i].lock() = Some(out);
                     i += workers;
                 }
@@ -177,44 +175,214 @@ fn decode_wave(
     slots.into_iter().map(|s| s.into_inner().expect("slot filled")).collect()
 }
 
-/// Eager plain: decode everything and load into `D`.
+/// Eager plain: decode everything and load into the actual-data table.
 pub fn load_eager_plain(
     db: &Database,
+    adapter: &dyn SourceAdapter,
     registry: &ChunkRegistry,
     max_threads: usize,
     report: &mut PrepReport,
 ) -> Result<()> {
     let t = Instant::now();
+    let ad_table = adapter.descriptor().ad_table.clone();
     let indices: Vec<usize> = (0..registry.len()).collect();
     for wave in indices.chunks(WAVE) {
-        let batches = decode_wave(registry, wave, max_threads)?;
+        let batches = decode_wave(adapter, registry, wave, max_threads)?;
         for batch in batches {
             report.rows_loaded += batch[0].len() as u64;
-            db.append("D", &batch, ConstraintPolicy::pk_only())?;
+            db.append(&ad_table, &batch, ConstraintPolicy::pk_only())?;
         }
     }
-    report.mseed_to_db = t.elapsed();
+    report.chunks_to_db += t.elapsed();
     Ok(())
+}
+
+fn io_err(ctx: &str, e: std::io::Error) -> SommelierError {
+    SommelierError::Adapter(format!("{ctx}: {e}"))
+}
+
+/// Append one text field, quoting RFC-4180 style when it contains a
+/// comma or quote. The reader is line-based, so embedded line breaks
+/// are refused at write time rather than silently corrupting the file.
+fn csv_quote(value: &str, out: &mut String) -> Result<()> {
+    if value.contains('\n') || value.contains('\r') {
+        return Err(SommelierError::Adapter(format!(
+            "text value {value:?} contains a line break; the CSV loading path stores one \
+             row per line"
+        )));
+    }
+    if value.contains(',') || value.contains('"') {
+        out.push('"');
+        for ch in value.chars() {
+            if ch == '"' {
+                out.push('"');
+            }
+            out.push(ch);
+        }
+        out.push('"');
+    } else {
+        out.push_str(value);
+    }
+    Ok(())
+}
+
+/// Split one CSV line into fields, honoring quoted fields with doubled
+/// quotes. `None` on malformed quoting.
+fn csv_fields(line: &str) -> Option<Vec<String>> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut chars = line.chars().peekable();
+    loop {
+        if chars.peek() == Some(&'"') {
+            chars.next();
+            loop {
+                match chars.next()? {
+                    '"' if chars.peek() == Some(&'"') => {
+                        chars.next();
+                        field.push('"');
+                    }
+                    '"' => break,
+                    ch => field.push(ch),
+                }
+            }
+            match chars.next() {
+                None => {
+                    fields.push(std::mem::take(&mut field));
+                    return Some(fields);
+                }
+                Some(',') => fields.push(std::mem::take(&mut field)),
+                Some(_) => return None,
+            }
+        } else {
+            loop {
+                match chars.next() {
+                    None => {
+                        fields.push(std::mem::take(&mut field));
+                        return Some(fields);
+                    }
+                    Some(',') => {
+                        fields.push(std::mem::take(&mut field));
+                        break;
+                    }
+                    Some(ch) => field.push(ch),
+                }
+            }
+        }
+    }
+}
+
+/// Serialize one decoded chunk batch to CSV (storage column order, one
+/// line per row). Returns the bytes written.
+fn batch_to_csv(batch: &[ColumnData], path: &Path) -> Result<u64> {
+    let rows = batch.first().map_or(0, |c| c.len());
+    let mut out = String::new();
+    for r in 0..rows {
+        for (i, col) in batch.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            match col {
+                ColumnData::Int64(v) => out.push_str(&v[r].to_string()),
+                ColumnData::Timestamp(v) => out.push_str(&v[r].to_string()),
+                ColumnData::Float64(v) => out.push_str(&format!("{}", v[r])),
+                ColumnData::Text(t) => csv_quote(t.get(r), &mut out)?,
+            }
+        }
+        out.push('\n');
+    }
+    let mut f = std::fs::File::create(path).map_err(|e| io_err("creating csv", e))?;
+    f.write_all(out.as_bytes()).map_err(|e| io_err("writing csv", e))?;
+    Ok(out.len() as u64)
+}
+
+/// Parse one CSV file back into an actual-data batch, by schema types.
+fn csv_to_batch(path: &Path, dtypes: &[DataType]) -> Result<Vec<ColumnData>> {
+    let text = std::fs::read_to_string(path).map_err(|e| io_err("reading csv", e))?;
+    let mut ints: Vec<Vec<i64>> = Vec::new();
+    let mut floats: Vec<Vec<f64>> = Vec::new();
+    let mut texts: Vec<TextColumn> = Vec::new();
+    // Per column: index into the typed buffers above.
+    let slots: Vec<usize> = dtypes
+        .iter()
+        .map(|d| match d {
+            DataType::Int64 | DataType::Timestamp => {
+                ints.push(Vec::new());
+                ints.len() - 1
+            }
+            DataType::Float64 => {
+                floats.push(Vec::new());
+                floats.len() - 1
+            }
+            DataType::Text => {
+                texts.push(TextColumn::new());
+                texts.len() - 1
+            }
+        })
+        .collect();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        let bad = || {
+            SommelierError::Adapter(format!(
+                "malformed csv row {line:?} in {}",
+                path.display()
+            ))
+        };
+        let fields = csv_fields(line).ok_or_else(bad)?;
+        if fields.len() != dtypes.len() {
+            return Err(bad());
+        }
+        for ((dtype, &slot), field) in dtypes.iter().zip(&slots).zip(&fields) {
+            match dtype {
+                DataType::Int64 | DataType::Timestamp => {
+                    ints[slot].push(field.parse().map_err(|_| bad())?)
+                }
+                DataType::Float64 => floats[slot].push(field.parse().map_err(|_| bad())?),
+                DataType::Text => texts[slot].push(field),
+            }
+        }
+    }
+    let mut ints = ints.into_iter();
+    let mut floats = floats.into_iter();
+    let mut texts = texts.into_iter();
+    Ok(dtypes
+        .iter()
+        .map(|d| match d {
+            DataType::Int64 => ColumnData::Int64(ints.next().expect("slot allocated")),
+            DataType::Timestamp => {
+                ColumnData::Timestamp(ints.next().expect("slot allocated"))
+            }
+            DataType::Float64 => ColumnData::Float64(floats.next().expect("slot allocated")),
+            DataType::Text => ColumnData::Text(texts.next().expect("slot allocated")),
+        })
+        .collect())
 }
 
 /// Eager csv: decode → CSV files (kept in `csv_dir` for Table III
 /// sizing) → parse → load.
 pub fn load_eager_csv(
     db: &Database,
+    adapter: &dyn SourceAdapter,
     registry: &ChunkRegistry,
     csv_dir: &Path,
     max_threads: usize,
     report: &mut PrepReport,
 ) -> Result<()> {
-    std::fs::create_dir_all(csv_dir).map_err(|e| {
-        sommelier_storage::StorageError::io(format!("creating {}", csv_dir.display()), e)
-    })?;
-    // Phase 1: mSEED → CSV (parallel over files).
+    std::fs::create_dir_all(csv_dir).map_err(|e| io_err("creating csv dir", e))?;
+    let descriptor = adapter.descriptor();
+    let source_dir = csv_dir.join(&descriptor.name);
+    std::fs::create_dir_all(&source_dir).map_err(|e| io_err("creating csv dir", e))?;
+    let dtypes: Vec<DataType> = descriptor
+        .schema(&descriptor.ad_table)
+        .map(|s| s.columns.iter().map(|c| c.dtype).collect())
+        .unwrap_or_default();
+    // Phase 1: chunk decode → CSV (parallel over files).
     let t = Instant::now();
     let csv_paths: Vec<PathBuf> = registry
         .entries()
         .iter()
-        .map(|e| csv_dir.join(format!("file_{}.csv", e.file_id)))
+        .map(|e| source_dir.join(format!("file_{}.csv", e.file_id)))
         .collect();
     let bytes_written: Vec<parking_lot::Mutex<Result<u64>>> =
         (0..registry.len()).map(|_| parking_lot::Mutex::new(Ok(0))).collect();
@@ -227,9 +395,11 @@ pub fn load_eager_csv(
                 let mut i = w;
                 while i < registry.len() {
                     let entry = &registry.entries()[i];
-                    let out = sommelier_mseed::read_full(Path::new(&entry.uri))
+                    let out = adapter
+                        .load_chunk(entry)
                         .map_err(Into::into)
-                        .and_then(|f| export_csv(&f, &csv_paths[i]).map_err(Into::into));
+                        .and_then(|rel| relation_batch(&rel, descriptor))
+                        .and_then(|batch| batch_to_csv(&batch, &csv_paths[i]));
                     *bytes_written[i].lock() = out;
                     i += workers;
                 }
@@ -239,9 +409,9 @@ pub fn load_eager_csv(
     for b in bytes_written {
         report.csv_bytes += b.into_inner()?;
     }
-    report.mseed_to_csv = t.elapsed();
+    report.chunks_to_csv += t.elapsed();
 
-    // Phase 2: CSV → DB (parse rows, attach system keys, append).
+    // Phase 2: CSV → DB (parse rows, append).
     let t = Instant::now();
     let indices: Vec<usize> = (0..registry.len()).collect();
     for wave in indices.chunks(WAVE) {
@@ -252,32 +422,11 @@ pub fn load_eager_csv(
             for w in 0..workers {
                 let slots = &slots;
                 let csv_paths = &csv_paths;
+                let dtypes = &dtypes;
                 scope.spawn(move || {
                     let mut i = w;
                     while i < wave.len() {
-                        let fi = wave[i];
-                        let entry = &registry.entries()[fi];
-                        let out = (|| -> Result<Vec<ColumnData>> {
-                            let rows = import_csv(&csv_paths[fi])?;
-                            let n = rows.len();
-                            let mut file_ids = Vec::with_capacity(n);
-                            let mut seg_ids = Vec::with_capacity(n);
-                            let mut times = Vec::with_capacity(n);
-                            let mut values = Vec::with_capacity(n);
-                            for r in rows {
-                                file_ids.push(entry.file_id);
-                                seg_ids.push(entry.seg_base + r.seg_index as i64);
-                                times.push(r.sample_time);
-                                values.push(r.sample_value);
-                            }
-                            Ok(vec![
-                                ColumnData::Int64(file_ids),
-                                ColumnData::Int64(seg_ids),
-                                ColumnData::Timestamp(times),
-                                ColumnData::Float64(values),
-                            ])
-                        })();
-                        *slots[i].lock() = Some(out);
+                        *slots[i].lock() = Some(csv_to_batch(&csv_paths[wave[i]], dtypes));
                         i += workers;
                     }
                 });
@@ -286,28 +435,35 @@ pub fn load_eager_csv(
         for s in slots {
             let batch = s.into_inner().expect("slot filled")?;
             report.rows_loaded += batch[0].len() as u64;
-            db.append("D", &batch, ConstraintPolicy::pk_only())?;
+            db.append(&descriptor.ad_table, &batch, ConstraintPolicy::pk_only())?;
         }
     }
-    report.csv_to_db = t.elapsed();
+    report.csv_to_db += t.elapsed();
     Ok(())
 }
 
-/// Index phase: build the FK join indices on `S` and `D` (verifies
-/// referential integrity as a side effect).
-pub fn build_indices(db: &Database, report: &mut PrepReport) -> Result<()> {
+/// Index phase: build the FK join indices of every table that declares
+/// foreign keys (verifies referential integrity as a side effect).
+pub fn build_indices(
+    db: &Database,
+    descriptor: &SourceDescriptor,
+    report: &mut PrepReport,
+) -> Result<()> {
     let t = Instant::now();
-    db.build_join_indices("S")?;
-    db.build_join_indices("D")?;
-    report.indexing = t.elapsed();
+    for schema in &descriptor.schemas {
+        if !schema.foreign_keys.is_empty() {
+            db.build_join_indices(&schema.name)?;
+        }
+    }
+    report.indexing += t.elapsed();
     Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::schema::all_schemas;
-    use sommelier_mseed::DatasetSpec;
+    use crate::adapters::eventlog::{generate_event_logs, EventLogAdapter, EventLogSpec};
+    use crate::registrar::register_source;
     use sommelier_storage::catalog::Disposition;
 
     fn temp_dir(tag: &str) -> PathBuf {
@@ -321,57 +477,79 @@ mod tests {
         dir
     }
 
-    fn setup(tag: &str) -> (PathBuf, Database, ChunkRegistry, PrepReport, u64) {
+    fn setup(
+        tag: &str,
+    ) -> (PathBuf, Database, EventLogAdapter, ChunkRegistry, PrepReport, u64) {
         let dir = temp_dir(tag);
-        let repo = Repository::at(dir.join("repo"));
-        let mut spec = DatasetSpec::ingv(1, 16);
-        spec.days = 2; // 8 files
-        let stats = repo.generate(&spec).unwrap();
+        let spec = EventLogSpec::small(2, 16);
+        generate_event_logs(&dir.join("repo"), &spec).unwrap();
+        let adapter = EventLogAdapter::new(dir.join("repo"));
         let db = Database::in_memory(Default::default());
-        for s in all_schemas() {
-            db.create_table(s, Disposition::Resident).unwrap();
+        for s in &adapter.descriptor().schemas {
+            db.create_table(s.clone(), Disposition::Resident).unwrap();
         }
         let mut report = PrepReport::default();
-        let registry = register_phase(&db, &repo, 4, &mut report).unwrap();
-        (dir, db, registry, report, stats.samples)
+        let (registry, reg_report) = register_source(&db, &adapter, 4).unwrap();
+        report.register = reg_report.duration;
+        report.registrar = reg_report;
+        let events = 2 * 2 * 16; // days × hosts × events_per_file
+        (dir, db, adapter, registry, report, events)
     }
 
     #[test]
-    fn eager_plain_loads_every_sample() {
-        let (dir, db, registry, mut report, samples) = setup("plain");
-        load_eager_plain(&db, &registry, 4, &mut report).unwrap();
-        assert_eq!(report.rows_loaded, samples);
-        assert_eq!(db.table_rows("D").unwrap(), samples);
-        assert!(report.mseed_to_db > Duration::ZERO);
-        assert!(report.total() >= report.mseed_to_db);
+    fn eager_plain_loads_every_event() {
+        let (dir, db, adapter, registry, mut report, events) = setup("plain");
+        load_eager_plain(&db, &adapter, &registry, 4, &mut report).unwrap();
+        assert_eq!(report.rows_loaded, events);
+        assert_eq!(db.table_rows("E").unwrap(), events);
+        assert!(report.chunks_to_db > Duration::ZERO);
+        assert!(report.total() >= report.chunks_to_db);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
     fn eager_csv_matches_plain_and_reports_csv_size() {
-        let (dir, db, registry, mut report, samples) = setup("csv");
-        load_eager_csv(&db, &registry, &dir.join("csv"), 4, &mut report).unwrap();
-        assert_eq!(report.rows_loaded, samples);
-        assert_eq!(db.table_rows("D").unwrap(), samples);
+        let (dir, db, adapter, registry, mut report, events) = setup("csv");
+        load_eager_csv(&db, &adapter, &registry, &dir.join("csv"), 4, &mut report).unwrap();
+        assert_eq!(report.rows_loaded, events);
+        assert_eq!(db.table_rows("E").unwrap(), events);
         assert!(report.csv_bytes > 0);
-        // CSV is dramatically larger than the compressed chunks.
-        let repo_bytes = Repository::at(dir.join("repo")).total_bytes().unwrap();
-        assert!(
-            report.csv_bytes > 3 * repo_bytes,
-            "csv {} vs msd {repo_bytes}",
-            report.csv_bytes
-        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn csv_round_trip_is_lossless() {
+        let dir = temp_dir("roundtrip");
+        let path = dir.join("x.csv");
+        let batch = vec![
+            ColumnData::Int64(vec![1, -2, 3]),
+            ColumnData::Timestamp(vec![0, 86_400_000, 123]),
+            ColumnData::Float64(vec![1.5, -0.25, 1e-12]),
+            ColumnData::Text(TextColumn::from_strs(["a", "", "GET /a,\"b\""])),
+        ];
+        batch_to_csv(&batch, &path).unwrap();
+        let dtypes =
+            [DataType::Int64, DataType::Timestamp, DataType::Float64, DataType::Text];
+        let back = csv_to_batch(&path, &dtypes).unwrap();
+        assert_eq!(back[0].as_i64().unwrap(), &[1, -2, 3]);
+        assert_eq!(back[1].as_i64().unwrap(), &[0, 86_400_000, 123]);
+        assert_eq!(back[2].as_f64().unwrap(), &[1.5, -0.25, 1e-12]);
+        let text = back[3].as_text().unwrap();
+        assert_eq!(text.get(1), "");
+        assert_eq!(text.get(2), "GET /a,\"b\"", "commas and quotes survive the trip");
+        // Line breaks inside values are refused at write time (the
+        // reader is line-based) rather than corrupting the file.
+        let bad = vec![ColumnData::Text(TextColumn::from_strs(["two\nlines"]))];
+        assert!(batch_to_csv(&bad, &dir.join("bad.csv")).is_err());
         let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
     fn indices_build_after_load() {
-        let (dir, db, registry, mut report, _) = setup("index");
-        load_eager_plain(&db, &registry, 4, &mut report).unwrap();
-        build_indices(&db, &mut report).unwrap();
-        assert!(db.join_index("D", "F").is_some());
-        assert!(db.join_index("D", "S").is_some());
-        assert!(db.join_index("S", "F").is_some());
+        let (dir, db, adapter, registry, mut report, _) = setup("index");
+        load_eager_plain(&db, &adapter, &registry, 4, &mut report).unwrap();
+        build_indices(&db, adapter.descriptor(), &mut report).unwrap();
+        assert!(db.join_index("E", "G").is_some());
         assert!(report.indexing > Duration::ZERO);
         assert!(db.index_bytes() > 0);
         let _ = std::fs::remove_dir_all(&dir);
@@ -380,6 +558,8 @@ mod tests {
     #[test]
     fn mode_labels_and_flags() {
         assert_eq!(LoadingMode::EagerDmd.label(), "eager_dmd");
+        assert_eq!(LoadingMode::from_label("eager_dmd"), Some(LoadingMode::EagerDmd));
+        assert_eq!(LoadingMode::from_label("nope"), None);
         assert!(LoadingMode::EagerDmd.is_eager());
         assert!(LoadingMode::EagerDmd.builds_indices());
         assert!(LoadingMode::EagerDmd.materializes_dmd());

@@ -1,8 +1,15 @@
 //! Query classification (paper Table I) and metadata-level predicate
 //! inference.
+//!
+//! Classification is format-neutral (it only looks at the
+//! [`TableClass`] of referenced tables). Inference is driven by the
+//! declarative [`InferenceRule`]s of the query's source descriptor —
+//! the format itself decides *which* actual-data columns bound *which*
+//! metadata expressions; this module only applies the rules soundly.
 
+use crate::source::InferenceRule;
 use sommelier_engine::{CmpOp, Expr, QuerySpec};
-use sommelier_storage::{TableClass, Value};
+use sommelier_storage::TableClass;
 
 /// The paper's query taxonomy (Table I): which data classes a query
 /// refers to.
@@ -66,86 +73,71 @@ pub fn classify(spec: &QuerySpec) -> QueryType {
     }
 }
 
-/// The segment end-time expression:
-/// `S.start_time + (S.sample_count * 1000) / S.frequency` (ms).
-fn segment_end_expr() -> Expr {
-    use sommelier_engine::expr::ArithOp;
-    Expr::Arith(
-        ArithOp::Add,
-        Box::new(Expr::col("S.start_time")),
-        Box::new(Expr::Arith(
-            ArithOp::Div,
-            Box::new(Expr::Arith(
-                ArithOp::Mul,
-                Box::new(Expr::col("S.sample_count")),
-                Box::new(Expr::lit(1000i64)),
-            )),
-            Box::new(Expr::col("S.frequency")),
-        )),
-    )
-}
-
-/// Infer segment-level (metadata) predicates from sample-time
-/// predicates on the actual data.
+/// Infer metadata-level predicates from literal comparisons against
+/// actual-data columns, per the source's declarative rules.
 ///
-/// A sample with `D.sample_time < T` can only live in a segment that
-/// *starts* before `T`; one with `D.sample_time > T` only in a segment
-/// that *ends* after `T`. Propagating the query's time range onto `S`
-/// is what lets the metadata branch `Qf` narrow the chunk list to the
-/// few files covering the requested interval — the paper's "Lazy has to
-/// load only 2 mSEED files" behaviour (§VI-C). Sound: it only excludes
-/// segments that cannot contain qualifying samples.
-pub fn infer_segment_time_predicates(spec: &mut QuerySpec) {
-    let has = |name: &str| spec.tables.iter().any(|t| t.name == name);
-    if !(has("D") && has("S")) {
-        return;
-    }
+/// For each rule and each conjunct `rule.ad_column ⟨op⟩ literal`:
+/// a row with a value below the bound can only live in a metadata row
+/// whose `min_expr` is below it; one above the bound only where
+/// `max_expr` is above it. Propagating the bounds onto the metadata
+/// table is what lets the metadata branch `Qf` narrow the chunk list
+/// to the few files covering the requested interval — the paper's
+/// "Lazy has to load only 2 mSEED files" behaviour (§VI-C). Sound: it
+/// only excludes metadata rows that cannot cover qualifying values.
+pub fn apply_inference_rules(spec: &mut QuerySpec, rules: &[InferenceRule]) {
     let mut inferred: Vec<(String, Expr)> = Vec::new();
-    for (table, pred) in &spec.predicates {
-        if table != "D" {
+    for rule in rules {
+        let ad_table = rule.ad_column.split_once('.').map(|(t, _)| t).unwrap_or("");
+        let has = |name: &str| spec.tables.iter().any(|t| t.name == name);
+        if !(has(ad_table) && has(&rule.table)) {
             continue;
         }
-        for conjunct in pred.clone().split_conjunction() {
-            let Expr::Cmp(op, lhs, rhs) = &conjunct else { continue };
-            // Normalize to column-on-left.
-            let (op, col, lit) = match (&**lhs, &**rhs) {
-                (Expr::Col(c), Expr::Lit(v)) => (*op, c.as_str(), v),
-                (Expr::Lit(v), Expr::Col(c)) => (op.flip(), c.as_str(), v),
-                _ => continue,
-            };
-            if col != "D.sample_time" {
+        for (table, pred) in &spec.predicates {
+            if table != ad_table {
                 continue;
             }
-            let Ok(t) = lit.coerce_to(sommelier_storage::DataType::Timestamp) else {
-                continue;
-            };
-            let Value::Time(t) = t else { continue };
-            match op {
-                CmpOp::Lt | CmpOp::Le => {
-                    // Sample before T ⇒ segment starts before T.
-                    inferred.push((
-                        "S".to_string(),
-                        Expr::col("S.start_time").cmp(op, Expr::Lit(Value::Time(t))),
-                    ));
+            for conjunct in pred.clone().split_conjunction() {
+                let Expr::Cmp(op, lhs, rhs) = &conjunct else { continue };
+                // Normalize to column-on-left.
+                let (op, col, lit) = match (&**lhs, &**rhs) {
+                    (Expr::Col(c), Expr::Lit(v)) => (*op, c.as_str(), v),
+                    (Expr::Lit(v), Expr::Col(c)) => (op.flip(), c.as_str(), v),
+                    _ => continue,
+                };
+                if col != rule.ad_column {
+                    continue;
                 }
-                CmpOp::Gt | CmpOp::Ge => {
-                    // Sample after T ⇒ segment ends after T.
-                    inferred.push((
-                        "S".to_string(),
-                        segment_end_expr().cmp(op, Expr::Lit(Value::Time(t))),
-                    ));
+                let Ok(lit) = lit.coerce_to(rule.data_type) else { continue };
+                let bound = Expr::Lit(lit);
+                match op {
+                    CmpOp::Lt | CmpOp::Le => {
+                        // Value below the bound ⇒ the row's smallest
+                        // possible value is below it.
+                        inferred
+                            .push((rule.table.clone(), rule.min_expr.clone().cmp(op, bound)));
+                    }
+                    CmpOp::Gt | CmpOp::Ge => {
+                        // Value above the bound ⇒ the row's largest
+                        // possible value is above it. `max_expr` is
+                        // exclusive, so both `>` and `>=` need the
+                        // strict comparison (a row whose exclusive end
+                        // *equals* the bound cannot contain it).
+                        inferred.push((
+                            rule.table.clone(),
+                            rule.max_expr.clone().cmp(CmpOp::Gt, bound),
+                        ));
+                    }
+                    CmpOp::Eq => {
+                        inferred.push((
+                            rule.table.clone(),
+                            rule.min_expr
+                                .clone()
+                                .cmp(CmpOp::Le, bound.clone())
+                                .and(rule.max_expr.clone().cmp(CmpOp::Gt, bound)),
+                        ));
+                    }
+                    CmpOp::Ne => {}
                 }
-                CmpOp::Eq => {
-                    inferred.push((
-                        "S".to_string(),
-                        Expr::col("S.start_time")
-                            .cmp(CmpOp::Le, Expr::Lit(Value::Time(t)))
-                            .and(
-                                segment_end_expr().cmp(CmpOp::Gt, Expr::Lit(Value::Time(t))),
-                            ),
-                    ));
-                }
-                CmpOp::Ne => {}
             }
         }
     }
@@ -155,37 +147,46 @@ pub fn infer_segment_time_predicates(spec: &mut QuerySpec) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::schema::bind_catalog;
+    use crate::adapters::eventlog::EventLogAdapter;
     use sommelier_sql::compile;
 
+    fn catalog() -> sommelier_sql::BindCatalog {
+        crate::source::assemble_catalog(&[&EventLogAdapter::descriptor_for_tests()]).unwrap()
+    }
+
+    fn rules() -> Vec<InferenceRule> {
+        EventLogAdapter::descriptor_for_tests().inference_rules
+    }
+
     fn spec_of(sql: &str) -> QuerySpec {
-        compile(sql, &bind_catalog()).unwrap()
+        compile(sql, &catalog()).unwrap()
     }
 
     #[test]
     fn classification_matches_table_1() {
         // T1: GMd only.
         assert_eq!(
-            classify(&spec_of("SELECT COUNT(*) FROM F WHERE station = 'ISK'")),
+            classify(&spec_of("SELECT COUNT(*) FROM G WHERE host = 'web-1'")),
             QueryType::T1
         );
         // T2: DMd only.
         assert_eq!(
-            classify(&spec_of("SELECT window_max_val FROM H WHERE window_station = 'ISK'")),
+            classify(&spec_of("SELECT day_max_val FROM Y WHERE day_host = 'web-1'")),
             QueryType::T2
         );
-        // T4: GMd & AD (paper Query 1).
+        // T3: GMd & DMd.
         assert_eq!(
-            classify(&spec_of(
-                "SELECT AVG(D.sample_value) FROM dataview WHERE F.station = 'ISK'"
-            )),
+            classify(&spec_of("SELECT G.uri FROM dayview WHERE Y.day_max_val > 10")),
+            QueryType::T3
+        );
+        // T4: GMd & AD.
+        assert_eq!(
+            classify(&spec_of("SELECT AVG(E.val) FROM eventview WHERE G.host = 'web-1'")),
             QueryType::T4
         );
-        // T5: all three (paper Query 2).
+        // T5: all three.
         assert_eq!(
-            classify(&spec_of(
-                "SELECT D.sample_value FROM windowdataview WHERE H.window_max_val > 10000"
-            )),
+            classify(&spec_of("SELECT E.val FROM daylogview WHERE Y.day_max_val > 10")),
             QueryType::T5
         );
         assert!(QueryType::T5.refers_dmd());
@@ -195,51 +196,49 @@ mod tests {
     }
 
     #[test]
-    fn time_predicates_propagate_to_segments() {
+    fn time_predicates_propagate_to_metadata() {
         let mut spec = spec_of(
-            "SELECT AVG(D.sample_value) FROM dataview \
-             WHERE F.station = 'ISK' \
-             AND D.sample_time > '2010-01-12T22:15:00.000' \
-             AND D.sample_time < '2010-01-12T22:15:02.000'",
+            "SELECT AVG(E.val) FROM eventview \
+             WHERE G.host = 'web-1' \
+             AND E.ts > '2011-03-02T06:00:00.000' \
+             AND E.ts < '2011-03-02T18:00:00.000'",
         );
         let before = spec.predicates.len();
-        infer_segment_time_predicates(&mut spec);
-        let s_preds: Vec<&Expr> =
-            spec.predicates.iter().filter(|(t, _)| t == "S").map(|(_, e)| e).collect();
+        apply_inference_rules(&mut spec, &rules());
+        let g_preds: Vec<&Expr> =
+            spec.predicates.iter().filter(|(t, _)| t == "G").map(|(_, e)| e).collect();
         assert_eq!(spec.predicates.len(), before + 2);
-        assert_eq!(s_preds.len(), 2);
-        // The upper bound becomes a start_time bound; the lower bound an
-        // end-time bound (start + count/frequency).
+        // One inferred bound per time conjunct, plus the original
+        // G.host predicate.
+        assert_eq!(g_preds.len(), 3);
         let rendered: String =
-            s_preds.iter().map(|e| e.to_string()).collect::<Vec<_>>().join(" ");
-        assert!(rendered.contains("S.start_time"), "{rendered}");
-        assert!(rendered.contains("S.sample_count"), "{rendered}");
+            g_preds.iter().map(|e| e.to_string()).collect::<Vec<_>>().join(" ");
+        assert!(rendered.contains("G.day_ts"), "{rendered}");
     }
 
     #[test]
-    fn inference_skips_non_time_predicates() {
-        let mut spec =
-            spec_of("SELECT AVG(D.sample_value) FROM dataview WHERE D.sample_value > 100");
+    fn inference_skips_non_ruled_predicates() {
+        let mut spec = spec_of("SELECT AVG(E.val) FROM eventview WHERE E.val > 100");
         let before = spec.predicates.len();
-        infer_segment_time_predicates(&mut spec);
+        apply_inference_rules(&mut spec, &rules());
         assert_eq!(spec.predicates.len(), before);
     }
 
     #[test]
     fn inference_handles_flipped_literals() {
         let mut spec = spec_of(
-            "SELECT AVG(D.sample_value) FROM dataview \
-             WHERE '2010-01-12T00:00:00.000' < D.sample_time",
+            "SELECT AVG(E.val) FROM eventview WHERE '2011-03-02T00:00:00.000' < E.ts",
         );
-        infer_segment_time_predicates(&mut spec);
-        assert!(spec.predicates.iter().any(|(t, _)| t == "S"));
+        let before = spec.predicates.iter().filter(|(t, _)| t == "G").count();
+        apply_inference_rules(&mut spec, &rules());
+        assert_eq!(spec.predicates.iter().filter(|(t, _)| t == "G").count(), before + 1);
     }
 
     #[test]
     fn inference_requires_both_tables() {
-        // Query over H only: no S/D, no inference.
-        let mut spec = spec_of("SELECT window_max_val FROM H");
-        infer_segment_time_predicates(&mut spec);
+        // Query over Y only: no G/E in scope, no inference.
+        let mut spec = spec_of("SELECT day_max_val FROM Y");
+        apply_inference_rules(&mut spec, &rules());
         assert!(spec.predicates.is_empty());
     }
 }

@@ -1,251 +1,46 @@
 //! The Registrar (§V.1): eager ingestion of *given metadata*.
 //!
-//! When a repository is registered, the Registrar iterates over all its
-//! files in parallel, extracts the control headers (never touching the
-//! compressed payloads) and bulk-loads tables `F` and `S`. This is the
-//! entire up-front cost of the paper's lazy variant — "extracting only
-//! the metadata is orders of magnitude faster than extracting and
-//! loading all data" (§VI-B).
+//! When a source is registered, its adapter iterates over the
+//! repository's chunk files, extracts the control headers (never
+//! touching the payloads) and bulk-loads the source's given-metadata
+//! tables. This is the entire up-front cost of the paper's lazy
+//! variant — "extracting only the metadata is orders of magnitude
+//! faster than extracting and loading all data" (§VI-B).
+//!
+//! The format-specific scan lives in
+//! [`crate::source::SourceAdapter::register`]; this module only times
+//! it and assembles the chunk registry.
 
-use crate::chunks::{ChunkRegistry, FileEntry};
-use crate::error::{Result, SommelierError};
-use sommelier_mseed::reader::FileHeader;
-use sommelier_mseed::Repository;
-use sommelier_storage::column::TextColumn;
-use sommelier_storage::{ColumnData, ConstraintPolicy, Database};
-use std::path::PathBuf;
+use crate::chunks::ChunkRegistry;
+use crate::error::Result;
+use crate::source::SourceAdapter;
+use sommelier_storage::Database;
 use std::time::{Duration, Instant};
 
 /// Registration outcome.
 #[derive(Debug, Clone, Default)]
 pub struct RegistrarReport {
+    /// Chunk files registered.
     pub files: u64,
+    /// Sub-units (e.g. mSEED segments) registered.
     pub segments: u64,
     pub duration: Duration,
 }
 
-/// Read headers of all files, in parallel, preserving file order.
-pub fn read_all_headers(files: &[PathBuf], max_threads: usize) -> Result<Vec<FileHeader>> {
-    let workers = files.len().clamp(1, max_threads.max(1));
-    let slots: Vec<parking_lot::Mutex<Option<sommelier_mseed::Result<FileHeader>>>> =
-        (0..files.len()).map(|_| parking_lot::Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for w in 0..workers {
-            let slots = &slots;
-            scope.spawn(move || {
-                let mut i = w;
-                while i < files.len() {
-                    *slots[i].lock() = Some(sommelier_mseed::read_metadata(&files[i]));
-                    i += workers;
-                }
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|s| s.into_inner().expect("all slots filled").map_err(SommelierError::Mseed))
-        .collect()
-}
-
-/// Register `repo` into `db`: extract headers, assign system keys,
-/// bulk-load `F` and `S`, and build the chunk registry.
-pub fn register_repository(
+/// Register one source into `db`: the adapter extracts headers,
+/// assigns system keys and bulk-loads its given-metadata tables; we
+/// time it and build the chunk registry.
+pub fn register_source(
     db: &Database,
-    repo: &Repository,
+    adapter: &dyn SourceAdapter,
     max_threads: usize,
 ) -> Result<(ChunkRegistry, RegistrarReport)> {
     let t0 = Instant::now();
-    let files = repo.list()?;
-    let headers = read_all_headers(&files, max_threads)?;
-
-    // Assign system keys in file order; segment ids are contiguous per
-    // file, which the chunk-access operator relies on.
-    let mut entries = Vec::with_capacity(files.len());
-    let mut seg_cursor: i64 = 0;
-
-    // F columns.
-    let n = files.len();
-    let mut file_ids = Vec::with_capacity(n);
-    let mut uris = TextColumn::new();
-    let mut networks = TextColumn::new();
-    let mut stations = TextColumn::new();
-    let mut locations = TextColumn::new();
-    let mut channels = TextColumn::new();
-    let mut qualities = TextColumn::new();
-    let mut encodings = Vec::with_capacity(n);
-    let mut byte_orders = Vec::with_capacity(n);
-
-    // S columns.
-    let mut seg_ids = Vec::new();
-    let mut seg_file_ids = Vec::new();
-    let mut start_times = Vec::new();
-    let mut frequencies = Vec::new();
-    let mut sample_counts = Vec::new();
-
-    for (i, (path, header)) in files.iter().zip(&headers).enumerate() {
-        let file_id = i as i64;
-        let uri = path.to_string_lossy().into_owned();
-        file_ids.push(file_id);
-        uris.push(&uri);
-        networks.push(&header.meta.network);
-        stations.push(&header.meta.station);
-        locations.push(&header.meta.location);
-        channels.push(&header.meta.channel);
-        qualities.push(&header.meta.data_quality);
-        encodings.push(header.meta.encoding as i64);
-        byte_orders.push(header.meta.byte_order as i64);
-
-        let seg_base = seg_cursor;
-        for seg in &header.segments {
-            seg_ids.push(seg_cursor);
-            seg_file_ids.push(file_id);
-            start_times.push(seg.start_time);
-            frequencies.push(seg.frequency);
-            sample_counts.push(seg.sample_count as i64);
-            seg_cursor += 1;
-        }
-        entries.push(FileEntry {
-            uri,
-            file_id,
-            seg_base,
-            seg_count: header.segments.len() as u32,
-        });
-    }
-
-    let segments = seg_ids.len() as u64;
-    db.append(
-        "F",
-        &[
-            ColumnData::Int64(file_ids),
-            ColumnData::Text(uris),
-            ColumnData::Text(networks),
-            ColumnData::Text(stations),
-            ColumnData::Text(locations),
-            ColumnData::Text(channels),
-            ColumnData::Text(qualities),
-            ColumnData::Int64(encodings),
-            ColumnData::Int64(byte_orders),
-        ],
-        ConstraintPolicy::pk_only(),
-    )?;
-    db.append(
-        "S",
-        &[
-            ColumnData::Int64(seg_ids),
-            ColumnData::Int64(seg_file_ids),
-            ColumnData::Timestamp(start_times),
-            ColumnData::Float64(frequencies),
-            ColumnData::Int64(sample_counts),
-        ],
-        ConstraintPolicy::pk_only(),
-    )?;
-
-    let report =
-        RegistrarReport { files: files.len() as u64, segments, duration: t0.elapsed() };
+    let entries = adapter.register(db, max_threads)?;
+    let report = RegistrarReport {
+        files: entries.len() as u64,
+        segments: entries.iter().map(|e| e.seg_count as u64).sum(),
+        duration: t0.elapsed(),
+    };
     Ok((ChunkRegistry::new(entries), report))
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::schema::all_schemas;
-    use sommelier_mseed::DatasetSpec;
-    use sommelier_storage::catalog::Disposition;
-    use sommelier_storage::Value;
-    use std::path::PathBuf;
-
-    fn temp_dir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "somm-registrar-{tag}-{}-{:?}",
-            std::process::id(),
-            std::thread::current().id()
-        ));
-        let _ = std::fs::remove_dir_all(&dir);
-        std::fs::create_dir_all(&dir).unwrap();
-        dir
-    }
-
-    fn fresh_db() -> Database {
-        let db = Database::in_memory(Default::default());
-        for s in all_schemas() {
-            db.create_table(s, Disposition::Resident).unwrap();
-        }
-        db
-    }
-
-    #[test]
-    fn registers_a_small_repository() {
-        let dir = temp_dir("basic");
-        let repo = Repository::at(&dir);
-        let mut spec = DatasetSpec::ingv(1, 8);
-        spec.days = 2; // 8 files
-        let stats = repo.generate(&spec).unwrap();
-        let db = fresh_db();
-        let (registry, report) = register_repository(&db, &repo, 4).unwrap();
-        assert_eq!(report.files, 8);
-        assert_eq!(report.segments, stats.segments);
-        assert_eq!(db.table_rows("F").unwrap(), 8);
-        assert_eq!(db.table_rows("S").unwrap(), stats.segments);
-        assert_eq!(db.table_rows("D").unwrap(), 0, "no actual data ingested");
-        assert_eq!(registry.len(), 8);
-        assert_eq!(registry.total_segments(), stats.segments);
-        let _ = std::fs::remove_dir_all(&dir);
-    }
-
-    #[test]
-    fn segment_ids_are_contiguous_per_file() {
-        let dir = temp_dir("contig");
-        let repo = Repository::at(&dir);
-        let mut spec = DatasetSpec::fiam(1, 8);
-        spec.days = 3;
-        repo.generate(&spec).unwrap();
-        let db = fresh_db();
-        let (registry, _) = register_repository(&db, &repo, 2).unwrap();
-        let mut expected_base = 0i64;
-        for e in registry.entries() {
-            assert_eq!(e.seg_base, expected_base);
-            expected_base += e.seg_count as i64;
-        }
-    }
-
-    #[test]
-    fn station_metadata_lands_in_f() {
-        let dir = temp_dir("meta");
-        let repo = Repository::at(&dir);
-        let mut spec = DatasetSpec::ingv(1, 8);
-        spec.days = 1; // 4 files, one per station
-        repo.generate(&spec).unwrap();
-        let db = fresh_db();
-        register_repository(&db, &repo, 4).unwrap();
-        let cols = db.scan_columns("F", &["station", "channel"]).unwrap();
-        let mut stations: Vec<String> = (0..4)
-            .map(|i| match cols[0].get(i) {
-                Value::Text(s) => s,
-                other => panic!("unexpected {other:?}"),
-            })
-            .collect();
-        stations.sort();
-        assert_eq!(stations, vec!["AQU", "FIAM", "ISK", "TRI"]);
-        let _ = std::fs::remove_dir_all(&dir);
-    }
-
-    #[test]
-    fn registry_roundtrips_through_db() {
-        let dir = temp_dir("roundtrip");
-        let repo = Repository::at(&dir);
-        let mut spec = DatasetSpec::fiam(1, 8);
-        spec.days = 2;
-        repo.generate(&spec).unwrap();
-        let db = fresh_db();
-        let (registry, _) = register_repository(&db, &repo, 2).unwrap();
-        let rebuilt = crate::chunks::registry_from_db(&db).unwrap();
-        assert_eq!(rebuilt.len(), registry.len());
-        for (a, b) in registry.entries().iter().zip(rebuilt.entries()) {
-            assert_eq!(a.uri, b.uri);
-            assert_eq!(a.file_id, b.file_id);
-            assert_eq!(a.seg_base, b.seg_base);
-            assert_eq!(a.seg_count, b.seg_count);
-        }
-        let _ = std::fs::remove_dir_all(&dir);
-    }
 }

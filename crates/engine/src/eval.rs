@@ -146,6 +146,26 @@ fn call(f: Func, args: &[Expr], rel: &Relation) -> Result<ColumnData> {
             let bucket = if f == Func::HourBucket { hour_bucket } else { day_bucket };
             Ok(ColumnData::Timestamp(v.iter().map(|&t| bucket(t)).collect()))
         }
+        Func::TimeBucket => {
+            let c = arg(0)?;
+            let v = c.as_i64().map_err(EngineError::Storage)?;
+            if v.is_empty() {
+                return Ok(ColumnData::Timestamp(Vec::new()));
+            }
+            let w = arg(1)?;
+            let w = w.as_i64().map_err(EngineError::Storage)?;
+            let width = *w.first().ok_or_else(|| {
+                EngineError::Exec("TIME_BUCKET width must be a constant".into())
+            })?;
+            if width <= 0 {
+                return Err(EngineError::Exec(format!(
+                    "TIME_BUCKET width must be positive, got {width}"
+                )));
+            }
+            Ok(ColumnData::Timestamp(
+                v.iter().map(|&t| t.div_euclid(width) * width).collect(),
+            ))
+        }
         Func::Abs => {
             let c = arg(0)?;
             Ok(match c {

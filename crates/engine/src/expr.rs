@@ -81,6 +81,11 @@ pub enum Func {
     HourBucket,
     /// Floor a timestamp to its day.
     DayBucket,
+    /// Floor a timestamp to an arbitrary bucket width:
+    /// `TIME_BUCKET(ts, width_ms)`. Generalizes the fixed hour/day
+    /// buckets so source adapters can declare any derived-metadata
+    /// window granularity.
+    TimeBucket,
     /// Absolute value.
     Abs,
 }
@@ -91,6 +96,7 @@ impl Func {
         match self {
             Func::HourBucket => "HOUR_BUCKET",
             Func::DayBucket => "DAY_BUCKET",
+            Func::TimeBucket => "TIME_BUCKET",
             Func::Abs => "ABS",
         }
     }
@@ -100,6 +106,7 @@ impl Func {
         match name.to_ascii_uppercase().as_str() {
             "HOUR_BUCKET" => Some(Func::HourBucket),
             "DAY_BUCKET" => Some(Func::DayBucket),
+            "TIME_BUCKET" => Some(Func::TimeBucket),
             "ABS" => Some(Func::Abs),
             _ => None,
         }

@@ -150,7 +150,10 @@ pub struct TwoStageConfig {
     pub use_cache: bool,
     /// Use FK join indices where available (eager-index plans).
     pub use_index_joins: bool,
-    /// Which `Qf` output column carries the chunk URI.
+    /// Which `Qf` output column carries the chunk URI. There is no
+    /// meaningful default — the caller takes it from its source
+    /// descriptor (e.g. `F.uri` for the mSEED adapter); plans with lazy
+    /// scans fail if it is left empty.
     pub uri_column: String,
     /// Worker cap for [`ParallelMode::Static`].
     pub max_threads: usize,
@@ -168,7 +171,7 @@ impl Default for TwoStageConfig {
             pushdown: true,
             use_cache: true,
             use_index_joins: false,
-            uri_column: "F.uri".to_string(),
+            uri_column: String::new(),
             max_threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(8),
             sampling: None,
         }
@@ -571,6 +574,10 @@ mod tests {
         }
     }
 
+    fn test_config() -> TwoStageConfig {
+        TwoStageConfig { uri_column: "F.uri".to_string(), ..TwoStageConfig::default() }
+    }
+
     fn metadata_db() -> Database {
         let db = Database::in_memory(BufferPoolConfig::default());
         db.create_table(
@@ -626,7 +633,7 @@ mod tests {
         let db = metadata_db();
         let source = FakeSource::new(3);
         let recycler = Recycler::new(1 << 20);
-        let config = TwoStageConfig::default();
+        let config = test_config();
         let out = execute_plan(
             &db,
             &lazy_plan(),
@@ -648,7 +655,7 @@ mod tests {
         let db = metadata_db();
         let source = FakeSource::new(3);
         let recycler = Recycler::new(1 << 20);
-        let config = TwoStageConfig::default();
+        let config = test_config();
         let access = || ChunkAccess::Direct { source: &source, recycler: Some(&recycler) };
         execute_plan(&db, &lazy_plan(), access(), &config).unwrap();
         let out = execute_plan(&db, &lazy_plan(), access(), &config).unwrap();
@@ -663,7 +670,7 @@ mod tests {
         let db = metadata_db();
         let source = FakeSource::new(3);
         let recycler = Recycler::new(1 << 20);
-        let config = TwoStageConfig { use_cache: false, ..TwoStageConfig::default() };
+        let config = TwoStageConfig { use_cache: false, ..test_config() };
         let access = || ChunkAccess::Direct { source: &source, recycler: Some(&recycler) };
         execute_plan(&db, &lazy_plan(), access(), &config).unwrap();
         let out = execute_plan(&db, &lazy_plan(), access(), &config).unwrap();
@@ -679,7 +686,7 @@ mod tests {
         let config = TwoStageConfig {
             parallel: ParallelMode::Exchange { workers: 4 },
             use_cache: false,
-            ..TwoStageConfig::default()
+            ..test_config()
         };
         let out = execute_plan(
             &db,
@@ -705,8 +712,7 @@ mod tests {
             }),
             exprs: vec![("s".into(), Expr::col("F.station"))],
         };
-        let out =
-            execute_plan(&db, &plan, ChunkAccess::None, &TwoStageConfig::default()).unwrap();
+        let out = execute_plan(&db, &plan, ChunkAccess::None, &test_config()).unwrap();
         assert_eq!(out.relation.rows(), 3);
         assert_eq!(out.stats.files_selected, 0);
         assert!(out.stats.stage1 > Duration::ZERO);
@@ -729,7 +735,7 @@ mod tests {
             &db,
             &plan,
             ChunkAccess::Direct { source: &source, recycler: None },
-            &TwoStageConfig::default(),
+            &test_config(),
         )
         .unwrap();
         assert_eq!(out.stats.files_selected, 3, "no metadata: all chunks");
@@ -740,7 +746,7 @@ mod tests {
     fn missing_source_is_an_error() {
         let db = metadata_db();
         assert!(matches!(
-            execute_plan(&db, &lazy_plan(), ChunkAccess::None, &TwoStageConfig::default()),
+            execute_plan(&db, &lazy_plan(), ChunkAccess::None, &test_config()),
             Err(EngineError::Chunk(_))
         ));
     }

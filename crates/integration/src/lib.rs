@@ -1,9 +1,9 @@
 //! Shared helpers for the workspace-level integration tests in
 //! `tests/` (wired into cargo through this crate's `[[test]]` entries).
 
-use sommelier_core::{LoadingMode, Sommelier, SommelierConfig};
-use sommelier_mseed::{DatasetSpec, Repository};
-use std::path::PathBuf;
+use sommelier_core::{LoadingMode, Result, Sommelier, SommelierConfig};
+use sommelier_mseed::{DatasetSpec, MseedAdapter, Repository};
+use std::path::{Path, PathBuf};
 
 /// A self-cleaning scratch directory.
 pub struct TempDir(pub PathBuf);
@@ -51,11 +51,44 @@ pub fn fiam_repo(dir: &TempDir, days: u32, samples: u32) -> Repository {
     repo
 }
 
+/// An in-memory system over the given mSEED repository directory.
+pub fn in_memory_system(repo: &Repository, config: SommelierConfig) -> Result<Sommelier> {
+    Sommelier::builder()
+        .source(MseedAdapter::new(Repository::at(repo.dir())))
+        .config(config)
+        .build()
+}
+
+/// A disk-backed system (database files under `db_dir`).
+pub fn disk_system(
+    db_dir: &Path,
+    repo: &Repository,
+    config: SommelierConfig,
+) -> Result<Sommelier> {
+    Sommelier::builder()
+        .source(MseedAdapter::new(Repository::at(repo.dir())))
+        .config(config)
+        .on_disk(db_dir)
+        .build()
+}
+
+/// Re-open a previously prepared disk-backed system.
+pub fn open_system(
+    db_dir: &Path,
+    repo: &Repository,
+    config: SommelierConfig,
+) -> Result<Sommelier> {
+    Sommelier::builder()
+        .source(MseedAdapter::new(Repository::at(repo.dir())))
+        .config(config)
+        .open(db_dir)
+        .build()
+}
+
 /// An in-memory system prepared with `mode` over the given repository
 /// directory.
 pub fn prepared(repo: &Repository, mode: LoadingMode, config: SommelierConfig) -> Sommelier {
-    let somm =
-        Sommelier::in_memory(Repository::at(repo.dir()), config).expect("create sommelier");
+    let somm = in_memory_system(repo, config).expect("create sommelier");
     somm.prepare(mode).expect("prepare");
     somm
 }

@@ -1,0 +1,712 @@
+//! The seismology [`SourceAdapter`]: mSEED chunk files as a sommelier
+//! source.
+//!
+//! This is the paper's own scenario (§II-C, after its reference
+//! \[13\]), packaged behind the format-neutral adapter API of
+//! `sommelier-core`:
+//!
+//! * `F` — given metadata per file (sensor identity + technical
+//!   characteristics), plus the system-assigned `file_id` and the `uri`
+//!   that the lazy loader uses to find the chunk.
+//! * `S` — given metadata per segment (time coverage, sampling rate).
+//! * `D` — the actual data: one row per sample.
+//! * `H` — derived metadata: hourly summary windows
+//!   (max/min/mean/stddev), keyed by (station, channel, window start).
+//!
+//! Plus the non-materialized views `dataview` (= F ⋈ S ⋈ D),
+//! `windowdataview` (= F ⋈ S ⋈ D ⋈ H), `segview` (= F ⋈ S) and
+//! `windowview` (= F ⋈ H).
+
+use crate::reader::{decode_segment, read_full_bytes, FileHeader};
+use crate::repo::Repository;
+use crate::SegmentData;
+use parking_lot::Mutex;
+use sommelier_core::chunks::FileEntry;
+use sommelier_core::source::{
+    DmdAgg, DmdDim, DmdSpec, InferenceRule, SourceAdapter, SourceDescriptor, UnitTableSpec,
+};
+use sommelier_core::{Result, SommelierError};
+use sommelier_engine::expr::ArithOp;
+use sommelier_engine::twostage::ChunkUnit;
+use sommelier_engine::{AggFunc, EngineError, Expr, Func, JoinEdge, Relation};
+use sommelier_sql::ViewDef;
+use sommelier_storage::column::TextColumn;
+use sommelier_storage::time::MS_PER_HOUR;
+use sommelier_storage::{
+    ColumnData, ConstraintPolicy, DataType, Database, TableClass, TableSchema,
+};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Schema of the given-metadata file table `F`.
+pub fn f_schema() -> TableSchema {
+    TableSchema::new("F", TableClass::MetadataGiven)
+        .column("file_id", DataType::Int64)
+        .column("uri", DataType::Text)
+        .column("network", DataType::Text)
+        .column("station", DataType::Text)
+        .column("location", DataType::Text)
+        .column("channel", DataType::Text)
+        .column("data_quality", DataType::Text)
+        .column("encoding", DataType::Int64)
+        .column("byte_order", DataType::Int64)
+        .primary_key(["file_id"])
+}
+
+/// Schema of the given-metadata segment table `S`.
+pub fn s_schema() -> TableSchema {
+    TableSchema::new("S", TableClass::MetadataGiven)
+        .column("seg_id", DataType::Int64)
+        .column("file_id", DataType::Int64)
+        .column("start_time", DataType::Timestamp)
+        .column("frequency", DataType::Float64)
+        .column("sample_count", DataType::Int64)
+        .primary_key(["seg_id"])
+        .foreign_key(["file_id"], "F", ["file_id"])
+}
+
+/// Schema of the actual-data table `D`.
+pub fn d_schema() -> TableSchema {
+    TableSchema::new("D", TableClass::ActualData)
+        .column("file_id", DataType::Int64)
+        .column("seg_id", DataType::Int64)
+        .column("sample_time", DataType::Timestamp)
+        .column("sample_value", DataType::Float64)
+        .foreign_key(["file_id"], "F", ["file_id"])
+        .foreign_key(["seg_id"], "S", ["seg_id"])
+}
+
+/// Schema of the derived-metadata window table `H`.
+pub fn h_schema() -> TableSchema {
+    TableSchema::new("H", TableClass::MetadataDerived)
+        .column("window_station", DataType::Text)
+        .column("window_channel", DataType::Text)
+        .column("window_start_ts", DataType::Timestamp)
+        .column("window_max_val", DataType::Float64)
+        .column("window_min_val", DataType::Float64)
+        .column("window_mean_val", DataType::Float64)
+        .column("window_std_dev", DataType::Float64)
+        .primary_key(["window_station", "window_channel", "window_start_ts"])
+}
+
+/// All four table schemas.
+pub fn all_schemas() -> Vec<TableSchema> {
+    vec![f_schema(), s_schema(), d_schema(), h_schema()]
+}
+
+/// `dataview = F ⋈ S ⋈ D` (join edges F–S on file, S–D on segment,
+/// D–F on file).
+pub fn dataview() -> ViewDef {
+    ViewDef {
+        name: "dataview".into(),
+        tables: vec!["F".into(), "S".into(), "D".into()],
+        joins: vec![
+            JoinEdge::new(
+                "F",
+                "S",
+                vec![Expr::col("F.file_id")],
+                vec![Expr::col("S.file_id")],
+            )
+            .expect("static edge"),
+            JoinEdge::new("S", "D", vec![Expr::col("S.seg_id")], vec![Expr::col("D.seg_id")])
+                .expect("static edge"),
+            JoinEdge::new(
+                "F",
+                "D",
+                vec![Expr::col("F.file_id")],
+                vec![Expr::col("D.file_id")],
+            )
+            .expect("static edge"),
+        ],
+    }
+}
+
+/// `windowdataview = F ⋈ S ⋈ D ⋈ H`.
+///
+/// `H` connects to the metadata side on sensor identity
+/// (station/channel) and on *day* granularity (a window's day must
+/// match a segment's day — sound because chunk files hold one day and
+/// segments never span days; see DESIGN.md), and to `D` on the hour
+/// bucket. The day edge is what lets `Qf` narrow the chunk list to the
+/// days that actually have qualifying windows.
+pub fn windowdataview() -> ViewDef {
+    let mut view = dataview();
+    view.name = "windowdataview".into();
+    view.tables.push("H".into());
+    view.joins.push(
+        JoinEdge::new(
+            "F",
+            "H",
+            vec![Expr::col("F.station"), Expr::col("F.channel")],
+            vec![Expr::col("H.window_station"), Expr::col("H.window_channel")],
+        )
+        .expect("static edge"),
+    );
+    view.joins.push(
+        JoinEdge::new(
+            "S",
+            "H",
+            vec![Expr::Call(Func::DayBucket, vec![Expr::col("S.start_time")])],
+            vec![Expr::Call(Func::DayBucket, vec![Expr::col("H.window_start_ts")])],
+        )
+        .expect("static edge"),
+    );
+    view.joins.push(
+        JoinEdge::new(
+            "D",
+            "H",
+            vec![Expr::Call(Func::HourBucket, vec![Expr::col("D.sample_time")])],
+            vec![Expr::col("H.window_start_ts")],
+        )
+        .expect("static edge"),
+    );
+    view
+}
+
+/// `segview = F ⋈ S` — metadata only (T1 queries).
+pub fn segview() -> ViewDef {
+    ViewDef {
+        name: "segview".into(),
+        tables: vec!["F".into(), "S".into()],
+        joins: vec![JoinEdge::new(
+            "F",
+            "S",
+            vec![Expr::col("F.file_id")],
+            vec![Expr::col("S.file_id")],
+        )
+        .expect("static edge")],
+    }
+}
+
+/// `windowview = F ⋈ H` — given + derived metadata, no actual data
+/// (T3 queries).
+pub fn windowview() -> ViewDef {
+    ViewDef {
+        name: "windowview".into(),
+        tables: vec!["F".into(), "H".into()],
+        joins: vec![JoinEdge::new(
+            "F",
+            "H",
+            vec![Expr::col("F.station"), Expr::col("F.channel")],
+            vec![Expr::col("H.window_station"), Expr::col("H.window_channel")],
+        )
+        .expect("static edge")],
+    }
+}
+
+/// The segment end-time expression:
+/// `S.start_time + (S.sample_count * 1000) / S.frequency` (ms).
+fn segment_end_expr() -> Expr {
+    Expr::Arith(
+        ArithOp::Add,
+        Box::new(Expr::col("S.start_time")),
+        Box::new(Expr::Arith(
+            ArithOp::Div,
+            Box::new(Expr::Arith(
+                ArithOp::Mul,
+                Box::new(Expr::col("S.sample_count")),
+                Box::new(Expr::lit(1000i64)),
+            )),
+            Box::new(Expr::col("S.frequency")),
+        )),
+    )
+}
+
+/// The full self-description of the seismology source.
+pub fn mseed_descriptor() -> SourceDescriptor {
+    SourceDescriptor {
+        name: "mseed".into(),
+        schemas: all_schemas(),
+        views: vec![dataview(), windowdataview(), segview(), windowview()],
+        chunk_table: "F".into(),
+        chunk_id_column: "file_id".into(),
+        chunk_uri_column: "uri".into(),
+        unit_table: Some(UnitTableSpec {
+            table: "S".into(),
+            chunk_id_column: "file_id".into(),
+            unit_id_column: "seg_id".into(),
+        }),
+        ad_table: "D".into(),
+        inference_rules: vec![InferenceRule {
+            ad_column: "D.sample_time".into(),
+            table: "S".into(),
+            min_expr: Expr::col("S.start_time"),
+            max_expr: segment_end_expr(),
+            data_type: DataType::Timestamp,
+        }],
+        dmd: Some(DmdSpec {
+            table: "H".into(),
+            dims: vec![
+                DmdDim {
+                    derived_column: "window_station".into(),
+                    source_column: "F.station".into(),
+                },
+                DmdDim {
+                    derived_column: "window_channel".into(),
+                    source_column: "F.channel".into(),
+                },
+            ],
+            bucket_column: "window_start_ts".into(),
+            bucket_ad_column: "D.sample_time".into(),
+            bucket_ms: MS_PER_HOUR,
+            aggregates: vec![
+                DmdAgg {
+                    derived_column: "window_max_val".into(),
+                    func: AggFunc::Max,
+                    ad_column: "D.sample_value".into(),
+                },
+                DmdAgg {
+                    derived_column: "window_min_val".into(),
+                    func: AggFunc::Min,
+                    ad_column: "D.sample_value".into(),
+                },
+                DmdAgg {
+                    derived_column: "window_mean_val".into(),
+                    func: AggFunc::Avg,
+                    ad_column: "D.sample_value".into(),
+                },
+                DmdAgg {
+                    derived_column: "window_std_dev".into(),
+                    func: AggFunc::StdDev,
+                    ad_column: "D.sample_value".into(),
+                },
+            ],
+            derive_tables: vec!["F".into(), "S".into(), "D".into()],
+            derive_joins: dataview().joins,
+            range_table: "S".into(),
+            range_chunk_id: "file_id".into(),
+            range_min: Expr::col("S.start_time"),
+            range_max: segment_end_expr(),
+        }),
+    }
+}
+
+/// Build the D-schema relation for one decoded segment.
+fn segment_relation(file_id: i64, seg_id: i64, seg: &SegmentData) -> Relation {
+    let n = seg.samples.len();
+    let times: Vec<i64> = (0..n as u32).map(|i| seg.meta.sample_time(i)).collect();
+    let values: Vec<f64> = seg.samples.iter().map(|&v| v as f64).collect();
+    Relation::new(vec![
+        ("D.file_id".into(), ColumnData::Int64(vec![file_id; n])),
+        ("D.seg_id".into(), ColumnData::Int64(vec![seg_id; n])),
+        ("D.sample_time".into(), ColumnData::Timestamp(times)),
+        ("D.sample_value".into(), ColumnData::Float64(values)),
+    ])
+    .expect("columns are aligned by construction")
+}
+
+/// Read headers of all files, in parallel, preserving file order.
+pub fn read_all_headers(files: &[PathBuf], max_threads: usize) -> Result<Vec<FileHeader>> {
+    let workers = files.len().clamp(1, max_threads.max(1));
+    let slots: Vec<Mutex<Option<crate::Result<FileHeader>>>> =
+        (0..files.len()).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let slots = &slots;
+            scope.spawn(move || {
+                let mut i = w;
+                while i < files.len() {
+                    *slots[i].lock() = Some(crate::read_metadata(&files[i]));
+                    i += workers;
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("all slots filled")
+                .map_err(|e| SommelierError::Adapter(e.to_string()))
+        })
+        .collect()
+}
+
+/// The mSEED [`SourceAdapter`] over an on-disk [`Repository`].
+pub struct MseedAdapter {
+    repo: Repository,
+    descriptor: SourceDescriptor,
+}
+
+impl MseedAdapter {
+    /// An adapter over `repo`.
+    pub fn new(repo: Repository) -> Self {
+        MseedAdapter { repo, descriptor: mseed_descriptor() }
+    }
+
+    /// The underlying repository.
+    pub fn repo(&self) -> &Repository {
+        &self.repo
+    }
+}
+
+impl SourceAdapter for MseedAdapter {
+    fn descriptor(&self) -> &SourceDescriptor {
+        &self.descriptor
+    }
+
+    /// Register the repository: extract headers (never touching the
+    /// compressed payloads), assign system keys, bulk-load `F` and `S`.
+    fn register(&self, db: &Database, max_threads: usize) -> Result<Vec<FileEntry>> {
+        let files = self.repo.list().map_err(|e| SommelierError::Adapter(e.to_string()))?;
+        let headers = read_all_headers(&files, max_threads)?;
+
+        // Assign system keys in file order; segment ids are contiguous
+        // per file, which the chunk-access operator relies on.
+        let mut entries = Vec::with_capacity(files.len());
+        let mut seg_cursor: i64 = 0;
+
+        // F columns.
+        let n = files.len();
+        let mut file_ids = Vec::with_capacity(n);
+        let mut uris = TextColumn::new();
+        let mut networks = TextColumn::new();
+        let mut stations = TextColumn::new();
+        let mut locations = TextColumn::new();
+        let mut channels = TextColumn::new();
+        let mut qualities = TextColumn::new();
+        let mut encodings = Vec::with_capacity(n);
+        let mut byte_orders = Vec::with_capacity(n);
+
+        // S columns.
+        let mut seg_ids = Vec::new();
+        let mut seg_file_ids = Vec::new();
+        let mut start_times = Vec::new();
+        let mut frequencies = Vec::new();
+        let mut sample_counts = Vec::new();
+
+        for (i, (path, header)) in files.iter().zip(&headers).enumerate() {
+            let file_id = i as i64;
+            let uri = path.to_string_lossy().into_owned();
+            file_ids.push(file_id);
+            uris.push(&uri);
+            networks.push(&header.meta.network);
+            stations.push(&header.meta.station);
+            locations.push(&header.meta.location);
+            channels.push(&header.meta.channel);
+            qualities.push(&header.meta.data_quality);
+            encodings.push(header.meta.encoding as i64);
+            byte_orders.push(header.meta.byte_order as i64);
+
+            let seg_base = seg_cursor;
+            for seg in &header.segments {
+                seg_ids.push(seg_cursor);
+                seg_file_ids.push(file_id);
+                start_times.push(seg.start_time);
+                frequencies.push(seg.frequency);
+                sample_counts.push(seg.sample_count as i64);
+                seg_cursor += 1;
+            }
+            entries.push(FileEntry {
+                uri,
+                file_id,
+                seg_base,
+                seg_count: header.segments.len() as u32,
+            });
+        }
+
+        db.append(
+            "F",
+            &[
+                ColumnData::Int64(file_ids),
+                ColumnData::Text(uris),
+                ColumnData::Text(networks),
+                ColumnData::Text(stations),
+                ColumnData::Text(locations),
+                ColumnData::Text(channels),
+                ColumnData::Text(qualities),
+                ColumnData::Int64(encodings),
+                ColumnData::Int64(byte_orders),
+            ],
+            ConstraintPolicy::pk_only(),
+        )?;
+        db.append(
+            "S",
+            &[
+                ColumnData::Int64(seg_ids),
+                ColumnData::Int64(seg_file_ids),
+                ColumnData::Timestamp(start_times),
+                ColumnData::Float64(frequencies),
+                ColumnData::Int64(sample_counts),
+            ],
+            ConstraintPolicy::pk_only(),
+        )?;
+        Ok(entries)
+    }
+
+    fn load_chunk(&self, entry: &FileEntry) -> sommelier_engine::Result<Relation> {
+        let file = crate::read_full(Path::new(&entry.uri))
+            .map_err(|e| EngineError::Chunk(e.to_string()))?;
+        let mut out = Relation::empty();
+        for (k, seg) in file.segments.iter().enumerate() {
+            let rel = segment_relation(entry.file_id, entry.seg_base + k as i64, seg);
+            out.union_in_place(&rel)?;
+        }
+        if out.width() == 0 {
+            // Zero-segment chunk: produce an empty D-shaped relation.
+            out = sommelier_core::source::empty_ad_relation(&self.descriptor)?;
+        }
+        Ok(out)
+    }
+
+    fn chunk_units(&self, entry: &FileEntry) -> sommelier_engine::Result<Vec<ChunkUnit>> {
+        let (bytes, header) = read_full_bytes(Path::new(&entry.uri))
+            .map_err(|e| EngineError::Chunk(e.to_string()))?;
+        let bytes = Arc::new(bytes);
+        let header = Arc::new(header);
+        let file_id = entry.file_id;
+        let seg_base = entry.seg_base;
+        Ok((0..header.segments.len())
+            .map(|k| {
+                let bytes = Arc::clone(&bytes);
+                let header = Arc::clone(&header);
+                let unit: ChunkUnit = Box::new(move || {
+                    let seg = decode_segment(&bytes, &header, k)
+                        .map_err(|e| EngineError::Chunk(e.to_string()))?;
+                    Ok(segment_relation(file_id, seg_base + k as i64, &seg))
+                });
+                unit
+            })
+            .collect())
+    }
+
+    fn source_bytes(&self) -> Result<u64> {
+        self.repo.total_bytes().map_err(|e| SommelierError::Adapter(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repo::DatasetSpec;
+    use crate::{FileMeta, MseedFile, SegmentMeta};
+    use sommelier_core::registrar::register_source;
+    use sommelier_core::source::{assemble_catalog, restore_registry};
+    use sommelier_storage::catalog::Disposition;
+    use sommelier_storage::Value;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "somm-mseed-adapter-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn fresh_db() -> Database {
+        let db = Database::in_memory(Default::default());
+        for s in all_schemas() {
+            db.create_table(s, Disposition::Resident).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn descriptor_validates_and_matches_paper_classes() {
+        let d = mseed_descriptor();
+        d.validate().unwrap();
+        assert_eq!(f_schema().class, TableClass::MetadataGiven);
+        assert_eq!(s_schema().class, TableClass::MetadataGiven);
+        assert_eq!(d_schema().class, TableClass::ActualData);
+        assert_eq!(h_schema().class, TableClass::MetadataDerived);
+        assert_eq!(
+            h_schema().primary_key,
+            vec!["window_station", "window_channel", "window_start_ts"]
+        );
+        assert_eq!(d.uri_column(), "F.uri");
+        assert_eq!(d.lazy_qf_columns(), vec!["F.uri".to_string(), "F.file_id".to_string()]);
+    }
+
+    #[test]
+    fn views_reference_known_tables() {
+        let names: Vec<String> = all_schemas().into_iter().map(|s| s.name).collect();
+        for v in [dataview(), windowdataview(), segview(), windowview()] {
+            for t in &v.tables {
+                assert!(names.contains(t), "view {} references unknown {t}", v.name);
+            }
+            for j in &v.joins {
+                assert!(v.tables.contains(&j.left));
+                assert!(v.tables.contains(&j.right));
+            }
+        }
+        assert_eq!(windowdataview().joins.len(), 6);
+    }
+
+    #[test]
+    fn catalog_binds_paper_queries() {
+        let d = mseed_descriptor();
+        let cat = assemble_catalog(&[&d]).unwrap();
+        assert!(cat.has_view("dataview"));
+        assert!(cat.has_view("windowdataview"));
+        // Query 1 shape binds.
+        sommelier_sql::compile(
+            "SELECT AVG(D.sample_value) FROM dataview WHERE F.station = 'ISK'",
+            &cat,
+        )
+        .unwrap();
+        // Query 2 shape binds.
+        sommelier_sql::compile(
+            "SELECT D.sample_time, D.sample_value FROM windowdataview \
+             WHERE F.station = 'FIAM' AND H.window_max_val > 10000",
+            &cat,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn registers_a_small_repository() {
+        let dir = temp_dir("basic");
+        let repo = Repository::at(&dir);
+        let mut spec = DatasetSpec::ingv(1, 8);
+        spec.days = 2; // 8 files
+        let stats = repo.generate(&spec).unwrap();
+        let db = fresh_db();
+        let adapter = MseedAdapter::new(repo);
+        let (registry, report) = register_source(&db, &adapter, 4).unwrap();
+        assert_eq!(report.files, 8);
+        assert_eq!(report.segments, stats.segments);
+        assert_eq!(db.table_rows("F").unwrap(), 8);
+        assert_eq!(db.table_rows("S").unwrap(), stats.segments);
+        assert_eq!(db.table_rows("D").unwrap(), 0, "no actual data ingested");
+        assert_eq!(registry.len(), 8);
+        assert_eq!(registry.total_segments(), stats.segments);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn segment_ids_are_contiguous_per_file() {
+        let dir = temp_dir("contig");
+        let repo = Repository::at(&dir);
+        let mut spec = DatasetSpec::fiam(1, 8);
+        spec.days = 3;
+        repo.generate(&spec).unwrap();
+        let db = fresh_db();
+        let adapter = MseedAdapter::new(repo);
+        let (registry, _) = register_source(&db, &adapter, 2).unwrap();
+        let mut expected_base = 0i64;
+        for e in registry.entries() {
+            assert_eq!(e.seg_base, expected_base);
+            expected_base += e.seg_count as i64;
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn station_metadata_lands_in_f() {
+        let dir = temp_dir("meta");
+        let repo = Repository::at(&dir);
+        let mut spec = DatasetSpec::ingv(1, 8);
+        spec.days = 1; // 4 files, one per station
+        repo.generate(&spec).unwrap();
+        let db = fresh_db();
+        let adapter = MseedAdapter::new(repo);
+        register_source(&db, &adapter, 4).unwrap();
+        let cols = db.scan_columns("F", &["station", "channel"]).unwrap();
+        let mut stations: Vec<String> = (0..4)
+            .map(|i| match cols[0].get(i) {
+                Value::Text(s) => s,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        stations.sort();
+        assert_eq!(stations, vec!["AQU", "FIAM", "ISK", "TRI"]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn registry_roundtrips_through_db() {
+        let dir = temp_dir("roundtrip");
+        let repo = Repository::at(&dir);
+        let mut spec = DatasetSpec::fiam(1, 8);
+        spec.days = 2;
+        repo.generate(&spec).unwrap();
+        let db = fresh_db();
+        let adapter = MseedAdapter::new(repo);
+        let (registry, _) = register_source(&db, &adapter, 2).unwrap();
+        let rebuilt = restore_registry(&db, adapter.descriptor()).unwrap();
+        assert_eq!(rebuilt.len(), registry.len());
+        for (a, b) in registry.entries().iter().zip(&rebuilt) {
+            assert_eq!(a.uri, b.uri);
+            assert_eq!(a.file_id, b.file_id);
+            assert_eq!(a.seg_base, b.seg_base);
+            assert_eq!(a.seg_count, b.seg_count);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn write_test_chunk(dir: &Path) -> FileEntry {
+        let file = MseedFile {
+            meta: FileMeta::new("IV", "ISK", "", "BHE"),
+            segments: vec![
+                SegmentData {
+                    meta: SegmentMeta {
+                        seg_index: 0,
+                        start_time: 1_000,
+                        frequency: 10.0,
+                        sample_count: 3,
+                    },
+                    samples: vec![5, 6, 7],
+                },
+                SegmentData {
+                    meta: SegmentMeta {
+                        seg_index: 1,
+                        start_time: 10_000,
+                        frequency: 10.0,
+                        sample_count: 2,
+                    },
+                    samples: vec![-1, -2],
+                },
+            ],
+        };
+        let path = dir.join("x.msd");
+        crate::write_file(&path, &file).unwrap();
+        FileEntry {
+            uri: path.to_string_lossy().into_owned(),
+            file_id: 7,
+            seg_base: 100,
+            seg_count: 2,
+        }
+    }
+
+    #[test]
+    fn load_chunk_assigns_system_keys() {
+        let dir = temp_dir("load");
+        let entry = write_test_chunk(&dir);
+        let adapter = MseedAdapter::new(Repository::at(&dir));
+        let rel = adapter.load_chunk(&entry).unwrap();
+        assert_eq!(rel.rows(), 5);
+        assert_eq!(rel.column("D.file_id").unwrap().as_i64().unwrap(), &[7, 7, 7, 7, 7]);
+        assert_eq!(
+            rel.column("D.seg_id").unwrap().as_i64().unwrap(),
+            &[100, 100, 100, 101, 101]
+        );
+        // Timestamps follow the segment's frequency (10 Hz → 100 ms).
+        assert_eq!(
+            rel.column("D.sample_time").unwrap().as_i64().unwrap(),
+            &[1_000, 1_100, 1_200, 10_000, 10_100]
+        );
+        assert_eq!(
+            rel.column("D.sample_value").unwrap().as_f64().unwrap(),
+            &[5.0, 6.0, 7.0, -1.0, -2.0]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chunk_units_cover_the_same_rows() {
+        let dir = temp_dir("units");
+        let entry = write_test_chunk(&dir);
+        let adapter = MseedAdapter::new(Repository::at(&dir));
+        let units = adapter.chunk_units(&entry).unwrap();
+        assert_eq!(units.len(), 2);
+        let mut total = 0;
+        for u in units {
+            total += u().unwrap().rows();
+        }
+        assert_eq!(total, 5);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

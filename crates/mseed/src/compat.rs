@@ -1,0 +1,81 @@
+//! Deprecated constructor shims.
+//!
+//! Before the source-adapter API, `sommelier_core::Sommelier` was
+//! hardwired to the mSEED repository type and constructed with
+//! `Sommelier::in_memory(repo, config)` / `::create` / `::open`. The
+//! façade is now format-neutral and built through
+//! [`Sommelier::builder`]; these free functions reproduce the old
+//! constructors one-to-one so existing call sites migrate mechanically
+//! (`Sommelier::in_memory(repo, cfg)` →
+//! `sommelier_mseed::compat::in_memory(repo, cfg)`).
+//!
+//! New code should use the builder directly:
+//!
+//! ```no_run
+//! use sommelier_core::Sommelier;
+//! use sommelier_mseed::{MseedAdapter, Repository};
+//!
+//! let somm = Sommelier::builder()
+//!     .source(MseedAdapter::new(Repository::at("/data/mseed")))
+//!     .build()
+//!     .unwrap();
+//! ```
+
+use crate::adapter::MseedAdapter;
+use crate::repo::Repository;
+use sommelier_core::{Result, Sommelier, SommelierConfig};
+use std::path::Path;
+
+/// An in-memory system over an mSEED repository (tests, examples).
+#[deprecated(note = "use Sommelier::builder().source(MseedAdapter::new(repo)).build()")]
+pub fn in_memory(repo: Repository, config: SommelierConfig) -> Result<Sommelier> {
+    Sommelier::builder().source(MseedAdapter::new(repo)).config(config).build()
+}
+
+/// A disk-backed system: database files under `db_dir`, chunk
+/// repository at `repo`.
+#[deprecated(
+    note = "use Sommelier::builder().source(MseedAdapter::new(repo)).on_disk(db_dir).build()"
+)]
+pub fn create(db_dir: &Path, repo: Repository, config: SommelierConfig) -> Result<Sommelier> {
+    Sommelier::builder()
+        .source(MseedAdapter::new(repo))
+        .config(config)
+        .on_disk(db_dir)
+        .build()
+}
+
+/// Re-open a previously prepared disk-backed system.
+#[deprecated(
+    note = "use Sommelier::builder().source(MseedAdapter::new(repo)).open(db_dir).build()"
+)]
+pub fn open(db_dir: &Path, repo: Repository, config: SommelierConfig) -> Result<Sommelier> {
+    Sommelier::builder().source(MseedAdapter::new(repo)).config(config).open(db_dir).build()
+}
+
+#[cfg(test)]
+#[allow(deprecated)]
+mod tests {
+    use super::*;
+    use crate::repo::DatasetSpec;
+    use sommelier_core::LoadingMode;
+
+    #[test]
+    fn shim_builds_a_working_system() {
+        let dir = std::env::temp_dir().join(format!(
+            "somm-compat-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let repo = Repository::at(&dir);
+        let mut spec = DatasetSpec::ingv(1, 8);
+        spec.days = 1;
+        repo.generate(&spec).unwrap();
+        let somm = in_memory(Repository::at(&dir), SommelierConfig::default()).unwrap();
+        somm.prepare(LoadingMode::Lazy).unwrap();
+        let r = somm.query("SELECT COUNT(*) FROM F").unwrap();
+        assert_eq!(r.relation.rows(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

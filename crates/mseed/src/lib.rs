@@ -29,7 +29,13 @@
 //!   single-station FIAM variant) and the on-disk repository.
 //! * [`csv`] — CSV export/import used by the *eager csv* loading
 //!   baseline.
+//! * [`adapter`] — the [`MseedAdapter`] plugging this format into the
+//!   `sommelier-core` source-adapter API; [`compat`] keeps the old
+//!   `in_memory`/`create`/`open` constructors alive as deprecated
+//!   shims.
 
+pub mod adapter;
+pub mod compat;
 pub mod csv;
 pub mod error;
 pub mod format;
@@ -40,6 +46,7 @@ pub mod repo;
 pub mod steim;
 pub mod writer;
 
+pub use adapter::{mseed_descriptor, MseedAdapter};
 pub use error::{MseedError, Result};
 pub use reader::{read_full, read_metadata};
 pub use record::{FileMeta, MseedFile, SegmentData, SegmentMeta};

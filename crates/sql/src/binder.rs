@@ -53,6 +53,29 @@ impl BindCatalog {
         BindCatalog { tables, views: HashMap::new() }
     }
 
+    /// Register a single table schema into an existing catalog.
+    /// Returns `false` (and leaves the catalog unchanged) when a table
+    /// of that name is already registered — multi-source systems use
+    /// this to reject name collisions between source descriptors.
+    pub fn add_table(&mut self, schema: &TableSchema) -> bool {
+        if self.tables.contains_key(&schema.name) {
+            return false;
+        }
+        self.tables.insert(
+            schema.name.clone(),
+            BoundTable {
+                class: schema.class,
+                columns: schema.columns.iter().map(|c| c.name.clone()).collect(),
+            },
+        );
+        true
+    }
+
+    /// Is `name` a known base table?
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(name)
+    }
+
     /// Register a view.
     pub fn add_view(&mut self, view: ViewDef) {
         self.views.insert(view.name.clone(), view);

@@ -11,7 +11,7 @@
 //! ```
 
 use sommelier_core::{LoadingMode, Sommelier, SommelierConfig};
-use sommelier_mseed::{DatasetSpec, Repository};
+use sommelier_mseed::{DatasetSpec, MseedAdapter, Repository};
 use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -39,10 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "approach", "prep", "first query", "data-to-insight", "db bytes", "chunks"
     );
     for mode in LoadingMode::ALL {
-        let somm = Sommelier::in_memory(
-            Repository::at(dir.join("repo")),
-            SommelierConfig::default(),
-        )?;
+        let somm = Sommelier::builder()
+            .source(MseedAdapter::new(Repository::at(dir.join("repo"))))
+            .config(SommelierConfig::default())
+            .build()?;
         let t = Instant::now();
         somm.prepare(mode)?;
         let prep = t.elapsed();

@@ -13,7 +13,7 @@
 //! ```
 
 use sommelier_core::{LoadingMode, Sommelier, SommelierConfig};
-use sommelier_mseed::{DatasetSpec, Repository};
+use sommelier_mseed::{DatasetSpec, MseedAdapter, Repository};
 use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -31,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.bytes as f64 / (1024.0 * 1024.0)
     );
 
-    let somm = Sommelier::in_memory(repo, SommelierConfig::default())?;
+    let somm = Sommelier::builder()
+        .source(MseedAdapter::new(repo))
+        .config(SommelierConfig::default())
+        .build()?;
     somm.prepare(LoadingMode::Lazy)?;
 
     // Step 1 — survey: which hours of the first three days look

@@ -7,7 +7,7 @@
 //! ```
 
 use sommelier_core::{LoadingMode, Sommelier, SommelierConfig};
-use sommelier_mseed::{DatasetSpec, Repository};
+use sommelier_mseed::{DatasetSpec, MseedAdapter, Repository};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A synthetic INGV-like repository: 4 stations × 40 days = 160
@@ -28,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Register lazily: the Registrar extracts only the control
     //    headers (given metadata) — the actual data stays in the files.
-    let somm = Sommelier::in_memory(repo, SommelierConfig::default())?;
+    let somm = Sommelier::builder()
+        .source(MseedAdapter::new(repo))
+        .config(SommelierConfig::default())
+        .build()?;
     let report = somm.prepare(LoadingMode::Lazy)?;
     println!(
         "\nregistered in {:?}: F = {} rows, S = {} rows, D = {} rows",

@@ -7,7 +7,7 @@
 //! ```
 
 use sommelier_core::{LoadingMode, Sommelier, SommelierConfig};
-use sommelier_mseed::{DatasetSpec, Repository};
+use sommelier_mseed::{DatasetSpec, MseedAdapter, Repository};
 use std::io::{BufRead, Write};
 use std::time::Instant;
 
@@ -35,8 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let repo = Repository::at(&repo_dir);
     repo.generate(&DatasetSpec::ingv(1, 256))?;
 
-    let mut somm =
-        Sommelier::in_memory(Repository::at(&repo_dir), SommelierConfig::default())?;
+    let mut somm = Sommelier::builder()
+        .source(MseedAdapter::new(Repository::at(&repo_dir)))
+        .config(SommelierConfig::default())
+        .build()?;
     somm.prepare(LoadingMode::Lazy)?;
     println!(
         "prepared lazily: {} chunks registered. Type .help for help.\n",
@@ -82,8 +84,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 }
             };
             // Re-preparing needs a fresh database.
-            somm =
-                Sommelier::in_memory(Repository::at(&repo_dir), SommelierConfig::default())?;
+            somm = Sommelier::builder()
+                .source(MseedAdapter::new(Repository::at(&repo_dir)))
+                .config(SommelierConfig::default())
+                .build()?;
             let t = Instant::now();
             somm.prepare(mode)?;
             println!("prepared {} in {:?}", mode.label(), t.elapsed());

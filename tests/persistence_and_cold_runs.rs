@@ -1,9 +1,8 @@
 //! Disk-backed operation: catalog persistence, buffer-pool behaviour on
 //! cold runs, and the simulated-I/O substitution used by the figures.
 
-use sommelier_core::{LoadingMode, Sommelier, SommelierConfig};
-use sommelier_integration::{fiam_repo, TempDir};
-use sommelier_mseed::Repository;
+use sommelier_core::{LoadingMode, SommelierConfig};
+use sommelier_integration::{disk_system, fiam_repo, open_system, TempDir};
 use sommelier_storage::buffer::{BufferPoolConfig, SimIo};
 use sommelier_storage::Database;
 use std::time::Duration;
@@ -12,12 +11,7 @@ use std::time::Duration;
 fn disk_backed_prepare_and_query() {
     let dir = TempDir::new("disk");
     let repo = fiam_repo(&dir, 3, 64);
-    let somm = Sommelier::create(
-        &dir.join("db"),
-        Repository::at(repo.dir()),
-        SommelierConfig::default(),
-    )
-    .unwrap();
+    let somm = disk_system(&dir.join("db"), &repo, SommelierConfig::default()).unwrap();
     somm.prepare(LoadingMode::EagerPlain).unwrap();
     assert!(somm.db_bytes() > 0, "column files on disk");
     let r = somm
@@ -36,12 +30,7 @@ fn database_reopens_with_data_intact() {
     let db_dir = dir.join("db");
     let rows_before;
     {
-        let somm = Sommelier::create(
-            &db_dir,
-            Repository::at(repo.dir()),
-            SommelierConfig::default(),
-        )
-        .unwrap();
+        let somm = disk_system(&db_dir, &repo, SommelierConfig::default()).unwrap();
         somm.prepare(LoadingMode::EagerPlain).unwrap();
         rows_before = somm.db().table_rows("D").unwrap();
         assert!(rows_before > 0);
@@ -61,12 +50,7 @@ fn database_reopens_with_data_intact() {
 fn cold_runs_miss_the_buffer_pool() {
     let dir = TempDir::new("cold");
     let repo = fiam_repo(&dir, 2, 64);
-    let somm = Sommelier::create(
-        &dir.join("db"),
-        Repository::at(repo.dir()),
-        SommelierConfig::default(),
-    )
-    .unwrap();
+    let somm = disk_system(&dir.join("db"), &repo, SommelierConfig::default()).unwrap();
     somm.prepare(LoadingMode::EagerPlain).unwrap();
     let sql = "SELECT AVG(D.sample_value) FROM dataview \
                WHERE D.sample_time < '2010-01-02T00:00:00.000'";
@@ -93,8 +77,7 @@ fn simulated_io_slows_pool_misses() {
         sim_io: Some(SimIo { per_page: Duration::from_millis(2) }),
         ..SommelierConfig::default()
     };
-    let somm =
-        Sommelier::create(&dir.join("db"), Repository::at(repo.dir()), config).unwrap();
+    let somm = disk_system(&dir.join("db"), &repo, config).unwrap();
     somm.prepare(LoadingMode::EagerPlain).unwrap();
     let sql = "SELECT AVG(D.sample_value) FROM dataview \
                WHERE D.sample_time < '2010-01-03T00:00:00.000'";
@@ -117,8 +100,7 @@ fn buffer_pool_budget_bounds_residency() {
     let repo = fiam_repo(&dir, 4, 256);
     let config =
         SommelierConfig { buffer_pool_bytes: 256 * 1024, ..SommelierConfig::default() };
-    let somm =
-        Sommelier::create(&dir.join("db"), Repository::at(repo.dir()), config).unwrap();
+    let somm = disk_system(&dir.join("db"), &repo, config).unwrap();
     somm.prepare(LoadingMode::EagerPlain).unwrap();
     somm.query(
         "SELECT AVG(D.sample_value) FROM dataview \
@@ -137,12 +119,7 @@ fn sommelier_reopens_prepared_database() {
     let sql = "SELECT AVG(D.sample_value) FROM dataview \
                WHERE D.sample_time < '2010-01-03T00:00:00.000'";
     let (want, h_rows) = {
-        let somm = Sommelier::create(
-            &db_dir,
-            Repository::at(repo.dir()),
-            SommelierConfig::default(),
-        )
-        .unwrap();
+        let somm = disk_system(&db_dir, &repo, SommelierConfig::default()).unwrap();
         somm.prepare(LoadingMode::Lazy).unwrap();
         let want = somm.query(sql).unwrap();
         // Materialize some DMd so the reopen can recover coverage.
@@ -157,9 +134,7 @@ fn sommelier_reopens_prepared_database() {
     assert!(h_rows > 0);
     // Reopen: lazy mode inferred (D empty), registry rebuilt from F/S,
     // DMd coverage recovered from H.
-    let somm =
-        Sommelier::open(&db_dir, Repository::at(repo.dir()), SommelierConfig::default())
-            .unwrap();
+    let somm = open_system(&db_dir, &repo, SommelierConfig::default()).unwrap();
     assert_eq!(somm.mode(), Some(LoadingMode::Lazy));
     assert_eq!(somm.registered_chunks(), 3);
     assert!(somm.dmd_manager().covered_count() >= h_rows as usize);
@@ -181,13 +156,30 @@ fn second_create_in_same_dir_fails() {
     let dir = TempDir::new("dup");
     let repo = fiam_repo(&dir, 1, 16);
     let db_dir = dir.join("db");
-    let _first =
-        Sommelier::create(&db_dir, Repository::at(repo.dir()), SommelierConfig::default())
-            .unwrap();
-    assert!(Sommelier::create(
-        &db_dir,
-        Repository::at(repo.dir()),
-        SommelierConfig::default()
-    )
-    .is_err());
+    let _first = disk_system(&db_dir, &repo, SommelierConfig::default()).unwrap();
+    assert!(disk_system(&db_dir, &repo, SommelierConfig::default()).is_err());
+}
+
+#[test]
+fn reopened_system_restores_prepared_mode() {
+    // The mode-inference bug this guards against: a reopened
+    // `EagerIndex` database used to silently downgrade to `EagerPlain`
+    // (the mode was guessed from D's row count), losing
+    // `use_index_joins` after every restart. The mode is persisted now.
+    let dir = TempDir::new("mode-persist");
+    let repo = fiam_repo(&dir, 2, 32);
+    let db_dir = dir.join("db");
+    let sql = "SELECT AVG(D.sample_value) FROM dataview \
+               WHERE D.sample_time < '2010-01-02T00:00:00.000'";
+    let want = {
+        let somm = disk_system(&db_dir, &repo, SommelierConfig::default()).unwrap();
+        somm.prepare(LoadingMode::EagerIndex).unwrap();
+        assert!(somm.db().join_index("D", "F").is_some());
+        somm.query(sql).unwrap().relation.value(0, "avg").unwrap()
+    };
+    let somm = open_system(&db_dir, &repo, SommelierConfig::default()).unwrap();
+    assert_eq!(somm.mode(), Some(LoadingMode::EagerIndex), "mode restored, not guessed");
+    // Join indices are rebuilt on open so index-join plans still work.
+    assert!(somm.db().join_index("D", "F").is_some());
+    assert_eq!(somm.query(sql).unwrap().relation.value(0, "avg").unwrap(), want);
 }

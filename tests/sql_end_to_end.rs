@@ -121,11 +121,8 @@ fn error_messages_are_useful() {
 fn unprepared_system_is_a_usage_error() {
     let dir = TempDir::new("usage");
     let repo = ingv_repo(&dir, 1, 16);
-    let somm = sommelier_core::Sommelier::in_memory(
-        sommelier_mseed::Repository::at(repo.dir()),
-        SommelierConfig::default(),
-    )
-    .unwrap();
+    let somm =
+        sommelier_integration::in_memory_system(&repo, SommelierConfig::default()).unwrap();
     assert!(matches!(somm.query("SELECT COUNT(*) FROM F"), Err(SommelierError::Usage(_))));
 }
 
