@@ -1,0 +1,17 @@
+//! Sweeps stage-2 morsel parallelism: worker counts (1/2/4/8) ×
+//! selection/partial-aggregation pushdown on multi-chunk aggregate
+//! queries, reporting wall-clock, the load/stage-2 split, rows
+//! materialized into unions, and exact result bits (which must be
+//! identical across worker counts).
+//!
+//! Set `SOMM_JSON_OUT=<path>` to additionally record the table as JSON
+//! (how `BENCH_stage2.json` at the workspace root was produced).
+fn main() {
+    let scale = sommelier_bench::BenchScale::from_env();
+    let table = sommelier_bench::experiments::stage2_parallel(&scale).expect("stage2 sweep");
+    table.print();
+    if let Ok(path) = std::env::var("SOMM_JSON_OUT") {
+        std::fs::write(&path, table.to_json()).expect("write JSON baseline");
+        eprintln!("wrote {path}");
+    }
+}

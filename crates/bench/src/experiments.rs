@@ -456,6 +456,105 @@ pub fn cellar_sweep(scale: &BenchScale) -> Result<Table> {
     Ok(t)
 }
 
+/// Worker counts the stage-2 parallelism sweep compares.
+const STAGE2_WORKERS: [usize; 4] = [1, 2, 4, 8];
+
+/// Stage-2 morsel parallelism sweep — worker counts × selection/partial-
+/// aggregation pushdown on multi-chunk aggregate queries (T4 and T5
+/// over the whole FIAM range, lazy loading).
+///
+/// Per configuration the query runs `runs` times with the caches
+/// flushed before each run, so every run pays decode + stage-2
+/// execution — the fused per-chunk wave this sweep measures. Reported
+/// per row: average wall-clock, the load/stage-2 split, how many rows
+/// stage 2 materialized into a union (`union_rows`, 0 when partial
+/// aggregation fused), how many chunks went through per-chunk pipelines
+/// (`partial_chunks`), and the result as exact bits (`result_bits`) —
+/// identical `result_bits` across worker counts of one (query,
+/// pushdown) group is the serial ≡ parallel guarantee.
+pub fn stage2_parallel(scale: &BenchScale) -> Result<Table> {
+    let mut t = Table::new(
+        "Stage-2 morsel parallelism: workers × pushdown on multi-chunk aggregates \
+         (FIAM, lazy)",
+        &[
+            "sf",
+            "query",
+            "workers",
+            "pushdown",
+            "wall_s",
+            "load_s",
+            "stage2_s",
+            "union_rows",
+            "partial_chunks",
+            "files_loaded",
+            "result_bits",
+        ],
+    );
+    let (sf, _) = scale.sf_extremes();
+    let (repo, _) = dataset(scale, DatasetKind::Fiam, sf);
+    let total_days = days_for_sf(sf) as i64;
+    let d0 = start_day();
+    let (a, b) = queries::day_range(d0, total_days);
+    let sqls = [("T4", queries::t4_selectivity(a, b)), ("T5", queries::t5_selectivity(a, b))];
+    for (name, sql) in &sqls {
+        for pushdown in [true, false] {
+            for &workers in &STAGE2_WORKERS {
+                let config = SommelierConfig {
+                    max_threads: workers,
+                    chunk_pushdown: pushdown,
+                    ..bench_config(scale)
+                };
+                let guard = fresh_system_with(scale, &repo, LoadingMode::Lazy, config)?;
+                // Warm run: derive any DMd the query needs (T5's windows)
+                // so the timed runs measure chunk work, not derivation.
+                guard.somm.query(sql)?;
+                let runs = scale.runs.max(1);
+                let mut wall = std::time::Duration::ZERO;
+                let mut load = std::time::Duration::ZERO;
+                let mut stage2 = std::time::Duration::ZERO;
+                let mut last: Option<sommelier_core::QueryResult> = None;
+                for _ in 0..runs {
+                    // Flush residency: every run decodes its chunks.
+                    guard.somm.flush_caches();
+                    let (r, d) = time_it(|| guard.somm.query(sql));
+                    let r = r?;
+                    wall += d;
+                    load += r.stats.load;
+                    stage2 += r.stats.stage2;
+                    last = Some(r);
+                }
+                let last = last.expect("runs >= 1");
+                let avg = match last
+                    .relation
+                    .value(0, "avg")
+                    .map_err(sommelier_core::SommelierError::Engine)?
+                {
+                    sommelier_storage::Value::Float(v) => v,
+                    other => {
+                        return Err(sommelier_core::SommelierError::Usage(format!(
+                            "expected a float AVG, got {other:?}"
+                        )))
+                    }
+                };
+                t.row(vec![
+                    format!("sf-{sf}"),
+                    name.to_string(),
+                    workers.to_string(),
+                    if pushdown { "on" } else { "off" }.to_string(),
+                    secs(wall / runs as u32),
+                    secs(load / runs as u32),
+                    secs(stage2 / runs as u32),
+                    last.stats.rows_union_materialized.to_string(),
+                    last.stats.partial_agg_chunks.to_string(),
+                    last.stats.files_loaded.to_string(),
+                    format!("{:016x}", avg.to_bits()),
+                ]);
+            }
+        }
+    }
+    Ok(t)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -502,6 +601,43 @@ mod tests {
                 assert!(evictions > 0, "{row:?}");
                 assert!(reloads > 0, "{row:?}");
             }
+        }
+        let _ = std::fs::remove_dir_all(&scale.data_dir);
+    }
+
+    #[test]
+    fn stage2_parallel_shape_and_invariants() {
+        let scale = tiny("stage2");
+        let t = stage2_parallel(&scale).unwrap();
+        // 2 queries × 2 pushdown settings × 4 worker counts.
+        assert_eq!(t.rows.len(), 2 * 2 * 4);
+        for row in &t.rows {
+            let pushdown = &row[3];
+            let union_rows: u64 = row[7].parse().unwrap();
+            let partial_chunks: u64 = row[8].parse().unwrap();
+            let files_loaded: u64 = row[9].parse().unwrap();
+            assert!(files_loaded > 1, "multi-chunk query: {row:?}");
+            if pushdown == "on" {
+                // Partial aggregation fused: the union never materialized.
+                assert_eq!(union_rows, 0, "{row:?}");
+                assert_eq!(partial_chunks, files_loaded, "{row:?}");
+            } else {
+                assert!(union_rows > 0, "baseline materializes the union: {row:?}");
+                assert_eq!(partial_chunks, 0, "{row:?}");
+            }
+        }
+        // Serial ≡ parallel, bit for bit, within each (query, pushdown)
+        // group.
+        let mut groups: std::collections::HashMap<(String, String), Vec<&String>> =
+            std::collections::HashMap::new();
+        for row in &t.rows {
+            groups.entry((row[1].clone(), row[3].clone())).or_default().push(&row[10]);
+        }
+        for ((query, pushdown), bits) in groups {
+            assert!(
+                bits.iter().all(|b| *b == bits[0]),
+                "{query}/{pushdown}: results differ across worker counts: {bits:?}"
+            );
         }
         let _ = std::fs::remove_dir_all(&scale.data_dir);
     }

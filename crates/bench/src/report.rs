@@ -68,6 +68,30 @@ impl Table {
         out
     }
 
+    /// Render as JSON (`{"title", "rows": [{header: cell, ...}]}`) for
+    /// recorded baselines like `BENCH_stage2.json`. Hand-rolled — the
+    /// build environment has no serde — so cells are emitted as JSON
+    /// strings with minimal escaping.
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.replace('\\', "\\\\").replace('"', "\\\"")
+        }
+        let mut out = String::new();
+        out.push_str(&format!("{{\n  \"title\": \"{}\",\n  \"rows\": [\n", esc(&self.title)));
+        for (ri, row) in self.rows.iter().enumerate() {
+            let fields: Vec<String> = self
+                .headers
+                .iter()
+                .zip(row)
+                .map(|(h, c)| format!("\"{}\": \"{}\"", esc(h), esc(c)))
+                .collect();
+            let comma = if ri + 1 < self.rows.len() { "," } else { "" };
+            out.push_str(&format!("    {{{}}}{comma}\n", fields.join(", ")));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
     /// Print both renderings to stdout.
     pub fn print(&self) {
         println!("{}", self.render());

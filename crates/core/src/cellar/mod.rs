@@ -42,7 +42,8 @@ use crate::error::SommelierError;
 use crate::source::SourceDescriptor;
 use parking_lot::{Condvar, Mutex};
 use sommelier_engine::eval::eval_scalar;
-use sommelier_engine::twostage::{AcquiredChunk, ChunkResidency, ChunkSource};
+use sommelier_engine::exec::run_indexed;
+use sommelier_engine::twostage::{AcquiredChunk, ChunkResidency, ChunkSink, ChunkSource};
 use sommelier_engine::{EngineError, ParallelMode, Relation};
 use sommelier_storage::Database;
 use std::collections::{HashMap, HashSet};
@@ -204,10 +205,11 @@ pub struct Cellar {
 /// measured decode cost.
 type DecodeOutcome = sommelier_engine::Result<(Relation, Duration)>;
 
-/// How one entry of an `acquire_many` batch was classified.
-enum Classified {
+/// How one chunk of an acquisition batch was classified
+/// ([`Cellar::classify_locked`], shared by both acquisition paths).
+enum StreamTask {
     Hit(Arc<Relation>),
-    Claimed,
+    Claimed(Arc<LoadLatch>),
     Joined(Arc<LoadLatch>),
 }
 
@@ -348,30 +350,20 @@ impl Cellar {
         // so a concurrent release cannot evict them while we decode the
         // misses; misses install an in-flight latch (first claimant
         // becomes the loader, everyone else joins).
-        let mut classified: Vec<Classified> = Vec::with_capacity(uris.len());
+        let mut classified: Vec<StreamTask> = Vec::with_capacity(uris.len());
         let mut claims: Vec<(String, Arc<LoadLatch>)> = Vec::new();
         {
             let mut inner = self.inner.lock();
             for uri in uris {
-                match inner.slots.get_mut(uri) {
-                    Some(Slot::Resident(r)) => {
-                        r.pins += 1;
-                        owned_pins.push(uri.clone());
-                        let rel = Arc::clone(&r.relation);
-                        inner.policy.on_touch(uri);
-                        self.stats.hits.fetch_add(1, Ordering::Relaxed);
-                        classified.push(Classified::Hit(rel));
+                let task = self.classify_locked(&mut inner, uri);
+                match &task {
+                    StreamTask::Hit(_) => owned_pins.push(uri.clone()),
+                    StreamTask::Claimed(latch) => {
+                        claims.push((uri.clone(), Arc::clone(latch)))
                     }
-                    Some(Slot::Loading(latch)) => {
-                        classified.push(Classified::Joined(Arc::clone(latch)));
-                    }
-                    None => {
-                        let latch = LoadLatch::new();
-                        inner.slots.insert(uri.clone(), Slot::Loading(Arc::clone(&latch)));
-                        claims.push((uri.clone(), latch));
-                        classified.push(Classified::Claimed);
-                    }
+                    StreamTask::Joined(_) => {}
                 }
+                classified.push(task);
             }
         }
 
@@ -391,24 +383,8 @@ impl Cellar {
                 match outcome {
                     Ok((relation, cost)) => {
                         let relation = Arc::new(relation);
-                        let bytes = relation.approx_bytes();
-                        inner.slots.insert(
-                            uri.clone(),
-                            Slot::Resident(ResidentChunk {
-                                relation: Arc::clone(&relation),
-                                bytes,
-                                pins: 1,
-                            }),
-                        );
+                        self.admit_pinned_locked(&mut inner, uri, &relation, cost);
                         owned_pins.push(uri.clone());
-                        inner.resident_bytes += bytes;
-                        inner.peak_resident_bytes =
-                            inner.peak_resident_bytes.max(inner.resident_bytes);
-                        inner.policy.on_admit(uri, bytes, cost);
-                        self.stats.loads.fetch_add(1, Ordering::Relaxed);
-                        if inner.ever_evicted.contains(uri) {
-                            self.stats.reloads.fetch_add(1, Ordering::Relaxed);
-                        }
                         claimed_rels.insert(uri.as_str(), Arc::clone(&relation));
                         latch.publish(Ok((relation, cost)));
                     }
@@ -436,16 +412,16 @@ impl Cellar {
                 break;
             }
             match c {
-                Classified::Hit(relation) => {
+                StreamTask::Hit(relation) => {
                     out.push(AcquiredChunk { relation, loaded: false, joined: false });
                 }
-                Classified::Claimed => {
+                StreamTask::Claimed(_) => {
                     let relation = Arc::clone(
                         claimed_rels.get(uri.as_str()).expect("claim outcome recorded"),
                     );
                     out.push(AcquiredChunk { relation, loaded: true, joined: false });
                 }
-                Classified::Joined(latch) => match latch.wait() {
+                StreamTask::Joined(latch) => match latch.wait() {
                     Ok((relation, cost)) => {
                         self.stats.joins.fetch_add(1, Ordering::Relaxed);
                         let relation = self.pin_or_readmit(uri, relation, cost);
@@ -478,28 +454,42 @@ impl Cellar {
         relation: Arc<Relation>,
         cost: Duration,
     ) -> Arc<Relation> {
-        let mut inner = self.inner.lock();
-        match inner.slots.get_mut(uri) {
-            Some(Slot::Resident(r)) => {
-                r.pins += 1;
-                Arc::clone(&r.relation)
-            }
-            _ => {
-                let bytes = relation.approx_bytes();
-                inner.slots.insert(
-                    uri.to_string(),
-                    Slot::Resident(ResidentChunk {
-                        relation: Arc::clone(&relation),
-                        bytes,
-                        pins: 1,
-                    }),
-                );
-                inner.resident_bytes += bytes;
-                inner.peak_resident_bytes =
-                    inner.peak_resident_bytes.max(inner.resident_bytes);
-                inner.policy.on_admit(uri, bytes, cost);
-                relation
-            }
+        loop {
+            let latch = {
+                let mut inner = self.inner.lock();
+                match inner.slots.get_mut(uri) {
+                    Some(Slot::Resident(r)) => {
+                        r.pins += 1;
+                        return Arc::clone(&r.relation);
+                    }
+                    // The chunk was evicted after our loader published
+                    // and a newer claimant is already re-loading it.
+                    // Never clobber its slot (that would double-count
+                    // resident_bytes and alias pins): join its flight
+                    // and retry once it publishes.
+                    Some(Slot::Loading(latch)) => Arc::clone(latch),
+                    None => {
+                        let bytes = relation.approx_bytes();
+                        inner.slots.insert(
+                            uri.to_string(),
+                            Slot::Resident(ResidentChunk {
+                                relation: Arc::clone(&relation),
+                                bytes,
+                                pins: 1,
+                            }),
+                        );
+                        inner.resident_bytes += bytes;
+                        inner.peak_resident_bytes =
+                            inner.peak_resident_bytes.max(inner.resident_bytes);
+                        inner.policy.on_admit(uri, bytes, cost);
+                        return relation;
+                    }
+                }
+            };
+            // If the reload fails its loader withdraws the slot; our
+            // latched copy is still valid data, so the next iteration
+            // re-admits it.
+            let _ = latch.wait();
         }
     }
 
@@ -524,27 +514,12 @@ impl Cellar {
         claims: &[(String, Arc<LoadLatch>)],
         max_threads: usize,
     ) -> Vec<DecodeOutcome> {
-        let workers = claims.len().clamp(1, max_threads.max(1));
-        let slots: Vec<Mutex<Option<DecodeOutcome>>> =
-            (0..claims.len()).map(|_| Mutex::new(None)).collect();
-        std::thread::scope(|scope| {
-            for w in 0..workers {
-                let slots = &slots;
-                scope.spawn(move || {
-                    let mut i = w;
-                    while i < claims.len() {
-                        let t = Instant::now();
-                        let out = self
-                            .source_of(&claims[i].0)
-                            .and_then(|s| s.source.load_chunk(&claims[i].0))
-                            .map(|r| (r, t.elapsed()));
-                        *slots[i].lock() = Some(out);
-                        i += workers;
-                    }
-                });
-            }
-        });
-        slots.into_iter().map(|s| s.into_inner().expect("slot filled")).collect()
+        run_indexed(claims.len(), ParallelMode::Static, max_threads, |i| {
+            let t = Instant::now();
+            self.source_of(&claims[i].0)
+                .and_then(|s| s.source.load_chunk(&claims[i].0))
+                .map(|r| (r, t.elapsed()))
+        })
     }
 
     /// Exchange-style decoding: per-segment units of all claimed chunks
@@ -555,53 +530,33 @@ impl Cellar {
         workers: usize,
     ) -> Vec<DecodeOutcome> {
         use sommelier_engine::twostage::ChunkUnit;
-        use std::sync::atomic::AtomicUsize;
 
-        struct UnitSlot {
-            file: usize,
-            unit: Mutex<Option<ChunkUnit>>,
-            result: Mutex<Option<DecodeOutcome>>,
-        }
         // Build unit lists (header reads only). A failure here fails
         // just that chunk, not the whole batch.
-        let mut slots: Vec<UnitSlot> = Vec::new();
+        let mut slots: Vec<(usize, Mutex<Option<ChunkUnit>>)> = Vec::new();
         let mut out: Vec<DecodeOutcome> =
             (0..claims.len()).map(|_| Ok((Relation::empty(), Duration::ZERO))).collect();
         for (fi, (uri, _)) in claims.iter().enumerate() {
             match self.source_of(uri).and_then(|s| s.source.chunk_units(uri)) {
                 Ok(units) => {
                     for unit in units {
-                        slots.push(UnitSlot {
-                            file: fi,
-                            unit: Mutex::new(Some(unit)),
-                            result: Mutex::new(None),
-                        });
+                        slots.push((fi, Mutex::new(Some(unit))));
                     }
                 }
                 Err(e) => out[fi] = Err(e),
             }
         }
-        let next = AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            for _ in 0..workers.max(1) {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= slots.len() {
-                        return;
-                    }
-                    let unit = slots[i].unit.lock().take().expect("each unit taken once");
-                    let t = Instant::now();
-                    let r = unit().map(|rel| (rel, t.elapsed()));
-                    *slots[i].result.lock() = Some(r);
-                });
-            }
-        });
-        for slot in slots {
-            let fi = slot.file;
+        let results =
+            run_indexed(slots.len(), ParallelMode::Exchange { workers }, workers, |i| {
+                let unit = slots[i].1.lock().take().expect("each unit taken once");
+                let t = Instant::now();
+                unit().map(|rel| (rel, t.elapsed()))
+            });
+        for (&(fi, _), result) in slots.iter().zip(results) {
             if out[fi].is_err() {
                 continue;
             }
-            match slot.result.into_inner().expect("every unit executed") {
+            match result {
                 Ok((rel, cost)) => {
                     if let Ok((acc, total)) = out[fi].as_mut() {
                         if let Err(e) = acc.union_in_place(&rel) {
@@ -615,6 +570,185 @@ impl Cellar {
             }
         }
         out
+    }
+
+    // ---- Streaming acquisition (pipelined decode→execute) ------------
+
+    /// [`ChunkResidency::acquire_each`], streaming: one worker pool
+    /// drains a task per chunk — resident chunks go straight to the
+    /// sink, misses decode first (single-flight latches exactly as in
+    /// [`Self::acquire_impl`]), joins wait on the other loader's latch.
+    /// Every chunk is pinned only for the duration of its sink call, so
+    /// a query's working set never needs to fit the budget at once and
+    /// eviction interleaves freely with execution.
+    fn acquire_each_impl(
+        &self,
+        uris: &[String],
+        parallel: ParallelMode,
+        max_threads: usize,
+        sink: &ChunkSink<'_>,
+    ) -> sommelier_engine::Result<()> {
+        if uris.is_empty() {
+            return Ok(());
+        }
+        // Phase 1: classify under the lock. Hits are pinned right away
+        // so a concurrent release cannot evict them before their sink
+        // runs; misses install the in-flight latch.
+        let mut tasks: Vec<StreamTask> = Vec::with_capacity(uris.len());
+        {
+            let mut inner = self.inner.lock();
+            for uri in uris {
+                let task = self.classify_locked(&mut inner, uri);
+                tasks.push(task);
+            }
+        }
+
+        // Phase 2: drain the tasks on the worker pool. Static mode uses
+        // the paper's pre-assigned shares, exchange mode a shared queue;
+        // either way each worker decodes (if needed), sinks, unpins.
+        let first_error: Mutex<Option<EngineError>> = Mutex::new(None);
+        run_indexed(uris.len(), parallel, max_threads, |i| {
+            self.run_task(i, &uris[i], &tasks[i], sink, &first_error)
+        });
+        match first_error.into_inner() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Classify one chunk under the lock: pin + touch a resident chunk,
+    /// join an in-flight load, or claim the load by installing a latch.
+    /// Shared by [`Self::acquire_impl`] and [`Self::acquire_each_impl`]
+    /// so the two acquisition paths cannot drift.
+    fn classify_locked(&self, inner: &mut Inner, uri: &str) -> StreamTask {
+        match inner.slots.get_mut(uri) {
+            Some(Slot::Resident(r)) => {
+                r.pins += 1;
+                let rel = Arc::clone(&r.relation);
+                inner.policy.on_touch(uri);
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                StreamTask::Hit(rel)
+            }
+            Some(Slot::Loading(latch)) => StreamTask::Joined(Arc::clone(latch)),
+            None => {
+                let latch = LoadLatch::new();
+                inner.slots.insert(uri.to_string(), Slot::Loading(Arc::clone(&latch)));
+                StreamTask::Claimed(latch)
+            }
+        }
+    }
+
+    /// Admit a freshly decoded chunk as resident with one pin held by
+    /// the caller, updating byte accounting, the policy, and the
+    /// load/reload stats. Shared by both acquisition paths; the caller
+    /// still owes an [`Self::enforce_budget_locked`] + reclamation.
+    fn admit_pinned_locked(
+        &self,
+        inner: &mut Inner,
+        uri: &str,
+        relation: &Arc<Relation>,
+        cost: Duration,
+    ) {
+        let bytes = relation.approx_bytes();
+        inner.slots.insert(
+            uri.to_string(),
+            Slot::Resident(ResidentChunk { relation: Arc::clone(relation), bytes, pins: 1 }),
+        );
+        inner.resident_bytes += bytes;
+        inner.peak_resident_bytes = inner.peak_resident_bytes.max(inner.resident_bytes);
+        inner.policy.on_admit(uri, bytes, cost);
+        self.stats.loads.fetch_add(1, Ordering::Relaxed);
+        if inner.ever_evicted.contains(uri) {
+            self.stats.reloads.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// One streaming-acquisition task: pin/decode, sink, unpin. Errors
+    /// (decode or sink) are recorded once; later tasks still run in
+    /// full — decodes complete and publish through their latches, so an
+    /// abort in this wave never fails a concurrent query that joined
+    /// one of our in-flight loads — but their sink calls are skipped.
+    fn run_task(
+        &self,
+        i: usize,
+        uri: &str,
+        task: &StreamTask,
+        sink: &ChunkSink<'_>,
+        first_error: &Mutex<Option<EngineError>>,
+    ) {
+        let aborted = || first_error.lock().is_some();
+        let record = |e: EngineError| {
+            let mut guard = first_error.lock();
+            if guard.is_none() {
+                *guard = Some(e);
+            }
+        };
+        match task {
+            StreamTask::Hit(relation) => {
+                if !aborted() {
+                    let chunk = AcquiredChunk {
+                        relation: Arc::clone(relation),
+                        loaded: false,
+                        joined: false,
+                    };
+                    if let Err(e) = sink(i, chunk) {
+                        record(e);
+                    }
+                }
+                self.release_uris(&[uri]);
+            }
+            StreamTask::Claimed(latch) => {
+                let t = Instant::now();
+                let outcome = self
+                    .source_of(uri)
+                    .and_then(|s| s.source.load_chunk(uri))
+                    .map(|r| (r, t.elapsed()));
+                match outcome {
+                    Ok((relation, cost)) => {
+                        let relation = Arc::new(relation);
+                        let mut reclaim_list = Vec::new();
+                        {
+                            let mut inner = self.inner.lock();
+                            self.admit_pinned_locked(&mut inner, uri, &relation, cost);
+                            self.enforce_budget_locked(&mut inner, &mut reclaim_list);
+                        }
+                        self.reclaim_all(&reclaim_list);
+                        latch.publish(Ok((Arc::clone(&relation), cost)));
+                        if !aborted() {
+                            let chunk =
+                                AcquiredChunk { relation, loaded: true, joined: false };
+                            if let Err(e) = sink(i, chunk) {
+                                record(e);
+                            }
+                        }
+                        self.release_uris(&[uri]);
+                    }
+                    Err(e) => {
+                        self.inner.lock().slots.remove(uri);
+                        latch.publish(Err(e.to_string()));
+                        record(e);
+                    }
+                }
+            }
+            StreamTask::Joined(latch) => match latch.wait() {
+                Ok((relation, cost)) => {
+                    self.stats.joins.fetch_add(1, Ordering::Relaxed);
+                    let relation = self.pin_or_readmit(uri, relation, cost);
+                    if !aborted() {
+                        let chunk = AcquiredChunk { relation, loaded: false, joined: true };
+                        if let Err(e) = sink(i, chunk) {
+                            record(e);
+                        }
+                    }
+                    self.release_uris(&[uri]);
+                }
+                Err(msg) => {
+                    record(EngineError::Chunk(format!(
+                        "joined load of {uri:?} failed: {msg}"
+                    )));
+                }
+            },
+        }
     }
 
     // ---- Eviction + reclamation --------------------------------------
@@ -864,6 +998,16 @@ impl ChunkResidency for Cellar {
         self.release_uris(&refs);
     }
 
+    fn acquire_each(
+        &self,
+        uris: &[String],
+        parallel: ParallelMode,
+        max_threads: usize,
+        sink: &ChunkSink<'_>,
+    ) -> sommelier_engine::Result<()> {
+        self.acquire_each_impl(uris, parallel, max_threads, sink)
+    }
+
     fn all_chunks(&self) -> sommelier_engine::Result<Vec<String>> {
         Ok(self
             .sources
@@ -895,6 +1039,16 @@ impl ChunkResidency for ScopedCellar {
 
     fn release_many(&self, uris: &[String]) {
         self.cellar.release_many(uris)
+    }
+
+    fn acquire_each(
+        &self,
+        uris: &[String],
+        parallel: ParallelMode,
+        max_threads: usize,
+        sink: &ChunkSink<'_>,
+    ) -> sommelier_engine::Result<()> {
+        self.cellar.acquire_each(uris, parallel, max_threads, sink)
     }
 
     fn all_chunks(&self) -> sommelier_engine::Result<Vec<String>> {
@@ -1190,6 +1344,83 @@ mod tests {
         cellar.release_many(&all[..1]);
         // Now nothing is pinned; the budget holds.
         assert!(cellar.resident_bytes() <= cellar.budget_bytes());
+    }
+
+    #[test]
+    fn streaming_acquisition_delivers_every_chunk_once() {
+        let fx = fixture("stream", 4, 64);
+        let all = uris(&fx);
+        for mode in [ParallelMode::Static, ParallelMode::Exchange { workers: 2 }] {
+            let cellar = cellar_over(&fx, CellarConfig::default());
+            let delivered = Mutex::new(vec![0usize; all.len()]);
+            let rows = AtomicU64::new(0);
+            let sink = |i: usize, chunk: AcquiredChunk| {
+                delivered.lock()[i] += 1;
+                rows.fetch_add(chunk.relation.rows() as u64, Ordering::Relaxed);
+                assert!(chunk.loaded);
+                Ok(())
+            };
+            cellar.acquire_each(&all, mode, 2, &sink).unwrap();
+            let counts = delivered.lock().clone();
+            assert!(counts.iter().all(|&n| n == 1), "{counts:?}");
+            assert!(rows.load(Ordering::Relaxed) > 0);
+            // No pins survive the wave; the second pass is all hits.
+            let hits = Mutex::new(0usize);
+            let sink2 = |_i: usize, chunk: AcquiredChunk| {
+                assert!(!chunk.loaded);
+                *hits.lock() += 1;
+                Ok(())
+            };
+            cellar.acquire_each(&all, mode, 2, &sink2).unwrap();
+            assert_eq!(*hits.lock(), all.len());
+            let s = cellar.stats();
+            assert_eq!(s.loads, all.len() as u64);
+            assert_eq!(s.hits, all.len() as u64);
+        }
+    }
+
+    #[test]
+    fn streaming_acquisition_interleaves_eviction_under_tiny_budget() {
+        let fx = fixture("stream-tiny", 4, 64);
+        let all = uris(&fx);
+        let one = chunk_bytes(&cellar_over(&fx, CellarConfig::default()), &all[0]);
+        // Budget fits ~1 chunk: load-all would transiently hold all 4
+        // pinned; streaming holds each pin only during its sink call, so
+        // eviction interleaves with delivery and the wave still succeeds.
+        let cellar = cellar_over(
+            &fx,
+            CellarConfig { budget_bytes: one + one / 2, ..CellarConfig::default() },
+        );
+        let count = AtomicU64::new(0);
+        let sink = |_i: usize, chunk: AcquiredChunk| {
+            assert!(chunk.relation.rows() > 0);
+            count.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        };
+        cellar.acquire_each(&all, ParallelMode::Exchange { workers: 2 }, 2, &sink).unwrap();
+        assert_eq!(count.load(Ordering::Relaxed), all.len() as u64);
+        // Budget holds once the wave is over (no pins survive).
+        assert!(cellar.resident_bytes() <= cellar.budget_bytes());
+        assert!(cellar.stats().evictions > 0, "eviction ran during the wave");
+    }
+
+    #[test]
+    fn streaming_acquisition_propagates_sink_errors_and_unpins() {
+        let fx = fixture("stream-err", 3, 32);
+        let all = uris(&fx);
+        let cellar = cellar_over(&fx, CellarConfig::default());
+        let sink = |i: usize, _chunk: AcquiredChunk| {
+            if i == 1 {
+                Err(EngineError::Exec("boom".into()))
+            } else {
+                Ok(())
+            }
+        };
+        let err = cellar.acquire_each(&all, ParallelMode::Static, 1, &sink);
+        assert!(err.is_err());
+        // All pins released: a clear() drops everything that was admitted.
+        cellar.clear();
+        assert_eq!(cellar.resident_chunks(), 0);
     }
 
     #[test]

@@ -10,7 +10,8 @@
 use crate::source::SourceAdapter;
 use sommelier_engine::twostage::{ChunkSource, ChunkUnit};
 use sommelier_engine::{EngineError, Relation};
-use sommelier_storage::Database;
+use sommelier_storage::page::PAGE_SIZE;
+use sommelier_storage::{Database, SimIo};
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::Arc;
@@ -76,6 +77,10 @@ pub struct AdapterChunkSource {
     /// Verify FK integrity of every ingested row against the metadata
     /// PK indices — the work the paper's lazy variant skips (§VI-A).
     verify_fk: bool,
+    /// Simulated repository-read latency, charged per 64 KiB of chunk
+    /// file on the decoding worker (the chunk-side analogue of the
+    /// buffer pool's [`SimIo`]; see EXPERIMENTS.md).
+    sim_io: Option<SimIo>,
 }
 
 impl AdapterChunkSource {
@@ -86,7 +91,23 @@ impl AdapterChunkSource {
         db: Arc<Database>,
         verify_fk: bool,
     ) -> Self {
-        AdapterChunkSource { adapter, registry, db, verify_fk }
+        AdapterChunkSource { adapter, registry, db, verify_fk, sim_io: None }
+    }
+
+    /// Charge a simulated repository-read latency on every chunk decode
+    /// (size-proportional, slept on the decoding worker — so it overlaps
+    /// across parallel decodes exactly like real disk reads).
+    pub fn with_sim_io(mut self, sim_io: Option<SimIo>) -> Self {
+        self.sim_io = sim_io;
+        self
+    }
+
+    fn charge_sim_io(&self, uri: &str) {
+        if let Some(sim) = self.sim_io {
+            let bytes = std::fs::metadata(uri).map(|m| m.len()).unwrap_or(0);
+            let pages = bytes.div_ceil(PAGE_SIZE as u64).max(1);
+            std::thread::sleep(sim.per_page * pages as u32);
+        }
     }
 
     /// The registry backing this source.
@@ -124,13 +145,30 @@ impl AdapterChunkSource {
 
 impl ChunkSource for AdapterChunkSource {
     fn load_chunk(&self, uri: &str) -> sommelier_engine::Result<Relation> {
+        self.charge_sim_io(uri);
         let rel = self.adapter.load_chunk(self.entry(uri)?)?;
         self.verify(&rel)?;
         Ok(rel)
     }
 
     fn chunk_units(&self, uri: &str) -> sommelier_engine::Result<Vec<ChunkUnit>> {
-        self.adapter.chunk_units(self.entry(uri)?)
+        let units = self.adapter.chunk_units(self.entry(uri)?)?;
+        // Exchange-mode decoding must pay the same simulated medium as
+        // whole-chunk loads: split the chunk's read latency evenly over
+        // its units, slept by whichever worker executes each unit.
+        let Some(sim) = self.sim_io else { return Ok(units) };
+        let bytes = std::fs::metadata(uri).map(|m| m.len()).unwrap_or(0);
+        let pages = bytes.div_ceil(PAGE_SIZE as u64).max(1);
+        let share = sim.per_page * pages as u32 / units.len().max(1) as u32;
+        Ok(units
+            .into_iter()
+            .map(|unit| -> ChunkUnit {
+                Box::new(move || {
+                    std::thread::sleep(share);
+                    unit()
+                })
+            })
+            .collect())
     }
 
     fn all_chunks(&self) -> sommelier_engine::Result<Vec<String>> {

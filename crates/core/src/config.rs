@@ -23,6 +23,13 @@ pub struct SommelierConfig {
     /// to re-create the paper's disk-bound regimes at scaled-down
     /// dataset sizes (see DESIGN.md).
     pub sim_io: Option<SimIo>,
+    /// Optional simulated repository-read latency per 64 KiB of chunk
+    /// file, charged on the decoding worker — the chunk-ingestion
+    /// analogue of [`Self::sim_io`]. Parallel decodes overlap their
+    /// simulated reads exactly like real disk I/O, so the stage-2
+    /// parallelism experiments keep the paper's shape on scaled-down
+    /// datasets (and single-core CI boxes).
+    pub sim_chunk_io: Option<SimIo>,
     /// Chunk-loading parallelism (the paper's static strategy by
     /// default; exchange is its future-work alternative).
     pub parallel: ParallelMode,
@@ -54,6 +61,7 @@ impl Default for SommelierConfig {
             cellar_bytes: None,
             cellar_policy: CellarPolicyKind::Lru,
             sim_io: None,
+            sim_chunk_io: None,
             parallel: ParallelMode::Static,
             chunk_pushdown: true,
             use_recycler: true,

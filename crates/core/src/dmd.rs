@@ -509,7 +509,7 @@ fn insert_derived(
         // The derivation output is dims, bucket, aggregates — exactly
         // the derived table's column order (validated at build time).
         let batch: Vec<ColumnData> =
-            filtered.columns().iter().map(|(_, c)| c.clone()).collect();
+            filtered.columns().iter().map(|(_, c)| ColumnData::clone(c)).collect();
         outcome.rows_inserted += filtered.rows() as u64;
         db.append(&dmd.table, &batch, ConstraintPolicy::pk_only())?;
     }

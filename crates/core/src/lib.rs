@@ -422,12 +422,15 @@ impl Sommelier {
             .iter()
             .zip(registries)
             .map(|(s, registry)| {
-                let source = Arc::new(AdapterChunkSource::new(
-                    Arc::clone(&s.adapter),
-                    Arc::clone(registry),
-                    Arc::clone(&self.db),
-                    self.config.verify_lazy_fk,
-                ));
+                let source = Arc::new(
+                    AdapterChunkSource::new(
+                        Arc::clone(&s.adapter),
+                        Arc::clone(registry),
+                        Arc::clone(&self.db),
+                        self.config.verify_lazy_fk,
+                    )
+                    .with_sim_io(self.config.sim_chunk_io),
+                );
                 CellarSource {
                     descriptor: Arc::clone(&s.descriptor),
                     registry: Arc::clone(registry),
@@ -601,16 +604,31 @@ impl Sommelier {
         self.run_spec(spec, true)
     }
 
-    /// The logical plan a query would run, as text (EXPLAIN). Uses the
-    /// same compile pipeline as execution.
+    /// The plan a query would run, as text (EXPLAIN): the logical plan
+    /// followed by the stage-2 physical shape — which shows whether
+    /// selection pushdown and partial-aggregation fusion
+    /// (`PartialAggUnion`) fire. Uses the same compile pipeline and the
+    /// same lowering + fusion as execution; only the chunk list (a
+    /// run-time quantity) is a placeholder.
     pub fn explain(&self, sql: &str) -> Result<String> {
+        use sommelier_engine::physical::{lower, ChunkRef, LowerOptions};
         let (mode, _) = self.prepared_info()?;
         let spec = sommelier_sql::compile(sql, &self.catalog)?;
         let compiled = self.compile_spec(spec)?;
         let opts = self.plan_options(mode, compiled.source_idx);
         let plan = plan_query(&compiled.spec, &opts)?;
+        let placeholder: Vec<ChunkRef> = Vec::new();
+        let lopts = LowerOptions {
+            db: &self.db,
+            use_index_joins: mode.builds_indices(),
+            lazy_chunks: Some(&placeholder),
+            chunk_pushdown: self.config.chunk_pushdown,
+            qf_result_id: plan.qf().map(|_| 0),
+        };
+        let phys = sommelier_engine::fuse_partial_agg(lower(&plan, &lopts)?);
         Ok(format!(
-            "-- source: {}, mode: {mode}, query type: {}\n{plan}",
+            "-- source: {}, mode: {mode}, query type: {}\n{plan}\
+             -- stage-2 physical shape (chunk list resolved at run time)\n{phys}",
             self.sources[compiled.source_idx].descriptor.name,
             compiled.qtype.label()
         ))
@@ -870,5 +888,25 @@ mod tests {
         assert!(plan.contains("LazyScan E"), "{plan}");
         assert!(plan.contains("mode: lazy"), "{plan}");
         assert!(plan.contains("source: eventlog"), "{plan}");
+        // The physical section shows the partial-aggregation fusion.
+        assert!(plan.contains("PartialAggUnion E"), "{plan}");
+        assert!(plan.contains("per-chunk probe"), "{plan}");
+        assert!(plan.contains("ResultScan #0"), "{plan}");
+    }
+
+    #[test]
+    fn explain_without_pushdown_keeps_chunk_union() {
+        let repo = temp_repo("explain-nopd", 1, 8);
+        let somm = Sommelier::builder()
+            .source(EventLogAdapter::new(&repo))
+            .config(SommelierConfig { chunk_pushdown: false, ..SommelierConfig::default() })
+            .build()
+            .unwrap();
+        somm.prepare(LoadingMode::Lazy).unwrap();
+        let plan =
+            somm.explain("SELECT AVG(E.val) FROM eventview WHERE G.host = 'web-1'").unwrap();
+        assert!(plan.contains("ChunkUnion E"), "{plan}");
+        assert!(!plan.contains("PartialAggUnion"), "{plan}");
+        let _ = std::fs::remove_dir_all(&repo);
     }
 }

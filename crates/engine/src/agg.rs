@@ -1,9 +1,25 @@
-//! Hash aggregation with group-by.
+//! Hash aggregation with group-by, decomposed into **partial
+//! aggregation** and **merge**.
 //!
 //! Supports the paper's aggregate set: COUNT, SUM, AVG, MIN, MAX and
 //! STDDEV (population — what the `H.window_std_dev` summary metadata
-//! stores). A global aggregate (no GROUP BY) over an empty input yields
-//! an empty relation (this engine's columns carry no NULLs; the paper's
+//! stores). Every one of them is *mergeable*: a partition's rows
+//! collapse into a running state (count + sum + sum-of-squares +
+//! min/max), and states from different partitions combine without
+//! revisiting rows. That is what lets the chunk-parallel executor
+//! ([`crate::physical::PhysicalPlan::PartialAggUnion`]) aggregate each
+//! chunk independently and never materialize the union.
+//!
+//! Determinism: [`merge_partials`] combines partitions in the order
+//! given, and groups keep first-appearance order across that sequence —
+//! so a merge over per-chunk partials in chunk order produces the same
+//! relation no matter how many workers computed them. [`aggregate`]
+//! (the serial path) is partial-aggregation over a single partition
+//! followed by the same merge, so serial and parallel plans share one
+//! code path and one rounding behavior.
+//!
+//! A global aggregate (no GROUP BY) over an empty input yields an
+//! empty relation (this engine's columns carry no NULLs; the paper's
 //! workload never aggregates empty inputs).
 
 use crate::error::{EngineError, Result};
@@ -53,6 +69,17 @@ impl AggState {
         self.max_i = self.max_i.max(v);
     }
 
+    /// Fold another partition's state into this one.
+    fn merge(&mut self, other: &AggState) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.sum_sq += other.sum_sq;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.min_i = self.min_i.min(other.min_i);
+        self.max_i = self.max_i.max(other.max_i);
+    }
+
     fn finish(&self, func: AggFunc, input_type: DataType) -> Result<FinishedAgg> {
         Ok(match func {
             AggFunc::Count => FinishedAgg::Int(self.count as i64),
@@ -98,12 +125,33 @@ pub fn output_type(func: AggFunc, input_type: DataType) -> DataType {
     }
 }
 
-/// Execute a hash aggregation.
-pub fn aggregate(
+/// The collapsed aggregation state of one input partition (e.g. one
+/// chunk of a chunk union): per-group running states plus one
+/// representative key row per group, in first-seen order.
+#[derive(Debug)]
+pub struct PartialAgg {
+    /// Group-key columns, one row per group.
+    keys: Vec<ColumnData>,
+    /// `states[group][agg]`.
+    states: Vec<Vec<AggState>>,
+    /// Input types of the aggregate arguments (recorded even for empty
+    /// partitions, so the merge can type its output).
+    arg_types: Vec<DataType>,
+}
+
+impl PartialAgg {
+    /// Number of groups discovered in this partition.
+    pub fn groups(&self) -> usize {
+        self.states.len()
+    }
+}
+
+/// Collapse one partition into per-group aggregate states.
+pub fn partial_aggregate(
     input: &Relation,
     group_by: &[(String, Expr)],
     aggs: &[(String, AggFunc, Expr)],
-) -> Result<Relation> {
+) -> Result<PartialAgg> {
     // Evaluate grouping keys and aggregate arguments once, vectorized.
     let key_cols: Vec<ColumnData> =
         group_by.iter().map(|(_, e)| eval_scalar(e, input)).collect::<Result<_>>()?;
@@ -113,7 +161,7 @@ pub fn aggregate(
 
     // Group discovery: representative row per group.
     let rows = input.rows();
-    let mut groups: HashMap<u64, Vec<u32>> = HashMap::new(); // hash -> group reps
+    let mut groups: HashMap<u64, Vec<u32>> = HashMap::new(); // hash -> group ids
     let mut group_of = Vec::with_capacity(rows);
     let mut reps: Vec<u32> = Vec::new();
     if group_by.is_empty() {
@@ -168,17 +216,49 @@ pub fn aggregate(
         }
     }
 
-    // Assemble output: group-key columns (representative rows) then aggs.
+    Ok(PartialAgg {
+        keys: key_cols.iter().map(|c| c.take(&reps)).collect(),
+        states,
+        arg_types: arg_cols.iter().map(|c| c.data_type()).collect(),
+    })
+}
+
+/// Merge partition states into the final aggregate relation.
+///
+/// Partitions combine in the order given; groups keep first-appearance
+/// order across that sequence, which makes the result identical to a
+/// serial aggregation over the partitions' concatenated rows (up to
+/// floating-point summation order, which is likewise fixed by the
+/// partition order — *not* by the number of workers that produced the
+/// partials).
+pub fn merge_partials(
+    mut parts: Vec<PartialAgg>,
+    group_by: &[(String, Expr)],
+    aggs: &[(String, AggFunc, Expr)],
+) -> Result<Relation> {
+    if parts.is_empty() {
+        return Err(EngineError::Exec("merge_partials needs at least one partition".into()));
+    }
+    // Single partition (the serial `aggregate` path): its groups are
+    // already distinct and in first-seen order — no re-discovery.
+    let (merged_keys, merged_states, arg_types) = if parts.len() == 1 {
+        let p = parts.pop().expect("checked non-empty");
+        (p.keys, p.states, p.arg_types)
+    } else {
+        merge_many(&parts, group_by)?
+    };
+
+    // Assemble output: group-key columns then finished aggregates.
     let mut out_cols: Vec<(String, ColumnData)> = Vec::new();
-    for ((name, _), col) in group_by.iter().zip(&key_cols) {
-        out_cols.push((name.clone(), col.take(&reps)));
+    for ((name, _), col) in group_by.iter().zip(merged_keys) {
+        out_cols.push((name.clone(), col));
     }
     for (ai, (name, func, _)) in aggs.iter().enumerate() {
-        let in_type = arg_cols[ai].data_type();
+        let in_type = arg_types[ai];
         let mut ints = Vec::new();
         let mut floats = Vec::new();
         let out_type = output_type(*func, in_type);
-        for row in &states {
+        for row in &merged_states {
             match row[ai].finish(*func, in_type)? {
                 FinishedAgg::Int(v) | FinishedAgg::Time(v) => ints.push(v),
                 FinishedAgg::Float(v) => floats.push(v),
@@ -193,6 +273,77 @@ pub fn aggregate(
         out_cols.push((name.clone(), col));
     }
     Relation::new(out_cols)
+}
+
+/// Cross-partition group merge (two or more partitions): discover the
+/// global group set over the partitions' representative key rows and
+/// fold states, both in partition order.
+#[allow(clippy::type_complexity)]
+fn merge_many(
+    parts: &[PartialAgg],
+    group_by: &[(String, Expr)],
+) -> Result<(Vec<ColumnData>, Vec<Vec<AggState>>, Vec<DataType>)> {
+    let first = &parts[0];
+    let arg_types = first.arg_types.clone();
+    let mut merged_keys: Vec<ColumnData> =
+        first.keys.iter().map(|c| ColumnData::empty(c.data_type())).collect();
+    let mut merged_states: Vec<Vec<AggState>> = Vec::new();
+    let mut buckets: HashMap<u64, Vec<u32>> = HashMap::new();
+
+    for part in parts {
+        let part_refs: Vec<&ColumnData> = part.keys.iter().collect();
+        for g in 0..part.states.len() {
+            let gid = if group_by.is_empty() {
+                if merged_states.is_empty() {
+                    None
+                } else {
+                    Some(0)
+                }
+            } else {
+                let h = hash_row(&part_refs, g);
+                let merged_refs: Vec<&ColumnData> = merged_keys.iter().collect();
+                buckets
+                    .entry(h)
+                    .or_default()
+                    .iter()
+                    .copied()
+                    .find(|&cand| rows_equal(&merged_refs, cand as usize, &part_refs, g))
+            };
+            match gid {
+                Some(gid) => {
+                    for (acc, st) in
+                        merged_states[gid as usize].iter_mut().zip(&part.states[g])
+                    {
+                        acc.merge(st);
+                    }
+                }
+                None => {
+                    let gid = merged_states.len() as u32;
+                    if !group_by.is_empty() {
+                        let h = hash_row(&part_refs, g);
+                        buckets.entry(h).or_default().push(gid);
+                        for (mk, pk) in merged_keys.iter_mut().zip(&part.keys) {
+                            mk.push(&pk.get(g)).map_err(EngineError::Storage)?;
+                        }
+                    }
+                    // Adopt the first partition's state verbatim so the
+                    // merge is bit-identical to continuing it.
+                    merged_states.push(part.states[g].clone());
+                }
+            }
+        }
+    }
+    Ok((merged_keys, merged_states, arg_types))
+}
+
+/// Execute a hash aggregation (single partition: partial + merge).
+pub fn aggregate(
+    input: &Relation,
+    group_by: &[(String, Expr)],
+    aggs: &[(String, AggFunc, Expr)],
+) -> Result<Relation> {
+    let part = partial_aggregate(input, group_by, aggs)?;
+    merge_partials(vec![part], group_by, aggs)
 }
 
 /// Duplicate elimination = group by all columns, no aggregates.
@@ -330,5 +481,87 @@ mod tests {
         assert_eq!(out.rows(), 2);
         assert_eq!(out.value(0, "n").unwrap(), Value::Int(2));
         assert_eq!(out.value(1, "n").unwrap(), Value::Int(2));
+    }
+
+    /// Partition a relation by row ranges and check the merged partials
+    /// equal the one-shot aggregation, bit for bit.
+    #[test]
+    fn partial_merge_matches_serial() {
+        let r = Relation::new(vec![
+            (
+                "k".into(),
+                ColumnData::Text(TextColumn::from_strs(["a", "b", "a", "c", "b", "a"])),
+            ),
+            ("v".into(), ColumnData::Float64(vec![0.1, 2.5, -3.0, 4.25, 5.5, 6.125])),
+        ])
+        .unwrap();
+        let group_by = vec![("k".to_string(), Expr::col("k"))];
+        let aggs = vec![
+            agg("n", AggFunc::Count, "v"),
+            agg("s", AggFunc::Sum, "v"),
+            agg("a", AggFunc::Avg, "v"),
+            agg("sd", AggFunc::StdDev, "v"),
+            agg("mn", AggFunc::Min, "v"),
+            agg("mx", AggFunc::Max, "v"),
+        ];
+        let serial = aggregate(&r, &group_by, &aggs).unwrap();
+        // Split as [0,1], [2,3,4], [5] — chunk-order merge.
+        let parts = vec![
+            partial_aggregate(&r.take(&[0, 1]), &group_by, &aggs).unwrap(),
+            partial_aggregate(&r.take(&[2, 3, 4]), &group_by, &aggs).unwrap(),
+            partial_aggregate(&r.take(&[5]), &group_by, &aggs).unwrap(),
+        ];
+        let merged = merge_partials(parts, &group_by, &aggs).unwrap();
+        assert_eq!(serial.rows(), merged.rows());
+        assert_eq!(serial.names(), merged.names());
+        for row in 0..serial.rows() {
+            for name in serial.names() {
+                let a = serial.value(row, name).unwrap();
+                let b = merged.value(row, name).unwrap();
+                match (&a, &b) {
+                    (Value::Float(x), Value::Float(y)) => {
+                        // Same partition boundaries → same summation
+                        // order → identical bits for COUNT/MIN/MAX and
+                        // ulp-close sums.
+                        assert!((x - y).abs() < 1e-12, "{name}: {x} vs {y}")
+                    }
+                    _ => assert_eq!(a, b, "{name}"),
+                }
+            }
+        }
+    }
+
+    /// Merging the same partials in the same order must be invariant to
+    /// how they were produced (the worker-count independence the
+    /// chunk-parallel executor relies on).
+    #[test]
+    fn merge_is_deterministic_in_partition_order() {
+        let r = Relation::new(vec![
+            ("k".into(), ColumnData::Int64(vec![1, 2, 1, 3])),
+            ("v".into(), ColumnData::Float64(vec![0.3, 0.7, 0.11, 0.19])),
+        ])
+        .unwrap();
+        let group_by = vec![("k".to_string(), Expr::col("k"))];
+        let aggs = vec![agg("s", AggFunc::Sum, "v"), agg("a", AggFunc::Avg, "v")];
+        let mk = |idx: &[u32]| partial_aggregate(&r.take(idx), &group_by, &aggs).unwrap();
+        let once = merge_partials(vec![mk(&[0, 1]), mk(&[2, 3])], &group_by, &aggs).unwrap();
+        let twice = merge_partials(vec![mk(&[0, 1]), mk(&[2, 3])], &group_by, &aggs).unwrap();
+        for row in 0..once.rows() {
+            for name in once.names() {
+                let (a, b) =
+                    (once.value(row, name).unwrap(), twice.value(row, name).unwrap());
+                match (a, b) {
+                    (Value::Float(x), Value::Float(y)) => {
+                        assert_eq!(x.to_bits(), y.to_bits())
+                    }
+                    (a, b) => assert_eq!(a, b),
+                }
+            }
+        }
+        // Zero-group and empty partitions merge away.
+        let empty = mk(&[]);
+        assert_eq!(empty.groups(), 0);
+        let merged = merge_partials(vec![empty, mk(&[0])], &group_by, &aggs).unwrap();
+        assert_eq!(merged.rows(), 1);
     }
 }

@@ -3,36 +3,77 @@
 //! Executes a [`PhysicalPlan`] bottom-up, materializing every
 //! intermediate [`Relation`] — MonetDB's execution style, which the
 //! paper's two-stage model builds on. Chunk data for
-//! [`PhysicalPlan::ChunkUnion`] must have been pre-loaded into the
-//! [`ExecContext`] by the two-stage driver (the paper's run-time
-//! optimizer inserts the load statements before `Qs` resumes; see
-//! [`crate::twostage`]).
+//! [`PhysicalPlan::ChunkUnion`] and [`PhysicalPlan::PartialAggUnion`]
+//! must have been pre-loaded into the [`ExecContext`] by the two-stage
+//! driver (the paper's run-time optimizer inserts the load statements
+//! before `Qs` resumes; see [`crate::twostage`]) — except when the
+//! driver runs the fused decode→execute wave, which replaces the
+//! partial-agg node with a result-scan of the merged states.
+//!
+//! Chunk-bearing operators are **morsel-parallel**: both union flavors
+//! run their per-chunk pipelines (projection, pushed-down selection,
+//! probe, partial aggregation) on a worker pool of
+//! [`ExecContext::workers`] threads, pulling chunks from a shared
+//! queue. Results are combined in chunk order, so the output is
+//! independent of the worker count.
 
-use crate::agg::{aggregate, distinct};
+use crate::agg::{aggregate, distinct, merge_partials, partial_aggregate, PartialAgg};
 use crate::error::{EngineError, Result};
 use crate::eval::{eval_mask, eval_scalar};
-use crate::join::{cross_join, hash_join, index_join};
-use crate::physical::PhysicalPlan;
+use crate::expr::Expr;
+use crate::join::{cross_join, hash_join, index_join, JoinBuild};
+use crate::physical::{ChunkOp, PhysicalPlan};
 use crate::relation::Relation;
 use crate::sort::{limit, sort_relation};
+use crate::twostage::ParallelMode;
+use parking_lot::Mutex;
 use sommelier_storage::Database;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+
+/// Counters the executor fills while running (interior-mutable so the
+/// worker pools can update them); the two-stage driver copies them into
+/// [`crate::twostage::ExecStats`].
+#[derive(Debug, Default)]
+pub struct ExecCounters {
+    /// Rows concatenated into materialized chunk unions.
+    pub union_rows: AtomicU64,
+    /// Chunks that went through a per-chunk partial-aggregation
+    /// pipeline instead of being unioned.
+    pub partial_agg_chunks: AtomicU64,
+}
 
 /// Everything the executor needs besides the plan.
 pub struct ExecContext<'a> {
     pub db: &'a Database,
     /// Materialized stage-1 results, indexed by `ResultScan { id }`.
-    pub materialized: Vec<Relation>,
+    /// Shared (`Arc`) so a result referenced several times is never
+    /// deep-copied.
+    pub materialized: Vec<Arc<Relation>>,
     /// Pre-loaded chunk relations by URI (cache-scans and chunk-accesses
     /// both resolve here; the driver fills it).
     pub chunks: HashMap<String, Arc<Relation>>,
+    /// Scheduling mode for morsel-parallel operators (static strides
+    /// vs shared-queue exchange).
+    pub parallel: ParallelMode,
+    /// Worker cap for morsel-parallel operators (1 = serial).
+    pub workers: usize,
+    /// Execution counters.
+    pub counters: ExecCounters,
 }
 
 impl<'a> ExecContext<'a> {
-    /// A context with no stage-1 results or chunks.
+    /// A context with no stage-1 results or chunks, executing serially.
     pub fn new(db: &'a Database) -> Self {
-        ExecContext { db, materialized: Vec::new(), chunks: HashMap::new() }
+        ExecContext {
+            db,
+            materialized: Vec::new(),
+            chunks: HashMap::new(),
+            parallel: ParallelMode::Static,
+            workers: 1,
+            counters: ExecCounters::default(),
+        }
     }
 }
 
@@ -65,6 +106,134 @@ pub fn scan_base_table(
     }
 }
 
+/// The correctly-typed empty relation for a chunk scan that selected no
+/// chunks (so joins above keep working).
+fn empty_chunk_schema(db: &Database, table: &str, columns: &[String]) -> Result<Relation> {
+    let schema = db.table_schema(table)?;
+    let prefix = format!("{table}.");
+    let cols = columns
+        .iter()
+        .map(|c| {
+            let raw = c.strip_prefix(&prefix).ok_or_else(|| {
+                EngineError::Plan(format!("chunk column {c:?} not qualified by {table}"))
+            })?;
+            let dtype = schema.col_type(raw)?;
+            Ok((c.clone(), sommelier_storage::ColumnData::empty(dtype)))
+        })
+        .collect::<Result<Vec<_>>>()?;
+    Relation::new(cols)
+}
+
+/// The per-chunk stage-2 pipeline: scan-level projection, pushed-down
+/// selection, optional probe of a shared pre-built join side, residual
+/// filter. Shared by the executor's morsel-parallel operators and the
+/// two-stage driver's fused decode→execute wave.
+pub struct ChunkPipeline<'a> {
+    /// Qualified output columns of the chunk scan.
+    pub columns: &'a [String],
+    /// Pushed-down selection (None = post-union filtering, or none).
+    pub predicate: Option<&'a Expr>,
+    /// `(pre-built build side, probe keys)` of the per-chunk hash
+    /// join, if the aggregate sat over a join. Built once; probed by
+    /// every chunk.
+    pub build: Option<(&'a JoinBuild, &'a [Expr])>,
+    /// Residual filters/projections applied after the join, in order.
+    pub ops: &'a [ChunkOp],
+}
+
+impl ChunkPipeline<'_> {
+    /// Run the pipeline over one chunk's rows.
+    pub fn run(&self, chunk: &Relation) -> Result<Relation> {
+        let wanted: Vec<(String, String)> =
+            self.columns.iter().map(|c| (c.clone(), c.clone())).collect();
+        let mut part = chunk.project_named(&wanted)?;
+        if let Some(p) = self.predicate {
+            let mask = eval_mask(p, &part)?;
+            part = part.filter(&mask);
+        }
+        if let Some((build, probe_keys)) = self.build {
+            part = build.probe(&part, probe_keys)?;
+        }
+        for op in self.ops {
+            match op {
+                ChunkOp::Filter(p) => {
+                    let mask = eval_mask(p, &part)?;
+                    part = part.filter(&mask);
+                }
+                ChunkOp::Project(exprs) => {
+                    let cols = exprs
+                        .iter()
+                        .map(|(name, e)| Ok((name.clone(), eval_scalar(e, &part)?)))
+                        .collect::<Result<Vec<_>>>()?;
+                    part = Relation::new(cols)?;
+                }
+            }
+        }
+        Ok(part)
+    }
+}
+
+/// Run `task` over indices `0..n` on a worker pool, collecting results
+/// in index order. [`ParallelMode::Static`] pre-assigns strided shares
+/// (the paper's strategy — cheap, but skewed tasks underutilize the
+/// pool); [`ParallelMode::Exchange`] pulls indices from a shared
+/// queue. The worker count is the mode's stage-2 implication capped by
+/// `n`; a single worker runs inline. This is the one scheduling
+/// primitive shared by the executor's morsel operators, the two-stage
+/// loaders, and the cellar's decode/streaming pools.
+pub fn run_indexed<T: Send>(
+    n: usize,
+    parallel: ParallelMode,
+    max_threads: usize,
+    task: impl Fn(usize) -> T + Sync,
+) -> Vec<T> {
+    let workers = parallel.stage2_workers(max_threads).min(n);
+    if workers <= 1 {
+        return (0..n).map(task).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let next = &next;
+            let slots = &slots;
+            let task = &task;
+            scope.spawn(move || match parallel {
+                ParallelMode::Static => {
+                    let mut i = w;
+                    while i < n {
+                        *slots[i].lock() = Some(task(i));
+                        i += workers;
+                    }
+                }
+                ParallelMode::Exchange { .. } => loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        return;
+                    }
+                    *slots[i].lock() = Some(task(i));
+                },
+            });
+        }
+    });
+    slots.into_iter().map(|s| s.into_inner().expect("every slot filled")).collect()
+}
+
+/// Resolve every chunk of a union against the pre-loaded context.
+fn resolve_chunks<'c>(
+    ctx: &'c ExecContext,
+    chunks: &[crate::physical::ChunkRef],
+) -> Result<Vec<&'c Arc<Relation>>> {
+    chunks
+        .iter()
+        .map(|chunk| {
+            ctx.chunks.get(&chunk.uri).ok_or_else(|| {
+                EngineError::Chunk(format!("chunk {:?} was not pre-loaded", chunk.uri))
+            })
+        })
+        .collect()
+}
+
 /// Execute a physical plan.
 pub fn execute(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<Relation> {
     match plan {
@@ -74,45 +243,31 @@ pub fn execute(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<Relation> {
         PhysicalPlan::ResultScan { id } => ctx
             .materialized
             .get(*id)
-            .cloned()
+            // Shallow: the clone shares the column payloads.
+            .map(|r| (**r).clone())
             .ok_or_else(|| EngineError::Exec(format!("no materialized result #{id}"))),
         PhysicalPlan::ChunkUnion { table, chunks, columns, predicate, pushdown } => {
             if chunks.is_empty() {
                 // Stage 1 selected no files: an empty relation with the
                 // base table's schema (so joins above keep working).
-                let schema = ctx.db.table_schema(table)?;
-                let prefix = format!("{table}.");
-                let cols = columns
-                    .iter()
-                    .map(|c| {
-                        let raw = c.strip_prefix(&prefix).ok_or_else(|| {
-                            EngineError::Plan(format!(
-                                "chunk column {c:?} not qualified by {table}"
-                            ))
-                        })?;
-                        let dtype = schema.col_type(raw)?;
-                        Ok((c.clone(), sommelier_storage::ColumnData::empty(dtype)))
-                    })
-                    .collect::<Result<Vec<_>>>()?;
-                return Relation::new(cols);
+                return empty_chunk_schema(ctx.db, table, columns);
             }
+            let pipeline = ChunkPipeline {
+                columns,
+                predicate: if *pushdown { predicate.as_ref() } else { None },
+                build: None,
+                ops: &[],
+            };
+            let rels = resolve_chunks(ctx, chunks)?;
+            // Per-chunk projection (and selection, if pushed down) on
+            // the worker pool; concatenation in chunk order.
+            let parts =
+                run_indexed(rels.len(), ctx.parallel, ctx.workers, |i| pipeline.run(rels[i]));
             let mut out = Relation::empty();
-            for chunk in chunks {
-                let rel = ctx.chunks.get(&chunk.uri).ok_or_else(|| {
-                    EngineError::Chunk(format!("chunk {:?} was not pre-loaded", chunk.uri))
-                })?;
-                // Per-chunk projection (and selection, if pushed down).
-                let wanted: Vec<(String, String)> =
-                    columns.iter().map(|c| (c.clone(), c.clone())).collect();
-                let mut part = rel.project_named(&wanted)?;
-                if *pushdown {
-                    if let Some(p) = predicate {
-                        let mask = eval_mask(p, &part)?;
-                        part = part.filter(&mask);
-                    }
-                }
-                out.union_in_place(&part)?;
+            for part in parts {
+                out.union_in_place(&part?)?;
             }
+            ctx.counters.union_rows.fetch_add(out.rows() as u64, Ordering::Relaxed);
             if !*pushdown {
                 if let Some(p) = predicate {
                     if out.rows() > 0 {
@@ -130,6 +285,40 @@ pub fn execute(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<Relation> {
                 ));
             }
             Ok(out)
+        }
+        PhysicalPlan::PartialAggUnion {
+            table,
+            chunks,
+            columns,
+            predicate,
+            join,
+            ops,
+            group_by,
+            aggs,
+        } => {
+            // Build the join side once; every chunk probes it.
+            let build = join
+                .as_ref()
+                .map(|j| JoinBuild::new(execute(&j.right, ctx)?, &j.right_keys))
+                .transpose()?;
+            let probe =
+                join.as_ref().zip(build.as_ref()).map(|(j, b)| (b, j.left_keys.as_slice()));
+            if chunks.is_empty() {
+                // No chunks: run the (empty) pipeline serially so the
+                // aggregate keeps its schema semantics.
+                let pipeline = ChunkPipeline { columns, predicate: None, build: probe, ops };
+                let empty = empty_chunk_schema(ctx.db, table, columns)?;
+                return aggregate(&pipeline.run(&empty)?, group_by, aggs);
+            }
+            let pipeline =
+                ChunkPipeline { columns, predicate: predicate.as_ref(), build: probe, ops };
+            let rels = resolve_chunks(ctx, chunks)?;
+            let parts: Vec<Result<PartialAgg>> =
+                run_indexed(rels.len(), ctx.parallel, ctx.workers, |i| {
+                    partial_aggregate(&pipeline.run(rels[i])?, group_by, aggs)
+                });
+            ctx.counters.partial_agg_chunks.fetch_add(rels.len() as u64, Ordering::Relaxed);
+            merge_partials(parts.into_iter().collect::<Result<Vec<_>>>()?, group_by, aggs)
         }
         PhysicalPlan::HashJoin { left, right, left_keys, right_keys } => {
             let l = execute(left, ctx)?;
@@ -201,7 +390,7 @@ pub fn execute(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<Relation> {
 mod tests {
     use super::*;
     use crate::expr::{AggFunc, CmpOp, Expr};
-    use crate::physical::ChunkRef;
+    use crate::physical::{fuse_partial_agg, ChunkRef};
     use sommelier_storage::buffer::BufferPoolConfig;
     use sommelier_storage::catalog::Disposition;
     use sommelier_storage::column::TextColumn;
@@ -310,10 +499,8 @@ mod tests {
         assert_eq!(out.value(0, "D.sample_value").unwrap(), Value::Float(100.0));
     }
 
-    #[test]
-    fn chunk_union_with_pushdown() {
-        let db = db();
-        let mut ctx = ExecContext::new(&db);
+    fn chunk_ctx(db: &Database) -> ExecContext<'_> {
+        let mut ctx = ExecContext::new(db);
         let mk = |vals: Vec<f64>, ids: Vec<i64>| {
             Arc::new(
                 Relation::new(vec![
@@ -325,7 +512,11 @@ mod tests {
         };
         ctx.chunks.insert("a".into(), mk(vec![1.0, 5.0], vec![1, 1]));
         ctx.chunks.insert("b".into(), mk(vec![7.0], vec![2]));
-        let plan = PhysicalPlan::ChunkUnion {
+        ctx
+    }
+
+    fn union_plan(pushdown: bool) -> PhysicalPlan {
+        PhysicalPlan::ChunkUnion {
             table: "D".into(),
             chunks: vec![
                 ChunkRef { uri: "a".into(), cached: false },
@@ -333,25 +524,151 @@ mod tests {
             ],
             columns: vec!["D.file_id".into(), "D.sample_value".into()],
             predicate: Some(Expr::col("D.sample_value").cmp(CmpOp::Gt, Expr::lit(2.0))),
-            pushdown: true,
-        };
-        let out = execute(&plan, &ctx).unwrap();
+            pushdown,
+        }
+    }
+
+    #[test]
+    fn chunk_union_with_pushdown() {
+        let db = db();
+        let ctx = chunk_ctx(&db);
+        let out = execute(&union_plan(true), &ctx).unwrap();
         assert_eq!(out.rows(), 2);
         // Same result without pushdown.
-        let plan2 = match plan {
-            PhysicalPlan::ChunkUnion { table, chunks, columns, predicate, .. } => {
-                PhysicalPlan::ChunkUnion {
-                    table,
-                    chunks,
-                    columns,
-                    predicate,
-                    pushdown: false,
-                }
-            }
-            _ => unreachable!(),
-        };
-        let out2 = execute(&plan2, &ctx).unwrap();
+        let out2 = execute(&union_plan(false), &ctx).unwrap();
         assert_eq!(out2.rows(), 2);
+        // Union materialization is counted.
+        assert!(ctx.counters.union_rows.load(Ordering::Relaxed) > 0);
+    }
+
+    #[test]
+    fn chunk_union_parallel_matches_serial() {
+        let db = db();
+        let mut ctx = chunk_ctx(&db);
+        let serial = execute(&union_plan(true), &ctx).unwrap();
+        ctx.workers = 4;
+        let parallel = execute(&union_plan(true), &ctx).unwrap();
+        assert_eq!(serial.rows(), parallel.rows());
+        for r in 0..serial.rows() {
+            assert_eq!(
+                serial.value(r, "D.sample_value").unwrap(),
+                parallel.value(r, "D.sample_value").unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn partial_agg_union_fuses_and_matches_aggregate_over_union() {
+        let db = db();
+        let mut ctx = chunk_ctx(&db);
+        ctx.workers = 4;
+        let agg_over_union = PhysicalPlan::Aggregate {
+            input: Box::new(union_plan(true)),
+            group_by: vec![("fid".into(), Expr::col("D.file_id"))],
+            aggs: vec![
+                ("n".into(), AggFunc::Count, Expr::col("D.sample_value")),
+                ("avg_v".into(), AggFunc::Avg, Expr::col("D.sample_value")),
+            ],
+        };
+        let fused = fuse_partial_agg(agg_over_union.clone());
+        assert_eq!(fused.partial_agg_count(), 1, "fusion fires: {fused}");
+        let want = execute(&agg_over_union, &ctx).unwrap();
+        let union_rows = ctx.counters.union_rows.load(Ordering::Relaxed);
+        let got = execute(&fused, &ctx).unwrap();
+        // Partial aggregation did not materialize any further union.
+        assert_eq!(ctx.counters.union_rows.load(Ordering::Relaxed), union_rows);
+        assert_eq!(ctx.counters.partial_agg_chunks.load(Ordering::Relaxed), 2);
+        assert_eq!(want.rows(), got.rows());
+        for r in 0..want.rows() {
+            for name in ["fid", "n", "avg_v"] {
+                assert_eq!(want.value(r, name).unwrap(), got.value(r, name).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn partial_agg_union_with_join_matches_unfused() {
+        let db = db();
+        let mut ctx = chunk_ctx(&db);
+        ctx.workers = 2;
+        let join = PhysicalPlan::HashJoin {
+            left: Box::new(union_plan(true)),
+            right: Box::new(PhysicalPlan::SeqScan {
+                table: "F".into(),
+                columns: vec!["F.file_id".into(), "F.station".into()],
+                predicate: None,
+            }),
+            left_keys: vec![Expr::col("D.file_id")],
+            right_keys: vec![Expr::col("F.file_id")],
+        };
+        let plan = PhysicalPlan::Aggregate {
+            input: Box::new(PhysicalPlan::Filter {
+                input: Box::new(join),
+                predicate: Expr::col("F.station").eq(Expr::lit("FIAM")),
+            }),
+            group_by: vec![],
+            aggs: vec![("s".into(), AggFunc::Sum, Expr::col("D.sample_value"))],
+        };
+        let fused = fuse_partial_agg(plan.clone());
+        assert_eq!(fused.partial_agg_count(), 1, "join shape fuses: {fused}");
+        let want = execute(&plan, &ctx).unwrap();
+        let got = execute(&fused, &ctx).unwrap();
+        assert_eq!(want.value(0, "s").unwrap(), got.value(0, "s").unwrap());
+        // No-pushdown unions do not fuse (they are the ablation baseline).
+        let unfused = fuse_partial_agg(PhysicalPlan::Aggregate {
+            input: Box::new(union_plan(false)),
+            group_by: vec![],
+            aggs: vec![("n".into(), AggFunc::Count, Expr::col("D.sample_value"))],
+        });
+        assert_eq!(unfused.partial_agg_count(), 0);
+    }
+
+    #[test]
+    fn partial_agg_union_fuses_through_project() {
+        use crate::expr::ArithOp;
+        let db = db();
+        let mut ctx = chunk_ctx(&db);
+        ctx.workers = 2;
+        // Aggregate over a computed projection of the chunk rows.
+        let plan = PhysicalPlan::Aggregate {
+            input: Box::new(PhysicalPlan::Project {
+                input: Box::new(union_plan(true)),
+                exprs: vec![(
+                    "doubled".into(),
+                    Expr::Arith(
+                        ArithOp::Mul,
+                        Box::new(Expr::col("D.sample_value")),
+                        Box::new(Expr::lit(2.0)),
+                    ),
+                )],
+            }),
+            group_by: vec![],
+            aggs: vec![("s".into(), AggFunc::Sum, Expr::col("doubled"))],
+        };
+        let fused = fuse_partial_agg(plan.clone());
+        assert_eq!(fused.partial_agg_count(), 1, "project chain fuses: {fused}");
+        let want = execute(&plan, &ctx).unwrap();
+        let got = execute(&fused, &ctx).unwrap();
+        assert_eq!(want.value(0, "s").unwrap(), got.value(0, "s").unwrap());
+    }
+
+    #[test]
+    fn partial_agg_union_empty_chunks_keeps_schema() {
+        let db = db();
+        let ctx = ExecContext::new(&db);
+        let plan = PhysicalPlan::PartialAggUnion {
+            table: "D".into(),
+            chunks: vec![],
+            columns: vec!["D.file_id".into(), "D.sample_value".into()],
+            predicate: None,
+            join: None,
+            ops: vec![],
+            group_by: vec![],
+            aggs: vec![("n".into(), AggFunc::Count, Expr::col("D.sample_value"))],
+        };
+        let out = execute(&plan, &ctx).unwrap();
+        assert_eq!(out.rows(), 0, "global aggregate over empty input");
+        assert_eq!(out.width(), 1, "schema preserved");
     }
 
     #[test]
@@ -372,10 +689,13 @@ mod tests {
     fn result_scan_reads_materialized() {
         let db = db();
         let mut ctx = ExecContext::new(&db);
-        ctx.materialized
-            .push(Relation::new(vec![("x".into(), ColumnData::Int64(vec![42]))]).unwrap());
+        ctx.materialized.push(Arc::new(
+            Relation::new(vec![("x".into(), ColumnData::Int64(vec![42]))]).unwrap(),
+        ));
         let out = execute(&PhysicalPlan::ResultScan { id: 0 }, &ctx).unwrap();
         assert_eq!(out.value(0, "x").unwrap(), Value::Int(42));
+        // The scan shares the stored payloads (no deep copy).
+        assert!(Arc::ptr_eq(&out.columns()[0].1, &ctx.materialized[0].columns()[0].1));
         assert!(execute(&PhysicalPlan::ResultScan { id: 7 }, &ctx).is_err());
     }
 

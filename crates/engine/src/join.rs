@@ -25,12 +25,56 @@ fn zip_sides(
     let r = right.take(right_idx);
     let cols = l.columns_mut();
     cols.extend(r.columns().iter().cloned());
-    let mut out = Relation::new(std::mem::take(cols)).expect("aligned gathers");
+    let mut out = Relation::from_shared(std::mem::take(cols)).expect("aligned gathers");
     if let Some(p) = left.provenance() {
         let rows = left_idx.iter().map(|&i| p.rows[i as usize]).collect();
         out = out.with_provenance(p.table.clone(), rows);
     }
     out
+}
+
+/// A hash-join build side constructed once and probed by many probe
+/// relations — the per-chunk pipelines of a morsel-parallel aggregate
+/// all share one [`JoinBuild`] instead of re-hashing the build relation
+/// per chunk. Probing is read-only, so one build serves concurrent
+/// workers.
+pub struct JoinBuild {
+    right: Relation,
+    keys: Vec<ColumnData>,
+    index: HashIndex,
+}
+
+impl JoinBuild {
+    /// Evaluate the build keys and hash the build side.
+    pub fn new(right: Relation, right_keys: &[Expr]) -> Result<JoinBuild> {
+        if right_keys.is_empty() {
+            return Err(EngineError::Exec("hash join needs at least one key".into()));
+        }
+        let keys = key_columns(right_keys, &right)?;
+        let refs: Vec<&ColumnData> = keys.iter().collect();
+        let index = HashIndex::build(&refs);
+        Ok(JoinBuild { right, keys, index })
+    }
+
+    /// Inner equi-join of `left` against the built side (probe order =
+    /// `left` row order, so results are deterministic).
+    pub fn probe(&self, left: &Relation, left_keys: &[Expr]) -> Result<Relation> {
+        if left_keys.len() != self.keys.len() {
+            return Err(EngineError::Exec("hash join key arity mismatch".into()));
+        }
+        let lk = key_columns(left_keys, left)?;
+        let lk_refs: Vec<&ColumnData> = lk.iter().collect();
+        let rk_refs: Vec<&ColumnData> = self.keys.iter().collect();
+        let mut left_idx: Vec<u32> = Vec::new();
+        let mut right_idx: Vec<u32> = Vec::new();
+        for l in 0..left.rows() {
+            for r in self.index.probe(&rk_refs, &lk_refs, l) {
+                left_idx.push(l as u32);
+                right_idx.push(r);
+            }
+        }
+        Ok(zip_sides(left, &self.right, &left_idx, &right_idx))
+    }
 }
 
 /// Inner equi-join: hash-build on `right`, probe with `left`.
@@ -43,20 +87,9 @@ pub fn hash_join(
     if left_keys.len() != right_keys.len() || left_keys.is_empty() {
         return Err(EngineError::Exec("hash join key arity mismatch".into()));
     }
-    let lk = key_columns(left_keys, left)?;
-    let rk = key_columns(right_keys, right)?;
-    let rk_refs: Vec<&ColumnData> = rk.iter().collect();
-    let lk_refs: Vec<&ColumnData> = lk.iter().collect();
-    let index = HashIndex::build(&rk_refs);
-    let mut left_idx: Vec<u32> = Vec::new();
-    let mut right_idx: Vec<u32> = Vec::new();
-    for l in 0..left.rows() {
-        for r in index.probe(&rk_refs, &lk_refs, l) {
-            left_idx.push(l as u32);
-            right_idx.push(r);
-        }
-    }
-    Ok(zip_sides(left, right, &left_idx, &right_idx))
+    // `Relation` clones are shallow (shared columns), so building from
+    // a reference costs nothing.
+    JoinBuild::new(right.clone(), right_keys)?.probe(left, left_keys)
 }
 
 /// Cross product (used by rule R2; inputs are metadata-sized).

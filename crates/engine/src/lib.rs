@@ -46,11 +46,11 @@ pub mod twostage;
 pub use error::{EngineError, Result};
 pub use expr::{AggFunc, CmpOp, Expr, Func};
 pub use logical::LogicalPlan;
-pub use physical::PhysicalPlan;
+pub use physical::{fuse_partial_agg, PhysicalPlan};
 pub use recycler::Recycler;
 pub use relation::Relation;
 pub use spec::{JoinEdge, QuerySpec, TableRef};
 pub use twostage::{
-    AcquiredChunk, ChunkAccess, ChunkResidency, ChunkSource, ExecStats, ParallelMode,
-    TwoStageConfig,
+    AcquiredChunk, ChunkAccess, ChunkResidency, ChunkSink, ChunkSource, ExecStats,
+    ParallelMode, TwoStageConfig,
 };

@@ -28,6 +28,27 @@ pub struct ChunkRef {
     pub cached: bool,
 }
 
+/// The per-chunk hash join of a [`PhysicalPlan::PartialAggUnion`]: the
+/// build side is chunk-free (typically the stage-1 result-scan) and is
+/// executed once; every chunk probes it independently.
+#[derive(Debug, Clone)]
+pub struct PartialJoin {
+    pub right: Box<PhysicalPlan>,
+    pub left_keys: Vec<Expr>,
+    pub right_keys: Vec<Expr>,
+}
+
+/// One row-local operator folded into a per-chunk pipeline (the
+/// `Filter`/`Project` nodes that sat between the chunk scan/join and
+/// the fused aggregate), applied per chunk in order.
+#[derive(Debug, Clone)]
+pub enum ChunkOp {
+    /// Residual selection.
+    Filter(Expr),
+    /// Projection / column computation.
+    Project(Vec<(String, Expr)>),
+}
+
 /// A physical plan node.
 #[derive(Debug, Clone)]
 pub enum PhysicalPlan {
@@ -45,6 +66,30 @@ pub enum PhysicalPlan {
         columns: Vec<String>,
         predicate: Option<Expr>,
         pushdown: bool,
+    },
+    /// Morsel-parallel aggregation over a rewritten actual-data scan:
+    /// per chunk, scan-level projection → pushed-down selection →
+    /// (optional) hash join against a chunk-free build side → residual
+    /// filter → **partial aggregation**; the per-chunk states merge in
+    /// chunk order ([`crate::agg::merge_partials`]). The union of chunk
+    /// rows is never materialized, and the chunks run on a worker pool.
+    /// Produced by [`fuse_partial_agg`] from `Aggregate` roots over
+    /// pushdown `ChunkUnion`s.
+    PartialAggUnion {
+        table: String,
+        chunks: Vec<ChunkRef>,
+        columns: Vec<String>,
+        /// The scan's pushed-down selection (applied per chunk).
+        predicate: Option<Expr>,
+        /// Per-chunk probe of a shared build side, if the aggregate sat
+        /// over a join.
+        join: Option<PartialJoin>,
+        /// Residual filters/projections that sat between the scan/join
+        /// and the aggregate, applied per chunk in order (after the
+        /// join).
+        ops: Vec<ChunkOp>,
+        group_by: Vec<(String, Expr)>,
+        aggs: Vec<(String, AggFunc, Expr)>,
     },
     /// Hash equi-join (build right, probe left).
     HashJoin {
@@ -202,7 +247,245 @@ pub fn lower(plan: &LogicalPlan, opts: &LowerOptions) -> Result<PhysicalPlan> {
     })
 }
 
+/// Can this aggregate input chain be fused into a
+/// [`PhysicalPlan::PartialAggUnion`]? The chain may pass through any
+/// number of row-local `Filter`/`Project` nodes and at most one
+/// `HashJoin` whose probe (left) side is a pushdown `ChunkUnion` and
+/// whose build side reads no chunks. Selection pushdown must be on:
+/// without it, the run-time rewrite deliberately materializes the
+/// union before filtering (the ablation baseline).
+fn fusable(input: &PhysicalPlan) -> bool {
+    match input {
+        PhysicalPlan::Filter { input, .. } | PhysicalPlan::Project { input, .. } => {
+            fusable(input)
+        }
+        PhysicalPlan::ChunkUnion { pushdown, .. } => *pushdown,
+        PhysicalPlan::HashJoin { left, right, .. } => {
+            matches!(&**left, PhysicalPlan::ChunkUnion { pushdown: true, .. })
+                && !contains_chunk_scan(right)
+        }
+        _ => false,
+    }
+}
+
+/// Does the subtree read lazily loaded chunks?
+fn contains_chunk_scan(plan: &PhysicalPlan) -> bool {
+    matches!(plan, PhysicalPlan::ChunkUnion { .. } | PhysicalPlan::PartialAggUnion { .. })
+        || plan.children().iter().any(|c| contains_chunk_scan(c))
+}
+
+/// Rewrite every `Aggregate` whose input chains down to a pushdown
+/// `ChunkUnion` (optionally through residual filters and one hash join
+/// against a chunk-free build side — the shape of every two-stage
+/// T1–T5 aggregate plan) into a [`PhysicalPlan::PartialAggUnion`], so
+/// stage 2 aggregates chunk-by-chunk and never materializes the union.
+pub fn fuse_partial_agg(plan: PhysicalPlan) -> PhysicalPlan {
+    let plan = match plan {
+        PhysicalPlan::Aggregate { input, group_by, aggs } if fusable(&input) => {
+            return fuse_chain(*input, Vec::new(), group_by, aggs);
+        }
+        other => other,
+    };
+    plan.map_children(&fuse_partial_agg)
+}
+
+/// Destructure a `fusable` chain into the fused node. `ops`
+/// accumulates the row-local operators outermost-first.
+fn fuse_chain(
+    node: PhysicalPlan,
+    mut ops: Vec<ChunkOp>,
+    group_by: Vec<(String, Expr)>,
+    aggs: Vec<(String, AggFunc, Expr)>,
+) -> PhysicalPlan {
+    match node {
+        PhysicalPlan::Filter { input, predicate } => {
+            ops.push(ChunkOp::Filter(predicate));
+            fuse_chain(*input, ops, group_by, aggs)
+        }
+        PhysicalPlan::Project { input, exprs } => {
+            ops.push(ChunkOp::Project(exprs));
+            fuse_chain(*input, ops, group_by, aggs)
+        }
+        PhysicalPlan::ChunkUnion { table, chunks, columns, predicate, .. } => {
+            ops.reverse(); // apply in inner→outer order
+            PhysicalPlan::PartialAggUnion {
+                table,
+                chunks,
+                columns,
+                predicate,
+                join: None,
+                ops,
+                group_by,
+                aggs,
+            }
+        }
+        PhysicalPlan::HashJoin { left, right, left_keys, right_keys } => match *left {
+            PhysicalPlan::ChunkUnion { table, chunks, columns, predicate, .. } => {
+                ops.reverse();
+                PhysicalPlan::PartialAggUnion {
+                    table,
+                    chunks,
+                    columns,
+                    predicate,
+                    join: Some(PartialJoin { right, left_keys, right_keys }),
+                    ops,
+                    group_by,
+                    aggs,
+                }
+            }
+            _ => unreachable!("fusable() guarantees a chunk-union probe side"),
+        },
+        _ => unreachable!("fusable() guarantees the chain shape"),
+    }
+}
+
 impl PhysicalPlan {
+    /// Direct children, in probe-then-build order.
+    pub fn children(&self) -> Vec<&PhysicalPlan> {
+        match self {
+            PhysicalPlan::SeqScan { .. }
+            | PhysicalPlan::ResultScan { .. }
+            | PhysicalPlan::ChunkUnion { .. } => Vec::new(),
+            PhysicalPlan::PartialAggUnion { join, .. } => {
+                join.iter().map(|j| j.right.as_ref()).collect()
+            }
+            PhysicalPlan::HashJoin { left, right, .. }
+            | PhysicalPlan::Cross { left, right } => vec![left, right],
+            PhysicalPlan::IndexJoin { child, .. } => vec![child],
+            PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::Project { input, .. }
+            | PhysicalPlan::Aggregate { input, .. }
+            | PhysicalPlan::Distinct { input }
+            | PhysicalPlan::Sort { input, .. }
+            | PhysicalPlan::Limit { input, .. } => vec![input],
+        }
+    }
+
+    /// Rebuild this node with `f` applied to every direct child.
+    fn map_children(self, f: &dyn Fn(PhysicalPlan) -> PhysicalPlan) -> PhysicalPlan {
+        match self {
+            leaf @ (PhysicalPlan::SeqScan { .. }
+            | PhysicalPlan::ResultScan { .. }
+            | PhysicalPlan::ChunkUnion { .. }) => leaf,
+            PhysicalPlan::PartialAggUnion {
+                table,
+                chunks,
+                columns,
+                predicate,
+                join,
+                ops,
+                group_by,
+                aggs,
+            } => PhysicalPlan::PartialAggUnion {
+                table,
+                chunks,
+                columns,
+                predicate,
+                join: join.map(|j| PartialJoin {
+                    right: Box::new(f(*j.right)),
+                    left_keys: j.left_keys,
+                    right_keys: j.right_keys,
+                }),
+                ops,
+                group_by,
+                aggs,
+            },
+            PhysicalPlan::HashJoin { left, right, left_keys, right_keys } => {
+                PhysicalPlan::HashJoin {
+                    left: Box::new(f(*left)),
+                    right: Box::new(f(*right)),
+                    left_keys,
+                    right_keys,
+                }
+            }
+            PhysicalPlan::Cross { left, right } => {
+                PhysicalPlan::Cross { left: Box::new(f(*left)), right: Box::new(f(*right)) }
+            }
+            PhysicalPlan::IndexJoin {
+                child,
+                child_table,
+                parent_table,
+                parent_columns,
+                parent_predicate,
+            } => PhysicalPlan::IndexJoin {
+                child: Box::new(f(*child)),
+                child_table,
+                parent_table,
+                parent_columns,
+                parent_predicate,
+            },
+            PhysicalPlan::Filter { input, predicate } => {
+                PhysicalPlan::Filter { input: Box::new(f(*input)), predicate }
+            }
+            PhysicalPlan::Project { input, exprs } => {
+                PhysicalPlan::Project { input: Box::new(f(*input)), exprs }
+            }
+            PhysicalPlan::Aggregate { input, group_by, aggs } => {
+                PhysicalPlan::Aggregate { input: Box::new(f(*input)), group_by, aggs }
+            }
+            PhysicalPlan::Distinct { input } => {
+                PhysicalPlan::Distinct { input: Box::new(f(*input)) }
+            }
+            PhysicalPlan::Sort { input, keys } => {
+                PhysicalPlan::Sort { input: Box::new(f(*input)), keys }
+            }
+            PhysicalPlan::Limit { input, n } => {
+                PhysicalPlan::Limit { input: Box::new(f(*input)), n }
+            }
+        }
+    }
+
+    /// Number of (unfused) [`PhysicalPlan::ChunkUnion`] nodes in the
+    /// plan.
+    pub fn chunk_union_count(&self) -> usize {
+        let own = usize::from(matches!(self, PhysicalPlan::ChunkUnion { .. }));
+        own + self.children().iter().map(|c| c.chunk_union_count()).sum::<usize>()
+    }
+
+    /// Number of [`PhysicalPlan::PartialAggUnion`] nodes in the plan.
+    pub fn partial_agg_count(&self) -> usize {
+        let own = usize::from(matches!(self, PhysicalPlan::PartialAggUnion { .. }));
+        own + self.children().iter().map(|c| c.partial_agg_count()).sum::<usize>()
+    }
+
+    /// The first [`PhysicalPlan::PartialAggUnion`] node, depth-first.
+    pub fn find_partial_agg(&self) -> Option<&PhysicalPlan> {
+        if matches!(self, PhysicalPlan::PartialAggUnion { .. }) {
+            return Some(self);
+        }
+        self.children().iter().find_map(|c| c.find_partial_agg())
+    }
+
+    /// Replace the first [`PhysicalPlan::PartialAggUnion`] (depth-first)
+    /// with a result-scan of materialized slot `id`. Returns whether a
+    /// node was replaced — the hand-off the fused decode→execute driver
+    /// uses after merging the partial states itself.
+    pub fn replace_first_partial_agg(&mut self, id: usize) -> bool {
+        if matches!(self, PhysicalPlan::PartialAggUnion { .. }) {
+            *self = PhysicalPlan::ResultScan { id };
+            return true;
+        }
+        match self {
+            PhysicalPlan::SeqScan { .. }
+            | PhysicalPlan::ResultScan { .. }
+            | PhysicalPlan::ChunkUnion { .. } => false,
+            PhysicalPlan::PartialAggUnion { join, .. } => {
+                join.as_mut().map(|j| j.right.replace_first_partial_agg(id)).unwrap_or(false)
+            }
+            PhysicalPlan::HashJoin { left, right, .. }
+            | PhysicalPlan::Cross { left, right } => {
+                left.replace_first_partial_agg(id) || right.replace_first_partial_agg(id)
+            }
+            PhysicalPlan::IndexJoin { child, .. } => child.replace_first_partial_agg(id),
+            PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::Project { input, .. }
+            | PhysicalPlan::Aggregate { input, .. }
+            | PhysicalPlan::Distinct { input }
+            | PhysicalPlan::Sort { input, .. }
+            | PhysicalPlan::Limit { input, .. } => input.replace_first_partial_agg(id),
+        }
+    }
+
     fn fmt_indent(&self, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
         let pad = "  ".repeat(indent);
         match self {
@@ -229,6 +512,56 @@ impl PhysicalPlan {
                     )?;
                 }
                 writeln!(f)
+            }
+            PhysicalPlan::PartialAggUnion {
+                table,
+                chunks,
+                predicate,
+                join,
+                ops,
+                group_by,
+                aggs,
+                ..
+            } => {
+                let cached = chunks.iter().filter(|c| c.cached).count();
+                let gs: Vec<String> = group_by.iter().map(|(n, _)| n.clone()).collect();
+                let asr: Vec<String> = aggs
+                    .iter()
+                    .map(|(n, a, e)| format!("{}({e}) AS {n}", a.name()))
+                    .collect();
+                write!(
+                    f,
+                    "{pad}PartialAggUnion {table}: {} chunk-access + {cached} cache-scan, \
+                     group=[{}] aggs=[{}]",
+                    chunks.len() - cached,
+                    gs.join(", "),
+                    asr.join(", ")
+                )?;
+                if let Some(p) = predicate {
+                    write!(f, " where {p} (pushed into chunks)")?;
+                }
+                for op in ops {
+                    match op {
+                        ChunkOp::Filter(p) => write!(f, " residual {p}")?,
+                        ChunkOp::Project(exprs) => {
+                            let cols: Vec<String> =
+                                exprs.iter().map(|(n, e)| format!("{e} AS {n}")).collect();
+                            write!(f, " project [{}]", cols.join(", "))?;
+                        }
+                    }
+                }
+                writeln!(f)?;
+                if let Some(j) = join {
+                    let keys: Vec<String> = j
+                        .left_keys
+                        .iter()
+                        .zip(&j.right_keys)
+                        .map(|(l, r)| format!("{l} = {r}"))
+                        .collect();
+                    writeln!(f, "{pad}  per-chunk probe on {}", keys.join(" AND "))?;
+                    j.right.fmt_indent(f, indent + 2)?;
+                }
+                Ok(())
             }
             PhysicalPlan::HashJoin { left, right, left_keys, right_keys } => {
                 let keys: Vec<String> = left_keys

@@ -7,6 +7,13 @@
 //! (`station` finds `F.station`), which is how the SQL layer resolves
 //! bare identifiers.
 //!
+//! Column payloads are shared (`Arc<ColumnData>`), so cloning a
+//! relation, projecting columns out of it, or handing it between the
+//! cellar/recycler and the executor never copies row data — operators
+//! that really produce new rows (filters, gathers, unions) copy, and
+//! in-place mutation goes through copy-on-write
+//! ([`std::sync::Arc::make_mut`]).
+//!
 //! A relation may carry *provenance*: the base table it was scanned
 //! from plus the base-table row position of each of its rows. Filters
 //! preserve provenance; that is what lets the executor use a
@@ -15,6 +22,7 @@
 
 use crate::error::{EngineError, Result};
 use sommelier_storage::{ColumnData, DataType, Value};
+use std::sync::Arc;
 
 /// Row provenance for index joins.
 #[derive(Debug, Clone)]
@@ -25,10 +33,10 @@ pub struct Provenance {
     pub rows: Vec<u32>,
 }
 
-/// A named-column relation.
+/// A named-column relation with shared (zero-copy) column payloads.
 #[derive(Debug, Clone, Default)]
 pub struct Relation {
-    cols: Vec<(String, ColumnData)>,
+    cols: Vec<(String, Arc<ColumnData>)>,
     provenance: Option<Provenance>,
 }
 
@@ -40,6 +48,12 @@ impl Relation {
 
     /// Build from named columns; validates equal lengths.
     pub fn new(cols: Vec<(String, ColumnData)>) -> Result<Self> {
+        Relation::from_shared(cols.into_iter().map(|(n, c)| (n, Arc::new(c))).collect())
+    }
+
+    /// Build from already-shared columns (no copies); validates equal
+    /// lengths.
+    pub fn from_shared(cols: Vec<(String, Arc<ColumnData>)>) -> Result<Self> {
         if let Some(first) = cols.first().map(|(_, c)| c.len()) {
             for (name, c) in &cols {
                 if c.len() != first {
@@ -84,13 +98,14 @@ impl Relation {
         self.cols.iter().map(|(n, _)| n.as_str()).collect()
     }
 
-    /// The columns (name, data) in order.
-    pub fn columns(&self) -> &[(String, ColumnData)] {
+    /// The columns (name, shared data) in order.
+    pub fn columns(&self) -> &[(String, Arc<ColumnData>)] {
         &self.cols
     }
 
-    /// Mutable access (used by union assembly).
-    pub fn columns_mut(&mut self) -> &mut Vec<(String, ColumnData)> {
+    /// Mutable access (used by union assembly). Writing through a
+    /// shared column copies it first ([`Arc::make_mut`]).
+    pub fn columns_mut(&mut self) -> &mut Vec<(String, Arc<ColumnData>)> {
         self.provenance = None;
         &mut self.cols
     }
@@ -136,7 +151,8 @@ impl Relation {
 
     /// Gather rows by position into a new relation (provenance follows).
     pub fn take(&self, idx: &[u32]) -> Relation {
-        let cols = self.cols.iter().map(|(n, c)| (n.clone(), c.take(idx))).collect();
+        let cols =
+            self.cols.iter().map(|(n, c)| (n.clone(), Arc::new(c.take(idx)))).collect();
         let provenance = self.provenance.as_ref().map(|p| Provenance {
             table: p.table.clone(),
             rows: idx.iter().map(|&i| p.rows[i as usize]).collect(),
@@ -144,18 +160,23 @@ impl Relation {
         Relation { cols, provenance }
     }
 
-    /// Filter by a boolean mask (provenance follows).
+    /// Filter by a boolean mask (provenance follows). An all-true mask
+    /// returns a cheap clone (shared columns, no per-row copies); the
+    /// gather list is pre-sized from the mask's popcount otherwise.
     pub fn filter(&self, mask: &[bool]) -> Relation {
         debug_assert_eq!(mask.len(), self.rows());
-        let idx: Vec<u32> = mask
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &keep)| keep.then_some(i as u32))
-            .collect();
+        let kept = mask.iter().filter(|&&k| k).count();
+        if kept == mask.len() {
+            return self.clone();
+        }
+        let mut idx: Vec<u32> = Vec::with_capacity(kept);
+        idx.extend(mask.iter().enumerate().filter_map(|(i, &k)| k.then_some(i as u32)));
         self.take(&idx)
     }
 
-    /// Append `other`'s rows (schemas must match by name & type, in order).
+    /// Append `other`'s rows (schemas must match by name & type, in
+    /// order). The first append to a shared column copies it
+    /// (copy-on-write); a union of a single relation stays zero-copy.
     pub fn union_in_place(&mut self, other: &Relation) -> Result<()> {
         if self.cols.is_empty() {
             *self = other.clone();
@@ -175,20 +196,21 @@ impl Relation {
                     "union column mismatch: {an} vs {bn}"
                 )));
             }
-            ac.append(bc)?;
+            Arc::make_mut(ac).append(bc)?;
         }
         self.provenance = None;
         Ok(())
     }
 
-    /// Keep only the named columns, renaming to (output name, source name).
+    /// Keep only the named columns, renaming to (output name, source
+    /// name). Zero-copy: the output shares the source's column payloads.
     pub fn project_named(&self, wanted: &[(String, String)]) -> Result<Relation> {
         let mut cols = Vec::with_capacity(wanted.len());
         for (out, src) in wanted {
             let i = self.resolve(src)?;
-            cols.push((out.clone(), self.cols[i].1.clone()));
+            cols.push((out.clone(), Arc::clone(&self.cols[i].1)));
         }
-        Relation::new(cols)
+        Relation::from_shared(cols)
     }
 
     /// Approximate heap bytes (for the recycler's budget accounting).
@@ -276,6 +298,19 @@ mod tests {
     }
 
     #[test]
+    fn all_true_filter_shares_columns() {
+        let r = sample().with_provenance("F", vec![10, 11, 12]);
+        let f = r.filter(&[true, true, true]);
+        assert_eq!(f.rows(), 3);
+        // No row copies: the filtered relation shares the payloads.
+        for (a, b) in r.columns().iter().zip(f.columns()) {
+            assert!(Arc::ptr_eq(&a.1, &b.1));
+        }
+        // Provenance survives the fast path.
+        assert_eq!(f.provenance().unwrap().rows, vec![10, 11, 12]);
+    }
+
+    #[test]
     fn union_checks_schema() {
         let mut a = sample();
         let b = sample();
@@ -291,7 +326,21 @@ mod tests {
     }
 
     #[test]
-    fn project_named_renames() {
+    fn union_copy_on_write_leaves_source_intact() {
+        let src = sample();
+        let mut u = Relation::empty();
+        u.union_in_place(&src).unwrap();
+        // Single-relation union shares payloads ...
+        assert!(Arc::ptr_eq(&src.columns()[0].1, &u.columns()[0].1));
+        u.union_in_place(&src).unwrap();
+        // ... and the second append copies before mutating.
+        assert!(!Arc::ptr_eq(&src.columns()[0].1, &u.columns()[0].1));
+        assert_eq!(src.rows(), 3, "source untouched");
+        assert_eq!(u.rows(), 6);
+    }
+
+    #[test]
+    fn project_named_renames_and_shares() {
         let r = sample();
         let p = r
             .project_named(&[
@@ -301,6 +350,8 @@ mod tests {
             .unwrap();
         assert_eq!(p.names(), vec!["sid", "st"]);
         assert_eq!(p.value(0, "sid").unwrap(), Value::Int(1));
+        // Zero-copy: projections share the source payloads.
+        assert!(Arc::ptr_eq(&p.columns()[1].1, &r.columns()[1].1));
     }
 
     #[test]

@@ -7,9 +7,12 @@
 //!    result (the *result-scan* source).
 //! 2. **Run-time rewrite**: the distinct chunk URIs in `Qf`'s result
 //!    determine the chunk list; every [`crate::logical::LogicalPlan::LazyScan`]
-//!    is rewritten into a union of *cache-scan* (chunk already in the
-//!    Recycler) and *chunk-access* (ingest now) entries — rewrite
-//!    rule (1), with optional selection pushdown into the accesses.
+//!    is rewritten into a union of *cache-scan* (chunk already resident)
+//!    and *chunk-access* (ingest now) entries — rewrite rule (1), with
+//!    optional selection pushdown into the accesses. Aggregates over the
+//!    rewritten scan additionally fuse into a
+//!    [`crate::physical::PhysicalPlan::PartialAggUnion`]
+//!    ([`crate::physical::fuse_partial_agg`]).
 //! 3. Required chunks are ingested — in parallel. [`ParallelMode::Static`]
 //!    reproduces the paper's static strategy (work is pre-partitioned
 //!    per chunk, so few/skewed chunks underutilize cores; §V discusses
@@ -18,16 +21,25 @@
 //!    units are dynamically pulled from a shared queue).
 //! 4. **Stage 2** executes the remainder `Qs` against the result-scan
 //!    and the loaded chunks.
+//!
+//! When the chunks come from a residency manager and the stage-2 plan
+//! fused into a single partial-aggregate pipeline, steps 3 and 4
+//! overlap: each chunk is handed to its pipeline the moment its decode
+//! finishes ([`ChunkResidency::acquire_each`]), its partial state is
+//! merged, and its pin is released — so a query's working set never
+//! needs to be resident all at once, and decode and execution share the
+//! same worker pool.
 
+use crate::agg::{merge_partials, partial_aggregate, PartialAgg};
 use crate::error::{EngineError, Result};
-use crate::exec::{execute, ExecContext};
+use crate::exec::{execute, ChunkPipeline, ExecContext};
 use crate::logical::LogicalPlan;
-use crate::physical::{lower, ChunkRef, LowerOptions};
+use crate::physical::{fuse_partial_agg, lower, ChunkRef, LowerOptions, PhysicalPlan};
 use crate::recycler::Recycler;
 use crate::relation::Relation;
 use parking_lot::Mutex;
 use sommelier_storage::{ColumnData, Database};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -71,6 +83,11 @@ pub struct AcquiredChunk {
     pub joined: bool,
 }
 
+/// Per-chunk delivery callback for [`ChunkResidency::acquire_each`]:
+/// `(index into the uris slice, acquired chunk)`. May be called
+/// concurrently from several threads.
+pub type ChunkSink<'a> = dyn Fn(usize, AcquiredChunk) -> Result<()> + Sync + 'a;
+
 /// A chunk-granularity residency manager (the core crate's *cellar*).
 ///
 /// Unlike the raw [`ChunkSource`] + [`Recycler`] pair, a residency
@@ -96,6 +113,35 @@ pub trait ChunkResidency: Send + Sync {
 
     /// Release the pins taken by a matching [`Self::acquire_many`].
     fn release_many(&self, uris: &[String]);
+
+    /// Acquire every chunk in `uris`, handing each to `sink` as soon as
+    /// it is available — resident chunks immediately, decoded chunks
+    /// the moment their decode finishes, on the worker that decoded
+    /// them (pipelined decode→execute). Each chunk stays pinned for the
+    /// duration of its `sink` call only; by the time `acquire_each`
+    /// returns, no pins from this call survive. The first error (decode
+    /// or sink) aborts the wave and is returned.
+    ///
+    /// The default delegates to [`Self::acquire_many`] (load all, then
+    /// sink sequentially); managers that can stream should override it.
+    fn acquire_each(
+        &self,
+        uris: &[String],
+        parallel: ParallelMode,
+        max_threads: usize,
+        sink: &ChunkSink<'_>,
+    ) -> Result<()> {
+        let acquired = self.acquire_many(uris, parallel, max_threads)?;
+        let mut result = Ok(());
+        for (i, chunk) in acquired.into_iter().enumerate() {
+            result = sink(i, chunk);
+            if result.is_err() {
+                break;
+            }
+        }
+        self.release_many(uris);
+        result
+    }
 
     /// Every chunk in the repository (pure actual-data queries must
     /// load everything — the paper's "no alternative" case).
@@ -140,11 +186,24 @@ pub enum ParallelMode {
     Exchange { workers: usize },
 }
 
+impl ParallelMode {
+    /// Worker-pool size this mode implies for stage-2 execution.
+    pub fn stage2_workers(&self, max_threads: usize) -> usize {
+        match self {
+            ParallelMode::Static => max_threads.max(1),
+            ParallelMode::Exchange { workers } => (*workers).max(1),
+        }
+    }
+}
+
 /// Two-stage execution configuration.
 #[derive(Debug, Clone)]
 pub struct TwoStageConfig {
     pub parallel: ParallelMode,
-    /// Push selections into per-chunk accesses (rewrite-rule refinement).
+    /// Push selections into per-chunk accesses (rewrite-rule
+    /// refinement). Also gates partial-aggregation fusion: without
+    /// pushdown, stage 2 deliberately materializes the full union (the
+    /// ablation baseline).
     pub pushdown: bool,
     /// Use the Recycler chunk cache.
     pub use_cache: bool,
@@ -155,7 +214,7 @@ pub struct TwoStageConfig {
     /// descriptor (e.g. `F.uri` for the mSEED adapter); plans with lazy
     /// scans fail if it is left empty.
     pub uri_column: String,
-    /// Worker cap for [`ParallelMode::Static`].
+    /// Worker cap for [`ParallelMode::Static`] and stage-2 execution.
     pub max_threads: usize,
     /// Approximate query answering (the paper's §VIII future work):
     /// ingest only this fraction of the selected chunks, chosen
@@ -183,7 +242,9 @@ impl Default for TwoStageConfig {
 pub struct ExecStats {
     /// Stage-1 (metadata branch) wall time.
     pub stage1: Duration,
-    /// Chunk ingestion wall time.
+    /// Chunk ingestion wall time. In the fused decode→execute path this
+    /// covers the whole per-chunk wave (decode *and* per-chunk
+    /// execution overlap and are not separable).
     pub load: Duration,
     /// Stage-2 (remainder) wall time.
     pub stage2: Duration,
@@ -199,6 +260,11 @@ pub struct ExecStats {
     pub rows_loaded: u64,
     /// Approximate bytes ingested from chunks.
     pub bytes_loaded: u64,
+    /// Rows concatenated into materialized chunk unions during stage 2
+    /// (0 when partial aggregation avoided the union entirely).
+    pub rows_union_materialized: u64,
+    /// Chunks executed through per-chunk partial-aggregation pipelines.
+    pub partial_agg_chunks: u64,
 }
 
 impl ExecStats {
@@ -228,6 +294,8 @@ pub fn execute_plan(
 ) -> Result<QueryOutcome> {
     let mut stats = ExecStats::default();
     let mut ctx = ExecContext::new(db);
+    ctx.parallel = config.parallel;
+    ctx.workers = config.parallel.stage2_workers(config.max_threads);
 
     // ---- Stage 1: evaluate the metadata branch Qf, if marked. ------
     let qf_id = match plan.qf() {
@@ -243,14 +311,18 @@ pub fn execute_plan(
             let phys = lower(qf, &opts)?;
             let rf = execute(&phys, &ctx)?;
             stats.stage1 = t.elapsed();
-            ctx.materialized.push(rf);
+            ctx.materialized.push(Arc::new(rf));
             Some(0usize)
         }
         None => None,
     };
 
-    // ---- Run-time rewrite + chunk ingestion. -----------------------
+    // ---- Run-time rewrite: determine the chunk list. ---------------
+    // The managed-residency path defers acquisition until the stage-2
+    // plan shape is known (fused decode→execute vs load-all); the
+    // legacy direct path loads everything here, as before.
     let mut pin_guard: Option<PinGuard<'_>> = None;
+    let mut deferred_uris: Option<Vec<String>> = None;
     let chunk_refs: Option<Vec<ChunkRef>> = if plan.has_lazy_scan() {
         let all_chunks = || -> Result<Vec<String>> {
             match &access {
@@ -276,10 +348,10 @@ pub fn execute_plan(
         };
         stats.files_selected = uris.len();
         let uris = sample_uris(uris, config.sampling, &mut stats);
-        let t = Instant::now();
         let refs = match &access {
             ChunkAccess::None => unreachable!("checked above"),
             ChunkAccess::Direct { source, recycler } => {
+                let t = Instant::now();
                 let refs: Vec<ChunkRef> = uris
                     .iter()
                     .map(|u| ChunkRef {
@@ -320,6 +392,7 @@ pub fn execute_plan(
                     }
                     ctx.chunks.insert(uri, rel);
                 }
+                stats.load = t.elapsed();
                 refs
             }
             ChunkAccess::Managed(residency) => {
@@ -327,32 +400,16 @@ pub fn execute_plan(
                     .iter()
                     .map(|u| ChunkRef { uri: u.clone(), cached: residency.is_resident(u) })
                     .collect();
-                let acquired =
-                    residency.acquire_many(&uris, config.parallel, config.max_threads)?;
-                // Pins are held until stage 2 is done (drop of the guard),
-                // so the manager cannot evict these chunks mid-query.
-                pin_guard = Some(PinGuard { residency: *residency, uris: uris.clone() });
-                for (uri, chunk) in uris.iter().zip(acquired) {
-                    if chunk.loaded {
-                        stats.files_loaded += 1;
-                        stats.rows_loaded += chunk.relation.rows() as u64;
-                        stats.bytes_loaded += chunk.relation.approx_bytes() as u64;
-                    } else {
-                        stats.cache_hits += 1;
-                    }
-                    ctx.chunks.insert(uri.clone(), chunk.relation);
-                }
+                deferred_uris = Some(uris);
                 refs
             }
         };
-        stats.load = t.elapsed();
         Some(refs)
     } else {
         None
     };
 
-    // ---- Stage 2: the remainder Qs. ---------------------------------
-    let t = Instant::now();
+    // ---- Lower Qs; fuse aggregate-over-union chains. ---------------
     let opts = LowerOptions {
         db,
         use_index_joins: config.use_index_joins,
@@ -360,11 +417,110 @@ pub fn execute_plan(
         chunk_pushdown: config.pushdown,
         qf_result_id: qf_id,
     };
-    let phys = lower(plan, &opts)?;
+    let mut phys = fuse_partial_agg(lower(plan, &opts)?);
+
+    // ---- Chunk acquisition (managed residency). --------------------
+    if let (Some(uris), ChunkAccess::Managed(residency)) = (deferred_uris, &access) {
+        let t = Instant::now();
+        // Fuse decode into execution when the whole chunk consumption
+        // is one partial-agg pipeline; otherwise load-all (the union
+        // materializes anyway, and pins must span all of stage 2).
+        if !uris.is_empty() && phys.partial_agg_count() == 1 && phys.chunk_union_count() == 0
+        {
+            let node = phys.find_partial_agg().expect("counted above").clone();
+            let merged = fused_wave(*residency, &uris, &node, &ctx, config, &mut stats)?;
+            stats.load = t.elapsed();
+            let id = ctx.materialized.len();
+            ctx.materialized.push(Arc::new(merged));
+            phys.replace_first_partial_agg(id);
+        } else {
+            let acquired =
+                residency.acquire_many(&uris, config.parallel, config.max_threads)?;
+            // Pins are held until stage 2 is done (drop of the guard),
+            // so the manager cannot evict these chunks mid-query.
+            pin_guard = Some(PinGuard { residency: *residency, uris: uris.clone() });
+            for (uri, chunk) in uris.iter().zip(acquired) {
+                if chunk.loaded {
+                    stats.files_loaded += 1;
+                    stats.rows_loaded += chunk.relation.rows() as u64;
+                    stats.bytes_loaded += chunk.relation.approx_bytes() as u64;
+                } else {
+                    stats.cache_hits += 1;
+                }
+                ctx.chunks.insert(uri.clone(), chunk.relation);
+            }
+            stats.load = t.elapsed();
+        }
+    }
+
+    // ---- Stage 2: the remainder Qs. ---------------------------------
+    let t = Instant::now();
     let relation = execute(&phys, &ctx)?;
     stats.stage2 = t.elapsed();
+    stats.rows_union_materialized += ctx.counters.union_rows.load(Ordering::Relaxed);
+    stats.partial_agg_chunks += ctx.counters.partial_agg_chunks.load(Ordering::Relaxed);
     drop(pin_guard);
     Ok(QueryOutcome { relation, stats })
+}
+
+/// The fused decode→execute wave over one [`PhysicalPlan::PartialAggUnion`]:
+/// each chunk runs its pipeline (projection, pushed-down selection,
+/// probe of the shared build side, residual filter, partial
+/// aggregation) on the worker that produced it, then drops its pin; the
+/// partial states merge in chunk order afterwards.
+fn fused_wave(
+    residency: &dyn ChunkResidency,
+    uris: &[String],
+    node: &PhysicalPlan,
+    ctx: &ExecContext,
+    config: &TwoStageConfig,
+    stats: &mut ExecStats,
+) -> Result<Relation> {
+    let PhysicalPlan::PartialAggUnion {
+        columns, predicate, join, ops, group_by, aggs, ..
+    } = node
+    else {
+        unreachable!("caller located a partial-agg node")
+    };
+    // The build side is chunk-free (fusion guarantees it): execute and
+    // hash it once; every chunk probes the shared build.
+    let build = join
+        .as_ref()
+        .map(|j| crate::join::JoinBuild::new(execute(&j.right, ctx)?, &j.right_keys))
+        .transpose()?;
+    let pipeline = ChunkPipeline {
+        columns,
+        predicate: predicate.as_ref(),
+        build: join.as_ref().zip(build.as_ref()).map(|(j, b)| (b, j.left_keys.as_slice())),
+        ops,
+    };
+    let slots: Vec<Mutex<Option<PartialAgg>>> =
+        (0..uris.len()).map(|_| Mutex::new(None)).collect();
+    let (loaded, hits) = (AtomicU64::new(0), AtomicU64::new(0));
+    let (rows, bytes) = (AtomicU64::new(0), AtomicU64::new(0));
+    let sink = |i: usize, chunk: AcquiredChunk| -> Result<()> {
+        if chunk.loaded {
+            loaded.fetch_add(1, Ordering::Relaxed);
+            rows.fetch_add(chunk.relation.rows() as u64, Ordering::Relaxed);
+            bytes.fetch_add(chunk.relation.approx_bytes() as u64, Ordering::Relaxed);
+        } else {
+            hits.fetch_add(1, Ordering::Relaxed);
+        }
+        let part = partial_aggregate(&pipeline.run(&chunk.relation)?, group_by, aggs)?;
+        *slots[i].lock() = Some(part);
+        Ok(())
+    };
+    residency.acquire_each(uris, config.parallel, config.max_threads, &sink)?;
+    stats.files_loaded += loaded.load(Ordering::Relaxed) as usize;
+    stats.cache_hits += hits.load(Ordering::Relaxed) as usize;
+    stats.rows_loaded += rows.load(Ordering::Relaxed);
+    stats.bytes_loaded += bytes.load(Ordering::Relaxed);
+    stats.partial_agg_chunks += uris.len() as u64;
+    let parts: Vec<PartialAgg> = slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("sink ran for every chunk"))
+        .collect();
+    merge_partials(parts, group_by, aggs)
 }
 
 /// Approximate answering: keep a deterministic sample of the selected
@@ -429,32 +585,13 @@ fn load_static(
     uris: &[&str],
     max_threads: usize,
 ) -> Result<Vec<(String, Relation)>> {
-    if uris.is_empty() {
-        return Ok(Vec::new());
-    }
-    // Degree of parallelism = number of chunks, capped by the machine —
-    // the paper's static strategy.
-    let workers = uris.len().min(max_threads.max(1));
-    let results: Mutex<Vec<Option<Result<Relation>>>> =
-        Mutex::new((0..uris.len()).map(|_| None).collect());
-    std::thread::scope(|scope| {
-        for w in 0..workers {
-            let results = &results;
-            scope.spawn(move || {
-                // Pre-assigned (static) share: indices w, w+workers, ...
-                let mut i = w;
-                while i < uris.len() {
-                    let out = source.load_chunk(uris[i]);
-                    results.lock()[i] = Some(out);
-                    i += workers;
-                }
-            });
-        }
-    });
+    let loaded =
+        crate::exec::run_indexed(uris.len(), ParallelMode::Static, max_threads, |i| {
+            source.load_chunk(uris[i])
+        });
     let mut out = Vec::with_capacity(uris.len());
-    for (i, slot) in results.into_inner().into_iter().enumerate() {
-        let rel = slot.expect("every slot filled")?;
-        out.push((uris[i].to_string(), rel));
+    for (uri, rel) in uris.iter().zip(loaded) {
+        out.push((uri.to_string(), rel?));
     }
     Ok(out)
 }
@@ -470,42 +607,28 @@ fn load_exchange(
     if uris.is_empty() {
         return Ok(Vec::new());
     }
-    struct UnitSlot {
-        file: usize,
-        unit: Mutex<Option<ChunkUnit>>,
-        result: Mutex<Option<Result<Relation>>>,
-    }
     // Build the unit list (cheap: header reads, no decoding) ...
-    let mut slots: Vec<UnitSlot> = Vec::new();
+    let mut slots: Vec<(usize, Mutex<Option<ChunkUnit>>)> = Vec::new();
     for (fi, uri) in uris.iter().enumerate() {
         for unit in source.chunk_units(uri)? {
-            slots.push(UnitSlot {
-                file: fi,
-                unit: Mutex::new(Some(unit)),
-                result: Mutex::new(None),
-            });
+            slots.push((fi, Mutex::new(Some(unit))));
         }
     }
     // ... then decode dynamically: each worker pulls the next unit.
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..workers.max(1) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= slots.len() {
-                    return;
-                }
-                let unit = slots[i].unit.lock().take().expect("each unit taken once");
-                *slots[i].result.lock() = Some(unit());
-            });
-        }
-    });
+    let results = crate::exec::run_indexed(
+        slots.len(),
+        ParallelMode::Exchange { workers },
+        workers,
+        |i| {
+            let unit = slots[i].1.lock().take().expect("each unit taken once");
+            unit()
+        },
+    );
     // Reassemble per-file relations; unit order within a file is the
     // construction order, so the union is deterministic.
     let mut per_file: Vec<Relation> = (0..uris.len()).map(|_| Relation::empty()).collect();
-    for slot in slots {
-        let rel = slot.result.into_inner().expect("every unit executed")?;
-        per_file[slot.file].union_in_place(&rel)?;
+    for (&(fi, _), rel) in slots.iter().zip(results) {
+        per_file[fi].union_in_place(&rel?)?;
     }
     Ok(uris.iter().map(|u| u.to_string()).zip(per_file).collect())
 }
@@ -518,6 +641,7 @@ mod tests {
     use sommelier_storage::catalog::Disposition;
     use sommelier_storage::column::TextColumn;
     use sommelier_storage::{ConstraintPolicy, DataType, TableClass, TableSchema, Value};
+    use std::sync::atomic::AtomicUsize;
 
     /// A chunk source serving synthetic per-file D relations:
     /// file `u<i>` has rows with file_id = i and values i*10 .. i*10+2.
@@ -571,6 +695,70 @@ mod tests {
 
         fn all_chunks(&self) -> Result<Vec<String>> {
             Ok(self.uris.clone())
+        }
+    }
+
+    /// A minimal residency manager over a [`FakeSource`], to exercise
+    /// the fused decode→execute path without the core crate's cellar:
+    /// everything stays resident, pins are counted.
+    struct FakeResidency {
+        source: FakeSource,
+        resident: Mutex<std::collections::HashMap<String, Arc<Relation>>>,
+        pins: AtomicUsize,
+        peak_pins: AtomicUsize,
+    }
+
+    impl FakeResidency {
+        fn new(n: usize) -> Self {
+            FakeResidency {
+                source: FakeSource::new(n),
+                resident: Mutex::new(std::collections::HashMap::new()),
+                pins: AtomicUsize::new(0),
+                peak_pins: AtomicUsize::new(0),
+            }
+        }
+
+        fn pin(&self) {
+            let now = self.pins.fetch_add(1, Ordering::SeqCst) + 1;
+            self.peak_pins.fetch_max(now, Ordering::SeqCst);
+        }
+    }
+
+    impl ChunkResidency for FakeResidency {
+        fn is_resident(&self, uri: &str) -> bool {
+            self.resident.lock().contains_key(uri)
+        }
+
+        fn acquire_many(
+            &self,
+            uris: &[String],
+            _parallel: ParallelMode,
+            _max_threads: usize,
+        ) -> Result<Vec<AcquiredChunk>> {
+            uris.iter()
+                .map(|u| {
+                    self.pin();
+                    let mut resident = self.resident.lock();
+                    if let Some(rel) = resident.get(u) {
+                        return Ok(AcquiredChunk {
+                            relation: Arc::clone(rel),
+                            loaded: false,
+                            joined: false,
+                        });
+                    }
+                    let rel = Arc::new(self.source.load_chunk(u)?);
+                    resident.insert(u.clone(), Arc::clone(&rel));
+                    Ok(AcquiredChunk { relation: rel, loaded: true, joined: false })
+                })
+                .collect()
+        }
+
+        fn release_many(&self, uris: &[String]) {
+            self.pins.fetch_sub(uris.len(), Ordering::SeqCst);
+        }
+
+        fn all_chunks(&self) -> Result<Vec<String>> {
+            self.source.all_chunks()
         }
     }
 
@@ -648,6 +836,9 @@ mod tests {
         assert_eq!(out.stats.cache_hits, 0);
         assert_eq!(out.stats.rows_loaded, 6);
         assert_eq!(source.loads.load(Ordering::Relaxed), 2, "u1 never touched");
+        // The aggregate fused: no union was materialized.
+        assert_eq!(out.stats.partial_agg_chunks, 2);
+        assert_eq!(out.stats.rows_union_materialized, 0);
     }
 
     #[test]
@@ -697,6 +888,50 @@ mod tests {
         .unwrap();
         assert_eq!(out.relation.value(0, "avg_v").unwrap(), Value::Float(11.0));
         assert_eq!(out.stats.rows_loaded, 6);
+    }
+
+    #[test]
+    fn managed_residency_runs_fused_wave() {
+        let db = metadata_db();
+        let residency = FakeResidency::new(3);
+        let config = test_config();
+        let out = execute_plan(&db, &lazy_plan(), ChunkAccess::Managed(&residency), &config)
+            .unwrap();
+        assert_eq!(out.relation.value(0, "avg_v").unwrap(), Value::Float(11.0));
+        assert_eq!(out.stats.files_loaded, 2);
+        assert_eq!(out.stats.partial_agg_chunks, 2);
+        assert_eq!(out.stats.rows_union_materialized, 0, "no union materialized");
+        assert_eq!(residency.pins.load(Ordering::SeqCst), 0, "all pins released");
+        // Second run: served from residency, still fused.
+        let out2 = execute_plan(&db, &lazy_plan(), ChunkAccess::Managed(&residency), &config)
+            .unwrap();
+        assert_eq!(out2.stats.cache_hits, 2);
+        assert_eq!(out2.stats.files_loaded, 0);
+        assert_eq!(out2.relation.value(0, "avg_v").unwrap(), Value::Float(11.0));
+    }
+
+    #[test]
+    fn fused_and_load_all_results_agree() {
+        let db = metadata_db();
+        let residency = FakeResidency::new(3);
+        let fused =
+            execute_plan(&db, &lazy_plan(), ChunkAccess::Managed(&residency), &test_config())
+                .unwrap();
+        // Pushdown off → no fusion → load-all + materialized union.
+        let config = TwoStageConfig { pushdown: false, ..test_config() };
+        let unioned =
+            execute_plan(&db, &lazy_plan(), ChunkAccess::Managed(&residency), &config)
+                .unwrap();
+        assert_eq!(unioned.stats.partial_agg_chunks, 0);
+        assert!(unioned.stats.rows_union_materialized > 0);
+        match (
+            fused.relation.value(0, "avg_v").unwrap(),
+            unioned.relation.value(0, "avg_v").unwrap(),
+        ) {
+            (Value::Float(a), Value::Float(b)) => assert!((a - b).abs() < 1e-12),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(residency.pins.load(Ordering::SeqCst), 0);
     }
 
     #[test]

@@ -1,10 +1,20 @@
 //! The design-choice ablations of DESIGN.md, as correctness tests:
 //! static vs exchange parallelism, selection pushdown, FK verification
 //! on lazy loads, and index joins — every knob must preserve answers.
+//!
+//! The `serial ≡ parallel` suite additionally pins down the strongest
+//! guarantee of the morsel-parallel stage 2: per-chunk partial
+//! aggregation merges in chunk order, so the *bytes* of every T1–T5
+//! answer are identical no matter how many workers ran the pipelines —
+//! on both built-in adapters, and even when a tight cellar budget makes
+//! eviction interleave with execution.
 
-use sommelier_core::{LoadingMode, SommelierConfig};
+use sommelier_core::adapters::{generate_event_logs, EventLogAdapter, EventLogSpec};
+use sommelier_core::{LoadingMode, QueryResult, Sommelier, SommelierConfig};
 use sommelier_engine::ParallelMode;
 use sommelier_integration::{fiam_repo, ingv_repo, prepared, scalar_f64, TempDir};
+use sommelier_mseed::Repository;
+use std::path::Path;
 
 const Q: &str = "SELECT AVG(D.sample_value) FROM dataview \
                  WHERE F.station = 'FIAM' \
@@ -136,6 +146,169 @@ fn approximate_answering_samples_chunks() {
     // Invalid fractions rejected.
     assert!(somm.query_approx(sql, 0.0).is_err());
     assert!(somm.query_approx(sql, 1.5).is_err());
+}
+
+// ---- serial ≡ parallel, byte for byte ------------------------------
+
+/// T1–T5 against the seismology source (FIAM, 4 days). Multi-row
+/// answers carry ORDER BY so renderings are comparable.
+fn mseed_t_queries() -> Vec<String> {
+    vec![
+        "SELECT COUNT(*) AS segments, SUM(S.sample_count) AS samples \
+         FROM segview WHERE F.station = 'FIAM'"
+            .into(),
+        "SELECT window_start_ts, window_max_val, window_min_val, window_mean_val, \
+         window_std_dev FROM H \
+         WHERE window_station = 'FIAM' AND window_channel = 'HHZ' \
+         AND window_start_ts >= '2010-01-01T00:00:00.000' \
+         AND window_start_ts < '2010-01-03T00:00:00.000' \
+         ORDER BY window_start_ts"
+            .into(),
+        "SELECT COUNT(*) AS n FROM windowview \
+         WHERE F.station = 'FIAM' AND H.window_max_val > -1000000000 \
+         AND H.window_start_ts < '2010-01-03T00:00:00.000'"
+            .into(),
+        "SELECT AVG(D.sample_value) FROM dataview \
+         WHERE F.station = 'FIAM' \
+         AND D.sample_time >= '2010-01-01T00:00:00.000' \
+         AND D.sample_time < '2010-01-04T00:00:00.000'"
+            .into(),
+        "SELECT AVG(D.sample_value) FROM windowdataview \
+         WHERE F.station = 'FIAM' AND H.window_max_val > -1000000000 \
+         AND H.window_start_ts < '2010-01-03T00:00:00.000'"
+            .into(),
+    ]
+}
+
+/// The same taxonomy against the event-log source.
+fn eventlog_t_queries() -> Vec<String> {
+    vec![
+        "SELECT COUNT(*) AS n FROM G WHERE host = 'web-1'".into(),
+        "SELECT day_start_ts, day_max_val FROM Y \
+         WHERE day_host = 'web-1' AND day_service = 'api' \
+         AND day_start_ts < '2011-03-04T00:00:00.000' \
+         ORDER BY day_start_ts"
+            .into(),
+        "SELECT COUNT(*) AS n FROM dayview \
+         WHERE G.host = 'web-1' AND Y.day_max_val > 0 \
+         AND Y.day_start_ts < '2011-03-04T00:00:00.000'"
+            .into(),
+        "SELECT AVG(E.val) FROM eventview \
+         WHERE G.host = 'web-1' AND G.service = 'api' \
+         AND E.ts >= '2011-03-01T00:00:00.000' \
+         AND E.ts < '2011-03-04T00:00:00.000'"
+            .into(),
+        "SELECT AVG(E.val) FROM daylogview \
+         WHERE G.host = 'web-1' AND Y.day_max_val > 0 \
+         AND Y.day_start_ts < '2011-03-04T00:00:00.000'"
+            .into(),
+    ]
+}
+
+/// Exact rendering: Rust's float `Debug` is shortest-round-trip, so
+/// equal strings ⇔ equal bits.
+fn fingerprint(r: &QueryResult) -> String {
+    format!("{:?}", r.relation)
+}
+
+fn config_with(max_threads: usize, parallel: ParallelMode) -> SommelierConfig {
+    SommelierConfig { max_threads, parallel, ..SommelierConfig::default() }
+}
+
+/// Run every query on a freshly prepared lazy system, fingerprinting
+/// the answers.
+fn mseed_fingerprints(
+    repo: &Repository,
+    queries: &[String],
+    config: SommelierConfig,
+) -> Vec<String> {
+    let somm = prepared(repo, LoadingMode::Lazy, config);
+    queries.iter().map(|sql| fingerprint(&somm.query(sql).unwrap())).collect()
+}
+
+fn eventlog_fingerprints(
+    logs: &Path,
+    queries: &[String],
+    config: SommelierConfig,
+) -> Vec<String> {
+    let somm = Sommelier::builder()
+        .source(EventLogAdapter::new(logs))
+        .config(config)
+        .build()
+        .unwrap();
+    somm.prepare(LoadingMode::Lazy).unwrap();
+    queries.iter().map(|sql| fingerprint(&somm.query(sql).unwrap())).collect()
+}
+
+fn assert_identical(reference: &[String], other: &[String], queries: &[String], tag: &str) {
+    for ((a, b), sql) in reference.iter().zip(other).zip(queries) {
+        assert_eq!(a, b, "{tag}: serial and parallel bytes diverged on {sql}");
+    }
+}
+
+#[test]
+fn serial_and_parallel_results_byte_identical_mseed() {
+    let dir = TempDir::new("bytes-mseed");
+    let repo = fiam_repo(&dir, 4, 64);
+    let queries = mseed_t_queries();
+    let serial = mseed_fingerprints(&repo, &queries, config_with(1, ParallelMode::Static));
+    let par8 = mseed_fingerprints(&repo, &queries, config_with(8, ParallelMode::Static));
+    let exch = mseed_fingerprints(
+        &repo,
+        &queries,
+        config_with(8, ParallelMode::Exchange { workers: 4 }),
+    );
+    assert_identical(&serial, &par8, &queries, "mseed static-8");
+    assert_identical(&serial, &exch, &queries, "mseed exchange-4");
+    // The T4 shape really did run the fused partial-agg path.
+    let somm = prepared(&repo, LoadingMode::Lazy, config_with(8, ParallelMode::Static));
+    let r = somm.query(&queries[3]).unwrap();
+    assert!(r.stats.partial_agg_chunks > 0, "partial aggregation fired");
+    assert_eq!(r.stats.rows_union_materialized, 0, "no union materialized");
+}
+
+#[test]
+fn serial_and_parallel_results_byte_identical_eventlog() {
+    let dir = TempDir::new("bytes-evl");
+    let logs = dir.join("logs");
+    generate_event_logs(&logs, &EventLogSpec::small(4, 48)).unwrap();
+    let queries = eventlog_t_queries();
+    let serial = eventlog_fingerprints(&logs, &queries, config_with(1, ParallelMode::Static));
+    let par8 = eventlog_fingerprints(&logs, &queries, config_with(8, ParallelMode::Static));
+    let exch = eventlog_fingerprints(
+        &logs,
+        &queries,
+        config_with(8, ParallelMode::Exchange { workers: 4 }),
+    );
+    assert_identical(&serial, &par8, &queries, "eventlog static-8");
+    assert_identical(&serial, &exch, &queries, "eventlog exchange-4");
+}
+
+#[test]
+fn serial_and_parallel_byte_identical_under_tight_cellar_budget() {
+    // A budget of ~1 decoded chunk: the streaming wave evicts while it
+    // executes (pins are per chunk). Answers must not change — serial
+    // vs parallel, tight vs unbounded.
+    let dir = TempDir::new("bytes-tight");
+    let repo = fiam_repo(&dir, 4, 64);
+    let queries = mseed_t_queries();
+    let unbounded = mseed_fingerprints(&repo, &queries, config_with(8, ParallelMode::Static));
+    let tight = |threads: usize| SommelierConfig {
+        cellar_bytes: Some(32 * 1024),
+        ..config_with(threads, ParallelMode::Static)
+    };
+    let serial_tight = mseed_fingerprints(&repo, &queries, tight(1));
+    let par_tight = mseed_fingerprints(&repo, &queries, tight(8));
+    assert_identical(&unbounded, &serial_tight, &queries, "tight-1 vs unbounded");
+    assert_identical(&unbounded, &par_tight, &queries, "tight-8 vs unbounded");
+    // The tight budget really did evict mid-workload.
+    let somm = prepared(&repo, LoadingMode::Lazy, tight(8));
+    for sql in &queries {
+        somm.query(sql).unwrap();
+    }
+    let cellar = somm.cellar().unwrap();
+    assert!(cellar.stats().evictions > 0, "budget forced evictions: {cellar:?}");
+    assert!(cellar.resident_bytes() <= cellar.budget_bytes());
 }
 
 #[test]

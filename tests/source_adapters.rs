@@ -101,6 +101,35 @@ fn rendered(r: &sommelier_core::QueryResult) -> String {
     format!("{:?}", r.relation)
 }
 
+/// Cell-wise comparison across *loading modes*: exact for ints, texts
+/// and timestamps, relative-1e-9 for floats — lazy plans aggregate
+/// chunk-by-chunk (partial aggregation), so float sums may differ from
+/// an eager plan's straight-line summation in the last ulp. (Serial vs
+/// parallel within one mode stays byte-identical; see
+/// `parallel_and_ablations.rs`.)
+fn assert_results_close(
+    l: &sommelier_core::QueryResult,
+    e: &sommelier_core::QueryResult,
+    sql: &str,
+) {
+    let (lr, er) = (&l.relation, &e.relation);
+    assert_eq!(lr.names(), er.names(), "schema diverged on {sql}");
+    assert_eq!(lr.rows(), er.rows(), "cardinality diverged on {sql}");
+    for row in 0..lr.rows() {
+        for name in lr.names() {
+            let a = lr.value(row, name).unwrap();
+            let b = er.value(row, name).unwrap();
+            match (&a, &b) {
+                (sommelier_storage::Value::Float(x), sommelier_storage::Value::Float(y)) => {
+                    let tol = 1e-9 * x.abs().max(y.abs()).max(1.0);
+                    assert!((x - y).abs() <= tol, "{name}[{row}]: {x} vs {y} on {sql}");
+                }
+                _ => assert_eq!(a, b, "{name}[{row}] diverged on {sql}"),
+            }
+        }
+    }
+}
+
 #[test]
 fn eventlog_lazy_matches_eager_on_all_query_types() {
     let dir = TempDir::new("evl-consistency");
@@ -114,7 +143,7 @@ fn eventlog_lazy_matches_eager_on_all_query_types() {
         let e = eager.query(sql).unwrap();
         assert_eq!(l.qtype, expected, "classification of {sql}");
         assert_eq!(e.qtype, expected);
-        assert_eq!(rendered(&l), rendered(&e), "lazy vs eager diverged on {sql}");
+        assert_results_close(&l, &e, sql);
     }
 }
 
@@ -223,7 +252,7 @@ fn dual_source_answers_t1_to_t5_on_each_source_lazy_equals_eager() {
         let l = lazy.query(sql).unwrap();
         let e = eager.query(sql).unwrap();
         assert_eq!(l.qtype, expected, "classification of {sql}");
-        assert_eq!(rendered(&l), rendered(&e), "lazy vs eager diverged on {sql}");
+        assert_results_close(&l, &e, sql);
         assert!(l.relation.rows() > 0, "degenerate (empty) answer for {sql}");
     }
     // Each source keeps its own derived-metadata bookkeeping.
