@@ -574,13 +574,28 @@ impl Cellar {
 
     // ---- Streaming acquisition (pipelined decode→execute) ------------
 
-    /// [`ChunkResidency::acquire_each`], streaming: one worker pool
+    /// [`ChunkResidency::acquire_each`], streaming: a worker pool
     /// drains a task per chunk — resident chunks go straight to the
     /// sink, misses decode first (single-flight latches exactly as in
     /// [`Self::acquire_impl`]), joins wait on the other loader's latch.
-    /// Every chunk is pinned only for the duration of its sink call, so
-    /// a query's working set never needs to fit the budget at once and
-    /// eviction interleaves freely with execution.
+    /// Pins are dropped chunk by chunk — a hit stays pinned from
+    /// classification until its sink returns, a decoded chunk from
+    /// admission until its sink returns — so a query's working set
+    /// never needs to fit the budget at once and eviction interleaves
+    /// with execution (`resident_bytes` may transiently sit above
+    /// budget while a wave's hits await their sink calls).
+    ///
+    /// The tasks are drained in two passes: hits and claimed loads
+    /// first (hits ahead of claims, so their pins drop earliest), joins
+    /// last. Neither hits nor claims ever wait on a latch, so by the
+    /// time any join of this wave blocks, every claim of this wave has
+    /// published — and since every wave orders its tasks the same way,
+    /// a join can only ever wait on a claim that is running or queued
+    /// behind non-blocking tasks, never behind another blocked join.
+    /// Interleaving joins with claims on one bounded pool deadlocks two
+    /// concurrent waves that each join chunks the other claimed (all
+    /// workers blocked in `LoadLatch::wait` while the publishing tasks
+    /// sit queued behind them).
     fn acquire_each_impl(
         &self,
         uris: &[String],
@@ -602,14 +617,29 @@ impl Cellar {
                 tasks.push(task);
             }
         }
+        let mut eager: Vec<usize> = Vec::with_capacity(uris.len());
+        let mut claims: Vec<usize> = Vec::new();
+        let mut joins: Vec<usize> = Vec::new();
+        for (i, task) in tasks.iter().enumerate() {
+            match task {
+                StreamTask::Hit(_) => eager.push(i),
+                StreamTask::Claimed(_) => claims.push(i),
+                StreamTask::Joined(_) => joins.push(i),
+            }
+        }
+        eager.append(&mut claims);
 
-        // Phase 2: drain the tasks on the worker pool. Static mode uses
-        // the paper's pre-assigned shares, exchange mode a shared queue;
-        // either way each worker decodes (if needed), sinks, unpins.
+        // Phase 2: drain the passes on the worker pool. Static mode
+        // uses the paper's pre-assigned shares, exchange mode a shared
+        // queue; either way each worker decodes (if needed), sinks,
+        // unpins.
         let first_error: Mutex<Option<EngineError>> = Mutex::new(None);
-        run_indexed(uris.len(), parallel, max_threads, |i| {
-            self.run_task(i, &uris[i], &tasks[i], sink, &first_error)
-        });
+        for pass in [&eager, &joins] {
+            run_indexed(pass.len(), parallel, max_threads, |k| {
+                let i = pass[k];
+                self.run_task(i, &uris[i], &tasks[i], sink, &first_error)
+            });
+        }
         match first_error.into_inner() {
             Some(e) => Err(e),
             None => Ok(()),
@@ -730,24 +760,30 @@ impl Cellar {
                     }
                 }
             }
-            StreamTask::Joined(latch) => match latch.wait() {
-                Ok((relation, cost)) => {
-                    self.stats.joins.fetch_add(1, Ordering::Relaxed);
-                    let relation = self.pin_or_readmit(uri, relation, cost);
-                    if !aborted() {
-                        let chunk = AcquiredChunk { relation, loaded: false, joined: true };
-                        if let Err(e) = sink(i, chunk) {
-                            record(e);
+            StreamTask::Joined(latch) => {
+                if aborted() {
+                    return;
+                }
+                match latch.wait() {
+                    Ok((relation, cost)) => {
+                        self.stats.joins.fetch_add(1, Ordering::Relaxed);
+                        let relation = self.pin_or_readmit(uri, relation, cost);
+                        if !aborted() {
+                            let chunk =
+                                AcquiredChunk { relation, loaded: false, joined: true };
+                            if let Err(e) = sink(i, chunk) {
+                                record(e);
+                            }
                         }
+                        self.release_uris(&[uri]);
                     }
-                    self.release_uris(&[uri]);
+                    Err(msg) => {
+                        record(EngineError::Chunk(format!(
+                            "joined load of {uri:?} failed: {msg}"
+                        )));
+                    }
                 }
-                Err(msg) => {
-                    record(EngineError::Chunk(format!(
-                        "joined load of {uri:?} failed: {msg}"
-                    )));
-                }
-            },
+            }
         }
     }
 
@@ -1402,6 +1438,51 @@ mod tests {
         // Budget holds once the wave is over (no pins survive).
         assert!(cellar.resident_bytes() <= cellar.budget_bytes());
         assert!(cellar.stats().evictions > 0, "eviction ran during the wave");
+    }
+
+    #[test]
+    fn streaming_acquisition_concurrent_waves_reverse_orders_complete() {
+        // Regression: waves that join chunks another wave claimed must
+        // never wedge the bounded worker pool — joins are drained only
+        // after every claim of the wave has published, so a latch wait
+        // can never sit ahead of the task that would publish it.
+        // `retain: false` maximizes claim/join churn (every wave
+        // re-claims every chunk, joins re-admit via `pin_or_readmit`),
+        // and one worker per wave makes any ordering violation wedge
+        // immediately.
+        let fx = fixture("stream-xwave", 4, 32);
+        let all = uris(&fx);
+        let cellar =
+            cellar_over(&fx, CellarConfig { retain: false, ..CellarConfig::default() });
+        let waves_per_thread = 12u64;
+        std::thread::scope(|scope| {
+            for t in 0..6usize {
+                let cellar = &cellar;
+                let all = &all;
+                scope.spawn(move || {
+                    // Opposing, rotated orders across threads so claims
+                    // and joins of concurrent waves interleave.
+                    let mut wave = all.clone();
+                    if t % 2 == 1 {
+                        wave.reverse();
+                    }
+                    let rot = t % wave.len();
+                    wave.rotate_left(rot);
+                    for _ in 0..waves_per_thread {
+                        let n = AtomicU64::new(0);
+                        let sink = |_i: usize, chunk: AcquiredChunk| {
+                            assert!(chunk.relation.rows() > 0);
+                            n.fetch_add(1, Ordering::Relaxed);
+                            Ok(())
+                        };
+                        cellar.acquire_each(&wave, ParallelMode::Static, 1, &sink).unwrap();
+                        assert_eq!(n.load(Ordering::Relaxed), wave.len() as u64);
+                    }
+                });
+            }
+        });
+        let s = cellar.stats();
+        assert_eq!(s.hits + s.joins + s.loads, 6 * waves_per_thread * all.len() as u64);
     }
 
     #[test]

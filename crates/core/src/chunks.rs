@@ -15,6 +15,18 @@ use sommelier_storage::{Database, SimIo};
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Total simulated repository-read latency for one chunk file:
+/// `per_page × ⌈size / PAGE_SIZE⌉` (at least one page), computed in
+/// nanoseconds so whole-chunk loads and per-unit shares charge exactly
+/// the same medium.
+fn sim_io_total(sim: &SimIo, uri: &str) -> Duration {
+    let bytes = std::fs::metadata(uri).map(|m| m.len()).unwrap_or(0);
+    let pages = bytes.div_ceil(PAGE_SIZE as u64).max(1);
+    let ns = sim.per_page.as_nanos().saturating_mul(pages as u128);
+    Duration::from_nanos(u64::try_from(ns).unwrap_or(u64::MAX))
+}
 
 /// One registered chunk file.
 #[derive(Debug, Clone)]
@@ -104,9 +116,7 @@ impl AdapterChunkSource {
 
     fn charge_sim_io(&self, uri: &str) {
         if let Some(sim) = self.sim_io {
-            let bytes = std::fs::metadata(uri).map(|m| m.len()).unwrap_or(0);
-            let pages = bytes.div_ceil(PAGE_SIZE as u64).max(1);
-            std::thread::sleep(sim.per_page * pages as u32);
+            std::thread::sleep(sim_io_total(&sim, uri));
         }
     }
 
@@ -154,17 +164,22 @@ impl ChunkSource for AdapterChunkSource {
     fn chunk_units(&self, uri: &str) -> sommelier_engine::Result<Vec<ChunkUnit>> {
         let units = self.adapter.chunk_units(self.entry(uri)?)?;
         // Exchange-mode decoding must pay the same simulated medium as
-        // whole-chunk loads: split the chunk's read latency evenly over
-        // its units, slept by whichever worker executes each unit.
+        // whole-chunk loads: split the chunk's read latency over its
+        // units at nanosecond granularity (one unit pays the division
+        // remainder), slept by whichever worker executes each unit —
+        // the per-chunk total is identical to [`Self::charge_sim_io`],
+        // so the static-vs-exchange comparison stays apples to apples.
         let Some(sim) = self.sim_io else { return Ok(units) };
-        let bytes = std::fs::metadata(uri).map(|m| m.len()).unwrap_or(0);
-        let pages = bytes.div_ceil(PAGE_SIZE as u64).max(1);
-        let share = sim.per_page * pages as u32 / units.len().max(1) as u32;
+        let total_ns = sim_io_total(&sim, uri).as_nanos() as u64;
+        let n = units.len().max(1) as u64;
+        let (share_ns, rem_ns) = (total_ns / n, total_ns % n);
         Ok(units
             .into_iter()
-            .map(|unit| -> ChunkUnit {
+            .enumerate()
+            .map(|(k, unit)| -> ChunkUnit {
+                let pay = Duration::from_nanos(share_ns + if k == 0 { rem_ns } else { 0 });
                 Box::new(move || {
-                    std::thread::sleep(share);
+                    std::thread::sleep(pay);
                     unit()
                 })
             })

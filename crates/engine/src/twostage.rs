@@ -117,8 +117,10 @@ pub trait ChunkResidency: Send + Sync {
     /// Acquire every chunk in `uris`, handing each to `sink` as soon as
     /// it is available — resident chunks immediately, decoded chunks
     /// the moment their decode finishes, on the worker that decoded
-    /// them (pipelined decode→execute). Each chunk stays pinned for the
-    /// duration of its `sink` call only; by the time `acquire_each`
+    /// them (pipelined decode→execute). Each chunk's pin is dropped as
+    /// soon as its own `sink` call returns (not held until the wave
+    /// ends, though a resident chunk may be pinned from the start of
+    /// the wave until its sink runs); by the time `acquire_each`
     /// returns, no pins from this call survive. The first error (decode
     /// or sink) aborts the wave and is returned.
     ///
