@@ -12,4 +12,5 @@ fn main() {
     sommelier_bench::experiments::fig9(&scale).expect("fig9").print();
     sommelier_bench::experiments::cellar_sweep(&scale).expect("cellar sweep").print();
     sommelier_bench::experiments::stage2_parallel(&scale).expect("stage2 sweep").print();
+    sommelier_bench::experiments::optimizer_sweep(&scale).expect("optimizer sweep").print();
 }

@@ -555,6 +555,160 @@ pub fn stage2_parallel(scale: &BenchScale) -> Result<Table> {
     Ok(t)
 }
 
+/// The knob combinations the optimizer sweep compares:
+/// (projection pushdown, zone-map pruning).
+const OPT_KNOBS: [(bool, bool); 4] =
+    [(false, false), (true, false), (false, true), (true, true)];
+
+/// One optimizer-sweep measurement: run `sql` `runs` times (caches
+/// flushed, so every run decodes) and report counters + result bits.
+fn optimizer_row(
+    t: &mut Table,
+    adapter: &str,
+    query: &str,
+    (projection, zone): (bool, bool),
+    somm: &Sommelier,
+    sql: &str,
+    runs: usize,
+) -> Result<()> {
+    let runs = runs.max(1);
+    let mut wall = std::time::Duration::ZERO;
+    let mut last = None;
+    for _ in 0..runs {
+        somm.flush_caches();
+        let (r, d) = time_it(|| somm.query(sql));
+        last = Some(r?);
+        wall += d;
+    }
+    let last = last.expect("runs >= 1");
+    let bits = match last
+        .relation
+        .value(0, last.relation.names().first().expect("one output"))
+        .map_err(sommelier_core::SommelierError::Engine)?
+    {
+        sommelier_storage::Value::Float(v) => format!("f{:016x}", v.to_bits()),
+        other => format!("{other:?}"),
+    };
+    t.row(vec![
+        adapter.to_string(),
+        query.to_string(),
+        if projection { "on" } else { "off" }.to_string(),
+        if zone { "on" } else { "off" }.to_string(),
+        secs(wall / runs as u32),
+        last.stats.files_selected.to_string(),
+        last.stats.files_pruned.to_string(),
+        last.stats.files_loaded.to_string(),
+        last.stats.rows_loaded.to_string(),
+        last.stats.bytes_loaded.to_string(),
+        bits,
+    ]);
+    Ok(())
+}
+
+/// The per-file `E.val` maxima threshold for the event-log zone query
+/// (see [`sommelier_core::adapters::value_stats_midpoint`]): a
+/// midpoint ensures the predicate contradicts some files' zones but
+/// not others'.
+fn eventlog_threshold(logs: &std::path::Path, host: &str) -> Result<f64> {
+    sommelier_core::adapters::value_stats_midpoint(logs, Some(host))?.ok_or_else(|| {
+        sommelier_core::SommelierError::Usage(
+            "event-log value maxima do not vary; cannot pick a pruning threshold".into(),
+        )
+    })
+}
+
+/// Optimizer sweep — {projection pushdown} × {zone-map pruning} on
+/// both built-in adapters, over one zone-prunable T4 each:
+///
+/// * **mseed** — `t4_filezone` (FIAM, first day): the segment-free
+///   view gets no metadata inference, so stage 1 selects every FIAM
+///   chunk and only zone maps can prune; projection drops `D.seg_id`
+///   from the decode.
+/// * **eventlog** — a value-threshold scan whose bound comes from the
+///   headers' per-file statistics; zone maps prune the quiet files,
+///   projection drops `E.ts` from the decode.
+///
+/// Runs with the recycler off (every run decodes; the non-retaining
+/// cellar honors the decode projection). `result_bits` must be
+/// identical within each adapter: neither pass may change answers.
+/// With `sim_chunk_io` active, pruned chunks also skip their simulated
+/// per-file seek, so wall-clock scales with `files_loaded`.
+pub fn optimizer_sweep(scale: &BenchScale) -> Result<Table> {
+    use sommelier_core::adapters::{generate_event_logs, EventLogAdapter, EventLogSpec};
+    let mut t = Table::new(
+        "Optimizer sweep: projection pushdown × zone-map pruning (recycler off)",
+        &[
+            "adapter",
+            "query",
+            "projection",
+            "zone_pruning",
+            "wall_s",
+            "files_selected",
+            "files_pruned",
+            "files_loaded",
+            "rows_decoded",
+            "bytes_decoded",
+            "result_bits",
+        ],
+    );
+    // ---- mSEED (FIAM) --------------------------------------------
+    let (sf, _) = scale.sf_extremes();
+    let (repo, _) = dataset(scale, DatasetKind::Fiam, sf);
+    let (a, b) = queries::day_range(start_day(), 1);
+    let mseed_sql = queries::t4_filezone("FIAM", a, b);
+    for (projection, zone) in OPT_KNOBS {
+        let config = SommelierConfig {
+            use_recycler: false,
+            projection_pushdown: projection,
+            zone_map_pruning: zone,
+            ..bench_config(scale)
+        };
+        let guard = fresh_system_with(scale, &repo, LoadingMode::Lazy, config)?;
+        optimizer_row(
+            &mut t,
+            "mseed",
+            "T4/filedataview",
+            (projection, zone),
+            &guard.somm,
+            &mseed_sql,
+            scale.runs,
+        )?;
+    }
+    // ---- Event log -----------------------------------------------
+    let logs = scale.data_dir.join("optimizer-eventlog");
+    if !logs.join("web-1-api-20110301.evl").exists() {
+        generate_event_logs(&logs, &EventLogSpec::small(8, 256))?;
+    }
+    let threshold = eventlog_threshold(&logs, "web-1")?;
+    let evl_sql = format!(
+        "SELECT COUNT(E.val) AS n FROM eventview \
+         WHERE G.host = 'web-1' AND E.val > {threshold}"
+    );
+    for (projection, zone) in OPT_KNOBS {
+        let config = SommelierConfig {
+            use_recycler: false,
+            projection_pushdown: projection,
+            zone_map_pruning: zone,
+            ..bench_config(scale)
+        };
+        let somm = Sommelier::builder()
+            .source(EventLogAdapter::new(&logs))
+            .config(config)
+            .build()?;
+        somm.prepare(LoadingMode::Lazy)?;
+        optimizer_row(
+            &mut t,
+            "eventlog",
+            "T4/eventview",
+            (projection, zone),
+            &somm,
+            &evl_sql,
+            scale.runs,
+        )?;
+    }
+    Ok(t)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -638,6 +792,49 @@ mod tests {
                 bits.iter().all(|b| *b == bits[0]),
                 "{query}/{pushdown}: results differ across worker counts: {bits:?}"
             );
+        }
+        let _ = std::fs::remove_dir_all(&scale.data_dir);
+    }
+
+    #[test]
+    fn optimizer_sweep_shape_and_invariants() {
+        let scale = tiny("optimizer");
+        let t = optimizer_sweep(&scale).unwrap();
+        // 2 adapters × 4 knob combinations.
+        assert_eq!(t.rows.len(), 2 * 4);
+        for adapter in ["mseed", "eventlog"] {
+            let rows: Vec<&Vec<String>> = t.rows.iter().filter(|r| r[0] == adapter).collect();
+            // Answers are knob-independent, bit for bit.
+            assert!(
+                rows.iter().all(|r| r[10] == rows[0][10]),
+                "{adapter}: result bits differ across knobs: {rows:?}"
+            );
+            for row in &rows {
+                let (projection, zone) = (&row[2], &row[3]);
+                let pruned: u64 = row[6].parse().unwrap();
+                let loaded: u64 = row[7].parse().unwrap();
+                if zone == "on" {
+                    assert!(pruned > 0, "{adapter}: zone maps must prune: {row:?}");
+                } else {
+                    assert_eq!(pruned, 0, "{row:?}");
+                }
+                assert!(loaded > 0, "{row:?}");
+                let _ = projection;
+            }
+            // Projection pushdown shrinks decoded bytes at equal chunk
+            // counts (compare within the same zone setting).
+            for zone in ["on", "off"] {
+                let bytes = |proj: &str| -> u64 {
+                    rows.iter().find(|r| r[2] == proj && r[3] == zone).expect("row present")
+                        [9]
+                    .parse()
+                    .unwrap()
+                };
+                assert!(
+                    bytes("on") < bytes("off"),
+                    "{adapter}/zone={zone}: projection must shrink decoded bytes"
+                );
+            }
         }
         let _ = std::fs::remove_dir_all(&scale.data_dir);
     }

@@ -10,11 +10,19 @@
 //! (host, service, day):
 //!
 //! ```text
-//! web-1,api,1299024000000          ← header: host,service,day_start_ms
-//! 1299024000123,17.25              ← events: ts_ms,value
-//! 1299024001456,18.00
+//! web-1,api,1299024000000[,17.25,530.0]  ← header: host,service,day_start_ms
+//! 1299024000123,17.25                    ←   (optionally ,min_val,max_val)
+//! 1299024001456,18.00                    ← events: ts_ms,value
 //! …
 //! ```
+//!
+//! The two optional header fields are the file's value statistics
+//! (Parquet-style column bounds carried by the format itself); the
+//! adapter surfaces them — plus the day-derived `E.ts` bounds — as
+//! zone maps, so the optimizer's `zone_map_pruning` pass can drop
+//! whole chunks against `E.val`/`E.ts` predicates without decoding
+//! them. Headers without statistics stay valid (their chunks are
+//! simply never value-pruned).
 //!
 //! Tables:
 //!
@@ -34,12 +42,12 @@ use crate::source::{
 };
 use parking_lot::Mutex;
 use sommelier_engine::expr::ArithOp;
-use sommelier_engine::{AggFunc, EngineError, Expr, Func, JoinEdge, Relation};
+use sommelier_engine::{AggFunc, ColumnZone, EngineError, Expr, Func, JoinEdge, Relation};
 use sommelier_sql::ViewDef;
 use sommelier_storage::column::TextColumn;
 use sommelier_storage::time::{civil_from_days, days_from_civil, MS_PER_DAY};
 use sommelier_storage::{
-    ColumnData, ConstraintPolicy, DataType, Database, TableClass, TableSchema,
+    ColumnData, ConstraintPolicy, DataType, Database, TableClass, TableSchema, Value,
 };
 use std::io::{BufRead, Write};
 use std::path::{Path, PathBuf};
@@ -165,6 +173,7 @@ fn descriptor() -> SourceDescriptor {
             max_expr: day_end_expr(),
             data_type: DataType::Timestamp,
         }],
+        prunable_columns: vec!["E.ts".into(), "E.val".into()],
         dmd: Some(DmdSpec {
             table: "Y".into(),
             dims: vec![
@@ -259,9 +268,9 @@ pub fn generate_event_logs(dir: &Path, spec: &EventLogSpec) -> Result<u64> {
         for host in &spec.hosts {
             for service in &spec.services {
                 let path = dir.join(format!("{host}-{service}-{y:04}{m:02}{dd:02}.evl"));
-                let mut out = String::new();
-                out.push_str(&format!("{host},{service},{day_ts}\n"));
+                let mut body = String::new();
                 let slot = (MS_PER_DAY / spec.events_per_file.max(1) as i64).max(1);
+                let (mut vmin, mut vmax) = (f64::INFINITY, f64::NEG_INFINITY);
                 for i in 0..spec.events_per_file {
                     let r = mix(spec.seed
                         ^ mix(day as u64)
@@ -279,8 +288,18 @@ pub fn generate_event_logs(dir: &Path, spec: &EventLogSpec) -> Result<u64> {
                     } else {
                         base
                     };
-                    out.push_str(&format!("{ts},{val}\n"));
+                    vmin = vmin.min(val);
+                    vmax = vmax.max(val);
+                    body.push_str(&format!("{ts},{val}\n"));
                 }
+                // Header with the file's value statistics (zone-map
+                // bounds for E.val).
+                let mut out = format!("{host},{service},{day_ts}");
+                if spec.events_per_file > 0 {
+                    out.push_str(&format!(",{vmin},{vmax}"));
+                }
+                out.push('\n');
+                out.push_str(&body);
                 std::fs::write(&path, out).map_err(|e| io_err("writing log file", e))?;
                 files += 1;
             }
@@ -294,6 +313,8 @@ struct LogHeader {
     host: String,
     service: String,
     day_ts: i64,
+    /// The file's value statistics, when the header carries them.
+    val_bounds: Option<(f64, f64)>,
 }
 
 fn read_header(path: &Path) -> Result<LogHeader> {
@@ -316,10 +337,72 @@ fn parse_header(line: &str, path: &Path) -> Result<LogHeader> {
     let host = parts.next().ok_or_else(bad)?.to_string();
     let service = parts.next().ok_or_else(bad)?.to_string();
     let day_ts: i64 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+    // Optional value statistics: both bounds or neither.
+    let val_bounds = match parts.next() {
+        None => None,
+        Some(vmin) => {
+            let vmin: f64 = vmin.parse().map_err(|_| bad())?;
+            let vmax: f64 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+            Some((vmin, vmax))
+        }
+    };
     if host.is_empty() || service.is_empty() || parts.next().is_some() {
         return Err(bad());
     }
-    Ok(LogHeader { host, service, day_ts })
+    Ok(LogHeader { host, service, day_ts, val_bounds })
+}
+
+/// The value statistics a log file's header carries (`None` for
+/// headers written without statistics). The header is the format's
+/// single source of truth for these bounds — benches and tests read
+/// them through here instead of re-parsing field offsets.
+pub fn header_value_bounds(path: &Path) -> Result<Option<(f64, f64)>> {
+    Ok(read_header(path)?.val_bounds)
+}
+
+/// The midpoint between the smallest and largest per-file `E.val`
+/// maxima recorded in a repository's headers, optionally restricted
+/// to one host (matched on the header field, not the file name).
+/// `None` when the maxima do not vary (no midpoint separates any
+/// files). Benches and tests use this to pick a value threshold that
+/// the `zone_map_pruning` pass can prune some — but not all — chunks
+/// against.
+pub fn value_stats_midpoint(dir: &Path, host: Option<&str>) -> Result<Option<f64>> {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for entry in std::fs::read_dir(dir).map_err(|e| io_err("listing log dir", e))? {
+        let path = entry.map_err(|e| io_err("listing log dir", e))?.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("evl") {
+            continue;
+        }
+        let header = read_header(&path)?;
+        if host.is_some_and(|h| h != header.host) {
+            continue;
+        }
+        if let Some((_, vmax)) = header.val_bounds {
+            lo = lo.min(vmax);
+            hi = hi.max(vmax);
+        }
+    }
+    Ok(if lo < hi { Some((lo + hi) / 2.0) } else { None })
+}
+
+/// The zone maps of one log file: `E.ts` covers the file's day, and
+/// `E.val` the header statistics (when present).
+fn zones_of(header: &LogHeader) -> Vec<ColumnZone> {
+    let mut zones = vec![ColumnZone {
+        column: "E.ts".into(),
+        min: Value::Time(header.day_ts),
+        max: Value::Time(header.day_ts + MS_PER_DAY - 1),
+    }];
+    if let Some((vmin, vmax)) = header.val_bounds {
+        zones.push(ColumnZone {
+            column: "E.val".into(),
+            min: Value::Float(vmin),
+            max: Value::Float(vmax),
+        });
+    }
+    zones
 }
 
 /// The CSV event-log [`SourceAdapter`].
@@ -399,7 +482,13 @@ impl SourceAdapter for EventLogAdapter {
             hosts.push(&header.host);
             services.push(&header.service);
             day_ts.push(header.day_ts);
-            entries.push(FileEntry { uri, file_id: i as i64, seg_base: 0, seg_count: 1 });
+            entries.push(FileEntry {
+                uri,
+                file_id: i as i64,
+                seg_base: 0,
+                seg_count: 1,
+                zones: zones_of(&header),
+            });
         }
         db.append(
             "G",
@@ -415,7 +504,13 @@ impl SourceAdapter for EventLogAdapter {
         Ok(entries)
     }
 
-    fn load_chunk(&self, entry: &FileEntry) -> sommelier_engine::Result<Relation> {
+    fn decode(
+        &self,
+        entry: &FileEntry,
+        projection: Option<&[String]>,
+    ) -> sommelier_engine::Result<Relation> {
+        let want = |col: &str| projection.is_none_or(|p| p.iter().any(|c| c == col));
+        let (want_id, want_ts, want_val) = (want("E.log_id"), want("E.ts"), want("E.val"));
         let text = std::fs::read_to_string(&entry.uri)
             .map_err(|e| EngineError::Chunk(format!("reading {}: {e}", entry.uri)))?;
         let mut ids = Vec::new();
@@ -428,15 +523,33 @@ impl SourceAdapter for EventLogAdapter {
             let bad =
                 || EngineError::Chunk(format!("malformed event {line:?} in {}", entry.uri));
             let (t, v) = line.split_once(',').ok_or_else(bad)?;
-            ids.push(entry.file_id);
-            ts.push(t.parse::<i64>().map_err(|_| bad())?);
-            vals.push(v.parse::<f64>().map_err(|_| bad())?);
+            // Every field is validated regardless of the projection —
+            // whether a malformed file errors must not depend on an
+            // optimizer knob — but only referenced columns are
+            // materialized (the projection-pushdown decode path).
+            let t = t.parse::<i64>().map_err(|_| bad())?;
+            let v = v.parse::<f64>().map_err(|_| bad())?;
+            if want_id {
+                ids.push(entry.file_id);
+            }
+            if want_ts {
+                ts.push(t);
+            }
+            if want_val {
+                vals.push(v);
+            }
         }
-        Relation::new(vec![
-            ("E.log_id".into(), ColumnData::Int64(ids)),
-            ("E.ts".into(), ColumnData::Timestamp(ts)),
-            ("E.val".into(), ColumnData::Float64(vals)),
-        ])
+        let mut cols: Vec<(String, ColumnData)> = Vec::new();
+        if want_id {
+            cols.push(("E.log_id".into(), ColumnData::Int64(ids)));
+        }
+        if want_ts {
+            cols.push(("E.ts".into(), ColumnData::Timestamp(ts)));
+        }
+        if want_val {
+            cols.push(("E.val".into(), ColumnData::Float64(vals)));
+        }
+        Relation::new(cols)
     }
 
     fn source_bytes(&self) -> Result<u64> {
@@ -539,8 +652,9 @@ mod tests {
             file_id: 42,
             seg_base: 0,
             seg_count: 1,
+            zones: vec![],
         };
-        let rel = adapter.load_chunk(&entry).unwrap();
+        let rel = adapter.decode(&entry, None).unwrap();
         assert_eq!(rel.rows(), 2);
         assert_eq!(rel.column("E.log_id").unwrap().as_i64().unwrap(), &[42, 42]);
         assert_eq!(rel.column("E.ts").unwrap().as_i64().unwrap(), &[1_000_100, 1_000_200]);

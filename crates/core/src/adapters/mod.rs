@@ -8,4 +8,7 @@
 
 pub mod eventlog;
 
-pub use eventlog::{generate_event_logs, EventLogAdapter, EventLogSpec};
+pub use eventlog::{
+    generate_event_logs, header_value_bounds, value_stats_midpoint, EventLogAdapter,
+    EventLogSpec,
+};

@@ -44,7 +44,7 @@ use parking_lot::{Condvar, Mutex};
 use sommelier_engine::eval::eval_scalar;
 use sommelier_engine::exec::run_indexed;
 use sommelier_engine::twostage::{AcquiredChunk, ChunkResidency, ChunkSink, ChunkSource};
-use sommelier_engine::{EngineError, ParallelMode, Relation};
+use sommelier_engine::{ColumnZone, EngineError, ParallelMode, Relation};
 use sommelier_storage::Database;
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -127,13 +127,21 @@ enum LatchState {
 /// Per-chunk in-flight latch: the loader publishes here, waiters block
 /// on the condvar (the page-latch idiom).
 struct LoadLatch {
+    /// The decode projection this load runs with (`None` = full
+    /// width). A joiner whose request this projection does not cover
+    /// must not share the result.
+    projection: Option<Vec<String>>,
     state: Mutex<LatchState>,
     cv: Condvar,
 }
 
 impl LoadLatch {
-    fn new() -> Arc<Self> {
-        Arc::new(LoadLatch { state: Mutex::new(LatchState::Pending), cv: Condvar::new() })
+    fn new(projection: Option<Vec<String>>) -> Arc<Self> {
+        Arc::new(LoadLatch {
+            projection,
+            state: Mutex::new(LatchState::Pending),
+            cv: Condvar::new(),
+        })
     }
 
     fn publish(&self, outcome: Result<(Arc<Relation>, Duration), String>) {
@@ -161,6 +169,20 @@ struct ResidentChunk {
     relation: Arc<Relation>,
     bytes: usize,
     pins: u32,
+    /// The projection the relation was decoded with (`None` = full
+    /// width). Always `None` when the cellar retains chunks; narrow
+    /// relations exist only transiently under `retain: false`.
+    projection: Option<Vec<String>>,
+}
+
+/// Does a relation decoded with `stored` satisfy a request for
+/// `requested`? (`None` = full width.)
+fn covers(stored: Option<&[String]>, requested: Option<&[String]>) -> bool {
+    match (stored, requested) {
+        (None, _) => true,
+        (Some(_), None) => false,
+        (Some(s), Some(r)) => r.iter().all(|c| s.contains(c)),
+    }
 }
 
 enum Slot {
@@ -209,8 +231,16 @@ type DecodeOutcome = sommelier_engine::Result<(Relation, Duration)>;
 /// ([`Cellar::classify_locked`], shared by both acquisition paths).
 enum StreamTask {
     Hit(Arc<Relation>),
+    /// Resident and pinned, but decoded with a projection that does
+    /// not cover this request (only possible under `retain: false`):
+    /// the pin keeps release accounting symmetric, the caller decodes
+    /// privately.
+    HitNarrow,
     Claimed(Arc<LoadLatch>),
     Joined(Arc<LoadLatch>),
+    /// An in-flight load whose projection does not cover this request:
+    /// wait for it to resolve, then re-classify.
+    Retry(Arc<LoadLatch>),
 }
 
 impl Cellar {
@@ -349,19 +379,24 @@ impl Cellar {
         // Phase 1: classify under the lock. Hits are pinned right away
         // so a concurrent release cannot evict them while we decode the
         // misses; misses install an in-flight latch (first claimant
-        // becomes the loader, everyone else joins).
+        // becomes the loader, everyone else joins). The load-all path
+        // always decodes full width (its chunks stay pinned for all of
+        // stage 2 and should serve later queries), so classification
+        // runs with no projection.
         let mut classified: Vec<StreamTask> = Vec::with_capacity(uris.len());
         let mut claims: Vec<(String, Arc<LoadLatch>)> = Vec::new();
         {
             let mut inner = self.inner.lock();
             for uri in uris {
-                let task = self.classify_locked(&mut inner, uri);
+                let task = self.classify_locked(&mut inner, uri, None);
                 match &task {
-                    StreamTask::Hit(_) => owned_pins.push(uri.clone()),
+                    StreamTask::Hit(_) | StreamTask::HitNarrow => {
+                        owned_pins.push(uri.clone())
+                    }
                     StreamTask::Claimed(latch) => {
                         claims.push((uri.clone(), Arc::clone(latch)))
                     }
-                    StreamTask::Joined(_) => {}
+                    StreamTask::Joined(_) | StreamTask::Retry(_) => {}
                 }
                 classified.push(task);
             }
@@ -383,7 +418,7 @@ impl Cellar {
                 match outcome {
                     Ok((relation, cost)) => {
                         let relation = Arc::new(relation);
-                        self.admit_pinned_locked(&mut inner, uri, &relation, cost);
+                        self.admit_pinned_locked(&mut inner, uri, &relation, cost, None);
                         owned_pins.push(uri.clone());
                         claimed_rels.insert(uri.as_str(), Arc::clone(&relation));
                         latch.publish(Ok((relation, cost)));
@@ -411,29 +446,9 @@ impl Cellar {
             if first_error.is_some() {
                 break;
             }
-            match c {
-                StreamTask::Hit(relation) => {
-                    out.push(AcquiredChunk { relation, loaded: false, joined: false });
-                }
-                StreamTask::Claimed(_) => {
-                    let relation = Arc::clone(
-                        claimed_rels.get(uri.as_str()).expect("claim outcome recorded"),
-                    );
-                    out.push(AcquiredChunk { relation, loaded: true, joined: false });
-                }
-                StreamTask::Joined(latch) => match latch.wait() {
-                    Ok((relation, cost)) => {
-                        self.stats.joins.fetch_add(1, Ordering::Relaxed);
-                        let relation = self.pin_or_readmit(uri, relation, cost);
-                        owned_pins.push(uri.clone());
-                        out.push(AcquiredChunk { relation, loaded: false, joined: true });
-                    }
-                    Err(msg) => {
-                        first_error = Some(EngineError::Chunk(format!(
-                            "joined load of {uri:?} failed: {msg}"
-                        )));
-                    }
-                },
+            match self.settle_acquired(uri, c, &mut owned_pins, &claimed_rels) {
+                Ok(chunk) => out.push(chunk),
+                Err(e) => first_error = Some(e),
             }
         }
 
@@ -446,6 +461,61 @@ impl Cellar {
         Ok(out)
     }
 
+    /// Resolve one classified task of the load-all path into an
+    /// [`AcquiredChunk`], recording every pin it takes in `owned_pins`.
+    fn settle_acquired(
+        &self,
+        uri: &str,
+        task: StreamTask,
+        owned_pins: &mut Vec<String>,
+        claimed_rels: &HashMap<&str, Arc<Relation>>,
+    ) -> sommelier_engine::Result<AcquiredChunk> {
+        match task {
+            StreamTask::Hit(relation) => {
+                Ok(AcquiredChunk { relation, loaded: false, joined: false })
+            }
+            StreamTask::HitNarrow => {
+                // The resident relation is too narrow for this request
+                // (it keeps our pin for symmetric release); decode a
+                // private full-width copy.
+                let relation = self.load_private(uri, None)?;
+                Ok(AcquiredChunk { relation, loaded: true, joined: false })
+            }
+            StreamTask::Claimed(_) => {
+                let relation =
+                    Arc::clone(claimed_rels.get(uri).expect("claim outcome recorded"));
+                Ok(AcquiredChunk { relation, loaded: true, joined: false })
+            }
+            StreamTask::Joined(latch) => match latch.wait() {
+                Ok((relation, cost)) => {
+                    self.stats.joins.fetch_add(1, Ordering::Relaxed);
+                    let relation =
+                        self.pin_or_readmit(uri, relation, cost, latch.projection.clone());
+                    owned_pins.push(uri.to_string());
+                    Ok(AcquiredChunk { relation, loaded: false, joined: true })
+                }
+                Err(msg) => {
+                    Err(EngineError::Chunk(format!("joined load of {uri:?} failed: {msg}")))
+                }
+            },
+            StreamTask::Retry(_) => match self.classify_settled(uri, None) {
+                t @ (StreamTask::Hit(_) | StreamTask::HitNarrow) => {
+                    owned_pins.push(uri.to_string());
+                    self.settle_acquired(uri, t, owned_pins, claimed_rels)
+                }
+                StreamTask::Claimed(latch) => {
+                    let relation = self.load_claim(uri, &latch)?;
+                    owned_pins.push(uri.to_string());
+                    Ok(AcquiredChunk { relation, loaded: true, joined: false })
+                }
+                t @ StreamTask::Joined(_) => {
+                    self.settle_acquired(uri, t, owned_pins, claimed_rels)
+                }
+                StreamTask::Retry(_) => unreachable!("classify_settled never returns Retry"),
+            },
+        }
+    }
+
     /// Pin `uri` if still resident; otherwise re-admit the relation
     /// delivered through a latch, pinned once.
     fn pin_or_readmit(
@@ -453,6 +523,7 @@ impl Cellar {
         uri: &str,
         relation: Arc<Relation>,
         cost: Duration,
+        projection: Option<Vec<String>>,
     ) -> Arc<Relation> {
         loop {
             let latch = {
@@ -460,7 +531,15 @@ impl Cellar {
                 match inner.slots.get_mut(uri) {
                     Some(Slot::Resident(r)) => {
                         r.pins += 1;
-                        return Arc::clone(&r.relation);
+                        return if covers(r.projection.as_deref(), projection.as_deref()) {
+                            Arc::clone(&r.relation)
+                        } else {
+                            // The slot was re-admitted with a narrower
+                            // projection than our latched copy: keep
+                            // the pin (symmetric release) but hand out
+                            // the covering latched relation.
+                            relation
+                        };
                     }
                     // The chunk was evicted after our loader published
                     // and a newer claimant is already re-loading it.
@@ -476,6 +555,7 @@ impl Cellar {
                                 relation: Arc::clone(&relation),
                                 bytes,
                                 pins: 1,
+                                projection: projection.clone(),
                             }),
                         );
                         inner.resident_bytes += bytes;
@@ -517,7 +597,9 @@ impl Cellar {
         run_indexed(claims.len(), ParallelMode::Static, max_threads, |i| {
             let t = Instant::now();
             self.source_of(&claims[i].0)
-                .and_then(|s| s.source.load_chunk(&claims[i].0))
+                .and_then(|s| {
+                    s.source.load_chunk(&claims[i].0, claims[i].1.projection.as_deref())
+                })
                 .map(|r| (r, t.elapsed()))
         })
     }
@@ -533,11 +615,14 @@ impl Cellar {
 
         // Build unit lists (header reads only). A failure here fails
         // just that chunk, not the whole batch.
-        let mut slots: Vec<(usize, Mutex<Option<ChunkUnit>>)> = Vec::new();
+        let mut slots: Vec<(usize, Mutex<Option<ChunkUnit<'_>>>)> = Vec::new();
         let mut out: Vec<DecodeOutcome> =
             (0..claims.len()).map(|_| Ok((Relation::empty(), Duration::ZERO))).collect();
-        for (fi, (uri, _)) in claims.iter().enumerate() {
-            match self.source_of(uri).and_then(|s| s.source.chunk_units(uri)) {
+        for (fi, (uri, latch)) in claims.iter().enumerate() {
+            match self
+                .source_of(uri)
+                .and_then(|s| s.source.chunk_units(uri, latch.projection.as_deref()))
+            {
                 Ok(units) => {
                     for unit in units {
                         slots.push((fi, Mutex::new(Some(unit))));
@@ -599,6 +684,7 @@ impl Cellar {
     fn acquire_each_impl(
         &self,
         uris: &[String],
+        projection: Option<&[String]>,
         parallel: ParallelMode,
         max_threads: usize,
         sink: &ChunkSink<'_>,
@@ -606,6 +692,12 @@ impl Cellar {
         if uris.is_empty() {
             return Ok(());
         }
+        // A retaining cellar must decode full width: resident chunks
+        // outlive this query and later queries may reference other
+        // columns. Only the pure single-flight-loader configuration
+        // (`retain: false`, nothing survives the pins) honors the
+        // pushed-down decode projection.
+        let projection = if self.config.retain { None } else { projection };
         // Phase 1: classify under the lock. Hits are pinned right away
         // so a concurrent release cannot evict them before their sink
         // runs; misses install the in-flight latch.
@@ -613,7 +705,7 @@ impl Cellar {
         {
             let mut inner = self.inner.lock();
             for uri in uris {
-                let task = self.classify_locked(&mut inner, uri);
+                let task = self.classify_locked(&mut inner, uri, projection);
                 tasks.push(task);
             }
         }
@@ -622,9 +714,9 @@ impl Cellar {
         let mut joins: Vec<usize> = Vec::new();
         for (i, task) in tasks.iter().enumerate() {
             match task {
-                StreamTask::Hit(_) => eager.push(i),
+                StreamTask::Hit(_) | StreamTask::HitNarrow => eager.push(i),
                 StreamTask::Claimed(_) => claims.push(i),
-                StreamTask::Joined(_) => joins.push(i),
+                StreamTask::Joined(_) | StreamTask::Retry(_) => joins.push(i),
             }
         }
         eager.append(&mut claims);
@@ -637,7 +729,7 @@ impl Cellar {
         for pass in [&eager, &joins] {
             run_indexed(pass.len(), parallel, max_threads, |k| {
                 let i = pass[k];
-                self.run_task(i, &uris[i], &tasks[i], sink, &first_error)
+                self.run_task(i, &uris[i], &tasks[i], projection, sink, &first_error)
             });
         }
         match first_error.into_inner() {
@@ -650,22 +742,115 @@ impl Cellar {
     /// join an in-flight load, or claim the load by installing a latch.
     /// Shared by [`Self::acquire_impl`] and [`Self::acquire_each_impl`]
     /// so the two acquisition paths cannot drift.
-    fn classify_locked(&self, inner: &mut Inner, uri: &str) -> StreamTask {
+    ///
+    /// `projection` is the decode projection this acquisition wants
+    /// (already normalized: always `None` when the cellar retains
+    /// chunks, so coverage checks are trivially true on that path).
+    fn classify_locked(
+        &self,
+        inner: &mut Inner,
+        uri: &str,
+        projection: Option<&[String]>,
+    ) -> StreamTask {
         match inner.slots.get_mut(uri) {
             Some(Slot::Resident(r)) => {
+                // Pin either way: a narrow hit still holds its pin so a
+                // later release of the batch stays symmetric.
                 r.pins += 1;
+                let covered = covers(r.projection.as_deref(), projection);
                 let rel = Arc::clone(&r.relation);
                 inner.policy.on_touch(uri);
-                self.stats.hits.fetch_add(1, Ordering::Relaxed);
-                StreamTask::Hit(rel)
+                if covered {
+                    self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                    StreamTask::Hit(rel)
+                } else {
+                    StreamTask::HitNarrow
+                }
             }
-            Some(Slot::Loading(latch)) => StreamTask::Joined(Arc::clone(latch)),
+            Some(Slot::Loading(latch)) => {
+                if covers(latch.projection.as_deref(), projection) {
+                    StreamTask::Joined(Arc::clone(latch))
+                } else {
+                    StreamTask::Retry(Arc::clone(latch))
+                }
+            }
             None => {
-                let latch = LoadLatch::new();
+                let latch = LoadLatch::new(projection.map(<[String]>::to_vec));
                 inner.slots.insert(uri.to_string(), Slot::Loading(Arc::clone(&latch)));
                 StreamTask::Claimed(latch)
             }
         }
+    }
+
+    /// Like [`Self::classify_locked`], but never returns
+    /// [`StreamTask::Retry`]: waits out conflicting in-flight loads
+    /// until classification lands on a terminal task.
+    fn classify_settled(&self, uri: &str, projection: Option<&[String]>) -> StreamTask {
+        loop {
+            let task = self.classify_locked(&mut self.inner.lock(), uri, projection);
+            match task {
+                StreamTask::Retry(latch) => {
+                    // The conflicting load resolves (publishes or
+                    // withdraws) and we look again.
+                    let _ = latch.wait();
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Decode a claimed chunk, admit it (pinned once for the caller),
+    /// publish through the latch and enforce the budget. On error the
+    /// slot is withdrawn and the error published. Shared by the
+    /// streaming tasks and the retry-settled load-all path.
+    fn load_claim(
+        &self,
+        uri: &str,
+        latch: &LoadLatch,
+    ) -> sommelier_engine::Result<Arc<Relation>> {
+        let t = Instant::now();
+        let outcome = self
+            .source_of(uri)
+            .and_then(|s| s.source.load_chunk(uri, latch.projection.as_deref()))
+            .map(|r| (r, t.elapsed()));
+        match outcome {
+            Ok((relation, cost)) => {
+                let relation = Arc::new(relation);
+                let mut reclaim_list = Vec::new();
+                {
+                    let mut inner = self.inner.lock();
+                    self.admit_pinned_locked(
+                        &mut inner,
+                        uri,
+                        &relation,
+                        cost,
+                        latch.projection.clone(),
+                    );
+                    self.enforce_budget_locked(&mut inner, &mut reclaim_list);
+                }
+                self.reclaim_all(&reclaim_list);
+                latch.publish(Ok((Arc::clone(&relation), cost)));
+                Ok(relation)
+            }
+            Err(e) => {
+                self.inner.lock().slots.remove(uri);
+                latch.publish(Err(e.to_string()));
+                Err(e)
+            }
+        }
+    }
+
+    /// Decode a chunk privately (no slot, no latch, no pin) with the
+    /// requested projection — the fallback when an existing slot's
+    /// projection cannot serve this request.
+    fn load_private(
+        &self,
+        uri: &str,
+        projection: Option<&[String]>,
+    ) -> sommelier_engine::Result<Arc<Relation>> {
+        let rel = self.source_of(uri)?.source.load_chunk(uri, projection)?;
+        self.stats.loads.fetch_add(1, Ordering::Relaxed);
+        Ok(Arc::new(rel))
     }
 
     /// Admit a freshly decoded chunk as resident with one pin held by
@@ -678,11 +863,17 @@ impl Cellar {
         uri: &str,
         relation: &Arc<Relation>,
         cost: Duration,
+        projection: Option<Vec<String>>,
     ) {
         let bytes = relation.approx_bytes();
         inner.slots.insert(
             uri.to_string(),
-            Slot::Resident(ResidentChunk { relation: Arc::clone(relation), bytes, pins: 1 }),
+            Slot::Resident(ResidentChunk {
+                relation: Arc::clone(relation),
+                bytes,
+                pins: 1,
+                projection,
+            }),
         );
         inner.resident_bytes += bytes;
         inner.peak_resident_bytes = inner.peak_resident_bytes.max(inner.resident_bytes);
@@ -703,6 +894,7 @@ impl Cellar {
         i: usize,
         uri: &str,
         task: &StreamTask,
+        projection: Option<&[String]>,
         sink: &ChunkSink<'_>,
         first_error: &Mutex<Option<EngineError>>,
     ) {
@@ -727,39 +919,36 @@ impl Cellar {
                 }
                 self.release_uris(&[uri]);
             }
-            StreamTask::Claimed(latch) => {
-                let t = Instant::now();
-                let outcome = self
-                    .source_of(uri)
-                    .and_then(|s| s.source.load_chunk(uri))
-                    .map(|r| (r, t.elapsed()));
-                match outcome {
-                    Ok((relation, cost)) => {
-                        let relation = Arc::new(relation);
-                        let mut reclaim_list = Vec::new();
-                        {
-                            let mut inner = self.inner.lock();
-                            self.admit_pinned_locked(&mut inner, uri, &relation, cost);
-                            self.enforce_budget_locked(&mut inner, &mut reclaim_list);
-                        }
-                        self.reclaim_all(&reclaim_list);
-                        latch.publish(Ok((Arc::clone(&relation), cost)));
-                        if !aborted() {
+            StreamTask::HitNarrow => {
+                // The resident relation misses columns this request
+                // needs: decode privately with our own projection (the
+                // pin taken at classification keeps release symmetric).
+                if !aborted() {
+                    match self.load_private(uri, projection) {
+                        Ok(relation) => {
                             let chunk =
                                 AcquiredChunk { relation, loaded: true, joined: false };
                             if let Err(e) = sink(i, chunk) {
                                 record(e);
                             }
                         }
-                        self.release_uris(&[uri]);
-                    }
-                    Err(e) => {
-                        self.inner.lock().slots.remove(uri);
-                        latch.publish(Err(e.to_string()));
-                        record(e);
+                        Err(e) => record(e),
                     }
                 }
+                self.release_uris(&[uri]);
             }
+            StreamTask::Claimed(latch) => match self.load_claim(uri, latch) {
+                Ok(relation) => {
+                    if !aborted() {
+                        let chunk = AcquiredChunk { relation, loaded: true, joined: false };
+                        if let Err(e) = sink(i, chunk) {
+                            record(e);
+                        }
+                    }
+                    self.release_uris(&[uri]);
+                }
+                Err(e) => record(e),
+            },
             StreamTask::Joined(latch) => {
                 if aborted() {
                     return;
@@ -767,7 +956,12 @@ impl Cellar {
                 match latch.wait() {
                     Ok((relation, cost)) => {
                         self.stats.joins.fetch_add(1, Ordering::Relaxed);
-                        let relation = self.pin_or_readmit(uri, relation, cost);
+                        let relation = self.pin_or_readmit(
+                            uri,
+                            relation,
+                            cost,
+                            latch.projection.clone(),
+                        );
                         if !aborted() {
                             let chunk =
                                 AcquiredChunk { relation, loaded: false, joined: true };
@@ -782,6 +976,17 @@ impl Cellar {
                             "joined load of {uri:?} failed: {msg}"
                         )));
                     }
+                }
+            }
+            StreamTask::Retry(_) => {
+                if aborted() {
+                    return;
+                }
+                // Wait out the conflicting in-flight load, then run
+                // whatever classification settles on.
+                match self.classify_settled(uri, projection) {
+                    StreamTask::Retry(_) => unreachable!("classify_settled is terminal"),
+                    settled => self.run_task(i, uri, &settled, projection, sink, first_error),
                 }
             }
         }
@@ -1023,9 +1228,14 @@ impl ChunkResidency for Cellar {
     fn acquire_many(
         &self,
         uris: &[String],
+        _projection: Option<&[String]>,
         parallel: ParallelMode,
         max_threads: usize,
     ) -> sommelier_engine::Result<Vec<AcquiredChunk>> {
+        // The load-all path keeps its chunks pinned for all of stage 2
+        // and (when retaining) serves later queries from them: always
+        // decode full width here. Projection applies on the streaming
+        // path ([`Self::acquire_each`]) of a non-retaining cellar.
         self.acquire_impl(uris, parallel, max_threads)
     }
 
@@ -1037,11 +1247,12 @@ impl ChunkResidency for Cellar {
     fn acquire_each(
         &self,
         uris: &[String],
+        projection: Option<&[String]>,
         parallel: ParallelMode,
         max_threads: usize,
         sink: &ChunkSink<'_>,
     ) -> sommelier_engine::Result<()> {
-        self.acquire_each_impl(uris, parallel, max_threads, sink)
+        self.acquire_each_impl(uris, projection, parallel, max_threads, sink)
     }
 
     fn all_chunks(&self) -> sommelier_engine::Result<Vec<String>> {
@@ -1050,6 +1261,11 @@ impl ChunkResidency for Cellar {
             .iter()
             .flat_map(|s| s.registry.entries().iter().map(|e| e.uri.clone()))
             .collect())
+    }
+
+    fn zone_maps(&self, uri: &str) -> Option<Vec<ColumnZone>> {
+        let &i = self.by_uri.get(uri)?;
+        self.sources[i].registry.zones_of(uri)
     }
 }
 
@@ -1067,10 +1283,11 @@ impl ChunkResidency for ScopedCellar {
     fn acquire_many(
         &self,
         uris: &[String],
+        projection: Option<&[String]>,
         parallel: ParallelMode,
         max_threads: usize,
     ) -> sommelier_engine::Result<Vec<AcquiredChunk>> {
-        self.cellar.acquire_many(uris, parallel, max_threads)
+        self.cellar.acquire_many(uris, projection, parallel, max_threads)
     }
 
     fn release_many(&self, uris: &[String]) {
@@ -1080,11 +1297,12 @@ impl ChunkResidency for ScopedCellar {
     fn acquire_each(
         &self,
         uris: &[String],
+        projection: Option<&[String]>,
         parallel: ParallelMode,
         max_threads: usize,
         sink: &ChunkSink<'_>,
     ) -> sommelier_engine::Result<()> {
-        self.cellar.acquire_each(uris, parallel, max_threads, sink)
+        self.cellar.acquire_each(uris, projection, parallel, max_threads, sink)
     }
 
     fn all_chunks(&self) -> sommelier_engine::Result<Vec<String>> {
@@ -1094,6 +1312,11 @@ impl ChunkResidency for ScopedCellar {
             .iter()
             .map(|e| e.uri.clone())
             .collect())
+    }
+
+    fn zone_maps(&self, uri: &str) -> Option<Vec<ColumnZone>> {
+        // Scoped like `all_chunks`: only this view's source answers.
+        self.cellar.sources[self.source_idx].registry.zones_of(uri)
     }
 }
 
@@ -1193,7 +1416,7 @@ mod tests {
 
     fn chunk_bytes(cellar: &Cellar, uri: &str) -> usize {
         // Measure one decoded chunk by loading it through the source.
-        cellar.sources[0].source.load_chunk(uri).unwrap().approx_bytes()
+        cellar.sources[0].source.load_chunk(uri, None).unwrap().approx_bytes()
     }
 
     #[test]
@@ -1206,7 +1429,7 @@ mod tests {
             &fx,
             CellarConfig { budget_bytes: one * 2 + one / 2, ..CellarConfig::default() },
         );
-        let acquired = cellar.acquire_many(&all, ParallelMode::Static, 2).unwrap();
+        let acquired = cellar.acquire_many(&all, None, ParallelMode::Static, 2).unwrap();
         assert_eq!(acquired.len(), 4);
         assert!(acquired.iter().all(|a| a.loaded));
         // Working set pinned: transiently over budget, nothing evicted.
@@ -1223,10 +1446,10 @@ mod tests {
         let fx = fixture("hits", 2, 32);
         let all = uris(&fx);
         let cellar = cellar_over(&fx, CellarConfig::default());
-        let first = cellar.acquire_many(&all, ParallelMode::Static, 2).unwrap();
+        let first = cellar.acquire_many(&all, None, ParallelMode::Static, 2).unwrap();
         assert!(first.iter().all(|a| a.loaded && !a.joined));
         cellar.release_many(&all);
-        let second = cellar.acquire_many(&all, ParallelMode::Static, 2).unwrap();
+        let second = cellar.acquire_many(&all, None, ParallelMode::Static, 2).unwrap();
         assert!(second.iter().all(|a| !a.loaded && !a.joined));
         cellar.release_many(&all);
         let s = cellar.stats();
@@ -1243,7 +1466,8 @@ mod tests {
                 let cellar = &cellar;
                 let all = &all;
                 scope.spawn(move || {
-                    let got = cellar.acquire_many(all, ParallelMode::Static, 2).unwrap();
+                    let got =
+                        cellar.acquire_many(all, None, ParallelMode::Static, 2).unwrap();
                     assert_eq!(got.len(), all.len());
                     // Every thread sees the same relation contents.
                     let rows: usize = got.iter().map(|a| a.relation.rows()).sum();
@@ -1264,10 +1488,10 @@ mod tests {
         let all = uris(&fx);
         let cellar =
             cellar_over(&fx, CellarConfig { retain: false, ..CellarConfig::default() });
-        cellar.acquire_many(&all, ParallelMode::Static, 2).unwrap();
+        cellar.acquire_many(&all, None, ParallelMode::Static, 2).unwrap();
         cellar.release_many(&all);
         assert_eq!(cellar.resident_chunks(), 0);
-        cellar.acquire_many(&all, ParallelMode::Static, 2).unwrap();
+        cellar.acquire_many(&all, None, ParallelMode::Static, 2).unwrap();
         cellar.release_many(&all);
         let s = cellar.stats();
         assert_eq!(s.loads, 2 * all.len() as u64, "every query re-ingests");
@@ -1280,8 +1504,9 @@ mod tests {
         let all = uris(&fx);
         let a = cellar_over(&fx, CellarConfig::default());
         let b = cellar_over(&fx, CellarConfig::default());
-        let got_a = a.acquire_many(&all, ParallelMode::Static, 2).unwrap();
-        let got_b = b.acquire_many(&all, ParallelMode::Exchange { workers: 3 }, 2).unwrap();
+        let got_a = a.acquire_many(&all, None, ParallelMode::Static, 2).unwrap();
+        let got_b =
+            b.acquire_many(&all, None, ParallelMode::Exchange { workers: 3 }, 2).unwrap();
         for (x, y) in got_a.iter().zip(&got_b) {
             assert_eq!(x.relation.rows(), y.relation.rows());
         }
@@ -1328,7 +1553,7 @@ mod tests {
         // Budget 1 byte: everything evicts on release.
         let cellar =
             cellar_over(&fx, CellarConfig { budget_bytes: 1, ..CellarConfig::default() });
-        cellar.acquire_many(&all[..1], ParallelMode::Static, 1).unwrap();
+        cellar.acquire_many(&all[..1], None, ParallelMode::Static, 1).unwrap();
         cellar.release_many(&all[..1]);
         assert_eq!(cellar.resident_chunks(), 0);
         // E rows staged for the chunk are gone; other chunks untouched.
@@ -1349,7 +1574,7 @@ mod tests {
         let day0 = days_from_civil(2011, 3, 1) * MS_PER_DAY;
         fx.dmd.mark_covered([(vec!["web-1".to_string(), "api".to_string()], day0)]);
         let cellar = cellar_over(&fx, CellarConfig::default());
-        cellar.acquire_many(&all, ParallelMode::Static, 2).unwrap();
+        cellar.acquire_many(&all, None, ParallelMode::Static, 2).unwrap();
         cellar.release_many(&all);
         assert_eq!(cellar.resident_chunks(), 2);
         cellar.clear();
@@ -1370,8 +1595,8 @@ mod tests {
         );
         // Hold a pin on chunk 0 across a second acquisition that
         // overflows the budget.
-        cellar.acquire_many(&all[..1], ParallelMode::Static, 1).unwrap();
-        cellar.acquire_many(&all[1..2], ParallelMode::Static, 1).unwrap();
+        cellar.acquire_many(&all[..1], None, ParallelMode::Static, 1).unwrap();
+        cellar.acquire_many(&all[1..2], None, ParallelMode::Static, 1).unwrap();
         cellar.release_many(&all[1..2]);
         // Chunk 0 is pinned: the eviction to restore the budget must
         // have taken chunk 1.
@@ -1396,7 +1621,7 @@ mod tests {
                 assert!(chunk.loaded);
                 Ok(())
             };
-            cellar.acquire_each(&all, mode, 2, &sink).unwrap();
+            cellar.acquire_each(&all, None, mode, 2, &sink).unwrap();
             let counts = delivered.lock().clone();
             assert!(counts.iter().all(|&n| n == 1), "{counts:?}");
             assert!(rows.load(Ordering::Relaxed) > 0);
@@ -1407,7 +1632,7 @@ mod tests {
                 *hits.lock() += 1;
                 Ok(())
             };
-            cellar.acquire_each(&all, mode, 2, &sink2).unwrap();
+            cellar.acquire_each(&all, None, mode, 2, &sink2).unwrap();
             assert_eq!(*hits.lock(), all.len());
             let s = cellar.stats();
             assert_eq!(s.loads, all.len() as u64);
@@ -1433,7 +1658,9 @@ mod tests {
             count.fetch_add(1, Ordering::Relaxed);
             Ok(())
         };
-        cellar.acquire_each(&all, ParallelMode::Exchange { workers: 2 }, 2, &sink).unwrap();
+        cellar
+            .acquire_each(&all, None, ParallelMode::Exchange { workers: 2 }, 2, &sink)
+            .unwrap();
         assert_eq!(count.load(Ordering::Relaxed), all.len() as u64);
         // Budget holds once the wave is over (no pins survive).
         assert!(cellar.resident_bytes() <= cellar.budget_bytes());
@@ -1475,7 +1702,9 @@ mod tests {
                             n.fetch_add(1, Ordering::Relaxed);
                             Ok(())
                         };
-                        cellar.acquire_each(&wave, ParallelMode::Static, 1, &sink).unwrap();
+                        cellar
+                            .acquire_each(&wave, None, ParallelMode::Static, 1, &sink)
+                            .unwrap();
                         assert_eq!(n.load(Ordering::Relaxed), wave.len() as u64);
                     }
                 });
@@ -1497,7 +1726,7 @@ mod tests {
                 Ok(())
             }
         };
-        let err = cellar.acquire_each(&all, ParallelMode::Static, 1, &sink);
+        let err = cellar.acquire_each(&all, None, ParallelMode::Static, 1, &sink);
         assert!(err.is_err());
         // All pins released: a clear() drops everything that was admitted.
         cellar.clear();
@@ -1509,7 +1738,7 @@ mod tests {
         let fx = fixture("peak", 3, 32);
         let all = uris(&fx);
         let cellar = cellar_over(&fx, CellarConfig::default());
-        cellar.acquire_many(&all, ParallelMode::Static, 2).unwrap();
+        cellar.acquire_many(&all, None, ParallelMode::Static, 2).unwrap();
         let peak = cellar.peak_resident_bytes();
         assert_eq!(peak, cellar.resident_bytes());
         cellar.release_many(&all);
@@ -1531,6 +1760,7 @@ mod tests {
             file_id: 0,
             seg_base: 0,
             seg_count: 1,
+            zones: vec![],
         }];
         let registry_b = Arc::new(ChunkRegistry::new(entries));
         let source_b = Arc::new(AdapterChunkSource::new(
@@ -1566,7 +1796,7 @@ mod tests {
         // Acquiring through a scoped view still shares the one budget.
         let scoped = cellar.scoped(1);
         let uris_b = scoped.all_chunks().unwrap();
-        scoped.acquire_many(&uris_b, ParallelMode::Static, 1).unwrap();
+        scoped.acquire_many(&uris_b, None, ParallelMode::Static, 1).unwrap();
         assert!(cellar.resident_bytes() > 0);
         scoped.release_many(&uris_b);
     }

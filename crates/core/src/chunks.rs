@@ -9,7 +9,7 @@
 
 use crate::source::SourceAdapter;
 use sommelier_engine::twostage::{ChunkSource, ChunkUnit};
-use sommelier_engine::{EngineError, Relation};
+use sommelier_engine::{ColumnZone, EngineError, Relation};
 use sommelier_storage::page::PAGE_SIZE;
 use sommelier_storage::{Database, SimIo};
 use std::collections::HashMap;
@@ -38,6 +38,11 @@ pub struct FileEntry {
     pub seg_base: i64,
     /// Number of sub-units (1 for sources without sub-units).
     pub seg_count: u32,
+    /// Per-chunk min/max zone maps for the source's declared prunable
+    /// columns, recorded by the adapter at registration time (from
+    /// header information only). Empty = no zone maps; the chunk is
+    /// never pruned.
+    pub zones: Vec<ColumnZone>,
 }
 
 /// The uri ↔ system-key mapping established at registration time.
@@ -77,6 +82,17 @@ impl ChunkRegistry {
     /// Total number of registered sub-units.
     pub fn total_segments(&self) -> u64 {
         self.entries.iter().map(|e| e.seg_count as u64).sum()
+    }
+
+    /// The zone maps recorded for one chunk, if any (`None` when the
+    /// chunk is unknown or has no zones — it is then never pruned).
+    pub fn zones_of(&self, uri: &str) -> Option<Vec<ColumnZone>> {
+        let entry = self.get(uri)?;
+        if entry.zones.is_empty() {
+            None
+        } else {
+            Some(entry.zones.clone())
+        }
     }
 }
 
@@ -154,15 +170,23 @@ impl AdapterChunkSource {
 }
 
 impl ChunkSource for AdapterChunkSource {
-    fn load_chunk(&self, uri: &str) -> sommelier_engine::Result<Relation> {
+    fn load_chunk(
+        &self,
+        uri: &str,
+        projection: Option<&[String]>,
+    ) -> sommelier_engine::Result<Relation> {
         self.charge_sim_io(uri);
-        let rel = self.adapter.load_chunk(self.entry(uri)?)?;
+        let rel = self.adapter.decode(self.entry(uri)?, projection)?;
         self.verify(&rel)?;
         Ok(rel)
     }
 
-    fn chunk_units(&self, uri: &str) -> sommelier_engine::Result<Vec<ChunkUnit>> {
-        let units = self.adapter.chunk_units(self.entry(uri)?)?;
+    fn chunk_units<'s>(
+        &'s self,
+        uri: &str,
+        projection: Option<&[String]>,
+    ) -> sommelier_engine::Result<Vec<ChunkUnit<'s>>> {
+        let units = self.adapter.chunk_units(self.entry(uri)?, projection)?;
         // Exchange-mode decoding must pay the same simulated medium as
         // whole-chunk loads: split the chunk's read latency over its
         // units at nanosecond granularity (one unit pays the division
@@ -176,7 +200,7 @@ impl ChunkSource for AdapterChunkSource {
         Ok(units
             .into_iter()
             .enumerate()
-            .map(|(k, unit)| -> ChunkUnit {
+            .map(|(k, unit)| -> ChunkUnit<'s> {
                 let pay = Duration::from_nanos(share_ns + if k == 0 { rem_ns } else { 0 });
                 Box::new(move || {
                     std::thread::sleep(pay);
@@ -188,6 +212,10 @@ impl ChunkSource for AdapterChunkSource {
 
     fn all_chunks(&self) -> sommelier_engine::Result<Vec<String>> {
         Ok(self.registry.entries().iter().map(|e| e.uri.clone()).collect())
+    }
+
+    fn zone_maps(&self, uri: &str) -> Option<Vec<ColumnZone>> {
+        self.registry.zones_of(uri)
     }
 }
 
@@ -203,8 +231,20 @@ mod tests {
     #[test]
     fn registry_lookup() {
         let reg = ChunkRegistry::new(vec![
-            FileEntry { uri: "a".into(), file_id: 0, seg_base: 0, seg_count: 3 },
-            FileEntry { uri: "b".into(), file_id: 1, seg_base: 3, seg_count: 2 },
+            FileEntry {
+                uri: "a".into(),
+                file_id: 0,
+                seg_base: 0,
+                seg_count: 3,
+                zones: vec![],
+            },
+            FileEntry {
+                uri: "b".into(),
+                file_id: 1,
+                seg_base: 3,
+                seg_count: 2,
+                zones: vec![],
+            },
         ]);
         assert_eq!(reg.len(), 2);
         assert!(!reg.is_empty());

@@ -36,6 +36,15 @@ pub struct SommelierConfig {
     /// Push selections into per-chunk accesses (run-time rewrite
     /// refinement, §III).
     pub chunk_pushdown: bool,
+    /// Decode only the columns a query references (the optimizer's
+    /// `projection_pushdown` pass). Applies on decode paths that do
+    /// not retain chunks across queries (`use_recycler: false`);
+    /// retained chunks always decode full width.
+    pub projection_pushdown: bool,
+    /// Drop chunks whose registered zone maps contradict the pushed-
+    /// down predicate before any decode is scheduled (the optimizer's
+    /// `zone_map_pruning` pass).
+    pub zone_map_pruning: bool,
     /// Enable the Recycler chunk cache.
     pub use_recycler: bool,
     /// Verify FK constraints when lazily ingesting chunks. The paper
@@ -64,6 +73,8 @@ impl Default for SommelierConfig {
             sim_chunk_io: None,
             parallel: ParallelMode::Static,
             chunk_pushdown: true,
+            projection_pushdown: true,
+            zone_map_pruning: true,
             use_recycler: true,
             verify_lazy_fk: false,
             max_threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(8),

@@ -65,9 +65,10 @@ use cellar::{Cellar, CellarConfig, CellarSource};
 use chunks::{AdapterChunkSource, ChunkRegistry};
 use dmd::{DmdManager, DmdOutcome};
 use parking_lot::Mutex;
-use sommelier_engine::joinorder::{plan_query, PlanOptions};
+use sommelier_engine::joinorder::PlanOptions;
+use sommelier_engine::optimizer::{self, PassTrace};
 use sommelier_engine::twostage::{execute_plan, ChunkAccess, QueryOutcome, TwoStageConfig};
-use sommelier_engine::{ExecStats, QuerySpec, Relation};
+use sommelier_engine::{ColumnZone, ExecStats, QuerySpec, Relation};
 use sommelier_sql::BindCatalog;
 use sommelier_storage::buffer::BufferPoolConfig;
 use sommelier_storage::catalog::Disposition;
@@ -80,6 +81,10 @@ use std::time::Instant;
 /// persists the prepared loading mode across restarts.
 const MODE_FILE: &str = "sommelier.mode";
 
+/// Name of the sidecar file that persists the registrar's per-chunk
+/// zone maps across restarts (the metadata tables do not carry them).
+const ZONES_FILE: &str = "sommelier.zones";
+
 /// A query result: the relation plus everything the experiments report.
 #[derive(Debug)]
 pub struct QueryResult {
@@ -88,6 +93,9 @@ pub struct QueryResult {
     pub qtype: QueryType,
     /// Algorithm-1 bookkeeping, when the query referred to DMd.
     pub dmd: Option<DmdOutcome>,
+    /// The optimizer pass trace (compile pipeline followed by the
+    /// stage-2 rewrite pipeline): which rewrite rules fired.
+    pub trace: Vec<PassTrace>,
 }
 
 /// One registered source, alive for the system's lifetime.
@@ -293,11 +301,15 @@ impl Sommelier {
     /// re-opened database.
     fn restore_on_open(&self) -> Result<()> {
         let mut registries = Vec::with_capacity(self.sources.len());
+        let zones = self.read_zone_sidecar();
         for s in &self.sources {
-            registries.push(Arc::new(ChunkRegistry::new(source::restore_registry(
-                &self.db,
-                &s.descriptor,
-            )?)));
+            let mut entries = source::restore_registry(&self.db, &s.descriptor)?;
+            for e in &mut entries {
+                if let Some(z) = zones.get(&e.uri) {
+                    e.zones = z.clone();
+                }
+            }
+            registries.push(Arc::new(ChunkRegistry::new(entries)));
         }
         let mode = match self.read_persisted_mode() {
             Some(mode) => mode,
@@ -334,6 +346,65 @@ impl Sommelier {
         let cellar = self.build_cellar(&registries)?;
         *self.prepared.lock() = Some(Prepared { mode, registries, cellar });
         Ok(())
+    }
+
+    /// Persist every registry's zone maps to the sidecar (disk-backed
+    /// systems only). One line per (chunk, column):
+    /// `uri \t column \t type \t min \t max` — chunk URIs containing
+    /// tabs are not supported.
+    fn persist_zone_maps(&self, registries: &[Arc<ChunkRegistry>]) -> Result<()> {
+        use sommelier_storage::Value;
+        let Some(dir) = &self.db_dir else { return Ok(()) };
+        let mut out = String::new();
+        for registry in registries {
+            for e in registry.entries() {
+                for z in &e.zones {
+                    let (tag, min, max) = match (&z.min, &z.max) {
+                        (Value::Int(a), Value::Int(b)) => ('i', a.to_string(), b.to_string()),
+                        (Value::Time(a), Value::Time(b)) => {
+                            ('t', a.to_string(), b.to_string())
+                        }
+                        (Value::Float(a), Value::Float(b)) => {
+                            ('f', a.to_string(), b.to_string())
+                        }
+                        // Text or mixed-type zones are not persisted
+                        // (none of the built-in adapters produce them).
+                        _ => continue,
+                    };
+                    out.push_str(&format!("{}\t{}\t{tag}\t{min}\t{max}\n", e.uri, z.column));
+                }
+            }
+        }
+        std::fs::write(dir.join(ZONES_FILE), out)
+            .map_err(|e| SommelierError::Usage(format!("persisting zone maps: {e}")))
+    }
+
+    /// Read the zone-map sidecar back, keyed by chunk URI. Missing or
+    /// malformed files simply disable pruning (correct, just slower).
+    fn read_zone_sidecar(&self) -> std::collections::HashMap<String, Vec<ColumnZone>> {
+        use sommelier_storage::Value;
+        let mut map: std::collections::HashMap<String, Vec<ColumnZone>> = Default::default();
+        let Some(dir) = &self.db_dir else { return map };
+        let Ok(text) = std::fs::read_to_string(dir.join(ZONES_FILE)) else { return map };
+        for line in text.lines() {
+            let parts: Vec<&str> = line.split('\t').collect();
+            let [uri, column, tag, min, max] = parts.as_slice() else { continue };
+            let parse = |s: &str| -> Option<Value> {
+                Some(match *tag {
+                    "i" => Value::Int(s.parse().ok()?),
+                    "t" => Value::Time(s.parse().ok()?),
+                    "f" => Value::Float(s.parse().ok()?),
+                    _ => return None,
+                })
+            };
+            let (Some(min), Some(max)) = (parse(min), parse(max)) else { continue };
+            map.entry(uri.to_string()).or_default().push(ColumnZone {
+                column: column.to_string(),
+                min,
+                max,
+            });
+        }
+        map
     }
 
     fn read_persisted_mode(&self) -> Option<LoadingMode> {
@@ -398,14 +469,18 @@ impl Sommelier {
             }
         }
         let cellar = self.build_cellar(&registries)?;
+        self.persist_zone_maps(&registries)?;
         *self.prepared.lock() = Some(Prepared { mode, registries, cellar });
         if mode.materializes_dmd() {
             let t = Instant::now();
             for s in &self.sources {
                 if s.descriptor.dmd.is_some() {
                     dmd::derive_all(&self.db, &s.dmd, &s.descriptor, &|spec| {
-                        self.run_spec(spec, false)
-                            .map(|r| QueryOutcome { relation: r.relation, stats: r.stats })
+                        self.run_spec(spec, false).map(|r| QueryOutcome {
+                            relation: r.relation,
+                            stats: r.stats,
+                            trace: r.trace,
+                        })
                     })?;
                 }
             }
@@ -509,6 +584,8 @@ impl Sommelier {
         TwoStageConfig {
             parallel: self.config.parallel,
             pushdown: self.config.chunk_pushdown,
+            projection_pushdown: self.config.projection_pushdown,
+            zone_map_pruning: self.config.zone_map_pruning,
             use_cache: self.config.use_recycler,
             use_index_joins: mode.builds_indices(),
             uri_column: self.sources[source_idx].descriptor.uri_column(),
@@ -551,15 +628,18 @@ impl Sommelier {
                 &source.descriptor,
                 &compiled.spec,
                 &|s| {
-                    self.run_spec(s, false)
-                        .map(|r| QueryOutcome { relation: r.relation, stats: r.stats })
+                    self.run_spec(s, false).map(|r| QueryOutcome {
+                        relation: r.relation,
+                        stats: r.stats,
+                        trace: r.trace,
+                    })
                 },
             )?)
         } else {
             None
         };
         let opts = self.plan_options(mode, compiled.source_idx);
-        let plan = plan_query(&compiled.spec, &opts)?;
+        let (plan, mut trace) = optimizer::compile_plan(&compiled.spec, &self.db, &opts)?;
         let mut ts_config = self.two_stage_config(mode, compiled.source_idx);
         ts_config.sampling = sampling;
         let scoped = cellar.scoped(compiled.source_idx);
@@ -569,11 +649,13 @@ impl Sommelier {
             ChunkAccess::None
         };
         let outcome = execute_plan(&self.db, &plan, access, &ts_config)?;
+        trace.extend(outcome.trace);
         Ok(QueryResult {
             relation: outcome.relation,
             stats: outcome.stats,
             qtype: compiled.qtype,
             dmd: dmd_outcome,
+            trace,
         })
     }
 
@@ -604,33 +686,43 @@ impl Sommelier {
         self.run_spec(spec, true)
     }
 
-    /// The plan a query would run, as text (EXPLAIN): the logical plan
-    /// followed by the stage-2 physical shape — which shows whether
-    /// selection pushdown and partial-aggregation fusion
-    /// (`PartialAggUnion`) fire. Uses the same compile pipeline and the
-    /// same lowering + fusion as execution; only the chunk list (a
-    /// run-time quantity) is a placeholder.
+    /// The plan a query would run, as text (EXPLAIN): the logical plan,
+    /// the stage-2 physical shape — which shows whether selection
+    /// pushdown, projection pushdown and partial-aggregation fusion
+    /// (`PartialAggUnion`) fire — and the optimizer pass trace. Uses
+    /// the same pass pipelines as execution; only the chunk list (a
+    /// run-time quantity) is a placeholder, so run-time-only effects
+    /// (chunks pruned by zone maps) show as the pass being armed.
     pub fn explain(&self, sql: &str) -> Result<String> {
-        use sommelier_engine::physical::{lower, ChunkRef, LowerOptions};
         let (mode, _) = self.prepared_info()?;
         let spec = sommelier_sql::compile(sql, &self.catalog)?;
         let compiled = self.compile_spec(spec)?;
         let opts = self.plan_options(mode, compiled.source_idx);
-        let plan = plan_query(&compiled.spec, &opts)?;
-        let placeholder: Vec<ChunkRef> = Vec::new();
-        let lopts = LowerOptions {
-            db: &self.db,
+        let (plan, compile_trace) = optimizer::compile_plan(&compiled.spec, &self.db, &opts)?;
+        let s2_opts = optimizer::Stage2Options {
             use_index_joins: mode.builds_indices(),
-            lazy_chunks: Some(&placeholder),
-            chunk_pushdown: self.config.chunk_pushdown,
-            qf_result_id: plan.qf().map(|_| 0),
+            pushdown: self.config.chunk_pushdown,
+            projection_pushdown: self.config.projection_pushdown,
+            zone_map_pruning: self.config.zone_map_pruning,
         };
-        let phys = sommelier_engine::fuse_partial_agg(lower(&plan, &lopts)?);
+        let chunks = if plan.has_lazy_scan() { Some(Vec::new()) } else { None };
+        let s2 = optimizer::rewrite_stage2(
+            &plan,
+            &self.db,
+            chunks,
+            None,
+            plan.qf().map(|_| 0),
+            &s2_opts,
+        )?;
         Ok(format!(
             "-- source: {}, mode: {mode}, query type: {}\n{plan}\
-             -- stage-2 physical shape (chunk list resolved at run time)\n{phys}",
+             -- stage-2 physical shape (chunk list resolved at run time)\n{}\
+             -- optimizer passes\n{}{}",
             self.sources[compiled.source_idx].descriptor.name,
-            compiled.qtype.label()
+            compiled.qtype.label(),
+            s2.physical,
+            optimizer::format_trace(&compile_trace),
+            optimizer::format_trace(&s2.trace),
         ))
     }
 

@@ -163,7 +163,7 @@ fn decode_wave(
                 while i < wave.len() {
                     let entry = &registry.entries()[wave[i]];
                     let out = adapter
-                        .load_chunk(entry)
+                        .decode(entry, None)
                         .map_err(Into::into)
                         .and_then(|rel| relation_batch(&rel, adapter.descriptor()));
                     *slots[i].lock() = Some(out);
@@ -396,7 +396,7 @@ pub fn load_eager_csv(
                 while i < registry.len() {
                     let entry = &registry.entries()[i];
                     let out = adapter
-                        .load_chunk(entry)
+                        .decode(entry, None)
                         .map_err(Into::into)
                         .and_then(|rel| relation_batch(&rel, descriptor))
                         .and_then(|batch| batch_to_csv(&batch, &csv_paths[i]));

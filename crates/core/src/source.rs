@@ -35,10 +35,11 @@
 //!    *headers only*, bulk-loads the given-metadata tables, and returns
 //!    one [`FileEntry`] per chunk. `file_id` values must match the
 //!    chunk-id column loaded into the chunk table.
-//! 3. **Decode** — [`SourceAdapter::load_chunk`] decodes one chunk into
+//! 3. **Decode** — [`SourceAdapter::decode`] decodes one chunk into
 //!    a relation shaped like the actual-data table, with qualified
 //!    column names (`"D.sample_value"`) and the system keys assigned at
-//!    registration.
+//!    registration — restricted to the pushed-down projection when the
+//!    optimizer provides one.
 //! 4. **Inference** — each [`InferenceRule`] teaches the planner how a
 //!    literal predicate on an actual-data column bounds a given-metadata
 //!    row, so stage 1 can narrow the chunk list without touching data.
@@ -180,6 +181,12 @@ pub struct SourceDescriptor {
     pub ad_table: String,
     /// Declarative metadata-inference rules.
     pub inference_rules: Vec<InferenceRule>,
+    /// Qualified actual-data columns the adapter records per-chunk
+    /// min/max zone maps for at registration time (via
+    /// [`FileEntry::zones`]); the `zone_map_pruning` pass drops chunks
+    /// whose zones contradict a pushed-down predicate. Empty = no
+    /// zone maps for this source.
+    pub prunable_columns: Vec<String>,
     /// Derived-metadata specification, if the source has any.
     pub dmd: Option<DmdSpec>,
 }
@@ -316,6 +323,13 @@ impl SourceDescriptor {
                 ));
             }
         }
+        for col in &self.prunable_columns {
+            if self.qualified_owner(col) != Some(self.ad_table.as_str()) {
+                return fail(format!(
+                    "prunable column {col:?} is not on the actual-data table"
+                ));
+            }
+        }
         if let Some(dmd) = &self.dmd {
             self.validate_dmd(dmd)?;
         }
@@ -426,22 +440,37 @@ pub trait SourceAdapter: Send + Sync {
 
     /// The Registrar phase (§V.1): enumerate the repository's chunk
     /// files, extract *headers only*, bulk-load the given-metadata
-    /// tables into `db`, and return one [`FileEntry`] per chunk. This
-    /// is the entire up-front cost of lazy loading.
+    /// tables into `db`, and return one [`FileEntry`] per chunk —
+    /// including the zone maps for the descriptor's
+    /// [`SourceDescriptor::prunable_columns`], when the headers carry
+    /// the bounds. This is the entire up-front cost of lazy loading.
     fn register(&self, db: &Database, max_threads: usize) -> Result<Vec<FileEntry>>;
 
     /// Decode one registered chunk into a relation shaped like the
     /// actual-data table (qualified column names, system keys from
-    /// registration). A chunk with no rows must still produce the
-    /// correctly-shaped empty relation (see [`empty_ad_relation`]).
-    fn load_chunk(&self, entry: &FileEntry) -> sommelier_engine::Result<Relation>;
+    /// registration). With a `projection` (the `projection_pushdown`
+    /// pass), only the named columns need to be materialized — the
+    /// query provably references nothing else. A chunk with no rows
+    /// must still produce the correctly-shaped empty relation (see
+    /// [`empty_ad_relation`]).
+    fn decode(
+        &self,
+        entry: &FileEntry,
+        projection: Option<&[String]>,
+    ) -> sommelier_engine::Result<Relation>;
 
     /// Split one chunk into independent decode units for exchange-style
-    /// parallelism. The default decodes eagerly into a single unit;
-    /// formats with per-unit payloads should override it.
-    fn chunk_units(&self, entry: &FileEntry) -> sommelier_engine::Result<Vec<ChunkUnit>> {
-        let rel = self.load_chunk(entry)?;
-        Ok(vec![Box::new(move || Ok(rel))])
+    /// parallelism. The default is a single deferred whole-chunk unit
+    /// (nothing decodes until a worker runs it); formats with per-unit
+    /// payloads should override it.
+    fn chunk_units<'s>(
+        &'s self,
+        entry: &FileEntry,
+        projection: Option<&[String]>,
+    ) -> sommelier_engine::Result<Vec<ChunkUnit<'s>>> {
+        let entry = entry.clone();
+        let projection = projection.map(<[String]>::to_vec);
+        Ok(vec![Box::new(move || self.decode(&entry, projection.as_deref()))])
     }
 
     /// Total bytes of the source repository (Table III's raw-format
@@ -450,10 +479,11 @@ pub trait SourceAdapter: Send + Sync {
 }
 
 /// The correctly-shaped *empty* actual-data relation for a descriptor
-/// (what [`SourceAdapter::load_chunk`] must return for chunks with no
-/// rows).
+/// (what [`SourceAdapter::decode`] must return for chunks with no
+/// rows), restricted to `projection` when one is pushed down.
 pub fn empty_ad_relation(
     descriptor: &SourceDescriptor,
+    projection: Option<&[String]>,
 ) -> sommelier_engine::Result<Relation> {
     let schema = descriptor.schema(&descriptor.ad_table).ok_or_else(|| {
         sommelier_engine::EngineError::Chunk(format!(
@@ -465,7 +495,13 @@ pub fn empty_ad_relation(
         schema
             .columns
             .iter()
-            .map(|c| {
+            .filter_map(|c| {
+                let name = format!("{}.{}", descriptor.ad_table, c.name);
+                if let Some(p) = projection {
+                    if !p.contains(&name) {
+                        return None;
+                    }
+                }
                 let data = match c.dtype {
                     DataType::Int64 => ColumnData::Int64(vec![]),
                     DataType::Float64 => ColumnData::Float64(vec![]),
@@ -474,7 +510,7 @@ pub fn empty_ad_relation(
                         ColumnData::Text(sommelier_storage::column::TextColumn::new())
                     }
                 };
-                (format!("{}.{}", descriptor.ad_table, c.name), data)
+                Some((name, data))
             })
             .collect(),
     )
@@ -517,6 +553,9 @@ pub fn restore_registry(
             file_id: id,
             seg_base: unit_base.get(&id).copied().unwrap_or(0),
             seg_count: unit_count.get(&id).copied().unwrap_or(1),
+            // Zone maps are restored from the persisted sidecar (see
+            // the façade's open path), not from the metadata tables.
+            zones: Vec::new(),
         })
         .collect())
 }

@@ -246,7 +246,7 @@ pub fn execute(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<Relation> {
             // Shallow: the clone shares the column payloads.
             .map(|r| (**r).clone())
             .ok_or_else(|| EngineError::Exec(format!("no materialized result #{id}"))),
-        PhysicalPlan::ChunkUnion { table, chunks, columns, predicate, pushdown } => {
+        PhysicalPlan::ChunkUnion { table, chunks, columns, predicate, pushdown, .. } => {
             if chunks.is_empty() {
                 // Stage 1 selected no files: an empty relation with the
                 // base table's schema (so joins above keep working).
@@ -295,6 +295,7 @@ pub fn execute(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<Relation> {
             ops,
             group_by,
             aggs,
+            ..
         } => {
             // Build the join side once; every chunk probes it.
             let build = join
@@ -525,6 +526,7 @@ mod tests {
             columns: vec!["D.file_id".into(), "D.sample_value".into()],
             predicate: Some(Expr::col("D.sample_value").cmp(CmpOp::Gt, Expr::lit(2.0))),
             pushdown,
+            projected_decode: false,
         }
     }
 
@@ -660,6 +662,7 @@ mod tests {
             table: "D".into(),
             chunks: vec![],
             columns: vec!["D.file_id".into(), "D.sample_value".into()],
+            projected_decode: false,
             predicate: None,
             join: None,
             ops: vec![],
@@ -681,6 +684,7 @@ mod tests {
             columns: vec!["D.file_id".into()],
             predicate: None,
             pushdown: true,
+            projected_decode: false,
         };
         assert!(matches!(execute(&plan, &ctx), Err(EngineError::Chunk(_))));
     }

@@ -15,6 +15,10 @@
 //!   paper's three additions — *result-scan* (stage-1 result),
 //!   *cache-scan* (recycler-cached chunk), *chunk-access* (lazy chunk
 //!   ingestion).
+//! * **Rule-based optimizer** ([`optimizer`]): every rewrite — join
+//!   ordering, the run-time chunk rewrite, selection/projection
+//!   pushdown, zone-map chunk pruning, partial-aggregate fusion — is a
+//!   named pass in one ordered pipeline with a fired/skipped trace.
 //! * **Two-stage execution** ([`twostage`]): evaluate `Qf`, then apply
 //!   the run-time rewrite `scan(a) → ⋃_f cache-scan(f) | chunk-access(f)`
 //!   (rewrite rule 1, optionally with selection pushdown into the
@@ -36,6 +40,7 @@ pub mod graph;
 pub mod join;
 pub mod joinorder;
 pub mod logical;
+pub mod optimizer;
 pub mod physical;
 pub mod recycler;
 pub mod relation;
@@ -46,6 +51,7 @@ pub mod twostage;
 pub use error::{EngineError, Result};
 pub use expr::{AggFunc, CmpOp, Expr, Func};
 pub use logical::LogicalPlan;
+pub use optimizer::{ColumnZone, PassTrace};
 pub use physical::{fuse_partial_agg, PhysicalPlan};
 pub use recycler::Recycler;
 pub use relation::Relation;

@@ -34,7 +34,8 @@ use crate::agg::{merge_partials, partial_aggregate, PartialAgg};
 use crate::error::{EngineError, Result};
 use crate::exec::{execute, ChunkPipeline, ExecContext};
 use crate::logical::LogicalPlan;
-use crate::physical::{fuse_partial_agg, lower, ChunkRef, LowerOptions, PhysicalPlan};
+use crate::optimizer::{self, ColumnZone, PassTrace, Stage2Options};
+use crate::physical::{lower, ChunkRef, LowerOptions, PhysicalPlan};
 use crate::recycler::Recycler;
 use crate::relation::Relation;
 use parking_lot::Mutex;
@@ -43,29 +44,48 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// A deferred decode unit (e.g. one segment of a chunk file).
-pub type ChunkUnit = Box<dyn FnOnce() -> Result<Relation> + Send>;
+/// A deferred decode unit (e.g. one segment of a chunk file). The
+/// lifetime ties the unit to the source that produced it, so default
+/// implementations can defer through `self` instead of decoding
+/// eagerly; callers run units on scoped worker pools.
+pub type ChunkUnit<'a> = Box<dyn FnOnce() -> Result<Relation> + Send + 'a>;
 
 /// Where lazily loaded chunk data comes from. Implemented by the core
-/// crate over the mSEED repository; the engine only sees relations.
+/// crate over the registered source adapters; the engine only sees
+/// relations.
 pub trait ChunkSource: Send + Sync {
     /// Ingest one chunk as a relation in the actual-data table's schema
-    /// (qualified column names, e.g. `D.sample_time`).
-    fn load_chunk(&self, uri: &str) -> Result<Relation>;
+    /// (qualified column names, e.g. `D.sample_time`). With a
+    /// `projection`, only the named columns need to be materialized
+    /// (the `projection_pushdown` pass guarantees the query references
+    /// nothing else).
+    fn load_chunk(&self, uri: &str, projection: Option<&[String]>) -> Result<Relation>;
 
     /// Split one chunk into independent decode units for exchange-style
-    /// parallelism. The default is a single unit (whole chunk).
-    fn chunk_units(&self, uri: &str) -> Result<Vec<ChunkUnit>> {
+    /// parallelism. The default is a single unit covering the whole
+    /// chunk, deferred until a worker runs it (units borrow `self`, so
+    /// nothing decodes in the caller's thread).
+    fn chunk_units<'s>(
+        &'s self,
+        uri: &str,
+        projection: Option<&[String]>,
+    ) -> Result<Vec<ChunkUnit<'s>>> {
         let uri = uri.to_string();
-        // Cannot capture `self` in a 'static unit; single-unit default
-        // loads eagerly instead.
-        let rel = self.load_chunk(&uri)?;
-        Ok(vec![Box::new(move || Ok(rel))])
+        let projection = projection.map(<[String]>::to_vec);
+        Ok(vec![Box::new(move || self.load_chunk(&uri, projection.as_deref()))])
     }
 
     /// Every chunk in the repository (pure actual-data queries must load
     /// everything — the paper's "no alternative" case).
     fn all_chunks(&self) -> Result<Vec<String>>;
+
+    /// The recorded zone maps of one chunk, if any (drives the
+    /// `zone_map_pruning` pass). `None` = no zone maps; the chunk is
+    /// never pruned.
+    fn zone_maps(&self, uri: &str) -> Option<Vec<ColumnZone>> {
+        let _ = uri;
+        None
+    }
 }
 
 /// One chunk handed out by a [`ChunkResidency`] manager: the loaded
@@ -104,9 +124,15 @@ pub trait ChunkResidency: Send + Sync {
     /// Pin and return every chunk in `uris`, loading the missing ones
     /// with the given parallelism. On error the manager must have
     /// released any pins it took. The result aligns with `uris`.
+    ///
+    /// `projection` is the decode projection the `projection_pushdown`
+    /// pass derived; a manager that retains chunks across queries must
+    /// ignore it (resident chunks keep full width so later queries with
+    /// other column sets still hit).
     fn acquire_many(
         &self,
         uris: &[String],
+        projection: Option<&[String]>,
         parallel: ParallelMode,
         max_threads: usize,
     ) -> Result<Vec<AcquiredChunk>>;
@@ -129,11 +155,12 @@ pub trait ChunkResidency: Send + Sync {
     fn acquire_each(
         &self,
         uris: &[String],
+        projection: Option<&[String]>,
         parallel: ParallelMode,
         max_threads: usize,
         sink: &ChunkSink<'_>,
     ) -> Result<()> {
-        let acquired = self.acquire_many(uris, parallel, max_threads)?;
+        let acquired = self.acquire_many(uris, projection, parallel, max_threads)?;
         let mut result = Ok(());
         for (i, chunk) in acquired.into_iter().enumerate() {
             result = sink(i, chunk);
@@ -148,6 +175,13 @@ pub trait ChunkResidency: Send + Sync {
     /// Every chunk in the repository (pure actual-data queries must
     /// load everything — the paper's "no alternative" case).
     fn all_chunks(&self) -> Result<Vec<String>>;
+
+    /// The recorded zone maps of one chunk, if any (drives the
+    /// `zone_map_pruning` pass).
+    fn zone_maps(&self, uri: &str) -> Option<Vec<ColumnZone>> {
+        let _ = uri;
+        None
+    }
 }
 
 /// Where stage 2's chunk rows come from.
@@ -161,6 +195,17 @@ pub enum ChunkAccess<'a> {
     Direct { source: &'a dyn ChunkSource, recycler: Option<&'a Recycler> },
     /// A residency manager owns loading, caching, pinning and eviction.
     Managed(&'a dyn ChunkResidency),
+}
+
+impl ChunkAccess<'_> {
+    /// Zone-map lookup through whichever access path is configured.
+    fn zone_maps(&self, uri: &str) -> Option<Vec<ColumnZone>> {
+        match self {
+            ChunkAccess::None => None,
+            ChunkAccess::Direct { source, .. } => source.zone_maps(uri),
+            ChunkAccess::Managed(residency) => residency.zone_maps(uri),
+        }
+    }
 }
 
 /// RAII guard: releases managed-chunk pins when stage 2 finishes (or
@@ -207,6 +252,13 @@ pub struct TwoStageConfig {
     /// pushdown, stage 2 deliberately materializes the full union (the
     /// ablation baseline).
     pub pushdown: bool,
+    /// Decode only the columns the query references (the
+    /// `projection_pushdown` pass). Applied on decode paths that do not
+    /// retain chunks across queries; retained chunks keep full width.
+    pub projection_pushdown: bool,
+    /// Drop chunks whose zone maps contradict the pushed-down predicate
+    /// before any decode is scheduled (the `zone_map_pruning` pass).
+    pub zone_map_pruning: bool,
     /// Use the Recycler chunk cache.
     pub use_cache: bool,
     /// Use FK join indices where available (eager-index plans).
@@ -230,6 +282,8 @@ impl Default for TwoStageConfig {
         TwoStageConfig {
             parallel: ParallelMode::Static,
             pushdown: true,
+            projection_pushdown: true,
+            zone_map_pruning: true,
             use_cache: true,
             use_index_joins: false,
             uri_column: String::new(),
@@ -254,6 +308,8 @@ pub struct ExecStats {
     pub files_selected: usize,
     /// Chunks skipped by approximate-answering sampling.
     pub files_sampled_out: usize,
+    /// Chunks dropped by the `zone_map_pruning` pass (never decoded).
+    pub files_pruned: usize,
     /// Chunks actually ingested (cache misses).
     pub files_loaded: usize,
     /// Chunks served by the Recycler.
@@ -281,6 +337,8 @@ impl ExecStats {
 pub struct QueryOutcome {
     pub relation: Relation,
     pub stats: ExecStats,
+    /// The stage-2 optimizer pass trace (which rewrite rules fired).
+    pub trace: Vec<PassTrace>,
 }
 
 /// Execute a (possibly decomposed) logical plan.
@@ -319,22 +377,8 @@ pub fn execute_plan(
         None => None,
     };
 
-    // ---- Run-time rewrite: determine the chunk list. ---------------
-    // The managed-residency path defers acquisition until the stage-2
-    // plan shape is known (fused decode→execute vs load-all); the
-    // legacy direct path loads everything here, as before.
-    let mut pin_guard: Option<PinGuard<'_>> = None;
-    let mut deferred_uris: Option<Vec<String>> = None;
+    // ---- Run-time chunk list: what stage 1 selected. ---------------
     let chunk_refs: Option<Vec<ChunkRef>> = if plan.has_lazy_scan() {
-        let all_chunks = || -> Result<Vec<String>> {
-            match &access {
-                ChunkAccess::None => Err(EngineError::Chunk(
-                    "plan has lazy scans but no chunk source given".into(),
-                )),
-                ChunkAccess::Direct { source, .. } => source.all_chunks(),
-                ChunkAccess::Managed(residency) => residency.all_chunks(),
-            }
-        };
         let uris: Vec<String> = match qf_id {
             Some(id) => {
                 // Fail fast if no access path exists at all.
@@ -346,112 +390,139 @@ pub fn execute_plan(
                 distinct_uris(&ctx.materialized[id], &config.uri_column)?
             }
             // Pure-AD query: load the whole repository.
-            None => all_chunks()?,
+            None => match &access {
+                ChunkAccess::None => {
+                    return Err(EngineError::Chunk(
+                        "plan has lazy scans but no chunk source given".into(),
+                    ))
+                }
+                ChunkAccess::Direct { source, .. } => source.all_chunks()?,
+                ChunkAccess::Managed(residency) => residency.all_chunks()?,
+            },
         };
         stats.files_selected = uris.len();
         let uris = sample_uris(uris, config.sampling, &mut stats);
-        let refs = match &access {
+        Some(match &access {
             ChunkAccess::None => unreachable!("checked above"),
-            ChunkAccess::Direct { source, recycler } => {
-                let t = Instant::now();
-                let refs: Vec<ChunkRef> = uris
-                    .iter()
-                    .map(|u| ChunkRef {
-                        uri: u.clone(),
-                        cached: config.use_cache
-                            && recycler.map(|r| r.contains(u)).unwrap_or(false),
-                    })
-                    .collect();
-                for r in refs.iter().filter(|r| r.cached) {
-                    let rel = recycler
-                        .expect("cached flag implies recycler")
-                        .get(&r.uri)
-                        .ok_or_else(|| {
-                            EngineError::Chunk(format!("chunk {:?} evicted mid-query", r.uri))
-                        })?;
-                    stats.cache_hits += 1;
-                    ctx.chunks.insert(r.uri.clone(), rel);
-                }
-                let to_load: Vec<&str> =
-                    refs.iter().filter(|r| !r.cached).map(|r| r.uri.as_str()).collect();
-                let loaded = match config.parallel {
-                    ParallelMode::Static => {
-                        load_static(*source, &to_load, config.max_threads)?
-                    }
-                    ParallelMode::Exchange { workers } => {
-                        load_exchange(*source, &to_load, workers)?
-                    }
-                };
-                for (uri, rel) in loaded {
-                    stats.files_loaded += 1;
-                    stats.rows_loaded += rel.rows() as u64;
-                    stats.bytes_loaded += rel.approx_bytes() as u64;
-                    let rel = Arc::new(rel);
-                    if config.use_cache {
-                        if let Some(r) = recycler {
-                            r.put(&uri, Arc::clone(&rel));
-                        }
-                    }
-                    ctx.chunks.insert(uri, rel);
-                }
-                stats.load = t.elapsed();
-                refs
-            }
-            ChunkAccess::Managed(residency) => {
-                let refs: Vec<ChunkRef> = uris
-                    .iter()
-                    .map(|u| ChunkRef { uri: u.clone(), cached: residency.is_resident(u) })
-                    .collect();
-                deferred_uris = Some(uris);
-                refs
-            }
-        };
-        Some(refs)
+            ChunkAccess::Direct { recycler, .. } => uris
+                .iter()
+                .map(|u| ChunkRef {
+                    uri: u.clone(),
+                    cached: config.use_cache
+                        && recycler.map(|r| r.contains(u)).unwrap_or(false),
+                })
+                .collect(),
+            ChunkAccess::Managed(residency) => uris
+                .iter()
+                .map(|u| ChunkRef { uri: u.clone(), cached: residency.is_resident(u) })
+                .collect(),
+        })
     } else {
         None
     };
 
-    // ---- Lower Qs; fuse aggregate-over-union chains. ---------------
-    let opts = LowerOptions {
-        db,
+    // ---- Stage-2 rewrite pipeline: zone-map pruning, the lazy-scan →
+    // union chunk rewrite (lowering), selection pushdown, partial-
+    // aggregate fusion, projection pushdown.
+    let zones = |uri: &str| access.zone_maps(uri);
+    let opts = Stage2Options {
         use_index_joins: config.use_index_joins,
-        lazy_chunks: chunk_refs.as_deref(),
-        chunk_pushdown: config.pushdown,
-        qf_result_id: qf_id,
+        pushdown: config.pushdown,
+        projection_pushdown: config.projection_pushdown,
+        zone_map_pruning: config.zone_map_pruning,
     };
-    let mut phys = fuse_partial_agg(lower(plan, &opts)?);
+    let s2 = optimizer::rewrite_stage2(plan, db, chunk_refs, Some(&zones), qf_id, &opts)?;
+    let mut phys = s2.physical;
+    let trace = s2.trace;
+    stats.files_pruned = s2.pruned;
+    let decode_projection = phys.decode_projection();
 
-    // ---- Chunk acquisition (managed residency). --------------------
-    if let (Some(uris), ChunkAccess::Managed(residency)) = (deferred_uris, &access) {
-        let t = Instant::now();
-        // Fuse decode into execution when the whole chunk consumption
-        // is one partial-agg pipeline; otherwise load-all (the union
-        // materializes anyway, and pins must span all of stage 2).
-        if !uris.is_empty() && phys.partial_agg_count() == 1 && phys.chunk_union_count() == 0
-        {
-            let node = phys.find_partial_agg().expect("counted above").clone();
-            let merged = fused_wave(*residency, &uris, &node, &ctx, config, &mut stats)?;
-            stats.load = t.elapsed();
-            let id = ctx.materialized.len();
-            ctx.materialized.push(Arc::new(merged));
-            phys.replace_first_partial_agg(id);
-        } else {
-            let acquired =
-                residency.acquire_many(&uris, config.parallel, config.max_threads)?;
-            // Pins are held until stage 2 is done (drop of the guard),
-            // so the manager cannot evict these chunks mid-query.
-            pin_guard = Some(PinGuard { residency: *residency, uris: uris.clone() });
-            for (uri, chunk) in uris.iter().zip(acquired) {
-                if chunk.loaded {
-                    stats.files_loaded += 1;
-                    stats.rows_loaded += chunk.relation.rows() as u64;
-                    stats.bytes_loaded += chunk.relation.approx_bytes() as u64;
-                } else {
-                    stats.cache_hits += 1;
+    // ---- Chunk acquisition over the (pruned) list. -----------------
+    let mut pin_guard: Option<PinGuard<'_>> = None;
+    match (&s2.chunks, &access) {
+        (None, _) | (_, ChunkAccess::None) => {}
+        (Some(refs), ChunkAccess::Direct { source, recycler }) => {
+            let t = Instant::now();
+            for r in refs.iter().filter(|r| r.cached) {
+                let rel =
+                    recycler.expect("cached flag implies recycler").get(&r.uri).ok_or_else(
+                        || EngineError::Chunk(format!("chunk {:?} evicted mid-query", r.uri)),
+                    )?;
+                stats.cache_hits += 1;
+                ctx.chunks.insert(r.uri.clone(), rel);
+            }
+            // The recycler retains whole chunks across queries, so a
+            // caching run must decode full width; projection applies
+            // only when nothing outlives this query.
+            let caching = config.use_cache && recycler.is_some();
+            let projection = if caching { None } else { decode_projection.as_deref() };
+            let to_load: Vec<&str> =
+                refs.iter().filter(|r| !r.cached).map(|r| r.uri.as_str()).collect();
+            let loaded = match config.parallel {
+                ParallelMode::Static => {
+                    load_static(*source, &to_load, projection, config.max_threads)?
                 }
-                ctx.chunks.insert(uri.clone(), chunk.relation);
+                ParallelMode::Exchange { workers } => {
+                    load_exchange(*source, &to_load, projection, workers)?
+                }
+            };
+            for (uri, rel) in loaded {
+                stats.files_loaded += 1;
+                stats.rows_loaded += rel.rows() as u64;
+                stats.bytes_loaded += rel.approx_bytes() as u64;
+                let rel = Arc::new(rel);
+                if caching {
+                    if let Some(r) = recycler {
+                        r.put(&uri, Arc::clone(&rel));
+                    }
+                }
+                ctx.chunks.insert(uri, rel);
             }
             stats.load = t.elapsed();
+        }
+        (Some(refs), ChunkAccess::Managed(residency)) => {
+            let uris: Vec<String> = refs.iter().map(|r| r.uri.clone()).collect();
+            let projection = decode_projection.as_deref();
+            let t = Instant::now();
+            // Fuse decode into execution when the whole chunk
+            // consumption is one partial-agg pipeline; otherwise
+            // load-all (the union materializes anyway, and pins must
+            // span all of stage 2).
+            if !uris.is_empty()
+                && phys.partial_agg_count() == 1
+                && phys.chunk_union_count() == 0
+            {
+                let node = phys.find_partial_agg().expect("counted above").clone();
+                let merged = fused_wave(
+                    *residency, &uris, projection, &node, &ctx, config, &mut stats,
+                )?;
+                stats.load = t.elapsed();
+                let id = ctx.materialized.len();
+                ctx.materialized.push(Arc::new(merged));
+                phys.replace_first_partial_agg(id);
+            } else {
+                let acquired = residency.acquire_many(
+                    &uris,
+                    projection,
+                    config.parallel,
+                    config.max_threads,
+                )?;
+                // Pins are held until stage 2 is done (drop of the
+                // guard), so the manager cannot evict these chunks
+                // mid-query.
+                pin_guard = Some(PinGuard { residency: *residency, uris: uris.clone() });
+                for (uri, chunk) in uris.iter().zip(acquired) {
+                    if chunk.loaded {
+                        stats.files_loaded += 1;
+                        stats.rows_loaded += chunk.relation.rows() as u64;
+                        stats.bytes_loaded += chunk.relation.approx_bytes() as u64;
+                    } else {
+                        stats.cache_hits += 1;
+                    }
+                    ctx.chunks.insert(uri.clone(), chunk.relation);
+                }
+                stats.load = t.elapsed();
+            }
         }
     }
 
@@ -462,7 +533,7 @@ pub fn execute_plan(
     stats.rows_union_materialized += ctx.counters.union_rows.load(Ordering::Relaxed);
     stats.partial_agg_chunks += ctx.counters.partial_agg_chunks.load(Ordering::Relaxed);
     drop(pin_guard);
-    Ok(QueryOutcome { relation, stats })
+    Ok(QueryOutcome { relation, stats, trace })
 }
 
 /// The fused decode→execute wave over one [`PhysicalPlan::PartialAggUnion`]:
@@ -473,6 +544,7 @@ pub fn execute_plan(
 fn fused_wave(
     residency: &dyn ChunkResidency,
     uris: &[String],
+    projection: Option<&[String]>,
     node: &PhysicalPlan,
     ctx: &ExecContext,
     config: &TwoStageConfig,
@@ -512,7 +584,7 @@ fn fused_wave(
         *slots[i].lock() = Some(part);
         Ok(())
     };
-    residency.acquire_each(uris, config.parallel, config.max_threads, &sink)?;
+    residency.acquire_each(uris, projection, config.parallel, config.max_threads, &sink)?;
     stats.files_loaded += loaded.load(Ordering::Relaxed) as usize;
     stats.cache_hits += hits.load(Ordering::Relaxed) as usize;
     stats.rows_loaded += rows.load(Ordering::Relaxed);
@@ -585,11 +657,12 @@ fn distinct_uris(rf: &Relation, uri_column: &str) -> Result<Vec<String>> {
 fn load_static(
     source: &dyn ChunkSource,
     uris: &[&str],
+    projection: Option<&[String]>,
     max_threads: usize,
 ) -> Result<Vec<(String, Relation)>> {
     let loaded =
         crate::exec::run_indexed(uris.len(), ParallelMode::Static, max_threads, |i| {
-            source.load_chunk(uris[i])
+            source.load_chunk(uris[i], projection)
         });
     let mut out = Vec::with_capacity(uris.len());
     for (uri, rel) in uris.iter().zip(loaded) {
@@ -604,15 +677,16 @@ fn load_static(
 fn load_exchange(
     source: &dyn ChunkSource,
     uris: &[&str],
+    projection: Option<&[String]>,
     workers: usize,
 ) -> Result<Vec<(String, Relation)>> {
     if uris.is_empty() {
         return Ok(Vec::new());
     }
     // Build the unit list (cheap: header reads, no decoding) ...
-    let mut slots: Vec<(usize, Mutex<Option<ChunkUnit>>)> = Vec::new();
+    let mut slots: Vec<(usize, Mutex<Option<ChunkUnit<'_>>>)> = Vec::new();
     for (fi, uri) in uris.iter().enumerate() {
-        for unit in source.chunk_units(uri)? {
+        for unit in source.chunk_units(uri, projection)? {
             slots.push((fi, Mutex::new(Some(unit))));
         }
     }
@@ -676,20 +750,35 @@ mod tests {
         }
     }
 
+    fn apply_projection(rel: Relation, projection: Option<&[String]>) -> Result<Relation> {
+        match projection {
+            Some(cols) => {
+                let wanted: Vec<(String, String)> =
+                    cols.iter().map(|c| (c.clone(), c.clone())).collect();
+                rel.project_named(&wanted)
+            }
+            None => Ok(rel),
+        }
+    }
+
     impl ChunkSource for FakeSource {
-        fn load_chunk(&self, uri: &str) -> Result<Relation> {
+        fn load_chunk(&self, uri: &str, projection: Option<&[String]>) -> Result<Relation> {
             self.loads.fetch_add(1, Ordering::Relaxed);
             let i: i64 = uri[1..]
                 .parse()
                 .map_err(|_| EngineError::Chunk(format!("unknown uri {uri:?}")))?;
-            Ok(Self::rel_for(i))
+            apply_projection(Self::rel_for(i), projection)
         }
 
-        fn chunk_units(&self, uri: &str) -> Result<Vec<ChunkUnit>> {
+        fn chunk_units<'s>(
+            &'s self,
+            uri: &str,
+            projection: Option<&[String]>,
+        ) -> Result<Vec<ChunkUnit<'s>>> {
             // Two units per chunk: split the 3 rows as 2 + 1.
             self.loads.fetch_add(1, Ordering::Relaxed);
             let i: i64 = uri[1..].parse().unwrap();
-            let full = Self::rel_for(i);
+            let full = apply_projection(Self::rel_for(i), projection)?;
             let a = full.take(&[0, 1]);
             let b = full.take(&[2]);
             Ok(vec![Box::new(move || Ok(a)), Box::new(move || Ok(b))])
@@ -734,6 +823,7 @@ mod tests {
         fn acquire_many(
             &self,
             uris: &[String],
+            _projection: Option<&[String]>,
             _parallel: ParallelMode,
             _max_threads: usize,
         ) -> Result<Vec<AcquiredChunk>> {
@@ -748,7 +838,8 @@ mod tests {
                             joined: false,
                         });
                     }
-                    let rel = Arc::new(self.source.load_chunk(u)?);
+                    // Retaining manager: always decodes full width.
+                    let rel = Arc::new(self.source.load_chunk(u, None)?);
                     resident.insert(u.clone(), Arc::clone(&rel));
                     Ok(AcquiredChunk { relation: rel, loaded: true, joined: false })
                 })

@@ -28,12 +28,12 @@ use sommelier_core::source::{
 use sommelier_core::{Result, SommelierError};
 use sommelier_engine::expr::ArithOp;
 use sommelier_engine::twostage::ChunkUnit;
-use sommelier_engine::{AggFunc, EngineError, Expr, Func, JoinEdge, Relation};
+use sommelier_engine::{AggFunc, ColumnZone, EngineError, Expr, Func, JoinEdge, Relation};
 use sommelier_sql::ViewDef;
 use sommelier_storage::column::TextColumn;
 use sommelier_storage::time::MS_PER_HOUR;
 use sommelier_storage::{
-    ColumnData, ConstraintPolicy, DataType, Database, TableClass, TableSchema,
+    ColumnData, ConstraintPolicy, DataType, Database, TableClass, TableSchema, Value,
 };
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -163,6 +163,26 @@ pub fn windowdataview() -> ViewDef {
     view
 }
 
+/// `filedataview = F ⋈ D` — file metadata joined straight to the
+/// samples, bypassing the segment table. Queries through this view get
+/// no segment-level inference (the `S`-based rule needs `S` in scope),
+/// which makes it the showcase for zone-map chunk pruning: the
+/// per-file `D.sample_time` zones recorded at registration prune the
+/// chunk list instead.
+pub fn filedataview() -> ViewDef {
+    ViewDef {
+        name: "filedataview".into(),
+        tables: vec!["F".into(), "D".into()],
+        joins: vec![JoinEdge::new(
+            "F",
+            "D",
+            vec![Expr::col("F.file_id")],
+            vec![Expr::col("D.file_id")],
+        )
+        .expect("static edge")],
+    }
+}
+
 /// `segview = F ⋈ S` — metadata only (T1 queries).
 pub fn segview() -> ViewDef {
     ViewDef {
@@ -217,7 +237,7 @@ pub fn mseed_descriptor() -> SourceDescriptor {
     SourceDescriptor {
         name: "mseed".into(),
         schemas: all_schemas(),
-        views: vec![dataview(), windowdataview(), segview(), windowview()],
+        views: vec![dataview(), windowdataview(), filedataview(), segview(), windowview()],
         chunk_table: "F".into(),
         chunk_id_column: "file_id".into(),
         chunk_uri_column: "uri".into(),
@@ -234,6 +254,7 @@ pub fn mseed_descriptor() -> SourceDescriptor {
             max_expr: segment_end_expr(),
             data_type: DataType::Timestamp,
         }],
+        prunable_columns: vec!["D.sample_time".into()],
         dmd: Some(DmdSpec {
             table: "H".into(),
             dims: vec![
@@ -281,18 +302,52 @@ pub fn mseed_descriptor() -> SourceDescriptor {
     }
 }
 
-/// Build the D-schema relation for one decoded segment.
-fn segment_relation(file_id: i64, seg_id: i64, seg: &SegmentData) -> Relation {
+/// Build the D-schema relation for one decoded segment, materializing
+/// only the projected columns (all four when `projection` is `None`).
+fn segment_relation(
+    file_id: i64,
+    seg_id: i64,
+    seg: &SegmentData,
+    projection: Option<&[String]>,
+) -> Relation {
+    let want = |col: &str| projection.is_none_or(|p| p.iter().any(|c| c == col));
     let n = seg.samples.len();
-    let times: Vec<i64> = (0..n as u32).map(|i| seg.meta.sample_time(i)).collect();
-    let values: Vec<f64> = seg.samples.iter().map(|&v| v as f64).collect();
-    Relation::new(vec![
-        ("D.file_id".into(), ColumnData::Int64(vec![file_id; n])),
-        ("D.seg_id".into(), ColumnData::Int64(vec![seg_id; n])),
-        ("D.sample_time".into(), ColumnData::Timestamp(times)),
-        ("D.sample_value".into(), ColumnData::Float64(values)),
-    ])
-    .expect("columns are aligned by construction")
+    let mut cols: Vec<(String, ColumnData)> = Vec::with_capacity(4);
+    if want("D.file_id") {
+        cols.push(("D.file_id".into(), ColumnData::Int64(vec![file_id; n])));
+    }
+    if want("D.seg_id") {
+        cols.push(("D.seg_id".into(), ColumnData::Int64(vec![seg_id; n])));
+    }
+    if want("D.sample_time") {
+        let times: Vec<i64> = (0..n as u32).map(|i| seg.meta.sample_time(i)).collect();
+        cols.push(("D.sample_time".into(), ColumnData::Timestamp(times)));
+    }
+    if want("D.sample_value") {
+        let values: Vec<f64> = seg.samples.iter().map(|&v| v as f64).collect();
+        cols.push(("D.sample_value".into(), ColumnData::Float64(values)));
+    }
+    Relation::new(cols).expect("columns are aligned by construction")
+}
+
+/// The `D.sample_time` zone map of one registered file: the inclusive
+/// min/max sample time over its segments, straight from the headers.
+fn time_zone_of(segments: &[crate::SegmentMeta]) -> Vec<ColumnZone> {
+    let spans: Vec<(i64, i64)> = segments
+        .iter()
+        .filter(|s| s.sample_count > 0)
+        .map(|s| (s.sample_time(0), s.sample_time(s.sample_count - 1)))
+        .collect();
+    let (Some(&(lo, _)), Some(&(_, hi))) =
+        (spans.iter().min_by_key(|(lo, _)| *lo), spans.iter().max_by_key(|(_, hi)| *hi))
+    else {
+        return Vec::new();
+    };
+    vec![ColumnZone {
+        column: "D.sample_time".into(),
+        min: Value::Time(lo),
+        max: Value::Time(hi),
+    }]
 }
 
 /// Read headers of all files, in parallel, preserving file order.
@@ -402,6 +457,7 @@ impl SourceAdapter for MseedAdapter {
                 file_id,
                 seg_base,
                 seg_count: header.segments.len() as u32,
+                zones: time_zone_of(&header.segments),
             });
         }
 
@@ -434,36 +490,52 @@ impl SourceAdapter for MseedAdapter {
         Ok(entries)
     }
 
-    fn load_chunk(&self, entry: &FileEntry) -> sommelier_engine::Result<Relation> {
+    fn decode(
+        &self,
+        entry: &FileEntry,
+        projection: Option<&[String]>,
+    ) -> sommelier_engine::Result<Relation> {
         let file = crate::read_full(Path::new(&entry.uri))
             .map_err(|e| EngineError::Chunk(e.to_string()))?;
         let mut out = Relation::empty();
         for (k, seg) in file.segments.iter().enumerate() {
-            let rel = segment_relation(entry.file_id, entry.seg_base + k as i64, seg);
+            let rel =
+                segment_relation(entry.file_id, entry.seg_base + k as i64, seg, projection);
             out.union_in_place(&rel)?;
         }
         if out.width() == 0 {
             // Zero-segment chunk: produce an empty D-shaped relation.
-            out = sommelier_core::source::empty_ad_relation(&self.descriptor)?;
+            out = sommelier_core::source::empty_ad_relation(&self.descriptor, projection)?;
         }
         Ok(out)
     }
 
-    fn chunk_units(&self, entry: &FileEntry) -> sommelier_engine::Result<Vec<ChunkUnit>> {
+    fn chunk_units<'s>(
+        &'s self,
+        entry: &FileEntry,
+        projection: Option<&[String]>,
+    ) -> sommelier_engine::Result<Vec<ChunkUnit<'s>>> {
         let (bytes, header) = read_full_bytes(Path::new(&entry.uri))
             .map_err(|e| EngineError::Chunk(e.to_string()))?;
         let bytes = Arc::new(bytes);
         let header = Arc::new(header);
         let file_id = entry.file_id;
         let seg_base = entry.seg_base;
+        let projection = projection.map(<[String]>::to_vec);
         Ok((0..header.segments.len())
             .map(|k| {
                 let bytes = Arc::clone(&bytes);
                 let header = Arc::clone(&header);
-                let unit: ChunkUnit = Box::new(move || {
+                let projection = projection.clone();
+                let unit: ChunkUnit<'s> = Box::new(move || {
                     let seg = decode_segment(&bytes, &header, k)
                         .map_err(|e| EngineError::Chunk(e.to_string()))?;
-                    Ok(segment_relation(file_id, seg_base + k as i64, &seg))
+                    Ok(segment_relation(
+                        file_id,
+                        seg_base + k as i64,
+                        &seg,
+                        projection.as_deref(),
+                    ))
                 });
                 unit
             })
@@ -523,7 +595,7 @@ mod tests {
     #[test]
     fn views_reference_known_tables() {
         let names: Vec<String> = all_schemas().into_iter().map(|s| s.name).collect();
-        for v in [dataview(), windowdataview(), segview(), windowview()] {
+        for v in [dataview(), windowdataview(), filedataview(), segview(), windowview()] {
             for t in &v.tables {
                 assert!(names.contains(t), "view {} references unknown {t}", v.name);
             }
@@ -668,6 +740,7 @@ mod tests {
             file_id: 7,
             seg_base: 100,
             seg_count: 2,
+            zones: vec![],
         }
     }
 
@@ -676,7 +749,7 @@ mod tests {
         let dir = temp_dir("load");
         let entry = write_test_chunk(&dir);
         let adapter = MseedAdapter::new(Repository::at(&dir));
-        let rel = adapter.load_chunk(&entry).unwrap();
+        let rel = adapter.decode(&entry, None).unwrap();
         assert_eq!(rel.rows(), 5);
         assert_eq!(rel.column("D.file_id").unwrap().as_i64().unwrap(), &[7, 7, 7, 7, 7]);
         assert_eq!(
@@ -700,7 +773,7 @@ mod tests {
         let dir = temp_dir("units");
         let entry = write_test_chunk(&dir);
         let adapter = MseedAdapter::new(Repository::at(&dir));
-        let units = adapter.chunk_units(&entry).unwrap();
+        let units = adapter.chunk_units(&entry, None).unwrap();
         assert_eq!(units.len(), 2);
         let mut total = 0;
         for u in units {

@@ -1,0 +1,253 @@
+//! Optimizer-pass equivalence: the two new rewrite passes —
+//! `projection_pushdown` and `zone_map_pruning` — must never change
+//! answers, only costs. T1–T5 run on both built-in adapters with each
+//! pass individually disabled vs enabled; results must be
+//! byte-identical (same lazy chunk-by-chunk execution shape in every
+//! configuration, so exact bit equality is required, not float
+//! tolerance). The cost assertions then check each pass actually
+//! does something: zone maps prune chunks, projection prunes decoded
+//! bytes.
+
+use sommelier_core::adapters::{generate_event_logs, EventLogAdapter, EventLogSpec};
+use sommelier_core::{LoadingMode, QueryResult, Sommelier, SommelierConfig};
+use sommelier_integration::{ingv_repo, TempDir};
+use sommelier_mseed::Repository;
+use sommelier_storage::Value;
+use std::path::Path;
+
+/// Knob matrix entry: (projection_pushdown, zone_map_pruning).
+const KNOBS: [(bool, bool); 4] = [(true, true), (false, true), (true, false), (false, false)];
+
+/// The ablation configuration: no recycler, so every run decodes its
+/// chunks (and the non-retaining cellar honors the decode projection).
+fn config(projection: bool, zone: bool) -> SommelierConfig {
+    SommelierConfig {
+        use_recycler: false,
+        projection_pushdown: projection,
+        zone_map_pruning: zone,
+        ..SommelierConfig::default()
+    }
+}
+
+fn mseed_system(repo: &Repository, cfg: SommelierConfig) -> Sommelier {
+    let somm = sommelier_integration::in_memory_system(repo, cfg).unwrap();
+    somm.prepare(LoadingMode::Lazy).unwrap();
+    somm
+}
+
+fn eventlog_system(logs: &Path, cfg: SommelierConfig) -> Sommelier {
+    let somm =
+        Sommelier::builder().source(EventLogAdapter::new(logs)).config(cfg).build().unwrap();
+    somm.prepare(LoadingMode::Lazy).unwrap();
+    somm
+}
+
+/// T1–T5 against the seismology source, including the zone-map
+/// showcase (`filedataview` carries no segment table, so metadata
+/// inference cannot narrow the chunk list — only zone maps can).
+fn mseed_queries() -> Vec<&'static str> {
+    vec![
+        "SELECT COUNT(*) AS n FROM F WHERE station = 'ISK'",
+        "SELECT window_start_ts, window_max_val FROM H \
+         WHERE window_station = 'ISK' AND window_channel = 'BHE' \
+         AND window_start_ts < '2010-01-01T04:00:00.000' \
+         ORDER BY window_start_ts",
+        "SELECT COUNT(*) AS n FROM windowview \
+         WHERE F.station = 'ISK' AND H.window_max_val > -1000000000 \
+         AND H.window_start_ts < '2010-01-01T04:00:00.000'",
+        MSEED_ZONE_T4,
+        "SELECT AVG(D.sample_value) FROM windowdataview \
+         WHERE F.station = 'ISK' AND H.window_max_val > -1000000000 \
+         AND H.window_start_ts < '2010-01-01T04:00:00.000'",
+    ]
+}
+
+/// The mSEED zone-map showcase: a one-day window through the
+/// segment-free view selects every ISK chunk in stage 1.
+const MSEED_ZONE_T4: &str = "SELECT AVG(D.sample_value) FROM filedataview \
+     WHERE F.station = 'ISK' \
+     AND D.sample_time >= '2010-01-01T00:00:00.000' \
+     AND D.sample_time < '2010-01-02T00:00:00.000'";
+
+/// T1–T5 against the event-log source. The T4 is the value-zone
+/// showcase: `threshold` comes from the per-file statistics in the
+/// headers, chosen so some files' maxima sit below it.
+fn eventlog_queries(threshold: f64) -> Vec<String> {
+    vec![
+        "SELECT COUNT(*) AS n FROM G WHERE host = 'web-1'".into(),
+        "SELECT day_start_ts, day_max_val FROM Y \
+         WHERE day_host = 'web-1' AND day_service = 'api' \
+         AND day_start_ts < '2011-03-03T00:00:00.000' \
+         ORDER BY day_start_ts"
+            .into(),
+        "SELECT COUNT(*) AS n FROM dayview \
+         WHERE G.host = 'web-1' AND Y.day_max_val > 0 \
+         AND Y.day_start_ts < '2011-03-03T00:00:00.000'"
+            .into(),
+        eventlog_zone_t4(threshold),
+        "SELECT AVG(E.val) FROM daylogview \
+         WHERE G.host = 'web-1' AND Y.day_max_val > 0 \
+         AND Y.day_start_ts < '2011-03-03T00:00:00.000'"
+            .into(),
+    ]
+}
+
+fn eventlog_zone_t4(threshold: f64) -> String {
+    format!("SELECT COUNT(E.val) AS n FROM eventview WHERE G.host = 'web-1' AND E.val > {threshold}")
+}
+
+/// A midpoint between the smallest and largest per-file `E.val` maxima
+/// (the adapter reads its own header statistics), so a value predicate
+/// above it contradicts some files' zones but not others'.
+fn val_threshold(logs: &Path) -> f64 {
+    sommelier_core::adapters::value_stats_midpoint(logs, None)
+        .unwrap()
+        .expect("per-file maxima must differ for the showcase to mean anything")
+}
+
+/// Exact bit-level rendering of a result (floats as their raw bits).
+fn bits(r: &QueryResult) -> String {
+    let rel = &r.relation;
+    let mut out = format!("{:?}|", rel.names());
+    for row in 0..rel.rows() {
+        for name in rel.names() {
+            match rel.value(row, name).unwrap() {
+                Value::Float(f) => out.push_str(&format!("f{:016x},", f.to_bits())),
+                other => out.push_str(&format!("{other:?},")),
+            }
+        }
+        out.push(';');
+    }
+    out
+}
+
+#[test]
+fn mseed_t1_t5_byte_identical_across_pass_knobs() {
+    let dir = TempDir::new("opteq-mseed");
+    let repo = ingv_repo(&dir, 3, 16);
+    let baseline: Vec<String> = {
+        let somm = mseed_system(&repo, config(true, true));
+        mseed_queries().iter().map(|sql| bits(&somm.query(sql).unwrap())).collect()
+    };
+    for (projection, zone) in &KNOBS[1..] {
+        let somm = mseed_system(&repo, config(*projection, *zone));
+        for (sql, want) in mseed_queries().iter().zip(&baseline) {
+            let got = bits(&somm.query(sql).unwrap());
+            assert_eq!(
+                &got, want,
+                "projection={projection} zone={zone} changed the answer of {sql}"
+            );
+        }
+    }
+}
+
+#[test]
+fn eventlog_t1_t5_byte_identical_across_pass_knobs() {
+    let dir = TempDir::new("opteq-evl");
+    let logs = dir.join("logs");
+    generate_event_logs(&logs, &EventLogSpec::small(4, 64)).unwrap();
+    let threshold = val_threshold(&logs);
+    let baseline: Vec<String> = {
+        let somm = eventlog_system(&logs, config(true, true));
+        eventlog_queries(threshold)
+            .iter()
+            .map(|sql| bits(&somm.query(sql).unwrap()))
+            .collect()
+    };
+    for (projection, zone) in &KNOBS[1..] {
+        let somm = eventlog_system(&logs, config(*projection, *zone));
+        for (sql, want) in eventlog_queries(threshold).iter().zip(&baseline) {
+            let got = bits(&somm.query(sql).unwrap());
+            assert_eq!(
+                &got, want,
+                "projection={projection} zone={zone} changed the answer of {sql}"
+            );
+        }
+    }
+}
+
+#[test]
+fn zone_maps_prune_mseed_chunks_before_decode() {
+    let dir = TempDir::new("optzone-mseed");
+    let repo = ingv_repo(&dir, 3, 16);
+    // No segment table in the view → stage 1 selects every ISK chunk.
+    let off = mseed_system(&repo, config(true, false)).query(MSEED_ZONE_T4).unwrap();
+    assert_eq!(off.stats.files_pruned, 0);
+    assert_eq!(off.stats.files_loaded, 3, "one ISK chunk per day, all decoded");
+    let on = mseed_system(&repo, config(true, true)).query(MSEED_ZONE_T4).unwrap();
+    assert_eq!(on.stats.files_selected, 3);
+    assert_eq!(on.stats.files_pruned, 2, "two days contradict the window");
+    assert_eq!(on.stats.files_loaded, 1);
+    assert_eq!(bits(&on), bits(&off), "pruning never changes the answer");
+    assert!(
+        on.trace.iter().any(|t| t.name == "zone_map_pruning" && t.fired),
+        "trace records the pruning pass: {:?}",
+        on.trace
+    );
+}
+
+#[test]
+fn zone_maps_prune_eventlog_chunks_on_value_statistics() {
+    let dir = TempDir::new("optzone-evl");
+    let logs = dir.join("logs");
+    generate_event_logs(&logs, &EventLogSpec::small(4, 64)).unwrap();
+    let sql = eventlog_zone_t4(val_threshold(&logs));
+    let off = eventlog_system(&logs, config(true, false)).query(&sql).unwrap();
+    assert_eq!(off.stats.files_pruned, 0);
+    let on = eventlog_system(&logs, config(true, true)).query(&sql).unwrap();
+    assert!(on.stats.files_pruned > 0, "some files' maxima sit below the threshold");
+    assert!(on.stats.files_loaded < off.stats.files_loaded);
+    assert_eq!(bits(&on), bits(&off), "pruning never changes the answer");
+}
+
+#[test]
+fn projection_pushdown_reduces_decoded_bytes() {
+    // mSEED: the filedataview query needs 3 of D's 4 columns.
+    let dir = TempDir::new("optproj-mseed");
+    let repo = ingv_repo(&dir, 2, 64);
+    let off = mseed_system(&repo, config(false, false)).query(MSEED_ZONE_T4).unwrap();
+    let on = mseed_system(&repo, config(true, false)).query(MSEED_ZONE_T4).unwrap();
+    assert_eq!(on.stats.files_loaded, off.stats.files_loaded);
+    assert!(
+        on.stats.bytes_loaded < off.stats.bytes_loaded,
+        "narrow decode must shrink decoded bytes: {} vs {}",
+        on.stats.bytes_loaded,
+        off.stats.bytes_loaded
+    );
+    assert_eq!(bits(&on), bits(&off));
+    assert!(on.trace.iter().any(|t| t.name == "projection_pushdown" && t.fired));
+
+    // Event log: the value query needs E.log_id + E.val but not E.ts.
+    let dir = TempDir::new("optproj-evl");
+    let logs = dir.join("logs");
+    generate_event_logs(&logs, &EventLogSpec::small(3, 64)).unwrap();
+    let sql = eventlog_zone_t4(val_threshold(&logs));
+    let off = eventlog_system(&logs, config(false, false)).query(&sql).unwrap();
+    let on = eventlog_system(&logs, config(true, false)).query(&sql).unwrap();
+    assert!(on.stats.bytes_loaded < off.stats.bytes_loaded);
+    assert_eq!(bits(&on), bits(&off));
+}
+
+#[test]
+fn explain_prints_the_pass_trace() {
+    let dir = TempDir::new("optexplain");
+    let logs = dir.join("logs");
+    generate_event_logs(&logs, &EventLogSpec::small(1, 8)).unwrap();
+    let somm = eventlog_system(&logs, SommelierConfig::default());
+    let plan =
+        somm.explain("SELECT AVG(E.val) FROM eventview WHERE G.host = 'web-1'").unwrap();
+    assert!(plan.contains("-- optimizer passes"), "{plan}");
+    for pass in [
+        "join_order",
+        "zone_map_pruning",
+        "chunk_rewrite",
+        "selection_pushdown",
+        "partial_agg_fusion",
+        "projection_pushdown",
+    ] {
+        assert!(plan.contains(pass), "missing {pass} in {plan}");
+    }
+    assert!(plan.contains("partial_agg_fusion: fired"), "{plan}");
+    // Projection pushdown is visible in the physical shape too.
+    assert!(plan.contains("(projected decode)"), "{plan}");
+}
