@@ -67,12 +67,25 @@ fn bench_fig9(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_decode(c: &mut Criterion) {
+    let scale = tiny_scale("dec");
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+    // Scaled-down sf-reg registry (2 000 chunks instead of 100 000):
+    // same code paths, criterion-friendly iteration cost.
+    g.bench_function("decode_hotpath_and_stage1_index", |b| {
+        b.iter(|| black_box(experiments::decode_hotpath_sized(&scale, 2_000).unwrap()))
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_table2,
     bench_table3_fig6,
     bench_fig7,
     bench_fig8,
-    bench_fig9
+    bench_fig9,
+    bench_decode
 );
 criterion_main!(benches);

@@ -13,4 +13,5 @@ fn main() {
     sommelier_bench::experiments::cellar_sweep(&scale).expect("cellar sweep").print();
     sommelier_bench::experiments::stage2_parallel(&scale).expect("stage2 sweep").print();
     sommelier_bench::experiments::optimizer_sweep(&scale).expect("optimizer sweep").print();
+    sommelier_bench::experiments::decode_hotpath(&scale).expect("decode sweep").print();
 }

@@ -709,6 +709,207 @@ pub fn optimizer_sweep(scale: &BenchScale) -> Result<Table> {
     Ok(t)
 }
 
+/// Decode hot path sweep — two measurements behind `load_s` being ~95 %
+/// of lazy query wall time after the stage-2 optimizations:
+///
+/// 1. **decode** — T4/T5 (sf-1, recycler off, 1 worker, simulated I/O
+///    off so the decode itself is what's timed): the single-pass
+///    arena-backed columnar decode vs the retained reference decode
+///    (per-segment relations + unions, the pre-PR code path).
+///    `result_bits` must be identical in every row, and must match the
+///    committed stage-2 baseline.
+/// 2. **stage1** — candidate selection over the `sf-reg` registry
+///    (`SOMM_REG_CHUNKS` registered chunks, headers only): the sorted
+///    zone interval index vs the linear per-chunk registry scan, on a
+///    two-day window. The candidate sets must be identical.
+pub fn decode_hotpath(scale: &BenchScale) -> Result<Table> {
+    decode_hotpath_sized(scale, crate::datasets::sf_reg_chunks())
+}
+
+/// [`decode_hotpath`] with an explicit `sf-reg` registry size (the
+/// criterion wrapper runs a scaled-down registry; the `decode` binary
+/// uses the full `SOMM_REG_CHUNKS`).
+pub fn decode_hotpath_sized(scale: &BenchScale, reg_chunks: usize) -> Result<Table> {
+    use crate::datasets::sf_reg_registry;
+    use crate::runner::fresh_system_with_adapter;
+    use sommelier_engine::{CmpOp, ZoneConstraint};
+    use sommelier_mseed::{MseedAdapter, Repository};
+
+    let mut t = Table::new(
+        "Decode hot path: single-pass decode vs reference, indexed vs linear stage-1 \
+         selection",
+        &[
+            "experiment",
+            "query",
+            "variant",
+            "wall_s",
+            "load_s",
+            "rows_decoded",
+            "files",
+            "speedup",
+            "result_bits",
+        ],
+    );
+
+    // ---- 1. Chunk decode (FIAM sf-1, recycler off, 1 worker) -------
+    let sf = 1;
+    let (repo, _) = dataset(scale, DatasetKind::Fiam, sf);
+    let total_days = days_for_sf(sf) as i64;
+    let (a, b) = queries::day_range(start_day(), total_days);
+    let sqls = [("T4", queries::t4_selectivity(a, b)), ("T5", queries::t5_selectivity(a, b))];
+    // Decode-bound configuration: no recycler (every run decodes), one
+    // worker (serial decode cost, not parallel overlap), simulated I/O
+    // off (the sleep would swamp the decode being measured).
+    let config = || SommelierConfig {
+        use_recycler: false,
+        max_threads: 1,
+        sim_io: None,
+        sim_chunk_io: None,
+        ..bench_config(scale)
+    };
+    for (name, sql) in &sqls {
+        // The recorded PR-4 load_s under this exact configuration
+        // (measured from a build of the PR-4 commit — see
+        // EXPERIMENTS.md for the recipe). When present it is the
+        // speedup baseline and appears as its own row; otherwise the
+        // in-run reference-decode ablation is the baseline.
+        let pr4: Option<f64> =
+            std::env::var(format!("SOMM_PR4_LOAD_{name}")).ok().and_then(|v| v.parse().ok());
+        if let Some(load) = pr4 {
+            t.row(vec![
+                "decode".into(),
+                name.to_string(),
+                "pr4_baseline".into(),
+                "-".into(),
+                format!("{load:.6}"),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "recorded from the PR-4 build".into(),
+            ]);
+        }
+        let mut reference_load = None;
+        for reference in [true, false] {
+            let adapter = MseedAdapter::new(Repository::at(repo.dir()));
+            let adapter = if reference { adapter.with_reference_decode() } else { adapter };
+            let guard =
+                fresh_system_with_adapter(scale, adapter, LoadingMode::Lazy, config())?;
+            // Warm run: derive any DMd the query needs (T5's windows)
+            // so the timed runs measure chunk decode, not derivation.
+            guard.somm.query(sql)?;
+            let runs = scale.runs.max(1);
+            let mut wall = std::time::Duration::ZERO;
+            let mut load = std::time::Duration::ZERO;
+            let mut last = None;
+            for _ in 0..runs {
+                guard.somm.flush_caches();
+                let (r, d) = time_it(|| guard.somm.query(sql));
+                let r = r?;
+                wall += d;
+                load += r.stats.load;
+                last = Some(r);
+            }
+            let last = last.expect("runs >= 1");
+            let avg = match last
+                .relation
+                .value(0, "avg")
+                .map_err(sommelier_core::SommelierError::Engine)?
+            {
+                sommelier_storage::Value::Float(v) => v,
+                other => {
+                    return Err(sommelier_core::SommelierError::Usage(format!(
+                        "expected a float AVG, got {other:?}"
+                    )))
+                }
+            };
+            let load = load / runs as u32;
+            let speedup = match (reference_load, pr4) {
+                (None, _) => {
+                    reference_load = Some(load);
+                    "-".to_string()
+                }
+                // Speedup vs the recorded PR-4 load when available,
+                // else vs the in-run reference-decode ablation.
+                (Some(reference), baseline) => {
+                    let baseline = baseline.unwrap_or(reference.as_secs_f64());
+                    format!("{:.2}", baseline / load.as_secs_f64().max(1e-12))
+                }
+            };
+            t.row(vec![
+                "decode".into(),
+                name.to_string(),
+                if reference { "reference" } else { "single_pass" }.to_string(),
+                secs(wall / runs as u32),
+                secs(load),
+                last.stats.rows_loaded.to_string(),
+                last.stats.files_loaded.to_string(),
+                speedup,
+                format!("{:016x}", avg.to_bits()),
+            ]);
+        }
+    }
+
+    // ---- 2. Stage-1 candidate selection (sf-reg, headers only) -----
+    let n = reg_chunks.max(1);
+    let registry = sf_reg_registry(n);
+    // A two-day window, mid-registry: the indexed path must find the
+    // handful of covering chunks without touching the other ~n entries.
+    let days = (n / 4) as i64;
+    let d0 = 14_610 + days / 2;
+    let (lo, hi) = queries::day_range(d0, 2.min(days.max(1)));
+    let constraints = vec![
+        ZoneConstraint {
+            column: "D.sample_time".into(),
+            op: CmpOp::Ge,
+            value: sommelier_storage::Value::Time(lo),
+        },
+        ZoneConstraint {
+            column: "D.sample_time".into(),
+            op: CmpOp::Lt,
+            value: sommelier_storage::Value::Time(hi),
+        },
+    ];
+    let reps = (scale.runs.max(1) * 5).max(10);
+    let (linear, linear_t) = time_it(|| {
+        let mut last = Vec::new();
+        for _ in 0..reps {
+            last = registry.linear_candidate_positions(&constraints);
+        }
+        last
+    });
+    let (indexed, indexed_t) = time_it(|| {
+        let mut last = Vec::new();
+        for _ in 0..reps {
+            last = registry
+                .indexed_candidate_positions(&constraints)
+                .expect("sf-reg zones are indexed");
+        }
+        last
+    });
+    if indexed != linear {
+        return Err(sommelier_core::SommelierError::Usage(format!(
+            "indexed candidates diverge from the linear scan: {} vs {} hits",
+            indexed.len(),
+            linear.len()
+        )));
+    }
+    let speedup = linear_t.as_secs_f64() / indexed_t.as_secs_f64().max(1e-12);
+    for (variant, duration) in [("linear_scan", linear_t), ("interval_index", indexed_t)] {
+        t.row(vec![
+            "stage1".into(),
+            format!("{n}-chunk window"),
+            variant.to_string(),
+            secs(duration / reps as u32),
+            "-".into(),
+            "-".into(),
+            indexed.len().to_string(),
+            if variant == "interval_index" { format!("{speedup:.1}") } else { "-".into() },
+            format!("hits:{}", indexed.len()),
+        ]);
+    }
+    Ok(t)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

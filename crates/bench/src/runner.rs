@@ -76,17 +76,31 @@ pub fn fresh_system_with(
     mode: LoadingMode,
     config: SommelierConfig,
 ) -> sommelier_core::Result<SystemGuard> {
+    fresh_system_with_adapter(
+        scale,
+        MseedAdapter::new(Repository::at(repo.dir())),
+        mode,
+        config,
+    )
+}
+
+/// Like [`fresh_system_with`], but over a caller-built adapter (the
+/// decode sweep compares the single-pass and reference decode paths of
+/// the same repository).
+pub fn fresh_system_with_adapter(
+    scale: &BenchScale,
+    adapter: MseedAdapter,
+    mode: LoadingMode,
+    config: SommelierConfig,
+) -> sommelier_core::Result<SystemGuard> {
     let db_dir = scale.data_dir.join(format!(
         "scratch-db-{}-{}",
         std::process::id(),
         SCRATCH_SEQ.fetch_add(1, Ordering::Relaxed)
     ));
     let _ = std::fs::remove_dir_all(&db_dir);
-    let somm = Sommelier::builder()
-        .source(MseedAdapter::new(Repository::at(repo.dir())))
-        .config(config)
-        .on_disk(&db_dir)
-        .build()?;
+    let somm =
+        Sommelier::builder().source(adapter).config(config).on_disk(&db_dir).build()?;
     let prep = somm.prepare(mode)?;
     Ok(SystemGuard { somm, prep, db_dir })
 }

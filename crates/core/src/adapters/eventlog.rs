@@ -42,6 +42,7 @@ use crate::source::{
 };
 use parking_lot::Mutex;
 use sommelier_engine::expr::ArithOp;
+use sommelier_engine::relation::RelationBuilder;
 use sommelier_engine::{AggFunc, ColumnZone, EngineError, Expr, Func, JoinEdge, Relation};
 use sommelier_sql::ViewDef;
 use sommelier_storage::column::TextColumn;
@@ -49,7 +50,7 @@ use sommelier_storage::time::{civil_from_days, days_from_civil, MS_PER_DAY};
 use sommelier_storage::{
     ColumnData, ConstraintPolicy, DataType, Database, TableClass, TableSchema, Value,
 };
-use std::io::{BufRead, Write};
+use std::io::{BufRead, Read, Write};
 use std::path::{Path, PathBuf};
 
 /// Schema of the given-metadata log-file table `G`.
@@ -409,12 +410,69 @@ fn zones_of(header: &LogHeader) -> Vec<ColumnZone> {
 pub struct EventLogAdapter {
     dir: PathBuf,
     descriptor: SourceDescriptor,
+    reference_decode: bool,
 }
 
 impl EventLogAdapter {
     /// An adapter over the repository directory `dir`.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
-        EventLogAdapter { dir: dir.into(), descriptor: descriptor() }
+        EventLogAdapter { dir: dir.into(), descriptor: descriptor(), reference_decode: false }
+    }
+
+    /// Route [`SourceAdapter::decode`] through the pre-builder
+    /// reference path ([`Self::decode_reference`]) — the decode-sweep
+    /// baseline and the oracle of the old-vs-new equivalence tests.
+    pub fn with_reference_decode(mut self) -> Self {
+        self.reference_decode = true;
+        self
+    }
+
+    /// The reference decode: per-chunk allocation of the file text and
+    /// unsized column vectors. Kept as the baseline the single-pass
+    /// pre-sized decode is tested against (results must be
+    /// byte-identical).
+    pub fn decode_reference(
+        &self,
+        entry: &FileEntry,
+        projection: Option<&[String]>,
+    ) -> sommelier_engine::Result<Relation> {
+        let want = |col: &str| projection.is_none_or(|p| p.iter().any(|c| c == col));
+        let (want_id, want_ts, want_val) = (want("E.log_id"), want("E.ts"), want("E.val"));
+        let text = std::fs::read_to_string(&entry.uri)
+            .map_err(|e| EngineError::Chunk(format!("reading {}: {e}", entry.uri)))?;
+        let mut ids = Vec::new();
+        let mut ts = Vec::new();
+        let mut vals = Vec::new();
+        for line in text.lines().skip(1) {
+            if line.is_empty() {
+                continue;
+            }
+            let bad =
+                || EngineError::Chunk(format!("malformed event {line:?} in {}", entry.uri));
+            let (t, v) = line.split_once(',').ok_or_else(bad)?;
+            let t = t.parse::<i64>().map_err(|_| bad())?;
+            let v = v.parse::<f64>().map_err(|_| bad())?;
+            if want_id {
+                ids.push(entry.file_id);
+            }
+            if want_ts {
+                ts.push(t);
+            }
+            if want_val {
+                vals.push(v);
+            }
+        }
+        let mut cols: Vec<(String, ColumnData)> = Vec::new();
+        if want_id {
+            cols.push(("E.log_id".into(), ColumnData::Int64(ids)));
+        }
+        if want_ts {
+            cols.push(("E.ts".into(), ColumnData::Timestamp(ts)));
+        }
+        if want_val {
+            cols.push(("E.val".into(), ColumnData::Float64(vals)));
+        }
+        Relation::new(cols)
     }
 
     /// The repository directory.
@@ -504,52 +562,53 @@ impl SourceAdapter for EventLogAdapter {
         Ok(entries)
     }
 
+    /// Single-pass pre-sized decode: the file text lands in a reusable
+    /// per-worker scratch buffer, a cheap line count sizes the column
+    /// builders, and one parsing pass fills them directly.
     fn decode(
         &self,
         entry: &FileEntry,
         projection: Option<&[String]>,
     ) -> sommelier_engine::Result<Relation> {
+        if self.reference_decode {
+            return self.decode_reference(entry, projection);
+        }
         let want = |col: &str| projection.is_none_or(|p| p.iter().any(|c| c == col));
-        let (want_id, want_ts, want_val) = (want("E.log_id"), want("E.ts"), want("E.val"));
-        let text = std::fs::read_to_string(&entry.uri)
-            .map_err(|e| EngineError::Chunk(format!("reading {}: {e}", entry.uri)))?;
-        let mut ids = Vec::new();
-        let mut ts = Vec::new();
-        let mut vals = Vec::new();
-        for line in text.lines().skip(1) {
-            if line.is_empty() {
-                continue;
+        crate::source::with_text_scratch(|text| {
+            std::fs::File::open(&entry.uri)
+                .and_then(|mut f| f.read_to_string(text))
+                .map_err(|e| EngineError::Chunk(format!("reading {}: {e}", entry.uri)))?;
+            let events = text.lines().skip(1).filter(|l| !l.is_empty()).count();
+            let mut b = RelationBuilder::new();
+            let id_col = want("E.log_id").then(|| b.add("E.log_id", DataType::Int64, events));
+            let ts_col = want("E.ts").then(|| b.add("E.ts", DataType::Timestamp, events));
+            let val_col = want("E.val").then(|| b.add("E.val", DataType::Float64, events));
+            for line in text.lines().skip(1) {
+                if line.is_empty() {
+                    continue;
+                }
+                let bad = || {
+                    EngineError::Chunk(format!("malformed event {line:?} in {}", entry.uri))
+                };
+                let (t, v) = line.split_once(',').ok_or_else(bad)?;
+                // Every field is validated regardless of the projection —
+                // whether a malformed file errors must not depend on an
+                // optimizer knob — but only referenced columns are
+                // materialized (the projection-pushdown decode path).
+                let t = t.parse::<i64>().map_err(|_| bad())?;
+                let v = v.parse::<f64>().map_err(|_| bad())?;
+                if let Some(c) = id_col {
+                    b.i64_mut(c).push(entry.file_id);
+                }
+                if let Some(c) = ts_col {
+                    b.i64_mut(c).push(t);
+                }
+                if let Some(c) = val_col {
+                    b.f64_mut(c).push(v);
+                }
             }
-            let bad =
-                || EngineError::Chunk(format!("malformed event {line:?} in {}", entry.uri));
-            let (t, v) = line.split_once(',').ok_or_else(bad)?;
-            // Every field is validated regardless of the projection —
-            // whether a malformed file errors must not depend on an
-            // optimizer knob — but only referenced columns are
-            // materialized (the projection-pushdown decode path).
-            let t = t.parse::<i64>().map_err(|_| bad())?;
-            let v = v.parse::<f64>().map_err(|_| bad())?;
-            if want_id {
-                ids.push(entry.file_id);
-            }
-            if want_ts {
-                ts.push(t);
-            }
-            if want_val {
-                vals.push(v);
-            }
-        }
-        let mut cols: Vec<(String, ColumnData)> = Vec::new();
-        if want_id {
-            cols.push(("E.log_id".into(), ColumnData::Int64(ids)));
-        }
-        if want_ts {
-            cols.push(("E.ts".into(), ColumnData::Timestamp(ts)));
-        }
-        if want_val {
-            cols.push(("E.val".into(), ColumnData::Float64(vals)));
-        }
-        Relation::new(cols)
+            b.finish()
+        })
     }
 
     fn source_bytes(&self) -> Result<u64> {

@@ -9,6 +9,6 @@
 pub mod eventlog;
 
 pub use eventlog::{
-    generate_event_logs, header_value_bounds, value_stats_midpoint, EventLogAdapter,
-    EventLogSpec,
+    generate_event_logs, header_value_bounds, value_stats_midpoint, write_log_file,
+    EventLogAdapter, EventLogSpec,
 };

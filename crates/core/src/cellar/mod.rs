@@ -1267,6 +1267,20 @@ impl ChunkResidency for Cellar {
         let &i = self.by_uri.get(uri)?;
         self.sources[i].registry.zones_of(uri)
     }
+
+    fn zone_candidates(
+        &self,
+        constraints: &[sommelier_engine::ZoneConstraint],
+    ) -> Option<sommelier_engine::ZoneCandidates> {
+        // Candidate sets are per-registry; with several sources a set
+        // from one registry would wrongly exclude every other source's
+        // chunks. Single-source cellars answer; multi-source access
+        // goes through the per-source [`ScopedCellar`] views.
+        match self.sources.as_slice() {
+            [only] => only.registry.zone_candidates(constraints),
+            _ => None,
+        }
+    }
 }
 
 /// A per-source view of a shared [`Cellar`] (see [`Cellar::scoped`]).
@@ -1317,6 +1331,16 @@ impl ChunkResidency for ScopedCellar {
     fn zone_maps(&self, uri: &str) -> Option<Vec<ColumnZone>> {
         // Scoped like `all_chunks`: only this view's source answers.
         self.cellar.sources[self.source_idx].registry.zones_of(uri)
+    }
+
+    fn zone_candidates(
+        &self,
+        constraints: &[sommelier_engine::ZoneConstraint],
+    ) -> Option<sommelier_engine::ZoneCandidates> {
+        // Scoped like `all_chunks`: the view's own registry answers
+        // (its candidate set covers exactly the chunks a query through
+        // this source can select).
+        self.cellar.sources[self.source_idx].registry.zone_candidates(constraints)
     }
 }
 

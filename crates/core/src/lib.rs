@@ -711,6 +711,7 @@ impl Sommelier {
             &self.db,
             chunks,
             None,
+            None,
             plan.qf().map(|_| 0),
             &s2_opts,
         )?;

@@ -478,6 +478,50 @@ pub trait SourceAdapter: Send + Sync {
     fn source_bytes(&self) -> Result<u64>;
 }
 
+/// Retention cap for the per-worker decode scratch buffers: a worker
+/// that decoded one outsized chunk must not pin that much heap for the
+/// rest of the process — after each use the buffer shrinks back to
+/// this bound.
+const SCRATCH_RETAIN_BYTES: usize = 8 * 1024 * 1024;
+
+thread_local! {
+    static BYTE_SCRATCH: std::cell::RefCell<Vec<u8>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+    static TEXT_SCRATCH: std::cell::RefCell<String> =
+        const { std::cell::RefCell::new(String::new()) };
+}
+
+/// Run `f` over this worker's reusable byte buffer (cleared before the
+/// call, shrunk back to the retention cap afterwards). Adapters decode
+/// chunk after chunk through here, so a worker allocates the file
+/// buffer once (amortized) instead of once per chunk per query.
+pub fn with_byte_scratch<R>(f: impl FnOnce(&mut Vec<u8>) -> R) -> R {
+    BYTE_SCRATCH.with(|scratch| {
+        let mut buf = scratch.borrow_mut();
+        buf.clear();
+        let result = f(&mut buf);
+        if buf.capacity() > SCRATCH_RETAIN_BYTES {
+            buf.clear();
+            buf.shrink_to(SCRATCH_RETAIN_BYTES);
+        }
+        result
+    })
+}
+
+/// [`with_byte_scratch`] for text formats.
+pub fn with_text_scratch<R>(f: impl FnOnce(&mut String) -> R) -> R {
+    TEXT_SCRATCH.with(|scratch| {
+        let mut buf = scratch.borrow_mut();
+        buf.clear();
+        let result = f(&mut buf);
+        if buf.capacity() > SCRATCH_RETAIN_BYTES {
+            buf.clear();
+            buf.shrink_to(SCRATCH_RETAIN_BYTES);
+        }
+        result
+    })
+}
+
 /// The correctly-shaped *empty* actual-data relation for a descriptor
 /// (what [`SourceAdapter::decode`] must return for chunks with no
 /// rows), restricted to `projection` when one is pushed down.

@@ -161,11 +161,23 @@ impl ChunkPipeline<'_> {
                     part = part.filter(&mask);
                 }
                 ChunkOp::Project(exprs) => {
+                    // Plain column references share the source payload
+                    // (zero-copy, like `project_named`); only computed
+                    // expressions materialize a new column. This runs
+                    // once per chunk on the ingest hot path.
                     let cols = exprs
                         .iter()
-                        .map(|(name, e)| Ok((name.clone(), eval_scalar(e, &part)?)))
+                        .map(|(name, e)| {
+                            let col = match e {
+                                Expr::Col(src) => {
+                                    Arc::clone(&part.columns()[part.resolve(src)?].1)
+                                }
+                                _ => Arc::new(eval_scalar(e, &part)?),
+                            };
+                            Ok((name.clone(), col))
+                        })
                         .collect::<Result<Vec<_>>>()?;
-                    part = Relation::new(cols)?;
+                    part = Relation::from_shared(cols)?;
                 }
             }
         }

@@ -65,10 +65,17 @@ impl JoinBuild {
         let lk = key_columns(left_keys, left)?;
         let lk_refs: Vec<&ColumnData> = lk.iter().collect();
         let rk_refs: Vec<&ColumnData> = self.keys.iter().collect();
-        let mut left_idx: Vec<u32> = Vec::new();
-        let mut right_idx: Vec<u32> = Vec::new();
+        // FK-shaped probes match ~one build row per probe row: pre-size
+        // for that and reuse one scratch vector across rows (the
+        // allocation-free probe is what keeps the per-chunk ingest
+        // pipelines decode-bound).
+        let mut left_idx: Vec<u32> = Vec::with_capacity(left.rows());
+        let mut right_idx: Vec<u32> = Vec::with_capacity(left.rows());
+        let mut hits: Vec<u32> = Vec::new();
         for l in 0..left.rows() {
-            for r in self.index.probe(&rk_refs, &lk_refs, l) {
+            hits.clear();
+            self.index.probe_into(&rk_refs, &lk_refs, l, &mut hits);
+            for &r in &hits {
                 left_idx.push(l as u32);
                 right_idx.push(r);
             }

@@ -51,10 +51,10 @@ pub mod twostage;
 pub use error::{EngineError, Result};
 pub use expr::{AggFunc, CmpOp, Expr, Func};
 pub use logical::LogicalPlan;
-pub use optimizer::{ColumnZone, PassTrace};
+pub use optimizer::{ColumnZone, PassTrace, ZoneCandidates, ZoneConstraint};
 pub use physical::{fuse_partial_agg, PhysicalPlan};
 pub use recycler::Recycler;
-pub use relation::Relation;
+pub use relation::{Relation, RelationBuilder};
 pub use spec::{JoinEdge, QuerySpec, TableRef};
 pub use twostage::{
     AcquiredChunk, ChunkAccess, ChunkResidency, ChunkSink, ChunkSource, ExecStats,

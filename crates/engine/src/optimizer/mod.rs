@@ -36,8 +36,8 @@
 pub mod passes;
 
 pub use passes::{
-    ChunkRewrite, JoinOrder, PartialAggFusion, ProjectionPushdown, SelectionPushdown,
-    ZoneMapPruning,
+    as_zone_constraint, zone_conjunct_contradicted, ChunkRewrite, JoinOrder,
+    PartialAggFusion, ProjectionPushdown, SelectionPushdown, ZoneMapPruning,
 };
 
 use crate::error::Result;
@@ -66,6 +66,40 @@ pub struct ColumnZone {
 /// the chunk (never pruned).
 pub type ZoneMapFn<'a> = dyn Fn(&str) -> Option<Vec<ColumnZone>> + 'a;
 
+/// One `column ⟨op⟩ literal` conjunct of a pushed-down predicate, in
+/// the normalized column-on-left form — the query shape a sorted zone
+/// interval index answers.
+#[derive(Debug, Clone)]
+pub struct ZoneConstraint {
+    /// Qualified actual-data column (e.g. `"D.sample_time"`).
+    pub column: String,
+    pub op: crate::expr::CmpOp,
+    pub value: Value,
+}
+
+/// An indexed answer to "which chunks may satisfy these constraints?".
+#[derive(Debug, Clone)]
+pub enum ZoneCandidates {
+    /// Every registered chunk may satisfy them (no pruning possible).
+    All,
+    /// Only these chunks (by URI) may satisfy them. Must be a superset
+    /// of the exactly-not-contradicted chunks: chunks with no recorded
+    /// zone for a constrained column are always included, and
+    /// constraints the index cannot answer constrain nothing. The
+    /// exact per-chunk zone check still runs on the survivors, so an
+    /// over-approximation is sound — an under-approximation is not.
+    /// Shared `Arc<str>` URIs keep per-hit cost at a refcount bump
+    /// (implementations intern them once at registration).
+    Uris(std::collections::HashSet<std::sync::Arc<str>>),
+}
+
+/// Indexed stage-1 candidate selection over the chunk registry's zone
+/// maps (O(log n + hits) instead of a per-chunk scan). `None` = no
+/// index can answer (fall back to per-chunk zone checks only). The
+/// implementation must be built over the same registry the run-time
+/// chunk list is drawn from.
+pub type ZoneCandidateFn<'a> = dyn Fn(&[ZoneConstraint]) -> Option<ZoneCandidates> + 'a;
+
 /// What one pipeline run carries between passes.
 pub struct OptState<'a> {
     pub db: &'a Database,
@@ -81,6 +115,10 @@ pub struct OptState<'a> {
     pub chunks: Option<Vec<ChunkRef>>,
     /// Zone-map lookup for `zone_map_pruning`.
     pub zones: Option<&'a ZoneMapFn<'a>>,
+    /// Indexed candidate selection for `zone_map_pruning` (the sorted
+    /// interval index over the chunk registry); the exact per-chunk
+    /// checks then run on the prefiltered survivors only.
+    pub zone_candidates: Option<&'a ZoneCandidateFn<'a>>,
     /// What `QfMark` lowers to (a materialized result-scan slot).
     pub qf_result_id: Option<usize>,
     /// Chunks dropped by `zone_map_pruning` this run.
@@ -97,6 +135,7 @@ impl<'a> OptState<'a> {
             physical: None,
             chunks: None,
             zones: None,
+            zone_candidates: None,
             qf_result_id: None,
             pruned: 0,
         }
@@ -211,6 +250,7 @@ pub fn rewrite_stage2(
     db: &Database,
     chunks: Option<Vec<ChunkRef>>,
     zones: Option<&ZoneMapFn<'_>>,
+    zone_candidates: Option<&ZoneCandidateFn<'_>>,
     qf_result_id: Option<usize>,
     opts: &Stage2Options,
 ) -> Result<Stage2Plan> {
@@ -225,6 +265,7 @@ pub fn rewrite_stage2(
     state.logical = Some(Cow::Borrowed(plan));
     state.chunks = chunks;
     state.zones = zones;
+    state.zone_candidates = zone_candidates;
     state.qf_result_id = qf_result_id;
     let trace = pipeline.run(&mut state)?;
     Ok(Stage2Plan {

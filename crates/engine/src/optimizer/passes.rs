@@ -1,12 +1,14 @@
 //! The concrete optimizer passes. See the [module docs](super) for the
 //! pipeline order.
 
-use super::{ColumnZone, OptPass, OptState, PassEffect};
+use super::{ColumnZone, OptPass, OptState, PassEffect, ZoneCandidates, ZoneConstraint};
 use crate::error::{EngineError, Result};
 use crate::expr::{CmpOp, Expr};
 use crate::joinorder::{plan_query, PlanOptions};
 use crate::logical::LogicalPlan;
 use crate::physical::{fuse_partial_agg, lower, LowerOptions, PhysicalPlan};
+use sommelier_storage::Value;
+use std::collections::HashSet;
 
 /// `join_order` — the paper's R1–R4 metadata-first decomposition
 /// (`Q = Qf ▷ Qs`) or, for eager plans, the traditional greedy order.
@@ -94,6 +96,38 @@ impl OptPass for ZoneMapPruning {
             .map(|p| p.expect("checked above").clone().split_conjunction())
             .collect();
         let before = chunks.len();
+
+        // Indexed prefilter: ask the registry's sorted interval index
+        // which chunks may satisfy each scan's constraints
+        // (O(log n + hits) instead of touching every chunk's zones). A
+        // chunk survives if *any* scan's candidate set keeps it; the
+        // exact per-chunk checks below then run on the survivors only —
+        // so an over-approximating index stays sound and the final
+        // chunk list is identical to the unindexed path.
+        let mut indexed = false;
+        if let Some(index) = state.zone_candidates {
+            let mut keep: HashSet<std::sync::Arc<str>> = HashSet::new();
+            let mut keep_all = false;
+            for conjuncts in &conjunct_sets {
+                let constraints: Vec<ZoneConstraint> =
+                    conjuncts.iter().filter_map(as_zone_constraint).collect();
+                match (!constraints.is_empty()).then(|| index(&constraints)).flatten() {
+                    Some(ZoneCandidates::Uris(uris)) => keep.extend(uris),
+                    // This scan constrains nothing the index can see:
+                    // every chunk survives the prefilter.
+                    Some(ZoneCandidates::All) | None => {
+                        keep_all = true;
+                        break;
+                    }
+                }
+            }
+            if !keep_all {
+                chunks.retain(|c| keep.contains(c.uri.as_str()));
+                indexed = true;
+            }
+        }
+
+        // Exact per-chunk zone checks on the (prefiltered) list.
         chunks.retain(|c| {
             let Some(zone) = zones(&c.uri) else { return true };
             // Prunable only if every lazy scan's predicate rules the
@@ -104,32 +138,38 @@ impl OptPass for ZoneMapPruning {
         });
         let pruned = before - chunks.len();
         state.pruned = pruned;
+        let how = if indexed { "indexed" } else { "scanned" };
         if pruned == 0 {
-            Ok(PassEffect::Skipped(format!("no chunk of {before} contradicted")))
+            Ok(PassEffect::Skipped(format!("no chunk of {before} contradicted ({how})")))
         } else {
-            Ok(PassEffect::Fired(format!("pruned {pruned} of {before} chunks")))
+            Ok(PassEffect::Fired(format!("pruned {pruned} of {before} chunks ({how})")))
         }
     }
 }
 
-/// Is `pred` provably false for every row of a chunk with the given
-/// zones? Only plain `col ⟨op⟩ literal` conjuncts can contradict;
-/// anything else (disjunctions, computed columns, unzoned columns)
-/// conservatively keeps the chunk. (The pass itself pre-splits the
-/// conjunctions; this convenience form drives the unit tests.)
-#[cfg(test)]
-fn contradicted(pred: &Expr, zones: &[ColumnZone]) -> bool {
-    pred.clone().split_conjunction().iter().any(|c| conjunct_contradicted(c, zones))
+/// Normalize one conjunct into the `column ⟨op⟩ literal` form a zone
+/// interval index can answer; `None` for any other shape.
+pub fn as_zone_constraint(conjunct: &Expr) -> Option<ZoneConstraint> {
+    let Expr::Cmp(op, lhs, rhs) = conjunct else { return None };
+    let (op, col, lit) = match (&**lhs, &**rhs) {
+        (Expr::Col(c), Expr::Lit(v)) => (*op, c, v),
+        (Expr::Lit(v), Expr::Col(c)) => (op.flip(), c, v),
+        _ => return None,
+    };
+    Some(ZoneConstraint { column: col.clone(), op, value: lit.clone() })
 }
 
-fn conjunct_contradicted(conjunct: &Expr, zones: &[ColumnZone]) -> bool {
-    let Expr::Cmp(op, lhs, rhs) = conjunct else { return false };
-    let (op, col, lit) = match (&**lhs, &**rhs) {
-        (Expr::Col(c), Expr::Lit(v)) => (*op, c.as_str(), v),
-        (Expr::Lit(v), Expr::Col(c)) => (op.flip(), c.as_str(), v),
-        _ => return false,
-    };
-    let Some(zone) = zones.iter().find(|z| z.column == col) else { return false };
+/// Is `column ⟨op⟩ lit` provably false for every row of a chunk with
+/// the given zones? The single source of truth for zone contradiction —
+/// the pruning pass, the core registry's linear scan and the interval
+/// index's equivalence tests all funnel through it.
+pub fn zone_conjunct_contradicted(
+    op: CmpOp,
+    column: &str,
+    lit: &Value,
+    zones: &[ColumnZone],
+) -> bool {
+    let Some(zone) = zones.iter().find(|z| z.column == column) else { return false };
     // Coerce the literal into the zone's type family (e.g. a quoted
     // timestamp against a Time zone); incomparable → keep the chunk.
     let lit = match zone.min.data_type().and_then(|t| lit.coerce_to(t).ok()) {
@@ -153,6 +193,28 @@ fn conjunct_contradicted(conjunct: &Expr, zones: &[ColumnZone]) -> bool {
         CmpOp::Eq => matches!(min_lit, Greater) || matches!(max_lit, Less),
         CmpOp::Ne => false,
     }
+}
+
+/// Is `pred` provably false for every row of a chunk with the given
+/// zones? Only plain `col ⟨op⟩ literal` conjuncts can contradict;
+/// anything else (disjunctions, computed columns, unzoned columns)
+/// conservatively keeps the chunk. (The pass itself pre-splits the
+/// conjunctions; this convenience form drives the unit tests.)
+#[cfg(test)]
+fn contradicted(pred: &Expr, zones: &[ColumnZone]) -> bool {
+    pred.clone().split_conjunction().iter().any(|c| conjunct_contradicted(c, zones))
+}
+
+fn conjunct_contradicted(conjunct: &Expr, zones: &[ColumnZone]) -> bool {
+    // Borrowing normalization (no per-chunk clones): this runs once per
+    // chunk per conjunct in the exact retain pass.
+    let Expr::Cmp(op, lhs, rhs) = conjunct else { return false };
+    let (op, col, lit) = match (&**lhs, &**rhs) {
+        (Expr::Col(c), Expr::Lit(v)) => (*op, c.as_str(), v),
+        (Expr::Lit(v), Expr::Col(c)) => (op.flip(), c.as_str(), v),
+        _ => return false,
+    };
+    zone_conjunct_contradicted(op, col, lit, zones)
 }
 
 /// `chunk_rewrite` — the run-time rewrite rule (1): every lazy

@@ -150,7 +150,13 @@ impl Relation {
     }
 
     /// Gather rows by position into a new relation (provenance follows).
+    /// The identity gather (every row once, in order — what an FK join
+    /// whose every probe row matches exactly once produces) returns a
+    /// cheap clone with shared columns instead of copying.
     pub fn take(&self, idx: &[u32]) -> Relation {
+        if idx.len() == self.rows() && idx.iter().enumerate().all(|(i, &x)| x as usize == i) {
+            return self.clone();
+        }
         let cols =
             self.cols.iter().map(|(n, c)| (n.clone(), Arc::new(c.take(idx)))).collect();
         let provenance = self.provenance.as_ref().map(|p| Provenance {
@@ -176,7 +182,8 @@ impl Relation {
 
     /// Append `other`'s rows (schemas must match by name & type, in
     /// order). The first append to a shared column copies it
-    /// (copy-on-write); a union of a single relation stays zero-copy.
+    /// (copy-on-write) with capacity reserved for both sides up front;
+    /// a union of a single relation stays zero-copy.
     pub fn union_in_place(&mut self, other: &Relation) -> Result<()> {
         if self.cols.is_empty() {
             *self = other.clone();
@@ -190,13 +197,37 @@ impl Relation {
                 other.width()
             )));
         }
+        let extra = other.rows();
         for ((an, ac), (bn, bc)) in self.cols.iter_mut().zip(other.cols.iter()) {
             if an != bn {
                 return Err(EngineError::Exec(format!(
                     "union column mismatch: {an} vs {bn}"
                 )));
             }
-            Arc::make_mut(ac).append(bc)?;
+            let appended = Arc::get_mut(ac).map(|col| {
+                col.reserve(extra);
+                col.append(bc)
+            });
+            match appended {
+                Some(done) => done?,
+                // Shared numeric column: rebuild once with the combined
+                // capacity instead of copy-on-write (exact-size clone)
+                // followed by a growing append.
+                None if !matches!(&**ac, ColumnData::Text(_)) => {
+                    let mut col = ColumnData::with_capacity(ac.data_type(), ac.len() + extra);
+                    col.append(ac)?;
+                    col.append(bc)?;
+                    *ac = Arc::new(col);
+                }
+                // Shared text column: copy-on-write keeps the shared
+                // dictionary (a capacity rebuild would re-intern every
+                // code); reserve before extending.
+                None => {
+                    let col = Arc::make_mut(ac);
+                    col.reserve(extra);
+                    col.append(bc)?;
+                }
+            }
         }
         self.provenance = None;
         Ok(())
@@ -242,6 +273,83 @@ impl Relation {
     /// Data types of the columns, in order.
     pub fn types(&self) -> Vec<DataType> {
         self.cols.iter().map(|(_, c)| c.data_type()).collect()
+    }
+}
+
+/// Typed, pre-sized column builders for assembling a [`Relation`] in a
+/// single pass — the decode hot path's alternative to building one
+/// relation per sub-unit (segment, CSV line, ...) and unioning them,
+/// which re-copies every column once per unit.
+///
+/// Columns are declared up front with their expected row count; hot
+/// loops then write straight into the destination buffers through the
+/// typed `*_mut` accessors (index handles from the `add_*` calls, so no
+/// name lookups per row). [`RelationBuilder::finish`] validates equal
+/// lengths and produces the relation without any further copy.
+#[derive(Debug, Default)]
+pub struct RelationBuilder {
+    cols: Vec<(String, ColumnData)>,
+}
+
+impl RelationBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        RelationBuilder::default()
+    }
+
+    /// Declare a column of `dtype` pre-sized for `capacity` rows;
+    /// returns its handle for the typed accessors.
+    pub fn add(
+        &mut self,
+        name: impl Into<String>,
+        dtype: DataType,
+        capacity: usize,
+    ) -> usize {
+        self.cols.push((name.into(), ColumnData::with_capacity(dtype, capacity)));
+        self.cols.len() - 1
+    }
+
+    /// Number of declared columns.
+    pub fn width(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// The destination buffer of an `Int64` or `Timestamp` column.
+    ///
+    /// # Panics
+    /// If `idx` is not a handle for an integer-family column.
+    pub fn i64_mut(&mut self, idx: usize) -> &mut Vec<i64> {
+        match &mut self.cols[idx].1 {
+            ColumnData::Int64(v) | ColumnData::Timestamp(v) => v,
+            other => panic!("column {idx} is {}, not an i64 family", other.data_type()),
+        }
+    }
+
+    /// The destination buffer of a `Float64` column.
+    ///
+    /// # Panics
+    /// If `idx` is not a handle for a float column.
+    pub fn f64_mut(&mut self, idx: usize) -> &mut Vec<f64> {
+        match &mut self.cols[idx].1 {
+            ColumnData::Float64(v) => v,
+            other => panic!("column {idx} is {}, not float64", other.data_type()),
+        }
+    }
+
+    /// The destination column of a `Text` column.
+    ///
+    /// # Panics
+    /// If `idx` is not a handle for a text column.
+    pub fn text_mut(&mut self, idx: usize) -> &mut sommelier_storage::column::TextColumn {
+        match &mut self.cols[idx].1 {
+            ColumnData::Text(t) => t,
+            other => panic!("column {idx} is {}, not text", other.data_type()),
+        }
+    }
+
+    /// Assemble the relation (validates equal column lengths).
+    pub fn finish(self) -> Result<Relation> {
+        Relation::new(self.cols)
     }
 }
 
@@ -352,6 +460,63 @@ mod tests {
         assert_eq!(p.value(0, "sid").unwrap(), Value::Int(1));
         // Zero-copy: projections share the source payloads.
         assert!(Arc::ptr_eq(&p.columns()[1].1, &r.columns()[1].1));
+    }
+
+    #[test]
+    fn builder_assembles_presized_columns() {
+        let mut b = RelationBuilder::new();
+        let ids = b.add("D.file_id", DataType::Int64, 3);
+        let ts = b.add("D.sample_time", DataType::Timestamp, 3);
+        let vals = b.add("D.sample_value", DataType::Float64, 3);
+        let names = b.add("D.tag", DataType::Text, 3);
+        assert_eq!(b.width(), 4);
+        b.i64_mut(ids).extend([7, 7, 7]);
+        b.i64_mut(ts).extend([100, 200, 300]);
+        b.f64_mut(vals).extend([1.0, 2.0, 3.0]);
+        for s in ["a", "b", "a"] {
+            b.text_mut(names).push(s);
+        }
+        let r = b.finish().unwrap();
+        assert_eq!(r.rows(), 3);
+        assert_eq!(r.names(), vec!["D.file_id", "D.sample_time", "D.sample_value", "D.tag"]);
+        assert_eq!(r.column("D.sample_time").unwrap().as_i64().unwrap(), &[100, 200, 300]);
+        assert_eq!(r.value(2, "D.tag").unwrap(), Value::Text("a".into()));
+        // Types survive: the timestamp column is a timestamp, not int.
+        assert_eq!(
+            r.types(),
+            vec![DataType::Int64, DataType::Timestamp, DataType::Float64, DataType::Text]
+        );
+    }
+
+    #[test]
+    fn builder_ragged_columns_rejected() {
+        let mut b = RelationBuilder::new();
+        let a = b.add("a", DataType::Int64, 2);
+        b.add("b", DataType::Int64, 2);
+        b.i64_mut(a).push(1);
+        assert!(b.finish().is_err());
+    }
+
+    #[test]
+    fn union_reserves_combined_capacity() {
+        // Unique columns: capacity after the union covers both sides.
+        let mut a = sample();
+        let b = sample();
+        a.union_in_place(&b).unwrap();
+        match a.column("F.file_id").unwrap() {
+            ColumnData::Int64(v) => assert!(v.capacity() >= 6),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Shared numeric columns rebuild once at the combined size.
+        let shared = sample();
+        let mut u = shared.clone();
+        u.union_in_place(&shared).unwrap();
+        assert_eq!(u.rows(), 6);
+        assert_eq!(shared.rows(), 3, "source untouched");
+        match u.column("F.file_id").unwrap() {
+            ColumnData::Int64(v) => assert!(v.capacity() >= 6),
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

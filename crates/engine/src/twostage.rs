@@ -34,7 +34,9 @@ use crate::agg::{merge_partials, partial_aggregate, PartialAgg};
 use crate::error::{EngineError, Result};
 use crate::exec::{execute, ChunkPipeline, ExecContext};
 use crate::logical::LogicalPlan;
-use crate::optimizer::{self, ColumnZone, PassTrace, Stage2Options};
+use crate::optimizer::{
+    self, ColumnZone, PassTrace, Stage2Options, ZoneCandidates, ZoneConstraint,
+};
 use crate::physical::{lower, ChunkRef, LowerOptions, PhysicalPlan};
 use crate::recycler::Recycler;
 use crate::relation::Relation;
@@ -84,6 +86,15 @@ pub trait ChunkSource: Send + Sync {
     /// never pruned.
     fn zone_maps(&self, uri: &str) -> Option<Vec<ColumnZone>> {
         let _ = uri;
+        None
+    }
+
+    /// Indexed stage-1 candidate selection: which registered chunks may
+    /// satisfy the given constraints, answered by a sorted interval
+    /// index over the registry's zone maps in O(log n + hits). `None` =
+    /// no index (the pruning pass falls back to per-chunk zone checks).
+    fn zone_candidates(&self, constraints: &[ZoneConstraint]) -> Option<ZoneCandidates> {
+        let _ = constraints;
         None
     }
 }
@@ -182,6 +193,13 @@ pub trait ChunkResidency: Send + Sync {
         let _ = uri;
         None
     }
+
+    /// Indexed stage-1 candidate selection (see
+    /// [`ChunkSource::zone_candidates`]).
+    fn zone_candidates(&self, constraints: &[ZoneConstraint]) -> Option<ZoneCandidates> {
+        let _ = constraints;
+        None
+    }
 }
 
 /// Where stage 2's chunk rows come from.
@@ -204,6 +222,16 @@ impl ChunkAccess<'_> {
             ChunkAccess::None => None,
             ChunkAccess::Direct { source, .. } => source.zone_maps(uri),
             ChunkAccess::Managed(residency) => residency.zone_maps(uri),
+        }
+    }
+
+    /// Indexed candidate selection through whichever access path is
+    /// configured.
+    fn zone_candidates(&self, constraints: &[ZoneConstraint]) -> Option<ZoneCandidates> {
+        match self {
+            ChunkAccess::None => None,
+            ChunkAccess::Direct { source, .. } => source.zone_candidates(constraints),
+            ChunkAccess::Managed(residency) => residency.zone_candidates(constraints),
         }
     }
 }
@@ -425,13 +453,23 @@ pub fn execute_plan(
     // union chunk rewrite (lowering), selection pushdown, partial-
     // aggregate fusion, projection pushdown.
     let zones = |uri: &str| access.zone_maps(uri);
+    let zone_candidates =
+        |constraints: &[ZoneConstraint]| access.zone_candidates(constraints);
     let opts = Stage2Options {
         use_index_joins: config.use_index_joins,
         pushdown: config.pushdown,
         projection_pushdown: config.projection_pushdown,
         zone_map_pruning: config.zone_map_pruning,
     };
-    let s2 = optimizer::rewrite_stage2(plan, db, chunk_refs, Some(&zones), qf_id, &opts)?;
+    let s2 = optimizer::rewrite_stage2(
+        plan,
+        db,
+        chunk_refs,
+        Some(&zones),
+        Some(&zone_candidates),
+        qf_id,
+        &opts,
+    )?;
     let mut phys = s2.physical;
     let trace = s2.trace;
     stats.files_pruned = s2.pruned;

@@ -17,16 +17,18 @@
 //! `windowdataview` (= F ⋈ S ⋈ D ⋈ H), `segview` (= F ⋈ S) and
 //! `windowview` (= F ⋈ H).
 
-use crate::reader::{decode_segment, read_full_bytes, FileHeader};
+use crate::reader::{decode_segment, read_full_bytes, read_full_bytes_into, FileHeader};
 use crate::repo::Repository;
-use crate::SegmentData;
+use crate::{steim, SegmentData};
 use parking_lot::Mutex;
 use sommelier_core::chunks::FileEntry;
 use sommelier_core::source::{
-    DmdAgg, DmdDim, DmdSpec, InferenceRule, SourceAdapter, SourceDescriptor, UnitTableSpec,
+    empty_ad_relation, DmdAgg, DmdDim, DmdSpec, InferenceRule, SourceAdapter,
+    SourceDescriptor, UnitTableSpec,
 };
 use sommelier_core::{Result, SommelierError};
 use sommelier_engine::expr::ArithOp;
+use sommelier_engine::relation::RelationBuilder;
 use sommelier_engine::twostage::ChunkUnit;
 use sommelier_engine::{AggFunc, ColumnZone, EngineError, Expr, Func, JoinEdge, Relation};
 use sommelier_sql::ViewDef;
@@ -377,21 +379,115 @@ pub fn read_all_headers(files: &[PathBuf], max_threads: usize) -> Result<Vec<Fil
         .collect()
 }
 
+/// Decode one chunk file's payloads straight into pre-sized column
+/// buffers — a single pass over the segments, no per-segment relations
+/// and no union re-copies. The builders are sized from the header's
+/// sample counts, sample values stream from [`steim::decode_each`]
+/// directly into the destination `f64` buffer, and every payload is
+/// decoded (validated) even when the projection drops `D.sample_value`,
+/// so whether a corrupt chunk errors never depends on an optimizer
+/// knob.
+fn decode_columns(
+    bytes: &[u8],
+    header: &FileHeader,
+    file_id: i64,
+    seg_base: i64,
+    projection: Option<&[String]>,
+    descriptor: &SourceDescriptor,
+) -> sommelier_engine::Result<Relation> {
+    let want = |col: &str| projection.is_none_or(|p| p.iter().any(|c| c == col));
+    let total: usize = header.segments.iter().map(|s| s.sample_count as usize).sum();
+    let mut b = RelationBuilder::new();
+    let id_col = want("D.file_id").then(|| b.add("D.file_id", DataType::Int64, total));
+    let seg_col = want("D.seg_id").then(|| b.add("D.seg_id", DataType::Int64, total));
+    let time_col =
+        want("D.sample_time").then(|| b.add("D.sample_time", DataType::Timestamp, total));
+    let val_col =
+        want("D.sample_value").then(|| b.add("D.sample_value", DataType::Float64, total));
+    for (k, (meta, &(offset, len))) in
+        header.segments.iter().zip(&header.payload_spans).enumerate()
+    {
+        let n = meta.sample_count as usize;
+        let span = bytes
+            .get(offset as usize..offset as usize + len as usize)
+            .ok_or_else(|| EngineError::Chunk("payload span out of bounds".into()))?;
+        if let Some(c) = id_col {
+            b.i64_mut(c).extend(std::iter::repeat_n(file_id, n));
+        }
+        if let Some(c) = seg_col {
+            b.i64_mut(c).extend(std::iter::repeat_n(seg_base + k as i64, n));
+        }
+        if let Some(c) = time_col {
+            let times = b.i64_mut(c);
+            times.extend((0..meta.sample_count).map(|i| meta.sample_time(i)));
+        }
+        match val_col {
+            Some(c) => {
+                let values = b.f64_mut(c);
+                steim::decode_each(span, n, |s| values.push(s as f64))
+            }
+            // Projection dropped the values: still decode (validate)
+            // the payload, discard the samples.
+            None => steim::decode_each(span, n, |_| {}),
+        }
+        .map_err(|e| EngineError::Chunk(e.to_string()))?;
+    }
+    if b.width() == 0 {
+        // A projection naming no D columns: the correctly-shaped empty
+        // relation still has the projected width.
+        return empty_ad_relation(descriptor, projection);
+    }
+    b.finish()
+}
+
 /// The mSEED [`SourceAdapter`] over an on-disk [`Repository`].
 pub struct MseedAdapter {
     repo: Repository,
     descriptor: SourceDescriptor,
+    reference_decode: bool,
 }
 
 impl MseedAdapter {
     /// An adapter over `repo`.
     pub fn new(repo: Repository) -> Self {
-        MseedAdapter { repo, descriptor: mseed_descriptor() }
+        MseedAdapter { repo, descriptor: mseed_descriptor(), reference_decode: false }
+    }
+
+    /// Route [`SourceAdapter::decode`] through the pre-builder
+    /// reference path ([`Self::decode_reference`]) — the decode-sweep
+    /// baseline and the oracle of the old-vs-new equivalence tests.
+    pub fn with_reference_decode(mut self) -> Self {
+        self.reference_decode = true;
+        self
     }
 
     /// The underlying repository.
     pub fn repo(&self) -> &Repository {
         &self.repo
+    }
+
+    /// The reference decode: one relation per segment, unioned into the
+    /// output — O(segments) column re-copies per chunk. Kept as the
+    /// baseline the single-pass columnar decode is benchmarked and
+    /// tested against (results must be byte-identical).
+    pub fn decode_reference(
+        &self,
+        entry: &FileEntry,
+        projection: Option<&[String]>,
+    ) -> sommelier_engine::Result<Relation> {
+        let file = crate::read_full(Path::new(&entry.uri))
+            .map_err(|e| EngineError::Chunk(e.to_string()))?;
+        let mut out = Relation::empty();
+        for (k, seg) in file.segments.iter().enumerate() {
+            let rel =
+                segment_relation(entry.file_id, entry.seg_base + k as i64, seg, projection);
+            out.union_in_place(&rel)?;
+        }
+        if out.width() == 0 {
+            // Zero-segment chunk: produce an empty D-shaped relation.
+            out = empty_ad_relation(&self.descriptor, projection)?;
+        }
+        Ok(out)
     }
 }
 
@@ -490,24 +586,31 @@ impl SourceAdapter for MseedAdapter {
         Ok(entries)
     }
 
+    /// Single-pass columnar decode: the raw bytes land in a reusable
+    /// per-worker scratch buffer, the column builders are pre-sized
+    /// from the header's sample counts, and the payloads decode
+    /// straight into the destination buffers — one pass, no per-segment
+    /// relations, no union re-copies.
     fn decode(
         &self,
         entry: &FileEntry,
         projection: Option<&[String]>,
     ) -> sommelier_engine::Result<Relation> {
-        let file = crate::read_full(Path::new(&entry.uri))
-            .map_err(|e| EngineError::Chunk(e.to_string()))?;
-        let mut out = Relation::empty();
-        for (k, seg) in file.segments.iter().enumerate() {
-            let rel =
-                segment_relation(entry.file_id, entry.seg_base + k as i64, seg, projection);
-            out.union_in_place(&rel)?;
+        if self.reference_decode {
+            return self.decode_reference(entry, projection);
         }
-        if out.width() == 0 {
-            // Zero-segment chunk: produce an empty D-shaped relation.
-            out = sommelier_core::source::empty_ad_relation(&self.descriptor, projection)?;
-        }
-        Ok(out)
+        sommelier_core::source::with_byte_scratch(|bytes| {
+            let header = read_full_bytes_into(Path::new(&entry.uri), bytes)
+                .map_err(|e| EngineError::Chunk(e.to_string()))?;
+            decode_columns(
+                bytes,
+                &header,
+                entry.file_id,
+                entry.seg_base,
+                projection,
+                &self.descriptor,
+            )
+        })
     }
 
     fn chunk_units<'s>(

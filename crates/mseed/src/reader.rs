@@ -124,6 +124,19 @@ pub fn read_full_bytes(path: &Path) -> Result<(Vec<u8>, FileHeader)> {
     Ok((bytes, header))
 }
 
+/// Like [`read_full_bytes`], but reading into a caller-provided scratch
+/// buffer (cleared, then filled) — the decode hot path reuses one
+/// thread-local buffer across chunks instead of allocating a fresh
+/// `Vec<u8>` per chunk per query.
+pub fn read_full_bytes_into(path: &Path, buf: &mut Vec<u8>) -> Result<FileHeader> {
+    buf.clear();
+    let mut f = std::fs::File::open(path)
+        .map_err(|e| MseedError::io(format!("opening {}", path.display()), e))?;
+    f.read_to_end(buf)
+        .map_err(|e| MseedError::io(format!("reading {}", path.display()), e))?;
+    parse_header(buf, &path.display().to_string())
+}
+
 /// Decode one segment's payload from the raw file bytes.
 pub fn decode_segment(
     bytes: &[u8],

@@ -72,27 +72,32 @@ pub fn encode(samples: &[i32]) -> Vec<u8> {
     out
 }
 
-/// Decompress exactly `expected` samples.
-pub fn decode(bytes: &[u8], expected: usize) -> Result<Vec<i32>> {
+/// Decompress exactly `expected` samples, handing each to `emit` in
+/// stream order — the single-pass decode path: callers write samples
+/// straight into their destination column buffers (as `f64` values,
+/// say) with no intermediate `Vec<i32>` per segment. Validation is
+/// identical to [`decode`] (truncation, overlong varints and trailing
+/// bytes are all errors), so error behaviour never depends on what the
+/// caller materializes.
+pub fn decode_each(bytes: &[u8], expected: usize, mut emit: impl FnMut(i32)) -> Result<()> {
     if expected == 0 {
         if bytes.is_empty() {
-            return Ok(Vec::new());
+            return Ok(());
         }
         return Err(MseedError::Corrupt("payload bytes for zero samples".into()));
     }
     if bytes.len() < 4 {
         return Err(MseedError::Corrupt("payload shorter than first sample".into()));
     }
-    let mut out = Vec::with_capacity(expected);
     let first = i32::from_le_bytes(bytes[0..4].try_into().unwrap());
-    out.push(first);
+    emit(first);
     let mut pos = 4;
     let mut prev = first;
-    while out.len() < expected {
+    for _ in 1..expected {
         let (zz, next) = read_varint(bytes, pos)?;
         pos = next;
         prev = prev.wrapping_add(unzigzag(zz));
-        out.push(prev);
+        emit(prev);
     }
     if pos != bytes.len() {
         return Err(MseedError::Corrupt(format!(
@@ -100,6 +105,13 @@ pub fn decode(bytes: &[u8], expected: usize) -> Result<Vec<i32>> {
             bytes.len() - pos
         )));
     }
+    Ok(())
+}
+
+/// Decompress exactly `expected` samples.
+pub fn decode(bytes: &[u8], expected: usize) -> Result<Vec<i32>> {
+    let mut out = Vec::with_capacity(expected);
+    decode_each(bytes, expected, |s| out.push(s))?;
     Ok(out)
 }
 
@@ -170,6 +182,19 @@ mod tests {
             let enc = encode(&samples);
             let dec = decode(&enc, samples.len()).unwrap();
             prop_assert_eq!(dec, samples);
+        }
+
+        /// The direct-to-column decode must agree with the segment
+        /// decode sample for sample — the round-trip guarantee behind
+        /// the adapter's single-pass columnar decode path.
+        #[test]
+        fn decode_each_matches_decode(samples in proptest::collection::vec(any::<i32>(), 0..2_000)) {
+            let enc = encode(&samples);
+            let mut direct: Vec<f64> = Vec::new();
+            decode_each(&enc, samples.len(), |s| direct.push(s as f64)).unwrap();
+            let via_vec: Vec<f64> =
+                decode(&enc, samples.len()).unwrap().iter().map(|&v| v as f64).collect();
+            prop_assert_eq!(direct, via_vec);
         }
 
         #[test]

@@ -138,6 +138,11 @@ impl TextColumn {
         }
     }
 
+    /// Reserve room for at least `additional` more rows.
+    pub fn reserve(&mut self, additional: usize) {
+        self.codes.reserve(additional);
+    }
+
     /// Gather rows by position, sharing the dictionary.
     pub fn take(&self, idx: &[u32]) -> TextColumn {
         TextColumn {
@@ -170,6 +175,22 @@ impl ColumnData {
             DataType::Float64 => ColumnData::Float64(Vec::new()),
             DataType::Timestamp => ColumnData::Timestamp(Vec::new()),
             DataType::Text => ColumnData::Text(TextColumn::new()),
+        }
+    }
+
+    /// An empty column of the given type, pre-sized for `capacity` rows.
+    pub fn with_capacity(dtype: DataType, capacity: usize) -> Self {
+        let mut col = ColumnData::empty(dtype);
+        col.reserve(capacity);
+        col
+    }
+
+    /// Reserve room for at least `additional` more rows.
+    pub fn reserve(&mut self, additional: usize) {
+        match self {
+            ColumnData::Int64(v) | ColumnData::Timestamp(v) => v.reserve(additional),
+            ColumnData::Float64(v) => v.reserve(additional),
+            ColumnData::Text(t) => t.reserve(additional),
         }
     }
 

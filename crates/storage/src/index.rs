@@ -17,7 +17,45 @@ use crate::error::{Result, StorageError};
 use crate::value::Value;
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+
+/// A multiply-shift hasher for the single-`i64`-key fast lane. SipHash
+/// (the default hasher) costs more than the rest of a probe put
+/// together on the decode/ingest hot path — every chunk row probes the
+/// shared join build side, and FK verification probes every ingested
+/// row. HashDoS resistance is irrelevant here: keys are system-assigned
+/// ids, not attacker-controlled input.
+#[derive(Default)]
+pub struct I64KeyHasher(u64);
+
+impl Hasher for I64KeyHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback (not used by `i64` keys, which go through
+        // `write_i64`): fold bytes with the same multiplier.
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    fn write_i64(&mut self, v: i64) {
+        // Mix, don't overwrite: tuple keys write one i64 per element.
+        self.0 = (self.0 ^ v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    fn finish(&self) -> u64 {
+        // The multiply pushes entropy to the high bits; fold them back
+        // down for HashMap's low-bit bucket masking.
+        self.0 ^ (self.0 >> 32)
+    }
+}
+
+/// Is this a column the `i64` fast lane can key on?
+fn i64_keyable(col: &ColumnData) -> Option<&[i64]> {
+    match col {
+        ColumnData::Int64(v) | ColumnData::Timestamp(v) => Some(v),
+        _ => None,
+    }
+}
 
 /// Hash one composite key (the values at `row` across `cols`).
 ///
@@ -55,11 +93,35 @@ pub fn rows_equal(
     })
 }
 
+/// The index payload: generic hashed composite keys, or the exact
+/// single-`i64`-key map of the fast lane (no collision re-check needed
+/// — the key *is* the map key).
+#[derive(Debug)]
+enum Buckets {
+    /// hash → candidate row positions (collisions resolved by re-check).
+    Generic(HashMap<u64, Vec<u32>>),
+    /// key → row positions, multiply-shift hashed.
+    I64(HashMap<i64, Vec<u32>, BuildHasherDefault<I64KeyHasher>>),
+    /// Two-integer composite key → row positions (e.g. the
+    /// `(seg_id, file_id)` probe of the chunk-side join).
+    I64Pair(HashMap<(i64, i64), Vec<u32>, BuildHasherDefault<I64KeyHasher>>),
+    /// Three-integer composite key → row positions (e.g. the
+    /// `(seg_id, file_id, hour_bucket)` probe of a windowed join).
+    I64Triple(HashMap<(i64, i64, i64), Vec<u32>, BuildHasherDefault<I64KeyHasher>>),
+}
+
+impl Default for Buckets {
+    fn default() -> Self {
+        Buckets::Generic(HashMap::new())
+    }
+}
+
 /// A multi-column hash index mapping composite keys to row positions.
+/// Single integer-family keys (the system-assigned chunk/segment ids
+/// every FK join and PK probe here uses) take an exact-keyed fast lane.
 #[derive(Debug, Default)]
 pub struct HashIndex {
-    /// hash → candidate row positions (collisions resolved by re-check).
-    buckets: HashMap<u64, Vec<u32>>,
+    buckets: Buckets,
     rows: usize,
 }
 
@@ -67,17 +129,78 @@ impl HashIndex {
     /// Build over the given key columns (all must share a length).
     pub fn build(cols: &[&ColumnData]) -> Self {
         let rows = cols.first().map_or(0, |c| c.len());
+        match cols {
+            [col] => {
+                if let Some(keys) = i64_keyable(col) {
+                    let mut map: HashMap<i64, Vec<u32>, BuildHasherDefault<I64KeyHasher>> =
+                        HashMap::with_capacity_and_hasher(rows, Default::default());
+                    for (r, &k) in keys.iter().enumerate() {
+                        map.entry(k).or_default().push(r as u32);
+                    }
+                    return HashIndex { buckets: Buckets::I64(map), rows };
+                }
+            }
+            [a, b] => {
+                if let (Some(ka), Some(kb)) = (i64_keyable(a), i64_keyable(b)) {
+                    let mut map: HashMap<
+                        (i64, i64),
+                        Vec<u32>,
+                        BuildHasherDefault<I64KeyHasher>,
+                    > = HashMap::with_capacity_and_hasher(rows, Default::default());
+                    for (r, (&x, &y)) in ka.iter().zip(kb).enumerate() {
+                        map.entry((x, y)).or_default().push(r as u32);
+                    }
+                    return HashIndex { buckets: Buckets::I64Pair(map), rows };
+                }
+            }
+            [a, b, c] => {
+                if let (Some(ka), Some(kb), Some(kc)) =
+                    (i64_keyable(a), i64_keyable(b), i64_keyable(c))
+                {
+                    let mut map: HashMap<
+                        (i64, i64, i64),
+                        Vec<u32>,
+                        BuildHasherDefault<I64KeyHasher>,
+                    > = HashMap::with_capacity_and_hasher(rows, Default::default());
+                    for (r, ((&x, &y), &z)) in ka.iter().zip(kb).zip(kc).enumerate() {
+                        map.entry((x, y, z)).or_default().push(r as u32);
+                    }
+                    return HashIndex { buckets: Buckets::I64Triple(map), rows };
+                }
+            }
+            _ => {}
+        }
         let mut buckets: HashMap<u64, Vec<u32>> = HashMap::with_capacity(rows);
         for r in 0..rows {
             buckets.entry(hash_row(cols, r)).or_default().push(r as u32);
         }
-        HashIndex { buckets, rows }
+        HashIndex { buckets: Buckets::Generic(buckets), rows }
     }
 
     /// Build and verify uniqueness (for primary keys). Returns an error
     /// naming the first duplicate found.
     pub fn build_unique(cols: &[&ColumnData], table: &str) -> Result<Self> {
         let rows = cols.first().map_or(0, |c| c.len());
+        if let [col] = cols {
+            if let Some(keys) = i64_keyable(col) {
+                let mut map: HashMap<i64, Vec<u32>, BuildHasherDefault<I64KeyHasher>> =
+                    HashMap::with_capacity_and_hasher(rows, Default::default());
+                for (r, &k) in keys.iter().enumerate() {
+                    match map.entry(k) {
+                        Entry::Vacant(e) => {
+                            e.insert(vec![r as u32]);
+                        }
+                        Entry::Occupied(_) => {
+                            return Err(StorageError::Constraint(format!(
+                                "duplicate primary key [{}] in table {table}",
+                                col.get(r)
+                            )));
+                        }
+                    }
+                }
+                return Ok(HashIndex { buckets: Buckets::I64(map), rows });
+            }
+        }
         let mut buckets: HashMap<u64, Vec<u32>> = HashMap::with_capacity(rows);
         for r in 0..rows {
             match buckets.entry(hash_row(cols, r)) {
@@ -97,7 +220,7 @@ impl HashIndex {
                 }
             }
         }
-        Ok(HashIndex { buckets, rows })
+        Ok(HashIndex { buckets: Buckets::Generic(buckets), rows })
     }
 
     /// Number of indexed rows.
@@ -114,18 +237,118 @@ impl HashIndex {
         row: usize,
         table: &str,
     ) -> Result<()> {
-        let h = hash_row(cols, row);
-        if let Some(bucket) = self.buckets.get(&h) {
-            for &prev in bucket {
-                if rows_equal(cols, prev as usize, cols, row) {
-                    let key: Vec<Value> = cols.iter().map(|c| c.get(row)).collect();
-                    return Err(StorageError::Constraint(format!(
-                        "duplicate primary key {key:?} in table {table}"
-                    )));
+        // A default-constructed (empty) index adopts a fast lane on
+        // first insert when the key shape allows it.
+        if self.rows == 0 {
+            if let Buckets::Generic(_) = &self.buckets {
+                match cols {
+                    [col] if i64_keyable(col).is_some() => {
+                        self.buckets = Buckets::I64(HashMap::default());
+                    }
+                    [a, b] if i64_keyable(a).is_some() && i64_keyable(b).is_some() => {
+                        self.buckets = Buckets::I64Pair(HashMap::default());
+                    }
+                    [a, b, c]
+                        if i64_keyable(a).is_some()
+                            && i64_keyable(b).is_some()
+                            && i64_keyable(c).is_some() =>
+                    {
+                        self.buckets = Buckets::I64Triple(HashMap::default());
+                    }
+                    _ => {}
                 }
             }
         }
-        self.buckets.entry(h).or_default().push(row as u32);
+        match &mut self.buckets {
+            Buckets::I64(map) => {
+                let [col] = cols else {
+                    return Err(StorageError::Value(
+                        "composite key inserted into a single-key index".into(),
+                    ));
+                };
+                let Some(keys) = i64_keyable(col) else {
+                    return Err(StorageError::Value(
+                        "non-integer key inserted into an i64-keyed index".into(),
+                    ));
+                };
+                match map.entry(keys[row]) {
+                    Entry::Vacant(e) => {
+                        e.insert(vec![row as u32]);
+                    }
+                    Entry::Occupied(_) => {
+                        return Err(StorageError::Constraint(format!(
+                            "duplicate primary key [{}] in table {table}",
+                            col.get(row)
+                        )));
+                    }
+                }
+            }
+            Buckets::I64Pair(map) => {
+                let [a, b] = cols else {
+                    return Err(StorageError::Value(
+                        "key arity mismatch on a two-key index".into(),
+                    ));
+                };
+                let (Some(ka), Some(kb)) = (i64_keyable(a), i64_keyable(b)) else {
+                    return Err(StorageError::Value(
+                        "non-integer key inserted into an i64-keyed index".into(),
+                    ));
+                };
+                match map.entry((ka[row], kb[row])) {
+                    Entry::Vacant(e) => {
+                        e.insert(vec![row as u32]);
+                    }
+                    Entry::Occupied(_) => {
+                        return Err(StorageError::Constraint(format!(
+                            "duplicate primary key [{}, {}] in table {table}",
+                            a.get(row),
+                            b.get(row)
+                        )));
+                    }
+                }
+            }
+            Buckets::I64Triple(map) => {
+                let [a, b, c] = cols else {
+                    return Err(StorageError::Value(
+                        "key arity mismatch on a three-key index".into(),
+                    ));
+                };
+                let (Some(ka), Some(kb), Some(kc)) =
+                    (i64_keyable(a), i64_keyable(b), i64_keyable(c))
+                else {
+                    return Err(StorageError::Value(
+                        "non-integer key inserted into an i64-keyed index".into(),
+                    ));
+                };
+                match map.entry((ka[row], kb[row], kc[row])) {
+                    Entry::Vacant(e) => {
+                        e.insert(vec![row as u32]);
+                    }
+                    Entry::Occupied(_) => {
+                        return Err(StorageError::Constraint(format!(
+                            "duplicate primary key [{}, {}, {}] in table {table}",
+                            a.get(row),
+                            b.get(row),
+                            c.get(row)
+                        )));
+                    }
+                }
+            }
+            Buckets::Generic(buckets) => {
+                let h = hash_row(cols, row);
+                if let Some(bucket) = buckets.get(&h) {
+                    for &prev in bucket {
+                        if rows_equal(cols, prev as usize, cols, row) {
+                            let key: Vec<Value> = cols.iter().map(|c| c.get(row)).collect();
+                            return Err(StorageError::Constraint(format!(
+                                "duplicate primary key {key:?} in table {table}"
+                            )));
+                        }
+                    }
+                }
+                buckets.entry(h).or_default().push(row as u32);
+            }
+        }
         self.rows += 1;
         Ok(())
     }
@@ -138,22 +361,76 @@ impl HashIndex {
         probe_cols: &[&ColumnData],
         probe_row: usize,
     ) -> impl Iterator<Item = u32> + '_ {
-        let hash = hash_row(probe_cols, probe_row);
-        let candidates = self.buckets.get(&hash).map(|v| v.as_slice()).unwrap_or(&[]);
-        // Capture owned copies of what the filter closure needs.
-        let build: Vec<&ColumnData> = build_cols.to_vec();
-        let probe: Vec<&ColumnData> = probe_cols.to_vec();
-        candidates
-            .iter()
-            .copied()
-            .filter(move |&b| rows_equal(&build, b as usize, &probe, probe_row))
-            .collect::<Vec<_>>()
-            .into_iter()
+        let mut hits = Vec::new();
+        self.probe_into(build_cols, probe_cols, probe_row, &mut hits);
+        hits.into_iter()
+    }
+
+    /// Allocation-free probe: append the matching build-side positions
+    /// to `out`. The bulk join probe calls this once per probe row with
+    /// a reused scratch vector — the decode/ingest hot path probes
+    /// every chunk row, so per-row allocations here dominate whole
+    /// pipelines.
+    pub fn probe_into(
+        &self,
+        build_cols: &[&ColumnData],
+        probe_cols: &[&ColumnData],
+        probe_row: usize,
+        out: &mut Vec<u32>,
+    ) {
+        match &self.buckets {
+            Buckets::I64(map) => {
+                // Exact-keyed: no hash collisions, no row re-check. A
+                // probe whose key shape cannot match an integer key
+                // matches nothing (as the generic re-check would rule).
+                let [col] = probe_cols else { return };
+                let Some(keys) = i64_keyable(col) else { return };
+                if let Some(candidates) = map.get(&keys[probe_row]) {
+                    out.extend_from_slice(candidates);
+                }
+            }
+            Buckets::I64Pair(map) => {
+                let [a, b] = probe_cols else { return };
+                let (Some(ka), Some(kb)) = (i64_keyable(a), i64_keyable(b)) else { return };
+                if let Some(candidates) = map.get(&(ka[probe_row], kb[probe_row])) {
+                    out.extend_from_slice(candidates);
+                }
+            }
+            Buckets::I64Triple(map) => {
+                let [a, b, c] = probe_cols else { return };
+                let (Some(ka), Some(kb), Some(kc)) =
+                    (i64_keyable(a), i64_keyable(b), i64_keyable(c))
+                else {
+                    return;
+                };
+                if let Some(candidates) =
+                    map.get(&(ka[probe_row], kb[probe_row], kc[probe_row]))
+                {
+                    out.extend_from_slice(candidates);
+                }
+            }
+            Buckets::Generic(buckets) => {
+                let hash = hash_row(probe_cols, probe_row);
+                if let Some(candidates) = buckets.get(&hash) {
+                    for &b in candidates {
+                        if rows_equal(build_cols, b as usize, probe_cols, probe_row) {
+                            out.push(b);
+                        }
+                    }
+                }
+            }
+        }
     }
 
     /// Approximate heap bytes (for the Table III "+keys" column).
     pub fn approx_bytes(&self) -> usize {
-        self.buckets.len() * 48 + self.rows * 4
+        let keys = match &self.buckets {
+            Buckets::Generic(b) => b.len(),
+            Buckets::I64(m) => m.len(),
+            Buckets::I64Pair(m) => m.len(),
+            Buckets::I64Triple(m) => m.len(),
+        };
+        keys * 48 + self.rows * 4
     }
 }
 

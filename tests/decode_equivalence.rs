@@ -1,0 +1,331 @@
+//! Decode-hot-path equivalence: the single-pass arena-backed chunk
+//! decode and the indexed stage-1 candidate selection must never change
+//! answers, only costs.
+//!
+//! * T1–T5 on both built-in adapters, new decode vs the retained
+//!   reference decode (per-segment relations + unions), byte-identical.
+//! * Per-chunk decode equality across projections, including the
+//!   projection × empty-chunk regression (the projected width must
+//!   survive a chunk with no rows on both adapters).
+//! * The zone interval index used as the pruning pass's prefilter must
+//!   leave the surviving chunk list identical to the per-chunk scan.
+
+use sommelier_core::adapters::{
+    generate_event_logs, write_log_file, EventLogAdapter, EventLogSpec,
+};
+use sommelier_core::chunks::{ChunkRegistry, FileEntry};
+use sommelier_core::source::SourceAdapter;
+use sommelier_core::{LoadingMode, QueryResult, Sommelier, SommelierConfig};
+use sommelier_engine::expr::CmpOp;
+use sommelier_engine::logical::LogicalPlan;
+use sommelier_engine::optimizer::{self, Stage2Options, ZoneCandidates, ZoneConstraint};
+use sommelier_engine::physical::ChunkRef;
+use sommelier_engine::{ColumnZone, Expr, Relation};
+use sommelier_integration::{ingv_repo, TempDir};
+use sommelier_mseed::{MseedAdapter, Repository};
+use sommelier_storage::{Database, Value};
+use std::path::Path;
+
+/// Every query decodes (no recycler), so the decode path is what runs.
+fn config() -> SommelierConfig {
+    SommelierConfig { use_recycler: false, ..SommelierConfig::default() }
+}
+
+fn mseed_system(repo: &Repository, reference: bool) -> Sommelier {
+    let adapter = MseedAdapter::new(Repository::at(repo.dir()));
+    let adapter = if reference { adapter.with_reference_decode() } else { adapter };
+    let somm = Sommelier::builder().source(adapter).config(config()).build().unwrap();
+    somm.prepare(LoadingMode::Lazy).unwrap();
+    somm
+}
+
+fn eventlog_system(logs: &Path, reference: bool) -> Sommelier {
+    let adapter = EventLogAdapter::new(logs);
+    let adapter = if reference { adapter.with_reference_decode() } else { adapter };
+    let somm = Sommelier::builder().source(adapter).config(config()).build().unwrap();
+    somm.prepare(LoadingMode::Lazy).unwrap();
+    somm
+}
+
+/// T1–T5 against the seismology source (the same shapes the optimizer
+/// equivalence suite runs).
+fn mseed_queries() -> Vec<&'static str> {
+    vec![
+        "SELECT COUNT(*) AS n FROM F WHERE station = 'ISK'",
+        "SELECT window_start_ts, window_max_val FROM H \
+         WHERE window_station = 'ISK' AND window_channel = 'BHE' \
+         AND window_start_ts < '2010-01-01T04:00:00.000' \
+         ORDER BY window_start_ts",
+        "SELECT COUNT(*) AS n FROM windowview \
+         WHERE F.station = 'ISK' AND H.window_max_val > -1000000000 \
+         AND H.window_start_ts < '2010-01-01T04:00:00.000'",
+        "SELECT AVG(D.sample_value) FROM dataview \
+         WHERE F.station = 'ISK' \
+         AND D.sample_time >= '2010-01-01T00:00:00.000' \
+         AND D.sample_time < '2010-01-02T00:00:00.000'",
+        "SELECT AVG(D.sample_value) FROM windowdataview \
+         WHERE F.station = 'ISK' AND H.window_max_val > -1000000000 \
+         AND H.window_start_ts < '2010-01-01T04:00:00.000'",
+    ]
+}
+
+fn eventlog_queries() -> Vec<&'static str> {
+    vec![
+        "SELECT COUNT(*) AS n FROM G WHERE host = 'web-1'",
+        "SELECT day_start_ts, day_max_val FROM Y \
+         WHERE day_host = 'web-1' AND day_service = 'api' \
+         AND day_start_ts < '2011-03-03T00:00:00.000' \
+         ORDER BY day_start_ts",
+        "SELECT COUNT(*) AS n FROM dayview \
+         WHERE G.host = 'web-1' AND Y.day_max_val > 0 \
+         AND Y.day_start_ts < '2011-03-03T00:00:00.000'",
+        "SELECT AVG(E.val) FROM eventview WHERE G.host = 'web-1'",
+        "SELECT AVG(E.val) FROM daylogview \
+         WHERE G.host = 'web-1' AND Y.day_max_val > 0 \
+         AND Y.day_start_ts < '2011-03-03T00:00:00.000'",
+    ]
+}
+
+/// Exact bit-level rendering of a result (floats as their raw bits).
+fn bits(r: &QueryResult) -> String {
+    relation_bits(&r.relation)
+}
+
+fn relation_bits(rel: &Relation) -> String {
+    let mut out = format!("{:?}|", rel.names());
+    for row in 0..rel.rows() {
+        for name in rel.names() {
+            match rel.value(row, name).unwrap() {
+                Value::Float(f) => out.push_str(&format!("f{:016x},", f.to_bits())),
+                other => out.push_str(&format!("{other:?},")),
+            }
+        }
+        out.push(';');
+    }
+    out
+}
+
+#[test]
+fn mseed_t1_t5_byte_identical_new_vs_reference_decode() {
+    let dir = TempDir::new("deceq-mseed");
+    let repo = ingv_repo(&dir, 3, 16);
+    let new = mseed_system(&repo, false);
+    let reference = mseed_system(&repo, true);
+    for sql in mseed_queries() {
+        assert_eq!(
+            bits(&new.query(sql).unwrap()),
+            bits(&reference.query(sql).unwrap()),
+            "single-pass decode changed the answer of {sql}"
+        );
+    }
+}
+
+#[test]
+fn eventlog_t1_t5_byte_identical_new_vs_reference_decode() {
+    let dir = TempDir::new("deceq-evl");
+    let logs = dir.join("logs");
+    generate_event_logs(&logs, &EventLogSpec::small(4, 64)).unwrap();
+    let new = eventlog_system(&logs, false);
+    let reference = eventlog_system(&logs, true);
+    for sql in eventlog_queries() {
+        assert_eq!(
+            bits(&new.query(sql).unwrap()),
+            bits(&reference.query(sql).unwrap()),
+            "single-pass decode changed the answer of {sql}"
+        );
+    }
+}
+
+/// Chunk-level equality across projections: every registered mSEED
+/// chunk decodes to bit-identical relations on both paths, for the
+/// full width and for each single-column projection.
+#[test]
+fn mseed_per_chunk_decode_matches_reference_across_projections() {
+    let dir = TempDir::new("decchunk-mseed");
+    let repo = ingv_repo(&dir, 2, 32);
+    let adapter = MseedAdapter::new(Repository::at(repo.dir()));
+    let db = sommelier_storage::Database::in_memory(Default::default());
+    for s in sommelier_mseed::adapter::all_schemas() {
+        db.create_table(s, sommelier_storage::catalog::Disposition::Resident).unwrap();
+    }
+    let (registry, _) = sommelier_core::registrar::register_source(&db, &adapter, 2).unwrap();
+    let projections: Vec<Option<Vec<String>>> = vec![
+        None,
+        Some(vec!["D.sample_value".into()]),
+        Some(vec!["D.sample_time".into()]),
+        Some(vec!["D.file_id".into(), "D.sample_value".into()]),
+    ];
+    for entry in registry.entries() {
+        for projection in &projections {
+            let p = projection.as_deref();
+            let new = adapter.decode(entry, p).unwrap();
+            let reference = adapter.decode_reference(entry, p).unwrap();
+            assert_eq!(
+                relation_bits(&new),
+                relation_bits(&reference),
+                "chunk {} projection {projection:?}",
+                entry.uri
+            );
+        }
+    }
+}
+
+/// Projection × empty chunk: a chunk with no rows must still produce
+/// the projected width, on both adapters and both decode paths.
+#[test]
+fn empty_chunks_keep_projected_width() {
+    let dir = TempDir::new("decempty");
+
+    // mSEED: a zero-segment chunk file.
+    let msd = dir.join("empty.msd");
+    let file = sommelier_mseed::MseedFile {
+        meta: sommelier_mseed::FileMeta::new("IV", "ISK", "", "BHE"),
+        segments: vec![],
+    };
+    sommelier_mseed::write_file(&msd, &file).unwrap();
+    let entry = FileEntry {
+        uri: msd.to_string_lossy().into_owned(),
+        file_id: 1,
+        seg_base: 0,
+        seg_count: 0,
+        zones: vec![],
+    };
+    let adapter = MseedAdapter::new(Repository::at(dir.join("unused")));
+    let cases: Vec<(Option<Vec<String>>, Vec<&str>)> = vec![
+        (None, vec!["D.file_id", "D.seg_id", "D.sample_time", "D.sample_value"]),
+        (Some(vec!["D.sample_value".into()]), vec!["D.sample_value"]),
+        (
+            Some(vec!["D.seg_id".into(), "D.sample_time".into()]),
+            vec!["D.seg_id", "D.sample_time"],
+        ),
+    ];
+    for (projection, want) in &cases {
+        for rel in [
+            adapter.decode(&entry, projection.as_deref()).unwrap(),
+            adapter.decode_reference(&entry, projection.as_deref()).unwrap(),
+        ] {
+            assert_eq!(rel.rows(), 0);
+            assert_eq!(&rel.names(), want, "projection {projection:?}");
+        }
+    }
+
+    // Event log: a header-only chunk file.
+    let evl = dir.join("empty.evl");
+    write_log_file(&evl, "web-1", "api", 0, &[]).unwrap();
+    let entry = FileEntry {
+        uri: evl.to_string_lossy().into_owned(),
+        file_id: 2,
+        seg_base: 0,
+        seg_count: 1,
+        zones: vec![],
+    };
+    let adapter = EventLogAdapter::new(dir.join("unused"));
+    let cases: Vec<(Option<Vec<String>>, Vec<&str>)> = vec![
+        (None, vec!["E.log_id", "E.ts", "E.val"]),
+        (Some(vec!["E.val".into()]), vec!["E.val"]),
+        (Some(vec!["E.log_id".into(), "E.ts".into()]), vec!["E.log_id", "E.ts"]),
+    ];
+    for (projection, want) in &cases {
+        for rel in [
+            adapter.decode(&entry, projection.as_deref()).unwrap(),
+            adapter.decode_reference(&entry, projection.as_deref()).unwrap(),
+        ] {
+            assert_eq!(rel.rows(), 0);
+            assert_eq!(&rel.names(), want, "projection {projection:?}");
+        }
+    }
+}
+
+/// The pruning pass with the interval index as prefilter must keep
+/// exactly the chunks the per-chunk scan keeps — same surviving list,
+/// same order, same pruned count.
+#[test]
+fn indexed_pruning_pass_matches_per_chunk_scan() {
+    // A synthetic day-partitioned registry: chunk i covers
+    // [i*1000, i*1000+999] on D.sample_time; every 7th chunk has no
+    // zones (never prunable).
+    let entries: Vec<FileEntry> = (0..200)
+        .map(|i| FileEntry {
+            uri: format!("chunk-{i:04}"),
+            file_id: i,
+            seg_base: 0,
+            seg_count: 1,
+            zones: if i % 7 == 0 {
+                vec![]
+            } else {
+                vec![ColumnZone {
+                    column: "D.sample_time".into(),
+                    min: Value::Time(i * 1000),
+                    max: Value::Time(i * 1000 + 999),
+                }]
+            },
+        })
+        .collect();
+    let registry = ChunkRegistry::new(entries);
+    let chunk_refs: Vec<ChunkRef> = registry
+        .entries()
+        .iter()
+        .map(|e| ChunkRef { uri: e.uri.clone(), cached: false })
+        .collect();
+
+    // A window predicate pushed down onto the lazy scan.
+    let plan = LogicalPlan::LazyScan {
+        table: "D".into(),
+        columns: vec!["D.sample_time".into(), "D.sample_value".into()],
+        predicate: Some(
+            Expr::col("D.sample_time").cmp(CmpOp::Ge, Expr::lit(Value::Time(42_000))).and(
+                Expr::col("D.sample_time").cmp(CmpOp::Lt, Expr::lit(Value::Time(51_000))),
+            ),
+        ),
+    };
+    let db = Database::in_memory(Default::default());
+    let opts = Stage2Options {
+        use_index_joins: false,
+        pushdown: true,
+        projection_pushdown: true,
+        zone_map_pruning: true,
+    };
+    let zones = |uri: &str| registry.zones_of(uri);
+    let candidates = |constraints: &[ZoneConstraint]| -> Option<ZoneCandidates> {
+        registry.zone_candidates(constraints)
+    };
+
+    let indexed = optimizer::rewrite_stage2(
+        &plan,
+        &db,
+        Some(chunk_refs.clone()),
+        Some(&zones),
+        Some(&candidates),
+        None,
+        &opts,
+    )
+    .unwrap();
+    let scanned = optimizer::rewrite_stage2(
+        &plan,
+        &db,
+        Some(chunk_refs.clone()),
+        Some(&zones),
+        None,
+        None,
+        &opts,
+    )
+    .unwrap();
+
+    let uris = |chunks: &Option<Vec<ChunkRef>>| -> Vec<String> {
+        chunks.as_ref().unwrap().iter().map(|c| c.uri.clone()).collect()
+    };
+    assert_eq!(uris(&indexed.chunks), uris(&scanned.chunks));
+    assert_eq!(indexed.pruned, scanned.pruned);
+    // The window covers the zoned chunks 42..=50 (minus the two that
+    // are 7-multiples and hence unzoned) plus all 29 unzoned chunks.
+    assert_eq!(indexed.chunks.as_ref().unwrap().len(), 7 + 29);
+    assert!(indexed.pruned > 0);
+    let detail = indexed
+        .trace
+        .iter()
+        .find(|t| t.name == "zone_map_pruning")
+        .expect("pass traced")
+        .detail
+        .clone();
+    assert!(detail.contains("indexed"), "prefilter path recorded: {detail}");
+}
