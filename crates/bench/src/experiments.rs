@@ -910,6 +910,102 @@ pub fn decode_hotpath_sized(scale: &BenchScale, reg_chunks: usize) -> Result<Tab
     Ok(t)
 }
 
+/// Observability overhead: the decode-bound T4/T5 sweep (FIAM sf-1,
+/// recycler off, 1 worker, simulated I/O off — the `decode_hotpath`
+/// configuration) at each [`sommelier_core::ObsLevel`]. `Off` is the baseline;
+/// `Counters` (the default level) must stay within noise of it, and
+/// `result_bits` must be byte-identical across all three levels.
+pub fn obs_overhead(scale: &BenchScale) -> Result<Table> {
+    use crate::runner::fresh_system_with_adapter;
+    use sommelier_core::ObsLevel;
+    use sommelier_mseed::{MseedAdapter, Repository};
+
+    let mut t = Table::new(
+        "Observability overhead: T4/T5 decode-bound sweep at Off / Counters / Spans",
+        &[
+            "experiment",
+            "query",
+            "level",
+            "wall_s",
+            "load_s",
+            "runs",
+            "overhead_pct",
+            "result_bits",
+        ],
+    );
+    let sf = 1;
+    let (repo, _) = dataset(scale, DatasetKind::Fiam, sf);
+    let total_days = days_for_sf(sf) as i64;
+    let (a, b) = queries::day_range(start_day(), total_days);
+    let sqls = [("T4", queries::t4_selectivity(a, b)), ("T5", queries::t5_selectivity(a, b))];
+    let config = |level: ObsLevel| SommelierConfig {
+        use_recycler: false,
+        max_threads: 1,
+        sim_io: None,
+        sim_chunk_io: None,
+        observability: level,
+        ..bench_config(scale)
+    };
+    for (name, sql) in &sqls {
+        let mut off_wall: Option<f64> = None;
+        for level in [ObsLevel::Off, ObsLevel::Counters, ObsLevel::Spans] {
+            let adapter = MseedAdapter::new(Repository::at(repo.dir()));
+            let guard =
+                fresh_system_with_adapter(scale, adapter, LoadingMode::Lazy, config(level))?;
+            // Warm run: derive any DMd the query needs (T5's windows)
+            // so the timed runs measure the observed hot path only.
+            guard.somm.query(sql)?;
+            let runs = scale.runs.max(1);
+            // Best-of-N: the minimum is robust to scheduler noise,
+            // which at ~5 ms per run otherwise swamps the sub-percent
+            // counter overhead being measured.
+            let mut wall = std::time::Duration::MAX;
+            let mut load = std::time::Duration::MAX;
+            let mut last = None;
+            for _ in 0..runs {
+                guard.somm.flush_caches();
+                let (r, d) = time_it(|| guard.somm.query(sql));
+                let r = r?;
+                wall = wall.min(d);
+                load = load.min(r.stats.load);
+                last = Some(r);
+            }
+            let last = last.expect("runs >= 1");
+            let avg = match last
+                .relation
+                .value(0, "avg")
+                .map_err(sommelier_core::SommelierError::Engine)?
+            {
+                sommelier_storage::Value::Float(v) => v,
+                other => {
+                    return Err(sommelier_core::SommelierError::Usage(format!(
+                        "expected a float AVG, got {other:?}"
+                    )))
+                }
+            };
+            let wall_s = wall.as_secs_f64();
+            let overhead = match off_wall {
+                None => {
+                    off_wall = Some(wall_s);
+                    "-".to_string()
+                }
+                Some(base) => format!("{:+.2}", 100.0 * (wall_s - base) / base.max(1e-12)),
+            };
+            t.row(vec![
+                "obs_overhead".into(),
+                name.to_string(),
+                format!("{level:?}"),
+                format!("{wall_s:.6}"),
+                secs(load),
+                runs.to_string(),
+                overhead,
+                format!("{:016x}", avg.to_bits()),
+            ]);
+        }
+    }
+    Ok(t)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

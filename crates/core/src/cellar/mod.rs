@@ -42,9 +42,9 @@ use crate::error::SommelierError;
 use crate::source::SourceDescriptor;
 use parking_lot::{Condvar, Mutex};
 use sommelier_engine::eval::eval_scalar;
-use sommelier_engine::exec::run_indexed;
+use sommelier_engine::exec::run_indexed_obs;
 use sommelier_engine::twostage::{AcquiredChunk, ChunkResidency, ChunkSink, ChunkSource};
-use sommelier_engine::{ColumnZone, EngineError, ParallelMode, Relation};
+use sommelier_engine::{ColumnZone, EngineError, Obs, ParallelMode, Relation};
 use sommelier_storage::Database;
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -65,6 +65,11 @@ pub struct CellarConfig {
     /// the cellar into a pure single-flight loader (every query
     /// re-ingests, as with the recycler disabled).
     pub retain: bool,
+    /// Observability handle: worker-pool counters of the decode pools
+    /// flow through it. The cellar's own counters live in its internal
+    /// stats atomics regardless (they are mirrored into the metrics
+    /// registry at snapshot time), so `Obs::off()` costs nothing here.
+    pub obs: Obs,
 }
 
 impl Default for CellarConfig {
@@ -73,6 +78,7 @@ impl Default for CellarConfig {
             budget_bytes: 256 * 1024 * 1024,
             policy: CellarPolicyKind::Lru,
             retain: true,
+            obs: Obs::off(),
         }
     }
 }
@@ -104,6 +110,9 @@ pub struct CellarSnapshot {
     pub reclaimed_rows: u64,
     /// Reclamation attempts that failed (left to re-derivation).
     pub reclaim_failures: u64,
+    /// Total nanoseconds spent blocked on in-flight-load latches
+    /// (single-flight pin waits, across every wait site).
+    pub pin_wait_ns: u64,
 }
 
 #[derive(Default)]
@@ -115,6 +124,7 @@ struct CellarStats {
     evictions: AtomicU64,
     reclaimed_rows: AtomicU64,
     reclaim_failures: AtomicU64,
+    pin_wait_ns: AtomicU64,
 }
 
 /// Result of one in-flight load, shared through the latch.
@@ -339,6 +349,7 @@ impl Cellar {
             evictions: self.stats.evictions.load(Ordering::Relaxed),
             reclaimed_rows: self.stats.reclaimed_rows.load(Ordering::Relaxed),
             reclaim_failures: self.stats.reclaim_failures.load(Ordering::Relaxed),
+            pin_wait_ns: self.stats.pin_wait_ns.load(Ordering::Relaxed),
         }
     }
 
@@ -411,7 +422,7 @@ impl Cellar {
         // failures — then enforce the budget on the unpinned rest.
         let mut first_error: Option<EngineError> = None;
         let mut reclaim_list: Vec<String> = Vec::new();
-        let mut claimed_rels: HashMap<&str, Arc<Relation>> = HashMap::new();
+        let mut claimed_rels: HashMap<&str, (Arc<Relation>, Duration)> = HashMap::new();
         {
             let mut inner = self.inner.lock();
             for ((uri, latch), outcome) in claims.iter().zip(decoded) {
@@ -420,7 +431,7 @@ impl Cellar {
                         let relation = Arc::new(relation);
                         self.admit_pinned_locked(&mut inner, uri, &relation, cost, None);
                         owned_pins.push(uri.clone());
-                        claimed_rels.insert(uri.as_str(), Arc::clone(&relation));
+                        claimed_rels.insert(uri.as_str(), (Arc::clone(&relation), cost));
                         latch.publish(Ok((relation, cost)));
                     }
                     Err(e) => {
@@ -468,33 +479,49 @@ impl Cellar {
         uri: &str,
         task: StreamTask,
         owned_pins: &mut Vec<String>,
-        claimed_rels: &HashMap<&str, Arc<Relation>>,
+        claimed_rels: &HashMap<&str, (Arc<Relation>, Duration)>,
     ) -> sommelier_engine::Result<AcquiredChunk> {
         match task {
-            StreamTask::Hit(relation) => {
-                Ok(AcquiredChunk { relation, loaded: false, joined: false })
-            }
+            StreamTask::Hit(relation) => Ok(AcquiredChunk::untimed(relation, false, false)),
             StreamTask::HitNarrow => {
                 // The resident relation is too narrow for this request
                 // (it keeps our pin for symmetric release); decode a
                 // private full-width copy.
+                let t = Instant::now();
                 let relation = self.load_private(uri, None)?;
-                Ok(AcquiredChunk { relation, loaded: true, joined: false })
+                Ok(AcquiredChunk {
+                    relation,
+                    loaded: true,
+                    joined: false,
+                    decode: t.elapsed(),
+                    pin_wait: Duration::ZERO,
+                })
             }
             StreamTask::Claimed(_) => {
-                let relation =
-                    Arc::clone(claimed_rels.get(uri).expect("claim outcome recorded"));
-                Ok(AcquiredChunk { relation, loaded: true, joined: false })
+                let (relation, cost) = claimed_rels.get(uri).expect("claim outcome recorded");
+                Ok(AcquiredChunk {
+                    relation: Arc::clone(relation),
+                    loaded: true,
+                    joined: false,
+                    decode: *cost,
+                    pin_wait: Duration::ZERO,
+                })
             }
-            StreamTask::Joined(latch) => match latch.wait() {
-                Ok((relation, cost)) => {
+            StreamTask::Joined(latch) => match self.wait_latch(&latch) {
+                (Ok((relation, cost)), waited) => {
                     self.stats.joins.fetch_add(1, Ordering::Relaxed);
                     let relation =
                         self.pin_or_readmit(uri, relation, cost, latch.projection.clone());
                     owned_pins.push(uri.to_string());
-                    Ok(AcquiredChunk { relation, loaded: false, joined: true })
+                    Ok(AcquiredChunk {
+                        relation,
+                        loaded: false,
+                        joined: true,
+                        decode: Duration::ZERO,
+                        pin_wait: waited,
+                    })
                 }
-                Err(msg) => {
+                (Err(msg), _) => {
                     Err(EngineError::Chunk(format!("joined load of {uri:?} failed: {msg}")))
                 }
             },
@@ -504,9 +531,15 @@ impl Cellar {
                     self.settle_acquired(uri, t, owned_pins, claimed_rels)
                 }
                 StreamTask::Claimed(latch) => {
-                    let relation = self.load_claim(uri, &latch)?;
+                    let (relation, cost) = self.load_claim(uri, &latch)?;
                     owned_pins.push(uri.to_string());
-                    Ok(AcquiredChunk { relation, loaded: true, joined: false })
+                    Ok(AcquiredChunk {
+                        relation,
+                        loaded: true,
+                        joined: false,
+                        decode: cost,
+                        pin_wait: Duration::ZERO,
+                    })
                 }
                 t @ StreamTask::Joined(_) => {
                     self.settle_acquired(uri, t, owned_pins, claimed_rels)
@@ -514,6 +547,21 @@ impl Cellar {
                 StreamTask::Retry(_) => unreachable!("classify_settled never returns Retry"),
             },
         }
+    }
+
+    /// Wait on an in-flight-load latch, charging the blocked time to
+    /// the `pin_wait_ns` stat. Returns the latch outcome plus how long
+    /// this caller actually waited (zero-ish when the load had already
+    /// published).
+    fn wait_latch(
+        &self,
+        latch: &LoadLatch,
+    ) -> (Result<(Arc<Relation>, Duration), String>, Duration) {
+        let t = Instant::now();
+        let outcome = latch.wait();
+        let waited = t.elapsed();
+        self.stats.pin_wait_ns.fetch_add(waited.as_nanos() as u64, Ordering::Relaxed);
+        (outcome, waited)
     }
 
     /// Pin `uri` if still resident; otherwise re-admit the relation
@@ -569,7 +617,7 @@ impl Cellar {
             // If the reload fails its loader withdraws the slot; our
             // latched copy is still valid data, so the next iteration
             // re-admits it.
-            let _ = latch.wait();
+            let _ = self.wait_latch(&latch);
         }
     }
 
@@ -594,14 +642,20 @@ impl Cellar {
         claims: &[(String, Arc<LoadLatch>)],
         max_threads: usize,
     ) -> Vec<DecodeOutcome> {
-        run_indexed(claims.len(), ParallelMode::Static, max_threads, |i| {
-            let t = Instant::now();
-            self.source_of(&claims[i].0)
-                .and_then(|s| {
-                    s.source.load_chunk(&claims[i].0, claims[i].1.projection.as_deref())
-                })
-                .map(|r| (r, t.elapsed()))
-        })
+        run_indexed_obs(
+            claims.len(),
+            ParallelMode::Static,
+            max_threads,
+            &self.config.obs,
+            |i| {
+                let t = Instant::now();
+                self.source_of(&claims[i].0)
+                    .and_then(|s| {
+                        s.source.load_chunk(&claims[i].0, claims[i].1.projection.as_deref())
+                    })
+                    .map(|r| (r, t.elapsed()))
+            },
+        )
     }
 
     /// Exchange-style decoding: per-segment units of all claimed chunks
@@ -631,12 +685,17 @@ impl Cellar {
                 Err(e) => out[fi] = Err(e),
             }
         }
-        let results =
-            run_indexed(slots.len(), ParallelMode::Exchange { workers }, workers, |i| {
+        let results = run_indexed_obs(
+            slots.len(),
+            ParallelMode::Exchange { workers },
+            workers,
+            &self.config.obs,
+            |i| {
                 let unit = slots[i].1.lock().take().expect("each unit taken once");
                 let t = Instant::now();
                 unit().map(|rel| (rel, t.elapsed()))
-            });
+            },
+        );
         for (&(fi, _), result) in slots.iter().zip(results) {
             if out[fi].is_err() {
                 continue;
@@ -727,7 +786,7 @@ impl Cellar {
         // unpins.
         let first_error: Mutex<Option<EngineError>> = Mutex::new(None);
         for pass in [&eager, &joins] {
-            run_indexed(pass.len(), parallel, max_threads, |k| {
+            run_indexed_obs(pass.len(), parallel, max_threads, &self.config.obs, |k| {
                 let i = pass[k];
                 self.run_task(i, &uris[i], &tasks[i], projection, sink, &first_error)
             });
@@ -792,7 +851,7 @@ impl Cellar {
                 StreamTask::Retry(latch) => {
                     // The conflicting load resolves (publishes or
                     // withdraws) and we look again.
-                    let _ = latch.wait();
+                    let _ = self.wait_latch(&latch);
                 }
                 other => return other,
             }
@@ -807,7 +866,7 @@ impl Cellar {
         &self,
         uri: &str,
         latch: &LoadLatch,
-    ) -> sommelier_engine::Result<Arc<Relation>> {
+    ) -> sommelier_engine::Result<(Arc<Relation>, Duration)> {
         let t = Instant::now();
         let outcome = self
             .source_of(uri)
@@ -830,7 +889,7 @@ impl Cellar {
                 }
                 self.reclaim_all(&reclaim_list);
                 latch.publish(Ok((Arc::clone(&relation), cost)));
-                Ok(relation)
+                Ok((relation, cost))
             }
             Err(e) => {
                 self.inner.lock().slots.remove(uri);
@@ -908,11 +967,7 @@ impl Cellar {
         match task {
             StreamTask::Hit(relation) => {
                 if !aborted() {
-                    let chunk = AcquiredChunk {
-                        relation: Arc::clone(relation),
-                        loaded: false,
-                        joined: false,
-                    };
+                    let chunk = AcquiredChunk::untimed(Arc::clone(relation), false, false);
                     if let Err(e) = sink(i, chunk) {
                         record(e);
                     }
@@ -924,10 +979,16 @@ impl Cellar {
                 // needs: decode privately with our own projection (the
                 // pin taken at classification keeps release symmetric).
                 if !aborted() {
+                    let t = Instant::now();
                     match self.load_private(uri, projection) {
                         Ok(relation) => {
-                            let chunk =
-                                AcquiredChunk { relation, loaded: true, joined: false };
+                            let chunk = AcquiredChunk {
+                                relation,
+                                loaded: true,
+                                joined: false,
+                                decode: t.elapsed(),
+                                pin_wait: Duration::ZERO,
+                            };
                             if let Err(e) = sink(i, chunk) {
                                 record(e);
                             }
@@ -938,9 +999,15 @@ impl Cellar {
                 self.release_uris(&[uri]);
             }
             StreamTask::Claimed(latch) => match self.load_claim(uri, latch) {
-                Ok(relation) => {
+                Ok((relation, cost)) => {
                     if !aborted() {
-                        let chunk = AcquiredChunk { relation, loaded: true, joined: false };
+                        let chunk = AcquiredChunk {
+                            relation,
+                            loaded: true,
+                            joined: false,
+                            decode: cost,
+                            pin_wait: Duration::ZERO,
+                        };
                         if let Err(e) = sink(i, chunk) {
                             record(e);
                         }
@@ -953,8 +1020,8 @@ impl Cellar {
                 if aborted() {
                     return;
                 }
-                match latch.wait() {
-                    Ok((relation, cost)) => {
+                match self.wait_latch(latch) {
+                    (Ok((relation, cost)), waited) => {
                         self.stats.joins.fetch_add(1, Ordering::Relaxed);
                         let relation = self.pin_or_readmit(
                             uri,
@@ -963,15 +1030,20 @@ impl Cellar {
                             latch.projection.clone(),
                         );
                         if !aborted() {
-                            let chunk =
-                                AcquiredChunk { relation, loaded: false, joined: true };
+                            let chunk = AcquiredChunk {
+                                relation,
+                                loaded: false,
+                                joined: true,
+                                decode: Duration::ZERO,
+                                pin_wait: waited,
+                            };
                             if let Err(e) = sink(i, chunk) {
                                 record(e);
                             }
                         }
                         self.release_uris(&[uri]);
                     }
-                    Err(msg) => {
+                    (Err(msg), _) => {
                         record(EngineError::Chunk(format!(
                             "joined load of {uri:?} failed: {msg}"
                         )));

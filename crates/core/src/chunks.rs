@@ -8,17 +8,18 @@
 //! registered with.
 
 use crate::source::SourceAdapter;
+use sommelier_engine::obs::metrics::Counter;
 use sommelier_engine::optimizer::zone_conjunct_contradicted;
 use sommelier_engine::twostage::{ChunkSource, ChunkUnit};
 use sommelier_engine::{
-    CmpOp, ColumnZone, EngineError, Relation, ZoneCandidates, ZoneConstraint,
+    CmpOp, ColumnZone, EngineError, Obs, Relation, ZoneCandidates, ZoneConstraint,
 };
 use sommelier_storage::page::PAGE_SIZE;
 use sommelier_storage::{DataType, Database, SimIo, Value};
 use std::collections::{HashMap, HashSet};
 use std::path::Path;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Total simulated repository-read latency for one chunk file:
 /// `per_page × ⌈size / PAGE_SIZE⌉` (at least one page), computed in
@@ -522,6 +523,24 @@ impl ChunkRegistry {
     }
 }
 
+/// Cached decode-metric handles (registered once at construction so
+/// the hot path never takes the registry's map lock).
+struct DecodeCounters {
+    chunks: Arc<Counter>,
+    units: Arc<Counter>,
+    rows: Arc<Counter>,
+    bytes: Arc<Counter>,
+    ns: Arc<Counter>,
+}
+
+impl DecodeCounters {
+    fn observe(&self, rel: &Relation, elapsed: Duration) {
+        self.rows.add(rel.rows() as u64);
+        self.bytes.add(rel.approx_bytes() as u64);
+        self.ns.add(elapsed.as_nanos() as u64);
+    }
+}
+
 /// [`ChunkSource`] over one registered source: resolves URIs through
 /// the registry and decodes through the source's adapter.
 pub struct AdapterChunkSource {
@@ -535,6 +554,9 @@ pub struct AdapterChunkSource {
     /// file on the decoding worker (the chunk-side analogue of the
     /// buffer pool's [`SimIo`]; see EXPERIMENTS.md).
     sim_io: Option<SimIo>,
+    /// Decode counters, present when built [`Self::with_obs`] at a
+    /// counting level.
+    counters: Option<DecodeCounters>,
 }
 
 impl AdapterChunkSource {
@@ -545,7 +567,7 @@ impl AdapterChunkSource {
         db: Arc<Database>,
         verify_fk: bool,
     ) -> Self {
-        AdapterChunkSource { adapter, registry, db, verify_fk, sim_io: None }
+        AdapterChunkSource { adapter, registry, db, verify_fk, sim_io: None, counters: None }
     }
 
     /// Charge a simulated repository-read latency on every chunk decode
@@ -553,6 +575,20 @@ impl AdapterChunkSource {
     /// across parallel decodes exactly like real disk reads).
     pub fn with_sim_io(mut self, sim_io: Option<SimIo>) -> Self {
         self.sim_io = sim_io;
+        self
+    }
+
+    /// Record `decode.*` metrics (chunks, units, rows, bytes, ns) into
+    /// `obs`'s registry on every decode. A no-op handle (level `Off` or
+    /// no registry) leaves the hot path untouched.
+    pub fn with_obs(mut self, obs: &Obs) -> Self {
+        self.counters = obs.metrics().map(|m| DecodeCounters {
+            chunks: m.counter("decode.chunks"),
+            units: m.counter("decode.units"),
+            rows: m.counter("decode.rows"),
+            bytes: m.counter("decode.bytes"),
+            ns: m.counter("decode.ns"),
+        });
         self
     }
 
@@ -602,8 +638,13 @@ impl ChunkSource for AdapterChunkSource {
         projection: Option<&[String]>,
     ) -> sommelier_engine::Result<Relation> {
         self.charge_sim_io(uri);
+        let t = Instant::now();
         let rel = self.adapter.decode(self.entry(uri)?, projection)?;
         self.verify(&rel)?;
+        if let Some(c) = &self.counters {
+            c.chunks.inc();
+            c.observe(&rel, t.elapsed());
+        }
         Ok(rel)
     }
 
@@ -612,28 +653,50 @@ impl ChunkSource for AdapterChunkSource {
         uri: &str,
         projection: Option<&[String]>,
     ) -> sommelier_engine::Result<Vec<ChunkUnit<'s>>> {
-        let units = self.adapter.chunk_units(self.entry(uri)?, projection)?;
+        let mut units = self.adapter.chunk_units(self.entry(uri)?, projection)?;
         // Exchange-mode decoding must pay the same simulated medium as
         // whole-chunk loads: split the chunk's read latency over its
         // units at nanosecond granularity (one unit pays the division
         // remainder), slept by whichever worker executes each unit —
         // the per-chunk total is identical to [`Self::charge_sim_io`],
         // so the static-vs-exchange comparison stays apples to apples.
-        let Some(sim) = self.sim_io else { return Ok(units) };
-        let total_ns = sim_io_total(&sim, uri).as_nanos() as u64;
-        let n = units.len().max(1) as u64;
-        let (share_ns, rem_ns) = (total_ns / n, total_ns % n);
-        Ok(units
-            .into_iter()
-            .enumerate()
-            .map(|(k, unit)| -> ChunkUnit<'s> {
-                let pay = Duration::from_nanos(share_ns + if k == 0 { rem_ns } else { 0 });
-                Box::new(move || {
-                    std::thread::sleep(pay);
-                    unit()
+        if let Some(sim) = self.sim_io {
+            let total_ns = sim_io_total(&sim, uri).as_nanos() as u64;
+            let n = units.len().max(1) as u64;
+            let (share_ns, rem_ns) = (total_ns / n, total_ns % n);
+            units = units
+                .into_iter()
+                .enumerate()
+                .map(|(k, unit)| -> ChunkUnit<'s> {
+                    let pay =
+                        Duration::from_nanos(share_ns + if k == 0 { rem_ns } else { 0 });
+                    Box::new(move || {
+                        std::thread::sleep(pay);
+                        unit()
+                    })
                 })
-            })
-            .collect())
+                .collect();
+        }
+        // Per-unit decode metrics (the exchange path bypasses
+        // `load_chunk`): one `decode.chunks` tick per chunk, one
+        // `decode.units` tick per executed unit.
+        if let Some(c) = &self.counters {
+            c.chunks.inc();
+            units = units
+                .into_iter()
+                .map(|unit| -> ChunkUnit<'s> {
+                    Box::new(move || {
+                        let t = Instant::now();
+                        let rel = unit()?;
+                        let c = self.counters.as_ref().expect("counters checked above");
+                        c.units.inc();
+                        c.observe(&rel, t.elapsed());
+                        Ok(rel)
+                    })
+                })
+                .collect();
+        }
+        Ok(units)
     }
 
     fn all_chunks(&self) -> sommelier_engine::Result<Vec<String>> {

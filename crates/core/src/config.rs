@@ -1,7 +1,7 @@
 //! System configuration.
 
 use crate::cellar::CellarPolicyKind;
-use sommelier_engine::ParallelMode;
+use sommelier_engine::{ObsLevel, ParallelMode};
 use sommelier_storage::buffer::SimIo;
 
 /// Configuration of a [`crate::Sommelier`] instance.
@@ -53,6 +53,12 @@ pub struct SommelierConfig {
     pub verify_lazy_fk: bool,
     /// Worker cap for parallel operations (registration, static loads).
     pub max_threads: usize,
+    /// Observability level: `Off` (no accounting beyond
+    /// [`crate::ExecStats`]), `Counters` (atomic metric counters,
+    /// default — overhead within noise, see BENCH_obs.json), or
+    /// `Spans` (counters plus a per-query span trace on every run,
+    /// what `EXPLAIN ANALYZE` forces for its one query).
+    pub observability: ObsLevel,
 }
 
 impl SommelierConfig {
@@ -78,6 +84,7 @@ impl Default for SommelierConfig {
             use_recycler: true,
             verify_lazy_fk: false,
             max_threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(8),
+            observability: ObsLevel::Counters,
         }
     }
 }

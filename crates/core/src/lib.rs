@@ -57,6 +57,7 @@ pub use config::SommelierConfig;
 pub use error::{Result, SommelierError};
 pub use loader::{LoadingMode, PrepReport};
 pub use query::QueryType;
+pub use sommelier_engine::{MetricsRegistry, MetricsSnapshot, ObsLevel, SpanTrace};
 pub use source::{
     DmdAgg, DmdDim, DmdSpec, InferenceRule, SourceAdapter, SourceDescriptor, UnitTableSpec,
 };
@@ -66,9 +67,13 @@ use chunks::{AdapterChunkSource, ChunkRegistry};
 use dmd::{DmdManager, DmdOutcome};
 use parking_lot::Mutex;
 use sommelier_engine::joinorder::PlanOptions;
+use sommelier_engine::obs::span::fmt_ns;
 use sommelier_engine::optimizer::{self, PassTrace};
 use sommelier_engine::twostage::{execute_plan, ChunkAccess, QueryOutcome, TwoStageConfig};
-use sommelier_engine::{ColumnZone, ExecStats, QuerySpec, Relation};
+use sommelier_engine::{
+    ColumnZone, ExecStats, LogicalPlan, Obs, QuerySpec, Relation, TraceCollector,
+    ZoneCandidates,
+};
 use sommelier_sql::BindCatalog;
 use sommelier_storage::buffer::BufferPoolConfig;
 use sommelier_storage::catalog::Disposition;
@@ -96,6 +101,10 @@ pub struct QueryResult {
     /// The optimizer pass trace (compile pipeline followed by the
     /// stage-2 rewrite pipeline): which rewrite rules fired.
     pub trace: Vec<PassTrace>,
+    /// The query's span tree, when the system ran at
+    /// [`sommelier_engine::ObsLevel::Spans`] (or the query came through
+    /// [`Sommelier::explain_analyze`], which forces it).
+    pub span_trace: Option<SpanTrace>,
 }
 
 /// One registered source, alive for the system's lifetime.
@@ -247,6 +256,7 @@ impl SommelierBuilder {
             prepared: Mutex::new(None),
             csv_dir,
             db_dir,
+            metrics: Arc::new(MetricsRegistry::new()),
         };
         if opened {
             somm.restore_on_open()?;
@@ -275,6 +285,11 @@ pub struct Sommelier {
     prepared: Mutex<Option<Prepared>>,
     csv_dir: PathBuf,
     db_dir: Option<PathBuf>,
+    /// The system's metrics registry (per instance, not process-global,
+    /// so concurrent systems — and concurrent tests — never share
+    /// counters). Populated when [`SommelierConfig::observability`] is
+    /// at least `Counters`; scraped by [`Sommelier::metrics_snapshot`].
+    metrics: Arc<MetricsRegistry>,
 }
 
 /// A compiled query, ready to plan: routed to its source, classified,
@@ -441,6 +456,15 @@ impl Sommelier {
             report.registrar.duration += reg.duration;
             registries.push(Arc::new(registry));
         }
+        let obs = self.obs();
+        obs.count("registrar.chunks_registered", report.registrar.files);
+        obs.count("registrar.segments", report.registrar.segments);
+        let zones_indexed = registries
+            .iter()
+            .flat_map(|r| r.entries())
+            .filter(|e| !e.zones.is_empty())
+            .count();
+        obs.count("registrar.zones_indexed", zones_indexed as u64);
         for (s, registry) in self.sources.iter().zip(&registries) {
             match mode {
                 LoadingMode::Lazy => {}
@@ -490,8 +514,16 @@ impl Sommelier {
         Ok(report)
     }
 
+    /// The system's observability handle at the configured level (no
+    /// tracer attached — per-query tracers are created by the run
+    /// path).
+    fn obs(&self) -> Obs {
+        Obs::new(self.config.observability, Arc::clone(&self.metrics))
+    }
+
     /// Assemble the cellar for freshly built registries.
     fn build_cellar(&self, registries: &[Arc<ChunkRegistry>]) -> Result<Arc<Cellar>> {
+        let obs = self.obs();
         let bindings = self
             .sources
             .iter()
@@ -504,7 +536,8 @@ impl Sommelier {
                         Arc::clone(&self.db),
                         self.config.verify_lazy_fk,
                     )
-                    .with_sim_io(self.config.sim_chunk_io),
+                    .with_sim_io(self.config.sim_chunk_io)
+                    .with_obs(&obs),
                 );
                 CellarSource {
                     descriptor: Arc::clone(&s.descriptor),
@@ -521,6 +554,7 @@ impl Sommelier {
                 budget_bytes: self.config.effective_cellar_bytes(),
                 policy: self.config.cellar_policy,
                 retain: self.config.use_recycler,
+                obs,
             },
         )?))
     }
@@ -591,6 +625,7 @@ impl Sommelier {
             uri_column: self.sources[source_idx].descriptor.uri_column(),
             max_threads: self.config.max_threads,
             sampling: None,
+            obs: Obs::off(),
         }
     }
 
@@ -607,8 +642,42 @@ impl Sommelier {
         check_dmd: bool,
         sampling: Option<f64>,
     ) -> Result<QueryResult> {
+        self.run_spec_obs(spec, check_dmd, sampling, false)
+    }
+
+    fn run_spec_obs(
+        &self,
+        spec: QuerySpec,
+        check_dmd: bool,
+        sampling: Option<f64>,
+        force_spans: bool,
+    ) -> Result<QueryResult> {
         let (mode, cellar) = self.prepared_info()?;
+        let level = if force_spans { ObsLevel::Spans } else { self.config.observability };
+        let mut obs = Obs::new(level, Arc::clone(&self.metrics));
+        let tracer = if level.spans() { Some(Arc::new(TraceCollector::new())) } else { None };
+        let mut root = None;
+        if let Some(tc) = &tracer {
+            obs = obs.with_tracer(Arc::clone(tc));
+            let id = tc.start(None, "query");
+            tc.set_ambient(Some(id));
+            root = Some(id);
+        }
+        let t_inf = Instant::now();
         let compiled = self.compile_spec(spec)?;
+        if let Some(tc) = &tracer {
+            let dur = t_inf.elapsed().as_nanos() as u64;
+            tc.record(
+                root,
+                "inference",
+                format!("classified {}", compiled.qtype.label()),
+                tc.now_ns().saturating_sub(dur),
+                dur,
+                None,
+                None,
+                None,
+            );
+        }
         let source = &self.sources[compiled.source_idx];
         // DMd-referring queries hold the coverage read guard for their
         // whole execution: between Algorithm 1 declaring a window
@@ -617,6 +686,7 @@ impl Sommelier {
         // from under us.
         let _dmd_guard =
             if compiled.qtype.refers_dmd() { Some(source.dmd.begin_query()) } else { None };
+        let t_dmd = Instant::now();
         let dmd_outcome = if check_dmd
             && compiled.qtype.refers_dmd()
             && !mode.materializes_dmd()
@@ -638,24 +708,93 @@ impl Sommelier {
         } else {
             None
         };
+        if let (Some(tc), Some(dmd)) = (&tracer, &dmd_outcome) {
+            let dur = t_dmd.elapsed().as_nanos() as u64;
+            tc.record(
+                root,
+                "dmd_ensure",
+                format!(
+                    "{} of {} windows derived, {} rows",
+                    dmd.missing, dmd.requested, dmd.rows_inserted
+                ),
+                tc.now_ns().saturating_sub(dur),
+                dur,
+                None,
+                Some(dmd.rows_inserted),
+                None,
+            );
+        }
         let opts = self.plan_options(mode, compiled.source_idx);
+        let t_plan = Instant::now();
         let (plan, mut trace) = optimizer::compile_plan(&compiled.spec, &self.db, &opts)?;
+        if let Some(tc) = &tracer {
+            // Replay the compile pipeline's pass timings as children of
+            // one "compile" span (starts accumulated from the recorded
+            // per-pass nanos, like the stage-2 replay in the driver).
+            let total = t_plan.elapsed().as_nanos() as u64;
+            let start = tc.now_ns().saturating_sub(total);
+            let id = tc.record(
+                root,
+                "compile",
+                format!("{} passes", trace.len()),
+                start,
+                total,
+                None,
+                None,
+                None,
+            );
+            let mut cursor = start;
+            for p in &trace {
+                tc.record(
+                    Some(id),
+                    p.name,
+                    p.detail.clone(),
+                    cursor,
+                    p.nanos,
+                    None,
+                    None,
+                    None,
+                );
+                cursor += p.nanos;
+            }
+        }
         let mut ts_config = self.two_stage_config(mode, compiled.source_idx);
         ts_config.sampling = sampling;
+        ts_config.obs = obs;
         let scoped = cellar.scoped(compiled.source_idx);
         let access = if mode == LoadingMode::Lazy {
             ChunkAccess::Managed(&scoped)
         } else {
             ChunkAccess::None
         };
+        let evictions_before = cellar.stats().evictions;
         let outcome = execute_plan(&self.db, &plan, access, &ts_config)?;
         trace.extend(outcome.trace);
+        let mut stats = outcome.stats;
+        // Fold the residency manager's eviction activity into the
+        // query's stats (best-effort under concurrency: evictions
+        // triggered by overlapping queries land in whichever window
+        // observes them).
+        stats.cellar_evictions = cellar.stats().evictions.saturating_sub(evictions_before);
+        let span_trace = tracer.map(|tc| {
+            if let Some(id) = root {
+                tc.end_with(
+                    id,
+                    Some(format!("{} rows", outcome.relation.rows())),
+                    Some(outcome.relation.rows() as u64),
+                    None,
+                );
+            }
+            tc.set_ambient(None);
+            tc.finish()
+        });
         Ok(QueryResult {
             relation: outcome.relation,
-            stats: outcome.stats,
+            stats,
             qtype: compiled.qtype,
             dmd: dmd_outcome,
             trace,
+            span_trace,
         })
     }
 
@@ -694,6 +833,13 @@ impl Sommelier {
     /// run-time quantity) is a placeholder, so run-time-only effects
     /// (chunks pruned by zone maps) show as the pass being armed.
     pub fn explain(&self, sql: &str) -> Result<String> {
+        let t = sql.trim_start();
+        if t.len() > 7
+            && t[..7].eq_ignore_ascii_case("ANALYZE")
+            && t.as_bytes()[7].is_ascii_whitespace()
+        {
+            return self.explain_analyze(&t[7..]);
+        }
         let (mode, _) = self.prepared_info()?;
         let spec = sommelier_sql::compile(sql, &self.catalog)?;
         let compiled = self.compile_spec(spec)?;
@@ -715,6 +861,23 @@ impl Sommelier {
             plan.qf().map(|_| 0),
             &s2_opts,
         )?;
+        // Stage-2 trace, annotated: the zone-index candidate count is a
+        // stage-1 quantity the registry can answer statically, so
+        // EXPLAIN shows it next to the pruning pass it feeds.
+        let zone_note = self.zone_candidate_note(&plan, compiled.source_idx);
+        let mut s2_lines = String::new();
+        for p in &s2.trace {
+            s2_lines.push_str("  ");
+            s2_lines.push_str(&p.to_string());
+            if p.name == "zone_map_pruning" {
+                if let Some(note) = &zone_note {
+                    s2_lines.push_str(" [");
+                    s2_lines.push_str(note);
+                    s2_lines.push(']');
+                }
+            }
+            s2_lines.push('\n');
+        }
         Ok(format!(
             "-- source: {}, mode: {mode}, query type: {}\n{plan}\
              -- stage-2 physical shape (chunk list resolved at run time)\n{}\
@@ -723,8 +886,101 @@ impl Sommelier {
             compiled.qtype.label(),
             s2.physical,
             optimizer::format_trace(&compile_trace),
-            optimizer::format_trace(&s2.trace),
+            s2_lines,
         ))
+    }
+
+    /// What the zone interval index answers for `plan`'s pushed-down
+    /// predicate: how many registered chunks remain candidates.
+    fn zone_candidate_note(&self, plan: &LogicalPlan, source_idx: usize) -> Option<String> {
+        let constraints =
+            optimizer::plan_zone_constraints(plan).into_iter().find(|c| !c.is_empty())?;
+        let registry = {
+            let guard = self.prepared.lock();
+            Arc::clone(&guard.as_ref()?.registries[source_idx])
+        };
+        let total = registry.len();
+        let k = match registry.zone_candidates(&constraints)? {
+            ZoneCandidates::All => total,
+            ZoneCandidates::Uris(uris) => uris.len(),
+        };
+        Some(format!("zone index: {k} of {total} chunks candidate"))
+    }
+
+    /// EXPLAIN ANALYZE: run the query once with span tracing forced on
+    /// (whatever [`SommelierConfig::observability`] says) and render
+    /// the plan next to the measured span tree, the per-pass optimizer
+    /// timings, and the stage/chunk accounting. Also reachable as
+    /// `explain("ANALYZE <sql>")`.
+    pub fn explain_analyze(&self, sql: &str) -> Result<String> {
+        let (mode, _) = self.prepared_info()?;
+        let spec = sommelier_sql::compile(sql, &self.catalog)?;
+        let compiled = self.compile_spec(spec.clone())?;
+        let opts = self.plan_options(mode, compiled.source_idx);
+        let (plan, _) = optimizer::compile_plan(&compiled.spec, &self.db, &opts)?;
+        let result = self.run_spec_obs(spec, true, None, true)?;
+        let stats = &result.stats;
+        let mut out = format!(
+            "-- source: {}, mode: {mode}, query type: {}\n{plan}-- spans\n{}",
+            self.sources[compiled.source_idx].descriptor.name,
+            compiled.qtype.label(),
+            result.span_trace.as_ref().map(|t| t.render_tree()).unwrap_or_default(),
+        );
+        out.push_str("-- optimizer passes\n");
+        for p in &result.trace {
+            out.push_str(&format!("  {p} [{}]\n", fmt_ns(p.nanos)));
+        }
+        out.push_str(&format!(
+            "-- stages: stage1 {} + load {} + stage2 {} = {}\n",
+            fmt_ns(stats.stage1.as_nanos() as u64),
+            fmt_ns(stats.load.as_nanos() as u64),
+            fmt_ns(stats.stage2.as_nanos() as u64),
+            fmt_ns(stats.total().as_nanos() as u64),
+        ));
+        out.push_str(&format!(
+            "-- chunks: {} selected = {} pruned + {} sampled out + {} loaded + {} cache hits; \
+             {} rows out\n",
+            stats.files_selected,
+            stats.files_pruned,
+            stats.files_sampled_out,
+            stats.files_loaded,
+            stats.cache_hits,
+            result.relation.rows(),
+        ));
+        Ok(out)
+    }
+
+    /// The instance's metrics registry (live handles; one registry per
+    /// [`Sommelier`], so concurrent instances do not share counters).
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// Snapshot every metric by name. Subsystems that keep their own
+    /// atomics for zero-overhead accounting (cellar stats, the decode
+    /// scratch arenas) are mirrored into the registry here, at
+    /// snapshot time — so the snapshot is complete at every
+    /// [`ObsLevel`], including `Off`.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        if let Some(cellar) = self.cellar() {
+            let s = cellar.stats();
+            let m = &self.metrics;
+            m.counter("cellar.hits").store(s.hits);
+            m.counter("cellar.loads").store(s.loads);
+            m.counter("cellar.joins").store(s.joins);
+            m.counter("cellar.reloads").store(s.reloads);
+            m.counter("cellar.evictions").store(s.evictions);
+            m.counter("cellar.reclaimed_rows").store(s.reclaimed_rows);
+            m.counter("cellar.reclaim_failures").store(s.reclaim_failures);
+            m.counter("cellar.pin_wait_ns").store(s.pin_wait_ns);
+            m.gauge("cellar.resident_bytes").set(cellar.resident_bytes() as u64);
+            m.gauge("cellar.peak_resident_bytes").set(cellar.peak_resident_bytes() as u64);
+            m.gauge("cellar.resident_chunks").set(cellar.resident_chunks() as u64);
+        }
+        let (reuse, alloc) = source::scratch_counters();
+        self.metrics.counter("decode.arena_reuse").store(reuse);
+        self.metrics.counter("decode.arena_alloc").store(alloc);
+        self.metrics.snapshot()
     }
 
     /// Drop buffered pages and cached chunks ("cold" run).

@@ -491,6 +491,31 @@ thread_local! {
         const { std::cell::RefCell::new(String::new()) };
 }
 
+/// Process-wide scratch-arena accounting: how many scratch uses found a
+/// warm (already-allocated) buffer vs. started cold. Process-global
+/// because the buffers themselves are thread-locals shared by every
+/// system in the process; [`crate::Sommelier::metrics_snapshot`] copies
+/// the totals into `decode.arena_reuse` / `decode.arena_alloc`.
+static SCRATCH_REUSE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+static SCRATCH_ALLOC: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+fn note_scratch_use(warm: bool) {
+    use std::sync::atomic::Ordering;
+    if warm {
+        SCRATCH_REUSE.fetch_add(1, Ordering::Relaxed);
+    } else {
+        SCRATCH_ALLOC.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Process-wide `(reuse, alloc)` totals of the decode scratch buffers:
+/// uses that found a warm buffer vs. uses that started from an empty
+/// one.
+pub fn scratch_counters() -> (u64, u64) {
+    use std::sync::atomic::Ordering;
+    (SCRATCH_REUSE.load(Ordering::Relaxed), SCRATCH_ALLOC.load(Ordering::Relaxed))
+}
+
 /// Run `f` over this worker's reusable byte buffer (cleared before the
 /// call, shrunk back to the retention cap afterwards). Adapters decode
 /// chunk after chunk through here, so a worker allocates the file
@@ -498,6 +523,7 @@ thread_local! {
 pub fn with_byte_scratch<R>(f: impl FnOnce(&mut Vec<u8>) -> R) -> R {
     BYTE_SCRATCH.with(|scratch| {
         let mut buf = scratch.borrow_mut();
+        note_scratch_use(buf.capacity() > 0);
         buf.clear();
         let result = f(&mut buf);
         if buf.capacity() > SCRATCH_RETAIN_BYTES {
@@ -512,6 +538,7 @@ pub fn with_byte_scratch<R>(f: impl FnOnce(&mut Vec<u8>) -> R) -> R {
 pub fn with_text_scratch<R>(f: impl FnOnce(&mut String) -> R) -> R {
     TEXT_SCRATCH.with(|scratch| {
         let mut buf = scratch.borrow_mut();
+        note_scratch_use(buf.capacity() > 0);
         buf.clear();
         let result = f(&mut buf);
         if buf.capacity() > SCRATCH_RETAIN_BYTES {

@@ -22,6 +22,7 @@ use crate::error::{EngineError, Result};
 use crate::eval::{eval_mask, eval_scalar};
 use crate::expr::Expr;
 use crate::join::{cross_join, hash_join, index_join, JoinBuild};
+use crate::obs::{self, metrics::COUNT_BUCKETS, Obs};
 use crate::physical::{ChunkOp, PhysicalPlan};
 use crate::relation::Relation;
 use crate::sort::{limit, sort_relation};
@@ -61,6 +62,8 @@ pub struct ExecContext<'a> {
     pub workers: usize,
     /// Execution counters.
     pub counters: ExecCounters,
+    /// Observability handle (pool metrics, per-chunk pipeline spans).
+    pub obs: Obs,
 }
 
 impl<'a> ExecContext<'a> {
@@ -73,6 +76,7 @@ impl<'a> ExecContext<'a> {
             parallel: ParallelMode::Static,
             workers: 1,
             counters: ExecCounters::default(),
+            obs: Obs::off(),
         }
     }
 }
@@ -199,35 +203,82 @@ pub fn run_indexed<T: Send>(
     max_threads: usize,
     task: impl Fn(usize) -> T + Sync,
 ) -> Vec<T> {
+    run_indexed_obs(n, parallel, max_threads, &Obs::off(), task)
+}
+
+/// [`run_indexed`] with an observability handle: workers tag themselves
+/// with a thread-local id (so span probes inside `task` can say which
+/// worker ran them), and each batch feeds the `pool.*` metrics —
+/// batches, tasks, busy/idle ns, queue depth. With a disabled handle
+/// this is byte-for-byte the old `run_indexed`.
+pub fn run_indexed_obs<T: Send>(
+    n: usize,
+    parallel: ParallelMode,
+    max_threads: usize,
+    obs: &Obs,
+    task: impl Fn(usize) -> T + Sync,
+) -> Vec<T> {
     let workers = parallel.stage2_workers(max_threads).min(n);
+    let wall = obs.metrics().map(|_| std::time::Instant::now());
     if workers <= 1 {
-        return (0..n).map(task).collect();
+        // Inline on the caller's thread; tag as worker 0 unless the
+        // caller already runs inside a pool (nested decode units keep
+        // the outer pool's id).
+        let _tag = obs::current_worker().is_none().then(|| obs::worker_scope(0));
+        let out: Vec<T> = (0..n).map(task).collect();
+        if let (Some(m), Some(wall)) = (obs.metrics(), wall) {
+            let busy = wall.elapsed().as_nanos() as u64;
+            m.counter("pool.batches").inc();
+            m.counter("pool.tasks").add(n as u64);
+            m.counter("pool.busy_ns").add(busy);
+            m.histogram("pool.queue_depth", &COUNT_BUCKETS).observe(n as u64);
+        }
+        return out;
     }
     let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
+    let busy: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
+    let timed = obs.metrics().is_some();
     std::thread::scope(|scope| {
         for w in 0..workers {
             let next = &next;
             let slots = &slots;
             let task = &task;
-            scope.spawn(move || match parallel {
-                ParallelMode::Static => {
-                    let mut i = w;
-                    while i < n {
+            let busy = &busy;
+            scope.spawn(move || {
+                let _tag = obs::worker_scope(w);
+                let t0 = timed.then(std::time::Instant::now);
+                match parallel {
+                    ParallelMode::Static => {
+                        let mut i = w;
+                        while i < n {
+                            *slots[i].lock() = Some(task(i));
+                            i += workers;
+                        }
+                    }
+                    ParallelMode::Exchange { .. } => loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
                         *slots[i].lock() = Some(task(i));
-                        i += workers;
-                    }
+                    },
                 }
-                ParallelMode::Exchange { .. } => loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        return;
-                    }
-                    *slots[i].lock() = Some(task(i));
-                },
+                if let Some(t0) = t0 {
+                    busy[w].store(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                }
             });
         }
     });
+    if let (Some(m), Some(wall)) = (obs.metrics(), wall) {
+        let busy_total: u64 = busy.iter().map(|b| b.load(Ordering::Relaxed)).sum();
+        let span = wall.elapsed().as_nanos() as u64 * workers as u64;
+        m.counter("pool.batches").inc();
+        m.counter("pool.tasks").add(n as u64);
+        m.counter("pool.busy_ns").add(busy_total);
+        m.counter("pool.idle_ns").add(span.saturating_sub(busy_total));
+        m.histogram("pool.queue_depth", &COUNT_BUCKETS).observe(n as u64);
+    }
     slots.into_iter().map(|s| s.into_inner().expect("every slot filled")).collect()
 }
 
@@ -274,7 +325,24 @@ pub fn execute(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<Relation> {
             // Per-chunk projection (and selection, if pushed down) on
             // the worker pool; concatenation in chunk order.
             let parts =
-                run_indexed(rels.len(), ctx.parallel, ctx.workers, |i| pipeline.run(rels[i]));
+                run_indexed_obs(rels.len(), ctx.parallel, ctx.workers, &ctx.obs, |i| {
+                    let tracer = ctx.obs.tracer();
+                    let t0 = tracer.map(|tc| tc.now_ns());
+                    let part = pipeline.run(rels[i]);
+                    if let (Some(tc), Some(t0)) = (tracer, t0) {
+                        tc.record(
+                            tc.ambient(),
+                            "chunk",
+                            chunks[i].uri.clone(),
+                            t0,
+                            tc.now_ns().saturating_sub(t0),
+                            obs::current_worker(),
+                            part.as_ref().ok().map(|r| r.rows() as u64),
+                            None,
+                        );
+                    }
+                    part
+                });
             let mut out = Relation::empty();
             for part in parts {
                 out.union_in_place(&part?)?;
@@ -327,8 +395,24 @@ pub fn execute(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<Relation> {
                 ChunkPipeline { columns, predicate: predicate.as_ref(), build: probe, ops };
             let rels = resolve_chunks(ctx, chunks)?;
             let parts: Vec<Result<PartialAgg>> =
-                run_indexed(rels.len(), ctx.parallel, ctx.workers, |i| {
-                    partial_aggregate(&pipeline.run(rels[i])?, group_by, aggs)
+                run_indexed_obs(rels.len(), ctx.parallel, ctx.workers, &ctx.obs, |i| {
+                    let tracer = ctx.obs.tracer();
+                    let t0 = tracer.map(|tc| tc.now_ns());
+                    let part = pipeline.run(rels[i])?;
+                    let agg = partial_aggregate(&part, group_by, aggs);
+                    if let (Some(tc), Some(t0)) = (tracer, t0) {
+                        tc.record(
+                            tc.ambient(),
+                            "chunk",
+                            chunks[i].uri.clone(),
+                            t0,
+                            tc.now_ns().saturating_sub(t0),
+                            obs::current_worker(),
+                            Some(part.rows() as u64),
+                            None,
+                        );
+                    }
+                    agg
                 });
             ctx.counters.partial_agg_chunks.fetch_add(rels.len() as u64, Ordering::Relaxed);
             merge_partials(parts.into_iter().collect::<Result<Vec<_>>>()?, group_by, aggs)

@@ -40,6 +40,7 @@ pub mod graph;
 pub mod join;
 pub mod joinorder;
 pub mod logical;
+pub mod obs;
 pub mod optimizer;
 pub mod physical;
 pub mod recycler;
@@ -51,6 +52,7 @@ pub mod twostage;
 pub use error::{EngineError, Result};
 pub use expr::{AggFunc, CmpOp, Expr, Func};
 pub use logical::LogicalPlan;
+pub use obs::{MetricsRegistry, MetricsSnapshot, Obs, ObsLevel, SpanTrace, TraceCollector};
 pub use optimizer::{ColumnZone, PassTrace, ZoneCandidates, ZoneConstraint};
 pub use physical::{fuse_partial_agg, PhysicalPlan};
 pub use recycler::Recycler;

@@ -1,0 +1,355 @@
+//! The metrics registry: named atomic counters, gauges, and
+//! fixed-bucket histograms, plus the serializable snapshot.
+//!
+//! Registration is a mutex-guarded map lookup; hot paths resolve their
+//! handles once (an `Arc<Counter>`) and then pay one relaxed atomic
+//! add per event. Names are dot-separated and stable — they are the
+//! scrape contract documented in the README's metric catalogue.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Overwrite the value — for counters mirrored from an external
+    /// atomic (e.g. the cellar's own stats block) at snapshot time.
+    pub fn store(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+}
+
+/// A last-value-wins gauge (resident bytes, queue depth, …).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket histogram: `bounds[i]` is the inclusive upper bound
+/// of bucket `i`; one implicit overflow bucket catches the rest.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    counts: Vec<AtomicU64>,
+    sum: AtomicU64,
+    total: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &[u64]) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must be sorted");
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            total: AtomicU64::new(0),
+        }
+    }
+
+    pub fn observe(&self, v: u64) {
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+}
+
+/// Nanosecond bucket bounds shared by the latency histograms
+/// (1µs … 10s, one decade per bucket).
+pub const NS_BUCKETS: [u64; 8] = [
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+    10_000_000_000,
+];
+
+/// Small-count bucket bounds (queue depths, chunk counts per batch).
+pub const COUNT_BUCKETS: [u64; 8] = [1, 2, 4, 8, 16, 64, 256, 1024];
+
+/// The registry: name → metric, register-or-get semantics.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, creating it at zero on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock();
+        if let Some(c) = map.get(name) {
+            return c.clone();
+        }
+        let c = Arc::new(Counter::default());
+        map.insert(name.to_string(), c.clone());
+        c
+    }
+
+    /// The gauge named `name`, creating it at zero on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock();
+        if let Some(g) = map.get(name) {
+            return g.clone();
+        }
+        let g = Arc::new(Gauge::default());
+        map.insert(name.to_string(), g.clone());
+        g
+    }
+
+    /// The histogram named `name` (bounds fixed by the first caller).
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Arc<Histogram> {
+        let mut map = self.histograms.lock();
+        if let Some(h) = map.get(name) {
+            return h.clone();
+        }
+        let h = Arc::new(Histogram::new(bounds));
+        map.insert(name.to_string(), h.clone());
+        h
+    }
+
+    /// A point-in-time copy of every registered metric, names sorted.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters =
+            self.counters.lock().iter().map(|(n, c)| (n.clone(), c.get())).collect();
+        let gauges = self.gauges.lock().iter().map(|(n, g)| (n.clone(), g.get())).collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .iter()
+            .map(|(n, h)| HistogramSnapshot {
+                name: n.clone(),
+                bounds: h.bounds.clone(),
+                counts: h.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+                sum: h.sum(),
+                count: h.count(),
+            })
+            .collect();
+        MetricsSnapshot { counters, gauges, histograms }
+    }
+}
+
+/// One histogram in a snapshot: `counts` has one entry per bound plus
+/// the trailing overflow bucket.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    pub name: String,
+    pub bounds: Vec<u64>,
+    pub counts: Vec<u64>,
+    pub sum: u64,
+    pub count: u64,
+}
+
+/// A stable, serializable point-in-time view of the registry —
+/// `(name, value)` pairs sorted by name, so two snapshots diff cleanly.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, u64)>,
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// The counter named `name`, or `None` if never registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| self.counters[i].1)
+    }
+
+    /// The gauge named `name`, or `None` if never registered.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| self.gauges[i].1)
+    }
+
+    /// Per-counter increase since `earlier` (counters absent earlier
+    /// count from zero). Gauges and histograms are not diffed.
+    pub fn counter_deltas(&self, earlier: &MetricsSnapshot) -> Vec<(String, u64)> {
+        self.counters
+            .iter()
+            .map(|(n, v)| (n.clone(), v.saturating_sub(earlier.counter(n).unwrap_or(0))))
+            .collect()
+    }
+
+    /// Serialize as JSON (hand-rolled — mirrors `Table::to_json` in the
+    /// bench reporter; the workspace has no serde).
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.replace('\\', "\\\\").replace('"', "\\\"")
+        }
+        let mut out = String::from("{\n  \"counters\": {");
+        for (i, (n, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    \"{}\": {}", esc(n), v));
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        for (i, (n, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    \"{}\": {}", esc(n), v));
+        }
+        out.push_str("\n  },\n  \"histograms\": [");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let bounds: Vec<String> = h.bounds.iter().map(u64::to_string).collect();
+            let counts: Vec<String> = h.counts.iter().map(u64::to_string).collect();
+            out.push_str(&format!(
+                "\n    {{\"name\": \"{}\", \"bounds\": [{}], \"counts\": [{}], \"sum\": {}, \"count\": {}}}",
+                esc(&h.name),
+                bounds.join(", "),
+                counts.join(", "),
+                h.sum,
+                h.count
+            ));
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// A human-readable listing (what the `somm-top` example prints).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let width = self
+            .counters
+            .iter()
+            .map(|(n, _)| n.len())
+            .chain(self.gauges.iter().map(|(n, _)| n.len()))
+            .chain(self.histograms.iter().map(|h| h.name.len()))
+            .max()
+            .unwrap_or(0);
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (n, v) in &self.counters {
+                out.push_str(&format!("  {n:<width$}  {v}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (n, v) in &self.gauges {
+                out.push_str(&format!("  {n:<width$}  {v}\n"));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms:\n");
+            for h in &self.histograms {
+                let mean = h.sum.checked_div(h.count).unwrap_or(0);
+                out.push_str(&format!(
+                    "  {:<width$}  count={} sum={} mean={}\n",
+                    h.name, h.count, h.sum, mean
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_or_get_shares_handles() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("cellar.hits");
+        let b = reg.counter("cellar.hits");
+        a.add(2);
+        b.inc();
+        assert_eq!(reg.counter("cellar.hits").get(), 3);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_diffable() {
+        let reg = MetricsRegistry::new();
+        reg.counter("b.two").add(5);
+        reg.counter("a.one").add(1);
+        reg.gauge("g").set(42);
+        let s0 = reg.snapshot();
+        assert_eq!(
+            s0.counters.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>(),
+            vec!["a.one", "b.two"]
+        );
+        reg.counter("b.two").add(7);
+        let s1 = reg.snapshot();
+        assert_eq!(
+            s1.counter_deltas(&s0),
+            vec![("a.one".to_string(), 0), ("b.two".to_string(), 7)]
+        );
+        assert_eq!(s1.gauge("g"), Some(42));
+        assert_eq!(s1.counter("missing"), None);
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let h = Histogram::new(&[10, 100]);
+        h.observe(5);
+        h.observe(10); // inclusive upper bound
+        h.observe(50);
+        h.observe(1000); // overflow bucket
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 1065);
+        let counts: Vec<u64> = h.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+        assert_eq!(counts, vec![2, 1, 1]);
+    }
+
+    #[test]
+    fn json_shape() {
+        let reg = MetricsRegistry::new();
+        reg.counter("decode.rows").add(9);
+        reg.gauge("cellar.resident_bytes").set(128);
+        reg.histogram("pool.queue_depth", &COUNT_BUCKETS).observe(3);
+        let json = reg.snapshot().to_json();
+        assert!(json.contains("\"decode.rows\": 9"));
+        assert!(json.contains("\"cellar.resident_bytes\": 128"));
+        assert!(json.contains("\"name\": \"pool.queue_depth\""));
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+    }
+}

@@ -1,0 +1,322 @@
+//! Per-query span traces: a tree of timed regions collected while the
+//! two-stage driver runs, rendered by `EXPLAIN ANALYZE`.
+//!
+//! A span is recorded either *complete* (start and duration already
+//! known — e.g. an optimizer pass replayed from its `PassTrace`
+//! timing) or *opened* with [`TraceCollector::start`] and closed with
+//! [`TraceCollector::end`]. Parent links make the tree; the *ambient*
+//! parent lets deeply nested probes (a chunk pipeline inside the
+//! cellar's decode pool) attach to the right stage span without
+//! threading an id through every call signature.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+const NO_SPAN: usize = usize::MAX;
+
+/// One timed region of a query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Index into the trace (also the parent link target).
+    pub id: usize,
+    pub parent: Option<usize>,
+    /// Stable region name (`"stage1"`, `"pass:zone_map_pruning"`,
+    /// `"chunk"`, …).
+    pub name: &'static str,
+    /// Free-form annotation (chunk URI, pass detail, …).
+    pub detail: String,
+    /// Nanoseconds since the collector's epoch (the query start).
+    pub start_ns: u64,
+    pub dur_ns: u64,
+    /// Pool worker that ran the region, when inside a worker.
+    pub worker: Option<usize>,
+    pub rows: Option<u64>,
+    pub bytes: Option<u64>,
+}
+
+/// Collects one query's spans. Shared (`Arc`) between the driver and
+/// the worker pools; recording is a short mutex-guarded push.
+#[derive(Debug)]
+pub struct TraceCollector {
+    epoch: Instant,
+    spans: Mutex<Vec<SpanRecord>>,
+    ambient: AtomicUsize,
+}
+
+impl Default for TraceCollector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceCollector {
+    pub fn new() -> Self {
+        TraceCollector {
+            epoch: Instant::now(),
+            spans: Mutex::new(Vec::new()),
+            ambient: AtomicUsize::new(NO_SPAN),
+        }
+    }
+
+    /// Nanoseconds since the query epoch.
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Record a region whose timing is already known. Returns its id.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record(
+        &self,
+        parent: Option<usize>,
+        name: &'static str,
+        detail: impl Into<String>,
+        start_ns: u64,
+        dur_ns: u64,
+        worker: Option<usize>,
+        rows: Option<u64>,
+        bytes: Option<u64>,
+    ) -> usize {
+        let mut spans = self.spans.lock();
+        let id = spans.len();
+        spans.push(SpanRecord {
+            id,
+            parent,
+            name,
+            detail: detail.into(),
+            start_ns,
+            dur_ns,
+            worker,
+            rows,
+            bytes,
+        });
+        id
+    }
+
+    /// Open a region now; close it with [`end`](Self::end).
+    pub fn start(&self, parent: Option<usize>, name: &'static str) -> usize {
+        let now = self.now_ns();
+        self.record(parent, name, String::new(), now, 0, None, None, None)
+    }
+
+    /// Close a region opened by [`start`](Self::start).
+    pub fn end(&self, id: usize) {
+        self.end_with(id, None, None, None);
+    }
+
+    /// Close a region, attaching a detail and row/byte counts.
+    pub fn end_with(
+        &self,
+        id: usize,
+        detail: Option<String>,
+        rows: Option<u64>,
+        bytes: Option<u64>,
+    ) {
+        let now = self.now_ns();
+        let mut spans = self.spans.lock();
+        if let Some(span) = spans.get_mut(id) {
+            span.dur_ns = now.saturating_sub(span.start_ns);
+            if let Some(d) = detail {
+                span.detail = d;
+            }
+            span.rows = rows.or(span.rows);
+            span.bytes = bytes.or(span.bytes);
+        }
+    }
+
+    /// Set the ambient parent: spans recorded by nested probes that do
+    /// not know their parent id attach here. `None` clears it.
+    pub fn set_ambient(&self, id: Option<usize>) {
+        self.ambient.store(id.unwrap_or(NO_SPAN), Ordering::Release);
+    }
+
+    /// The current ambient parent.
+    pub fn ambient(&self) -> Option<usize> {
+        match self.ambient.load(Ordering::Acquire) {
+            NO_SPAN => None,
+            id => Some(id),
+        }
+    }
+
+    /// Freeze the collected spans into a [`SpanTrace`].
+    pub fn finish(&self) -> SpanTrace {
+        SpanTrace { spans: self.spans.lock().clone() }
+    }
+}
+
+/// A query's finished span tree (spans in recording order; parents
+/// always precede children).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SpanTrace {
+    pub spans: Vec<SpanRecord>,
+}
+
+/// When one parent has more same-named children than this, the tree
+/// rendering shows the first few and folds the rest into a summary
+/// line (a T4 over 100k chunks must not print 100k lines).
+const RENDER_FOLD_AT: usize = 8;
+const RENDER_SHOWN: usize = 4;
+
+impl SpanTrace {
+    /// The first span named `name`.
+    pub fn find(&self, name: &str) -> Option<&SpanRecord> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// How many spans are named `name`.
+    pub fn count(&self, name: &str) -> usize {
+        self.spans.iter().filter(|s| s.name == name).count()
+    }
+
+    /// Summed duration of every span named `name`.
+    pub fn total_ns(&self, name: &str) -> u64 {
+        self.spans.iter().filter(|s| s.name == name).map(|s| s.dur_ns).sum()
+    }
+
+    /// Render the tree as indented lines, folding long runs of
+    /// same-named siblings (per-chunk spans) into summary lines.
+    pub fn render_tree(&self) -> String {
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); self.spans.len()];
+        let mut roots = Vec::new();
+        for span in &self.spans {
+            match span.parent {
+                Some(p) if p < self.spans.len() => children[p].push(span.id),
+                _ => roots.push(span.id),
+            }
+        }
+        let mut out = String::new();
+        for root in roots {
+            self.render_node(root, 0, &children, &mut out);
+        }
+        out
+    }
+
+    fn render_node(
+        &self,
+        id: usize,
+        depth: usize,
+        children: &[Vec<usize>],
+        out: &mut String,
+    ) {
+        let span = &self.spans[id];
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        out.push_str(&format!("{} {}", span.name, fmt_ns(span.dur_ns)));
+        if !span.detail.is_empty() {
+            out.push_str(&format!(" ({})", span.detail));
+        }
+        if let Some(w) = span.worker {
+            out.push_str(&format!(" [w{w}]"));
+        }
+        if let Some(r) = span.rows {
+            out.push_str(&format!(" rows={r}"));
+        }
+        if let Some(b) = span.bytes {
+            out.push_str(&format!(" bytes={b}"));
+        }
+        out.push('\n');
+
+        // Fold long same-named sibling runs (per-chunk spans).
+        let kids = &children[id];
+        let mut i = 0;
+        while i < kids.len() {
+            let name = self.spans[kids[i]].name;
+            let mut j = i;
+            while j < kids.len() && self.spans[kids[j]].name == name {
+                j += 1;
+            }
+            if j - i > RENDER_FOLD_AT {
+                for &kid in &kids[i..i + RENDER_SHOWN] {
+                    self.render_node(kid, depth + 1, children, out);
+                }
+                let rest = &kids[i + RENDER_SHOWN..j];
+                let total: u64 = rest.iter().map(|&k| self.spans[k].dur_ns).sum();
+                let rows: u64 = rest.iter().filter_map(|&k| self.spans[k].rows).sum();
+                for _ in 0..=depth {
+                    out.push_str("  ");
+                }
+                out.push_str(&format!(
+                    "… {} more \"{}\" spans, {} total, rows={}\n",
+                    rest.len(),
+                    name,
+                    fmt_ns(total),
+                    rows
+                ));
+            } else {
+                for &kid in &kids[i..j] {
+                    self.render_node(kid, depth + 1, children, out);
+                }
+            }
+            i = j;
+        }
+    }
+}
+
+/// `1234567` → `"1.235ms"` — fixed, locale-free formatting.
+pub fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn start_end_builds_tree() {
+        let tc = TraceCollector::new();
+        let root = tc.start(None, "query");
+        let child = tc.start(Some(root), "stage1");
+        tc.end(child);
+        tc.end_with(root, Some("t4".into()), Some(10), None);
+        let trace = tc.finish();
+        assert_eq!(trace.spans.len(), 2);
+        assert_eq!(trace.spans[1].parent, Some(root));
+        assert_eq!(trace.find("query").unwrap().rows, Some(10));
+        assert!(trace.find("query").unwrap().dur_ns >= trace.spans[1].dur_ns);
+        let tree = trace.render_tree();
+        assert!(tree.contains("query"));
+        assert!(tree.contains("\n  stage1"), "child must be indented: {tree}");
+    }
+
+    #[test]
+    fn ambient_parent_round_trips() {
+        let tc = TraceCollector::new();
+        assert_eq!(tc.ambient(), None);
+        let id = tc.start(None, "load");
+        tc.set_ambient(Some(id));
+        assert_eq!(tc.ambient(), Some(id));
+        tc.set_ambient(None);
+        assert_eq!(tc.ambient(), None);
+    }
+
+    #[test]
+    fn render_folds_long_sibling_runs() {
+        let tc = TraceCollector::new();
+        let root = tc.start(None, "load");
+        for i in 0..20 {
+            tc.record(Some(root), "chunk", format!("uri{i}"), 0, 100, Some(0), Some(5), None);
+        }
+        tc.end(root);
+        let tree = tc.finish().render_tree();
+        assert_eq!(tree.matches("\n  chunk").count(), RENDER_SHOWN);
+        assert!(tree.contains("16 more \"chunk\" spans"), "{tree}");
+        assert!(tree.contains("rows=80"), "{tree}");
+    }
+
+    #[test]
+    fn fmt_ns_units() {
+        assert_eq!(fmt_ns(750), "750ns");
+        assert_eq!(fmt_ns(1_500), "1.5µs");
+        assert_eq!(fmt_ns(2_500_000), "2.500ms");
+        assert_eq!(fmt_ns(3_200_000_000), "3.200s");
+    }
+}

@@ -36,8 +36,8 @@
 pub mod passes;
 
 pub use passes::{
-    as_zone_constraint, zone_conjunct_contradicted, ChunkRewrite, JoinOrder,
-    PartialAggFusion, ProjectionPushdown, SelectionPushdown, ZoneMapPruning,
+    as_zone_constraint, plan_zone_constraints, zone_conjunct_contradicted, ChunkRewrite,
+    JoinOrder, PartialAggFusion, ProjectionPushdown, SelectionPushdown, ZoneMapPruning,
 };
 
 use crate::error::Result;
@@ -165,6 +165,10 @@ pub struct PassTrace {
     pub name: &'static str,
     pub fired: bool,
     pub detail: String,
+    /// Wall time the pass took. Always measured — two `Instant` reads
+    /// per pass are noise — so `EXPLAIN ANALYZE` and the span trace can
+    /// replay per-pass timings without re-running the pipeline.
+    pub nanos: u64,
 }
 
 impl fmt::Display for PassTrace {
@@ -194,11 +198,13 @@ impl Pipeline {
     pub fn run(&self, state: &mut OptState) -> Result<Vec<PassTrace>> {
         let mut trace = Vec::with_capacity(self.passes.len());
         for pass in &self.passes {
+            let start = std::time::Instant::now();
             let (fired, detail) = match pass.apply(state)? {
                 PassEffect::Fired(d) => (true, d),
                 PassEffect::Skipped(d) => (false, d),
             };
-            trace.push(PassTrace { name: pass.name(), fired, detail });
+            let nanos = start.elapsed().as_nanos() as u64;
+            trace.push(PassTrace { name: pass.name(), fired, detail, nanos });
         }
         Ok(trace)
     }

@@ -159,6 +159,27 @@ pub fn as_zone_constraint(conjunct: &Expr) -> Option<ZoneConstraint> {
     Some(ZoneConstraint { column: col.clone(), op, value: lit.clone() })
 }
 
+/// The zone constraints of every lazy scan's pushed-down predicate in
+/// `plan` — one entry per lazy scan carrying a predicate. This is how
+/// `EXPLAIN` probes the registry's zone index for a candidate count
+/// without running the query (at plan time the chunk list is not yet
+/// real, so `ZoneMapPruning` itself only reports "armed").
+pub fn plan_zone_constraints(plan: &LogicalPlan) -> Vec<Vec<ZoneConstraint>> {
+    let mut out = Vec::new();
+    plan.visit(&mut |p| {
+        if let LogicalPlan::LazyScan { predicate: Some(pred), .. } = p {
+            out.push(
+                pred.clone()
+                    .split_conjunction()
+                    .iter()
+                    .filter_map(as_zone_constraint)
+                    .collect(),
+            );
+        }
+    });
+    out
+}
+
 /// Is `column ⟨op⟩ lit` provably false for every row of a chunk with
 /// the given zones? The single source of truth for zone contradiction —
 /// the pruning pass, the core registry's linear scan and the interval

@@ -32,8 +32,9 @@
 
 use crate::agg::{merge_partials, partial_aggregate, PartialAgg};
 use crate::error::{EngineError, Result};
-use crate::exec::{execute, ChunkPipeline, ExecContext};
+use crate::exec::{execute, run_indexed_obs, ChunkPipeline, ExecContext};
 use crate::logical::LogicalPlan;
+use crate::obs::{self, span::fmt_ns, Obs, TraceCollector};
 use crate::optimizer::{
     self, ColumnZone, PassTrace, Stage2Options, ZoneCandidates, ZoneConstraint,
 };
@@ -112,6 +113,26 @@ pub struct AcquiredChunk {
     /// True if the acquisition waited on another thread's in-flight
     /// load of the same chunk (single-flight dedup).
     pub joined: bool,
+    /// Time this acquisition spent decoding the chunk (zero for hits
+    /// and joins — the decode happened elsewhere).
+    pub decode: Duration,
+    /// Time this acquisition spent blocked on another thread's
+    /// in-flight load (zero unless `joined`).
+    pub pin_wait: Duration,
+}
+
+impl AcquiredChunk {
+    /// A hit/miss/join without timing detail (managers that do not
+    /// measure decode cost).
+    pub fn untimed(relation: Arc<Relation>, loaded: bool, joined: bool) -> Self {
+        AcquiredChunk {
+            relation,
+            loaded,
+            joined,
+            decode: Duration::ZERO,
+            pin_wait: Duration::ZERO,
+        }
+    }
 }
 
 /// Per-chunk delivery callback for [`ChunkResidency::acquire_each`]:
@@ -303,6 +324,9 @@ pub struct TwoStageConfig {
     /// deterministically. Aggregates like AVG remain (approximately)
     /// unbiased; COUNT/SUM scale down with the fraction. `None` = exact.
     pub sampling: Option<f64>,
+    /// Observability handle for this query: pool/query counters, and —
+    /// when a per-query tracer is attached — the span tree.
+    pub obs: Obs,
 }
 
 impl Default for TwoStageConfig {
@@ -317,6 +341,7 @@ impl Default for TwoStageConfig {
             uri_column: String::new(),
             max_threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(8),
             sampling: None,
+            obs: Obs::off(),
         }
     }
 }
@@ -351,12 +376,32 @@ pub struct ExecStats {
     pub rows_union_materialized: u64,
     /// Chunks executed through per-chunk partial-aggregation pipelines.
     pub partial_agg_chunks: u64,
+    /// Acquisitions that joined another thread's in-flight load of the
+    /// same chunk (single-flight dedup) instead of decoding.
+    pub load_joins: u64,
+    /// Total time acquisitions spent blocked on in-flight loads.
+    pub pin_wait: Duration,
+    /// Chunks the residency manager evicted while this query ran
+    /// (filled by the driver's caller from the manager's stats; always
+    /// 0 on the direct/recycler path).
+    pub cellar_evictions: u64,
 }
 
 impl ExecStats {
     /// Total wall time across stages.
     pub fn total(&self) -> Duration {
         self.stage1 + self.load + self.stage2
+    }
+
+    /// The chunk-accounting invariant every run must satisfy: each
+    /// selected chunk is pruned, sampled out, loaded, or a cache hit —
+    /// exactly one of the four.
+    pub fn accounting_balanced(&self) -> bool {
+        self.files_selected
+            == self.files_pruned
+                + self.files_sampled_out
+                + self.files_loaded
+                + self.cache_hits
     }
 }
 
@@ -384,6 +429,8 @@ pub fn execute_plan(
     let mut ctx = ExecContext::new(db);
     ctx.parallel = config.parallel;
     ctx.workers = config.parallel.stage2_workers(config.max_threads);
+    ctx.obs = config.obs.clone();
+    let tracer: Option<&TraceCollector> = config.obs.tracer().map(Arc::as_ref);
 
     // ---- Stage 1: evaluate the metadata branch Qf, if marked. ------
     let qf_id = match plan.qf() {
@@ -399,6 +446,20 @@ pub fn execute_plan(
             let phys = lower(qf, &opts)?;
             let rf = execute(&phys, &ctx)?;
             stats.stage1 = t.elapsed();
+            if let Some(tc) = tracer {
+                let dur = stats.stage1.as_nanos() as u64;
+                let end = tc.now_ns();
+                tc.record(
+                    tc.ambient(),
+                    "stage1",
+                    "Qf (metadata branch)",
+                    end.saturating_sub(dur),
+                    dur,
+                    None,
+                    Some(rf.rows() as u64),
+                    None,
+                );
+            }
             ctx.materialized.push(Arc::new(rf));
             Some(0usize)
         }
@@ -453,14 +514,40 @@ pub fn execute_plan(
     // union chunk rewrite (lowering), selection pushdown, partial-
     // aggregate fusion, projection pushdown.
     let zones = |uri: &str| access.zone_maps(uri);
-    let zone_candidates =
-        |constraints: &[ZoneConstraint]| access.zone_candidates(constraints);
+    let zone_candidates = |constraints: &[ZoneConstraint]| {
+        // The zone-index probe: indexed stage-1 candidate selection.
+        let t0 = Instant::now();
+        let r = access.zone_candidates(constraints);
+        if let Some(tc) = tracer {
+            let dur = t0.elapsed().as_nanos() as u64;
+            let end = tc.now_ns();
+            let detail = match &r {
+                Some(ZoneCandidates::Uris(uris)) => format!("{} candidates", uris.len()),
+                Some(ZoneCandidates::All) => "all chunks candidate".to_string(),
+                None => "no index".to_string(),
+            };
+            tc.record(
+                tc.ambient(),
+                "zone_index_probe",
+                detail,
+                end.saturating_sub(dur),
+                dur,
+                None,
+                None,
+                None,
+            );
+        }
+        config.obs.count("zone.probes", 1);
+        r
+    };
     let opts = Stage2Options {
         use_index_joins: config.use_index_joins,
         pushdown: config.pushdown,
         projection_pushdown: config.projection_pushdown,
         zone_map_pruning: config.zone_map_pruning,
     };
+    let considered = chunk_refs.as_ref().map(Vec::len).unwrap_or(0);
+    let rw_start = tracer.map(|tc| tc.now_ns());
     let s2 = optimizer::rewrite_stage2(
         plan,
         db,
@@ -470,12 +557,55 @@ pub fn execute_plan(
         qf_id,
         &opts,
     )?;
+    if let (Some(tc), Some(t0)) = (tracer, rw_start) {
+        let parent = tc.record(
+            tc.ambient(),
+            "rewrite_stage2",
+            format!("{} passes", s2.trace.len()),
+            t0,
+            tc.now_ns().saturating_sub(t0),
+            None,
+            None,
+            None,
+        );
+        // Replay per-pass timings from the pipeline's trace; starts
+        // are reconstructed by accumulation (passes run in order).
+        let mut cursor = t0;
+        for p in &s2.trace {
+            tc.record(
+                Some(parent),
+                p.name,
+                p.detail.clone(),
+                cursor,
+                p.nanos,
+                None,
+                None,
+                None,
+            );
+            cursor += p.nanos;
+        }
+    }
     let mut phys = s2.physical;
     let trace = s2.trace;
     stats.files_pruned = s2.pruned;
+    if considered > 0 {
+        config.obs.count("zone.chunks_considered", considered as u64);
+        config.obs.count("zone.chunks_pruned", s2.pruned as u64);
+    }
     let decode_projection = phys.decode_projection();
 
     // ---- Chunk acquisition over the (pruned) list. -----------------
+    // The load span is ambient while the wave runs, so per-chunk spans
+    // recorded on pool workers attach under it.
+    let outer_span = tracer.map(|tc| tc.ambient());
+    let load_span = match (&s2.chunks, &access) {
+        (Some(_), access) if !matches!(access, ChunkAccess::None) => tracer.map(|tc| {
+            let id = tc.start(tc.ambient(), "load");
+            tc.set_ambient(Some(id));
+            id
+        }),
+        _ => None,
+    };
     let mut pin_guard: Option<PinGuard<'_>> = None;
     match (&s2.chunks, &access) {
         (None, _) | (_, ChunkAccess::None) => {}
@@ -497,11 +627,15 @@ pub fn execute_plan(
             let to_load: Vec<&str> =
                 refs.iter().filter(|r| !r.cached).map(|r| r.uri.as_str()).collect();
             let loaded = match config.parallel {
-                ParallelMode::Static => {
-                    load_static(*source, &to_load, projection, config.max_threads)?
-                }
+                ParallelMode::Static => load_static(
+                    *source,
+                    &to_load,
+                    projection,
+                    config.max_threads,
+                    &config.obs,
+                )?,
                 ParallelMode::Exchange { workers } => {
-                    load_exchange(*source, &to_load, projection, workers)?
+                    load_exchange(*source, &to_load, projection, workers, &config.obs)?
                 }
             };
             for (uri, rel) in loaded {
@@ -557,6 +691,13 @@ pub fn execute_plan(
                     } else {
                         stats.cache_hits += 1;
                     }
+                    if chunk.joined {
+                        stats.load_joins += 1;
+                    }
+                    stats.pin_wait += chunk.pin_wait;
+                    if let Some(tc) = tracer {
+                        record_chunk_acquisition(tc, uri, &chunk);
+                    }
                     ctx.chunks.insert(uri.clone(), chunk.relation);
                 }
                 stats.load = t.elapsed();
@@ -564,14 +705,87 @@ pub fn execute_plan(
         }
     }
 
+    if let (Some(tc), Some(id)) = (tracer, load_span) {
+        tc.end_with(
+            id,
+            Some(format!(
+                "{} loaded, {} hits, {} joined",
+                stats.files_loaded, stats.cache_hits, stats.load_joins
+            )),
+            Some(stats.rows_loaded),
+            Some(stats.bytes_loaded),
+        );
+        tc.set_ambient(outer_span.flatten());
+    }
+
     // ---- Stage 2: the remainder Qs. ---------------------------------
     let t = Instant::now();
+    let stage2_span = tracer.map(|tc| {
+        let id = tc.start(tc.ambient(), "stage2");
+        tc.set_ambient(Some(id));
+        id
+    });
     let relation = execute(&phys, &ctx)?;
+    if let (Some(tc), Some(id)) = (tracer, stage2_span) {
+        tc.end_with(id, Some("Qs (remainder)".into()), Some(relation.rows() as u64), None);
+        tc.set_ambient(outer_span.flatten());
+    }
     stats.stage2 = t.elapsed();
     stats.rows_union_materialized += ctx.counters.union_rows.load(Ordering::Relaxed);
     stats.partial_agg_chunks += ctx.counters.partial_agg_chunks.load(Ordering::Relaxed);
     drop(pin_guard);
+
+    // Chunk accounting must balance on every path: each selected chunk
+    // is pruned, sampled out, loaded, or a cache hit.
+    debug_assert!(
+        stats.accounting_balanced(),
+        "chunk accounting out of balance: selected {} != pruned {} + sampled_out {} + loaded {} + hits {}",
+        stats.files_selected,
+        stats.files_pruned,
+        stats.files_sampled_out,
+        stats.files_loaded,
+        stats.cache_hits
+    );
+
+    let o = &config.obs;
+    o.count("query.count", 1);
+    o.count("query.stage1_ns", stats.stage1.as_nanos() as u64);
+    o.count("query.load_ns", stats.load.as_nanos() as u64);
+    o.count("query.stage2_ns", stats.stage2.as_nanos() as u64);
+    o.count("chunks.selected", stats.files_selected as u64);
+    o.count("chunks.pruned", stats.files_pruned as u64);
+    o.count("chunks.sampled_out", stats.files_sampled_out as u64);
+    o.count("chunks.loaded", stats.files_loaded as u64);
+    o.count("chunks.cache_hits", stats.cache_hits as u64);
+    o.count("chunks.load_joins", stats.load_joins);
+    o.count("rows.loaded", stats.rows_loaded);
+    o.count("bytes.loaded", stats.bytes_loaded);
     Ok(QueryOutcome { relation, stats, trace })
+}
+
+/// Record the acquisition span of one managed chunk (non-fused path):
+/// the span covers decode + pin wait, annotated with how it was
+/// satisfied.
+fn record_chunk_acquisition(tc: &TraceCollector, uri: &str, chunk: &AcquiredChunk) {
+    let dur = (chunk.decode + chunk.pin_wait).as_nanos() as u64;
+    let status = if chunk.joined {
+        format!("{uri} joined, waited {}", fmt_ns(chunk.pin_wait.as_nanos() as u64))
+    } else if chunk.loaded {
+        format!("{uri} decoded in {}", fmt_ns(chunk.decode.as_nanos() as u64))
+    } else {
+        format!("{uri} hit")
+    };
+    let end = tc.now_ns();
+    tc.record(
+        tc.ambient(),
+        "chunk.load",
+        status,
+        end.saturating_sub(dur),
+        dur,
+        None,
+        Some(chunk.relation.rows() as u64),
+        Some(chunk.relation.approx_bytes() as u64),
+    );
 }
 
 /// The fused decode→execute wave over one [`PhysicalPlan::PartialAggUnion`]:
@@ -610,15 +824,47 @@ fn fused_wave(
         (0..uris.len()).map(|_| Mutex::new(None)).collect();
     let (loaded, hits) = (AtomicU64::new(0), AtomicU64::new(0));
     let (rows, bytes) = (AtomicU64::new(0), AtomicU64::new(0));
+    let (joins, wait_ns) = (AtomicU64::new(0), AtomicU64::new(0));
+    let tracer = config.obs.tracer().map(Arc::as_ref);
     let sink = |i: usize, chunk: AcquiredChunk| -> Result<()> {
+        let chunk_bytes = chunk.relation.approx_bytes() as u64;
         if chunk.loaded {
             loaded.fetch_add(1, Ordering::Relaxed);
             rows.fetch_add(chunk.relation.rows() as u64, Ordering::Relaxed);
-            bytes.fetch_add(chunk.relation.approx_bytes() as u64, Ordering::Relaxed);
+            bytes.fetch_add(chunk_bytes, Ordering::Relaxed);
         } else {
             hits.fetch_add(1, Ordering::Relaxed);
         }
+        if chunk.joined {
+            joins.fetch_add(1, Ordering::Relaxed);
+        }
+        wait_ns.fetch_add(chunk.pin_wait.as_nanos() as u64, Ordering::Relaxed);
+        let t0 = Instant::now();
         let part = partial_aggregate(&pipeline.run(&chunk.relation)?, group_by, aggs)?;
+        if let Some(tc) = tracer {
+            // One span per chunk, covering decode + pin wait + the
+            // fused pipeline (all on the worker that decoded it).
+            let pipe_ns = t0.elapsed().as_nanos() as u64;
+            let acq_ns = (chunk.decode + chunk.pin_wait).as_nanos() as u64;
+            let end = tc.now_ns();
+            let how = if chunk.joined {
+                format!("wait {}", fmt_ns(chunk.pin_wait.as_nanos() as u64))
+            } else if chunk.loaded {
+                format!("decode {}", fmt_ns(chunk.decode.as_nanos() as u64))
+            } else {
+                "hit".to_string()
+            };
+            tc.record(
+                tc.ambient(),
+                "chunk",
+                format!("{} ({how}, pipeline {})", uris[i], fmt_ns(pipe_ns)),
+                end.saturating_sub(acq_ns + pipe_ns),
+                acq_ns + pipe_ns,
+                obs::current_worker(),
+                Some(chunk.relation.rows() as u64),
+                Some(chunk_bytes),
+            );
+        }
         *slots[i].lock() = Some(part);
         Ok(())
     };
@@ -627,6 +873,8 @@ fn fused_wave(
     stats.cache_hits += hits.load(Ordering::Relaxed) as usize;
     stats.rows_loaded += rows.load(Ordering::Relaxed);
     stats.bytes_loaded += bytes.load(Ordering::Relaxed);
+    stats.load_joins += joins.load(Ordering::Relaxed);
+    stats.pin_wait += Duration::from_nanos(wait_ns.load(Ordering::Relaxed));
     stats.partial_agg_chunks += uris.len() as u64;
     let parts: Vec<PartialAgg> = slots
         .into_iter()
@@ -697,11 +945,26 @@ fn load_static(
     uris: &[&str],
     projection: Option<&[String]>,
     max_threads: usize,
+    obs: &Obs,
 ) -> Result<Vec<(String, Relation)>> {
-    let loaded =
-        crate::exec::run_indexed(uris.len(), ParallelMode::Static, max_threads, |i| {
-            source.load_chunk(uris[i], projection)
-        });
+    let loaded = run_indexed_obs(uris.len(), ParallelMode::Static, max_threads, obs, |i| {
+        let tracer = obs.tracer();
+        let t0 = tracer.map(|tc| tc.now_ns());
+        let rel = source.load_chunk(uris[i], projection);
+        if let (Some(tc), Some(t0)) = (tracer, t0) {
+            tc.record(
+                tc.ambient(),
+                "chunk.load",
+                uris[i].to_string(),
+                t0,
+                tc.now_ns().saturating_sub(t0),
+                obs::current_worker(),
+                rel.as_ref().ok().map(|r| r.rows() as u64),
+                rel.as_ref().ok().map(|r| r.approx_bytes() as u64),
+            );
+        }
+        rel
+    });
     let mut out = Vec::with_capacity(uris.len());
     for (uri, rel) in uris.iter().zip(loaded) {
         out.push((uri.to_string(), rel?));
@@ -717,6 +980,7 @@ fn load_exchange(
     uris: &[&str],
     projection: Option<&[String]>,
     workers: usize,
+    obs: &Obs,
 ) -> Result<Vec<(String, Relation)>> {
     if uris.is_empty() {
         return Ok(Vec::new());
@@ -729,15 +993,26 @@ fn load_exchange(
         }
     }
     // ... then decode dynamically: each worker pulls the next unit.
-    let results = crate::exec::run_indexed(
-        slots.len(),
-        ParallelMode::Exchange { workers },
-        workers,
-        |i| {
+    let results =
+        run_indexed_obs(slots.len(), ParallelMode::Exchange { workers }, workers, obs, |i| {
             let unit = slots[i].1.lock().take().expect("each unit taken once");
-            unit()
-        },
-    );
+            let tracer = obs.tracer();
+            let t0 = tracer.map(|tc| tc.now_ns());
+            let rel = unit();
+            if let (Some(tc), Some(t0)) = (tracer, t0) {
+                tc.record(
+                    tc.ambient(),
+                    "chunk.load",
+                    format!("{} (unit)", uris[slots[i].0]),
+                    t0,
+                    tc.now_ns().saturating_sub(t0),
+                    obs::current_worker(),
+                    rel.as_ref().ok().map(|r| r.rows() as u64),
+                    rel.as_ref().ok().map(|r| r.approx_bytes() as u64),
+                );
+            }
+            rel
+        });
     // Reassemble per-file relations; unit order within a file is the
     // construction order, so the union is deterministic.
     let mut per_file: Vec<Relation> = (0..uris.len()).map(|_| Relation::empty()).collect();
@@ -870,16 +1145,12 @@ mod tests {
                     self.pin();
                     let mut resident = self.resident.lock();
                     if let Some(rel) = resident.get(u) {
-                        return Ok(AcquiredChunk {
-                            relation: Arc::clone(rel),
-                            loaded: false,
-                            joined: false,
-                        });
+                        return Ok(AcquiredChunk::untimed(Arc::clone(rel), false, false));
                     }
                     // Retaining manager: always decodes full width.
                     let rel = Arc::new(self.source.load_chunk(u, None)?);
                     resident.insert(u.clone(), Arc::clone(&rel));
-                    Ok(AcquiredChunk { relation: rel, loaded: true, joined: false })
+                    Ok(AcquiredChunk::untimed(rel, true, false))
                 })
                 .collect()
         }

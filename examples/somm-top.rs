@@ -1,0 +1,61 @@
+//! somm-top: run a small workload and pretty-print the engine's
+//! metrics snapshot — a `top`-style view of what the system did.
+//!
+//! ```sh
+//! cargo run --release --example somm-top [-- --json]
+//! ```
+//!
+//! `--json` emits the snapshot as JSON (the scrapeable form) instead
+//! of the aligned table.
+
+use sommelier_core::{LoadingMode, Sommelier, SommelierConfig};
+use sommelier_mseed::{DatasetSpec, MseedAdapter, Repository};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let json = std::env::args().any(|a| a == "--json");
+
+    // A small synthetic repository and a lazily prepared system.
+    let dir = std::env::temp_dir().join("sommelier-somm-top");
+    let _ = std::fs::remove_dir_all(&dir);
+    let repo = Repository::at(dir.join("repo"));
+    let mut spec = DatasetSpec::ingv(1, 128);
+    spec.days = 4;
+    repo.generate(&spec)?;
+    let somm = Sommelier::builder()
+        .source(MseedAdapter::new(repo))
+        .config(SommelierConfig::default())
+        .build()?;
+    somm.prepare(LoadingMode::Lazy)?;
+
+    // A mixed workload: metadata-only, range ingest, and the windowed
+    // join — enough to move most counter families.
+    let workload = [
+        "SELECT COUNT(*) AS n FROM F WHERE station = 'ISK'",
+        "SELECT AVG(D.sample_value) FROM dataview \
+         WHERE F.station = 'ISK' AND F.channel = 'BHE' \
+         AND D.sample_time >= '2010-01-01T00:00:00.000' \
+         AND D.sample_time < '2010-01-03T00:00:00.000'",
+        "SELECT AVG(D.sample_value) FROM windowdataview \
+         WHERE F.station = 'ISK' AND H.window_max_val > -1000000000 \
+         AND H.window_start_ts < '2010-01-01T06:00:00.000'",
+    ];
+    for sql in workload {
+        let r = somm.query(sql)?;
+        eprintln!(
+            "ran {} ({} rows, {} chunks loaded, {} cache hits)",
+            r.qtype.label(),
+            r.relation.rows(),
+            r.stats.files_loaded,
+            r.stats.cache_hits,
+        );
+    }
+
+    let snap = somm.metrics_snapshot();
+    if json {
+        println!("{}", snap.to_json());
+    } else {
+        print!("{}", snap.render());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(())
+}

@@ -1,0 +1,301 @@
+//! The observability layer end to end: metric-snapshot determinism,
+//! span-tree shape across the T1–T5 taxonomy on both source adapters,
+//! result equivalence across observability levels, the ExecStats
+//! accounting invariant, and the EXPLAIN / EXPLAIN ANALYZE surfaces.
+
+use sommelier_core::adapters::{generate_event_logs, EventLogAdapter, EventLogSpec};
+use sommelier_core::{LoadingMode, ObsLevel, Sommelier, SommelierConfig};
+use sommelier_integration::{ingv_repo, TempDir};
+use sommelier_mseed::{MseedAdapter, Repository};
+use std::path::{Path, PathBuf};
+
+fn obs_config(level: ObsLevel, threads: usize) -> SommelierConfig {
+    SommelierConfig {
+        observability: level,
+        max_threads: threads,
+        ..SommelierConfig::default()
+    }
+}
+
+fn mseed_system(repo: &Repository, level: ObsLevel, threads: usize) -> Sommelier {
+    Sommelier::builder()
+        .source(MseedAdapter::new(Repository::at(repo.dir())))
+        .config(obs_config(level, threads))
+        .build()
+        .unwrap()
+}
+
+fn eventlog_repo(dir: &TempDir, days: u32, events: u32) -> PathBuf {
+    let logs = dir.join("logs");
+    generate_event_logs(&logs, &EventLogSpec::small(days, events)).unwrap();
+    logs
+}
+
+fn eventlog_system(logs: &Path, level: ObsLevel, threads: usize) -> Sommelier {
+    Sommelier::builder()
+        .source(EventLogAdapter::new(logs))
+        .config(obs_config(level, threads))
+        .build()
+        .unwrap()
+}
+
+/// The paper's taxonomy against the seismology source.
+fn mseed_queries() -> Vec<&'static str> {
+    vec![
+        "SELECT COUNT(*) AS n FROM F WHERE station = 'ISK'",
+        "SELECT window_start_ts, window_max_val FROM H \
+         WHERE window_station = 'ISK' AND window_channel = 'BHE' \
+         AND window_start_ts < '2010-01-01T04:00:00.000' \
+         ORDER BY window_start_ts",
+        "SELECT COUNT(*) AS n FROM windowview \
+         WHERE F.station = 'ISK' AND H.window_max_val > -1000000000 \
+         AND H.window_start_ts < '2010-01-01T04:00:00.000'",
+        "SELECT AVG(D.sample_value) FROM dataview \
+         WHERE F.station = 'ISK' AND F.channel = 'BHE' \
+         AND D.sample_time >= '2010-01-01T00:00:00.000' \
+         AND D.sample_time < '2010-01-02T00:00:00.000'",
+        "SELECT AVG(D.sample_value) FROM windowdataview \
+         WHERE F.station = 'ISK' AND H.window_max_val > -1000000000 \
+         AND H.window_start_ts < '2010-01-01T04:00:00.000'",
+    ]
+}
+
+/// The same taxonomy against the event-log source.
+fn eventlog_queries() -> Vec<&'static str> {
+    vec![
+        "SELECT COUNT(*) AS n FROM G WHERE host = 'web-1'",
+        "SELECT day_start_ts, day_max_val FROM Y \
+         WHERE day_host = 'web-1' AND day_service = 'api' \
+         AND day_start_ts < '2011-03-03T00:00:00.000' \
+         ORDER BY day_start_ts",
+        "SELECT COUNT(*) AS n FROM dayview \
+         WHERE G.host = 'web-1' AND Y.day_max_val > 0 \
+         AND Y.day_start_ts < '2011-03-03T00:00:00.000'",
+        "SELECT AVG(E.val) FROM eventview \
+         WHERE G.host = 'web-1' AND G.service = 'api' \
+         AND E.ts >= '2011-03-01T00:00:00.000' \
+         AND E.ts < '2011-03-02T00:00:00.000'",
+        "SELECT AVG(E.val) FROM daylogview \
+         WHERE G.host = 'web-1' AND Y.day_max_val > 0 \
+         AND Y.day_start_ts < '2011-03-03T00:00:00.000'",
+    ]
+}
+
+/// Counters whose deltas must repeat exactly across identical warm
+/// runs. Timings (`*_ns`, `decode.ns`), pool busy/idle accounting and
+/// the process-global scratch-arena counters (shared with concurrently
+/// running tests) are inherently nondeterministic and excluded.
+fn is_deterministic(name: &str) -> bool {
+    !name.ends_with("_ns") && name != "decode.ns" && !name.starts_with("decode.arena")
+}
+
+#[test]
+fn counter_deltas_repeat_across_identical_warm_runs() {
+    let dir = TempDir::new("obs-determinism");
+    let repo = ingv_repo(&dir, 2, 64);
+    let somm = mseed_system(&repo, ObsLevel::Counters, 2);
+    somm.prepare(LoadingMode::Lazy).unwrap();
+    let t4 = mseed_queries()[3];
+    somm.query(t4).unwrap(); // warm: residency reached steady state
+    let s0 = somm.metrics_snapshot();
+    somm.query(t4).unwrap();
+    let s1 = somm.metrics_snapshot();
+    somm.query(t4).unwrap();
+    let s2 = somm.metrics_snapshot();
+    let d1: Vec<(String, u64)> =
+        s1.counter_deltas(&s0).into_iter().filter(|(n, _)| is_deterministic(n)).collect();
+    let d2: Vec<(String, u64)> =
+        s2.counter_deltas(&s1).into_iter().filter(|(n, _)| is_deterministic(n)).collect();
+    assert!(!d1.is_empty(), "a warm T4 must still move counters");
+    assert_eq!(d1, d2, "identical warm runs must produce identical counter deltas");
+    assert_eq!(s2.counter("query.count"), Some(3), "three runs counted");
+}
+
+#[test]
+fn span_trace_shape_covers_the_taxonomy_on_both_adapters() {
+    let dir = TempDir::new("obs-spans");
+    let repo = ingv_repo(&dir, 2, 32);
+    let logs = eventlog_repo(&dir, 3, 32);
+    for mode in [LoadingMode::Lazy, LoadingMode::EagerIndex] {
+        for threads in [1usize, 8] {
+            for adapter in ["mseed", "eventlog"] {
+                let (somm, queries) = if adapter == "mseed" {
+                    (mseed_system(&repo, ObsLevel::Spans, threads), mseed_queries())
+                } else {
+                    (eventlog_system(&logs, ObsLevel::Spans, threads), eventlog_queries())
+                };
+                somm.prepare(mode).unwrap();
+                for (i, sql) in queries.iter().enumerate() {
+                    let r = somm.query(sql).unwrap();
+                    let ctx = format!("{adapter} T{} {mode} x{threads}", i + 1);
+                    assert!(
+                        r.stats.accounting_balanced(),
+                        "chunk accounting unbalanced on {ctx}: {:?}",
+                        r.stats
+                    );
+                    let trace =
+                        r.span_trace.as_ref().unwrap_or_else(|| panic!("no trace on {ctx}"));
+                    let root =
+                        trace.find("query").unwrap_or_else(|| panic!("{ctx}: no root"));
+                    assert!(root.parent.is_none(), "{ctx}: query span must be the root");
+                    assert_eq!(trace.count("query"), 1, "{ctx}");
+                    assert_eq!(trace.count("inference"), 1, "{ctx}");
+                    assert_eq!(trace.count("compile"), 1, "{ctx}");
+                    assert_eq!(trace.count("stage2"), 1, "{ctx}");
+                    assert_eq!(trace.count("rewrite_stage2"), 1, "{ctx}");
+                    // Every span's parent precedes it (a well-formed tree).
+                    for s in &trace.spans {
+                        if let Some(p) = s.parent {
+                            assert!(p < s.id, "{ctx}: span {} parented to later {}", s.id, p);
+                        }
+                    }
+                    // Lazy runs that ingested chunks show per-chunk spans
+                    // tagged with the worker that decoded them.
+                    let ingested = r.stats.files_loaded + r.stats.cache_hits;
+                    if mode == LoadingMode::Lazy && ingested > 0 {
+                        let chunk_spans: Vec<_> = trace
+                            .spans
+                            .iter()
+                            .filter(|s| s.name == "chunk" || s.name == "chunk.load")
+                            .collect();
+                        assert_eq!(chunk_spans.len(), ingested, "{ctx}: one span per chunk");
+                        assert!(
+                            chunk_spans.iter().all(|s| s.worker.is_some()),
+                            "{ctx}: chunk spans carry worker ids"
+                        );
+                    }
+                    // Span durations are consistent with the stats the
+                    // driver measured from the same clock edges.
+                    if let Some(s) = trace.find("stage2") {
+                        let measured = r.stats.stage2.as_nanos() as u64;
+                        assert!(
+                            s.dur_ns >= measured / 2 && s.dur_ns <= measured.max(1) * 4,
+                            "{ctx}: stage2 span {}ns vs stats {}ns",
+                            s.dur_ns,
+                            measured
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn spans_absent_below_spans_level() {
+    let dir = TempDir::new("obs-levels");
+    let repo = ingv_repo(&dir, 2, 32);
+    for level in [ObsLevel::Off, ObsLevel::Counters] {
+        let somm = mseed_system(&repo, level, 2);
+        somm.prepare(LoadingMode::Lazy).unwrap();
+        let r = somm.query(mseed_queries()[3]).unwrap();
+        assert!(r.span_trace.is_none(), "no span trace expected at {level:?}");
+    }
+}
+
+#[test]
+fn results_identical_across_observability_levels() {
+    let dir = TempDir::new("obs-equivalence");
+    let repo = ingv_repo(&dir, 2, 32);
+    let logs = eventlog_repo(&dir, 3, 32);
+    for adapter in ["mseed", "eventlog"] {
+        let (off, spans, queries) = if adapter == "mseed" {
+            (
+                mseed_system(&repo, ObsLevel::Off, 4),
+                mseed_system(&repo, ObsLevel::Spans, 4),
+                mseed_queries(),
+            )
+        } else {
+            (
+                eventlog_system(&logs, ObsLevel::Off, 4),
+                eventlog_system(&logs, ObsLevel::Spans, 4),
+                eventlog_queries(),
+            )
+        };
+        off.prepare(LoadingMode::Lazy).unwrap();
+        spans.prepare(LoadingMode::Lazy).unwrap();
+        for (i, sql) in queries.iter().enumerate() {
+            let a = off.query(sql).unwrap();
+            let b = spans.query(sql).unwrap();
+            assert_eq!(
+                format!("{:?}", a.relation),
+                format!("{:?}", b.relation),
+                "{adapter} T{}: Off and Spans must be byte-identical",
+                i + 1
+            );
+            assert!(a.stats.accounting_balanced() && b.stats.accounting_balanced());
+        }
+    }
+}
+
+#[test]
+fn explain_annotates_zone_index_candidates() {
+    let dir = TempDir::new("obs-explain-zone");
+    let repo = ingv_repo(&dir, 2, 32);
+    let somm = mseed_system(&repo, ObsLevel::Counters, 2);
+    somm.prepare(LoadingMode::Lazy).unwrap();
+    let text = somm.explain(mseed_queries()[3]).unwrap();
+    let zone_line = text
+        .lines()
+        .find(|l| l.contains("zone_map_pruning"))
+        .expect("explain shows the zone_map_pruning pass");
+    assert!(
+        zone_line.contains("zone index:") && zone_line.contains("chunks candidate"),
+        "zone-index candidate count missing from: {zone_line}"
+    );
+}
+
+#[test]
+fn explain_analyze_renders_spans_passes_and_accounting() {
+    let dir = TempDir::new("obs-explain-analyze");
+    let repo = ingv_repo(&dir, 2, 32);
+    // Counters level: ANALYZE must force a span trace for its one run.
+    let somm = mseed_system(&repo, ObsLevel::Counters, 2);
+    somm.prepare(LoadingMode::Lazy).unwrap();
+    let t4 = mseed_queries()[3];
+    let text = somm.explain_analyze(t4).unwrap();
+    for needle in
+        ["-- spans", "query", "stage2", "-- optimizer passes", "-- stages:", "-- chunks:"]
+    {
+        assert!(text.contains(needle), "EXPLAIN ANALYZE missing {needle:?} in:\n{text}");
+    }
+    assert!(
+        text.contains("selected =") && text.contains("cache hits"),
+        "accounting line missing:\n{text}"
+    );
+    // The ANALYZE prefix routes through explain().
+    let routed = somm.explain(&format!("ANALYZE {t4}")).unwrap();
+    assert!(routed.starts_with("-- source:") && routed.contains("-- spans"), "{routed}");
+}
+
+#[test]
+fn metrics_snapshot_serializes_documented_names() {
+    let dir = TempDir::new("obs-snapshot-json");
+    let repo = ingv_repo(&dir, 2, 32);
+    let somm = mseed_system(&repo, ObsLevel::Counters, 2);
+    somm.prepare(LoadingMode::Lazy).unwrap();
+    somm.query(mseed_queries()[3]).unwrap();
+    let snap = somm.metrics_snapshot();
+    for name in [
+        "query.count",
+        "chunks.selected",
+        "chunks.loaded",
+        "rows.loaded",
+        "bytes.loaded",
+        "registrar.chunks_registered",
+        "cellar.hits",
+        "cellar.pin_wait_ns",
+        "decode.chunks",
+        "decode.bytes",
+        "pool.tasks",
+    ] {
+        assert!(snap.counter(name).is_some(), "documented counter {name:?} missing");
+    }
+    assert!(snap.gauge("cellar.resident_bytes").is_some());
+    assert!(snap.counter("query.count") >= Some(1));
+    let json = snap.to_json();
+    assert!(json.starts_with('{') && json.trim_end().ends_with('}'), "not a JSON object");
+    for key in ["\"counters\"", "\"gauges\"", "\"histograms\"", "\"query.count\""] {
+        assert!(json.contains(key), "JSON missing {key}:\n{json}");
+    }
+}
