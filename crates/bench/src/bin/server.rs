@@ -1,0 +1,19 @@
+//! Query-server traffic driver: a fixed mixed T1–T5 workload replayed
+//! through the multi-tenant session API at 1/4/8/16 concurrent
+//! clients, comparing the shared morsel scheduler (plus admission
+//! control) against the legacy one-scoped-pool-per-query baseline.
+//! The decode-bound configuration (FIAM, recycler off, simulated I/O
+//! off) makes the baseline pay its real oversubscription cost;
+//! `result_bits` must be byte-identical across every cell.
+//!
+//! Set `SOMM_JSON_OUT=<path>` to additionally record the table as JSON
+//! (how `BENCH_server.json` at the workspace root was produced).
+fn main() {
+    let scale = sommelier_bench::BenchScale::from_env();
+    let table = sommelier_bench::experiments::server_traffic(&scale).expect("server traffic");
+    table.print();
+    if let Ok(path) = std::env::var("SOMM_JSON_OUT") {
+        std::fs::write(&path, table.to_json()).expect("write JSON baseline");
+        eprintln!("wrote {path}");
+    }
+}

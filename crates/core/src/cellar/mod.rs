@@ -42,12 +42,13 @@ use crate::error::SommelierError;
 use crate::source::SourceDescriptor;
 use parking_lot::{Condvar, Mutex};
 use sommelier_engine::eval::eval_scalar;
-use sommelier_engine::exec::run_indexed_obs;
+use sommelier_engine::exec::run_indexed_policy;
+use sommelier_engine::sched::{CancelToken, SchedPolicy};
 use sommelier_engine::twostage::{AcquiredChunk, ChunkResidency, ChunkSink, ChunkSource};
 use sommelier_engine::{ColumnZone, EngineError, Obs, ParallelMode, Relation};
 use sommelier_storage::Database;
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -253,6 +254,18 @@ enum StreamTask {
     Retry(Arc<LoadLatch>),
 }
 
+/// Shared state of one streaming-acquisition wave, threaded through
+/// every [`Cellar::run_task`] call: the sink, the first-error abort
+/// slot, the query's cancellation token, and the pin ledger backing the
+/// no-leaked-pins assertion.
+struct TaskCtx<'a> {
+    projection: Option<&'a [String]>,
+    sink: &'a ChunkSink<'a>,
+    first_error: Mutex<Option<EngineError>>,
+    cancel: Option<&'a CancelToken>,
+    pin_ledger: AtomicI64,
+}
+
 impl Cellar {
     /// Create a cellar over the registered sources. Chunk URIs must be
     /// unique across sources — the uri is the residency key, so two
@@ -339,6 +352,22 @@ impl Cellar {
         self.inner.lock().slots.values().filter(|s| matches!(s, Slot::Resident(_))).count()
     }
 
+    /// Sum of pin counts across all resident chunks. With no query in
+    /// flight this must be zero — acquisition (including a cancelled or
+    /// timed-out one) may never leak pins; the cancellation regression
+    /// test asserts on it.
+    pub fn total_pins(&self) -> usize {
+        self.inner
+            .lock()
+            .slots
+            .values()
+            .map(|s| match s {
+                Slot::Resident(r) => r.pins as usize,
+                _ => 0,
+            })
+            .sum()
+    }
+
     /// Counter snapshot.
     pub fn stats(&self) -> CellarSnapshot {
         CellarSnapshot {
@@ -378,9 +407,10 @@ impl Cellar {
     fn acquire_impl(
         &self,
         uris: &[String],
-        parallel: ParallelMode,
-        max_threads: usize,
+        policy: &SchedPolicy,
     ) -> sommelier_engine::Result<Vec<AcquiredChunk>> {
+        // A cancel before classification means no pins were ever taken.
+        policy.check_cancel()?;
         // Every pin this call takes is recorded in `owned_pins`; on any
         // failure exactly those pins are released, so the contract "on
         // error no pins survive" holds without guessing from state that
@@ -415,7 +445,7 @@ impl Cellar {
 
         // Phase 2: decode claimed chunks outside the lock, with the
         // configured parallelism.
-        let decoded = self.decode_claims(&claims, parallel, max_threads);
+        let decoded = self.decode_claims(&claims, policy);
 
         // Phase 3: publish results — admit successes (pinned for this
         // caller, so they cannot be evicted before assembly), withdraw
@@ -624,15 +654,14 @@ impl Cellar {
     fn decode_claims(
         &self,
         claims: &[(String, Arc<LoadLatch>)],
-        parallel: ParallelMode,
-        max_threads: usize,
+        policy: &SchedPolicy,
     ) -> Vec<DecodeOutcome> {
         if claims.is_empty() {
             return Vec::new();
         }
-        match parallel {
-            ParallelMode::Static => self.decode_static(claims, max_threads),
-            ParallelMode::Exchange { workers } => self.decode_exchange(claims, workers),
+        match policy.parallel {
+            ParallelMode::Static => self.decode_static(claims, policy),
+            ParallelMode::Exchange { .. } => self.decode_exchange(claims, policy),
         }
     }
 
@@ -640,22 +669,16 @@ impl Cellar {
     fn decode_static(
         &self,
         claims: &[(String, Arc<LoadLatch>)],
-        max_threads: usize,
+        policy: &SchedPolicy,
     ) -> Vec<DecodeOutcome> {
-        run_indexed_obs(
-            claims.len(),
-            ParallelMode::Static,
-            max_threads,
-            &self.config.obs,
-            |i| {
-                let t = Instant::now();
-                self.source_of(&claims[i].0)
-                    .and_then(|s| {
-                        s.source.load_chunk(&claims[i].0, claims[i].1.projection.as_deref())
-                    })
-                    .map(|r| (r, t.elapsed()))
-            },
-        )
+        run_indexed_policy(claims.len(), policy, &self.config.obs, |i| {
+            let t = Instant::now();
+            self.source_of(&claims[i].0)
+                .and_then(|s| {
+                    s.source.load_chunk(&claims[i].0, claims[i].1.projection.as_deref())
+                })
+                .map(|r| (r, t.elapsed()))
+        })
     }
 
     /// Exchange-style decoding: per-segment units of all claimed chunks
@@ -663,7 +686,7 @@ impl Cellar {
     fn decode_exchange(
         &self,
         claims: &[(String, Arc<LoadLatch>)],
-        workers: usize,
+        policy: &SchedPolicy,
     ) -> Vec<DecodeOutcome> {
         use sommelier_engine::twostage::ChunkUnit;
 
@@ -685,17 +708,11 @@ impl Cellar {
                 Err(e) => out[fi] = Err(e),
             }
         }
-        let results = run_indexed_obs(
-            slots.len(),
-            ParallelMode::Exchange { workers },
-            workers,
-            &self.config.obs,
-            |i| {
-                let unit = slots[i].1.lock().take().expect("each unit taken once");
-                let t = Instant::now();
-                unit().map(|rel| (rel, t.elapsed()))
-            },
-        );
+        let results = run_indexed_policy(slots.len(), policy, &self.config.obs, |i| {
+            let unit = slots[i].1.lock().take().expect("each unit taken once");
+            let t = Instant::now();
+            unit().map(|rel| (rel, t.elapsed()))
+        });
         for (&(fi, _), result) in slots.iter().zip(results) {
             if out[fi].is_err() {
                 continue;
@@ -744,13 +761,14 @@ impl Cellar {
         &self,
         uris: &[String],
         projection: Option<&[String]>,
-        parallel: ParallelMode,
-        max_threads: usize,
+        policy: &SchedPolicy,
         sink: &ChunkSink<'_>,
     ) -> sommelier_engine::Result<()> {
         if uris.is_empty() {
             return Ok(());
         }
+        // A cancel before classification means no pins were ever taken.
+        policy.check_cancel()?;
         // A retaining cellar must decode full width: resident chunks
         // outlive this query and later queries may reference other
         // columns. Only the pure single-flight-loader configuration
@@ -783,15 +801,37 @@ impl Cellar {
         // Phase 2: drain the passes on the worker pool. Static mode
         // uses the paper's pre-assigned shares, exchange mode a shared
         // queue; either way each worker decodes (if needed), sinks,
-        // unpins.
-        let first_error: Mutex<Option<EngineError>> = Mutex::new(None);
-        for pass in [&eager, &joins] {
-            run_indexed_obs(pass.len(), parallel, max_threads, &self.config.obs, |k| {
-                let i = pass[k];
-                self.run_task(i, &uris[i], &tasks[i], projection, sink, &first_error)
-            });
+        // unpins. The pin ledger counts every pin a task holds and every
+        // release; a task path that drops out without unpinning (the
+        // cancellation-leak class of bug) trips the assert below.
+        let tctx = TaskCtx {
+            projection,
+            sink,
+            first_error: Mutex::new(None),
+            cancel: policy.cancel.as_ref(),
+            pin_ledger: AtomicI64::new(0),
+        };
+        let run = |&i: &usize| self.run_task(i, &uris[i], &tasks[i], &tctx);
+        run_indexed_policy(eager.len(), policy, &self.config.obs, |k| run(&eager[k]));
+        if policy.scheduler.is_some() {
+            // Joins block on another wave's latch. Shared-pool workers
+            // must never block (all workers waiting on latches whose
+            // publishers sit queued behind them is a deadlock across
+            // queries), so joins drain inline on the submitting thread.
+            joins.iter().for_each(&run);
+        } else {
+            // Legacy scoped pool: the two-pass ordering alone prevents
+            // the cross-wave latch deadlock (see above), so joins may
+            // use the pool.
+            run_indexed_policy(joins.len(), policy, &self.config.obs, |k| run(&joins[k]));
         }
-        match first_error.into_inner() {
+        debug_assert_eq!(
+            tctx.pin_ledger.load(Ordering::SeqCst),
+            0,
+            "streaming acquisition leaked pins (cancelled: {})",
+            tctx.cancel.and_then(CancelToken::cancelled).is_some()
+        );
+        match tctx.first_error.into_inner() {
             Some(e) => Err(e),
             None => Ok(()),
         }
@@ -948,39 +988,48 @@ impl Cellar {
     /// full — decodes complete and publish through their latches, so an
     /// abort in this wave never fails a concurrent query that joined
     /// one of our in-flight loads — but their sink calls are skipped.
-    fn run_task(
-        &self,
-        i: usize,
-        uri: &str,
-        task: &StreamTask,
-        projection: Option<&[String]>,
-        sink: &ChunkSink<'_>,
-        first_error: &Mutex<Option<EngineError>>,
-    ) {
-        let aborted = || first_error.lock().is_some();
+    ///
+    /// Cancellation rides the same abort mechanism: a fired token is
+    /// recorded as the wave's first error, sinks are skipped, and every
+    /// pin is still released — claimed loads even complete and publish,
+    /// so a cancelled query never hangs concurrent joiners.
+    fn run_task(&self, i: usize, uri: &str, task: &StreamTask, tctx: &TaskCtx<'_>) {
+        let aborted = || tctx.first_error.lock().is_some();
         let record = |e: EngineError| {
-            let mut guard = first_error.lock();
+            let mut guard = tctx.first_error.lock();
             if guard.is_none() {
                 *guard = Some(e);
             }
         };
+        if let Some(c) = tctx.cancel {
+            if let Err(e) = c.check() {
+                record(e);
+            }
+        }
+        // Pin ledger: +1 whenever this task owns a pin, -1 at its
+        // release. Classification pins (hits) are owned the moment the
+        // task starts.
+        let held = |n: i64| tctx.pin_ledger.fetch_add(n, Ordering::SeqCst);
         match task {
             StreamTask::Hit(relation) => {
+                held(1);
                 if !aborted() {
                     let chunk = AcquiredChunk::untimed(Arc::clone(relation), false, false);
-                    if let Err(e) = sink(i, chunk) {
+                    if let Err(e) = (tctx.sink)(i, chunk) {
                         record(e);
                     }
                 }
                 self.release_uris(&[uri]);
+                held(-1);
             }
             StreamTask::HitNarrow => {
                 // The resident relation misses columns this request
                 // needs: decode privately with our own projection (the
                 // pin taken at classification keeps release symmetric).
+                held(1);
                 if !aborted() {
                     let t = Instant::now();
-                    match self.load_private(uri, projection) {
+                    match self.load_private(uri, tctx.projection) {
                         Ok(relation) => {
                             let chunk = AcquiredChunk {
                                 relation,
@@ -989,7 +1038,7 @@ impl Cellar {
                                 decode: t.elapsed(),
                                 pin_wait: Duration::ZERO,
                             };
-                            if let Err(e) = sink(i, chunk) {
+                            if let Err(e) = (tctx.sink)(i, chunk) {
                                 record(e);
                             }
                         }
@@ -997,9 +1046,11 @@ impl Cellar {
                     }
                 }
                 self.release_uris(&[uri]);
+                held(-1);
             }
             StreamTask::Claimed(latch) => match self.load_claim(uri, latch) {
                 Ok((relation, cost)) => {
+                    held(1);
                     if !aborted() {
                         let chunk = AcquiredChunk {
                             relation,
@@ -1008,11 +1059,12 @@ impl Cellar {
                             decode: cost,
                             pin_wait: Duration::ZERO,
                         };
-                        if let Err(e) = sink(i, chunk) {
+                        if let Err(e) = (tctx.sink)(i, chunk) {
                             record(e);
                         }
                     }
                     self.release_uris(&[uri]);
+                    held(-1);
                 }
                 Err(e) => record(e),
             },
@@ -1029,6 +1081,7 @@ impl Cellar {
                             cost,
                             latch.projection.clone(),
                         );
+                        held(1);
                         if !aborted() {
                             let chunk = AcquiredChunk {
                                 relation,
@@ -1037,11 +1090,12 @@ impl Cellar {
                                 decode: Duration::ZERO,
                                 pin_wait: waited,
                             };
-                            if let Err(e) = sink(i, chunk) {
+                            if let Err(e) = (tctx.sink)(i, chunk) {
                                 record(e);
                             }
                         }
                         self.release_uris(&[uri]);
+                        held(-1);
                     }
                     (Err(msg), _) => {
                         record(EngineError::Chunk(format!(
@@ -1056,9 +1110,9 @@ impl Cellar {
                 }
                 // Wait out the conflicting in-flight load, then run
                 // whatever classification settles on.
-                match self.classify_settled(uri, projection) {
+                match self.classify_settled(uri, tctx.projection) {
                     StreamTask::Retry(_) => unreachable!("classify_settled is terminal"),
-                    settled => self.run_task(i, uri, &settled, projection, sink, first_error),
+                    settled => self.run_task(i, uri, &settled, tctx),
                 }
             }
         }
@@ -1301,14 +1355,13 @@ impl ChunkResidency for Cellar {
         &self,
         uris: &[String],
         _projection: Option<&[String]>,
-        parallel: ParallelMode,
-        max_threads: usize,
+        policy: &SchedPolicy,
     ) -> sommelier_engine::Result<Vec<AcquiredChunk>> {
         // The load-all path keeps its chunks pinned for all of stage 2
         // and (when retaining) serves later queries from them: always
         // decode full width here. Projection applies on the streaming
         // path ([`Self::acquire_each`]) of a non-retaining cellar.
-        self.acquire_impl(uris, parallel, max_threads)
+        self.acquire_impl(uris, policy)
     }
 
     fn release_many(&self, uris: &[String]) {
@@ -1320,11 +1373,10 @@ impl ChunkResidency for Cellar {
         &self,
         uris: &[String],
         projection: Option<&[String]>,
-        parallel: ParallelMode,
-        max_threads: usize,
+        policy: &SchedPolicy,
         sink: &ChunkSink<'_>,
     ) -> sommelier_engine::Result<()> {
-        self.acquire_each_impl(uris, projection, parallel, max_threads, sink)
+        self.acquire_each_impl(uris, projection, policy, sink)
     }
 
     fn all_chunks(&self) -> sommelier_engine::Result<Vec<String>> {
@@ -1370,10 +1422,9 @@ impl ChunkResidency for ScopedCellar {
         &self,
         uris: &[String],
         projection: Option<&[String]>,
-        parallel: ParallelMode,
-        max_threads: usize,
+        policy: &SchedPolicy,
     ) -> sommelier_engine::Result<Vec<AcquiredChunk>> {
-        self.cellar.acquire_many(uris, projection, parallel, max_threads)
+        self.cellar.acquire_many(uris, projection, policy)
     }
 
     fn release_many(&self, uris: &[String]) {
@@ -1384,11 +1435,10 @@ impl ChunkResidency for ScopedCellar {
         &self,
         uris: &[String],
         projection: Option<&[String]>,
-        parallel: ParallelMode,
-        max_threads: usize,
+        policy: &SchedPolicy,
         sink: &ChunkSink<'_>,
     ) -> sommelier_engine::Result<()> {
-        self.cellar.acquire_each(uris, projection, parallel, max_threads, sink)
+        self.cellar.acquire_each(uris, projection, policy, sink)
     }
 
     fn all_chunks(&self) -> sommelier_engine::Result<Vec<String>> {
@@ -1525,7 +1575,9 @@ mod tests {
             &fx,
             CellarConfig { budget_bytes: one * 2 + one / 2, ..CellarConfig::default() },
         );
-        let acquired = cellar.acquire_many(&all, None, ParallelMode::Static, 2).unwrap();
+        let acquired = cellar
+            .acquire_many(&all, None, &SchedPolicy::new(ParallelMode::Static, 2))
+            .unwrap();
         assert_eq!(acquired.len(), 4);
         assert!(acquired.iter().all(|a| a.loaded));
         // Working set pinned: transiently over budget, nothing evicted.
@@ -1542,10 +1594,14 @@ mod tests {
         let fx = fixture("hits", 2, 32);
         let all = uris(&fx);
         let cellar = cellar_over(&fx, CellarConfig::default());
-        let first = cellar.acquire_many(&all, None, ParallelMode::Static, 2).unwrap();
+        let first = cellar
+            .acquire_many(&all, None, &SchedPolicy::new(ParallelMode::Static, 2))
+            .unwrap();
         assert!(first.iter().all(|a| a.loaded && !a.joined));
         cellar.release_many(&all);
-        let second = cellar.acquire_many(&all, None, ParallelMode::Static, 2).unwrap();
+        let second = cellar
+            .acquire_many(&all, None, &SchedPolicy::new(ParallelMode::Static, 2))
+            .unwrap();
         assert!(second.iter().all(|a| !a.loaded && !a.joined));
         cellar.release_many(&all);
         let s = cellar.stats();
@@ -1562,8 +1618,9 @@ mod tests {
                 let cellar = &cellar;
                 let all = &all;
                 scope.spawn(move || {
-                    let got =
-                        cellar.acquire_many(all, None, ParallelMode::Static, 2).unwrap();
+                    let got = cellar
+                        .acquire_many(all, None, &SchedPolicy::new(ParallelMode::Static, 2))
+                        .unwrap();
                     assert_eq!(got.len(), all.len());
                     // Every thread sees the same relation contents.
                     let rows: usize = got.iter().map(|a| a.relation.rows()).sum();
@@ -1584,10 +1641,10 @@ mod tests {
         let all = uris(&fx);
         let cellar =
             cellar_over(&fx, CellarConfig { retain: false, ..CellarConfig::default() });
-        cellar.acquire_many(&all, None, ParallelMode::Static, 2).unwrap();
+        cellar.acquire_many(&all, None, &SchedPolicy::new(ParallelMode::Static, 2)).unwrap();
         cellar.release_many(&all);
         assert_eq!(cellar.resident_chunks(), 0);
-        cellar.acquire_many(&all, None, ParallelMode::Static, 2).unwrap();
+        cellar.acquire_many(&all, None, &SchedPolicy::new(ParallelMode::Static, 2)).unwrap();
         cellar.release_many(&all);
         let s = cellar.stats();
         assert_eq!(s.loads, 2 * all.len() as u64, "every query re-ingests");
@@ -1600,9 +1657,15 @@ mod tests {
         let all = uris(&fx);
         let a = cellar_over(&fx, CellarConfig::default());
         let b = cellar_over(&fx, CellarConfig::default());
-        let got_a = a.acquire_many(&all, None, ParallelMode::Static, 2).unwrap();
-        let got_b =
-            b.acquire_many(&all, None, ParallelMode::Exchange { workers: 3 }, 2).unwrap();
+        let got_a =
+            a.acquire_many(&all, None, &SchedPolicy::new(ParallelMode::Static, 2)).unwrap();
+        let got_b = b
+            .acquire_many(
+                &all,
+                None,
+                &SchedPolicy::new(ParallelMode::Exchange { workers: 3 }, 2),
+            )
+            .unwrap();
         for (x, y) in got_a.iter().zip(&got_b) {
             assert_eq!(x.relation.rows(), y.relation.rows());
         }
@@ -1649,7 +1712,9 @@ mod tests {
         // Budget 1 byte: everything evicts on release.
         let cellar =
             cellar_over(&fx, CellarConfig { budget_bytes: 1, ..CellarConfig::default() });
-        cellar.acquire_many(&all[..1], None, ParallelMode::Static, 1).unwrap();
+        cellar
+            .acquire_many(&all[..1], None, &SchedPolicy::new(ParallelMode::Static, 1))
+            .unwrap();
         cellar.release_many(&all[..1]);
         assert_eq!(cellar.resident_chunks(), 0);
         // E rows staged for the chunk are gone; other chunks untouched.
@@ -1670,7 +1735,7 @@ mod tests {
         let day0 = days_from_civil(2011, 3, 1) * MS_PER_DAY;
         fx.dmd.mark_covered([(vec!["web-1".to_string(), "api".to_string()], day0)]);
         let cellar = cellar_over(&fx, CellarConfig::default());
-        cellar.acquire_many(&all, None, ParallelMode::Static, 2).unwrap();
+        cellar.acquire_many(&all, None, &SchedPolicy::new(ParallelMode::Static, 2)).unwrap();
         cellar.release_many(&all);
         assert_eq!(cellar.resident_chunks(), 2);
         cellar.clear();
@@ -1691,8 +1756,12 @@ mod tests {
         );
         // Hold a pin on chunk 0 across a second acquisition that
         // overflows the budget.
-        cellar.acquire_many(&all[..1], None, ParallelMode::Static, 1).unwrap();
-        cellar.acquire_many(&all[1..2], None, ParallelMode::Static, 1).unwrap();
+        cellar
+            .acquire_many(&all[..1], None, &SchedPolicy::new(ParallelMode::Static, 1))
+            .unwrap();
+        cellar
+            .acquire_many(&all[1..2], None, &SchedPolicy::new(ParallelMode::Static, 1))
+            .unwrap();
         cellar.release_many(&all[1..2]);
         // Chunk 0 is pinned: the eviction to restore the budget must
         // have taken chunk 1.
@@ -1717,7 +1786,7 @@ mod tests {
                 assert!(chunk.loaded);
                 Ok(())
             };
-            cellar.acquire_each(&all, None, mode, 2, &sink).unwrap();
+            cellar.acquire_each(&all, None, &SchedPolicy::new(mode, 2), &sink).unwrap();
             let counts = delivered.lock().clone();
             assert!(counts.iter().all(|&n| n == 1), "{counts:?}");
             assert!(rows.load(Ordering::Relaxed) > 0);
@@ -1728,7 +1797,7 @@ mod tests {
                 *hits.lock() += 1;
                 Ok(())
             };
-            cellar.acquire_each(&all, None, mode, 2, &sink2).unwrap();
+            cellar.acquire_each(&all, None, &SchedPolicy::new(mode, 2), &sink2).unwrap();
             assert_eq!(*hits.lock(), all.len());
             let s = cellar.stats();
             assert_eq!(s.loads, all.len() as u64);
@@ -1755,7 +1824,12 @@ mod tests {
             Ok(())
         };
         cellar
-            .acquire_each(&all, None, ParallelMode::Exchange { workers: 2 }, 2, &sink)
+            .acquire_each(
+                &all,
+                None,
+                &SchedPolicy::new(ParallelMode::Exchange { workers: 2 }, 2),
+                &sink,
+            )
             .unwrap();
         assert_eq!(count.load(Ordering::Relaxed), all.len() as u64);
         // Budget holds once the wave is over (no pins survive).
@@ -1799,7 +1873,12 @@ mod tests {
                             Ok(())
                         };
                         cellar
-                            .acquire_each(&wave, None, ParallelMode::Static, 1, &sink)
+                            .acquire_each(
+                                &wave,
+                                None,
+                                &SchedPolicy::new(ParallelMode::Static, 1),
+                                &sink,
+                            )
                             .unwrap();
                         assert_eq!(n.load(Ordering::Relaxed), wave.len() as u64);
                     }
@@ -1822,7 +1901,12 @@ mod tests {
                 Ok(())
             }
         };
-        let err = cellar.acquire_each(&all, None, ParallelMode::Static, 1, &sink);
+        let err = cellar.acquire_each(
+            &all,
+            None,
+            &SchedPolicy::new(ParallelMode::Static, 1),
+            &sink,
+        );
         assert!(err.is_err());
         // All pins released: a clear() drops everything that was admitted.
         cellar.clear();
@@ -1834,7 +1918,7 @@ mod tests {
         let fx = fixture("peak", 3, 32);
         let all = uris(&fx);
         let cellar = cellar_over(&fx, CellarConfig::default());
-        cellar.acquire_many(&all, None, ParallelMode::Static, 2).unwrap();
+        cellar.acquire_many(&all, None, &SchedPolicy::new(ParallelMode::Static, 2)).unwrap();
         let peak = cellar.peak_resident_bytes();
         assert_eq!(peak, cellar.resident_bytes());
         cellar.release_many(&all);
@@ -1892,7 +1976,9 @@ mod tests {
         // Acquiring through a scoped view still shares the one budget.
         let scoped = cellar.scoped(1);
         let uris_b = scoped.all_chunks().unwrap();
-        scoped.acquire_many(&uris_b, None, ParallelMode::Static, 1).unwrap();
+        scoped
+            .acquire_many(&uris_b, None, &SchedPolicy::new(ParallelMode::Static, 1))
+            .unwrap();
         assert!(cellar.resident_bytes() > 0);
         scoped.release_many(&uris_b);
     }

@@ -59,6 +59,23 @@ pub struct SommelierConfig {
     /// `Spans` (counters plus a per-query span trace on every run,
     /// what `EXPLAIN ANALYZE` forces for its one query).
     pub observability: ObsLevel,
+    /// Run one shared morsel scheduler (a persistent pool of
+    /// [`Self::max_threads`] workers) serving every in-flight query,
+    /// instead of spawning a fresh scoped pool per morsel batch. Keeps
+    /// total live worker threads bounded under concurrency and gives
+    /// priorities their meaning. Ignored when `max_threads <= 1`.
+    pub shared_scheduler: bool,
+    /// Admission control: how many queries may execute concurrently;
+    /// the rest queue (priority-ordered, FIFO within a priority).
+    pub admission_max_concurrent: usize,
+    /// Admission control: while `cellar resident_bytes >= high_water ×
+    /// cellar budget`, new lazy queries queue instead of piling more
+    /// decode work onto a thrashing cellar (at least one query always
+    /// runs, so progress is guaranteed).
+    pub admission_high_water: f64,
+    /// Admission control: queries queued beyond this limit are rejected
+    /// with a typed "overloaded" error instead of waiting.
+    pub admission_queue_limit: usize,
 }
 
 impl SommelierConfig {
@@ -85,6 +102,10 @@ impl Default for SommelierConfig {
             verify_lazy_fk: false,
             max_threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(8),
             observability: ObsLevel::Counters,
+            shared_scheduler: true,
+            admission_max_concurrent: 32,
+            admission_high_water: 1.0,
+            admission_queue_limit: 1024,
         }
     }
 }
@@ -104,5 +125,9 @@ mod tests {
         assert_eq!(c.effective_cellar_bytes(), c.recycler_bytes);
         let c = SommelierConfig { cellar_bytes: Some(1234), ..c };
         assert_eq!(c.effective_cellar_bytes(), 1234);
+        assert!(c.shared_scheduler);
+        assert!(c.admission_max_concurrent > 0);
+        assert!(c.admission_high_water > 0.0);
+        assert!(c.admission_queue_limit > 0);
     }
 }

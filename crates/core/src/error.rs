@@ -20,6 +20,9 @@ pub enum SommelierError {
     Adapter(String),
     /// Configuration / usage errors (wrong mode for an operation, ...).
     Usage(String),
+    /// Admission control rejected the query: the queue is at its
+    /// configured limit (see `SommelierConfig::admission_queue_limit`).
+    Overloaded(String),
 }
 
 impl fmt::Display for SommelierError {
@@ -30,6 +33,7 @@ impl fmt::Display for SommelierError {
             SommelierError::Sql(e) => write!(f, "{e}"),
             SommelierError::Adapter(m) => write!(f, "source adapter error: {m}"),
             SommelierError::Usage(m) => write!(f, "usage error: {m}"),
+            SommelierError::Overloaded(m) => write!(f, "server overloaded: {m}"),
         }
     }
 }
@@ -42,6 +46,7 @@ impl std::error::Error for SommelierError {
             SommelierError::Sql(e) => Some(e),
             SommelierError::Adapter(_) => None,
             SommelierError::Usage(_) => None,
+            SommelierError::Overloaded(_) => None,
         }
     }
 }

@@ -43,6 +43,7 @@
 //! ```
 
 pub mod adapters;
+pub mod admission;
 pub mod cellar;
 pub mod chunks;
 pub mod config;
@@ -53,10 +54,12 @@ pub mod query;
 pub mod registrar;
 pub mod source;
 
+pub use admission::{AdmissionController, AdmissionError, AdmissionStats, AdmissionTicket};
 pub use config::SommelierConfig;
 pub use error::{Result, SommelierError};
 pub use loader::{LoadingMode, PrepReport};
 pub use query::QueryType;
+pub use sommelier_engine::sched::{CancelToken, MorselScheduler, Priority, SchedStats};
 pub use sommelier_engine::{MetricsRegistry, MetricsSnapshot, ObsLevel, SpanTrace};
 pub use source::{
     DmdAgg, DmdDim, DmdSpec, InferenceRule, SourceAdapter, SourceDescriptor, UnitTableSpec,
@@ -80,7 +83,7 @@ use sommelier_storage::catalog::Disposition;
 use sommelier_storage::Database;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Name of the file (inside a disk-backed system's directory) that
 /// persists the prepared loading mode across restarts.
@@ -105,6 +108,27 @@ pub struct QueryResult {
     /// [`sommelier_engine::ObsLevel::Spans`] (or the query came through
     /// [`Sommelier::explain_analyze`], which forces it).
     pub span_trace: Option<SpanTrace>,
+}
+
+/// Per-query execution options for [`Sommelier::query_opts`] (the
+/// multi-tenant session front end in `sommelier-server` feeds these).
+/// `Default` reproduces [`Sommelier::query`] exactly.
+#[derive(Clone, Debug, Default)]
+pub struct QueryOptions {
+    /// Deterministic chunk-sampling fraction in `(0, 1]` (approximate
+    /// execution, like [`Sommelier::query_approx`]); `None` is exact.
+    pub sampling: Option<f64>,
+    /// Scheduling priority: position in the admission queue and of the
+    /// query's morsel batches on the shared scheduler.
+    pub priority: Priority,
+    /// Cooperative cancellation handle. The engine checks it at chunk-
+    /// pipeline boundaries, so cancellation is prompt and always leaves
+    /// the cellar's pin accounting balanced.
+    pub cancel: Option<CancelToken>,
+    /// Deadline measured from submission; on expiry the query fails
+    /// with a timed-out `Cancelled` error. Combines with `cancel` (the
+    /// deadline is installed on the given token).
+    pub timeout: Option<Duration>,
 }
 
 /// One registered source, alive for the system's lifetime.
@@ -248,6 +272,15 @@ impl SommelierBuilder {
                 true,
             ),
         };
+        let scheduler = if self.config.shared_scheduler && self.config.max_threads > 1 {
+            Some(Arc::new(MorselScheduler::new(self.config.max_threads)))
+        } else {
+            None
+        };
+        let admission = AdmissionController::new(
+            self.config.admission_max_concurrent,
+            self.config.admission_queue_limit,
+        );
         let somm = Sommelier {
             db: Arc::new(db),
             config: self.config,
@@ -257,6 +290,8 @@ impl SommelierBuilder {
             csv_dir,
             db_dir,
             metrics: Arc::new(MetricsRegistry::new()),
+            scheduler,
+            admission,
         };
         if opened {
             somm.restore_on_open()?;
@@ -290,6 +325,17 @@ pub struct Sommelier {
     /// counters). Populated when [`SommelierConfig::observability`] is
     /// at least `Counters`; scraped by [`Sommelier::metrics_snapshot`].
     metrics: Arc<MetricsRegistry>,
+    /// The shared morsel scheduler: one persistent pool of
+    /// `max_threads` workers serving every in-flight query. `None`
+    /// when [`SommelierConfig::shared_scheduler`] is off or
+    /// `max_threads <= 1` (each batch then spawns its own scoped pool,
+    /// the pre-server behavior).
+    scheduler: Option<Arc<MorselScheduler>>,
+    /// Admission control for top-level queries (internal DMd
+    /// derivation runs under the parent's ticket and skips this —
+    /// otherwise a queued parent waiting on its own child would
+    /// deadlock).
+    admission: AdmissionController,
 }
 
 /// A compiled query, ready to plan: routed to its source, classified,
@@ -626,6 +672,9 @@ impl Sommelier {
             max_threads: self.config.max_threads,
             sampling: None,
             obs: Obs::off(),
+            scheduler: self.scheduler.clone(),
+            priority: Priority::Normal,
+            cancel: None,
         }
     }
 
@@ -642,17 +691,33 @@ impl Sommelier {
         check_dmd: bool,
         sampling: Option<f64>,
     ) -> Result<QueryResult> {
-        self.run_spec_obs(spec, check_dmd, sampling, false)
+        self.run_spec_opts(
+            spec,
+            check_dmd,
+            false,
+            &QueryOptions { sampling, ..Default::default() },
+        )
     }
 
-    fn run_spec_obs(
+    fn run_spec_opts(
         &self,
         spec: QuerySpec,
         check_dmd: bool,
-        sampling: Option<f64>,
         force_spans: bool,
+        opts: &QueryOptions,
     ) -> Result<QueryResult> {
+        let sampling = opts.sampling;
         let (mode, cellar) = self.prepared_info()?;
+        // One token serves both explicit cancellation and the timeout.
+        let cancel = match (&opts.cancel, opts.timeout) {
+            (Some(c), Some(t)) => {
+                c.set_deadline(Instant::now() + t);
+                Some(c.clone())
+            }
+            (Some(c), None) => Some(c.clone()),
+            (None, Some(t)) => Some(CancelToken::with_timeout(t)),
+            (None, None) => None,
+        };
         let level = if force_spans { ObsLevel::Spans } else { self.config.observability };
         let mut obs = Obs::new(level, Arc::clone(&self.metrics));
         let tracer = if level.spans() { Some(Arc::new(TraceCollector::new())) } else { None };
@@ -662,6 +727,45 @@ impl Sommelier {
             let id = tc.start(None, "query");
             tc.set_ambient(Some(id));
             root = Some(id);
+        }
+        // Admission control: top-level queries take a ticket; internal
+        // DMd-derivation queries (`check_dmd == false`) run under their
+        // parent's ticket — queueing them would deadlock the parent on
+        // its own child. The gate keeps new lazy queries out while the
+        // cellar sits above its high-water byte mark, but never starves:
+        // with nothing running the gate is bypassed.
+        let high_water = (self.config.admission_high_water
+            * self.config.effective_cellar_bytes() as f64) as usize;
+        let t_adm = Instant::now();
+        let _ticket = if check_dmd {
+            let gate =
+                || mode != LoadingMode::Lazy || cellar.resident_bytes() < high_water.max(1);
+            match self.admission.acquire(opts.priority, cancel.as_ref(), &gate) {
+                Ok(t) => Some(t),
+                Err(AdmissionError::QueueFull { limit }) => {
+                    return Err(SommelierError::Overloaded(format!(
+                        "admission queue is full ({limit} queued)"
+                    )))
+                }
+                Err(AdmissionError::Cancelled { timed_out }) => {
+                    return Err(sommelier_engine::EngineError::Cancelled { timed_out }.into())
+                }
+            }
+        } else {
+            None
+        };
+        if let (Some(tc), true) = (&tracer, _ticket.is_some()) {
+            let dur = t_adm.elapsed().as_nanos() as u64;
+            tc.record(
+                root,
+                "queue_wait",
+                format!("admitted ({:?} priority)", opts.priority),
+                tc.now_ns().saturating_sub(dur),
+                dur,
+                None,
+                None,
+                None,
+            );
         }
         let t_inf = Instant::now();
         let compiled = self.compile_spec(spec)?;
@@ -724,9 +828,10 @@ impl Sommelier {
                 None,
             );
         }
-        let opts = self.plan_options(mode, compiled.source_idx);
+        let plan_opts = self.plan_options(mode, compiled.source_idx);
         let t_plan = Instant::now();
-        let (plan, mut trace) = optimizer::compile_plan(&compiled.spec, &self.db, &opts)?;
+        let (plan, mut trace) =
+            optimizer::compile_plan(&compiled.spec, &self.db, &plan_opts)?;
         if let Some(tc) = &tracer {
             // Replay the compile pipeline's pass timings as children of
             // one "compile" span (starts accumulated from the recorded
@@ -761,6 +866,8 @@ impl Sommelier {
         let mut ts_config = self.two_stage_config(mode, compiled.source_idx);
         ts_config.sampling = sampling;
         ts_config.obs = obs;
+        ts_config.priority = opts.priority;
+        ts_config.cancel = cancel;
         let scoped = cellar.scoped(compiled.source_idx);
         let access = if mode == LoadingMode::Lazy {
             ChunkAccess::Managed(&scoped)
@@ -802,6 +909,33 @@ impl Sommelier {
     pub fn query(&self, sql: &str) -> Result<QueryResult> {
         let spec = sommelier_sql::compile(sql, &self.catalog)?;
         self.run_spec(spec, true)
+    }
+
+    /// Compile and run a SQL query with per-query [`QueryOptions`]:
+    /// priority, cancellation, timeout, sampling. This is the entry
+    /// point the `sommelier-server` session API builds on.
+    pub fn query_opts(&self, sql: &str, opts: &QueryOptions) -> Result<QueryResult> {
+        if let Some(f) = opts.sampling {
+            if !(0.0..=1.0).contains(&f) || f == 0.0 {
+                return Err(SommelierError::Usage(format!(
+                    "sampling fraction must be in (0, 1], got {f}"
+                )));
+            }
+        }
+        let spec = sommelier_sql::compile(sql, &self.catalog)?;
+        self.run_spec_opts(spec, true, false, opts)
+    }
+
+    /// The shared morsel scheduler, when the system runs one
+    /// (see [`SommelierConfig::shared_scheduler`]).
+    pub fn scheduler(&self) -> Option<&Arc<MorselScheduler>> {
+        self.scheduler.as_ref()
+    }
+
+    /// Admission-control counters (also mirrored into
+    /// [`Sommelier::metrics_snapshot`] as the `admission.*` family).
+    pub fn admission_stats(&self) -> AdmissionStats {
+        self.admission.stats()
     }
 
     /// Compile and run a SQL query *approximately* (the paper's §VIII
@@ -918,7 +1052,7 @@ impl Sommelier {
         let compiled = self.compile_spec(spec.clone())?;
         let opts = self.plan_options(mode, compiled.source_idx);
         let (plan, _) = optimizer::compile_plan(&compiled.spec, &self.db, &opts)?;
-        let result = self.run_spec_obs(spec, true, None, true)?;
+        let result = self.run_spec_opts(spec, true, true, &QueryOptions::default())?;
         let stats = &result.stats;
         let mut out = format!(
             "-- source: {}, mode: {mode}, query type: {}\n{plan}-- spans\n{}",
@@ -980,6 +1114,22 @@ impl Sommelier {
         let (reuse, alloc) = source::scratch_counters();
         self.metrics.counter("decode.arena_reuse").store(reuse);
         self.metrics.counter("decode.arena_alloc").store(alloc);
+        if let Some(s) = &self.scheduler {
+            let st = s.stats();
+            self.metrics.gauge("sched.workers").set(st.workers as u64);
+            self.metrics.gauge("sched.queue_depth").set(st.queue_depth as u64);
+            self.metrics.counter("sched.batches").store(st.batches);
+            self.metrics.counter("sched.tasks").store(st.tasks);
+            self.metrics.counter("sched.busy_ns").store(st.busy_ns);
+        }
+        let a = self.admission.stats();
+        self.metrics.counter("admission.admitted").store(a.admitted);
+        self.metrics.counter("admission.rejected").store(a.rejected);
+        self.metrics.counter("admission.cancelled").store(a.cancelled);
+        self.metrics.counter("admission.timeouts").store(a.timeouts);
+        self.metrics.counter("admission.queue_wait_ns").store(a.queue_wait_ns);
+        self.metrics.gauge("admission.running").set(a.running);
+        self.metrics.gauge("admission.queue_depth").set(a.queue_depth);
         self.metrics.snapshot()
     }
 

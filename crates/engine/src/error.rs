@@ -19,6 +19,12 @@ pub enum EngineError {
     Exec(String),
     /// Chunk ingestion failed (lazy loading).
     Chunk(String),
+    /// The query was cancelled (explicitly, or by a blown deadline when
+    /// `timed_out` is true) at a chunk-pipeline boundary.
+    Cancelled {
+        /// True when a deadline fired rather than an explicit cancel.
+        timed_out: bool,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -29,6 +35,8 @@ impl fmt::Display for EngineError {
             EngineError::Plan(m) => write!(f, "plan error: {m}"),
             EngineError::Exec(m) => write!(f, "execution error: {m}"),
             EngineError::Chunk(m) => write!(f, "chunk access error: {m}"),
+            EngineError::Cancelled { timed_out: true } => write!(f, "query timed out"),
+            EngineError::Cancelled { timed_out: false } => write!(f, "query cancelled"),
         }
     }
 }

@@ -25,6 +25,7 @@ use crate::join::{cross_join, hash_join, index_join, JoinBuild};
 use crate::obs::{self, metrics::COUNT_BUCKETS, Obs};
 use crate::physical::{ChunkOp, PhysicalPlan};
 use crate::relation::Relation;
+use crate::sched::{self, CancelToken, MorselScheduler, Priority, SchedPolicy};
 use crate::sort::{limit, sort_relation};
 use crate::twostage::ParallelMode;
 use parking_lot::Mutex;
@@ -60,6 +61,13 @@ pub struct ExecContext<'a> {
     pub parallel: ParallelMode,
     /// Worker cap for morsel-parallel operators (1 = serial).
     pub workers: usize,
+    /// Shared morsel scheduler; when set, morsel-parallel operators
+    /// submit batches here instead of spawning scoped threads.
+    pub scheduler: Option<Arc<MorselScheduler>>,
+    /// Scheduling priority for this query's batches.
+    pub priority: Priority,
+    /// Cooperative cancellation, checked at chunk-pipeline boundaries.
+    pub cancel: Option<CancelToken>,
     /// Execution counters.
     pub counters: ExecCounters,
     /// Observability handle (pool metrics, per-chunk pipeline spans).
@@ -75,8 +83,22 @@ impl<'a> ExecContext<'a> {
             chunks: HashMap::new(),
             parallel: ParallelMode::Static,
             workers: 1,
+            scheduler: None,
+            priority: Priority::Normal,
+            cancel: None,
             counters: ExecCounters::default(),
             obs: Obs::off(),
+        }
+    }
+
+    /// The scheduling policy for this context's morsel batches.
+    pub fn sched_policy(&self) -> SchedPolicy {
+        SchedPolicy {
+            parallel: self.parallel,
+            max_threads: self.workers.max(1),
+            scheduler: self.scheduler.clone(),
+            priority: self.priority,
+            cancel: self.cancel.clone(),
         }
     }
 }
@@ -239,6 +261,7 @@ pub fn run_indexed_obs<T: Send>(
     let next = AtomicUsize::new(0);
     let busy: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
     let timed = obs.metrics().is_some();
+    LEGACY_POOL_SPAWNS.fetch_add(workers as u64, Ordering::Relaxed);
     std::thread::scope(|scope| {
         for w in 0..workers {
             let next = &next;
@@ -280,6 +303,46 @@ pub fn run_indexed_obs<T: Send>(
         m.histogram("pool.queue_depth", &COUNT_BUCKETS).observe(n as u64);
     }
     slots.into_iter().map(|s| s.into_inner().expect("every slot filled")).collect()
+}
+
+/// Threads spawned by the legacy per-batch scoped pool, cumulatively.
+/// A shared-scheduler system should never grow this: the server tests
+/// assert the delta stays zero while queries are in flight, which is
+/// how "total live worker threads ≤ `max_threads`" is enforced.
+static LEGACY_POOL_SPAWNS: AtomicU64 = AtomicU64::new(0);
+
+/// Cumulative count of threads spawned by the legacy (per-batch scoped)
+/// pool path. See [`run_indexed_policy`].
+pub fn legacy_pool_spawns() -> u64 {
+    LEGACY_POOL_SPAWNS.load(Ordering::Relaxed)
+}
+
+/// Policy-directed morsel batch: the single front door for
+/// morsel-parallel work.
+///
+/// - On a shared-pool worker (nested batch, e.g. decode units inside a
+///   chunk pipeline): runs inline on the worker — re-entering the queue
+///   could deadlock a pool whose every worker waits on nested batches,
+///   and inline execution keeps the thread bound intact.
+/// - With a scheduler attached and >1 effective workers: submits to the
+///   shared pool, capped at the policy's effective worker count.
+/// - Otherwise: the legacy scoped pool ([`run_indexed_obs`]).
+pub fn run_indexed_policy<T: Send>(
+    n: usize,
+    policy: &SchedPolicy,
+    obs: &Obs,
+    task: impl Fn(usize) -> T + Sync,
+) -> Vec<T> {
+    if sched::on_scheduler_worker() {
+        return run_indexed_obs(n, ParallelMode::Static, 1, obs, task);
+    }
+    let workers = policy.parallel.stage2_workers(policy.max_threads).min(n);
+    if workers > 1 {
+        if let Some(s) = &policy.scheduler {
+            return s.run_batch(n, workers, policy.priority, obs, task);
+        }
+    }
+    run_indexed_obs(n, policy.parallel, policy.max_threads, obs, task)
 }
 
 /// Resolve every chunk of a union against the pre-loaded context.
@@ -324,25 +387,30 @@ pub fn execute(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<Relation> {
             let rels = resolve_chunks(ctx, chunks)?;
             // Per-chunk projection (and selection, if pushed down) on
             // the worker pool; concatenation in chunk order.
-            let parts =
-                run_indexed_obs(rels.len(), ctx.parallel, ctx.workers, &ctx.obs, |i| {
-                    let tracer = ctx.obs.tracer();
-                    let t0 = tracer.map(|tc| tc.now_ns());
-                    let part = pipeline.run(rels[i]);
-                    if let (Some(tc), Some(t0)) = (tracer, t0) {
-                        tc.record(
-                            tc.ambient(),
-                            "chunk",
-                            chunks[i].uri.clone(),
-                            t0,
-                            tc.now_ns().saturating_sub(t0),
-                            obs::current_worker(),
-                            part.as_ref().ok().map(|r| r.rows() as u64),
-                            None,
-                        );
-                    }
-                    part
-                });
+            let parts = run_indexed_policy(rels.len(), &ctx.sched_policy(), &ctx.obs, |i| {
+                let tracer = ctx.obs.tracer();
+                let t0 = tracer.map(|tc| tc.now_ns());
+                // Cancellation checkpoint at the chunk-pipeline
+                // boundary: already-running morsels finish.
+                let part = ctx
+                    .cancel
+                    .as_ref()
+                    .map_or(Ok(()), CancelToken::check)
+                    .and_then(|()| pipeline.run(rels[i]));
+                if let (Some(tc), Some(t0)) = (tracer, t0) {
+                    tc.record(
+                        tc.ambient(),
+                        "chunk",
+                        chunks[i].uri.clone(),
+                        t0,
+                        tc.now_ns().saturating_sub(t0),
+                        obs::current_worker(),
+                        part.as_ref().ok().map(|r| r.rows() as u64),
+                        None,
+                    );
+                }
+                part
+            });
             let mut out = Relation::empty();
             for part in parts {
                 out.union_in_place(&part?)?;
@@ -395,7 +463,12 @@ pub fn execute(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<Relation> {
                 ChunkPipeline { columns, predicate: predicate.as_ref(), build: probe, ops };
             let rels = resolve_chunks(ctx, chunks)?;
             let parts: Vec<Result<PartialAgg>> =
-                run_indexed_obs(rels.len(), ctx.parallel, ctx.workers, &ctx.obs, |i| {
+                run_indexed_policy(rels.len(), &ctx.sched_policy(), &ctx.obs, |i| {
+                    // Cancellation checkpoint at the chunk-pipeline
+                    // boundary: already-running morsels finish.
+                    if let Some(c) = &ctx.cancel {
+                        c.check()?;
+                    }
                     let tracer = ctx.obs.tracer();
                     let t0 = tracer.map(|tc| tc.now_ns());
                     let part = pipeline.run(rels[i])?;

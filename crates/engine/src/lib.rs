@@ -45,6 +45,7 @@ pub mod optimizer;
 pub mod physical;
 pub mod recycler;
 pub mod relation;
+pub mod sched;
 pub mod sort;
 pub mod spec;
 pub mod twostage;
@@ -57,6 +58,7 @@ pub use optimizer::{ColumnZone, PassTrace, ZoneCandidates, ZoneConstraint};
 pub use physical::{fuse_partial_agg, PhysicalPlan};
 pub use recycler::Recycler;
 pub use relation::{Relation, RelationBuilder};
+pub use sched::{CancelToken, MorselScheduler, Priority, SchedPolicy, SchedStats};
 pub use spec::{JoinEdge, QuerySpec, TableRef};
 pub use twostage::{
     AcquiredChunk, ChunkAccess, ChunkResidency, ChunkSink, ChunkSource, ExecStats,

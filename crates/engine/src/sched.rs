@@ -1,0 +1,611 @@
+//! The shared morsel scheduler: one persistent worker pool serving
+//! every in-flight query.
+//!
+//! Before this module the engine spawned a fresh scoped thread pool for
+//! every morsel-parallel operator ([`crate::exec::run_indexed_obs`]),
+//! which is fine for one query at a time but oversubscribes the machine
+//! as soon as N callers run concurrently: N queries × `max_threads`
+//! live threads, no fairness, no queueing. A [`MorselScheduler`] owns
+//! exactly `max_threads` long-lived workers and interleaves the
+//! per-chunk pipelines ("morsels") of many queries: each
+//! [`MorselScheduler::run_batch`] call enqueues an indexed batch of
+//! tasks, workers pick the best runnable batch (highest
+//! [`Priority`] first, FIFO within a priority), and the submitting
+//! thread blocks until its batch drains. Total live worker threads stay
+//! bounded by the pool size no matter how many queries are in flight.
+//!
+//! Also here: [`CancelToken`] (cooperative cancellation/timeout checked
+//! at chunk-pipeline boundaries) and [`SchedPolicy`] (the bundle of
+//! scheduling knobs — mode, thread cap, shared pool, priority, cancel
+//! token — that threads through the two-stage driver and residency
+//! layers).
+
+use crate::error::{EngineError, Result};
+use crate::obs::{self, metrics::COUNT_BUCKETS, Obs};
+use crate::twostage::ParallelMode;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------
+// Priority
+
+/// Per-session / per-query scheduling priority. Workers always prefer
+/// morsels of higher-priority batches; within a priority, batches drain
+/// in submission order (FIFO), which is what keeps tail latency flat
+/// under load.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Background work: scheduled only when nothing better is runnable.
+    Low,
+    /// The default for interactive queries.
+    #[default]
+    Normal,
+    /// Latency-sensitive work: jumps the morsel queue.
+    High,
+}
+
+// ---------------------------------------------------------------------
+// CancelToken
+
+#[derive(Debug, Default)]
+struct CancelInner {
+    cancelled: AtomicBool,
+    deadline: Mutex<Option<Instant>>,
+}
+
+/// Cooperative cancellation handle, cloned into every layer that runs
+/// work for one query. `cancel()` flips a flag; an optional deadline
+/// turns the same flag into a timeout. The engine checks the token at
+/// chunk-pipeline boundaries (never mid-decode), so cancellation is
+/// prompt but always leaves chunk pin accounting balanced.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    inner: Arc<CancelInner>,
+}
+
+impl CancelToken {
+    /// A fresh token, not cancelled, with no deadline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A token that reports a timeout once `timeout` elapses from now.
+    pub fn with_timeout(timeout: Duration) -> Self {
+        let t = Self::new();
+        t.set_deadline(Instant::now() + timeout);
+        t
+    }
+
+    /// Install (or overwrite) the absolute deadline.
+    pub fn set_deadline(&self, deadline: Instant) {
+        *self.inner.deadline.lock().unwrap_or_else(|e| e.into_inner()) = Some(deadline);
+    }
+
+    /// The absolute deadline, if one was set.
+    pub fn deadline(&self) -> Option<Instant> {
+        *self.inner.deadline.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Request cancellation. Idempotent; already-running morsels finish,
+    /// everything after the next checkpoint is skipped.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// `Some(timed_out)` if the query should stop: `Some(false)` for an
+    /// explicit cancel, `Some(true)` for a blown deadline.
+    pub fn cancelled(&self) -> Option<bool> {
+        if self.inner.cancelled.load(Ordering::Acquire) {
+            return Some(false);
+        }
+        match self.deadline() {
+            Some(d) if Instant::now() >= d => Some(true),
+            _ => None,
+        }
+    }
+
+    /// Checkpoint: `Err(EngineError::Cancelled { .. })` once the token
+    /// has fired.
+    pub fn check(&self) -> Result<()> {
+        match self.cancelled() {
+            Some(timed_out) => Err(EngineError::Cancelled { timed_out }),
+            None => Ok(()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// SchedPolicy
+
+/// Everything a morsel-parallel operator needs to know about *how* to
+/// run: the legacy knobs (mode + thread cap) plus the shared scheduler,
+/// priority, and cancellation token. Residency providers
+/// ([`crate::twostage::ChunkResidency`]) take this instead of a bare
+/// `(ParallelMode, usize)` pair so chunk acquisition waves land on the
+/// shared pool too.
+#[derive(Clone, Default)]
+pub struct SchedPolicy {
+    /// Morsel claiming mode (static strides vs shared-queue exchange).
+    pub parallel: ParallelMode,
+    /// Worker cap when no shared scheduler is attached (1 = serial);
+    /// with a scheduler it caps how many pool workers may service one
+    /// batch concurrently.
+    pub max_threads: usize,
+    /// The shared pool, if the system runs one. `None` falls back to
+    /// per-batch scoped threads (the pre-server behavior).
+    pub scheduler: Option<Arc<MorselScheduler>>,
+    /// Scheduling priority for batches submitted under this policy.
+    pub priority: Priority,
+    /// Cooperative cancellation for the owning query.
+    pub cancel: Option<CancelToken>,
+}
+
+impl SchedPolicy {
+    /// A legacy policy: no shared pool, no cancellation.
+    pub fn new(parallel: ParallelMode, max_threads: usize) -> Self {
+        SchedPolicy { parallel, max_threads: max_threads.max(1), ..Default::default() }
+    }
+
+    /// Strictly serial execution on the caller's thread.
+    pub fn serial() -> Self {
+        Self::new(ParallelMode::Static, 1)
+    }
+
+    /// Attach a shared scheduler (builder-style).
+    pub fn with_scheduler(mut self, scheduler: Option<Arc<MorselScheduler>>) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Cancellation checkpoint; `Ok(())` when no token is attached.
+    pub fn check_cancel(&self) -> Result<()> {
+        match &self.cancel {
+            Some(c) => c.check(),
+            None => Ok(()),
+        }
+    }
+}
+
+impl std::fmt::Debug for SchedPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SchedPolicy")
+            .field("parallel", &self.parallel)
+            .field("max_threads", &self.max_threads)
+            .field("shared", &self.scheduler.is_some())
+            .field("priority", &self.priority)
+            .field("cancellable", &self.cancel.is_some())
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scheduler internals
+
+thread_local! {
+    static IS_SCHED_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// True on a shared-pool worker thread. Nested morsel batches (e.g. a
+/// decode fan-out issued from inside a chunk pipeline) must run inline
+/// on the worker instead of re-entering the queue, or a pool whose
+/// every worker waits on nested batches would deadlock.
+pub fn on_scheduler_worker() -> bool {
+    IS_SCHED_WORKER.with(|f| f.get())
+}
+
+/// One submitted batch: `n` indexed tasks behind a lifetime-erased
+/// function pointer. Soundness: `ctx` points into the submitting
+/// thread's stack; the submitter blocks in [`MorselScheduler::run_batch`]
+/// until all `n` tasks have completed (or been drained after a panic),
+/// so workers never dereference `ctx` after the frame is gone.
+struct BatchCore {
+    run: unsafe fn(*const (), usize),
+    ctx: *const (),
+    n: usize,
+    /// Max pool workers servicing this batch at once.
+    cap: usize,
+    priority: Priority,
+    /// Submission order; FIFO tiebreak within a priority.
+    seq: u64,
+    next: AtomicUsize,
+    active: AtomicUsize,
+    done: AtomicUsize,
+    panicked: AtomicBool,
+    busy_ns: AtomicU64,
+    finished: Mutex<bool>,
+    finished_cv: Condvar,
+}
+
+// Safety: `ctx`/`run` describe a `Sync` closure + result slots that the
+// submitter keeps alive until the batch fully drains (see above).
+unsafe impl Send for BatchCore {}
+unsafe impl Sync for BatchCore {}
+
+#[derive(Default)]
+struct SchedCounters {
+    batches: AtomicU64,
+    tasks: AtomicU64,
+    busy_ns: AtomicU64,
+}
+
+struct SchedShared {
+    queue: Mutex<Vec<Arc<BatchCore>>>,
+    work_cv: Condvar,
+    shutdown: AtomicBool,
+    counters: SchedCounters,
+}
+
+/// Point-in-time scheduler statistics, mirrored into
+/// `metrics_snapshot()` as the `sched.*` family.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SchedStats {
+    /// Pool size (== the system's `max_threads`).
+    pub workers: usize,
+    /// Batches submitted over the scheduler's lifetime.
+    pub batches: u64,
+    /// Tasks (morsels) submitted over the scheduler's lifetime.
+    pub tasks: u64,
+    /// Total ns workers spent running tasks.
+    pub busy_ns: u64,
+    /// Batches currently queued or draining.
+    pub queue_depth: usize,
+}
+
+/// The shared worker pool. See the module docs for the model; the
+/// important invariants are:
+///
+/// - exactly `worker_count()` threads exist, created once and joined on
+///   drop — query concurrency never changes the thread count;
+/// - workers pick the runnable batch with the highest priority, then
+///   the lowest submission seq, honoring each batch's worker cap;
+/// - a panicking task poisons only its own batch: remaining morsels are
+///   drained without running and the submitter re-panics.
+pub struct MorselScheduler {
+    shared: Arc<SchedShared>,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    workers: usize,
+    next_seq: AtomicU64,
+}
+
+impl MorselScheduler {
+    /// Spawn a pool of `workers` (min 1) persistent threads.
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(SchedShared {
+            queue: Mutex::new(Vec::new()),
+            work_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            counters: SchedCounters::default(),
+        });
+        let handles = (0..workers)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("morsel-{w}"))
+                    .spawn(move || worker_loop(&shared, w))
+                    .expect("spawn morsel worker")
+            })
+            .collect();
+        MorselScheduler {
+            shared,
+            handles: Mutex::new(handles),
+            workers,
+            next_seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Pool size. The bound on live worker threads, independent of how
+    /// many queries are in flight.
+    pub fn worker_count(&self) -> usize {
+        self.workers
+    }
+
+    /// Lifetime counters + current queue depth.
+    pub fn stats(&self) -> SchedStats {
+        let c = &self.shared.counters;
+        SchedStats {
+            workers: self.workers,
+            batches: c.batches.load(Ordering::Relaxed),
+            tasks: c.tasks.load(Ordering::Relaxed),
+            busy_ns: c.busy_ns.load(Ordering::Relaxed),
+            queue_depth: lock(&self.shared.queue).len(),
+        }
+    }
+
+    /// Run `task(0..n)` on the pool and collect the results in index
+    /// order, blocking until the batch drains. At most `cap` workers
+    /// service the batch concurrently. Feeds the same `pool.*` metrics
+    /// as the legacy scoped pool so dashboards keep working.
+    pub fn run_batch<T, F>(
+        &self,
+        n: usize,
+        cap: usize,
+        priority: Priority,
+        obs: &Obs,
+        task: F,
+    ) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if n == 0 {
+            return Vec::new();
+        }
+        let wall = obs.metrics().map(|_| Instant::now());
+        let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+        struct Erased<'e, T, F> {
+            task: &'e F,
+            slots: &'e [Mutex<Option<T>>],
+        }
+        // Safety contract: `p` is the `Erased` for this batch and `i < n`.
+        unsafe fn call<T, F: Fn(usize) -> T>(p: *const (), i: usize) {
+            let e = unsafe { &*(p as *const Erased<'_, T, F>) };
+            let v = (e.task)(i);
+            *e.slots[i].lock().unwrap_or_else(|x| x.into_inner()) = Some(v);
+        }
+
+        let erased = Erased { task: &task, slots: &slots };
+        let core = Arc::new(BatchCore {
+            run: call::<T, F>,
+            ctx: &erased as *const Erased<'_, T, F> as *const (),
+            n,
+            cap: cap.max(1),
+            priority,
+            seq: self.next_seq.fetch_add(1, Ordering::Relaxed),
+            next: AtomicUsize::new(0),
+            active: AtomicUsize::new(0),
+            done: AtomicUsize::new(0),
+            panicked: AtomicBool::new(false),
+            busy_ns: AtomicU64::new(0),
+            finished: Mutex::new(false),
+            finished_cv: Condvar::new(),
+        });
+        self.shared.counters.batches.fetch_add(1, Ordering::Relaxed);
+        self.shared.counters.tasks.fetch_add(n as u64, Ordering::Relaxed);
+        {
+            let mut q = lock(&self.shared.queue);
+            q.push(Arc::clone(&core));
+        }
+        self.shared.work_cv.notify_all();
+
+        // Block until every task has been claimed AND finished. This is
+        // what makes the lifetime erasure sound.
+        {
+            let mut fin = lock(&core.finished);
+            while !*fin {
+                fin = core.finished_cv.wait(fin).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        if let (Some(m), Some(wall)) = (obs.metrics(), wall) {
+            let busy = core.busy_ns.load(Ordering::Relaxed);
+            let span = wall.elapsed().as_nanos() as u64 * cap.max(1) as u64;
+            m.counter("pool.batches").inc();
+            m.counter("pool.tasks").add(n as u64);
+            m.counter("pool.busy_ns").add(busy);
+            m.counter("pool.idle_ns").add(span.saturating_sub(busy));
+            m.histogram("pool.queue_depth", &COUNT_BUCKETS).observe(n as u64);
+        }
+        if core.panicked.load(Ordering::Acquire) {
+            panic!("a morsel task panicked on the shared scheduler");
+        }
+        slots
+            .into_iter()
+            .map(|s| {
+                s.into_inner().unwrap_or_else(|e| e.into_inner()).expect("every morsel ran")
+            })
+            .collect()
+    }
+}
+
+impl Drop for MorselScheduler {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.work_cv.notify_all();
+        for h in lock(&self.handles).drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for MorselScheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MorselScheduler").field("workers", &self.workers).finish()
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn worker_loop(shared: &SchedShared, w: usize) {
+    IS_SCHED_WORKER.with(|f| f.set(true));
+    let _tag = obs::worker_scope(w);
+    loop {
+        // Claim one morsel from the best runnable batch.
+        let claimed = {
+            let mut q = lock(&shared.queue);
+            loop {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                // Drop fully-claimed batches (their stragglers finish
+                // outside the queue).
+                q.retain(|b| b.next.load(Ordering::Relaxed) < b.n);
+                let best = q
+                    .iter()
+                    .filter(|b| b.active.load(Ordering::Relaxed) < b.cap)
+                    .max_by_key(|b| (b.priority, std::cmp::Reverse(b.seq)))
+                    .cloned();
+                match best {
+                    Some(b) => {
+                        let i = b.next.fetch_add(1, Ordering::Relaxed);
+                        if i >= b.n {
+                            continue; // raced to exhaustion; re-evaluate
+                        }
+                        b.active.fetch_add(1, Ordering::Relaxed);
+                        break (b, i);
+                    }
+                    None => {
+                        q = shared.work_cv.wait(q).unwrap_or_else(|e| e.into_inner());
+                    }
+                }
+            }
+        };
+        let (batch, i) = claimed;
+        let t0 = Instant::now();
+        if !batch.panicked.load(Ordering::Acquire) {
+            let r = catch_unwind(AssertUnwindSafe(|| unsafe { (batch.run)(batch.ctx, i) }));
+            if r.is_err() {
+                batch.panicked.store(true, Ordering::Release);
+            }
+        }
+        let dt = t0.elapsed().as_nanos() as u64;
+        batch.busy_ns.fetch_add(dt, Ordering::Relaxed);
+        shared.counters.busy_ns.fetch_add(dt, Ordering::Relaxed);
+        batch.active.fetch_sub(1, Ordering::Relaxed);
+        let finished = batch.done.fetch_add(1, Ordering::Relaxed) + 1 == batch.n;
+        if finished {
+            let mut fin = lock(&batch.finished);
+            *fin = true;
+            drop(fin);
+            batch.finished_cv.notify_all();
+        } else if batch.next.load(Ordering::Relaxed) < batch.n {
+            // A cap slot freed up with morsels still unclaimed.
+            shared.work_cv.notify_one();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn batch_returns_results_in_index_order() {
+        let s = MorselScheduler::new(4);
+        let out = s.run_batch(64, 4, Priority::Normal, &Obs::off(), |i| i * 2);
+        assert_eq!(out, (0..64).map(|i| i * 2).collect::<Vec<_>>());
+        let st = s.stats();
+        assert_eq!(st.workers, 4);
+        assert_eq!(st.batches, 1);
+        assert_eq!(st.tasks, 64);
+    }
+
+    #[test]
+    fn many_submitters_share_one_pool() {
+        let s = Arc::new(MorselScheduler::new(3));
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let s = Arc::clone(&s);
+                scope.spawn(move || {
+                    let out = s.run_batch(16, 3, Priority::Normal, &Obs::off(), |i| i + 1);
+                    assert_eq!(out.iter().sum::<usize>(), (1..=16).sum());
+                });
+            }
+        });
+        assert_eq!(s.stats().batches, 8);
+        assert_eq!(s.stats().tasks, 8 * 16);
+    }
+
+    #[test]
+    fn cap_limits_concurrent_workers_per_batch() {
+        let s = MorselScheduler::new(4);
+        let live = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        s.run_batch(32, 2, Priority::Normal, &Obs::off(), |_| {
+            let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(Duration::from_millis(1));
+            live.fetch_sub(1, Ordering::SeqCst);
+        });
+        assert!(peak.load(Ordering::SeqCst) <= 2, "cap exceeded: {peak:?}");
+    }
+
+    #[test]
+    fn high_priority_batch_overtakes_queued_normal_work() {
+        // One worker, saturated by a slow batch; a Normal and then a
+        // High batch queue behind it. High must start (and finish)
+        // before Normal.
+        let s = Arc::new(MorselScheduler::new(1));
+        let order = Arc::new(Mutex::new(Vec::new()));
+        std::thread::scope(|scope| {
+            {
+                let s = Arc::clone(&s);
+                scope.spawn(move || {
+                    s.run_batch(1, 1, Priority::Normal, &Obs::off(), |_| {
+                        std::thread::sleep(Duration::from_millis(60))
+                    });
+                });
+            }
+            std::thread::sleep(Duration::from_millis(15));
+            {
+                let (s, order) = (Arc::clone(&s), Arc::clone(&order));
+                scope.spawn(move || {
+                    s.run_batch(1, 1, Priority::Normal, &Obs::off(), |_| {
+                        lock(&order).push("normal")
+                    });
+                });
+            }
+            std::thread::sleep(Duration::from_millis(15));
+            {
+                let (s, order) = (Arc::clone(&s), Arc::clone(&order));
+                scope.spawn(move || {
+                    s.run_batch(1, 1, Priority::High, &Obs::off(), |_| {
+                        lock(&order).push("high")
+                    });
+                });
+            }
+        });
+        assert_eq!(*lock(&order), vec!["high", "normal"]);
+    }
+
+    #[test]
+    fn panicking_task_propagates_to_the_submitter_only() {
+        let s = Arc::new(MorselScheduler::new(2));
+        let r = std::thread::scope(|scope| {
+            scope
+                .spawn(|| {
+                    let s = Arc::clone(&s);
+                    catch_unwind(AssertUnwindSafe(move || {
+                        s.run_batch(8, 2, Priority::Normal, &Obs::off(), |i| {
+                            if i == 3 {
+                                panic!("boom")
+                            }
+                            i
+                        })
+                    }))
+                })
+                .join()
+                .unwrap()
+        });
+        assert!(r.is_err());
+        // Pool still serves later batches.
+        let out = s.run_batch(4, 2, Priority::Normal, &Obs::off(), |i| i);
+        assert_eq!(out, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn cancel_token_reports_explicit_and_deadline_cancellation() {
+        let t = CancelToken::new();
+        assert!(t.check().is_ok());
+        t.cancel();
+        assert_eq!(t.cancelled(), Some(false));
+        assert!(matches!(t.check(), Err(EngineError::Cancelled { timed_out: false })));
+
+        let t = CancelToken::with_timeout(Duration::from_millis(1));
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(t.cancelled(), Some(true));
+        assert!(matches!(t.check(), Err(EngineError::Cancelled { timed_out: true })));
+    }
+
+    #[test]
+    fn priority_orders_low_normal_high() {
+        assert!(Priority::Low < Priority::Normal && Priority::Normal < Priority::High);
+        assert_eq!(Priority::default(), Priority::Normal);
+    }
+}

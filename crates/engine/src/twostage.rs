@@ -32,7 +32,7 @@
 
 use crate::agg::{merge_partials, partial_aggregate, PartialAgg};
 use crate::error::{EngineError, Result};
-use crate::exec::{execute, run_indexed_obs, ChunkPipeline, ExecContext};
+use crate::exec::{execute, run_indexed_policy, ChunkPipeline, ExecContext};
 use crate::logical::LogicalPlan;
 use crate::obs::{self, span::fmt_ns, Obs, TraceCollector};
 use crate::optimizer::{
@@ -41,6 +41,7 @@ use crate::optimizer::{
 use crate::physical::{lower, ChunkRef, LowerOptions, PhysicalPlan};
 use crate::recycler::Recycler;
 use crate::relation::Relation;
+use crate::sched::{CancelToken, MorselScheduler, Priority, SchedPolicy};
 use parking_lot::Mutex;
 use sommelier_storage::{ColumnData, Database};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -154,8 +155,9 @@ pub trait ChunkResidency: Send + Sync {
     fn is_resident(&self, uri: &str) -> bool;
 
     /// Pin and return every chunk in `uris`, loading the missing ones
-    /// with the given parallelism. On error the manager must have
-    /// released any pins it took. The result aligns with `uris`.
+    /// under the given scheduling policy (mode, thread cap, shared
+    /// scheduler, priority, cancellation). On error the manager must
+    /// have released any pins it took. The result aligns with `uris`.
     ///
     /// `projection` is the decode projection the `projection_pushdown`
     /// pass derived; a manager that retains chunks across queries must
@@ -165,8 +167,7 @@ pub trait ChunkResidency: Send + Sync {
         &self,
         uris: &[String],
         projection: Option<&[String]>,
-        parallel: ParallelMode,
-        max_threads: usize,
+        policy: &SchedPolicy,
     ) -> Result<Vec<AcquiredChunk>>;
 
     /// Release the pins taken by a matching [`Self::acquire_many`].
@@ -188,11 +189,10 @@ pub trait ChunkResidency: Send + Sync {
         &self,
         uris: &[String],
         projection: Option<&[String]>,
-        parallel: ParallelMode,
-        max_threads: usize,
+        policy: &SchedPolicy,
         sink: &ChunkSink<'_>,
     ) -> Result<()> {
-        let acquired = self.acquire_many(uris, projection, parallel, max_threads)?;
+        let acquired = self.acquire_many(uris, projection, policy)?;
         let mut result = Ok(());
         for (i, chunk) in acquired.into_iter().enumerate() {
             result = sink(i, chunk);
@@ -271,11 +271,12 @@ impl Drop for PinGuard<'_> {
 }
 
 /// Chunk-loading parallelism strategy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ParallelMode {
     /// The paper's strategy: one pre-assigned task per chunk,
     /// round-robin over up to `max_threads` workers. Few or skewed
     /// chunks underutilize the machine.
+    #[default]
     Static,
     /// Exchange-style dynamic repartitioning: decode units from all
     /// chunks are pulled from a shared queue by `workers` workers.
@@ -327,6 +328,15 @@ pub struct TwoStageConfig {
     /// Observability handle for this query: pool/query counters, and —
     /// when a per-query tracer is attached — the span tree.
     pub obs: Obs,
+    /// Shared morsel scheduler; when set, every morsel-parallel wave
+    /// (decode, load, per-chunk pipelines) submits batches to this pool
+    /// instead of spawning scoped threads.
+    pub scheduler: Option<Arc<MorselScheduler>>,
+    /// Scheduling priority for this query's batches.
+    pub priority: Priority,
+    /// Cooperative cancellation, checked between stages and at
+    /// chunk-pipeline boundaries.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for TwoStageConfig {
@@ -342,6 +352,30 @@ impl Default for TwoStageConfig {
             max_threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(8),
             sampling: None,
             obs: Obs::off(),
+            scheduler: None,
+            priority: Priority::Normal,
+            cancel: None,
+        }
+    }
+}
+
+impl TwoStageConfig {
+    /// The scheduling policy this config implies for morsel batches.
+    pub fn policy(&self) -> SchedPolicy {
+        SchedPolicy {
+            parallel: self.parallel,
+            max_threads: self.max_threads.max(1),
+            scheduler: self.scheduler.clone(),
+            priority: self.priority,
+            cancel: self.cancel.clone(),
+        }
+    }
+
+    /// Cancellation checkpoint; `Ok(())` when no token is attached.
+    fn check_cancel(&self) -> Result<()> {
+        match &self.cancel {
+            Some(c) => c.check(),
+            None => Ok(()),
         }
     }
 }
@@ -426,9 +460,13 @@ pub fn execute_plan(
     config: &TwoStageConfig,
 ) -> Result<QueryOutcome> {
     let mut stats = ExecStats::default();
+    config.check_cancel()?;
     let mut ctx = ExecContext::new(db);
     ctx.parallel = config.parallel;
     ctx.workers = config.parallel.stage2_workers(config.max_threads);
+    ctx.scheduler = config.scheduler.clone();
+    ctx.priority = config.priority;
+    ctx.cancel = config.cancel.clone();
     ctx.obs = config.obs.clone();
     let tracer: Option<&TraceCollector> = config.obs.tracer().map(Arc::as_ref);
 
@@ -467,6 +505,7 @@ pub fn execute_plan(
     };
 
     // ---- Run-time chunk list: what stage 1 selected. ---------------
+    config.check_cancel()?;
     let chunk_refs: Option<Vec<ChunkRef>> = if plan.has_lazy_scan() {
         let uris: Vec<String> = match qf_id {
             Some(id) => {
@@ -607,6 +646,9 @@ pub fn execute_plan(
         _ => None,
     };
     let mut pin_guard: Option<PinGuard<'_>> = None;
+    // Cancellation checkpoint before any decode work is scheduled: a
+    // cancel here means no pins were ever taken.
+    config.check_cancel()?;
     match (&s2.chunks, &access) {
         (None, _) | (_, ChunkAccess::None) => {}
         (Some(refs), ChunkAccess::Direct { source, recycler }) => {
@@ -626,16 +668,13 @@ pub fn execute_plan(
             let projection = if caching { None } else { decode_projection.as_deref() };
             let to_load: Vec<&str> =
                 refs.iter().filter(|r| !r.cached).map(|r| r.uri.as_str()).collect();
+            let policy = config.policy();
             let loaded = match config.parallel {
-                ParallelMode::Static => load_static(
-                    *source,
-                    &to_load,
-                    projection,
-                    config.max_threads,
-                    &config.obs,
-                )?,
-                ParallelMode::Exchange { workers } => {
-                    load_exchange(*source, &to_load, projection, workers, &config.obs)?
+                ParallelMode::Static => {
+                    load_static(*source, &to_load, projection, &policy, &config.obs)?
+                }
+                ParallelMode::Exchange { .. } => {
+                    load_exchange(*source, &to_load, projection, &policy, &config.obs)?
                 }
             };
             for (uri, rel) in loaded {
@@ -673,12 +712,7 @@ pub fn execute_plan(
                 ctx.materialized.push(Arc::new(merged));
                 phys.replace_first_partial_agg(id);
             } else {
-                let acquired = residency.acquire_many(
-                    &uris,
-                    projection,
-                    config.parallel,
-                    config.max_threads,
-                )?;
+                let acquired = residency.acquire_many(&uris, projection, &config.policy())?;
                 // Pins are held until stage 2 is done (drop of the
                 // guard), so the manager cannot evict these chunks
                 // mid-query.
@@ -719,6 +753,9 @@ pub fn execute_plan(
     }
 
     // ---- Stage 2: the remainder Qs. ---------------------------------
+    // Cancellation checkpoint: dropping out here unwinds the pin guard,
+    // so a cancelled query never leaves pinned chunks behind.
+    config.check_cancel()?;
     let t = Instant::now();
     let stage2_span = tracer.map(|tc| {
         let id = tc.start(tc.ambient(), "stage2");
@@ -868,7 +905,7 @@ fn fused_wave(
         *slots[i].lock() = Some(part);
         Ok(())
     };
-    residency.acquire_each(uris, projection, config.parallel, config.max_threads, &sink)?;
+    residency.acquire_each(uris, projection, &config.policy(), &sink)?;
     stats.files_loaded += loaded.load(Ordering::Relaxed) as usize;
     stats.cache_hits += hits.load(Ordering::Relaxed) as usize;
     stats.rows_loaded += rows.load(Ordering::Relaxed);
@@ -944,10 +981,11 @@ fn load_static(
     source: &dyn ChunkSource,
     uris: &[&str],
     projection: Option<&[String]>,
-    max_threads: usize,
+    policy: &SchedPolicy,
     obs: &Obs,
 ) -> Result<Vec<(String, Relation)>> {
-    let loaded = run_indexed_obs(uris.len(), ParallelMode::Static, max_threads, obs, |i| {
+    let policy = SchedPolicy { parallel: ParallelMode::Static, ..policy.clone() };
+    let loaded = run_indexed_policy(uris.len(), &policy, obs, |i| {
         let tracer = obs.tracer();
         let t0 = tracer.map(|tc| tc.now_ns());
         let rel = source.load_chunk(uris[i], projection);
@@ -979,7 +1017,7 @@ fn load_exchange(
     source: &dyn ChunkSource,
     uris: &[&str],
     projection: Option<&[String]>,
-    workers: usize,
+    policy: &SchedPolicy,
     obs: &Obs,
 ) -> Result<Vec<(String, Relation)>> {
     if uris.is_empty() {
@@ -993,26 +1031,25 @@ fn load_exchange(
         }
     }
     // ... then decode dynamically: each worker pulls the next unit.
-    let results =
-        run_indexed_obs(slots.len(), ParallelMode::Exchange { workers }, workers, obs, |i| {
-            let unit = slots[i].1.lock().take().expect("each unit taken once");
-            let tracer = obs.tracer();
-            let t0 = tracer.map(|tc| tc.now_ns());
-            let rel = unit();
-            if let (Some(tc), Some(t0)) = (tracer, t0) {
-                tc.record(
-                    tc.ambient(),
-                    "chunk.load",
-                    format!("{} (unit)", uris[slots[i].0]),
-                    t0,
-                    tc.now_ns().saturating_sub(t0),
-                    obs::current_worker(),
-                    rel.as_ref().ok().map(|r| r.rows() as u64),
-                    rel.as_ref().ok().map(|r| r.approx_bytes() as u64),
-                );
-            }
-            rel
-        });
+    let results = run_indexed_policy(slots.len(), policy, obs, |i| {
+        let unit = slots[i].1.lock().take().expect("each unit taken once");
+        let tracer = obs.tracer();
+        let t0 = tracer.map(|tc| tc.now_ns());
+        let rel = unit();
+        if let (Some(tc), Some(t0)) = (tracer, t0) {
+            tc.record(
+                tc.ambient(),
+                "chunk.load",
+                format!("{} (unit)", uris[slots[i].0]),
+                t0,
+                tc.now_ns().saturating_sub(t0),
+                obs::current_worker(),
+                rel.as_ref().ok().map(|r| r.rows() as u64),
+                rel.as_ref().ok().map(|r| r.approx_bytes() as u64),
+            );
+        }
+        rel
+    });
     // Reassemble per-file relations; unit order within a file is the
     // construction order, so the union is deterministic.
     let mut per_file: Vec<Relation> = (0..uris.len()).map(|_| Relation::empty()).collect();
@@ -1137,8 +1174,7 @@ mod tests {
             &self,
             uris: &[String],
             _projection: Option<&[String]>,
-            _parallel: ParallelMode,
-            _max_threads: usize,
+            _policy: &SchedPolicy,
         ) -> Result<Vec<AcquiredChunk>> {
             uris.iter()
                 .map(|u| {

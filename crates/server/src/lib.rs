@@ -1,0 +1,430 @@
+//! # sommelier-server
+//!
+//! The multi-tenant query front end of the sommelier system: a
+//! long-running [`Server`] wraps one [`Sommelier`] instance and hands
+//! out [`Session`]s, each with its own priority, in-flight quota and
+//! default timeout. Sessions submit SQL and get back a
+//! [`QueryHandle`] — cancellable, timeout-able, waitable — while every
+//! query's morsels run on the system's **one shared scheduler**
+//! (`max_threads` persistent workers, see
+//! `SommelierConfig::shared_scheduler`), so the total number of live
+//! worker threads is bounded no matter how many sessions are active.
+//! Admission control (`SommelierConfig::admission_*`) queues excess
+//! queries instead of letting them thrash the cellar's byte budget.
+//!
+//! ```no_run
+//! use sommelier_core::adapters::EventLogAdapter;
+//! use sommelier_core::{LoadingMode, Priority, Sommelier};
+//! use sommelier_server::{Server, SessionOptions};
+//! use std::sync::Arc;
+//! use std::time::Duration;
+//!
+//! let somm = Sommelier::builder()
+//!     .source(EventLogAdapter::new("/data/logs"))
+//!     .build()
+//!     .unwrap();
+//! somm.prepare(LoadingMode::Lazy).unwrap();
+//! let server = Server::new(Arc::new(somm));
+//! let session = server.open_session(SessionOptions {
+//!     priority: Priority::High,
+//!     default_timeout: Some(Duration::from_secs(30)),
+//!     ..Default::default()
+//! });
+//! let handle = session.submit("SELECT AVG(E.val) FROM eventview").unwrap();
+//! let result = handle.wait().unwrap();
+//! println!("{} rows", result.relation.rows());
+//! ```
+
+use sommelier_core::{
+    CancelToken, Priority, QueryOptions, QueryResult, Sommelier, SommelierError,
+};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+// ---------------------------------------------------------------------
+// Errors
+
+/// Failure of a server-submitted query.
+#[derive(Debug)]
+pub enum ServerError {
+    /// The query was cancelled via [`QueryHandle::cancel`] (or its
+    /// session token).
+    Cancelled,
+    /// The query's timeout elapsed (default from
+    /// [`SessionOptions::default_timeout`] or per-submit override).
+    TimedOut,
+    /// The session already has [`SessionOptions::max_in_flight`]
+    /// queries running.
+    QuotaExceeded { limit: usize },
+    /// Admission control rejected the query: the server-wide wait
+    /// queue is full.
+    Overloaded(String),
+    /// Any other failure, forwarded from the underlying system.
+    Query(SommelierError),
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Cancelled => write!(f, "query cancelled"),
+            ServerError::TimedOut => write!(f, "query timed out"),
+            ServerError::QuotaExceeded { limit } => {
+                write!(f, "session quota exceeded ({limit} queries in flight)")
+            }
+            ServerError::Overloaded(m) => write!(f, "server overloaded: {m}"),
+            ServerError::Query(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServerError::Query(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SommelierError> for ServerError {
+    fn from(e: SommelierError) -> Self {
+        use sommelier_engine::EngineError;
+        match e {
+            SommelierError::Engine(EngineError::Cancelled { timed_out: true }) => {
+                ServerError::TimedOut
+            }
+            SommelierError::Engine(EngineError::Cancelled { timed_out: false }) => {
+                ServerError::Cancelled
+            }
+            SommelierError::Overloaded(m) => ServerError::Overloaded(m),
+            other => ServerError::Query(other),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Server
+
+struct ServerShared {
+    somm: Arc<Sommelier>,
+    active_sessions: AtomicU64,
+    next_session: AtomicU64,
+}
+
+impl ServerShared {
+    fn publish_sessions(&self) {
+        self.somm
+            .metrics()
+            .gauge("server.active_sessions")
+            .set(self.active_sessions.load(Ordering::Relaxed));
+    }
+}
+
+/// The long-running multi-tenant front end over one [`Sommelier`].
+/// Cheap to clone; all clones share the same session accounting.
+#[derive(Clone)]
+pub struct Server {
+    shared: Arc<ServerShared>,
+}
+
+impl Server {
+    /// Wrap a (prepared) system. The system should run with its
+    /// defaults of `shared_scheduler: true` and admission control on —
+    /// the server works without them, but then each query spawns its
+    /// own scoped thread pool and nothing bounds concurrency.
+    pub fn new(somm: Arc<Sommelier>) -> Self {
+        Server {
+            shared: Arc::new(ServerShared {
+                somm,
+                active_sessions: AtomicU64::new(0),
+                next_session: AtomicU64::new(1),
+            }),
+        }
+    }
+
+    /// Open a session with the given per-session policy.
+    pub fn open_session(&self, options: SessionOptions) -> Session {
+        let shared = Arc::clone(&self.shared);
+        let id = shared.next_session.fetch_add(1, Ordering::Relaxed);
+        shared.active_sessions.fetch_add(1, Ordering::Relaxed);
+        shared.publish_sessions();
+        Session { shared, id, options, in_flight: Arc::new(AtomicUsize::new(0)) }
+    }
+
+    /// The wrapped system (for metrics scraping, EXPLAIN, ...).
+    pub fn sommelier(&self) -> &Arc<Sommelier> {
+        &self.shared.somm
+    }
+
+    /// Currently open sessions (also the `server.active_sessions`
+    /// gauge in `metrics_snapshot()`).
+    pub fn active_sessions(&self) -> u64 {
+        self.shared.active_sessions.load(Ordering::Relaxed)
+    }
+}
+
+impl fmt::Debug for Server {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Server").field("active_sessions", &self.active_sessions()).finish()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Session
+
+/// Per-session policy.
+#[derive(Clone, Debug)]
+pub struct SessionOptions {
+    /// Scheduling priority of the session's queries: position in the
+    /// admission queue and of their morsel batches on the shared pool.
+    pub priority: Priority,
+    /// Quota: how many of the session's queries may be in flight at
+    /// once; further submits fail fast with
+    /// [`ServerError::QuotaExceeded`].
+    pub max_in_flight: usize,
+    /// Timeout applied to every query that does not override it.
+    pub default_timeout: Option<Duration>,
+}
+
+impl Default for SessionOptions {
+    fn default() -> Self {
+        SessionOptions { priority: Priority::Normal, max_in_flight: 8, default_timeout: None }
+    }
+}
+
+/// Per-submit overrides of the session policy.
+#[derive(Clone, Debug, Default)]
+pub struct SubmitOptions {
+    /// Override the session priority for this query.
+    pub priority: Option<Priority>,
+    /// Override the session default timeout for this query.
+    pub timeout: Option<Duration>,
+    /// Approximate execution: deterministic chunk-sampling fraction.
+    pub sampling: Option<f64>,
+}
+
+/// One tenant's handle on the server. Thread-safe; dropping it closes
+/// the session (in-flight queries run to completion).
+pub struct Session {
+    shared: Arc<ServerShared>,
+    id: u64,
+    options: SessionOptions,
+    in_flight: Arc<AtomicUsize>,
+}
+
+impl Session {
+    /// The server-assigned session id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Queries of this session currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// Submit a query under the session's policy. Returns immediately
+    /// with a [`QueryHandle`]; the query runs asynchronously (queued
+    /// by admission control when the server is busy).
+    pub fn submit(&self, sql: &str) -> Result<QueryHandle, ServerError> {
+        self.submit_with(sql, &SubmitOptions::default())
+    }
+
+    /// Submit with per-query overrides.
+    pub fn submit_with(
+        &self,
+        sql: &str,
+        overrides: &SubmitOptions,
+    ) -> Result<QueryHandle, ServerError> {
+        let limit = self.options.max_in_flight.max(1);
+        // Claim a quota slot (released by the query thread when done).
+        if self
+            .in_flight
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                (n < limit).then_some(n + 1)
+            })
+            .is_err()
+        {
+            return Err(ServerError::QuotaExceeded { limit });
+        }
+        let cancel = CancelToken::new();
+        let qopts = QueryOptions {
+            sampling: overrides.sampling,
+            priority: overrides.priority.unwrap_or(self.options.priority),
+            cancel: Some(cancel.clone()),
+            timeout: overrides.timeout.or(self.options.default_timeout),
+        };
+        let state = Arc::new(HandleState {
+            result: Mutex::new(None),
+            cv: Condvar::new(),
+            finished: AtomicBool::new(false),
+        });
+        let somm = Arc::clone(&self.shared.somm);
+        let sql = sql.to_string();
+        let in_flight = Arc::clone(&self.in_flight);
+        let st = Arc::clone(&state);
+        // One lightweight control thread per in-flight query: it blocks
+        // in admission and on the scheduler; the actual morsel work
+        // runs on the shared pool, so worker threads stay bounded by
+        // `max_threads`.
+        let thread = std::thread::Builder::new()
+            .name(format!("somm-query-s{}", self.id))
+            .spawn(move || {
+                let res = somm.query_opts(&sql, &qopts).map_err(ServerError::from);
+                in_flight.fetch_sub(1, Ordering::SeqCst);
+                *st.result.lock().unwrap_or_else(|e| e.into_inner()) = Some(res);
+                st.finished.store(true, Ordering::Release);
+                st.cv.notify_all();
+            })
+            .expect("spawn query control thread");
+        Ok(QueryHandle { cancel, state, thread: Some(thread) })
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        self.shared.active_sessions.fetch_sub(1, Ordering::Relaxed);
+        self.shared.publish_sessions();
+    }
+}
+
+impl fmt::Debug for Session {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Session")
+            .field("id", &self.id)
+            .field("in_flight", &self.in_flight())
+            .field("options", &self.options)
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------
+// QueryHandle
+
+struct HandleState {
+    result: Mutex<Option<Result<QueryResult, ServerError>>>,
+    cv: Condvar,
+    finished: AtomicBool,
+}
+
+/// An in-flight query. Wait on it, poll it, or cancel it; dropping the
+/// handle detaches the query (it runs to completion unobserved).
+pub struct QueryHandle {
+    cancel: CancelToken,
+    state: Arc<HandleState>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl QueryHandle {
+    /// Request cooperative cancellation. The engine observes the token
+    /// at the next chunk-pipeline boundary (or in the admission
+    /// queue); the query then fails with [`ServerError::Cancelled`].
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+    }
+
+    /// The query's cancellation token (shareable with watchdogs).
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
+    }
+
+    /// Has the query finished (successfully or not)?
+    pub fn is_finished(&self) -> bool {
+        self.state.finished.load(Ordering::Acquire)
+    }
+
+    /// Block until the query finishes and return its result.
+    pub fn wait(mut self) -> Result<QueryResult, ServerError> {
+        let mut guard = self.state.result.lock().unwrap_or_else(|e| e.into_inner());
+        while guard.is_none() {
+            guard = self.state.cv.wait(guard).unwrap_or_else(|e| e.into_inner());
+        }
+        let res = guard.take().expect("result present");
+        drop(guard);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+        res
+    }
+
+    /// Wait up to `timeout` for the result. `None` means the query is
+    /// still running and the handle stays usable (poll again, cancel,
+    /// or [`QueryHandle::wait`]).
+    pub fn wait_for(
+        &mut self,
+        timeout: Duration,
+    ) -> Option<Result<QueryResult, ServerError>> {
+        let mut guard = self.state.result.lock().unwrap_or_else(|e| e.into_inner());
+        let deadline = std::time::Instant::now() + timeout;
+        while guard.is_none() {
+            let left = deadline.checked_duration_since(std::time::Instant::now())?;
+            let (g, _) =
+                self.state.cv.wait_timeout(guard, left).unwrap_or_else(|e| e.into_inner());
+            guard = g;
+        }
+        let res = guard.take().expect("result present");
+        drop(guard);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+        Some(res)
+    }
+}
+
+impl fmt::Debug for QueryHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("QueryHandle").field("finished", &self.is_finished()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sommelier_core::adapters::{generate_event_logs, EventLogAdapter, EventLogSpec};
+    use sommelier_core::LoadingMode;
+
+    fn test_server(tag: &str) -> Server {
+        let dir = std::env::temp_dir()
+            .join(format!("somm-server-unit-{tag}-{}", std::process::id()));
+        generate_event_logs(&dir, &EventLogSpec::small(2, 128)).unwrap();
+        let somm = Sommelier::builder().source(EventLogAdapter::new(&dir)).build().unwrap();
+        somm.prepare(LoadingMode::Lazy).unwrap();
+        Server::new(Arc::new(somm))
+    }
+
+    #[test]
+    fn sessions_are_counted_and_queries_run() {
+        let server = test_server("count");
+        assert_eq!(server.active_sessions(), 0);
+        let session = server.open_session(SessionOptions::default());
+        assert_eq!(server.active_sessions(), 1);
+        let r = session.submit("SELECT AVG(E.val) FROM eventview").unwrap().wait().unwrap();
+        assert_eq!(r.relation.rows(), 1);
+        assert_eq!(session.in_flight(), 0);
+        drop(session);
+        assert_eq!(server.active_sessions(), 0);
+    }
+
+    #[test]
+    fn quota_rejects_typed() {
+        let server = test_server("quota");
+        let session =
+            server.open_session(SessionOptions { max_in_flight: 1, ..Default::default() });
+        // Occupy the single slot manually so the second submit is
+        // deterministic regardless of query speed.
+        session.in_flight.store(1, Ordering::SeqCst);
+        let err = session.submit("SELECT AVG(E.val) FROM eventview").unwrap_err();
+        assert!(matches!(err, ServerError::QuotaExceeded { limit: 1 }), "{err}");
+        session.in_flight.store(0, Ordering::SeqCst);
+    }
+
+    #[test]
+    fn bad_sql_is_a_query_error() {
+        let server = test_server("badsql");
+        let session = server.open_session(SessionOptions::default());
+        let err = session.submit("SELECT nonsense FROM nowhere").unwrap().wait().unwrap_err();
+        assert!(matches!(err, ServerError::Query(_)), "{err}");
+    }
+}

@@ -269,6 +269,26 @@ fn explain_analyze_renders_spans_passes_and_accounting() {
 }
 
 #[test]
+fn queue_wait_span_appears_once_on_admitted_queries() {
+    let dir = TempDir::new("obs-queue-wait");
+    let repo = ingv_repo(&dir, 2, 32);
+    let somm = mseed_system(&repo, ObsLevel::Spans, 2);
+    somm.prepare(LoadingMode::Lazy).unwrap();
+    // Every top-level query passes admission control, so its span tree
+    // carries exactly one queue_wait span (a child of the root),
+    // however short the wait was on an idle system.
+    let r = somm.query(mseed_queries()[3]).unwrap();
+    let trace = r.span_trace.as_ref().expect("Spans level produces a trace");
+    assert_eq!(trace.count("queue_wait"), 1, "exactly one queue_wait span");
+    let qw = trace.find("queue_wait").unwrap();
+    let root = trace.find("query").unwrap();
+    assert_eq!(qw.parent, Some(root.id), "queue_wait hangs off the query root");
+    // And EXPLAIN ANALYZE (which forces spans) renders it.
+    let text = somm.explain_analyze(mseed_queries()[3]).unwrap();
+    assert!(text.contains("queue_wait"), "EXPLAIN ANALYZE missing queue_wait:\n{text}");
+}
+
+#[test]
 fn metrics_snapshot_serializes_documented_names() {
     let dir = TempDir::new("obs-snapshot-json");
     let repo = ingv_repo(&dir, 2, 32);

@@ -1,0 +1,377 @@
+//! The multi-tenant query server end to end: byte-identical T1–T5
+//! results under 1/4/16 concurrent sessions on both source adapters,
+//! bounded worker threads under concurrency (the shared morsel
+//! scheduler), observable priority ordering under a saturated server,
+//! typed timeout errors, and the cancellation pin-leak regression.
+
+use sommelier_core::adapters::{generate_event_logs, EventLogAdapter, EventLogSpec};
+use sommelier_core::{LoadingMode, Priority, Sommelier, SommelierConfig};
+use sommelier_engine::exec::legacy_pool_spawns;
+use sommelier_integration::{ingv_repo, TempDir};
+use sommelier_mseed::{MseedAdapter, Repository};
+use sommelier_server::{Server, ServerError, SessionOptions, SubmitOptions};
+use sommelier_storage::buffer::SimIo;
+use std::path::Path;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+/// Serialize the tests in this file: `legacy_pool_spawns()` is a
+/// process-global counter and the priority/timing assertions want an
+/// unloaded machine.
+fn exclusive() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(())).lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn server_config(threads: usize) -> SommelierConfig {
+    SommelierConfig { max_threads: threads, ..SommelierConfig::default() }
+}
+
+fn mseed_system(repo: &Repository, config: SommelierConfig) -> Sommelier {
+    let somm = Sommelier::builder()
+        .source(MseedAdapter::new(Repository::at(repo.dir())))
+        .config(config)
+        .build()
+        .unwrap();
+    somm.prepare(LoadingMode::Lazy).unwrap();
+    somm
+}
+
+fn eventlog_system(logs: &Path, config: SommelierConfig) -> Sommelier {
+    let somm = Sommelier::builder()
+        .source(EventLogAdapter::new(logs))
+        .config(config)
+        .build()
+        .unwrap();
+    somm.prepare(LoadingMode::Lazy).unwrap();
+    somm
+}
+
+/// The paper's T1–T5 taxonomy against the seismology source.
+fn mseed_queries() -> Vec<&'static str> {
+    vec![
+        "SELECT COUNT(*) AS n FROM F WHERE station = 'ISK'",
+        "SELECT window_start_ts, window_max_val FROM H \
+         WHERE window_station = 'ISK' AND window_channel = 'BHE' \
+         AND window_start_ts < '2010-01-01T04:00:00.000' \
+         ORDER BY window_start_ts",
+        "SELECT COUNT(*) AS n FROM windowview \
+         WHERE F.station = 'ISK' AND H.window_max_val > -1000000000 \
+         AND H.window_start_ts < '2010-01-01T04:00:00.000'",
+        "SELECT AVG(D.sample_value) FROM dataview \
+         WHERE F.station = 'ISK' AND F.channel = 'BHE' \
+         AND D.sample_time >= '2010-01-01T00:00:00.000' \
+         AND D.sample_time < '2010-01-02T00:00:00.000'",
+        "SELECT AVG(D.sample_value) FROM windowdataview \
+         WHERE F.station = 'ISK' AND H.window_max_val > -1000000000 \
+         AND H.window_start_ts < '2010-01-01T04:00:00.000'",
+    ]
+}
+
+/// The same taxonomy against the event-log source.
+fn eventlog_queries() -> Vec<&'static str> {
+    vec![
+        "SELECT COUNT(*) AS n FROM G WHERE host = 'web-1'",
+        "SELECT day_start_ts, day_max_val FROM Y \
+         WHERE day_host = 'web-1' AND day_service = 'api' \
+         AND day_start_ts < '2011-03-03T00:00:00.000' \
+         ORDER BY day_start_ts",
+        "SELECT COUNT(*) AS n FROM dayview \
+         WHERE G.host = 'web-1' AND Y.day_max_val > 0 \
+         AND Y.day_start_ts < '2011-03-03T00:00:00.000'",
+        "SELECT AVG(E.val) FROM eventview \
+         WHERE G.host = 'web-1' AND G.service = 'api' \
+         AND E.ts >= '2011-03-01T00:00:00.000' \
+         AND E.ts < '2011-03-02T00:00:00.000'",
+        "SELECT AVG(E.val) FROM daylogview \
+         WHERE G.host = 'web-1' AND Y.day_max_val > 0 \
+         AND Y.day_start_ts < '2011-03-03T00:00:00.000'",
+    ]
+}
+
+/// A long-running T4-shaped query (every day of the FIAM station),
+/// slowed by simulated repository I/O so cancellation and priority
+/// tests have something mid-flight to act on.
+const SLOW_MSEED_T4: &str = "SELECT AVG(D.sample_value) FROM dataview \
+     WHERE F.station = 'FIAM' AND F.channel = 'HHZ' \
+     AND D.sample_time >= '2010-01-01T00:00:00.000' \
+     AND D.sample_time < '2010-01-09T00:00:00.000'";
+
+#[test]
+fn results_byte_identical_under_concurrent_sessions_on_both_adapters() {
+    let _x = exclusive();
+    let dir = TempDir::new("server-identical");
+    let repo = ingv_repo(&dir, 2, 32);
+    let logs = dir.join("logs");
+    generate_event_logs(&logs, &EventLogSpec::small(3, 32)).unwrap();
+    for adapter in ["mseed", "eventlog"] {
+        let (somm, queries) = if adapter == "mseed" {
+            (mseed_system(&repo, server_config(4)), mseed_queries())
+        } else {
+            (eventlog_system(&logs, server_config(4)), eventlog_queries())
+        };
+        assert!(somm.scheduler().is_some(), "shared scheduler on by default");
+        // Serial reference: every query once, single-threaded caller.
+        let mut max_selected = 0;
+        let reference: Vec<String> = queries
+            .iter()
+            .map(|sql| {
+                let r = somm.query(sql).unwrap();
+                max_selected = max_selected.max(r.stats.files_selected);
+                format!("{:?}", r.relation)
+            })
+            .collect();
+        let server = Server::new(Arc::new(somm));
+        let spawns_before = legacy_pool_spawns();
+        for sessions in [1usize, 4, 16] {
+            std::thread::scope(|scope| {
+                for s in 0..sessions {
+                    let server = server.clone();
+                    let queries = &queries;
+                    let reference = &reference;
+                    scope.spawn(move || {
+                        let session = server.open_session(SessionOptions::default());
+                        // Stagger query order per session so chunk
+                        // interleavings actually differ across clients.
+                        for k in 0..queries.len() {
+                            let i = (k + s) % queries.len();
+                            let r = session.submit(queries[i]).unwrap().wait().unwrap();
+                            assert_eq!(
+                                format!("{:?}", r.relation),
+                                reference[i],
+                                "{adapter} T{} under {sessions} sessions drifted",
+                                i + 1
+                            );
+                            assert!(r.stats.accounting_balanced());
+                        }
+                    });
+                }
+            });
+            assert_eq!(server.active_sessions(), 0, "sessions closed");
+        }
+        // Bounded worker threads: with the shared scheduler attached,
+        // no morsel batch fell back to spawning a scoped pool, no
+        // matter how many sessions ran.
+        assert_eq!(
+            legacy_pool_spawns(),
+            spawns_before,
+            "{adapter}: concurrent queries must not spawn per-query pools"
+        );
+        let sched = Arc::clone(server.sommelier().scheduler().unwrap());
+        assert_eq!(sched.worker_count(), 4, "pool size == max_threads");
+        // Single-chunk waves run inline by design; only multi-chunk
+        // queries must have landed on the shared pool.
+        if max_selected > 1 {
+            assert!(sched.stats().batches > 0, "morsels actually ran on the shared pool");
+        }
+        // Pins all returned.
+        assert_eq!(server.sommelier().cellar().unwrap().total_pins(), 0);
+    }
+}
+
+#[test]
+fn priority_ordering_observable_under_saturated_server() {
+    let _x = exclusive();
+    let dir = TempDir::new("server-priority");
+    let repo = {
+        let repo = Repository::at(dir.join("repo"));
+        let mut spec = sommelier_mseed::DatasetSpec::fiam(1, 64);
+        spec.days = 8;
+        repo.generate(&spec).unwrap();
+        repo
+    };
+    // One admission slot and slow decodes: the first query saturates
+    // the server; everything else queues in the admission controller,
+    // which serves the highest priority first.
+    let config = SommelierConfig {
+        admission_max_concurrent: 1,
+        use_recycler: false, // every run decodes (stays slow)
+        sim_chunk_io: Some(SimIo { per_page: Duration::from_millis(150) }),
+        ..server_config(2)
+    };
+    let somm = mseed_system(&repo, config);
+    let server = Server::new(Arc::new(somm));
+    let order: Arc<Mutex<Vec<&'static str>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let hog = server.open_session(SessionOptions::default());
+    let running = hog.submit(SLOW_MSEED_T4).unwrap();
+    // Let the hog win the admission slot before anyone queues.
+    while server.sommelier().admission_stats().running == 0 {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    let mut waiters = Vec::new();
+    // Low queues first, High second; High must still finish first.
+    for (n, (tag, priority)) in
+        [("low", Priority::Low), ("high", Priority::High)].into_iter().enumerate()
+    {
+        let srv = server.clone();
+        let order = Arc::clone(&order);
+        waiters.push(std::thread::spawn(move || {
+            let session = srv.open_session(SessionOptions { priority, ..Default::default() });
+            session.submit(SLOW_MSEED_T4).unwrap().wait().unwrap();
+            order.lock().unwrap().push(tag);
+        }));
+        // Deterministic enqueue order: wait until this waiter is
+        // actually queued before releasing the next one.
+        while server.sommelier().admission_stats().queue_depth < n as u64 + 1 {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+    // The hog must still be holding the slot, or ordering says nothing.
+    assert_eq!(server.sommelier().admission_stats().queue_depth, 2, "both waiters queued");
+    running.wait().unwrap();
+    for w in waiters {
+        w.join().unwrap();
+    }
+    assert_eq!(
+        *order.lock().unwrap(),
+        vec!["high", "low"],
+        "high priority must overtake the earlier-queued low-priority query"
+    );
+    let stats = server.sommelier().admission_stats();
+    assert_eq!(stats.admitted, 3);
+    assert_eq!(stats.running, 0);
+}
+
+#[test]
+fn timeout_fires_with_typed_error() {
+    let _x = exclusive();
+    let dir = TempDir::new("server-timeout");
+    let repo = {
+        let repo = Repository::at(dir.join("repo"));
+        let mut spec = sommelier_mseed::DatasetSpec::fiam(1, 64);
+        spec.days = 8;
+        repo.generate(&spec).unwrap();
+        repo
+    };
+    let config = SommelierConfig {
+        use_recycler: false,
+        sim_chunk_io: Some(SimIo { per_page: Duration::from_millis(60) }),
+        ..server_config(2)
+    };
+    let somm = mseed_system(&repo, config);
+    let server = Server::new(Arc::new(somm));
+    let session = server.open_session(SessionOptions {
+        default_timeout: Some(Duration::from_millis(120)),
+        ..Default::default()
+    });
+    let err = session.submit(SLOW_MSEED_T4).unwrap().wait().unwrap_err();
+    assert!(matches!(err, ServerError::TimedOut), "expected TimedOut, got: {err}");
+    // A per-submit override beats the session default.
+    let r = session
+        .submit_with(
+            SLOW_MSEED_T4,
+            &SubmitOptions { timeout: Some(Duration::from_secs(120)), ..Default::default() },
+        )
+        .unwrap()
+        .wait();
+    assert!(r.is_ok(), "generous override must let the query finish: {:?}", r.err());
+    assert_eq!(server.sommelier().cellar().unwrap().total_pins(), 0);
+}
+
+#[test]
+fn cancellation_mid_query_leaves_no_pinned_chunks() {
+    let _x = exclusive();
+    let dir = TempDir::new("server-cancel-pins");
+    let repo = {
+        let repo = Repository::at(dir.join("repo"));
+        let mut spec = sommelier_mseed::DatasetSpec::fiam(1, 64);
+        spec.days = 8;
+        repo.generate(&spec).unwrap();
+        repo
+    };
+    let config = SommelierConfig {
+        use_recycler: false,
+        sim_chunk_io: Some(SimIo { per_page: Duration::from_millis(40) }),
+        ..server_config(2)
+    };
+    let somm = mseed_system(&repo, config);
+    let cellar = somm.cellar().unwrap();
+    let server = Server::new(Arc::new(somm));
+    let session = server.open_session(SessionOptions::default());
+    for round in 0..3 {
+        let handle = session.submit(SLOW_MSEED_T4).unwrap();
+        // Let the query get mid-flight into its decode wave, then pull
+        // the plug.
+        std::thread::sleep(Duration::from_millis(90));
+        handle.cancel();
+        let err = handle.wait().unwrap_err();
+        assert!(matches!(err, ServerError::Cancelled), "round {round}: got {err}");
+        // The regression this guards: a cancelled wave must release
+        // every pin it took (debug builds also assert this inside the
+        // cellar's pin ledger).
+        assert_eq!(cellar.total_pins(), 0, "round {round}: cancel leaked pins");
+    }
+    // And the system is still fully usable afterwards.
+    let r = session.submit(SLOW_MSEED_T4).unwrap().wait().unwrap();
+    assert_eq!(r.relation.rows(), 1);
+    assert_eq!(cellar.total_pins(), 0);
+}
+
+#[test]
+fn session_quota_rejects_excess_in_flight_queries() {
+    let _x = exclusive();
+    let dir = TempDir::new("server-quota");
+    let repo = {
+        let repo = Repository::at(dir.join("repo"));
+        let mut spec = sommelier_mseed::DatasetSpec::fiam(1, 64);
+        spec.days = 4;
+        repo.generate(&spec).unwrap();
+        repo
+    };
+    let config = SommelierConfig {
+        use_recycler: false,
+        sim_chunk_io: Some(SimIo { per_page: Duration::from_millis(50) }),
+        ..server_config(2)
+    };
+    let somm = mseed_system(&repo, config);
+    let server = Server::new(Arc::new(somm));
+    let session =
+        server.open_session(SessionOptions { max_in_flight: 1, ..Default::default() });
+    let running = session.submit(SLOW_MSEED_T4).unwrap();
+    let err = session.submit(SLOW_MSEED_T4).unwrap_err();
+    assert!(matches!(err, ServerError::QuotaExceeded { limit: 1 }), "{err}");
+    running.wait().unwrap();
+    // Slot free again.
+    session.submit(SLOW_MSEED_T4).unwrap().wait().unwrap();
+}
+
+#[test]
+fn scheduler_and_admission_metrics_reach_the_snapshot() {
+    let _x = exclusive();
+    let dir = TempDir::new("server-metrics");
+    let repo = ingv_repo(&dir, 2, 32);
+    let somm = mseed_system(&repo, server_config(4));
+    let server = Server::new(Arc::new(somm));
+    let session = server.open_session(SessionOptions::default());
+    session.submit(mseed_queries()[3]).unwrap().wait().unwrap();
+    let snap = server.sommelier().metrics_snapshot();
+    for counter in [
+        "sched.batches",
+        "sched.tasks",
+        "sched.busy_ns",
+        "admission.admitted",
+        "admission.rejected",
+        "admission.cancelled",
+        "admission.timeouts",
+        "admission.queue_wait_ns",
+    ] {
+        assert!(snap.counter(counter).is_some(), "documented counter {counter:?} missing");
+    }
+    for gauge in [
+        "sched.workers",
+        "sched.queue_depth",
+        "admission.running",
+        "admission.queue_depth",
+        "server.active_sessions",
+    ] {
+        assert!(snap.gauge(gauge).is_some(), "documented gauge {gauge:?} missing");
+    }
+    assert_eq!(snap.gauge("sched.workers"), Some(4));
+    assert!(snap.counter("admission.admitted") >= Some(1));
+    assert_eq!(snap.gauge("server.active_sessions"), Some(1));
+    drop(session);
+    let snap = server.sommelier().metrics_snapshot();
+    assert_eq!(snap.gauge("server.active_sessions"), Some(0));
+}
