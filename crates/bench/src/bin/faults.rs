@@ -1,0 +1,18 @@
+//! Fault-tolerance sweep: transient fault rate × retry budget over the
+//! full-window T4 workload (FIAM sf-1, lazy), reporting success rate,
+//! p50/p99 latency, and the degraded fraction under `SkipUnreadable`
+//! with one permanently corrupt chunk. Budget 1 (no retries) loses
+//! queries at roughly the per-query fault probability; the default
+//! budget 4 recovers every transient fault for a few backoffs of p99.
+//!
+//! Set `SOMM_JSON_OUT=<path>` to additionally record the table as JSON
+//! (how `BENCH_faults.json` at the workspace root was produced).
+fn main() {
+    let scale = sommelier_bench::BenchScale::from_env();
+    let table = sommelier_bench::experiments::fault_sweep(&scale).expect("fault sweep");
+    table.print();
+    if let Ok(path) = std::env::var("SOMM_JSON_OUT") {
+        std::fs::write(&path, table.to_json()).expect("write JSON baseline");
+        eprintln!("wrote {path}");
+    }
+}

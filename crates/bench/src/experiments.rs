@@ -1008,6 +1008,157 @@ pub fn obs_overhead(scale: &BenchScale) -> Result<Table> {
     Ok(t)
 }
 
+/// Fault-tolerance sweep: T4 over the full FIAM sf-1 window (touches
+/// every chunk) under rising transient-fault rates × retry budgets,
+/// plus a degradation section where one chunk is permanently corrupt
+/// and the query runs under `SkipUnreadable`.
+///
+/// Each run gets a *fresh* system with a run-specific injector seed —
+/// the injector is deterministic per `(seed, uri, attempt)`, so reusing
+/// one system would replay identical faults (and the per-chunk
+/// transient cap would drain after the first run). Expected shape:
+/// budget 1 fails roughly at the per-query fault probability, the
+/// default budget 4 rides out the per-chunk cap of 2 and recovers to
+/// 100% success at a p99 cost of a few backoffs, and `SkipUnreadable`
+/// converts the remaining permanent failures into degraded answers.
+pub fn fault_sweep(scale: &BenchScale) -> Result<Table> {
+    use sommelier_core::{DegradationPolicy, FaultPlan, QueryOptions, RetryPolicy};
+
+    let mut t = Table::new(
+        "Fault tolerance: transient rate x retry budget -> success / p99 / degraded \
+         (FIAM sf-1, lazy, T4 full window)",
+        &[
+            "mode",
+            "rate",
+            "budget",
+            "runs",
+            "success_pct",
+            "degraded_pct",
+            "p50_s",
+            "p99_s",
+            "retries",
+            "faults",
+        ],
+    );
+    let sf = 1;
+    let (repo, _) = dataset(scale, DatasetKind::Fiam, sf);
+    let total_days = days_for_sf(sf) as i64;
+    let (a, b) = queries::day_range(start_day(), total_days);
+    let sql = queries::t4_selectivity(a, b);
+    let runs = (scale.runs * 5).max(12);
+
+    // (mode, transient rate, retry budget, corrupt one chunk?)
+    let mut cells: Vec<(&str, f64, u32, bool)> = Vec::new();
+    for &rate in &[0.0, 0.25, 0.5] {
+        for &budget in &[1u32, 2, 4] {
+            if rate == 0.0 && budget != 1 {
+                continue; // fault-free baseline needs one row only
+            }
+            cells.push(("strict", rate, budget, false));
+        }
+    }
+    cells.push(("skip", 0.5, 4, true));
+    cells.push(("strict", 0.5, 4, true));
+
+    for (mode, rate, budget, corrupt) in cells {
+        let mut ok = 0usize;
+        let mut degraded = 0usize;
+        let mut lat = Vec::new();
+        let mut faults = 0u64;
+        let retries_before = sommelier_core::fault::io_retries();
+        for run in 0..runs {
+            let mut plan = FaultPlan::transient(rate);
+            plan.seed = 0x5eed_f00d ^ (run as u64).wrapping_mul(0x9e37_79b9);
+            if corrupt {
+                // Sacrifice a deterministic victim chunk: the first
+                // miniSEED file of the repository in sorted order (the
+                // dir also holds the dataset's `.complete` marker).
+                let mut files: Vec<_> = walk_files(repo.dir());
+                files.retain(|f| f.ends_with(".msd"));
+                files.sort();
+                plan.corrupt_uris = vec![files.first().expect("non-empty repo").clone()];
+            }
+            let config = SommelierConfig {
+                sim_io: None,
+                sim_chunk_io: None,
+                fault_plan: Some(plan),
+                io_retry: RetryPolicy { max_attempts: budget, ..RetryPolicy::default() },
+                ..bench_config(scale)
+            };
+            let guard = fresh_system_with(scale, &repo, LoadingMode::Lazy, config)?;
+            let opts = QueryOptions {
+                degradation: if mode == "skip" {
+                    DegradationPolicy::SkipUnreadable
+                } else {
+                    DegradationPolicy::Strict
+                },
+                ..Default::default()
+            };
+            let (r, d) = time_it(|| guard.somm.query_opts(&sql, &opts));
+            match r {
+                Ok(res) => {
+                    ok += 1;
+                    if res.degraded.is_some() {
+                        degraded += 1;
+                    }
+                    lat.push(d.as_secs_f64());
+                }
+                Err(e) => {
+                    // Only injected faults may fail a run; anything
+                    // else is a bench bug worth surfacing loudly.
+                    assert!(
+                        e.to_string().contains("injected")
+                            || e.to_string().contains("failed to load"),
+                        "unexpected failure: {e}"
+                    );
+                }
+            }
+            faults += guard.somm.fault_counts().map(|c| c.errors()).unwrap_or(0);
+        }
+        lat.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        let q = |p: f64| -> String {
+            if lat.is_empty() {
+                return "-".into();
+            }
+            let i = ((p * lat.len() as f64).ceil() as usize).clamp(1, lat.len()) - 1;
+            format!("{:.6}", lat[i])
+        };
+        t.row(vec![
+            mode.to_string(),
+            format!("{rate:.2}"),
+            budget.to_string(),
+            runs.to_string(),
+            format!("{:.1}", 100.0 * ok as f64 / runs as f64),
+            format!("{:.1}", 100.0 * degraded as f64 / runs as f64),
+            q(0.50),
+            q(0.99),
+            (sommelier_core::fault::io_retries() - retries_before).to_string(),
+            faults.to_string(),
+        ]);
+    }
+    Ok(t)
+}
+
+/// Every file under `dir`, recursively, as chunk-uri strings (the
+/// adapters use the file path as the chunk uri).
+fn walk_files(dir: &std::path::Path) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        if let Ok(entries) = std::fs::read_dir(&d) {
+            for e in entries.flatten() {
+                let p = e.path();
+                if p.is_dir() {
+                    stack.push(p);
+                } else {
+                    out.push(p.to_string_lossy().into_owned());
+                }
+            }
+        }
+    }
+    out
+}
+
 /// FNV-1a hash of a string (stable across runs and platforms; used to
 /// fingerprint query results order-independently).
 fn fnv1a(s: &str) -> u64 {

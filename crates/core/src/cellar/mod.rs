@@ -39,13 +39,16 @@ pub use policy::{CellarPolicyKind, ResidencyPolicy};
 use crate::chunks::{AdapterChunkSource, ChunkRegistry};
 use crate::dmd::{DmdKey, DmdManager};
 use crate::error::SommelierError;
+use crate::fault::{with_retries, RetryPolicy};
 use crate::source::SourceDescriptor;
 use parking_lot::{Condvar, Mutex};
 use sommelier_engine::eval::eval_scalar;
 use sommelier_engine::exec::run_indexed_policy;
-use sommelier_engine::sched::{CancelToken, SchedPolicy};
+use sommelier_engine::sched::{CancelToken, DegradationPolicy, SchedPolicy};
 use sommelier_engine::twostage::{AcquiredChunk, ChunkResidency, ChunkSink, ChunkSource};
-use sommelier_engine::{ColumnZone, EngineError, Obs, ParallelMode, Relation};
+use sommelier_engine::{
+    ColumnZone, EngineError, ErrorKind, Obs, ParallelMode, Relation, TraceCollector,
+};
 use sommelier_storage::Database;
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
@@ -71,6 +74,9 @@ pub struct CellarConfig {
     /// stats atomics regardless (they are mirrored into the metrics
     /// registry at snapshot time), so `Obs::off()` costs nothing here.
     pub obs: Obs,
+    /// Retry budget for transient chunk-IO failures, applied around
+    /// every decode (see [`crate::SommelierConfig::io_retry`]).
+    pub retry: RetryPolicy,
 }
 
 impl Default for CellarConfig {
@@ -80,6 +86,7 @@ impl Default for CellarConfig {
             policy: CellarPolicyKind::Lru,
             retain: true,
             obs: Obs::off(),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -128,11 +135,20 @@ struct CellarStats {
     pin_wait_ns: AtomicU64,
 }
 
+/// What one in-flight load published: the decoded relation and its
+/// cost, or the failure's retry classification plus message.
+type LatchOutcome = Result<(Arc<Relation>, Duration), (ErrorKind, String)>;
+
 /// Result of one in-flight load, shared through the latch.
 enum LatchState {
     Pending,
     Done(Arc<Relation>, Duration),
-    Failed(String),
+    /// The load failed: its retry classification plus the message, so
+    /// every waiter gets a typed, cloneable failure. A failed slot is
+    /// always withdrawn by its loader before publishing, so waiters
+    /// holding a transient classification can re-attempt — a failed
+    /// load never permanently poisons the chunk.
+    Failed(ErrorKind, String),
 }
 
 /// Per-chunk in-flight latch: the loader publishes here, waiters block
@@ -155,24 +171,36 @@ impl LoadLatch {
         })
     }
 
-    fn publish(&self, outcome: Result<(Arc<Relation>, Duration), String>) {
+    fn publish(&self, outcome: LatchOutcome) {
         let mut st = self.state.lock();
         *st = match outcome {
             Ok((rel, cost)) => LatchState::Done(rel, cost),
-            Err(msg) => LatchState::Failed(msg),
+            Err((kind, msg)) => LatchState::Failed(kind, msg),
         };
         self.cv.notify_all();
     }
 
-    fn wait(&self) -> Result<(Arc<Relation>, Duration), String> {
+    fn wait(&self) -> LatchOutcome {
         let mut st = self.state.lock();
         loop {
             match &*st {
                 LatchState::Pending => self.cv.wait(&mut st),
                 LatchState::Done(rel, cost) => return Ok((Arc::clone(rel), *cost)),
-                LatchState::Failed(msg) => return Err(msg.clone()),
+                LatchState::Failed(kind, msg) => return Err((*kind, msg.clone())),
             }
         }
+    }
+}
+
+/// The retry classification a failed load publishes through its latch.
+/// A load that failed because *its own query* was cancelled is
+/// transient to everyone else — the chunk itself is fine — so waiters
+/// re-attempt instead of inheriting a foreign cancellation.
+fn publish_kind(e: &EngineError) -> ErrorKind {
+    if matches!(e, EngineError::Cancelled { .. }) {
+        ErrorKind::Transient
+    } else {
+        e.kind()
     }
 }
 
@@ -263,6 +291,8 @@ struct TaskCtx<'a> {
     sink: &'a ChunkSink<'a>,
     first_error: Mutex<Option<EngineError>>,
     cancel: Option<&'a CancelToken>,
+    degradation: DegradationPolicy,
+    tracer: Option<&'a TraceCollector>,
     pin_ledger: AtomicI64,
 }
 
@@ -450,7 +480,11 @@ impl Cellar {
         // Phase 3: publish results — admit successes (pinned for this
         // caller, so they cannot be evicted before assembly), withdraw
         // failures — then enforce the budget on the unpinned rest.
+        // Failed loads either surface as the wave's first error
+        // (strict) or, under `SkipUnreadable`, turn into placeholder
+        // chunks carrying the skip reason.
         let mut first_error: Option<EngineError> = None;
+        let mut skipped_chunks: HashMap<String, AcquiredChunk> = HashMap::new();
         let mut reclaim_list: Vec<String> = Vec::new();
         let mut claimed_rels: HashMap<&str, (Arc<Relation>, Duration)> = HashMap::new();
         {
@@ -466,9 +500,17 @@ impl Cellar {
                     }
                     Err(e) => {
                         inner.slots.remove(uri);
-                        latch.publish(Err(e.to_string()));
-                        if first_error.is_none() {
-                            first_error = Some(e);
+                        latch.publish(Err((publish_kind(&e), e.to_string())));
+                        self.note_load_failure(uri, &e);
+                        match self.skip_or(policy.degradation, uri, e) {
+                            Ok(chunk) => {
+                                skipped_chunks.insert(uri.clone(), chunk);
+                            }
+                            Err(e) => {
+                                if first_error.is_none() {
+                                    first_error = Some(e);
+                                }
+                            }
                         }
                     }
                 }
@@ -487,7 +529,14 @@ impl Cellar {
             if first_error.is_some() {
                 break;
             }
-            match self.settle_acquired(uri, c, &mut owned_pins, &claimed_rels) {
+            // A claim that failed and was resolved to a skip never
+            // reaches `settle_acquired` (it holds no pin and no entry
+            // in `claimed_rels`).
+            if let Some(chunk) = skipped_chunks.remove(uri) {
+                out.push(chunk);
+                continue;
+            }
+            match self.settle_acquired(uri, c, policy, &mut owned_pins, &claimed_rels) {
                 Ok(chunk) => out.push(chunk),
                 Err(e) => first_error = Some(e),
             }
@@ -508,6 +557,7 @@ impl Cellar {
         &self,
         uri: &str,
         task: StreamTask,
+        policy: &SchedPolicy,
         owned_pins: &mut Vec<String>,
         claimed_rels: &HashMap<&str, (Arc<Relation>, Duration)>,
     ) -> sommelier_engine::Result<AcquiredChunk> {
@@ -518,13 +568,14 @@ impl Cellar {
                 // (it keeps our pin for symmetric release); decode a
                 // private full-width copy.
                 let t = Instant::now();
-                let relation = self.load_private(uri, None)?;
+                let relation = self.load_private(uri, None, policy.cancel.as_ref())?;
                 Ok(AcquiredChunk {
                     relation,
                     loaded: true,
                     joined: false,
                     decode: t.elapsed(),
                     pin_wait: Duration::ZERO,
+                    skipped: None,
                 })
             }
             StreamTask::Claimed(_) => {
@@ -535,6 +586,7 @@ impl Cellar {
                     joined: false,
                     decode: *cost,
                     pin_wait: Duration::ZERO,
+                    skipped: None,
                 })
             }
             StreamTask::Joined(latch) => match self.wait_latch(&latch) {
@@ -549,30 +601,62 @@ impl Cellar {
                         joined: true,
                         decode: Duration::ZERO,
                         pin_wait: waited,
+                        skipped: None,
                     })
                 }
-                (Err(msg), _) => {
-                    Err(EngineError::Chunk(format!("joined load of {uri:?} failed: {msg}")))
+                (Err((kind, msg)), _) => {
+                    if kind == ErrorKind::Transient {
+                        // The loader's failure was retryable (or its
+                        // query was cancelled); the slot was withdrawn,
+                        // so re-classify and re-attempt ourselves.
+                        self.settle_acquired(
+                            uri,
+                            StreamTask::Retry(latch),
+                            policy,
+                            owned_pins,
+                            claimed_rels,
+                        )
+                    } else {
+                        self.skip_or(
+                            policy.degradation,
+                            uri,
+                            EngineError::ChunkLoad {
+                                uri: uri.to_string(),
+                                kind,
+                                message: format!("joined load failed: {msg}"),
+                            },
+                        )
+                    }
                 }
             },
             StreamTask::Retry(_) => match self.classify_settled(uri, None) {
                 t @ (StreamTask::Hit(_) | StreamTask::HitNarrow) => {
                     owned_pins.push(uri.to_string());
-                    self.settle_acquired(uri, t, owned_pins, claimed_rels)
+                    self.settle_acquired(uri, t, policy, owned_pins, claimed_rels)
                 }
                 StreamTask::Claimed(latch) => {
-                    let (relation, cost) = self.load_claim(uri, &latch)?;
-                    owned_pins.push(uri.to_string());
-                    Ok(AcquiredChunk {
-                        relation,
-                        loaded: true,
-                        joined: false,
-                        decode: cost,
-                        pin_wait: Duration::ZERO,
-                    })
+                    match self.load_claim(
+                        uri,
+                        &latch,
+                        policy.cancel.as_ref(),
+                        policy.tracer.as_deref(),
+                    ) {
+                        Ok((relation, cost)) => {
+                            owned_pins.push(uri.to_string());
+                            Ok(AcquiredChunk {
+                                relation,
+                                loaded: true,
+                                joined: false,
+                                decode: cost,
+                                pin_wait: Duration::ZERO,
+                                skipped: None,
+                            })
+                        }
+                        Err(e) => self.skip_or(policy.degradation, uri, e),
+                    }
                 }
                 t @ StreamTask::Joined(_) => {
-                    self.settle_acquired(uri, t, owned_pins, claimed_rels)
+                    self.settle_acquired(uri, t, policy, owned_pins, claimed_rels)
                 }
                 StreamTask::Retry(_) => unreachable!("classify_settled never returns Retry"),
             },
@@ -583,10 +667,7 @@ impl Cellar {
     /// the `pin_wait_ns` stat. Returns the latch outcome plus how long
     /// this caller actually waited (zero-ish when the load had already
     /// published).
-    fn wait_latch(
-        &self,
-        latch: &LoadLatch,
-    ) -> (Result<(Arc<Relation>, Duration), String>, Duration) {
+    fn wait_latch(&self, latch: &LoadLatch) -> (LatchOutcome, Duration) {
         let t = Instant::now();
         let outcome = latch.wait();
         let waited = t.elapsed();
@@ -671,13 +752,22 @@ impl Cellar {
         claims: &[(String, Arc<LoadLatch>)],
         policy: &SchedPolicy,
     ) -> Vec<DecodeOutcome> {
+        let cancel = policy.cancel.as_ref();
         run_indexed_policy(claims.len(), policy, &self.config.obs, |i| {
-            let t = Instant::now();
-            self.source_of(&claims[i].0)
-                .and_then(|s| {
-                    s.source.load_chunk(&claims[i].0, claims[i].1.projection.as_deref())
-                })
-                .map(|r| (r, t.elapsed()))
+            let (uri, latch) = &claims[i];
+            with_retries(
+                &self.config.retry,
+                cancel,
+                &self.config.obs,
+                policy.tracer.as_deref(),
+                uri,
+                || {
+                    let t = Instant::now();
+                    self.source_of(uri)
+                        .and_then(|s| s.source.load_chunk(uri, latch.projection.as_deref()))
+                        .map(|r| (r, t.elapsed()))
+                },
+            )
         })
     }
 
@@ -729,6 +819,30 @@ impl Cellar {
                 }
                 Err(e) => out[fi] = Err(e),
             }
+        }
+        // A chunk whose unit pass failed transiently is re-decoded
+        // whole (a consumed unit closure cannot be re-run); the retry
+        // budget applies to the reload exactly as on the static path.
+        for (fi, (uri, latch)) in claims.iter().enumerate() {
+            if self.config.retry.max_attempts <= 1 {
+                break;
+            }
+            if !matches!(&out[fi], Err(e) if e.kind() == ErrorKind::Transient) {
+                continue;
+            }
+            out[fi] = with_retries(
+                &self.config.retry,
+                policy.cancel.as_ref(),
+                &self.config.obs,
+                policy.tracer.as_deref(),
+                uri,
+                || {
+                    let t = Instant::now();
+                    self.source_of(uri)
+                        .and_then(|s| s.source.load_chunk(uri, latch.projection.as_deref()))
+                        .map(|r| (r, t.elapsed()))
+                },
+            );
         }
         out
     }
@@ -809,6 +923,8 @@ impl Cellar {
             sink,
             first_error: Mutex::new(None),
             cancel: policy.cancel.as_ref(),
+            degradation: policy.degradation,
+            tracer: policy.tracer.as_deref(),
             pin_ledger: AtomicI64::new(0),
         };
         let run = |&i: &usize| self.run_task(i, &uris[i], &tasks[i], &tctx);
@@ -906,12 +1022,16 @@ impl Cellar {
         &self,
         uri: &str,
         latch: &LoadLatch,
+        cancel: Option<&CancelToken>,
+        tracer: Option<&TraceCollector>,
     ) -> sommelier_engine::Result<(Arc<Relation>, Duration)> {
-        let t = Instant::now();
-        let outcome = self
-            .source_of(uri)
-            .and_then(|s| s.source.load_chunk(uri, latch.projection.as_deref()))
-            .map(|r| (r, t.elapsed()));
+        let outcome =
+            with_retries(&self.config.retry, cancel, &self.config.obs, tracer, uri, || {
+                let t = Instant::now();
+                self.source_of(uri)
+                    .and_then(|s| s.source.load_chunk(uri, latch.projection.as_deref()))
+                    .map(|r| (r, t.elapsed()))
+            });
         match outcome {
             Ok((relation, cost)) => {
                 let relation = Arc::new(relation);
@@ -933,7 +1053,8 @@ impl Cellar {
             }
             Err(e) => {
                 self.inner.lock().slots.remove(uri);
-                latch.publish(Err(e.to_string()));
+                latch.publish(Err((publish_kind(&e), e.to_string())));
+                self.note_load_failure(uri, &e);
                 Err(e)
             }
         }
@@ -946,10 +1067,55 @@ impl Cellar {
         &self,
         uri: &str,
         projection: Option<&[String]>,
+        cancel: Option<&CancelToken>,
     ) -> sommelier_engine::Result<Arc<Relation>> {
-        let rel = self.source_of(uri)?.source.load_chunk(uri, projection)?;
+        let rel =
+            with_retries(&self.config.retry, cancel, &self.config.obs, None, uri, || {
+                self.source_of(uri)?.source.load_chunk(uri, projection)
+            });
+        let rel = match rel {
+            Ok(r) => r,
+            Err(e) => {
+                self.note_load_failure(uri, &e);
+                return Err(e);
+            }
+        };
         self.stats.loads.fetch_add(1, Ordering::Relaxed);
         Ok(Arc::new(rel))
+    }
+
+    /// Record a load failure: a permanently unreadable chunk is
+    /// quarantined in its registry, so stage 1 of every later query
+    /// drops it up front without re-touching the file. Transient
+    /// failures and cancellations never quarantine.
+    fn note_load_failure(&self, uri: &str, e: &EngineError) {
+        if e.kind() == ErrorKind::Permanent && !matches!(e, EngineError::Cancelled { .. }) {
+            if let Ok(s) = self.source_of(uri) {
+                s.registry.quarantine(uri, e.to_string());
+            }
+        }
+    }
+
+    /// Resolve a load failure per the query's degradation policy:
+    /// under [`DegradationPolicy::SkipUnreadable`] the chunk becomes an
+    /// empty placeholder carrying the skip reason (schema-correct, so
+    /// stage 2 runs unchanged over the readable rest); under `Strict` —
+    /// and always for cancellations — the error surfaces.
+    fn skip_or(
+        &self,
+        degradation: DegradationPolicy,
+        uri: &str,
+        e: EngineError,
+    ) -> sommelier_engine::Result<AcquiredChunk> {
+        if degradation == DegradationPolicy::SkipUnreadable
+            && !matches!(e, EngineError::Cancelled { .. })
+        {
+            let descriptor = &self.source_of(uri)?.descriptor;
+            let placeholder = crate::source::empty_ad_relation(descriptor, None)?;
+            Ok(AcquiredChunk::skipped(Arc::new(placeholder), e.to_string()))
+        } else {
+            Err(e)
+        }
     }
 
     /// Admit a freshly decoded chunk as resident with one pin held by
@@ -1029,7 +1195,7 @@ impl Cellar {
                 held(1);
                 if !aborted() {
                     let t = Instant::now();
-                    match self.load_private(uri, tctx.projection) {
+                    match self.load_private(uri, tctx.projection, tctx.cancel) {
                         Ok(relation) => {
                             let chunk = AcquiredChunk {
                                 relation,
@@ -1037,6 +1203,7 @@ impl Cellar {
                                 joined: false,
                                 decode: t.elapsed(),
                                 pin_wait: Duration::ZERO,
+                                skipped: None,
                             };
                             if let Err(e) = (tctx.sink)(i, chunk) {
                                 record(e);
@@ -1048,26 +1215,40 @@ impl Cellar {
                 self.release_uris(&[uri]);
                 held(-1);
             }
-            StreamTask::Claimed(latch) => match self.load_claim(uri, latch) {
-                Ok((relation, cost)) => {
-                    held(1);
-                    if !aborted() {
-                        let chunk = AcquiredChunk {
-                            relation,
-                            loaded: true,
-                            joined: false,
-                            decode: cost,
-                            pin_wait: Duration::ZERO,
-                        };
-                        if let Err(e) = (tctx.sink)(i, chunk) {
-                            record(e);
+            StreamTask::Claimed(latch) => {
+                match self.load_claim(uri, latch, tctx.cancel, tctx.tracer) {
+                    Ok((relation, cost)) => {
+                        held(1);
+                        if !aborted() {
+                            let chunk = AcquiredChunk {
+                                relation,
+                                loaded: true,
+                                joined: false,
+                                decode: cost,
+                                pin_wait: Duration::ZERO,
+                                skipped: None,
+                            };
+                            if let Err(e) = (tctx.sink)(i, chunk) {
+                                record(e);
+                            }
                         }
+                        self.release_uris(&[uri]);
+                        held(-1);
                     }
-                    self.release_uris(&[uri]);
-                    held(-1);
+                    // A failed load holds no pin (its slot was withdrawn):
+                    // a skip sinks the placeholder, strict records.
+                    Err(e) => match self.skip_or(tctx.degradation, uri, e) {
+                        Ok(chunk) => {
+                            if !aborted() {
+                                if let Err(e) = (tctx.sink)(i, chunk) {
+                                    record(e);
+                                }
+                            }
+                        }
+                        Err(e) => record(e),
+                    },
                 }
-                Err(e) => record(e),
-            },
+            }
             StreamTask::Joined(latch) => {
                 if aborted() {
                     return;
@@ -1089,6 +1270,7 @@ impl Cellar {
                                 joined: true,
                                 decode: Duration::ZERO,
                                 pin_wait: waited,
+                                skipped: None,
                             };
                             if let Err(e) = (tctx.sink)(i, chunk) {
                                 record(e);
@@ -1097,10 +1279,35 @@ impl Cellar {
                         self.release_uris(&[uri]);
                         held(-1);
                     }
-                    (Err(msg), _) => {
-                        record(EngineError::Chunk(format!(
-                            "joined load of {uri:?} failed: {msg}"
-                        )));
+                    (Err((kind, msg)), _) => {
+                        if kind == ErrorKind::Transient {
+                            // The loader's failure was retryable (or
+                            // its query was cancelled); the slot was
+                            // withdrawn, so re-classify and re-attempt
+                            // with our own retry budget.
+                            match self.classify_settled(uri, tctx.projection) {
+                                StreamTask::Retry(_) => {
+                                    unreachable!("classify_settled is terminal")
+                                }
+                                settled => self.run_task(i, uri, &settled, tctx),
+                            }
+                        } else {
+                            let e = EngineError::ChunkLoad {
+                                uri: uri.to_string(),
+                                kind,
+                                message: format!("joined load failed: {msg}"),
+                            };
+                            match self.skip_or(tctx.degradation, uri, e) {
+                                Ok(chunk) => {
+                                    if !aborted() {
+                                        if let Err(e) = (tctx.sink)(i, chunk) {
+                                            record(e);
+                                        }
+                                    }
+                                }
+                                Err(e) => record(e),
+                            }
+                        }
                     }
                 }
             }
@@ -1351,6 +1558,11 @@ impl ChunkResidency for Cellar {
         matches!(self.inner.lock().slots.get(uri), Some(Slot::Resident(_)))
     }
 
+    fn quarantined(&self, uri: &str) -> Option<String> {
+        let &i = self.by_uri.get(uri)?;
+        self.sources[i].registry.quarantined(uri)
+    }
+
     fn acquire_many(
         &self,
         uris: &[String],
@@ -1416,6 +1628,10 @@ pub struct ScopedCellar {
 impl ChunkResidency for ScopedCellar {
     fn is_resident(&self, uri: &str) -> bool {
         self.cellar.is_resident(uri)
+    }
+
+    fn quarantined(&self, uri: &str) -> Option<String> {
+        ChunkResidency::quarantined(&*self.cellar, uri)
     }
 
     fn acquire_many(
@@ -1981,5 +2197,190 @@ mod tests {
             .unwrap();
         assert!(cellar.resident_bytes() > 0);
         scoped.release_many(&uris_b);
+    }
+
+    // ---- Fault tolerance ---------------------------------------------
+
+    use crate::fault::{io_retries, FaultInjector, FaultPlan};
+
+    /// Like [`binding`], but every decode is gated through a fault
+    /// injector executing `plan`.
+    fn binding_faulty(fx: &Fixture, plan: FaultPlan) -> (CellarSource, Arc<FaultInjector>) {
+        let injector = Arc::new(FaultInjector::new(plan));
+        let adapter: Arc<dyn SourceAdapter> = Arc::clone(&fx.adapter) as _;
+        let source = Arc::new(
+            AdapterChunkSource::new(
+                Arc::clone(&adapter),
+                Arc::clone(&fx.registry),
+                Arc::clone(&fx.db),
+                false,
+            )
+            .with_faults(Some(Arc::clone(&injector))),
+        );
+        let binding = CellarSource {
+            descriptor: Arc::new(fx.adapter.descriptor().clone()),
+            registry: Arc::clone(&fx.registry),
+            source,
+            dmd: Arc::clone(&fx.dmd),
+        };
+        (binding, injector)
+    }
+
+    fn faulty_cellar(fx: &Fixture, plan: FaultPlan, config: CellarConfig) -> Cellar {
+        let (binding, _) = binding_faulty(fx, plan);
+        Cellar::new(vec![binding], Arc::clone(&fx.db), config).unwrap()
+    }
+
+    #[test]
+    fn transient_faults_recover_via_retries_byte_identically() {
+        let fx = fixture("retry", 3, 32);
+        let all = uris(&fx);
+        let clean = cellar_over(&fx, CellarConfig::default());
+        let expect: Vec<usize> = clean
+            .acquire_many(&all, None, &SchedPolicy::new(ParallelMode::Static, 2))
+            .unwrap()
+            .iter()
+            .map(|a| a.relation.rows())
+            .collect();
+        clean.release_many(&all);
+        let before = io_retries();
+        let cellar = faulty_cellar(&fx, FaultPlan::transient(1.0), CellarConfig::default());
+        for mode in [ParallelMode::Static, ParallelMode::Exchange { workers: 2 }] {
+            let got = cellar.acquire_many(&all, None, &SchedPolicy::new(mode, 2)).unwrap();
+            let rows: Vec<usize> = got.iter().map(|a| a.relation.rows()).collect();
+            assert_eq!(rows, expect, "retried loads decode the same data");
+            assert!(got.iter().all(|a| a.skipped.is_none()));
+            cellar.release_many(&all);
+            cellar.clear();
+        }
+        assert!(io_retries() > before, "transient faults were retried");
+        assert_eq!(cellar.total_pins(), 0);
+    }
+
+    #[test]
+    fn failed_load_does_not_poison_later_queries() {
+        // Retries disabled: the first acquisition surfaces the injected
+        // transient error. The latch must not stay poisoned — the very
+        // next acquisition re-attempts and succeeds.
+        let fx = fixture("poison", 1, 16);
+        let all = uris(&fx);
+        let plan = FaultPlan { max_transient_per_chunk: 1, ..FaultPlan::transient(1.0) };
+        let cellar = faulty_cellar(
+            &fx,
+            plan,
+            CellarConfig { retry: RetryPolicy::none(), ..CellarConfig::default() },
+        );
+        let policy = SchedPolicy::new(ParallelMode::Static, 1);
+        let err = cellar.acquire_many(&all, None, &policy).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Transient, "{err}");
+        assert!(err.to_string().contains(&all[0]), "{err}");
+        assert_eq!(cellar.total_pins(), 0, "failed acquisition leaked pins");
+        assert!(
+            ChunkResidency::quarantined(&cellar, &all[0]).is_none(),
+            "transient failures never quarantine"
+        );
+        let got = cellar.acquire_many(&all, None, &policy).unwrap();
+        assert_eq!(got.len(), 1);
+        assert!(got[0].loaded && got[0].skipped.is_none());
+        cellar.release_many(&all);
+    }
+
+    #[test]
+    fn permanent_failure_quarantines_strict_skip_substitutes() {
+        let fx = fixture("quarantine", 2, 16);
+        let all = uris(&fx);
+        let plan = FaultPlan { corrupt_uris: vec![all[0].clone()], ..FaultPlan::default() };
+        let cellar = faulty_cellar(&fx, plan, CellarConfig::default());
+        // Strict: the typed error names the chunk, and the chunk lands
+        // in quarantine.
+        let err = cellar
+            .acquire_many(&all, None, &SchedPolicy::new(ParallelMode::Static, 2))
+            .unwrap_err();
+        assert!(
+            matches!(&err, EngineError::ChunkLoad { uri, .. } if *uri == all[0]),
+            "{err}"
+        );
+        assert_eq!(err.kind(), ErrorKind::Permanent);
+        assert_eq!(cellar.total_pins(), 0);
+        let reason = ChunkResidency::quarantined(&cellar, &all[0]).expect("quarantined");
+        assert!(reason.contains("bad magic"), "{reason}");
+        assert!(ChunkResidency::quarantined(&cellar, &all[1]).is_none());
+        // Skip mode: the batch completes, the corrupt chunk becomes a
+        // schema-correct empty placeholder carrying the reason.
+        let mut policy = SchedPolicy::new(ParallelMode::Static, 2);
+        policy.degradation = DegradationPolicy::SkipUnreadable;
+        let got = cellar.acquire_many(&all, None, &policy).unwrap();
+        assert_eq!(got.len(), 2);
+        assert!(got[0].skipped.as_deref().unwrap().contains("bad magic"));
+        assert_eq!(got[0].relation.rows(), 0);
+        assert!(got[1].skipped.is_none() && got[1].relation.rows() > 0);
+        // Only the readable chunk took a pin.
+        cellar.release_many(&all[1..]);
+        assert_eq!(cellar.total_pins(), 0);
+    }
+
+    #[test]
+    fn streaming_skip_mode_sinks_placeholder_and_leaks_no_pins() {
+        let fx = fixture("stream-skip", 3, 16);
+        let all = uris(&fx);
+        let plan = FaultPlan { corrupt_uris: vec![all[1].clone()], ..FaultPlan::default() };
+        let cellar = faulty_cellar(&fx, plan, CellarConfig::default());
+        let mut policy = SchedPolicy::new(ParallelMode::Static, 2);
+        policy.degradation = DegradationPolicy::SkipUnreadable;
+        let skipped = Mutex::new(Vec::new());
+        let sink = |i: usize, chunk: AcquiredChunk| {
+            if let Some(reason) = &chunk.skipped {
+                skipped.lock().push((i, reason.clone()));
+                assert_eq!(chunk.relation.rows(), 0);
+            } else {
+                assert!(chunk.relation.rows() > 0);
+            }
+            Ok(())
+        };
+        cellar.acquire_each(&all, None, &policy, &sink).unwrap();
+        let skipped = skipped.into_inner();
+        assert_eq!(skipped.len(), 1);
+        assert_eq!(skipped[0].0, 1, "slot 1 carries the skip");
+        assert!(skipped[0].1.contains("bad magic"));
+        assert_eq!(cellar.total_pins(), 0);
+        assert!(ChunkResidency::quarantined(&cellar, &all[1]).is_some());
+    }
+
+    #[test]
+    fn cancellation_during_backoff_leaves_zero_pins() {
+        let fx = fixture("cancel-backoff", 2, 16);
+        let all = uris(&fx);
+        // Endless transient faults + a generous retry budget with long
+        // backoffs: the wave sits in backoff sleeps until the token
+        // fires. Cancellation must interrupt the retry loop and leave
+        // no pinned chunks behind.
+        let plan =
+            FaultPlan { max_transient_per_chunk: u32::MAX, ..FaultPlan::transient(1.0) };
+        let retry = RetryPolicy {
+            max_attempts: 1_000,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(5),
+        };
+        let cellar =
+            faulty_cellar(&fx, plan, CellarConfig { retry, ..CellarConfig::default() });
+        let token = CancelToken::new();
+        let mut policy = SchedPolicy::new(ParallelMode::Static, 1);
+        policy.cancel = Some(token.clone());
+        let canceller = {
+            let token = token.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(25));
+                token.cancel();
+            })
+        };
+        let sink = |_i: usize, _chunk: AcquiredChunk| Ok(());
+        let err = cellar.acquire_each(&all, None, &policy, &sink).unwrap_err();
+        canceller.join().unwrap();
+        assert!(matches!(err, EngineError::Cancelled { .. }), "{err}");
+        assert_eq!(cellar.total_pins(), 0, "cancelled wave leaked pins");
+        assert!(
+            ChunkResidency::quarantined(&cellar, &all[0]).is_none(),
+            "cancellation never quarantines"
+        );
     }
 }

@@ -7,7 +7,9 @@
 //! happens behind the [`crate::source::SourceAdapter`] the source was
 //! registered with.
 
+use crate::fault::FaultInjector;
 use crate::source::SourceAdapter;
+use parking_lot::Mutex;
 use sommelier_engine::obs::metrics::Counter;
 use sommelier_engine::optimizer::zone_conjunct_contradicted;
 use sommelier_engine::twostage::{ChunkSource, ChunkUnit};
@@ -430,6 +432,11 @@ pub struct ChunkRegistry {
     /// Shared URI per entry, interned once so candidate answers cost a
     /// refcount bump per hit instead of a `String` allocation.
     uri_arcs: Vec<Arc<str>>,
+    /// Chunks found permanently unreadable (uri → reason). Stage 1
+    /// consults this before scheduling decodes, so a quarantined
+    /// chunk's file is never touched again until the registry is
+    /// rebuilt (the next `prepare`).
+    quarantined: Mutex<HashMap<String, String>>,
 }
 
 impl ChunkRegistry {
@@ -440,7 +447,29 @@ impl ChunkRegistry {
         let uri_arcs: Vec<Arc<str>> =
             entries.iter().map(|e| Arc::<str>::from(e.uri.as_str())).collect();
         let by_uri = uri_arcs.iter().enumerate().map(|(i, u)| (Arc::clone(u), i)).collect();
-        ChunkRegistry { entries, by_uri, zone_index, uri_arcs }
+        ChunkRegistry {
+            entries,
+            by_uri,
+            zone_index,
+            uri_arcs,
+            quarantined: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Record a chunk as permanently unreadable. Idempotent (the first
+    /// reason wins).
+    pub fn quarantine(&self, uri: &str, reason: impl Into<String>) {
+        self.quarantined.lock().entry(uri.to_string()).or_insert_with(|| reason.into());
+    }
+
+    /// The quarantine reason of a chunk, if it is quarantined.
+    pub fn quarantined(&self, uri: &str) -> Option<String> {
+        self.quarantined.lock().get(uri).cloned()
+    }
+
+    /// How many chunks are quarantined.
+    pub fn quarantined_count(&self) -> usize {
+        self.quarantined.lock().len()
     }
 
     /// Look up a chunk by URI.
@@ -557,6 +586,9 @@ pub struct AdapterChunkSource {
     /// Decode counters, present when built [`Self::with_obs`] at a
     /// counting level.
     counters: Option<DecodeCounters>,
+    /// Deterministic fault injection at the decode seam (see
+    /// [`crate::FaultPlan`]); `None` in production.
+    faults: Option<Arc<FaultInjector>>,
 }
 
 impl AdapterChunkSource {
@@ -567,7 +599,22 @@ impl AdapterChunkSource {
         db: Arc<Database>,
         verify_fk: bool,
     ) -> Self {
-        AdapterChunkSource { adapter, registry, db, verify_fk, sim_io: None, counters: None }
+        AdapterChunkSource {
+            adapter,
+            registry,
+            db,
+            verify_fk,
+            sim_io: None,
+            counters: None,
+            faults: None,
+        }
+    }
+
+    /// Gate every decode attempt through a shared [`FaultInjector`]
+    /// (tests and benches; default off).
+    pub fn with_faults(mut self, faults: Option<Arc<FaultInjector>>) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// Charge a simulated repository-read latency on every chunk decode
@@ -638,6 +685,9 @@ impl ChunkSource for AdapterChunkSource {
         projection: Option<&[String]>,
     ) -> sommelier_engine::Result<Relation> {
         self.charge_sim_io(uri);
+        if let Some(f) = &self.faults {
+            f.before_load(uri)?;
+        }
         let t = Instant::now();
         let rel = self.adapter.decode(self.entry(uri)?, projection)?;
         self.verify(&rel)?;
@@ -654,6 +704,22 @@ impl ChunkSource for AdapterChunkSource {
         projection: Option<&[String]>,
     ) -> sommelier_engine::Result<Vec<ChunkUnit<'s>>> {
         let mut units = self.adapter.chunk_units(self.entry(uri)?, projection)?;
+        // Fault injection gates each unit on the worker that runs it
+        // (same seam as the whole-chunk path: the fault fires where the
+        // read would).
+        if self.faults.is_some() {
+            let uri = uri.to_string();
+            units = units
+                .into_iter()
+                .map(|unit| -> ChunkUnit<'s> {
+                    let uri = uri.clone();
+                    Box::new(move || {
+                        self.faults.as_ref().expect("checked above").before_load(&uri)?;
+                        unit()
+                    })
+                })
+                .collect();
+        }
         // Exchange-mode decoding must pay the same simulated medium as
         // whole-chunk loads: split the chunk's read latency over its
         // units at nanosecond granularity (one unit pays the division

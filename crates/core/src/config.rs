@@ -1,6 +1,7 @@
 //! System configuration.
 
 use crate::cellar::CellarPolicyKind;
+use crate::fault::{FaultPlan, RetryPolicy};
 use sommelier_engine::{ObsLevel, ParallelMode};
 use sommelier_storage::buffer::SimIo;
 
@@ -76,6 +77,16 @@ pub struct SommelierConfig {
     /// Admission control: queries queued beyond this limit are rejected
     /// with a typed "overloaded" error instead of waiting.
     pub admission_queue_limit: usize,
+    /// Deterministic fault injection at the chunk-decode seam (default
+    /// off — `None`). The fault-tolerance analogue of
+    /// [`Self::sim_chunk_io`]: tests and benches use it to make
+    /// transient IO errors, corrupt payloads, truncated reads, and
+    /// latency spikes reproducible.
+    pub fault_plan: Option<FaultPlan>,
+    /// Retry budget for transient chunk-IO failures (bounded
+    /// exponential backoff; applied by the cellar around every chunk
+    /// decode).
+    pub io_retry: RetryPolicy,
 }
 
 impl SommelierConfig {
@@ -106,6 +117,8 @@ impl Default for SommelierConfig {
             admission_max_concurrent: 32,
             admission_high_water: 1.0,
             admission_queue_limit: 1024,
+            fault_plan: None,
+            io_retry: RetryPolicy::default(),
         }
     }
 }
@@ -129,5 +142,7 @@ mod tests {
         assert!(c.admission_max_concurrent > 0);
         assert!(c.admission_high_water > 0.0);
         assert!(c.admission_queue_limit > 0);
+        assert!(c.fault_plan.is_none(), "fault injection is off by default");
+        assert!(c.io_retry.max_attempts > 1, "transient failures retry by default");
     }
 }

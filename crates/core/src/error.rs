@@ -2,7 +2,7 @@
 
 use sommelier_engine::EngineError;
 use sommelier_sql::SqlError;
-use sommelier_storage::StorageError;
+use sommelier_storage::{ErrorKind, StorageError};
 use std::fmt;
 
 /// Result alias for the core crate.
@@ -23,6 +23,23 @@ pub enum SommelierError {
     /// Admission control rejected the query: the queue is at its
     /// configured limit (see `SommelierConfig::admission_queue_limit`).
     Overloaded(String),
+}
+
+impl SommelierError {
+    /// Transient / permanent classification (the retry taxonomy):
+    /// transient errors are worth re-attempting, permanent ones are
+    /// not. Sql / usage / admission errors are all permanent — retrying
+    /// an unchanged query cannot fix them.
+    pub fn kind(&self) -> ErrorKind {
+        match self {
+            SommelierError::Storage(e) => e.kind(),
+            SommelierError::Engine(e) => e.kind(),
+            SommelierError::Sql(_)
+            | SommelierError::Adapter(_)
+            | SommelierError::Usage(_)
+            | SommelierError::Overloaded(_) => ErrorKind::Permanent,
+        }
+    }
 }
 
 impl fmt::Display for SommelierError {
@@ -79,5 +96,18 @@ mod tests {
         assert!(e.to_string().contains('y'));
         let e = SommelierError::Usage("wrong mode".into());
         assert!(e.to_string().contains("wrong mode"));
+    }
+
+    #[test]
+    fn kind_classification() {
+        let transient: SommelierError = EngineError::ChunkLoad {
+            uri: "u".into(),
+            kind: ErrorKind::Transient,
+            message: "io".into(),
+        }
+        .into();
+        assert_eq!(transient.kind(), ErrorKind::Transient);
+        assert_eq!(SommelierError::Usage("x".into()).kind(), ErrorKind::Permanent);
+        assert_eq!(SommelierError::Overloaded("x".into()).kind(), ErrorKind::Permanent);
     }
 }

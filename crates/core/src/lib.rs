@@ -49,6 +49,7 @@ pub mod chunks;
 pub mod config;
 pub mod dmd;
 pub mod error;
+pub mod fault;
 pub mod loader;
 pub mod query;
 pub mod registrar;
@@ -57,10 +58,16 @@ pub mod source;
 pub use admission::{AdmissionController, AdmissionError, AdmissionStats, AdmissionTicket};
 pub use config::SommelierConfig;
 pub use error::{Result, SommelierError};
+pub use fault::{FaultCounts, FaultInjector, FaultPlan, RetryPolicy};
 pub use loader::{LoadingMode, PrepReport};
 pub use query::QueryType;
-pub use sommelier_engine::sched::{CancelToken, MorselScheduler, Priority, SchedStats};
-pub use sommelier_engine::{MetricsRegistry, MetricsSnapshot, ObsLevel, SpanTrace};
+pub use sommelier_engine::sched::{
+    CancelToken, DegradationPolicy, MorselScheduler, Priority, SchedStats,
+};
+pub use sommelier_engine::twostage::SkippedChunk;
+pub use sommelier_engine::{
+    ErrorKind, MetricsRegistry, MetricsSnapshot, ObsLevel, SpanTrace,
+};
 pub use source::{
     DmdAgg, DmdDim, DmdSpec, InferenceRule, SourceAdapter, SourceDescriptor, UnitTableSpec,
 };
@@ -82,6 +89,7 @@ use sommelier_storage::buffer::BufferPoolConfig;
 use sommelier_storage::catalog::Disposition;
 use sommelier_storage::Database;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -92,6 +100,46 @@ const MODE_FILE: &str = "sommelier.mode";
 /// Name of the sidecar file that persists the registrar's per-chunk
 /// zone maps across restarts (the metadata tables do not carry them).
 const ZONES_FILE: &str = "sommelier.zones";
+
+/// Prefix of the trailing checksum line [`write_sidecar_atomic`]
+/// appends to every sidecar it writes.
+const CHECKSUM_MARKER: &str = "#somm-checksum ";
+
+/// Write a sidecar file atomically — tmp + rename, the catalog's
+/// publish idiom — with a trailing FNV-1a checksum line so a torn or
+/// bit-rotted file is detected on read and rebuilt instead of trusted.
+fn write_sidecar_atomic(path: &Path, payload: &str) -> Result<()> {
+    let body = format!("{payload}\n{CHECKSUM_MARKER}{:016x}\n", fnv1a(payload.as_bytes()));
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, body)
+        .map_err(|e| SommelierError::Usage(format!("writing sidecar {path:?}: {e}")))?;
+    std::fs::rename(&tmp, path)
+        .map_err(|e| SommelierError::Usage(format!("publishing sidecar {path:?}: {e}")))
+}
+
+/// Read a sidecar written by [`write_sidecar_atomic`], verifying its
+/// checksum line. Returns `None` — treat the file as missing — when it
+/// does not exist or the checksum mismatches. Files from versions
+/// before checksumming lack the marker and are accepted as-is.
+fn read_sidecar(path: &Path) -> Option<String> {
+    let text = std::fs::read_to_string(path).ok()?;
+    match text.rsplit_once(&format!("\n{CHECKSUM_MARKER}")) {
+        None => Some(text),
+        Some((payload, sum)) => {
+            let expect = u64::from_str_radix(sum.trim(), 16).ok()?;
+            (fnv1a(payload.as_bytes()) == expect).then(|| payload.to_string())
+        }
+    }
+}
+
+/// FNV-1a, enough to catch torn writes and bit rot in small sidecars.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
 
 /// A query result: the relation plus everything the experiments report.
 #[derive(Debug)]
@@ -108,6 +156,20 @@ pub struct QueryResult {
     /// [`sommelier_engine::ObsLevel::Spans`] (or the query came through
     /// [`Sommelier::explain_analyze`], which forces it).
     pub span_trace: Option<SpanTrace>,
+    /// Present when the query ran under
+    /// [`DegradationPolicy::SkipUnreadable`] and at least one chunk was
+    /// skipped: the answer covers only the readable chunks.
+    pub degraded: Option<DegradedReport>,
+}
+
+/// Partial-results report of a degraded query (see
+/// [`QueryOptions::degradation`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegradedReport {
+    /// URIs of the chunks the query skipped.
+    pub skipped_chunks: Vec<String>,
+    /// Why each chunk was skipped, aligned with `skipped_chunks`.
+    pub reasons: Vec<String>,
 }
 
 /// Per-query execution options for [`Sommelier::query_opts`] (the
@@ -129,6 +191,10 @@ pub struct QueryOptions {
     /// with a timed-out `Cancelled` error. Combines with `cancel` (the
     /// deadline is installed on the given token).
     pub timeout: Option<Duration>,
+    /// What to do with chunks that cannot be read even after retries:
+    /// fail the query (`Strict`, default) or complete over the
+    /// readable rest and report the skips ([`QueryResult::degraded`]).
+    pub degradation: DegradationPolicy,
 }
 
 /// One registered source, alive for the system's lifetime.
@@ -281,6 +347,8 @@ impl SommelierBuilder {
             self.config.admission_max_concurrent,
             self.config.admission_queue_limit,
         );
+        let fault_injector =
+            self.config.fault_plan.clone().map(|plan| Arc::new(FaultInjector::new(plan)));
         let somm = Sommelier {
             db: Arc::new(db),
             config: self.config,
@@ -292,6 +360,8 @@ impl SommelierBuilder {
             metrics: Arc::new(MetricsRegistry::new()),
             scheduler,
             admission,
+            fault_injector,
+            queries_degraded: AtomicU64::new(0),
         };
         if opened {
             somm.restore_on_open()?;
@@ -336,6 +406,13 @@ pub struct Sommelier {
     /// otherwise a queued parent waiting on its own child would
     /// deadlock).
     admission: AdmissionController,
+    /// Deterministic fault injector, threaded into every chunk source
+    /// the cellar builds. `None` (the default) means the decode path
+    /// is exactly the fault-free hot path.
+    fault_injector: Option<Arc<FaultInjector>>,
+    /// How many queries completed degraded (skipped at least one
+    /// unreadable chunk under `SkipUnreadable`).
+    queries_degraded: AtomicU64,
 }
 
 /// A compiled query, ready to plan: routed to its source, classified,
@@ -436,8 +513,7 @@ impl Sommelier {
                 }
             }
         }
-        std::fs::write(dir.join(ZONES_FILE), out)
-            .map_err(|e| SommelierError::Usage(format!("persisting zone maps: {e}")))
+        write_sidecar_atomic(&dir.join(ZONES_FILE), &out)
     }
 
     /// Read the zone-map sidecar back, keyed by chunk URI. Missing or
@@ -446,7 +522,7 @@ impl Sommelier {
         use sommelier_storage::Value;
         let mut map: std::collections::HashMap<String, Vec<ColumnZone>> = Default::default();
         let Some(dir) = &self.db_dir else { return map };
-        let Ok(text) = std::fs::read_to_string(dir.join(ZONES_FILE)) else { return map };
+        let Some(text) = read_sidecar(&dir.join(ZONES_FILE)) else { return map };
         for line in text.lines() {
             let parts: Vec<&str> = line.split('\t').collect();
             let [uri, column, tag, min, max] = parts.as_slice() else { continue };
@@ -470,15 +546,13 @@ impl Sommelier {
 
     fn read_persisted_mode(&self) -> Option<LoadingMode> {
         let dir = self.db_dir.as_ref()?;
-        let text = std::fs::read_to_string(dir.join(MODE_FILE)).ok()?;
+        let text = read_sidecar(&dir.join(MODE_FILE))?;
         LoadingMode::from_label(text.trim())
     }
 
     fn persist_mode(&self, mode: LoadingMode) -> Result<()> {
         if let Some(dir) = &self.db_dir {
-            std::fs::write(dir.join(MODE_FILE), mode.label()).map_err(|e| {
-                SommelierError::Usage(format!("persisting loading mode: {e}"))
-            })?;
+            write_sidecar_atomic(&dir.join(MODE_FILE), mode.label())?;
         }
         Ok(())
     }
@@ -550,6 +624,7 @@ impl Sommelier {
                             relation: r.relation,
                             stats: r.stats,
                             trace: r.trace,
+                            skipped: Vec::new(),
                         })
                     })?;
                 }
@@ -583,7 +658,8 @@ impl Sommelier {
                         self.config.verify_lazy_fk,
                     )
                     .with_sim_io(self.config.sim_chunk_io)
-                    .with_obs(&obs),
+                    .with_obs(&obs)
+                    .with_faults(self.fault_injector.clone()),
                 );
                 CellarSource {
                     descriptor: Arc::clone(&s.descriptor),
@@ -601,6 +677,7 @@ impl Sommelier {
                 policy: self.config.cellar_policy,
                 retain: self.config.use_recycler,
                 obs,
+                retry: self.config.io_retry,
             },
         )?))
     }
@@ -675,6 +752,7 @@ impl Sommelier {
             scheduler: self.scheduler.clone(),
             priority: Priority::Normal,
             cancel: None,
+            degradation: DegradationPolicy::default(),
         }
     }
 
@@ -806,6 +884,7 @@ impl Sommelier {
                         relation: r.relation,
                         stats: r.stats,
                         trace: r.trace,
+                        skipped: Vec::new(),
                     })
                 },
             )?)
@@ -868,6 +947,7 @@ impl Sommelier {
         ts_config.obs = obs;
         ts_config.priority = opts.priority;
         ts_config.cancel = cancel;
+        ts_config.degradation = opts.degradation;
         let scoped = cellar.scoped(compiled.source_idx);
         let access = if mode == LoadingMode::Lazy {
             ChunkAccess::Managed(&scoped)
@@ -895,6 +975,15 @@ impl Sommelier {
             tc.set_ambient(None);
             tc.finish()
         });
+        let degraded = if outcome.skipped.is_empty() {
+            None
+        } else {
+            self.queries_degraded.fetch_add(1, Ordering::Relaxed);
+            Some(DegradedReport {
+                skipped_chunks: outcome.skipped.iter().map(|s| s.uri.clone()).collect(),
+                reasons: outcome.skipped.iter().map(|s| s.reason.clone()).collect(),
+            })
+        };
         Ok(QueryResult {
             relation: outcome.relation,
             stats,
@@ -902,6 +991,7 @@ impl Sommelier {
             dmd: dmd_outcome,
             trace,
             span_trace,
+            degraded,
         })
     }
 
@@ -1072,15 +1162,23 @@ impl Sommelier {
             fmt_ns(stats.total().as_nanos() as u64),
         ));
         out.push_str(&format!(
-            "-- chunks: {} selected = {} pruned + {} sampled out + {} loaded + {} cache hits; \
-             {} rows out\n",
+            "-- chunks: {} selected = {} pruned + {} sampled out + {} loaded + {} cache hits \
+             + {} skipped; {} rows out\n",
             stats.files_selected,
             stats.files_pruned,
             stats.files_sampled_out,
             stats.files_loaded,
             stats.cache_hits,
+            stats.files_skipped,
             result.relation.rows(),
         ));
+        if let Some(d) = &result.degraded {
+            out.push_str(&format!(
+                "-- DEGRADED: skipped {} unreadable chunk(s): {}\n",
+                d.skipped_chunks.len(),
+                d.skipped_chunks.join(", "),
+            ));
+        }
         Ok(out)
     }
 
@@ -1130,6 +1228,21 @@ impl Sommelier {
         self.metrics.counter("admission.queue_wait_ns").store(a.queue_wait_ns);
         self.metrics.gauge("admission.running").set(a.running);
         self.metrics.gauge("admission.queue_depth").set(a.queue_depth);
+        // `fault.io_retries` is process-global (like the decode arena
+        // counters); the rest are per instance.
+        self.metrics.counter("fault.io_retries").store(fault::io_retries());
+        self.metrics
+            .counter("fault.faults_injected")
+            .store(self.fault_injector.as_ref().map_or(0, |f| f.injected().errors()));
+        let quarantined: usize = self
+            .prepared
+            .lock()
+            .as_ref()
+            .map_or(0, |p| p.registries.iter().map(|r| r.quarantined_count()).sum());
+        self.metrics.counter("fault.chunks_quarantined").store(quarantined as u64);
+        self.metrics
+            .counter("fault.queries_degraded")
+            .store(self.queries_degraded.load(Ordering::Relaxed));
         self.metrics.snapshot()
     }
 
@@ -1162,6 +1275,29 @@ impl Sommelier {
     /// The chunk residency manager, once prepared.
     pub fn cellar(&self) -> Option<Arc<Cellar>> {
         self.prepared.lock().as_ref().map(|p| Arc::clone(&p.cellar))
+    }
+
+    /// Injected-fault counters, when fault injection is configured
+    /// ([`SommelierConfig::fault_plan`]).
+    pub fn fault_counts(&self) -> Option<FaultCounts> {
+        self.fault_injector.as_ref().map(|f| f.injected())
+    }
+
+    /// Every quarantined chunk as `(uri, reason)`, across sources.
+    /// Quarantined chunks are excluded from stage 1's chunk selection
+    /// until the system is re-prepared.
+    pub fn quarantined_chunks(&self) -> Vec<(String, String)> {
+        self.prepared.lock().as_ref().map_or_else(Vec::new, |p| {
+            p.registries
+                .iter()
+                .flat_map(|r| {
+                    r.entries()
+                        .iter()
+                        .filter_map(|e| r.quarantined(&e.uri).map(|why| (e.uri.clone(), why)))
+                        .collect::<Vec<_>>()
+                })
+                .collect()
+        })
     }
 
     /// The DMd bookkeeping of the first source with derived metadata
@@ -1277,6 +1413,30 @@ mod tests {
     #[test]
     fn builder_requires_a_source() {
         assert!(matches!(Sommelier::builder().build(), Err(SommelierError::Usage(_))));
+    }
+
+    #[test]
+    fn sidecar_roundtrip_detects_corruption_accepts_legacy() {
+        let dir = std::env::temp_dir().join(format!(
+            "somm-sidecar-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("x.sidecar");
+        write_sidecar_atomic(&p, "hello\nworld\n").unwrap();
+        assert_eq!(read_sidecar(&p).as_deref(), Some("hello\nworld\n"));
+        assert!(!p.with_extension("tmp").exists(), "tmp is renamed away");
+        // A torn / bit-rotted payload is detected and treated as missing.
+        let rotted = std::fs::read_to_string(&p).unwrap().replace("world", "w0rld");
+        std::fs::write(&p, rotted).unwrap();
+        assert_eq!(read_sidecar(&p), None);
+        // Sidecars from versions before checksumming are accepted as-is.
+        std::fs::write(&p, "legacy\n").unwrap();
+        assert_eq!(read_sidecar(&p).as_deref(), Some("legacy\n"));
+        assert_eq!(read_sidecar(&dir.join("absent")), None);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -3,6 +3,8 @@
 use sommelier_storage::StorageError;
 use std::fmt;
 
+pub use sommelier_storage::ErrorKind;
+
 /// Result alias for the engine crate.
 pub type Result<T> = std::result::Result<T, EngineError>;
 
@@ -19,12 +21,46 @@ pub enum EngineError {
     Exec(String),
     /// Chunk ingestion failed (lazy loading).
     Chunk(String),
+    /// A specific chunk failed to load, with its retry classification.
+    /// The payload is plain data (no `io::Error` source) so the
+    /// cellar's single-flight latches can clone it to every waiter.
+    ChunkLoad {
+        /// URI of the chunk that failed.
+        uri: String,
+        /// Whether a retry could succeed.
+        kind: ErrorKind,
+        /// Human-readable cause.
+        message: String,
+    },
     /// The query was cancelled (explicitly, or by a blown deadline when
     /// `timed_out` is true) at a chunk-pipeline boundary.
     Cancelled {
         /// True when a deadline fired rather than an explicit cancel.
         timed_out: bool,
     },
+}
+
+impl EngineError {
+    /// Retry classification. Cancellation is never retried (it is not
+    /// a failure of the work, but a withdrawal of the request); errors
+    /// without an explicit classification are permanent.
+    pub fn kind(&self) -> ErrorKind {
+        match self {
+            EngineError::Storage(e) => e.kind(),
+            EngineError::ChunkLoad { kind, .. } => *kind,
+            _ => ErrorKind::Permanent,
+        }
+    }
+
+    /// Build a [`EngineError::ChunkLoad`] that preserves the retry
+    /// classification of an underlying engine error.
+    pub fn chunk_load(uri: impl Into<String>, cause: &EngineError) -> EngineError {
+        EngineError::ChunkLoad {
+            uri: uri.into(),
+            kind: cause.kind(),
+            message: cause.to_string(),
+        }
+    }
 }
 
 impl fmt::Display for EngineError {
@@ -35,6 +71,13 @@ impl fmt::Display for EngineError {
             EngineError::Plan(m) => write!(f, "plan error: {m}"),
             EngineError::Exec(m) => write!(f, "execution error: {m}"),
             EngineError::Chunk(m) => write!(f, "chunk access error: {m}"),
+            EngineError::ChunkLoad { uri, kind, message } => {
+                let k = match kind {
+                    ErrorKind::Transient => "transient",
+                    ErrorKind::Permanent => "permanent",
+                };
+                write!(f, "chunk {uri:?} failed to load ({k}): {message}")
+            }
             EngineError::Cancelled { timed_out: true } => write!(f, "query timed out"),
             EngineError::Cancelled { timed_out: false } => write!(f, "query cancelled"),
         }
@@ -68,5 +111,25 @@ mod tests {
         assert!(e.source().is_none());
         let e: EngineError = StorageError::Schema("x".into()).into();
         assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn chunk_load_names_the_chunk_and_classifies() {
+        let e = EngineError::ChunkLoad {
+            uri: "day-3.log".into(),
+            kind: ErrorKind::Permanent,
+            message: "bad magic".into(),
+        };
+        assert_eq!(e.kind(), ErrorKind::Permanent);
+        let s = e.to_string();
+        assert!(s.contains("day-3.log"), "{s}");
+        assert!(s.contains("permanent"), "{s}");
+        assert_eq!(EngineError::Cancelled { timed_out: false }.kind(), ErrorKind::Permanent);
+        let io = StorageError::io(
+            "read",
+            std::io::Error::new(std::io::ErrorKind::Interrupted, "eintr"),
+        );
+        let wrapped = EngineError::chunk_load("c.log", &EngineError::Storage(io));
+        assert_eq!(wrapped.kind(), ErrorKind::Transient);
     }
 }

@@ -99,6 +99,8 @@ impl<'a> ExecContext<'a> {
             scheduler: self.scheduler.clone(),
             priority: self.priority,
             cancel: self.cancel.clone(),
+            degradation: Default::default(),
+            tracer: self.obs.tracer().cloned(),
         }
     }
 }

@@ -50,7 +50,7 @@ pub mod sort;
 pub mod spec;
 pub mod twostage;
 
-pub use error::{EngineError, Result};
+pub use error::{EngineError, ErrorKind, Result};
 pub use expr::{AggFunc, CmpOp, Expr, Func};
 pub use logical::LogicalPlan;
 pub use obs::{MetricsRegistry, MetricsSnapshot, Obs, ObsLevel, SpanTrace, TraceCollector};
@@ -58,9 +58,11 @@ pub use optimizer::{ColumnZone, PassTrace, ZoneCandidates, ZoneConstraint};
 pub use physical::{fuse_partial_agg, PhysicalPlan};
 pub use recycler::Recycler;
 pub use relation::{Relation, RelationBuilder};
-pub use sched::{CancelToken, MorselScheduler, Priority, SchedPolicy, SchedStats};
+pub use sched::{
+    CancelToken, DegradationPolicy, MorselScheduler, Priority, SchedPolicy, SchedStats,
+};
 pub use spec::{JoinEdge, QuerySpec, TableRef};
 pub use twostage::{
     AcquiredChunk, ChunkAccess, ChunkResidency, ChunkSink, ChunkSource, ExecStats,
-    ParallelMode, TwoStageConfig,
+    ParallelMode, SkippedChunk, TwoStageConfig,
 };

@@ -47,6 +47,24 @@ pub enum Priority {
 }
 
 // ---------------------------------------------------------------------
+// DegradationPolicy
+
+/// What a query does when a chunk cannot be read at all (permanent
+/// decode failure, or a transient one that exhausted its retry
+/// budget).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum DegradationPolicy {
+    /// Fail the query with a typed [`EngineError::ChunkLoad`] naming
+    /// the chunk. The default: correctness over availability.
+    #[default]
+    Strict,
+    /// Complete the query over the readable chunks and report the
+    /// skipped ones (`QueryOutcome::degraded`). Availability over
+    /// completeness — the answer is a correct subset.
+    SkipUnreadable,
+}
+
+// ---------------------------------------------------------------------
 // CancelToken
 
 #[derive(Debug, Default)]
@@ -140,6 +158,13 @@ pub struct SchedPolicy {
     pub priority: Priority,
     /// Cooperative cancellation for the owning query.
     pub cancel: Option<CancelToken>,
+    /// What to do with chunks that cannot be read (see
+    /// [`DegradationPolicy`]).
+    pub degradation: DegradationPolicy,
+    /// The owning query's span collector, when spans are on — lets a
+    /// residency provider parent its load-time spans (e.g. IO retries)
+    /// under the query's load span.
+    pub tracer: Option<Arc<crate::obs::span::TraceCollector>>,
 }
 
 impl SchedPolicy {

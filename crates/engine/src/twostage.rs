@@ -31,6 +31,7 @@
 //! same worker pool.
 
 use crate::agg::{merge_partials, partial_aggregate, PartialAgg};
+use crate::error::ErrorKind;
 use crate::error::{EngineError, Result};
 use crate::exec::{execute, run_indexed_policy, ChunkPipeline, ExecContext};
 use crate::logical::LogicalPlan;
@@ -41,7 +42,7 @@ use crate::optimizer::{
 use crate::physical::{lower, ChunkRef, LowerOptions, PhysicalPlan};
 use crate::recycler::Recycler;
 use crate::relation::Relation;
-use crate::sched::{CancelToken, MorselScheduler, Priority, SchedPolicy};
+use crate::sched::{CancelToken, DegradationPolicy, MorselScheduler, Priority, SchedPolicy};
 use parking_lot::Mutex;
 use sommelier_storage::{ColumnData, Database};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -120,6 +121,11 @@ pub struct AcquiredChunk {
     /// Time this acquisition spent blocked on another thread's
     /// in-flight load (zero unless `joined`).
     pub pin_wait: Duration,
+    /// `Some(reason)` when the chunk could not be read and the query
+    /// runs under [`DegradationPolicy::SkipUnreadable`]: `relation` is
+    /// then an empty placeholder in the table's schema, so downstream
+    /// unions and pipelines stay aligned with the chunk list.
+    pub skipped: Option<String>,
 }
 
 impl AcquiredChunk {
@@ -132,8 +138,32 @@ impl AcquiredChunk {
             joined,
             decode: Duration::ZERO,
             pin_wait: Duration::ZERO,
+            skipped: None,
         }
     }
+
+    /// An unreadable chunk replaced by an empty placeholder relation
+    /// (skip-mode degradation).
+    pub fn skipped(placeholder: Arc<Relation>, reason: impl Into<String>) -> Self {
+        AcquiredChunk {
+            relation: placeholder,
+            loaded: false,
+            joined: false,
+            decode: Duration::ZERO,
+            pin_wait: Duration::ZERO,
+            skipped: Some(reason.into()),
+        }
+    }
+}
+
+/// One chunk a degraded ([`DegradationPolicy::SkipUnreadable`]) query
+/// completed *without*: the URI and why it was unreadable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SkippedChunk {
+    /// URI of the unreadable chunk.
+    pub uri: String,
+    /// Why it could not be read (quarantine reason or load error).
+    pub reason: String,
 }
 
 /// Per-chunk delivery callback for [`ChunkResidency::acquire_each`]:
@@ -193,6 +223,15 @@ pub trait ChunkResidency: Send + Sync {
         sink: &ChunkSink<'_>,
     ) -> Result<()> {
         let acquired = self.acquire_many(uris, projection, policy)?;
+        // Skipped chunks hold no pin (the manager substituted an empty
+        // placeholder without admitting anything) — release only the
+        // chunks that were actually pinned.
+        let pinned: Vec<String> = uris
+            .iter()
+            .zip(&acquired)
+            .filter(|(_, c)| c.skipped.is_none())
+            .map(|(u, _)| u.clone())
+            .collect();
         let mut result = Ok(());
         for (i, chunk) in acquired.into_iter().enumerate() {
             result = sink(i, chunk);
@@ -200,7 +239,7 @@ pub trait ChunkResidency: Send + Sync {
                 break;
             }
         }
-        self.release_many(uris);
+        self.release_many(&pinned);
         result
     }
 
@@ -219,6 +258,16 @@ pub trait ChunkResidency: Send + Sync {
     /// [`ChunkSource::zone_candidates`]).
     fn zone_candidates(&self, constraints: &[ZoneConstraint]) -> Option<ZoneCandidates> {
         let _ = constraints;
+        None
+    }
+
+    /// Is the chunk quarantined (known permanently unreadable)? Returns
+    /// the recorded reason. Stage 1 consults this before scheduling any
+    /// decode, so a quarantined chunk is skipped (or fails the query,
+    /// under [`DegradationPolicy::Strict`]) without its file being
+    /// touched again.
+    fn quarantined(&self, uri: &str) -> Option<String> {
+        let _ = uri;
         None
     }
 }
@@ -337,6 +386,9 @@ pub struct TwoStageConfig {
     /// Cooperative cancellation, checked between stages and at
     /// chunk-pipeline boundaries.
     pub cancel: Option<CancelToken>,
+    /// What to do with unreadable chunks: fail the query (default) or
+    /// complete over the readable subset and report the skipped ones.
+    pub degradation: DegradationPolicy,
 }
 
 impl Default for TwoStageConfig {
@@ -355,6 +407,7 @@ impl Default for TwoStageConfig {
             scheduler: None,
             priority: Priority::Normal,
             cancel: None,
+            degradation: DegradationPolicy::default(),
         }
     }
 }
@@ -368,6 +421,8 @@ impl TwoStageConfig {
             scheduler: self.scheduler.clone(),
             priority: self.priority,
             cancel: self.cancel.clone(),
+            degradation: self.degradation,
+            tracer: self.obs.tracer().cloned(),
         }
     }
 
@@ -401,6 +456,10 @@ pub struct ExecStats {
     pub files_loaded: usize,
     /// Chunks served by the Recycler.
     pub cache_hits: usize,
+    /// Unreadable chunks skipped under
+    /// [`DegradationPolicy::SkipUnreadable`] (quarantined before the
+    /// wave, or failed during it); the query's answer excludes them.
+    pub files_skipped: usize,
     /// Rows ingested from chunks.
     pub rows_loaded: u64,
     /// Approximate bytes ingested from chunks.
@@ -428,14 +487,15 @@ impl ExecStats {
     }
 
     /// The chunk-accounting invariant every run must satisfy: each
-    /// selected chunk is pruned, sampled out, loaded, or a cache hit —
-    /// exactly one of the four.
+    /// selected chunk is pruned, sampled out, loaded, a cache hit, or
+    /// skipped as unreadable — exactly one of the five.
     pub fn accounting_balanced(&self) -> bool {
         self.files_selected
             == self.files_pruned
                 + self.files_sampled_out
                 + self.files_loaded
                 + self.cache_hits
+                + self.files_skipped
     }
 }
 
@@ -446,6 +506,10 @@ pub struct QueryOutcome {
     pub stats: ExecStats,
     /// The stage-2 optimizer pass trace (which rewrite rules fired).
     pub trace: Vec<PassTrace>,
+    /// Unreadable chunks the query completed without (non-empty only
+    /// under [`DegradationPolicy::SkipUnreadable`]): the answer is a
+    /// correct subset over the remaining chunks.
+    pub skipped: Vec<SkippedChunk>,
 }
 
 /// Execute a (possibly decomposed) logical plan.
@@ -460,6 +524,7 @@ pub fn execute_plan(
     config: &TwoStageConfig,
 ) -> Result<QueryOutcome> {
     let mut stats = ExecStats::default();
+    let mut skipped: Vec<SkippedChunk> = Vec::new();
     config.check_cancel()?;
     let mut ctx = ExecContext::new(db);
     ctx.parallel = config.parallel;
@@ -530,6 +595,34 @@ pub fn execute_plan(
         };
         stats.files_selected = uris.len();
         let uris = sample_uris(uris, config.sampling, &mut stats);
+        // Quarantine check: chunks recorded as permanently unreadable
+        // never reach the decode wave, and their files are never
+        // touched again. Under `Strict` the query fails here, fast and
+        // typed; under `SkipUnreadable` it proceeds without them.
+        let uris = if let ChunkAccess::Managed(residency) = &access {
+            let mut kept = Vec::with_capacity(uris.len());
+            for u in uris {
+                match residency.quarantined(&u) {
+                    None => kept.push(u),
+                    Some(reason) => match config.degradation {
+                        DegradationPolicy::SkipUnreadable => {
+                            stats.files_skipped += 1;
+                            skipped.push(SkippedChunk { uri: u, reason });
+                        }
+                        DegradationPolicy::Strict => {
+                            return Err(EngineError::ChunkLoad {
+                                uri: u,
+                                kind: ErrorKind::Permanent,
+                                message: format!("chunk is quarantined: {reason}"),
+                            })
+                        }
+                    },
+                }
+            }
+            kept
+        } else {
+            uris
+        };
         Some(match &access {
             ChunkAccess::None => unreachable!("checked above"),
             ChunkAccess::Direct { recycler, .. } => uris
@@ -705,7 +798,14 @@ pub fn execute_plan(
             {
                 let node = phys.find_partial_agg().expect("counted above").clone();
                 let merged = fused_wave(
-                    *residency, &uris, projection, &node, &ctx, config, &mut stats,
+                    *residency,
+                    &uris,
+                    projection,
+                    &node,
+                    &ctx,
+                    config,
+                    &mut stats,
+                    &mut skipped,
                 )?;
                 stats.load = t.elapsed();
                 let id = ctx.materialized.len();
@@ -715,10 +815,21 @@ pub fn execute_plan(
                 let acquired = residency.acquire_many(&uris, projection, &config.policy())?;
                 // Pins are held until stage 2 is done (drop of the
                 // guard), so the manager cannot evict these chunks
-                // mid-query.
-                pin_guard = Some(PinGuard { residency: *residency, uris: uris.clone() });
+                // mid-query. Skipped chunks hold no pin, so the guard
+                // covers only the chunks that were actually acquired.
+                let pinned: Vec<String> = uris
+                    .iter()
+                    .zip(&acquired)
+                    .filter(|(_, c)| c.skipped.is_none())
+                    .map(|(u, _)| u.clone())
+                    .collect();
+                pin_guard = Some(PinGuard { residency: *residency, uris: pinned });
                 for (uri, chunk) in uris.iter().zip(acquired) {
-                    if chunk.loaded {
+                    if let Some(reason) = &chunk.skipped {
+                        stats.files_skipped += 1;
+                        skipped
+                            .push(SkippedChunk { uri: uri.clone(), reason: reason.clone() });
+                    } else if chunk.loaded {
                         stats.files_loaded += 1;
                         stats.rows_loaded += chunk.relation.rows() as u64;
                         stats.bytes_loaded += chunk.relation.approx_bytes() as u64;
@@ -776,12 +887,13 @@ pub fn execute_plan(
     // is pruned, sampled out, loaded, or a cache hit.
     debug_assert!(
         stats.accounting_balanced(),
-        "chunk accounting out of balance: selected {} != pruned {} + sampled_out {} + loaded {} + hits {}",
+        "chunk accounting out of balance: selected {} != pruned {} + sampled_out {} + loaded {} + hits {} + skipped {}",
         stats.files_selected,
         stats.files_pruned,
         stats.files_sampled_out,
         stats.files_loaded,
-        stats.cache_hits
+        stats.cache_hits,
+        stats.files_skipped
     );
 
     let o = &config.obs;
@@ -795,9 +907,10 @@ pub fn execute_plan(
     o.count("chunks.loaded", stats.files_loaded as u64);
     o.count("chunks.cache_hits", stats.cache_hits as u64);
     o.count("chunks.load_joins", stats.load_joins);
+    o.count("chunks.skipped", stats.files_skipped as u64);
     o.count("rows.loaded", stats.rows_loaded);
     o.count("bytes.loaded", stats.bytes_loaded);
-    Ok(QueryOutcome { relation, stats, trace })
+    Ok(QueryOutcome { relation, stats, trace, skipped })
 }
 
 /// Record the acquisition span of one managed chunk (non-fused path):
@@ -830,6 +943,7 @@ fn record_chunk_acquisition(tc: &TraceCollector, uri: &str, chunk: &AcquiredChun
 /// probe of the shared build side, residual filter, partial
 /// aggregation) on the worker that produced it, then drops its pin; the
 /// partial states merge in chunk order afterwards.
+#[allow(clippy::too_many_arguments)]
 fn fused_wave(
     residency: &dyn ChunkResidency,
     uris: &[String],
@@ -838,6 +952,7 @@ fn fused_wave(
     ctx: &ExecContext,
     config: &TwoStageConfig,
     stats: &mut ExecStats,
+    skipped: &mut Vec<SkippedChunk>,
 ) -> Result<Relation> {
     let PhysicalPlan::PartialAggUnion {
         columns, predicate, join, ops, group_by, aggs, ..
@@ -862,10 +977,13 @@ fn fused_wave(
     let (loaded, hits) = (AtomicU64::new(0), AtomicU64::new(0));
     let (rows, bytes) = (AtomicU64::new(0), AtomicU64::new(0));
     let (joins, wait_ns) = (AtomicU64::new(0), AtomicU64::new(0));
+    let skips: Mutex<Vec<SkippedChunk>> = Mutex::new(Vec::new());
     let tracer = config.obs.tracer().map(Arc::as_ref);
     let sink = |i: usize, chunk: AcquiredChunk| -> Result<()> {
         let chunk_bytes = chunk.relation.approx_bytes() as u64;
-        if chunk.loaded {
+        if let Some(reason) = &chunk.skipped {
+            skips.lock().push(SkippedChunk { uri: uris[i].clone(), reason: reason.clone() });
+        } else if chunk.loaded {
             loaded.fetch_add(1, Ordering::Relaxed);
             rows.fetch_add(chunk.relation.rows() as u64, Ordering::Relaxed);
             bytes.fetch_add(chunk_bytes, Ordering::Relaxed);
@@ -906,6 +1024,9 @@ fn fused_wave(
         Ok(())
     };
     residency.acquire_each(uris, projection, &config.policy(), &sink)?;
+    let skips = skips.into_inner();
+    stats.files_skipped += skips.len();
+    skipped.extend(skips);
     stats.files_loaded += loaded.load(Ordering::Relaxed) as usize;
     stats.cache_hits += hits.load(Ordering::Relaxed) as usize;
     stats.rows_loaded += rows.load(Ordering::Relaxed);
@@ -1147,6 +1268,11 @@ mod tests {
         resident: Mutex<std::collections::HashMap<String, Arc<Relation>>>,
         pins: AtomicUsize,
         peak_pins: AtomicUsize,
+        /// uri → reason: loads of these chunks fail (skip or error
+        /// depending on the policy's degradation mode).
+        unreadable: Mutex<std::collections::HashMap<String, String>>,
+        /// uri → reason: stage 1 skips these without touching them.
+        quarantined: Mutex<std::collections::HashMap<String, String>>,
     }
 
     impl FakeResidency {
@@ -1156,12 +1282,24 @@ mod tests {
                 resident: Mutex::new(std::collections::HashMap::new()),
                 pins: AtomicUsize::new(0),
                 peak_pins: AtomicUsize::new(0),
+                unreadable: Mutex::new(std::collections::HashMap::new()),
+                quarantined: Mutex::new(std::collections::HashMap::new()),
             }
         }
 
         fn pin(&self) {
             let now = self.pins.fetch_add(1, Ordering::SeqCst) + 1;
             self.peak_pins.fetch_max(now, Ordering::SeqCst);
+        }
+
+        fn empty_placeholder() -> Arc<Relation> {
+            Arc::new(
+                Relation::new(vec![
+                    ("D.file_id".into(), ColumnData::Int64(Vec::new())),
+                    ("D.sample_value".into(), ColumnData::Float64(Vec::new())),
+                ])
+                .unwrap(),
+            )
         }
     }
 
@@ -1174,10 +1312,23 @@ mod tests {
             &self,
             uris: &[String],
             _projection: Option<&[String]>,
-            _policy: &SchedPolicy,
+            policy: &SchedPolicy,
         ) -> Result<Vec<AcquiredChunk>> {
             uris.iter()
                 .map(|u| {
+                    if let Some(reason) = self.unreadable.lock().get(u) {
+                        return match policy.degradation {
+                            DegradationPolicy::SkipUnreadable => Ok(AcquiredChunk::skipped(
+                                Self::empty_placeholder(),
+                                reason.clone(),
+                            )),
+                            DegradationPolicy::Strict => Err(EngineError::ChunkLoad {
+                                uri: u.clone(),
+                                kind: ErrorKind::Permanent,
+                                message: reason.clone(),
+                            }),
+                        };
+                    }
                     self.pin();
                     let mut resident = self.resident.lock();
                     if let Some(rel) = resident.get(u) {
@@ -1192,11 +1343,17 @@ mod tests {
         }
 
         fn release_many(&self, uris: &[String]) {
-            self.pins.fetch_sub(uris.len(), Ordering::SeqCst);
+            let unreadable = self.unreadable.lock();
+            let n = uris.iter().filter(|u| !unreadable.contains_key(*u)).count();
+            self.pins.fetch_sub(n, Ordering::SeqCst);
         }
 
         fn all_chunks(&self) -> Result<Vec<String>> {
             self.source.all_chunks()
+        }
+
+        fn quarantined(&self, uri: &str) -> Option<String> {
+            self.quarantined.lock().get(uri).cloned()
         }
     }
 
@@ -1422,6 +1579,72 @@ mod tests {
             execute_plan(&db, &lazy_plan(), ChunkAccess::None, &test_config()),
             Err(EngineError::Chunk(_))
         ));
+    }
+
+    #[test]
+    fn skip_mode_completes_over_readable_chunks() {
+        let db = metadata_db();
+        let residency = FakeResidency::new(3);
+        residency.unreadable.lock().insert("u2".into(), "bad magic".into());
+        let config = TwoStageConfig {
+            degradation: DegradationPolicy::SkipUnreadable,
+            ..test_config()
+        };
+        let out = execute_plan(&db, &lazy_plan(), ChunkAccess::Managed(&residency), &config)
+            .unwrap();
+        // Only u0's values (0, 1, 2) survive; u2 is skipped.
+        assert_eq!(out.relation.value(0, "avg_v").unwrap(), Value::Float(1.0));
+        assert_eq!(out.stats.files_skipped, 1);
+        assert_eq!(out.stats.files_loaded, 1);
+        assert!(out.stats.accounting_balanced());
+        assert_eq!(out.skipped.len(), 1);
+        assert_eq!(out.skipped[0].uri, "u2");
+        assert_eq!(out.skipped[0].reason, "bad magic");
+        assert_eq!(residency.pins.load(Ordering::SeqCst), 0, "no pins leaked");
+    }
+
+    #[test]
+    fn strict_mode_fails_with_typed_error_naming_the_chunk() {
+        let db = metadata_db();
+        let residency = FakeResidency::new(3);
+        residency.unreadable.lock().insert("u2".into(), "bad magic".into());
+        let err =
+            execute_plan(&db, &lazy_plan(), ChunkAccess::Managed(&residency), &test_config())
+                .unwrap_err();
+        match err {
+            EngineError::ChunkLoad { uri, kind, .. } => {
+                assert_eq!(uri, "u2");
+                assert_eq!(kind, ErrorKind::Permanent);
+            }
+            other => panic!("expected ChunkLoad, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quarantined_chunk_skipped_without_being_touched() {
+        let db = metadata_db();
+        let residency = FakeResidency::new(3);
+        residency.quarantined.lock().insert("u2".into(), "quarantined earlier".into());
+        let config = TwoStageConfig {
+            degradation: DegradationPolicy::SkipUnreadable,
+            ..test_config()
+        };
+        let out = execute_plan(&db, &lazy_plan(), ChunkAccess::Managed(&residency), &config)
+            .unwrap();
+        assert_eq!(out.stats.files_skipped, 1);
+        assert_eq!(out.skipped[0].uri, "u2");
+        assert_eq!(
+            residency.source.loads.load(Ordering::Relaxed),
+            1,
+            "only u0 decoded; the quarantined chunk's file was never touched"
+        );
+        // Strict mode fails fast on the quarantined chunk, still
+        // without touching its file.
+        let err =
+            execute_plan(&db, &lazy_plan(), ChunkAccess::Managed(&residency), &test_config())
+                .unwrap_err();
+        assert!(matches!(err, EngineError::ChunkLoad { uri, .. } if uri == "u2"));
+        assert_eq!(residency.source.loads.load(Ordering::Relaxed), 1);
     }
 
     #[test]

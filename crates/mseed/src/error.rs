@@ -22,6 +22,16 @@ impl MseedError {
     pub fn io(context: impl Into<String>, source: io::Error) -> Self {
         MseedError::Io { context: context.into(), source }
     }
+
+    /// Retry classification (shared taxonomy with the storage layer):
+    /// interruption-shaped I/O errors are transient; corrupt records
+    /// and bad specs are permanent.
+    pub fn kind(&self) -> sommelier_storage::ErrorKind {
+        match self {
+            MseedError::Io { source, .. } => sommelier_storage::classify_io(source),
+            _ => sommelier_storage::ErrorKind::Permanent,
+        }
+    }
 }
 
 impl fmt::Display for MseedError {
@@ -59,5 +69,14 @@ mod tests {
     fn display_forms() {
         assert!(MseedError::Corrupt("bad".into()).to_string().contains("bad"));
         assert!(MseedError::io("write", io::Error::other("x")).to_string().contains("write"));
+    }
+
+    #[test]
+    fn kind_matches_storage_taxonomy() {
+        use sommelier_storage::ErrorKind;
+        let t = MseedError::io("read", io::Error::new(io::ErrorKind::Interrupted, "eintr"));
+        assert_eq!(t.kind(), ErrorKind::Transient);
+        assert_eq!(MseedError::Corrupt("rot".into()).kind(), ErrorKind::Permanent);
+        assert_eq!(MseedError::Spec("bad".into()).kind(), ErrorKind::Permanent);
     }
 }

@@ -36,7 +36,8 @@
 //! ```
 
 use sommelier_core::{
-    CancelToken, Priority, QueryOptions, QueryResult, Sommelier, SommelierError,
+    CancelToken, DegradationPolicy, Priority, QueryOptions, QueryResult, Sommelier,
+    SommelierError,
 };
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -186,11 +187,21 @@ pub struct SessionOptions {
     pub max_in_flight: usize,
     /// Timeout applied to every query that does not override it.
     pub default_timeout: Option<Duration>,
+    /// What the session's queries do with chunks that stay unreadable
+    /// after retries: fail (`Strict`, default) or complete over the
+    /// readable rest and report the skips
+    /// (`sommelier_core::QueryResult::degraded`).
+    pub degradation: DegradationPolicy,
 }
 
 impl Default for SessionOptions {
     fn default() -> Self {
-        SessionOptions { priority: Priority::Normal, max_in_flight: 8, default_timeout: None }
+        SessionOptions {
+            priority: Priority::Normal,
+            max_in_flight: 8,
+            default_timeout: None,
+            degradation: DegradationPolicy::default(),
+        }
     }
 }
 
@@ -203,6 +214,8 @@ pub struct SubmitOptions {
     pub timeout: Option<Duration>,
     /// Approximate execution: deterministic chunk-sampling fraction.
     pub sampling: Option<f64>,
+    /// Override the session degradation policy for this query.
+    pub degradation: Option<DegradationPolicy>,
 }
 
 /// One tenant's handle on the server. Thread-safe; dropping it closes
@@ -223,6 +236,12 @@ impl Session {
     /// Queries of this session currently in flight.
     pub fn in_flight(&self) -> usize {
         self.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// The session's degradation policy (what its queries do with
+    /// unreadable chunks, absent a per-submit override).
+    pub fn degradation_policy(&self) -> DegradationPolicy {
+        self.options.degradation
     }
 
     /// Submit a query under the session's policy. Returns immediately
@@ -255,6 +274,7 @@ impl Session {
             priority: overrides.priority.unwrap_or(self.options.priority),
             cancel: Some(cancel.clone()),
             timeout: overrides.timeout.or(self.options.default_timeout),
+            degradation: overrides.degradation.unwrap_or(self.options.degradation),
         };
         let state = Arc::new(HandleState {
             result: Mutex::new(None),
@@ -426,5 +446,60 @@ mod tests {
         let session = server.open_session(SessionOptions::default());
         let err = session.submit("SELECT nonsense FROM nowhere").unwrap().wait().unwrap_err();
         assert!(matches!(err, ServerError::Query(_)), "{err}");
+    }
+
+    #[test]
+    fn per_session_degradation_policy() {
+        use sommelier_core::{FaultPlan, SommelierConfig};
+        let dir =
+            std::env::temp_dir().join(format!("somm-server-degraded-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        generate_event_logs(&dir, &EventLogSpec::small(2, 64)).unwrap();
+        // Declare one chunk file permanently corrupt via the injector.
+        fn walk(dir: &std::path::Path, out: &mut Vec<String>) {
+            for e in std::fs::read_dir(dir).unwrap().flatten() {
+                let p = e.path();
+                if p.is_dir() {
+                    walk(&p, out);
+                } else {
+                    out.push(p.to_string_lossy().into_owned());
+                }
+            }
+        }
+        let mut chunks = Vec::new();
+        walk(&dir, &mut chunks);
+        chunks.sort();
+        let victim = chunks[0].clone();
+        let somm = Sommelier::builder()
+            .config(SommelierConfig {
+                fault_plan: Some(FaultPlan {
+                    corrupt_uris: vec![victim.clone()],
+                    ..FaultPlan::default()
+                }),
+                ..Default::default()
+            })
+            .source(EventLogAdapter::new(&dir))
+            .build()
+            .unwrap();
+        somm.prepare(LoadingMode::Lazy).unwrap();
+        let server = Server::new(Arc::new(somm));
+        // A strict session fails with a typed error naming the chunk...
+        let strict = server.open_session(SessionOptions::default());
+        assert_eq!(strict.degradation_policy(), DegradationPolicy::Strict);
+        let err =
+            strict.submit("SELECT AVG(E.val) FROM eventview").unwrap().wait().unwrap_err();
+        assert!(err.to_string().contains(&victim), "{err}");
+        // ...while a SkipUnreadable session completes over the readable
+        // rest and reports the skip.
+        let skip = server.open_session(SessionOptions {
+            degradation: DegradationPolicy::SkipUnreadable,
+            ..Default::default()
+        });
+        let r = skip.submit("SELECT AVG(E.val) FROM eventview").unwrap().wait().unwrap();
+        assert_eq!(r.relation.rows(), 1);
+        let d = r.degraded.expect("degraded report present");
+        assert_eq!(d.skipped_chunks, vec![victim]);
+        assert_eq!(d.reasons.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -6,6 +6,36 @@ use std::io;
 /// Result alias used throughout the storage crate.
 pub type Result<T> = std::result::Result<T, StorageError>;
 
+/// Whether an error is worth retrying.
+///
+/// `Transient` failures (interrupted reads, timeouts, dropped
+/// connections to cold storage) are expected to succeed on a later
+/// attempt; `Permanent` ones (corrupt payloads, schema violations)
+/// will fail the same way every time, so retrying only wastes the
+/// retry budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorKind {
+    /// Retrying the operation may succeed.
+    Transient,
+    /// Retrying cannot help; quarantine or surface the error.
+    Permanent,
+}
+
+/// Classify a raw I/O error: interruption-shaped failures are
+/// transient, everything else (missing file, permission, short read
+/// mapped to `UnexpectedEof` by a decoder) is permanent.
+pub fn classify_io(e: &io::Error) -> ErrorKind {
+    match e.kind() {
+        io::ErrorKind::Interrupted
+        | io::ErrorKind::TimedOut
+        | io::ErrorKind::WouldBlock
+        | io::ErrorKind::ConnectionReset
+        | io::ErrorKind::ConnectionAborted
+        | io::ErrorKind::BrokenPipe => ErrorKind::Transient,
+        _ => ErrorKind::Permanent,
+    }
+}
+
 /// Errors produced by the storage layer.
 #[derive(Debug)]
 pub enum StorageError {
@@ -27,6 +57,15 @@ impl StorageError {
     /// Convenience constructor for I/O errors with context.
     pub fn io(context: impl Into<String>, source: io::Error) -> Self {
         StorageError::Io { context: context.into(), source }
+    }
+
+    /// Retry classification: I/O errors follow [`classify_io`]; every
+    /// data- or schema-shaped failure is permanent.
+    pub fn kind(&self) -> ErrorKind {
+        match self {
+            StorageError::Io { source, .. } => classify_io(source),
+            _ => ErrorKind::Permanent,
+        }
     }
 }
 
@@ -76,6 +115,18 @@ mod tests {
     fn from_io_error() {
         let e: StorageError = io::Error::new(io::ErrorKind::NotFound, "nope").into();
         assert!(matches!(e, StorageError::Io { .. }));
+    }
+
+    #[test]
+    fn kind_classifies_retryability() {
+        let t = StorageError::io("read", io::Error::new(io::ErrorKind::Interrupted, "eintr"));
+        assert_eq!(t.kind(), ErrorKind::Transient);
+        let t = StorageError::io("read", io::Error::new(io::ErrorKind::TimedOut, "slow"));
+        assert_eq!(t.kind(), ErrorKind::Transient);
+        let p = StorageError::io("open", io::Error::new(io::ErrorKind::NotFound, "gone"));
+        assert_eq!(p.kind(), ErrorKind::Permanent);
+        assert_eq!(StorageError::Corrupt("rot".into()).kind(), ErrorKind::Permanent);
+        assert_eq!(StorageError::Schema("x".into()).kind(), ErrorKind::Permanent);
     }
 
     #[test]

@@ -44,7 +44,7 @@ pub use buffer::{BufferPool, BufferPoolConfig, PoolStats, SimIo};
 pub use catalog::Catalog;
 pub use column::{ColumnData, TextColumn};
 pub use db::{ConstraintPolicy, Database};
-pub use error::{Result, StorageError};
+pub use error::{classify_io, ErrorKind, Result, StorageError};
 pub use schema::{ColumnDef, ForeignKey, TableClass, TableSchema};
 pub use table::Table;
 pub use value::{DataType, Value};

@@ -47,6 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         priority: Priority::Low,
         max_in_flight: 2,
         default_timeout: Some(Duration::from_secs(30)),
+        ..SessionOptions::default()
     });
     println!("sessions open: {}", server.active_sessions());
 

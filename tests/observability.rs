@@ -308,6 +308,10 @@ fn metrics_snapshot_serializes_documented_names() {
         "decode.chunks",
         "decode.bytes",
         "pool.tasks",
+        "fault.io_retries",
+        "fault.faults_injected",
+        "fault.chunks_quarantined",
+        "fault.queries_degraded",
     ] {
         assert!(snap.counter(name).is_some(), "documented counter {name:?} missing");
     }
