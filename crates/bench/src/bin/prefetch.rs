@@ -1,0 +1,19 @@
+//! Prefetch sweep: window depth {0,1,2,4,8} × simulated seek latency
+//! × 1/8 workers over cold T4/T5 runs (FIAM, lazy). Depth 0 is the
+//! classic fused fetch+decode path; at depth ≥ 2 the dedicated IO
+//! threads read chunk `k+1..k+depth` while workers decode chunk `k`,
+//! so the seek-dominated cold run drops from `seek + decode` per chunk
+//! toward `max(seek/io_threads, decode)`. `result_bits` must be
+//! identical in every row of a query.
+//!
+//! Set `SOMM_JSON_OUT=<path>` to additionally record the table as JSON
+//! (how `BENCH_prefetch.json` at the workspace root was produced).
+fn main() {
+    let scale = sommelier_bench::BenchScale::from_env();
+    let table = sommelier_bench::experiments::prefetch_sweep(&scale).expect("prefetch sweep");
+    table.print();
+    if let Ok(path) = std::env::var("SOMM_JSON_OUT") {
+        std::fs::write(&path, table.to_json()).expect("write JSON baseline");
+        eprintln!("wrote {path}");
+    }
+}

@@ -18,6 +18,7 @@ use rand::{Rng, SeedableRng};
 use sommelier_core::cellar::CellarPolicyKind;
 use sommelier_core::{LoadingMode, Result, Sommelier, SommelierConfig};
 use sommelier_mseed::repo::days_for_sf;
+use sommelier_storage::buffer::SimIo;
 use sommelier_storage::time::days_from_civil;
 
 /// First day of every synthetic dataset (2010-01-01), in days.
@@ -1346,6 +1347,114 @@ pub fn server_traffic(scale: &BenchScale) -> Result<Table> {
     Ok(t)
 }
 
+/// Window depths the prefetch sweep compares (0 = classic fused path).
+const PREFETCH_DEPTHS: [usize; 5] = [0, 1, 2, 4, 8];
+
+/// Prefetch sweep: window depth × simulated seek latency × workers on
+/// cold multi-chunk aggregates (FIAM, lazy, T4/T5). Every run flushes
+/// residency first, so the wall clock is the cold fetch+decode
+/// pipeline; `result_bits` must be identical down every column. The
+/// headline is the depth ≥ 2 vs depth 0 cold-run ratio under the
+/// seek-dominated medium (`sim_ms > 0`): fetch overlaps decode, so
+/// per-chunk cost drops from `seek + decode` toward
+/// `max(seek/io_threads, decode)`.
+pub fn prefetch_sweep(scale: &BenchScale) -> Result<Table> {
+    let mut t = Table::new(
+        "Prefetch: depth x sim seek x workers on cold runs (FIAM, lazy)",
+        &[
+            "sf",
+            "query",
+            "sim_ms",
+            "workers",
+            "depth",
+            "io_threads",
+            "wall_s",
+            "load_s",
+            "issued",
+            "hits",
+            "wasted_b",
+            "io_wait_s",
+            "files_loaded",
+            "result_bits",
+        ],
+    );
+    let (sf, _) = scale.sf_extremes();
+    let (repo, _) = dataset(scale, DatasetKind::Fiam, sf);
+    let total_days = days_for_sf(sf) as i64;
+    let d0 = start_day();
+    let (a, b) = queries::day_range(d0, total_days);
+    let sqls = [("T4", queries::t4_selectivity(a, b)), ("T5", queries::t5_selectivity(a, b))];
+    let sim_points: &[u64] = if scale.sim_io { &[2, 8] } else { &[0] };
+    for (name, sql) in &sqls {
+        for &sim_ms in sim_points {
+            for &workers in &[1usize, 8] {
+                for &depth in &PREFETCH_DEPTHS {
+                    let config = SommelierConfig {
+                        max_threads: workers,
+                        prefetch_depth: depth,
+                        sim_chunk_io: (sim_ms > 0).then(|| SimIo {
+                            per_page: std::time::Duration::from_millis(sim_ms),
+                        }),
+                        ..bench_config(scale)
+                    };
+                    let io_threads = if depth > 0 { config.prefetch_io_threads() } else { 0 };
+                    let guard = fresh_system_with(scale, &repo, LoadingMode::Lazy, config)?;
+                    // Warm run: derive any DMd the query needs (T5's
+                    // windows) so the timed runs measure chunk work.
+                    guard.somm.query(sql)?;
+                    let stats0 =
+                        guard.somm.prefetch_stage().map_or((0, 0, 0, 0), |s| s.stats());
+                    let runs = scale.runs.max(1);
+                    let mut wall = std::time::Duration::ZERO;
+                    let mut load = std::time::Duration::ZERO;
+                    let mut last: Option<sommelier_core::QueryResult> = None;
+                    for _ in 0..runs {
+                        // Flush residency: every run fetches cold.
+                        guard.somm.flush_caches();
+                        let (r, d) = time_it(|| guard.somm.query(sql));
+                        let r = r?;
+                        wall += d;
+                        load += r.stats.load;
+                        last = Some(r);
+                    }
+                    let last = last.expect("runs >= 1");
+                    let (issued, hits, wasted, io_wait) =
+                        guard.somm.prefetch_stage().map_or((0, 0, 0, 0), |s| s.stats());
+                    let avg = match last
+                        .relation
+                        .value(0, "avg")
+                        .map_err(sommelier_core::SommelierError::Engine)?
+                    {
+                        sommelier_storage::Value::Float(v) => v,
+                        other => {
+                            return Err(sommelier_core::SommelierError::Usage(format!(
+                                "expected a float AVG, got {other:?}"
+                            )))
+                        }
+                    };
+                    t.row(vec![
+                        format!("sf-{sf}"),
+                        name.to_string(),
+                        sim_ms.to_string(),
+                        workers.to_string(),
+                        depth.to_string(),
+                        io_threads.to_string(),
+                        secs(wall / runs as u32),
+                        secs(load / runs as u32),
+                        (issued - stats0.0).to_string(),
+                        (hits - stats0.1).to_string(),
+                        (wasted - stats0.2).to_string(),
+                        secs(std::time::Duration::from_nanos(io_wait - stats0.3)),
+                        last.stats.files_loaded.to_string(),
+                        format!("{:016x}", avg.to_bits()),
+                    ]);
+                }
+            }
+        }
+    }
+    Ok(t)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1496,6 +1605,23 @@ mod tests {
         assert!(mseed * 3 < csv, "csv expansion: mseed {mseed} vs csv {csv}");
         assert!(keys > 0, "indexes add bytes");
         assert!(lazy < db, "metadata {lazy} smaller than the loaded db {db}");
+        let _ = std::fs::remove_dir_all(&scale.data_dir);
+    }
+
+    #[test]
+    fn prefetch_sweep_shape() {
+        let scale = tiny("prefetch");
+        let t = prefetch_sweep(&scale).unwrap();
+        // 2 queries x 1 sim point (off at tiny scale) x 2 workers x 5
+        // depths; answers must be identical down every depth column.
+        assert_eq!(t.rows.len(), 20);
+        for query in ["T4", "T5"] {
+            let bits: Vec<&String> =
+                t.rows.iter().filter(|r| r[1] == query).map(|r| &r[13]).collect();
+            assert!(bits.windows(2).all(|w| w[0] == w[1]), "{query}: identical results");
+        }
+        let hits: u64 = t.rows.iter().map(|r| r[9].parse::<u64>().unwrap()).sum();
+        assert!(hits > 0, "windowed cells must consume prefetched bytes");
         let _ = std::fs::remove_dir_all(&scale.data_dir);
     }
 

@@ -38,7 +38,7 @@
 use crate::chunks::FileEntry;
 use crate::error::{Result, SommelierError};
 use crate::source::{
-    DmdAgg, DmdDim, DmdSpec, InferenceRule, SourceAdapter, SourceDescriptor,
+    DmdAgg, DmdDim, DmdSpec, InferenceRule, RawChunk, SourceAdapter, SourceDescriptor,
 };
 use parking_lot::Mutex;
 use sommelier_engine::expr::ArithOp;
@@ -500,6 +500,48 @@ impl EventLogAdapter {
     pub(crate) fn descriptor_for_tests() -> SourceDescriptor {
         descriptor()
     }
+
+    /// The single-pass pre-sized decode over already-read file text —
+    /// shared by [`SourceAdapter::decode`] (which reads into a scratch
+    /// buffer first) and [`SourceAdapter::decode_bytes`] (which gets
+    /// prefetched bytes).
+    fn decode_text(
+        &self,
+        entry: &FileEntry,
+        text: &str,
+        projection: Option<&[String]>,
+    ) -> sommelier_engine::Result<Relation> {
+        let want = |col: &str| projection.is_none_or(|p| p.iter().any(|c| c == col));
+        let events = text.lines().skip(1).filter(|l| !l.is_empty()).count();
+        let mut b = RelationBuilder::new();
+        let id_col = want("E.log_id").then(|| b.add("E.log_id", DataType::Int64, events));
+        let ts_col = want("E.ts").then(|| b.add("E.ts", DataType::Timestamp, events));
+        let val_col = want("E.val").then(|| b.add("E.val", DataType::Float64, events));
+        for line in text.lines().skip(1) {
+            if line.is_empty() {
+                continue;
+            }
+            let bad =
+                || EngineError::Chunk(format!("malformed event {line:?} in {}", entry.uri));
+            let (t, v) = line.split_once(',').ok_or_else(bad)?;
+            // Every field is validated regardless of the projection —
+            // whether a malformed file errors must not depend on an
+            // optimizer knob — but only referenced columns are
+            // materialized (the projection-pushdown decode path).
+            let t = t.parse::<i64>().map_err(|_| bad())?;
+            let v = v.parse::<f64>().map_err(|_| bad())?;
+            if let Some(c) = id_col {
+                b.i64_mut(c).push(entry.file_id);
+            }
+            if let Some(c) = ts_col {
+                b.i64_mut(c).push(t);
+            }
+            if let Some(c) = val_col {
+                b.f64_mut(c).push(v);
+            }
+        }
+        b.finish()
+    }
 }
 
 impl SourceAdapter for EventLogAdapter {
@@ -573,42 +615,31 @@ impl SourceAdapter for EventLogAdapter {
         if self.reference_decode {
             return self.decode_reference(entry, projection);
         }
-        let want = |col: &str| projection.is_none_or(|p| p.iter().any(|c| c == col));
         crate::source::with_text_scratch(|text| {
             std::fs::File::open(&entry.uri)
                 .and_then(|mut f| f.read_to_string(text))
                 .map_err(|e| EngineError::Chunk(format!("reading {}: {e}", entry.uri)))?;
-            let events = text.lines().skip(1).filter(|l| !l.is_empty()).count();
-            let mut b = RelationBuilder::new();
-            let id_col = want("E.log_id").then(|| b.add("E.log_id", DataType::Int64, events));
-            let ts_col = want("E.ts").then(|| b.add("E.ts", DataType::Timestamp, events));
-            let val_col = want("E.val").then(|| b.add("E.val", DataType::Float64, events));
-            for line in text.lines().skip(1) {
-                if line.is_empty() {
-                    continue;
-                }
-                let bad = || {
-                    EngineError::Chunk(format!("malformed event {line:?} in {}", entry.uri))
-                };
-                let (t, v) = line.split_once(',').ok_or_else(bad)?;
-                // Every field is validated regardless of the projection —
-                // whether a malformed file errors must not depend on an
-                // optimizer knob — but only referenced columns are
-                // materialized (the projection-pushdown decode path).
-                let t = t.parse::<i64>().map_err(|_| bad())?;
-                let v = v.parse::<f64>().map_err(|_| bad())?;
-                if let Some(c) = id_col {
-                    b.i64_mut(c).push(entry.file_id);
-                }
-                if let Some(c) = ts_col {
-                    b.i64_mut(c).push(t);
-                }
-                if let Some(c) = val_col {
-                    b.f64_mut(c).push(v);
-                }
-            }
-            b.finish()
+            self.decode_text(entry, text, projection)
         })
+    }
+
+    /// Decode from prefetched bytes: validate UTF-8 and run the same
+    /// single-pass decode as [`Self::decode`] — no file IO on the
+    /// decode worker. (The reference-decode oracle path has no
+    /// from-bytes variant and falls back to the fused fetch+decode.)
+    fn decode_bytes(
+        &self,
+        entry: &FileEntry,
+        raw: RawChunk,
+        projection: Option<&[String]>,
+    ) -> sommelier_engine::Result<Relation> {
+        if self.reference_decode {
+            return self.decode(entry, projection);
+        }
+        let text = std::str::from_utf8(&raw.bytes).map_err(|e| {
+            EngineError::Chunk(format!("{}: invalid UTF-8 in log file: {e}", entry.uri))
+        })?;
+        self.decode_text(entry, text, projection)
     }
 
     fn source_bytes(&self) -> Result<u64> {

@@ -45,7 +45,9 @@ use parking_lot::{Condvar, Mutex};
 use sommelier_engine::eval::eval_scalar;
 use sommelier_engine::exec::run_indexed_policy;
 use sommelier_engine::sched::{CancelToken, DegradationPolicy, SchedPolicy};
-use sommelier_engine::twostage::{AcquiredChunk, ChunkResidency, ChunkSink, ChunkSource};
+use sommelier_engine::twostage::{
+    AcquiredChunk, ChunkResidency, ChunkSink, ChunkSource, PrefetchHandle,
+};
 use sommelier_engine::{
     ColumnZone, EngineError, ErrorKind, Obs, ParallelMode, Relation, TraceCollector,
 };
@@ -77,6 +79,11 @@ pub struct CellarConfig {
     /// Retry budget for transient chunk-IO failures, applied around
     /// every decode (see [`crate::SommelierConfig::io_retry`]).
     pub retry: RetryPolicy,
+    /// The system's raw-byte prefetch stage, when prefetch is enabled:
+    /// [`ChunkResidency::prefetch`] submits the surviving chunk list
+    /// here and the sources' decode paths claim the staged bytes.
+    /// `None` = prefetch off; acquisition is byte-for-byte unchanged.
+    pub prefetch: Option<Arc<crate::prefetch::PrefetchStage>>,
 }
 
 impl Default for CellarConfig {
@@ -87,6 +94,7 @@ impl Default for CellarConfig {
             retain: true,
             obs: Obs::off(),
             retry: RetryPolicy::default(),
+            prefetch: None,
         }
     }
 }
@@ -1617,6 +1625,62 @@ impl ChunkResidency for Cellar {
             _ => None,
         }
     }
+
+    fn prefetch(
+        &self,
+        uris: &[String],
+        policy: &SchedPolicy,
+    ) -> Option<Box<dyn PrefetchHandle>> {
+        let stage = self.config.prefetch.as_ref()?;
+        // Group candidate URIs per source (each source has its own
+        // adapter, hence its own fetcher), skipping chunks that are
+        // already resident — their bytes are decoded and pinned-able
+        // without any read.
+        let mut per_source: Vec<Vec<String>> = vec![Vec::new(); self.sources.len()];
+        for uri in uris {
+            if let Some(&i) = self.by_uri.get(uri.as_str()) {
+                if !self.is_resident(uri) {
+                    per_source[i].push(uri.clone());
+                }
+            }
+        }
+        let plans: Vec<_> = per_source
+            .into_iter()
+            .enumerate()
+            .filter(|(_, group)| !group.is_empty())
+            .map(|(i, group)| {
+                stage.submit(
+                    group,
+                    self.sources[i].source.raw_fetcher(),
+                    policy.cancel.clone(),
+                    policy.tracer.clone(),
+                )
+            })
+            .collect();
+        if plans.is_empty() {
+            return None;
+        }
+        Some(Box::new(CellarPrefetchHandle { plans }))
+    }
+}
+
+/// Ties the lifetime of a query's prefetch window to the driver: the
+/// engine calls [`PrefetchHandle::finish`] (via its guard) on every
+/// exit path, releasing any staged-but-unconsumed bytes.
+struct CellarPrefetchHandle {
+    plans: Vec<Arc<crate::prefetch::PrefetchPlan>>,
+}
+
+impl PrefetchHandle for CellarPrefetchHandle {
+    fn submitted(&self) -> usize {
+        self.plans.iter().map(|p| p.submitted()).sum()
+    }
+
+    fn finish(&self) {
+        for plan in &self.plans {
+            plan.finish();
+        }
+    }
 }
 
 /// A per-source view of a shared [`Cellar`] (see [`Cellar::scoped`]).
@@ -1679,6 +1743,14 @@ impl ChunkResidency for ScopedCellar {
         // (its candidate set covers exactly the chunks a query through
         // this source can select).
         self.cellar.sources[self.source_idx].registry.zone_candidates(constraints)
+    }
+
+    fn prefetch(
+        &self,
+        uris: &[String],
+        policy: &SchedPolicy,
+    ) -> Option<Box<dyn PrefetchHandle>> {
+        self.cellar.prefetch(uris, policy)
     }
 }
 

@@ -8,7 +8,8 @@
 //! registered with.
 
 use crate::fault::FaultInjector;
-use crate::source::SourceAdapter;
+use crate::prefetch::{PrefetchStage, RawFetcher};
+use crate::source::{RawChunk, SourceAdapter};
 use parking_lot::Mutex;
 use sommelier_engine::obs::metrics::Counter;
 use sommelier_engine::optimizer::zone_conjunct_contradicted;
@@ -589,6 +590,10 @@ pub struct AdapterChunkSource {
     /// Deterministic fault injection at the decode seam (see
     /// [`crate::FaultPlan`]); `None` in production.
     faults: Option<Arc<FaultInjector>>,
+    /// The system's prefetch stage: decodes claim staged raw bytes from
+    /// here before falling back to the direct (fused fetch+decode)
+    /// path. `None` = prefetch off; the hot path is untouched.
+    prefetch: Option<Arc<PrefetchStage>>,
 }
 
 impl AdapterChunkSource {
@@ -607,7 +612,15 @@ impl AdapterChunkSource {
             sim_io: None,
             counters: None,
             faults: None,
+            prefetch: None,
         }
+    }
+
+    /// Claim prefetched raw bytes from `stage` before decoding (see
+    /// [`crate::prefetch::PrefetchStage`]); default off.
+    pub fn with_prefetch(mut self, prefetch: Option<Arc<PrefetchStage>>) -> Self {
+        self.prefetch = prefetch;
+        self
     }
 
     /// Gate every decode attempt through a shared [`FaultInjector`]
@@ -642,6 +655,47 @@ impl AdapterChunkSource {
     fn charge_sim_io(&self, uri: &str) {
         if let Some(sim) = self.sim_io {
             std::thread::sleep(sim_io_total(&sim, uri));
+        }
+    }
+
+    /// The fetch closure the prefetch stage runs on its IO threads:
+    /// simulated read latency and fault injection fire *inside* it, so
+    /// both are charged on the IO thread and genuinely overlap with
+    /// decode work (the direct path charges them on the decode worker,
+    /// as before).
+    pub fn raw_fetcher(&self) -> RawFetcher {
+        let adapter = Arc::clone(&self.adapter);
+        let registry = Arc::clone(&self.registry);
+        let sim_io = self.sim_io;
+        let faults = self.faults.clone();
+        Arc::new(move |uri: &str| -> sommelier_engine::Result<RawChunk> {
+            if let Some(sim) = sim_io {
+                std::thread::sleep(sim_io_total(&sim, uri));
+            }
+            if let Some(f) = &faults {
+                f.before_load(uri)?;
+            }
+            let entry = registry.get(uri).ok_or_else(|| {
+                EngineError::Chunk(format!("chunk {uri:?} is not registered"))
+            })?;
+            adapter.fetch_bytes(entry)
+        })
+    }
+
+    /// Claim staged bytes for `uri` if a prefetch fetched them:
+    /// `Some(raw)` means the IO cost (sim latency, fault gate, file
+    /// read) was already paid on the IO thread and the caller only
+    /// decodes; `None` means no prefetch covered this chunk (or it
+    /// failed, already surfaced as an error by `claim`) and the caller
+    /// runs the classic fused path.
+    fn claim_prefetched(&self, uri: &str) -> sommelier_engine::Result<Option<RawChunk>> {
+        match self.prefetch.as_ref().and_then(|s| s.claim(uri)) {
+            None => Ok(None),
+            Some(Ok(raw)) => Ok(Some(raw)),
+            // A failed prefetch surfaces exactly like a failed load;
+            // the entry was consumed, so the caller's retry loop falls
+            // back to the direct read path.
+            Some(Err(e)) => Err(e),
         }
     }
 
@@ -684,6 +738,18 @@ impl ChunkSource for AdapterChunkSource {
         uri: &str,
         projection: Option<&[String]>,
     ) -> sommelier_engine::Result<Relation> {
+        // Prefetched chunk: the IO (and its simulated latency + fault
+        // gate) already ran on an IO thread — only decode here.
+        if let Some(raw) = self.claim_prefetched(uri)? {
+            let t = Instant::now();
+            let rel = self.adapter.decode_bytes(self.entry(uri)?, raw, projection)?;
+            self.verify(&rel)?;
+            if let Some(c) = &self.counters {
+                c.chunks.inc();
+                c.observe(&rel, t.elapsed());
+            }
+            return Ok(rel);
+        }
         self.charge_sim_io(uri);
         if let Some(f) = &self.faults {
             f.before_load(uri)?;
@@ -703,6 +769,28 @@ impl ChunkSource for AdapterChunkSource {
         uri: &str,
         projection: Option<&[String]>,
     ) -> sommelier_engine::Result<Vec<ChunkUnit<'s>>> {
+        // Prefetched chunk: decode the staged buffer as one deferred
+        // unit instead of re-reading the file for per-segment units —
+        // the IO (sim latency, fault gate) was already charged on the
+        // IO thread, so none of the per-unit surcharges below apply.
+        if let Some(raw) = self.claim_prefetched(uri)? {
+            let entry = self.entry(uri)?.clone();
+            let projection = projection.map(<[String]>::to_vec);
+            let unit: ChunkUnit<'s> = Box::new(move || {
+                let t = Instant::now();
+                let rel = self.adapter.decode_bytes(&entry, raw, projection.as_deref())?;
+                self.verify(&rel)?;
+                if let Some(c) = &self.counters {
+                    c.units.inc();
+                    c.observe(&rel, t.elapsed());
+                }
+                Ok(rel)
+            });
+            if let Some(c) = &self.counters {
+                c.chunks.inc();
+            }
+            return Ok(vec![unit]);
+        }
         let mut units = self.adapter.chunk_units(self.entry(uri)?, projection)?;
         // Fault injection gates each unit on the worker that runs it
         // (same seam as the whole-chunk path: the fault fires where the

@@ -87,12 +87,29 @@ pub struct SommelierConfig {
     /// exponential backoff; applied by the cellar around every chunk
     /// decode).
     pub io_retry: RetryPolicy,
+    /// Async raw-byte prefetch window: while workers decode chunk `k`,
+    /// dedicated IO threads read the bytes of chunks `k+1..k+depth`
+    /// from the surviving (post-pruning) chunk list. `0` disables
+    /// prefetch entirely (the decode path is then byte-for-byte the
+    /// classic fused fetch+decode).
+    pub prefetch_depth: usize,
+    /// Cap on prefetched-but-unconsumed bytes staged at any moment
+    /// (across all in-flight queries). Staged bytes also count against
+    /// the cellar budget, so prefetch degrades to depth 0 under a tiny
+    /// budget instead of busting it.
+    pub prefetch_bytes: usize,
 }
 
 impl SommelierConfig {
     /// The effective cellar byte budget.
     pub fn effective_cellar_bytes(&self) -> usize {
         self.cellar_bytes.unwrap_or(self.recycler_bytes)
+    }
+
+    /// Dedicated prefetch IO threads: enough to keep the window moving,
+    /// never more than four (reads are seek-bound, not CPU-bound).
+    pub fn prefetch_io_threads(&self) -> usize {
+        self.prefetch_depth.clamp(1, 4)
     }
 }
 
@@ -119,6 +136,8 @@ impl Default for SommelierConfig {
             admission_queue_limit: 1024,
             fault_plan: None,
             io_retry: RetryPolicy::default(),
+            prefetch_depth: 2,
+            prefetch_bytes: 64 * 1024 * 1024,
         }
     }
 }
@@ -144,5 +163,11 @@ mod tests {
         assert!(c.admission_queue_limit > 0);
         assert!(c.fault_plan.is_none(), "fault injection is off by default");
         assert!(c.io_retry.max_attempts > 1, "transient failures retry by default");
+        assert!(c.prefetch_depth > 0, "prefetch is on by default");
+        assert!(c.prefetch_depth <= 4, "...with a conservative window");
+        assert!(c.prefetch_bytes > 0);
+        assert!(c.prefetch_io_threads() >= 1 && c.prefetch_io_threads() <= 4);
+        let off = SommelierConfig { prefetch_depth: 0, ..c };
+        assert_eq!(off.prefetch_io_threads(), 1, "clamped even when disabled");
     }
 }

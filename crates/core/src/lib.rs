@@ -51,6 +51,7 @@ pub mod dmd;
 pub mod error;
 pub mod fault;
 pub mod loader;
+pub mod prefetch;
 pub mod query;
 pub mod registrar;
 pub mod source;
@@ -349,6 +350,20 @@ impl SommelierBuilder {
         );
         let fault_injector =
             self.config.fault_plan.clone().map(|plan| Arc::new(FaultInjector::new(plan)));
+        let metrics = Arc::new(MetricsRegistry::new());
+        // One prefetch stage (and one IO-thread pool) per system: the
+        // server's sessions all share it, so concurrent queries compete
+        // for the same bounded read bandwidth instead of spawning
+        // per-session pools.
+        let prefetch = (self.config.prefetch_depth > 0).then(|| {
+            Arc::new(prefetch::PrefetchStage::new(
+                self.config.prefetch_io_threads(),
+                self.config.prefetch_depth,
+                self.config.prefetch_bytes,
+                self.config.io_retry,
+                Obs::new(self.config.observability, Arc::clone(&metrics)),
+            ))
+        });
         let somm = Sommelier {
             db: Arc::new(db),
             config: self.config,
@@ -357,10 +372,11 @@ impl SommelierBuilder {
             prepared: Mutex::new(None),
             csv_dir,
             db_dir,
-            metrics: Arc::new(MetricsRegistry::new()),
+            metrics,
             scheduler,
             admission,
             fault_injector,
+            prefetch,
             queries_degraded: AtomicU64::new(0),
         };
         if opened {
@@ -410,6 +426,13 @@ pub struct Sommelier {
     /// the cellar builds. `None` (the default) means the decode path
     /// is exactly the fault-free hot path.
     fault_injector: Option<Arc<FaultInjector>>,
+    /// The raw-byte prefetch stage: a small dedicated IO-thread pool
+    /// plus the staging area where fetched-but-not-yet-decoded bytes
+    /// wait for their decode worker. One per system, shared by every
+    /// session (see [`SommelierConfig::prefetch_depth`]). `None` when
+    /// `prefetch_depth == 0` — the decode path is then byte-for-byte
+    /// the classic fused fetch+decode.
+    prefetch: Option<Arc<prefetch::PrefetchStage>>,
     /// How many queries completed degraded (skipped at least one
     /// unreadable chunk under `SkipUnreadable`).
     queries_degraded: AtomicU64,
@@ -659,7 +682,8 @@ impl Sommelier {
                     )
                     .with_sim_io(self.config.sim_chunk_io)
                     .with_obs(&obs)
-                    .with_faults(self.fault_injector.clone()),
+                    .with_faults(self.fault_injector.clone())
+                    .with_prefetch(self.prefetch.clone()),
                 );
                 CellarSource {
                     descriptor: Arc::clone(&s.descriptor),
@@ -669,7 +693,7 @@ impl Sommelier {
                 }
             })
             .collect();
-        Ok(Arc::new(Cellar::new(
+        let cellar = Arc::new(Cellar::new(
             bindings,
             Arc::clone(&self.db),
             CellarConfig {
@@ -678,8 +702,23 @@ impl Sommelier {
                 retain: self.config.use_recycler,
                 obs,
                 retry: self.config.io_retry,
+                prefetch: self.prefetch.clone(),
             },
-        )?))
+        )?);
+        if let Some(stage) = &self.prefetch {
+            // Staged prefetch bytes count against the cellar budget:
+            // the stage probes residency before issuing each read, so
+            // a near-full (or tiny) cellar degrades prefetch toward
+            // depth 0 instead of busting the budget. Weak: the stage
+            // outlives any one cellar (prepare() can rebuild it).
+            let weak = Arc::downgrade(&cellar);
+            stage.bind_budget_probe(move || {
+                weak.upgrade()
+                    .map(|c| (c.resident_bytes(), c.budget_bytes()))
+                    .unwrap_or((0, usize::MAX))
+            });
+        }
+        Ok(cellar)
     }
 
     fn prepared_info(&self) -> Result<(LoadingMode, Arc<Cellar>)> {
@@ -816,8 +855,14 @@ impl Sommelier {
             * self.config.effective_cellar_bytes() as f64) as usize;
         let t_adm = Instant::now();
         let _ticket = if check_dmd {
-            let gate =
-                || mode != LoadingMode::Lazy || cellar.resident_bytes() < high_water.max(1);
+            let gate = || {
+                // Prefetched-but-unconsumed bytes are cellar memory in
+                // waiting: admission sees them, or a deep prefetch
+                // window would sneak past the high-water mark.
+                let staged = self.prefetch.as_ref().map_or(0, |s| s.staged_bytes());
+                mode != LoadingMode::Lazy
+                    || cellar.resident_bytes() + staged < high_water.max(1)
+            };
             match self.admission.acquire(opts.priority, cancel.as_ref(), &gate) {
                 Ok(t) => Some(t),
                 Err(AdmissionError::QueueFull { limit }) => {
@@ -1243,7 +1288,20 @@ impl Sommelier {
         self.metrics
             .counter("fault.queries_degraded")
             .store(self.queries_degraded.load(Ordering::Relaxed));
+        if let Some(stage) = &self.prefetch {
+            let (issued, hits, wasted, io_wait) = stage.stats();
+            self.metrics.counter("prefetch.issued").store(issued);
+            self.metrics.counter("prefetch.hits").store(hits);
+            self.metrics.counter("prefetch.wasted_bytes").store(wasted);
+            self.metrics.counter("prefetch.io_wait_ns").store(io_wait);
+            self.metrics.gauge("prefetch.staged_bytes").set(stage.staged_bytes() as u64);
+        }
         self.metrics.snapshot()
+    }
+
+    /// The raw-byte prefetch stage, when enabled (`prefetch_depth > 0`).
+    pub fn prefetch_stage(&self) -> Option<&Arc<prefetch::PrefetchStage>> {
+        self.prefetch.as_ref()
     }
 
     /// Drop buffered pages and cached chunks ("cold" run).

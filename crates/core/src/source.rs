@@ -431,6 +431,29 @@ impl SourceDescriptor {
     }
 }
 
+/// The raw, undecoded bytes of one chunk file, as produced by
+/// [`SourceAdapter::fetch_bytes`] — the fetch half of the fetch/decode
+/// seam the prefetcher pipelines. Carrying a plain owned buffer keeps
+/// the IO threads format-agnostic: they only read files, never parse.
+#[derive(Debug, Clone, Default)]
+pub struct RawChunk {
+    /// The chunk file's full contents.
+    pub bytes: Vec<u8>,
+}
+
+impl RawChunk {
+    /// Size of the staged payload (what the cellar budget accounts for
+    /// a prefetched-but-unconsumed chunk).
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True when the fetched file was empty.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+}
+
 /// A source format plugged into the sommelier. See the
 /// [module docs](self) for the contract a third-party format must
 /// implement.
@@ -458,6 +481,35 @@ pub trait SourceAdapter: Send + Sync {
         entry: &FileEntry,
         projection: Option<&[String]>,
     ) -> sommelier_engine::Result<Relation>;
+
+    /// The fetch half of the fetch/decode seam: read one chunk's raw
+    /// bytes without parsing anything. The prefetcher runs this on its
+    /// dedicated IO threads so the (seek-dominated) read of chunk k+1
+    /// overlaps with decoding chunk k. The default reads the whole file
+    /// at `entry.uri`, which is correct for any adapter whose
+    /// [`Self::decode`] starts by slurping its file.
+    fn fetch_bytes(&self, entry: &FileEntry) -> sommelier_engine::Result<RawChunk> {
+        let bytes = std::fs::read(&entry.uri).map_err(|e| {
+            sommelier_engine::EngineError::Chunk(format!("read {:?}: {e}", entry.uri))
+        })?;
+        Ok(RawChunk { bytes })
+    }
+
+    /// The decode half of the fetch/decode seam: parse already-fetched
+    /// bytes into the actual-data relation, exactly as [`Self::decode`]
+    /// would have (same shape, same projection contract). Adapters that
+    /// cannot decode from a detached buffer keep the default, which
+    /// ignores `raw` and re-runs the fused fetch+decode — correct but
+    /// without pipelining benefit.
+    fn decode_bytes(
+        &self,
+        entry: &FileEntry,
+        raw: RawChunk,
+        projection: Option<&[String]>,
+    ) -> sommelier_engine::Result<Relation> {
+        let _ = raw;
+        self.decode(entry, projection)
+    }
 
     /// Split one chunk into independent decode units for exchange-style
     /// parallelism. The default is a single deferred whole-chunk unit

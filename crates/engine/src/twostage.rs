@@ -171,6 +171,20 @@ pub struct SkippedChunk {
 /// concurrently from several threads.
 pub type ChunkSink<'a> = dyn Fn(usize, AcquiredChunk) -> Result<()> + Sync + 'a;
 
+/// A handle over one query's in-flight raw-byte prefetch (see
+/// [`ChunkResidency::prefetch`]). The driver must call
+/// [`Self::finish`] when the chunk wave ends — on every path, success
+/// or failure — so the manager can release staged-but-unconsumed
+/// bytes; dropping a driver-side guard is the idiomatic way.
+pub trait PrefetchHandle: Send {
+    /// How many raw-byte fetches were issued so far (observability).
+    fn submitted(&self) -> usize;
+
+    /// Stop issuing and release every staged-but-unconsumed buffer.
+    /// Idempotent.
+    fn finish(&self);
+}
+
 /// A chunk-granularity residency manager (the core crate's *cellar*).
 ///
 /// Unlike the raw [`ChunkSource`] + [`Recycler`] pair, a residency
@@ -270,6 +284,22 @@ pub trait ChunkResidency: Send + Sync {
         let _ = uri;
         None
     }
+
+    /// Begin asynchronous raw-byte prefetch of `uris` (the surviving,
+    /// post-pruning chunk list, in acquisition order): dedicated IO
+    /// threads read chunk `k+1..k+d` while workers decode chunk `k`,
+    /// and the subsequent [`Self::acquire_many`] / [`Self::acquire_each`]
+    /// consumes the staged bytes without a second read. `None` (the
+    /// default) = the manager does not prefetch; acquisition is
+    /// unchanged.
+    fn prefetch(
+        &self,
+        uris: &[String],
+        policy: &SchedPolicy,
+    ) -> Option<Box<dyn PrefetchHandle>> {
+        let _ = (uris, policy);
+        None
+    }
 }
 
 /// Where stage 2's chunk rows come from.
@@ -316,6 +346,17 @@ struct PinGuard<'a> {
 impl Drop for PinGuard<'_> {
     fn drop(&mut self) {
         self.residency.release_many(&self.uris);
+    }
+}
+
+/// RAII guard: finishes a query's prefetch plan when the chunk wave
+/// ends (on every path — success, decode error, cancel), so staged-
+/// but-unconsumed bytes are always released.
+struct PrefetchGuard(Box<dyn PrefetchHandle>);
+
+impl Drop for PrefetchGuard {
+    fn drop(&mut self) {
+        self.0.finish();
     }
 }
 
@@ -726,6 +767,39 @@ pub fn execute_plan(
     }
     let decode_projection = phys.decode_projection();
 
+    // ---- Async raw-byte prefetch over the surviving chunk list. ----
+    // Submitted the moment pruning settles — before any decode is
+    // scheduled — so dedicated IO threads read chunk k+1..k+d while
+    // workers decode chunk k. The guard finishes the plan on every
+    // exit path (success, decode error, cancel), releasing staged-but-
+    // unconsumed bytes.
+    let prefetch_guard: Option<PrefetchGuard> = match (&s2.chunks, &access) {
+        (Some(refs), ChunkAccess::Managed(residency)) if !refs.is_empty() => {
+            let to_fetch: Vec<String> =
+                refs.iter().filter(|r| !r.cached).map(|r| r.uri.clone()).collect();
+            let handle = if to_fetch.is_empty() {
+                None
+            } else {
+                residency.prefetch(&to_fetch, &config.policy())
+            };
+            if let (Some(tc), Some(h)) = (tracer, handle.as_deref()) {
+                let now = tc.now_ns();
+                tc.record(
+                    tc.ambient(),
+                    "prefetch",
+                    format!("{} issued over {} candidates", h.submitted(), to_fetch.len()),
+                    now,
+                    0,
+                    None,
+                    None,
+                    None,
+                );
+            }
+            handle.map(PrefetchGuard)
+        }
+        _ => None,
+    };
+
     // ---- Chunk acquisition over the (pruned) list. -----------------
     // The load span is ambient while the wave runs, so per-chunk spans
     // recorded on pool workers attach under it.
@@ -849,6 +923,10 @@ pub fn execute_plan(
             }
         }
     }
+
+    // The chunk wave is over: everything prefetched was either claimed
+    // by a decode or is now wasted — release it before stage 2 runs.
+    drop(prefetch_guard);
 
     if let (Some(tc), Some(id)) = (tracer, load_span) {
         tc.end_with(

@@ -17,13 +17,15 @@
 //! `windowdataview` (= F ⋈ S ⋈ D ⋈ H), `segview` (= F ⋈ S) and
 //! `windowview` (= F ⋈ H).
 
-use crate::reader::{decode_segment, read_full_bytes, read_full_bytes_into, FileHeader};
+use crate::reader::{
+    decode_segment, parse_full_bytes, read_full_bytes, read_full_bytes_into, FileHeader,
+};
 use crate::repo::Repository;
 use crate::{steim, SegmentData};
 use parking_lot::Mutex;
 use sommelier_core::chunks::FileEntry;
 use sommelier_core::source::{
-    empty_ad_relation, DmdAgg, DmdDim, DmdSpec, InferenceRule, SourceAdapter,
+    empty_ad_relation, DmdAgg, DmdDim, DmdSpec, InferenceRule, RawChunk, SourceAdapter,
     SourceDescriptor, UnitTableSpec,
 };
 use sommelier_core::{Result, SommelierError};
@@ -611,6 +613,32 @@ impl SourceAdapter for MseedAdapter {
                 &self.descriptor,
             )
         })
+    }
+
+    /// Decode from prefetched bytes: parse the header out of the staged
+    /// buffer and run the same single-pass columnar decode as
+    /// [`Self::decode`] — no file IO on the decode worker. (The
+    /// reference-decode oracle path has no from-bytes variant and falls
+    /// back to the fused fetch+decode.)
+    fn decode_bytes(
+        &self,
+        entry: &FileEntry,
+        raw: RawChunk,
+        projection: Option<&[String]>,
+    ) -> sommelier_engine::Result<Relation> {
+        if self.reference_decode {
+            return self.decode(entry, projection);
+        }
+        let header = parse_full_bytes(&raw.bytes, &entry.uri)
+            .map_err(|e| EngineError::Chunk(e.to_string()))?;
+        decode_columns(
+            &raw.bytes,
+            &header,
+            entry.file_id,
+            entry.seg_base,
+            projection,
+            &self.descriptor,
+        )
     }
 
     fn chunk_units<'s>(

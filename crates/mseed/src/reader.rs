@@ -93,6 +93,14 @@ fn parse_header(bytes: &[u8], what: &str) -> Result<FileHeader> {
     })
 }
 
+/// Parse the header + segment directory out of a chunk file's full
+/// bytes that were fetched elsewhere (the prefetcher's IO threads hand
+/// decode workers raw buffers; `what` labels errors in place of a
+/// path).
+pub fn parse_full_bytes(bytes: &[u8], what: &str) -> Result<FileHeader> {
+    parse_header(bytes, what)
+}
+
 /// Read only the given metadata of `path` (cheap: header + directory).
 pub fn read_metadata(path: &Path) -> Result<FileHeader> {
     // Headers are small; read a bounded prefix, growing if the segment

@@ -11,6 +11,11 @@
 //! worker threads is bounded no matter how many sessions are active.
 //! Admission control (`SommelierConfig::admission_*`) queues excess
 //! queries instead of letting them thrash the cellar's byte budget.
+//! The same bounding applies to cold-read bandwidth: raw-byte prefetch
+//! (`SommelierConfig::prefetch_depth`) runs on the system's **one
+//! shared IO-thread pool**, so concurrent sessions compete for a fixed
+//! set of `somm-io-N` readers (and one staged-byte cap) rather than
+//! spawning per-session prefetchers.
 //!
 //! ```no_run
 //! use sommelier_core::adapters::EventLogAdapter;
@@ -446,6 +451,38 @@ mod tests {
         let session = server.open_session(SessionOptions::default());
         let err = session.submit("SELECT nonsense FROM nowhere").unwrap().wait().unwrap_err();
         assert!(matches!(err, ServerError::Query(_)), "{err}");
+    }
+
+    #[test]
+    fn sessions_share_one_prefetch_stage() {
+        use sommelier_core::LoadingMode;
+        let dir =
+            std::env::temp_dir().join(format!("somm-server-prefetch-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        generate_event_logs(&dir, &EventLogSpec::small(3, 64)).unwrap();
+        let somm = Sommelier::builder().source(EventLogAdapter::new(&dir)).build().unwrap();
+        somm.prepare(LoadingMode::Lazy).unwrap();
+        let somm = Arc::new(somm);
+        let server = Server::new(Arc::clone(&somm));
+        // Two sessions race cold multi-chunk scans: both windows run on
+        // the system's single IO pool and stage, whose issue/hit
+        // counters therefore accumulate across sessions.
+        let sql = "SELECT AVG(E.val) FROM eventview WHERE E.val > -1000000000";
+        let a = server.open_session(SessionOptions::default());
+        let b = server.open_session(SessionOptions::default());
+        let (ha, hb) = (a.submit(sql).unwrap(), b.submit(sql).unwrap());
+        let (ra, rb) = (ha.wait().unwrap(), hb.wait().unwrap());
+        assert_eq!(
+            format!("{:?}", ra.relation),
+            format!("{:?}", rb.relation),
+            "shared staging must not change answers"
+        );
+        let stage = somm.prefetch_stage().expect("prefetch on by default");
+        let (issued, hits, _, _) = stage.stats();
+        assert!(issued >= 1, "cold scans must issue prefetches");
+        assert!(hits >= 1, "decodes must consume staged bytes");
+        assert_eq!(stage.staged_bytes(), 0, "stage drains once queries end");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
