@@ -1,0 +1,21 @@
+//! Deterministic chaos harness: seeded schedules composing injected
+//! transient faults, latency spikes, one panicking chunk, mid-query
+//! cancellation, tight timeouts, and admission saturation through the
+//! session API — finishing each cell with a shutdown fired while the
+//! server is freshly loaded. Survivor results are asserted
+//! byte-identical to the fault-free reference inside the experiment;
+//! the table reports the outcome mix, p99 latency, the shutdown
+//! drain/cancel split, and whether the invariant ledger (pins, staged
+//! bytes, admission queue) balanced to zero.
+//!
+//! Set `SOMM_JSON_OUT=<path>` to additionally record the table as JSON
+//! (how `BENCH_resilience.json` at the workspace root was produced).
+fn main() {
+    let scale = sommelier_bench::BenchScale::from_env();
+    let table = sommelier_bench::experiments::chaos(&scale).expect("chaos harness");
+    table.print();
+    if let Ok(path) = std::env::var("SOMM_JSON_OUT") {
+        std::fs::write(&path, table.to_json()).expect("write JSON baseline");
+        eprintln!("wrote {path}");
+    }
+}

@@ -1455,6 +1455,254 @@ pub fn prefetch_sweep(scale: &BenchScale) -> Result<Table> {
     Ok(t)
 }
 
+/// Deterministic chaos harness: seeded schedules composing injected
+/// transient faults and latency spikes, one deterministically
+/// panicking chunk, mid-query cancellation, tight timeouts, and
+/// admission saturation, driven through the session API by concurrent
+/// clients — finishing with a shutdown fired while the server is
+/// freshly loaded.
+///
+/// Every cell first computes a fault-free reference for the whole
+/// workload; a chaos run's *survivors* (queries that complete) must
+/// reproduce their reference fingerprints exactly — asserted inside the
+/// experiment — and every failure must be one of the typed lifecycle
+/// errors. `result_bits` is the XOR of the surviving fingerprints;
+/// `clean` reports the post-storm invariant ledger (zero pins, zero
+/// staged bytes, zero queued) plus the shutdown report's own ledger.
+pub fn chaos(scale: &BenchScale) -> Result<Table> {
+    use sommelier_core::FaultPlan;
+    use sommelier_server::{Server, ServerError, SessionOptions, SubmitOptions};
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+    use std::sync::{Arc, Mutex};
+    use std::time::Duration;
+
+    let mut t = Table::new(
+        "Chaos: seeded fault x cancel x timeout x panic x saturation schedules, \
+         then shutdown-while-loaded (event logs, lazy)",
+        &[
+            "seed",
+            "clients",
+            "ops",
+            "ok",
+            "cancelled",
+            "timed_out",
+            "overloaded",
+            "panicked",
+            "p99_ms",
+            "shutdown_drained",
+            "shutdown_cancelled",
+            "clean",
+            "result_bits",
+        ],
+    );
+
+    // A small event-log source: its chunk URIs are plain file paths,
+    // which the workload uses for chunk-pruned queries that avoid the
+    // poisoned chunk.
+    use sommelier_core::adapters::{generate_event_logs, EventLogAdapter, EventLogSpec};
+    let logs = scale.data_dir.join(format!("chaos-logs-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&logs);
+    generate_event_logs(&logs, &EventLogSpec::small(3, 64)).expect("generate event logs");
+    let mut chunks = walk_files(&logs);
+    chunks.sort();
+    assert!(chunks.len() >= 3, "need a victim and several healthy chunks");
+    let victim = chunks[0].clone();
+    let healthy: Vec<&String> = chunks.iter().filter(|c| **c != victim).collect();
+
+    // DMd-derived tables (Y) are excluded from the workload: their
+    // derivation scans every chunk, which would make any query touching
+    // them a second poison query.
+    let mut workload: Vec<String> =
+        vec!["SELECT COUNT(*) AS n FROM G WHERE host = 'web-1'".into()];
+    for c in &healthy {
+        workload.push(format!("SELECT COUNT(*) AS n FROM eventview WHERE G.uri = '{c}'"));
+        workload.push(format!("SELECT AVG(E.val) FROM eventview WHERE G.uri = '{c}'"));
+    }
+    let poison_op = workload.len();
+    workload.push("SELECT COUNT(*) AS n FROM eventview WHERE E.val > -1000000000".into());
+
+    // Fault-free reference fingerprints for every workload position.
+    let build = |plan: Option<FaultPlan>| -> Result<Sommelier> {
+        let config = SommelierConfig {
+            max_threads: 4,
+            use_recycler: false,
+            sim_chunk_io: Some(SimIo { per_page: Duration::from_millis(5) }),
+            admission_max_concurrent: 2,
+            admission_queue_limit: 3,
+            fault_plan: plan,
+            ..SommelierConfig::default()
+        };
+        let somm = Sommelier::builder()
+            .source(EventLogAdapter::new(&logs))
+            .config(config)
+            .build()?;
+        somm.prepare(LoadingMode::Lazy)?;
+        Ok(somm)
+    };
+    let clean_somm = build(None)?;
+    let reference: Vec<u64> = workload
+        .iter()
+        .enumerate()
+        .map(|(i, sql)| Ok(relation_fingerprint(i, &clean_somm.query(sql)?.relation)))
+        .collect::<Result<_>>()?;
+    drop(clean_somm);
+
+    let clients = 6usize;
+    let ops_per_seed = (scale.runs * 16).max(48);
+    for seed in [0x01ce_2015_u64, 0xc4a6_0b5e, 0x5eed_cafe] {
+        let somm = Arc::new(build(Some(FaultPlan {
+            seed,
+            transient_rate: 0.4,
+            spike_rate: 0.2,
+            spike: Duration::from_millis(2),
+            panic_uris: vec![victim.clone()],
+            ..FaultPlan::default()
+        }))?);
+        let server = Server::new(Arc::clone(&somm));
+
+        // The schedule is a pure function of the seed.
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let schedule: Vec<(usize, u64, u64)> = (0..ops_per_seed)
+            .map(|k| {
+                let q = if k % 8 == 7 { poison_op } else { rng.random_range(0..poison_op) };
+                // action: 0..=5 wait, 6..=7 cancel after 0..30ms,
+                // 8..=9 timeout 1..=40ms.
+                (q, rng.random_range(0..10u64), rng.random_range(0..40u64))
+            })
+            .collect();
+
+        let counts: [AtomicUsize; 5] = Default::default(); // ok, cancel, timeout, overload, panic
+        let bits = AtomicU64::new(0);
+        let cursor = AtomicUsize::new(0);
+        let lat = Mutex::new(Vec::with_capacity(schedule.len()));
+        std::thread::scope(|scope| {
+            for _ in 0..clients {
+                let server = server.clone();
+                let (schedule, workload, reference) = (&schedule, &workload, &reference);
+                let (counts, bits, cursor, lat) = (&counts, &bits, &cursor, &lat);
+                scope.spawn(move || {
+                    let session = server.open_session(SessionOptions::default());
+                    loop {
+                        let k = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(&(q, action, ms)) = schedule.get(k) else { break };
+                        let sql = &workload[q];
+                        let tq = std::time::Instant::now();
+                        let submitted = if action >= 8 {
+                            session.submit_with(
+                                sql,
+                                &SubmitOptions {
+                                    timeout: Some(Duration::from_millis(1 + ms)),
+                                    ..Default::default()
+                                },
+                            )
+                        } else {
+                            session.submit(sql)
+                        };
+                        let res = match submitted {
+                            Ok(handle) => {
+                                if (6..8).contains(&action) {
+                                    std::thread::sleep(Duration::from_millis(ms % 30));
+                                    handle.cancel();
+                                }
+                                handle.wait()
+                            }
+                            Err(e) => Err(e),
+                        };
+                        lat.lock().expect("latency lock").push(tq.elapsed());
+                        match res {
+                            Ok(r) => {
+                                assert_ne!(
+                                    q, poison_op,
+                                    "op {k}: poison query cannot succeed"
+                                );
+                                let f = relation_fingerprint(q, &r.relation);
+                                assert_eq!(
+                                    f, reference[q],
+                                    "op {k} (workload {q}) survived but drifted"
+                                );
+                                bits.fetch_xor(f, Ordering::Relaxed);
+                                counts[0].fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(e) => {
+                                let slot = match e {
+                                    ServerError::Cancelled => 1,
+                                    ServerError::TimedOut => 2,
+                                    ServerError::Overloaded { retry_after_ms, .. } => {
+                                        // Honor (a capped slice of) the
+                                        // advertised backpressure before
+                                        // taking the next op.
+                                        std::thread::sleep(Duration::from_millis(
+                                            retry_after_ms.min(10),
+                                        ));
+                                        3
+                                    }
+                                    ServerError::Quarantined { .. }
+                                    | ServerError::Query(
+                                        sommelier_core::SommelierError::QueryPanicked {
+                                            ..
+                                        },
+                                    ) => 4,
+                                    other => panic!("op {k} failed untyped: {other}"),
+                                };
+                                counts[slot].fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+
+        // Shutdown while freshly loaded: one more wave, then drain.
+        let fresh = server.open_session(SessionOptions::default());
+        let wave: Vec<_> = healthy
+            .iter()
+            .take(4)
+            .map(|c| {
+                fresh
+                    .submit(&format!("SELECT AVG(E.val) FROM eventview WHERE G.uri = '{c}'"))
+                    .expect("submit wave")
+            })
+            .collect();
+        let report = server.shutdown(Duration::from_secs(120));
+        for h in wave {
+            if let Err(e) = h.wait() {
+                assert!(
+                    matches!(e, ServerError::Cancelled | ServerError::ShuttingDown),
+                    "wave failed untyped: {e}"
+                );
+            }
+        }
+        let clean = report.is_clean()
+            && somm.cellar().map_or(0, |c| c.total_pins()) == 0
+            && somm.prefetch_stage().map_or(0, |s| s.staged_bytes()) == 0;
+        let mut ms: Vec<f64> = lat
+            .into_inner()
+            .expect("latency lock")
+            .iter()
+            .map(|d| d.as_secs_f64() * 1e3)
+            .collect();
+        ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+        let p99 = ms[((ms.len() - 1) as f64 * 0.99).round() as usize];
+        t.row(vec![
+            format!("{seed:#x}"),
+            clients.to_string(),
+            ops_per_seed.to_string(),
+            counts[0].load(Ordering::Relaxed).to_string(),
+            counts[1].load(Ordering::Relaxed).to_string(),
+            counts[2].load(Ordering::Relaxed).to_string(),
+            counts[3].load(Ordering::Relaxed).to_string(),
+            counts[4].load(Ordering::Relaxed).to_string(),
+            format!("{p99:.3}"),
+            report.drained.to_string(),
+            report.cancelled.to_string(),
+            if clean { "yes".into() } else { "NO".into() },
+            format!("{:016x}", bits.load(Ordering::Relaxed)),
+        ]);
+    }
+    let _ = std::fs::remove_dir_all(&logs);
+    Ok(t)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1622,6 +1870,21 @@ mod tests {
         }
         let hits: u64 = t.rows.iter().map(|r| r[9].parse::<u64>().unwrap()).sum();
         assert!(hits > 0, "windowed cells must consume prefetched bytes");
+        let _ = std::fs::remove_dir_all(&scale.data_dir);
+    }
+
+    #[test]
+    fn chaos_shape() {
+        let scale = tiny("chaos");
+        let t = chaos(&scale).unwrap();
+        // 3 seeds; survivor byte-identity and typed-failure-only are
+        // asserted inside the experiment itself.
+        assert_eq!(t.rows.len(), 3);
+        for row in &t.rows {
+            assert_eq!(row[11], "yes", "seed {}: ledger must balance: {row:?}", row[0]);
+            let ok: usize = row[3].parse().unwrap();
+            assert!(ok > 0, "seed {}: chaos must not kill the whole schedule", row[0]);
+        }
         let _ = std::fs::remove_dir_all(&scale.data_dir);
     }
 

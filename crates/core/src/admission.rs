@@ -12,7 +12,7 @@
 //! slot and wakes the queue.
 
 use sommelier_engine::sched::{CancelToken, Priority};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
@@ -23,6 +23,8 @@ pub enum AdmissionError {
     QueueFull { limit: usize },
     /// The query's [`CancelToken`] fired while it was queued.
     Cancelled { timed_out: bool },
+    /// The controller is draining for shutdown and admits nothing new.
+    ShuttingDown,
 }
 
 struct State {
@@ -60,6 +62,7 @@ pub struct AdmissionController {
     cv: Condvar,
     max_concurrent: usize,
     queue_limit: usize,
+    shutting_down: AtomicBool,
     admitted: AtomicU64,
     rejected: AtomicU64,
     cancelled: AtomicU64,
@@ -97,6 +100,7 @@ impl AdmissionController {
             cv: Condvar::new(),
             max_concurrent: max_concurrent.max(1),
             queue_limit: queue_limit.max(1),
+            shutting_down: AtomicBool::new(false),
             admitted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             cancelled: AtomicU64::new(0),
@@ -127,6 +131,10 @@ impl AdmissionController {
         cancel: Option<&CancelToken>,
         gate: &dyn Fn() -> bool,
     ) -> std::result::Result<AdmissionTicket<'_>, AdmissionError> {
+        if self.is_shutting_down() {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(AdmissionError::ShuttingDown);
+        }
         let mut st = self.lock();
         // Fast path: nobody queued ahead of us and a slot is free.
         if st.queued.is_empty() && self.may_start(&st, gate) {
@@ -143,6 +151,17 @@ impl AdmissionController {
         st.queued.push((priority, seq));
         let started = Instant::now();
         loop {
+            // Shutdown while queued: leave the queue with a typed error
+            // so drains are not blocked on waiters that can never start.
+            if self.is_shutting_down() {
+                st.queued.retain(|&(_, s)| s != seq);
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                self.queue_wait_ns
+                    .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                drop(st);
+                self.cv.notify_all();
+                return Err(AdmissionError::ShuttingDown);
+            }
             let at_head = st
                 .queued
                 .iter()
@@ -178,6 +197,20 @@ impl AdmissionController {
                 .unwrap_or_else(|p| p.into_inner());
             st = g;
         }
+    }
+
+    /// Flip the controller into drain mode: every `acquire` call —
+    /// including waiters already queued — fails with
+    /// [`AdmissionError::ShuttingDown`] from now on. Already-admitted
+    /// tickets are unaffected; they drain normally. Irreversible.
+    pub fn begin_shutdown(&self) {
+        self.shutting_down.store(true, Ordering::Release);
+        self.cv.notify_all();
+    }
+
+    /// True once [`AdmissionController::begin_shutdown`] has been called.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutting_down.load(Ordering::Acquire)
     }
 
     /// Counter snapshot for metrics export.
@@ -291,6 +324,32 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(*order.lock().unwrap(), vec!["high", "low"]);
+    }
+
+    #[test]
+    fn shutdown_rejects_new_and_queued_waiters() {
+        let ctl = Arc::new(AdmissionController::new(1, 8));
+        let held = ctl.acquire(Priority::Normal, None, &|| true).unwrap();
+        // Park a waiter in the queue.
+        let bg = {
+            let ctl = Arc::clone(&ctl);
+            std::thread::spawn(move || {
+                ctl.acquire(Priority::Normal, None, &|| true).map(|_| ())
+            })
+        };
+        while ctl.stats().queue_depth == 0 {
+            std::thread::yield_now();
+        }
+        ctl.begin_shutdown();
+        // The queued waiter is woken with the typed error.
+        assert_eq!(bg.join().unwrap().unwrap_err(), AdmissionError::ShuttingDown);
+        // New arrivals fail fast.
+        let err = ctl.acquire(Priority::High, None, &|| true).unwrap_err();
+        assert_eq!(err, AdmissionError::ShuttingDown);
+        // The already-admitted ticket still drains normally.
+        drop(held);
+        assert_eq!(ctl.stats().running, 0);
+        assert_eq!(ctl.stats().queue_depth, 0);
     }
 
     #[test]

@@ -203,9 +203,13 @@ impl LoadLatch {
 /// The retry classification a failed load publishes through its latch.
 /// A load that failed because *its own query* was cancelled is
 /// transient to everyone else — the chunk itself is fine — so waiters
-/// re-attempt instead of inheriting a foreign cancellation.
+/// re-attempt instead of inheriting a foreign cancellation. The same
+/// holds for a caught panic: the panic fails only the owning query
+/// (typed `Panicked`), while joiners re-attempt the load themselves —
+/// the chunk may be perfectly decodable without the panicking query's
+/// injected fault or operator state.
 fn publish_kind(e: &EngineError) -> ErrorKind {
-    if matches!(e, EngineError::Cancelled { .. }) {
+    if matches!(e, EngineError::Cancelled { .. } | EngineError::Panicked { .. }) {
         ErrorKind::Transient
     } else {
         e.kind()
@@ -482,8 +486,35 @@ impl Cellar {
         }
 
         // Phase 2: decode claimed chunks outside the lock, with the
-        // configured parallelism.
-        let decoded = self.decode_claims(&claims, policy);
+        // configured parallelism. A panic escaping the decode wave
+        // (operator code outside the per-attempt retry seam, or the
+        // batch machinery re-raising a worker panic) must not unwind
+        // through this frame: claimed latches would stay `Loading`
+        // forever (joiners deadlock) and the hit pins taken in phase 1
+        // would leak. Catch it, wake every claim retryable, withdraw
+        // the slots, release our pins, and surface the typed error to
+        // the owning query only.
+        let decoded = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.decode_claims(&claims, policy)
+        })) {
+            Ok(d) => d,
+            Err(payload) => {
+                let msg = sommelier_engine::sched::panic_message(payload.as_ref());
+                {
+                    let mut inner = self.inner.lock();
+                    for (uri, latch) in &claims {
+                        inner.slots.remove(uri);
+                        latch.publish(Err((
+                            ErrorKind::Transient,
+                            format!("loader panicked: {msg}"),
+                        )));
+                    }
+                }
+                let refs: Vec<&str> = owned_pins.iter().map(|u| u.as_str()).collect();
+                self.release_uris(&refs);
+                return Err(EngineError::Panicked { payload: msg });
+            }
+        };
 
         // Phase 3: publish results — admit successes (pinned for this
         // caller, so they cannot be evicted before assembly), withdraw
@@ -1095,9 +1126,15 @@ impl Cellar {
     /// Record a load failure: a permanently unreadable chunk is
     /// quarantined in its registry, so stage 1 of every later query
     /// drops it up front without re-touching the file. Transient
-    /// failures and cancellations never quarantine.
+    /// failures and cancellations never quarantine — and neither do
+    /// panics: the unwind says nothing about the chunk's bytes, and
+    /// registry-quarantining it would silently shrink every later
+    /// query's answer. (Panic containment is per-session, in the
+    /// server's query-fingerprint quarantine.)
     fn note_load_failure(&self, uri: &str, e: &EngineError) {
-        if e.kind() == ErrorKind::Permanent && !matches!(e, EngineError::Cancelled { .. }) {
+        if e.kind() == ErrorKind::Permanent
+            && !matches!(e, EngineError::Cancelled { .. } | EngineError::Panicked { .. })
+        {
             if let Ok(s) = self.source_of(uri) {
                 s.registry.quarantine(uri, e.to_string());
             }
@@ -1108,7 +1145,9 @@ impl Cellar {
     /// under [`DegradationPolicy::SkipUnreadable`] the chunk becomes an
     /// empty placeholder carrying the skip reason (schema-correct, so
     /// stage 2 runs unchanged over the readable rest); under `Strict` —
-    /// and always for cancellations — the error surfaces.
+    /// and always for cancellations and panics — the error surfaces.
+    /// (Skipping over a panic would hide a code bug as a smaller
+    /// answer; a panic must fail its query loudly and typed.)
     fn skip_or(
         &self,
         degradation: DegradationPolicy,
@@ -1116,7 +1155,7 @@ impl Cellar {
         e: EngineError,
     ) -> sommelier_engine::Result<AcquiredChunk> {
         if degradation == DegradationPolicy::SkipUnreadable
-            && !matches!(e, EngineError::Cancelled { .. })
+            && !matches!(e, EngineError::Cancelled { .. } | EngineError::Panicked { .. })
         {
             let descriptor = &self.source_of(uri)?.descriptor;
             let placeholder = crate::source::empty_ad_relation(descriptor, None)?;
@@ -1175,6 +1214,20 @@ impl Cellar {
                 *guard = Some(e);
             }
         };
+        // Sink calls run caller code while this task holds a pin; a
+        // panic unwinding through here would skip the release below and
+        // leak that pin past the query. Catch it and record a typed
+        // `Panicked` instead — the abort mechanism then skips the
+        // remaining sinks and the wave unwinds cleanly, pins balanced.
+        let sink = |i: usize, chunk: AcquiredChunk| match std::panic::catch_unwind(
+            std::panic::AssertUnwindSafe(|| (tctx.sink)(i, chunk)),
+        ) {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => record(e),
+            Err(p) => record(EngineError::Panicked {
+                payload: sommelier_engine::sched::panic_message(p.as_ref()),
+            }),
+        };
         if let Some(c) = tctx.cancel {
             if let Err(e) = c.check() {
                 record(e);
@@ -1189,9 +1242,7 @@ impl Cellar {
                 held(1);
                 if !aborted() {
                     let chunk = AcquiredChunk::untimed(Arc::clone(relation), false, false);
-                    if let Err(e) = (tctx.sink)(i, chunk) {
-                        record(e);
-                    }
+                    sink(i, chunk);
                 }
                 self.release_uris(&[uri]);
                 held(-1);
@@ -1213,9 +1264,7 @@ impl Cellar {
                                 pin_wait: Duration::ZERO,
                                 skipped: None,
                             };
-                            if let Err(e) = (tctx.sink)(i, chunk) {
-                                record(e);
-                            }
+                            sink(i, chunk);
                         }
                         Err(e) => record(e),
                     }
@@ -1236,9 +1285,7 @@ impl Cellar {
                                 pin_wait: Duration::ZERO,
                                 skipped: None,
                             };
-                            if let Err(e) = (tctx.sink)(i, chunk) {
-                                record(e);
-                            }
+                            sink(i, chunk);
                         }
                         self.release_uris(&[uri]);
                         held(-1);
@@ -1248,9 +1295,7 @@ impl Cellar {
                     Err(e) => match self.skip_or(tctx.degradation, uri, e) {
                         Ok(chunk) => {
                             if !aborted() {
-                                if let Err(e) = (tctx.sink)(i, chunk) {
-                                    record(e);
-                                }
+                                sink(i, chunk);
                             }
                         }
                         Err(e) => record(e),
@@ -1280,9 +1325,7 @@ impl Cellar {
                                 pin_wait: waited,
                                 skipped: None,
                             };
-                            if let Err(e) = (tctx.sink)(i, chunk) {
-                                record(e);
-                            }
+                            sink(i, chunk);
                         }
                         self.release_uris(&[uri]);
                         held(-1);
@@ -1308,9 +1351,7 @@ impl Cellar {
                             match self.skip_or(tctx.degradation, uri, e) {
                                 Ok(chunk) => {
                                     if !aborted() {
-                                        if let Err(e) = (tctx.sink)(i, chunk) {
-                                            record(e);
-                                        }
+                                        sink(i, chunk);
                                     }
                                 }
                                 Err(e) => record(e),

@@ -77,6 +77,12 @@ pub struct SommelierConfig {
     /// Admission control: queries queued beyond this limit are rejected
     /// with a typed "overloaded" error instead of waiting.
     pub admission_queue_limit: usize,
+    /// Scheduler priority aging: a queued morsel batch gains one
+    /// priority rank per this many milliseconds of queue wait
+    /// (saturating at `High`), so a saturating high-priority tenant
+    /// cannot starve `Low` sessions forever. `0` disables aging
+    /// (strict priority order).
+    pub sched_aging_ms: u64,
     /// Deterministic fault injection at the chunk-decode seam (default
     /// off — `None`). The fault-tolerance analogue of
     /// [`Self::sim_chunk_io`]: tests and benches use it to make
@@ -134,6 +140,7 @@ impl Default for SommelierConfig {
             admission_max_concurrent: 32,
             admission_high_water: 1.0,
             admission_queue_limit: 1024,
+            sched_aging_ms: 100,
             fault_plan: None,
             io_retry: RetryPolicy::default(),
             prefetch_depth: 2,
@@ -161,6 +168,7 @@ mod tests {
         assert!(c.admission_max_concurrent > 0);
         assert!(c.admission_high_water > 0.0);
         assert!(c.admission_queue_limit > 0);
+        assert!(c.sched_aging_ms > 0, "aging is on by default (bounded starvation)");
         assert!(c.fault_plan.is_none(), "fault injection is off by default");
         assert!(c.io_retry.max_attempts > 1, "transient failures retry by default");
         assert!(c.prefetch_depth > 0, "prefetch is on by default");

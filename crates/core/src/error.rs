@@ -22,22 +22,45 @@ pub enum SommelierError {
     Usage(String),
     /// Admission control rejected the query: the queue is at its
     /// configured limit (see `SommelierConfig::admission_queue_limit`).
-    Overloaded(String),
+    /// `retry_after_ms` is the backpressure hint — how long the client
+    /// should wait before resubmitting, derived from queue depth and
+    /// observed query latency.
+    Overloaded {
+        message: String,
+        retry_after_ms: u64,
+    },
+    /// The system is draining for shutdown and no longer admits new
+    /// queries. Unlike [`SommelierError::Overloaded`] this is permanent:
+    /// retrying against the same instance cannot succeed.
+    ShuttingDown,
+    /// A morsel task of this query panicked. The panic was caught at
+    /// the scheduler seam, the query's pins and staged bytes were
+    /// released, and only this query failed — the pool and every other
+    /// in-flight query keep running.
+    QueryPanicked {
+        /// The query text (or a description of it).
+        query: String,
+        /// Stringified panic payload.
+        payload: String,
+    },
 }
 
 impl SommelierError {
     /// Transient / permanent classification (the retry taxonomy):
     /// transient errors are worth re-attempting, permanent ones are
-    /// not. Sql / usage / admission errors are all permanent — retrying
-    /// an unchanged query cannot fix them.
+    /// not. Sql / usage errors are permanent — retrying an unchanged
+    /// query cannot fix them. `Overloaded` is transient by definition:
+    /// the client is told to come back after `retry_after_ms`.
     pub fn kind(&self) -> ErrorKind {
         match self {
             SommelierError::Storage(e) => e.kind(),
             SommelierError::Engine(e) => e.kind(),
+            SommelierError::Overloaded { .. } => ErrorKind::Transient,
             SommelierError::Sql(_)
             | SommelierError::Adapter(_)
             | SommelierError::Usage(_)
-            | SommelierError::Overloaded(_) => ErrorKind::Permanent,
+            | SommelierError::ShuttingDown
+            | SommelierError::QueryPanicked { .. } => ErrorKind::Permanent,
         }
     }
 }
@@ -50,7 +73,13 @@ impl fmt::Display for SommelierError {
             SommelierError::Sql(e) => write!(f, "{e}"),
             SommelierError::Adapter(m) => write!(f, "source adapter error: {m}"),
             SommelierError::Usage(m) => write!(f, "usage error: {m}"),
-            SommelierError::Overloaded(m) => write!(f, "server overloaded: {m}"),
+            SommelierError::Overloaded { message, retry_after_ms } => {
+                write!(f, "server overloaded: {message} (retry after {retry_after_ms}ms)")
+            }
+            SommelierError::ShuttingDown => write!(f, "server is shutting down"),
+            SommelierError::QueryPanicked { query, payload } => {
+                write!(f, "query panicked: {payload} (query: {query})")
+            }
         }
     }
 }
@@ -61,9 +90,11 @@ impl std::error::Error for SommelierError {
             SommelierError::Storage(e) => Some(e),
             SommelierError::Engine(e) => Some(e),
             SommelierError::Sql(e) => Some(e),
-            SommelierError::Adapter(_) => None,
-            SommelierError::Usage(_) => None,
-            SommelierError::Overloaded(_) => None,
+            SommelierError::Adapter(_)
+            | SommelierError::Usage(_)
+            | SommelierError::Overloaded { .. }
+            | SommelierError::ShuttingDown
+            | SommelierError::QueryPanicked { .. } => None,
         }
     }
 }
@@ -96,6 +127,16 @@ mod tests {
         assert!(e.to_string().contains('y'));
         let e = SommelierError::Usage("wrong mode".into());
         assert!(e.to_string().contains("wrong mode"));
+        let e =
+            SommelierError::Overloaded { message: "queue full".into(), retry_after_ms: 40 };
+        let s = e.to_string();
+        assert!(s.contains("queue full") && s.contains("40ms"), "{s}");
+        let e = SommelierError::QueryPanicked {
+            query: "SELECT 1".into(),
+            payload: "boom".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("boom") && s.contains("SELECT 1"), "{s}");
     }
 
     #[test]
@@ -108,6 +149,14 @@ mod tests {
         .into();
         assert_eq!(transient.kind(), ErrorKind::Transient);
         assert_eq!(SommelierError::Usage("x".into()).kind(), ErrorKind::Permanent);
-        assert_eq!(SommelierError::Overloaded("x".into()).kind(), ErrorKind::Permanent);
+        // Overloaded means "retry later", so it must classify transient.
+        let overloaded =
+            SommelierError::Overloaded { message: "x".into(), retry_after_ms: 10 };
+        assert_eq!(overloaded.kind(), ErrorKind::Transient);
+        // Shutdown and panics are not retryable against this instance.
+        assert_eq!(SommelierError::ShuttingDown.kind(), ErrorKind::Permanent);
+        let panicked =
+            SommelierError::QueryPanicked { query: "q".into(), payload: "p".into() };
+        assert_eq!(panicked.kind(), ErrorKind::Permanent);
     }
 }

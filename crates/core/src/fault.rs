@@ -45,6 +45,12 @@ pub struct FaultPlan {
     pub spike_rate: f64,
     /// Duration of one injected latency spike.
     pub spike: Duration,
+    /// Chunks whose decode *panics* (the chaos-harness hook for
+    /// exercising panic isolation): every load attempt of these URIs
+    /// unwinds instead of returning an error. The panic is caught at
+    /// the [`with_retries`] seam and converted to a typed
+    /// [`EngineError::Panicked`], failing only the owning query.
+    pub panic_uris: Vec<String>,
 }
 
 impl Default for FaultPlan {
@@ -57,6 +63,7 @@ impl Default for FaultPlan {
             truncated_uris: Vec::new(),
             spike_rate: 0.0,
             spike: Duration::from_millis(1),
+            panic_uris: Vec::new(),
         }
     }
 }
@@ -82,6 +89,8 @@ pub struct FaultCounts {
     pub truncated: u64,
     /// Latency spikes injected.
     pub spikes: u64,
+    /// Decode panics injected.
+    pub panics: u64,
 }
 
 impl FaultCounts {
@@ -104,6 +113,7 @@ pub struct FaultInjector {
     corrupt: AtomicU64,
     truncated: AtomicU64,
     spikes: AtomicU64,
+    panics: AtomicU64,
 }
 
 impl FaultInjector {
@@ -116,6 +126,7 @@ impl FaultInjector {
             corrupt: AtomicU64::new(0),
             truncated: AtomicU64::new(0),
             spikes: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
         }
     }
 
@@ -135,6 +146,10 @@ impl FaultInjector {
         {
             self.spikes.fetch_add(1, Ordering::Relaxed);
             std::thread::sleep(self.plan.spike);
+        }
+        if self.plan.panic_uris.iter().any(|u| u == uri) {
+            self.panics.fetch_add(1, Ordering::Relaxed);
+            panic!("injected panic decoding chunk {uri:?} (attempt {attempt})");
         }
         if self.plan.corrupt_uris.iter().any(|u| u == uri) {
             self.corrupt.fetch_add(1, Ordering::Relaxed);
@@ -174,6 +189,7 @@ impl FaultInjector {
             corrupt: self.corrupt.load(Ordering::Relaxed),
             truncated: self.truncated.load(Ordering::Relaxed),
             spikes: self.spikes.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
         }
     }
 }
@@ -251,6 +267,14 @@ pub fn io_retries() -> u64 {
 /// retry bumps `fault.io_retries` and, when the owning query traces
 /// spans (`tracer`), records a `retry` span under the ambient (load)
 /// span.
+///
+/// Panic isolation: every attempt runs under `catch_unwind`, so a
+/// panic in a chunk decode (or anything else behind `f`) becomes a
+/// typed [`EngineError::Panicked`] instead of unwinding through —
+/// critical on prefetch IO threads, where an escaped panic would kill
+/// the thread and leave waiters parked on a latch that never resolves.
+/// This is the single choke point covering both the cellar decode path
+/// and the prefetch fetchers (both route their chunk IO through here).
 pub fn with_retries<T>(
     policy: &RetryPolicy,
     cancel: Option<&CancelToken>,
@@ -265,7 +289,13 @@ pub fn with_retries<T>(
         if let Some(c) = cancel {
             c.check()?;
         }
-        let err = match f() {
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(&mut f))
+            .unwrap_or_else(|payload| {
+                Err(EngineError::Panicked {
+                    payload: sommelier_engine::sched::panic_message(payload.as_ref()),
+                })
+            });
+        let err = match outcome {
             Ok(v) => return Ok(v),
             Err(e) => e,
         };
@@ -401,6 +431,45 @@ mod tests {
             });
         assert!(matches!(out, Err(EngineError::Cancelled { .. })));
         assert_eq!(calls.load(Ordering::Relaxed), 0, "cancelled before first attempt");
+    }
+
+    #[test]
+    fn panics_in_the_attempt_become_typed_errors() {
+        let calls = AtomicU32::new(0);
+        let out: Result<(), _> =
+            with_retries(&RetryPolicy::default(), None, &Obs::off(), None, "u", || {
+                calls.fetch_add(1, Ordering::Relaxed);
+                panic!("decoder blew up");
+            });
+        let e = out.unwrap_err();
+        assert!(
+            matches!(&e, EngineError::Panicked { payload } if payload.contains("decoder blew up"))
+        );
+        assert_eq!(e.kind(), ErrorKind::Permanent, "panics are never retried");
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn panic_uris_inject_and_are_caught_at_the_retry_seam() {
+        let inj = FaultInjector::new(FaultPlan {
+            panic_uris: vec!["poison.seed".into()],
+            ..FaultPlan::default()
+        });
+        let out: Result<(), _> = with_retries(
+            &RetryPolicy::default(),
+            None,
+            &Obs::off(),
+            None,
+            "poison.seed",
+            || inj.before_load("poison.seed"),
+        );
+        let e = out.unwrap_err();
+        assert!(
+            matches!(&e, EngineError::Panicked { payload } if payload.contains("poison.seed"))
+        );
+        assert_eq!(inj.injected().panics, 1);
+        // Other chunks are unaffected.
+        assert!(inj.before_load("fine.seed").is_ok());
     }
 
     #[test]

@@ -340,7 +340,10 @@ impl SommelierBuilder {
             ),
         };
         let scheduler = if self.config.shared_scheduler && self.config.max_threads > 1 {
-            Some(Arc::new(MorselScheduler::new(self.config.max_threads)))
+            Some(Arc::new(MorselScheduler::with_aging(
+                self.config.max_threads,
+                std::time::Duration::from_millis(self.config.sched_aging_ms),
+            )))
         } else {
             None
         };
@@ -378,6 +381,7 @@ impl SommelierBuilder {
             fault_injector,
             prefetch,
             queries_degraded: AtomicU64::new(0),
+            latency_ewma_ns: AtomicU64::new(0),
         };
         if opened {
             somm.restore_on_open()?;
@@ -436,6 +440,11 @@ pub struct Sommelier {
     /// How many queries completed degraded (skipped at least one
     /// unreadable chunk under `SkipUnreadable`).
     queries_degraded: AtomicU64,
+    /// EWMA of successful top-level query latency (α = 1/8), in
+    /// nanoseconds. Feeds the `retry_after_ms` backpressure hint on
+    /// [`SommelierError::Overloaded`]: clients are told to come back
+    /// after roughly (queued ahead / concurrency) × observed latency.
+    latency_ewma_ns: AtomicU64,
 }
 
 /// A compiled query, ready to plan: routed to its source, classified,
@@ -823,6 +832,7 @@ impl Sommelier {
         force_spans: bool,
         opts: &QueryOptions,
     ) -> Result<QueryResult> {
+        let t_query = Instant::now();
         let sampling = opts.sampling;
         let (mode, cellar) = self.prepared_info()?;
         // One token serves both explicit cancellation and the timeout.
@@ -866,12 +876,18 @@ impl Sommelier {
             match self.admission.acquire(opts.priority, cancel.as_ref(), &gate) {
                 Ok(t) => Some(t),
                 Err(AdmissionError::QueueFull { limit }) => {
-                    return Err(SommelierError::Overloaded(format!(
-                        "admission queue is full ({limit} queued)"
-                    )))
+                    let retry_after_ms = self.overload_retry_after_ms();
+                    self.metrics.gauge("admission.retry_after_ms").set(retry_after_ms);
+                    return Err(SommelierError::Overloaded {
+                        message: format!("admission queue is full ({limit} queued)"),
+                        retry_after_ms,
+                    });
                 }
                 Err(AdmissionError::Cancelled { timed_out }) => {
                     return Err(sommelier_engine::EngineError::Cancelled { timed_out }.into())
+                }
+                Err(AdmissionError::ShuttingDown) => {
+                    return Err(SommelierError::ShuttingDown)
                 }
             }
         } else {
@@ -1029,6 +1045,9 @@ impl Sommelier {
                 reasons: outcome.skipped.iter().map(|s| s.reason.clone()).collect(),
             })
         };
+        if check_dmd {
+            self.note_query_latency(t_query.elapsed());
+        }
         Ok(QueryResult {
             relation: outcome.relation,
             stats,
@@ -1040,15 +1059,43 @@ impl Sommelier {
         })
     }
 
+    /// Fold one successful top-level query latency into the EWMA
+    /// (α = 1/8) that backs the overload retry-after hint.
+    fn note_query_latency(&self, elapsed: std::time::Duration) {
+        let sample = elapsed.as_nanos() as u64;
+        let _ =
+            self.latency_ewma_ns.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+                Some(if cur == 0 { sample } else { cur - cur / 8 + sample / 8 })
+            });
+    }
+
+    /// The backpressure hint attached to [`SommelierError::Overloaded`]:
+    /// roughly how long until a queue slot frees up, computed as
+    /// (queued ahead / concurrency + 1) × observed query latency,
+    /// clamped to [10ms, 10s] so the hint is always actionable even
+    /// before any latency samples exist.
+    fn overload_retry_after_ms(&self) -> u64 {
+        let st = self.admission.stats();
+        let ewma_ms = (self.latency_ewma_ns.load(Ordering::Relaxed) / 1_000_000).max(1);
+        let rounds = st.queue_depth / self.config.admission_max_concurrent.max(1) as u64 + 1;
+        (rounds * ewma_ms).clamp(10, 10_000)
+    }
+
     /// Compile and run a SQL query.
     pub fn query(&self, sql: &str) -> Result<QueryResult> {
-        let spec = sommelier_sql::compile(sql, &self.catalog)?;
-        self.run_spec(spec, true)
+        self.query_opts(sql, &QueryOptions::default())
     }
 
     /// Compile and run a SQL query with per-query [`QueryOptions`]:
     /// priority, cancellation, timeout, sampling. This is the entry
     /// point the `sommelier-server` session API builds on.
+    ///
+    /// Panic isolation backstop: morsel panics are normally caught at
+    /// the retry/scheduler seams and arrive here as typed errors, but
+    /// a panic anywhere else in the query pipeline (binder, optimizer,
+    /// operator code outside a batch) is caught too — either way the
+    /// caller sees [`SommelierError::QueryPanicked`] naming this query,
+    /// and the process (and every other in-flight query) lives on.
     pub fn query_opts(&self, sql: &str, opts: &QueryOptions) -> Result<QueryResult> {
         if let Some(f) = opts.sampling {
             if !(0.0..=1.0).contains(&f) || f == 0.0 {
@@ -1057,8 +1104,29 @@ impl Sommelier {
                 )));
             }
         }
-        let spec = sommelier_sql::compile(sql, &self.catalog)?;
-        self.run_spec_opts(spec, true, false, opts)
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let spec = sommelier_sql::compile(sql, &self.catalog)?;
+            self.run_spec_opts(spec, true, false, opts)
+        }));
+        let payload = match run {
+            Ok(Err(SommelierError::Engine(sommelier_engine::EngineError::Panicked {
+                payload,
+            }))) => payload,
+            Ok(other) => return other,
+            Err(p) => sommelier_engine::sched::panic_message(p.as_ref()),
+        };
+        self.metrics.counter("query.panicked").add(1);
+        Err(SommelierError::QueryPanicked { query: sql.to_string(), payload })
+    }
+
+    /// Flip admission into drain mode: every not-yet-admitted query —
+    /// including waiters already queued — fails with
+    /// [`SommelierError::ShuttingDown`] from now on, while
+    /// already-running queries drain normally. Irreversible; the
+    /// server layer builds its deadline-bounded
+    /// `Server::shutdown` on top of this.
+    pub fn begin_shutdown(&self) {
+        self.admission.begin_shutdown();
     }
 
     /// The shared morsel scheduler, when the system runs one
@@ -1264,6 +1332,7 @@ impl Sommelier {
             self.metrics.counter("sched.batches").store(st.batches);
             self.metrics.counter("sched.tasks").store(st.tasks);
             self.metrics.counter("sched.busy_ns").store(st.busy_ns);
+            self.metrics.counter("sched.panics").store(st.panics);
         }
         let a = self.admission.stats();
         self.metrics.counter("admission.admitted").store(a.admitted);

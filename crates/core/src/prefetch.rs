@@ -143,8 +143,11 @@ enum RawState {
     Pending,
     /// Raw bytes staged, waiting to be claimed by a decode.
     Ready(RawChunk),
-    /// The fetch failed terminally (after its own retries).
-    Failed(ErrorKind, String),
+    /// The fetch failed terminally (after its own retries). The bool
+    /// marks a caught fetcher panic, so [`PrefetchStage::claim`] can
+    /// rebuild a typed [`EngineError::Panicked`] instead of a generic
+    /// load failure (panics must never be retried or skipped over).
+    Failed(ErrorKind, String, bool),
     /// The plan finished before anyone claimed this entry; a late
     /// publish discards its buffer (counted as wasted).
     Abandoned,
@@ -316,11 +319,15 @@ impl PrefetchStage {
                     self.remove_entry(uri, &latch);
                     return Some(Ok(raw));
                 }
-                RawState::Failed(kind, message) => {
-                    let err = EngineError::ChunkLoad {
-                        uri: uri.to_string(),
-                        kind: *kind,
-                        message: std::mem::take(message),
+                RawState::Failed(kind, message, panicked) => {
+                    let err = if *panicked {
+                        EngineError::Panicked { payload: std::mem::take(message) }
+                    } else {
+                        EngineError::ChunkLoad {
+                            uri: uri.to_string(),
+                            kind: *kind,
+                            message: std::mem::take(message),
+                        }
                     };
                     *state = RawState::Claimed;
                     drop(state);
@@ -482,7 +489,11 @@ impl PrefetchPlan {
                         EngineError::Cancelled { .. } => ErrorKind::Transient,
                         other => other.kind(),
                     };
-                    *state = RawState::Failed(kind, e.to_string());
+                    let (panicked, message) = match e {
+                        EngineError::Panicked { payload } => (true, payload),
+                        other => (false, other.to_string()),
+                    };
+                    *state = RawState::Failed(kind, message, panicked);
                 }
                 // Plan finished while we were fetching: the buffer is
                 // wasted work, never staged.

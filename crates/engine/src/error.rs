@@ -38,6 +38,14 @@ pub enum EngineError {
         /// True when a deadline fired rather than an explicit cancel.
         timed_out: bool,
     },
+    /// A morsel task (decode, fetch, or operator code) panicked. The
+    /// panic was caught at the worker seam and converted into this
+    /// typed error so it fails only the owning query — pins are
+    /// released and latch waiters woken retryable, never poisoned.
+    Panicked {
+        /// The panic payload, stringified.
+        payload: String,
+    },
 }
 
 impl EngineError {
@@ -80,6 +88,9 @@ impl fmt::Display for EngineError {
             }
             EngineError::Cancelled { timed_out: true } => write!(f, "query timed out"),
             EngineError::Cancelled { timed_out: false } => write!(f, "query cancelled"),
+            EngineError::Panicked { payload } => {
+                write!(f, "morsel task panicked: {payload}")
+            }
         }
     }
 }
@@ -125,6 +136,9 @@ mod tests {
         assert!(s.contains("day-3.log"), "{s}");
         assert!(s.contains("permanent"), "{s}");
         assert_eq!(EngineError::Cancelled { timed_out: false }.kind(), ErrorKind::Permanent);
+        let p = EngineError::Panicked { payload: "boom".into() };
+        assert_eq!(p.kind(), ErrorKind::Permanent);
+        assert!(p.to_string().contains("boom"), "{p}");
         let io = StorageError::io(
             "read",
             std::io::Error::new(std::io::ErrorKind::Interrupted, "eintr"),

@@ -46,6 +46,42 @@ pub enum Priority {
     High,
 }
 
+impl Priority {
+    /// Numeric rank used by the aging boost (Low = 0 … High = 2).
+    fn rank(self) -> u64 {
+        match self {
+            Priority::Low => 0,
+            Priority::Normal => 1,
+            Priority::High => 2,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// MorselPanic
+
+/// The payload [`MorselScheduler::run_batch`] re-raises on the
+/// submitting thread when one of the batch's tasks panicked on a pool
+/// worker. Carrying the original panic message (instead of a generic
+/// string) lets the query layer convert the unwind into a typed
+/// per-query error without losing the cause.
+#[derive(Debug, Clone)]
+pub struct MorselPanic(pub String);
+
+/// Stringify a caught panic payload: unwraps [`MorselPanic`], `&str`
+/// and `String` payloads; anything else becomes a placeholder.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(mp) = payload.downcast_ref::<MorselPanic>() {
+        mp.0.clone()
+    } else if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
 // ---------------------------------------------------------------------
 // DegradationPolicy
 
@@ -234,13 +270,32 @@ struct BatchCore {
     priority: Priority,
     /// Submission order; FIFO tiebreak within a priority.
     seq: u64,
+    /// When the batch entered the queue — drives the aging boost.
+    enqueued: Instant,
     next: AtomicUsize,
     active: AtomicUsize,
     done: AtomicUsize,
     panicked: AtomicBool,
+    /// First caught panic payload of this batch, re-raised to the
+    /// submitter as a [`MorselPanic`].
+    panic_msg: Mutex<Option<String>>,
     busy_ns: AtomicU64,
     finished: Mutex<bool>,
     finished_cv: Condvar,
+}
+
+impl BatchCore {
+    /// Scheduling score under aging: the base priority rank, boosted by
+    /// one rank per `aging` waited in the queue (saturating at High).
+    /// `aging == 0` disables the boost — strict priority order.
+    fn score(&self, aging: Duration) -> u64 {
+        let base = self.priority.rank();
+        if aging.is_zero() {
+            return base;
+        }
+        let boost = (self.enqueued.elapsed().as_nanos() / aging.as_nanos().max(1)) as u64;
+        base.saturating_add(boost).min(Priority::High.rank())
+    }
 }
 
 // Safety: `ctx`/`run` describe a `Sync` closure + result slots that the
@@ -253,12 +308,15 @@ struct SchedCounters {
     batches: AtomicU64,
     tasks: AtomicU64,
     busy_ns: AtomicU64,
+    panics: AtomicU64,
 }
 
 struct SchedShared {
     queue: Mutex<Vec<Arc<BatchCore>>>,
     work_cv: Condvar,
     shutdown: AtomicBool,
+    /// Queue wait that buys one priority rank (see [`BatchCore::score`]).
+    aging: Duration,
     counters: SchedCounters,
 }
 
@@ -276,6 +334,9 @@ pub struct SchedStats {
     pub busy_ns: u64,
     /// Batches currently queued or draining.
     pub queue_depth: usize,
+    /// Morsel tasks that panicked (caught; each fails only its own
+    /// batch). Mirrored into `metrics_snapshot()` as `sched.panics`.
+    pub panics: u64,
 }
 
 /// The shared worker pool. See the module docs for the model; the
@@ -294,14 +355,29 @@ pub struct MorselScheduler {
     next_seq: AtomicU64,
 }
 
+/// Default queue wait that promotes a batch by one priority rank.
+/// Bounds starvation: a `Low` batch outranks freshly queued `High`
+/// work after at most `2 * DEFAULT_AGING` in the queue.
+pub const DEFAULT_AGING: Duration = Duration::from_millis(100);
+
 impl MorselScheduler {
-    /// Spawn a pool of `workers` (min 1) persistent threads.
+    /// Spawn a pool of `workers` (min 1) persistent threads with the
+    /// default aging quantum ([`DEFAULT_AGING`]).
     pub fn new(workers: usize) -> Self {
+        Self::with_aging(workers, DEFAULT_AGING)
+    }
+
+    /// Spawn a pool whose queued batches gain one priority rank per
+    /// `aging` waited (zero disables aging — strict priority order,
+    /// the pre-aging behavior, under which a saturating `High` tenant
+    /// starves `Low` forever).
+    pub fn with_aging(workers: usize, aging: Duration) -> Self {
         let workers = workers.max(1);
         let shared = Arc::new(SchedShared {
             queue: Mutex::new(Vec::new()),
             work_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            aging,
             counters: SchedCounters::default(),
         });
         let handles = (0..workers)
@@ -336,6 +412,50 @@ impl MorselScheduler {
             tasks: c.tasks.load(Ordering::Relaxed),
             busy_ns: c.busy_ns.load(Ordering::Relaxed),
             queue_depth: lock(&self.shared.queue).len(),
+            panics: c.panics.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Count one caught morsel panic. The worker loop calls this for
+    /// panics that unwound a pool task; layers that convert a panic to
+    /// a typed error *before* it reaches the pool (the cellar's decode
+    /// seam) call it so `sched.panics` counts every isolated panic.
+    pub fn note_panic(&self) {
+        self.shared.counters.panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// True once [`MorselScheduler::shutdown`] ran: the worker pool is
+    /// joined and new batches execute inline on their submitter.
+    pub fn is_shut_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Join the worker pool. Called by `Server::shutdown` (and by
+    /// drop). Idempotent. Batches already queued are drained inline so
+    /// their submitters always wake; batches submitted *after* shutdown
+    /// run inline on the submitting thread — a shut-down scheduler
+    /// still serves queries, just without parallelism.
+    pub fn shutdown(&self) {
+        {
+            // Flag and enqueue are ordered by the queue lock: any batch
+            // enqueued before the flip is visible to the drain below;
+            // any submitter that sees the flag runs inline instead.
+            let _q = lock(&self.shared.queue);
+            self.shared.shutdown.store(true, Ordering::Release);
+        }
+        self.shared.work_cv.notify_all();
+        for h in lock(&self.handles).drain(..) {
+            let _ = h.join();
+        }
+        // Workers may have exited without touching late batches; claim
+        // and run their remaining tasks here (tasks already claimed by
+        // a worker completed before it exited).
+        loop {
+            let batch = lock(&self.shared.queue).pop();
+            match batch {
+                Some(b) => drain_batch(&self.shared, &b),
+                None => break,
+            }
         }
     }
 
@@ -380,24 +500,38 @@ impl MorselScheduler {
             cap: cap.max(1),
             priority,
             seq: self.next_seq.fetch_add(1, Ordering::Relaxed),
+            enqueued: Instant::now(),
             next: AtomicUsize::new(0),
             active: AtomicUsize::new(0),
             done: AtomicUsize::new(0),
             panicked: AtomicBool::new(false),
+            panic_msg: Mutex::new(None),
             busy_ns: AtomicU64::new(0),
             finished: Mutex::new(false),
             finished_cv: Condvar::new(),
         });
         self.shared.counters.batches.fetch_add(1, Ordering::Relaxed);
         self.shared.counters.tasks.fetch_add(n as u64, Ordering::Relaxed);
-        {
+        let inline = {
             let mut q = lock(&self.shared.queue);
-            q.push(Arc::clone(&core));
+            if self.shared.shutdown.load(Ordering::Acquire) {
+                // Shut-down pool: no workers left; run on the submitter.
+                true
+            } else {
+                q.push(Arc::clone(&core));
+                false
+            }
+        };
+        if inline {
+            drain_batch(&self.shared, &core);
+        } else {
+            self.shared.work_cv.notify_all();
         }
-        self.shared.work_cv.notify_all();
 
         // Block until every task has been claimed AND finished. This is
-        // what makes the lifetime erasure sound.
+        // what makes the lifetime erasure sound. (A batch queued
+        // concurrently with shutdown is drained inline by `shutdown`,
+        // so this wait always terminates.)
         {
             let mut fin = lock(&core.finished);
             while !*fin {
@@ -415,7 +549,10 @@ impl MorselScheduler {
             m.histogram("pool.queue_depth", &COUNT_BUCKETS).observe(n as u64);
         }
         if core.panicked.load(Ordering::Acquire) {
-            panic!("a morsel task panicked on the shared scheduler");
+            let msg = lock(&core.panic_msg)
+                .take()
+                .unwrap_or_else(|| "a morsel task panicked on the shared scheduler".into());
+            std::panic::panic_any(MorselPanic(msg));
         }
         slots
             .into_iter()
@@ -428,11 +565,7 @@ impl MorselScheduler {
 
 impl Drop for MorselScheduler {
     fn drop(&mut self) {
-        self.shared.shutdown.store(true, Ordering::Release);
-        self.shared.work_cv.notify_all();
-        for h in lock(&self.handles).drain(..) {
-            let _ = h.join();
-        }
+        self.shutdown();
     }
 }
 
@@ -444,6 +577,49 @@ impl std::fmt::Debug for MorselScheduler {
 
 fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Run one claimed task: catch a panic (recording its payload and the
+/// pool-wide panic counter), charge busy time, and signal the batch's
+/// submitter when the last task completes. Shared by the worker loop
+/// and the inline drain paths.
+fn run_one(shared: &SchedShared, batch: &BatchCore, i: usize) {
+    let t0 = Instant::now();
+    if !batch.panicked.load(Ordering::Acquire) {
+        let r = catch_unwind(AssertUnwindSafe(|| unsafe { (batch.run)(batch.ctx, i) }));
+        if let Err(payload) = r {
+            {
+                let mut msg = lock(&batch.panic_msg);
+                if msg.is_none() {
+                    *msg = Some(panic_message(payload.as_ref()));
+                }
+            }
+            batch.panicked.store(true, Ordering::Release);
+            shared.counters.panics.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    let dt = t0.elapsed().as_nanos() as u64;
+    batch.busy_ns.fetch_add(dt, Ordering::Relaxed);
+    shared.counters.busy_ns.fetch_add(dt, Ordering::Relaxed);
+    let finished = batch.done.fetch_add(1, Ordering::Relaxed) + 1 == batch.n;
+    if finished {
+        let mut fin = lock(&batch.finished);
+        *fin = true;
+        drop(fin);
+        batch.finished_cv.notify_all();
+    }
+}
+
+/// Claim and run every remaining task of `batch` on the calling thread
+/// (the shutdown / post-shutdown inline path).
+fn drain_batch(shared: &SchedShared, batch: &BatchCore) {
+    loop {
+        let i = batch.next.fetch_add(1, Ordering::Relaxed);
+        if i >= batch.n {
+            return;
+        }
+        run_one(shared, batch, i);
+    }
 }
 
 fn worker_loop(shared: &SchedShared, w: usize) {
@@ -460,10 +636,13 @@ fn worker_loop(shared: &SchedShared, w: usize) {
                 // Drop fully-claimed batches (their stragglers finish
                 // outside the queue).
                 q.retain(|b| b.next.load(Ordering::Relaxed) < b.n);
+                // Priority with aging (queue wait buys ranks, so a
+                // saturating High tenant cannot starve Low forever),
+                // FIFO within a score.
                 let best = q
                     .iter()
                     .filter(|b| b.active.load(Ordering::Relaxed) < b.cap)
-                    .max_by_key(|b| (b.priority, std::cmp::Reverse(b.seq)))
+                    .max_by_key(|b| (b.score(shared.aging), std::cmp::Reverse(b.seq)))
                     .cloned();
                 match best {
                     Some(b) => {
@@ -475,30 +654,23 @@ fn worker_loop(shared: &SchedShared, w: usize) {
                         break (b, i);
                     }
                     None => {
-                        q = shared.work_cv.wait(q).unwrap_or_else(|e| e.into_inner());
+                        // Bounded wait: an aging batch can become the
+                        // best choice without any new work arriving.
+                        let (g, _) = shared
+                            .work_cv
+                            .wait_timeout(q, Duration::from_millis(5))
+                            .unwrap_or_else(|e| e.into_inner());
+                        q = g;
                     }
                 }
             }
         };
         let (batch, i) = claimed;
-        let t0 = Instant::now();
-        if !batch.panicked.load(Ordering::Acquire) {
-            let r = catch_unwind(AssertUnwindSafe(|| unsafe { (batch.run)(batch.ctx, i) }));
-            if r.is_err() {
-                batch.panicked.store(true, Ordering::Release);
-            }
-        }
-        let dt = t0.elapsed().as_nanos() as u64;
-        batch.busy_ns.fetch_add(dt, Ordering::Relaxed);
-        shared.counters.busy_ns.fetch_add(dt, Ordering::Relaxed);
+        run_one(shared, &batch, i);
         batch.active.fetch_sub(1, Ordering::Relaxed);
-        let finished = batch.done.fetch_add(1, Ordering::Relaxed) + 1 == batch.n;
-        if finished {
-            let mut fin = lock(&batch.finished);
-            *fin = true;
-            drop(fin);
-            batch.finished_cv.notify_all();
-        } else if batch.next.load(Ordering::Relaxed) < batch.n {
+        if batch.done.load(Ordering::Relaxed) < batch.n
+            && batch.next.load(Ordering::Relaxed) < batch.n
+        {
             // A cap slot freed up with morsels still unclaimed.
             shared.work_cv.notify_one();
         }
@@ -632,5 +804,111 @@ mod tests {
     fn priority_orders_low_normal_high() {
         assert!(Priority::Low < Priority::Normal && Priority::Normal < Priority::High);
         assert_eq!(Priority::default(), Priority::Normal);
+    }
+
+    #[test]
+    fn panic_payload_is_typed_and_counted() {
+        let s = MorselScheduler::new(2);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            s.run_batch(8, 2, Priority::Normal, &Obs::off(), |i| {
+                if i == 3 {
+                    panic!("boom at morsel {i}")
+                }
+                i
+            })
+        }));
+        let payload = r.expect_err("batch must re-raise the panic");
+        let msg = panic_message(payload.as_ref());
+        assert!(msg.contains("boom at morsel 3"), "{msg}");
+        assert_eq!(s.stats().panics, 1);
+    }
+
+    #[test]
+    fn aging_lets_low_finish_under_saturating_high_tenant() {
+        // One worker with fast aging: a queued Low batch must run even
+        // while a stream of High batches keeps arriving.
+        let s = Arc::new(MorselScheduler::with_aging(1, Duration::from_millis(10)));
+        let low_done = Arc::new(AtomicBool::new(false));
+        std::thread::scope(|scope| {
+            // Saturating High tenant: keeps one-morsel batches flowing.
+            {
+                let (s, low_done) = (Arc::clone(&s), Arc::clone(&low_done));
+                scope.spawn(move || {
+                    let deadline = Instant::now() + Duration::from_secs(5);
+                    while !low_done.load(Ordering::Acquire) && Instant::now() < deadline {
+                        s.run_batch(1, 1, Priority::High, &Obs::off(), |_| {
+                            std::thread::sleep(Duration::from_millis(2))
+                        });
+                    }
+                });
+            }
+            std::thread::sleep(Duration::from_millis(5));
+            {
+                let (s, low_done) = (Arc::clone(&s), Arc::clone(&low_done));
+                scope.spawn(move || {
+                    s.run_batch(1, 1, Priority::Low, &Obs::off(), |_| {});
+                    low_done.store(true, Ordering::Release);
+                });
+            }
+        });
+        assert!(low_done.load(Ordering::Acquire), "Low starved despite aging");
+    }
+
+    #[test]
+    fn without_aging_score_is_the_static_rank() {
+        let core = BatchCore {
+            seq: 0,
+            priority: Priority::Low,
+            n: 1,
+            cap: 1,
+            next: AtomicUsize::new(0),
+            active: AtomicUsize::new(0),
+            done: AtomicUsize::new(0),
+            panicked: AtomicBool::new(false),
+            panic_msg: Mutex::new(None),
+            busy_ns: AtomicU64::new(0),
+            enqueued: Instant::now() - Duration::from_secs(60),
+            finished: Mutex::new(false),
+            finished_cv: Condvar::new(),
+            run: |_, _| {},
+            ctx: std::ptr::null(),
+        };
+        assert_eq!(core.score(Duration::ZERO), Priority::Low.rank());
+        // With aging, a long wait saturates at High's rank, never above.
+        assert_eq!(core.score(Duration::from_millis(10)), Priority::High.rank());
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_degrades_to_inline() {
+        let s = MorselScheduler::new(2);
+        assert!(!s.is_shut_down());
+        s.shutdown();
+        assert!(s.is_shut_down());
+        s.shutdown(); // second call is a no-op
+                      // Post-shutdown batches still complete, inline on the submitter.
+        let out = s.run_batch(8, 2, Priority::Normal, &Obs::off(), |i| i * 3);
+        assert_eq!(out, (0..8).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shutdown_while_loaded_drains_queued_batches() {
+        let s = Arc::new(MorselScheduler::new(1));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let s = Arc::clone(&s);
+                scope.spawn(move || {
+                    let out = s.run_batch(8, 1, Priority::Normal, &Obs::off(), |i| {
+                        std::thread::sleep(Duration::from_millis(1));
+                        i
+                    });
+                    assert_eq!(out.len(), 8);
+                });
+            }
+            std::thread::sleep(Duration::from_millis(3));
+            let s = Arc::clone(&s);
+            scope.spawn(move || s.shutdown());
+        });
+        assert!(s.is_shut_down());
+        assert_eq!(s.stats().tasks, 32, "every queued morsel ran");
     }
 }

@@ -65,8 +65,18 @@ pub enum ServerError {
     /// queries running.
     QuotaExceeded { limit: usize },
     /// Admission control rejected the query: the server-wide wait
-    /// queue is full.
-    Overloaded(String),
+    /// queue is full. `retry_after_ms` is the backpressure contract —
+    /// how long the client should wait before resubmitting, computed
+    /// from queue depth and observed query latency. Transient by
+    /// definition: the same query is expected to succeed later.
+    Overloaded { message: String, retry_after_ms: u64 },
+    /// The server is draining ([`Server::shutdown`] was called) and no
+    /// longer accepts queries.
+    ShuttingDown,
+    /// This exact query text panicked earlier in this session and is
+    /// quarantined: resubmitting it verbatim fails fast instead of
+    /// hot-looping a poison query through the worker pool.
+    Quarantined { fingerprint: u64 },
     /// Any other failure, forwarded from the underlying system.
     Query(SommelierError),
 }
@@ -79,7 +89,13 @@ impl fmt::Display for ServerError {
             ServerError::QuotaExceeded { limit } => {
                 write!(f, "session quota exceeded ({limit} queries in flight)")
             }
-            ServerError::Overloaded(m) => write!(f, "server overloaded: {m}"),
+            ServerError::Overloaded { message, retry_after_ms } => {
+                write!(f, "server overloaded: {message} (retry after {retry_after_ms}ms)")
+            }
+            ServerError::ShuttingDown => write!(f, "server is shutting down"),
+            ServerError::Quarantined { fingerprint } => {
+                write!(f, "query quarantined after a panic (fingerprint {fingerprint:#x})")
+            }
             ServerError::Query(e) => write!(f, "{e}"),
         }
     }
@@ -104,7 +120,10 @@ impl From<SommelierError> for ServerError {
             SommelierError::Engine(EngineError::Cancelled { timed_out: false }) => {
                 ServerError::Cancelled
             }
-            SommelierError::Overloaded(m) => ServerError::Overloaded(m),
+            SommelierError::Overloaded { message, retry_after_ms } => {
+                ServerError::Overloaded { message, retry_after_ms }
+            }
+            SommelierError::ShuttingDown => ServerError::ShuttingDown,
             other => ServerError::Query(other),
         }
     }
@@ -117,6 +136,14 @@ struct ServerShared {
     somm: Arc<Sommelier>,
     active_sessions: AtomicU64,
     next_session: AtomicU64,
+    /// Set once by [`Server::shutdown`]; submits fail fast with
+    /// [`ServerError::ShuttingDown`] from then on.
+    shutting_down: AtomicBool,
+    /// Every in-flight query's completion state + cancel token, so
+    /// shutdown (and the drop drain) can watch and fire them without
+    /// the client keeping its [`QueryHandle`] alive. Finished entries
+    /// are pruned on each registration.
+    inflight: Mutex<Vec<(Arc<HandleState>, CancelToken)>>,
 }
 
 impl ServerShared {
@@ -125,6 +152,85 @@ impl ServerShared {
             .metrics()
             .gauge("server.active_sessions")
             .set(self.active_sessions.load(Ordering::Relaxed));
+    }
+
+    fn register_inflight(&self, state: &Arc<HandleState>, cancel: &CancelToken) {
+        let mut v = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
+        v.retain(|(st, _)| !st.finished.load(Ordering::Acquire));
+        v.push((Arc::clone(state), cancel.clone()));
+    }
+
+    fn unfinished_inflight(&self) -> usize {
+        let v = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
+        v.iter().filter(|(st, _)| !st.finished.load(Ordering::Acquire)).count()
+    }
+
+    fn cancel_inflight(&self) -> usize {
+        let v = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
+        let mut fired = 0;
+        for (st, cancel) in v.iter() {
+            if !st.finished.load(Ordering::Acquire) {
+                cancel.cancel();
+                fired += 1;
+            }
+        }
+        fired
+    }
+
+    /// Poll until every registered query finished or `deadline` passes.
+    /// Returns the number still unfinished.
+    fn drain_until(&self, deadline: std::time::Instant) -> usize {
+        loop {
+            let left = self.unfinished_inflight();
+            if left == 0 || std::time::Instant::now() >= deadline {
+                return left;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+}
+
+impl Drop for ServerShared {
+    fn drop(&mut self) {
+        // Best-effort drain on the last server clone going away:
+        // cancel whatever is still running and give it a short window
+        // to unwind, so dropped servers do not leave control threads
+        // mutating a system the caller believes quiesced. Deliberately
+        // does NOT flip the system's admission into shutdown — the
+        // shared `Sommelier` stays fully usable after the server drops.
+        if self.cancel_inflight() > 0 {
+            let deadline = std::time::Instant::now() + Duration::from_secs(2);
+            self.drain_until(deadline);
+        }
+    }
+}
+
+/// What [`Server::shutdown`] accomplished, including the invariant
+/// ledger read after the drain: a clean shutdown reports zeros across
+/// `leaked_pins`, `staged_bytes`, and `queued`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShutdownReport {
+    /// Queries that finished on their own within the deadline.
+    pub drained: usize,
+    /// Queries still running at the deadline whose cancel tokens were
+    /// fired.
+    pub cancelled: usize,
+    /// Chunk pins still held after the drain (0 on a clean shutdown).
+    pub leaked_pins: usize,
+    /// Prefetch bytes still staged after the drain (0 on a clean
+    /// shutdown).
+    pub staged_bytes: usize,
+    /// Admission-queue depth after the drain (0 on a clean shutdown —
+    /// queued waiters are woken with `ShuttingDown`).
+    pub queued: u64,
+    /// Wall-clock time the shutdown took.
+    pub elapsed: Duration,
+}
+
+impl ShutdownReport {
+    /// Did the drain leave the system with balanced books?
+    pub fn is_clean(&self) -> bool {
+        self.leaked_pins == 0 && self.staged_bytes == 0 && self.queued == 0
     }
 }
 
@@ -146,8 +252,63 @@ impl Server {
                 somm,
                 active_sessions: AtomicU64::new(0),
                 next_session: AtomicU64::new(1),
+                shutting_down: AtomicBool::new(false),
+                inflight: Mutex::new(Vec::new()),
             }),
         }
+    }
+
+    /// Gracefully drain and stop the server.
+    ///
+    /// 1. New submits (and queries waiting in the admission queue)
+    ///    fail fast with a typed [`ServerError::ShuttingDown`].
+    /// 2. In-flight queries get up to `deadline` to finish on their
+    ///    own.
+    /// 3. Stragglers have their [`CancelToken`]s fired, and are given
+    ///    a bounded grace period to observe the token and unwind.
+    /// 4. The shared [`sommelier_core::MorselScheduler`]'s workers are
+    ///    joined (post-shutdown queries would still run, inline).
+    /// 5. The invariant ledger is read: pinned chunks, staged prefetch
+    ///    bytes, and admission-queue depth must all be zero — reported,
+    ///    not assumed, in the returned [`ShutdownReport`].
+    ///
+    /// Idempotent: later calls re-drain whatever is left (trivially
+    /// nothing) and re-read the ledger.
+    pub fn shutdown(&self, deadline: Duration) -> ShutdownReport {
+        let t0 = std::time::Instant::now();
+        let shared = &self.shared;
+        shared.shutting_down.store(true, Ordering::Release);
+        // Admission starts rejecting (and wakes queued waiters typed).
+        shared.somm.begin_shutdown();
+        let before = shared.unfinished_inflight();
+        let left = shared.drain_until(t0 + deadline);
+        let drained = before - left;
+        let cancelled = shared.cancel_inflight();
+        if cancelled > 0 {
+            // Cancellation is cooperative (observed at chunk-pipeline
+            // boundaries), so give stragglers a bounded grace window —
+            // generous, but never unbounded.
+            shared.drain_until(std::time::Instant::now() + Duration::from_secs(30));
+        }
+        if let Some(sched) = shared.somm.scheduler() {
+            sched.shutdown();
+        }
+        let leaked_pins = shared.somm.cellar().map_or(0, |c| c.total_pins());
+        let staged_bytes = shared.somm.prefetch_stage().map_or(0, |s| s.staged_bytes());
+        let queued = shared.somm.admission_stats().queue_depth;
+        ShutdownReport {
+            drained,
+            cancelled,
+            leaked_pins,
+            staged_bytes,
+            queued,
+            elapsed: t0.elapsed(),
+        }
+    }
+
+    /// Has [`Server::shutdown`] been called?
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutting_down.load(Ordering::Acquire)
     }
 
     /// Open a session with the given per-session policy.
@@ -156,7 +317,13 @@ impl Server {
         let id = shared.next_session.fetch_add(1, Ordering::Relaxed);
         shared.active_sessions.fetch_add(1, Ordering::Relaxed);
         shared.publish_sessions();
-        Session { shared, id, options, in_flight: Arc::new(AtomicUsize::new(0)) }
+        Session {
+            shared,
+            id,
+            options,
+            in_flight: Arc::new(AtomicUsize::new(0)),
+            quarantined: Arc::new(Mutex::new(std::collections::HashSet::new())),
+        }
     }
 
     /// The wrapped system (for metrics scraping, EXPLAIN, ...).
@@ -230,12 +397,30 @@ pub struct Session {
     id: u64,
     options: SessionOptions,
     in_flight: Arc<AtomicUsize>,
+    /// Fingerprints (hashes of the exact query text) of queries that
+    /// panicked in this session. Resubmitting one fails fast with
+    /// [`ServerError::Quarantined`] — a poison query cannot be
+    /// hot-looped through the worker pool.
+    quarantined: Arc<Mutex<std::collections::HashSet<u64>>>,
+}
+
+/// The quarantine fingerprint of a query: a hash of its exact text.
+fn query_fingerprint(sql: &str) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    sql.hash(&mut h);
+    h.finish()
 }
 
 impl Session {
     /// The server-assigned session id.
     pub fn id(&self) -> u64 {
         self.id
+    }
+
+    /// Queries of this session quarantined after panicking.
+    pub fn quarantined_count(&self) -> usize {
+        self.quarantined.lock().unwrap_or_else(|e| e.into_inner()).len()
     }
 
     /// Queries of this session currently in flight.
@@ -262,6 +447,14 @@ impl Session {
         sql: &str,
         overrides: &SubmitOptions,
     ) -> Result<QueryHandle, ServerError> {
+        // Lifecycle gates first — they must not consume a quota slot.
+        if self.shared.shutting_down.load(Ordering::Acquire) {
+            return Err(ServerError::ShuttingDown);
+        }
+        let fingerprint = query_fingerprint(sql);
+        if self.quarantined.lock().unwrap_or_else(|e| e.into_inner()).contains(&fingerprint) {
+            return Err(ServerError::Quarantined { fingerprint });
+        }
         let limit = self.options.max_in_flight.max(1);
         // Claim a quota slot (released by the query thread when done).
         if self
@@ -290,6 +483,8 @@ impl Session {
         let sql = sql.to_string();
         let in_flight = Arc::clone(&self.in_flight);
         let st = Arc::clone(&state);
+        let quarantined = Arc::clone(&self.quarantined);
+        self.shared.register_inflight(&state, &cancel);
         // One lightweight control thread per in-flight query: it blocks
         // in admission and on the scheduler; the actual morsel work
         // runs on the shared pool, so worker threads stay bounded by
@@ -298,6 +493,12 @@ impl Session {
             .name(format!("somm-query-s{}", self.id))
             .spawn(move || {
                 let res = somm.query_opts(&sql, &qopts).map_err(ServerError::from);
+                if matches!(
+                    &res,
+                    Err(ServerError::Query(SommelierError::QueryPanicked { .. }))
+                ) {
+                    quarantined.lock().unwrap_or_else(|e| e.into_inner()).insert(fingerprint);
+                }
                 in_flight.fetch_sub(1, Ordering::SeqCst);
                 *st.result.lock().unwrap_or_else(|e| e.into_inner()) = Some(res);
                 st.finished.store(true, Ordering::Release);
@@ -451,6 +652,92 @@ mod tests {
         let session = server.open_session(SessionOptions::default());
         let err = session.submit("SELECT nonsense FROM nowhere").unwrap().wait().unwrap_err();
         assert!(matches!(err, ServerError::Query(_)), "{err}");
+    }
+
+    #[test]
+    fn shutdown_drains_and_rejects_new_submits() {
+        let server = test_server("shutdown");
+        let session = server.open_session(SessionOptions::default());
+        // One query through first, so the drain has had real traffic.
+        let r = session.submit("SELECT AVG(E.val) FROM eventview").unwrap().wait().unwrap();
+        assert_eq!(r.relation.rows(), 1);
+        assert!(!server.is_shutting_down());
+        let report = server.shutdown(Duration::from_secs(5));
+        assert!(server.is_shutting_down());
+        assert!(report.is_clean(), "{report:?}");
+        assert_eq!(report.cancelled, 0, "idle server cancels nothing");
+        assert!(report.elapsed < Duration::from_secs(5));
+        // New submits fail fast and typed, without consuming quota.
+        let err = session.submit("SELECT AVG(E.val) FROM eventview").unwrap_err();
+        assert!(matches!(err, ServerError::ShuttingDown), "{err}");
+        assert_eq!(session.in_flight(), 0);
+        // Shutdown is idempotent.
+        let again = server.shutdown(Duration::from_millis(100));
+        assert!(again.is_clean(), "{again:?}");
+    }
+
+    #[test]
+    fn panicking_query_is_typed_and_quarantined() {
+        use sommelier_core::{FaultPlan, SommelierConfig};
+        let dir =
+            std::env::temp_dir().join(format!("somm-server-panic-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        generate_event_logs(&dir, &EventLogSpec::small(2, 64)).unwrap();
+        let mut chunks = Vec::new();
+        fn walk(dir: &std::path::Path, out: &mut Vec<String>) {
+            for e in std::fs::read_dir(dir).unwrap().flatten() {
+                let p = e.path();
+                if p.is_dir() {
+                    walk(&p, out);
+                } else {
+                    out.push(p.to_string_lossy().into_owned());
+                }
+            }
+        }
+        walk(&dir, &mut chunks);
+        chunks.sort();
+        let somm = Sommelier::builder()
+            .config(SommelierConfig {
+                fault_plan: Some(FaultPlan {
+                    panic_uris: vec![chunks[0].clone()],
+                    ..FaultPlan::default()
+                }),
+                ..Default::default()
+            })
+            .source(EventLogAdapter::new(&dir))
+            .build()
+            .unwrap();
+        somm.prepare(LoadingMode::Lazy).unwrap();
+        let somm = Arc::new(somm);
+        let server = Server::new(Arc::clone(&somm));
+        let session = server.open_session(SessionOptions::default());
+        let sql = "SELECT AVG(E.val) FROM eventview";
+        // First submit: the injected decode panic fails only this
+        // query, typed.
+        let err = session.submit(sql).unwrap().wait().unwrap_err();
+        assert!(
+            matches!(&err, ServerError::Query(SommelierError::QueryPanicked { .. })),
+            "{err}"
+        );
+        assert!(err.to_string().contains("panic"), "{err}");
+        assert_eq!(session.quarantined_count(), 1);
+        // Resubmitting the poison query fails fast — no hot loop.
+        let err = session.submit(sql).unwrap_err();
+        assert!(matches!(err, ServerError::Quarantined { .. }), "{err}");
+        // No pins or staged bytes leaked, and a query over the healthy
+        // chunk (fresh session, same system) still works — the panic
+        // poisoned neither the pool nor the cellar.
+        assert_eq!(somm.cellar().map_or(0, |c| c.total_pins()), 0);
+        assert_eq!(somm.prefetch_stage().map_or(0, |s| s.staged_bytes()), 0);
+        let other = server.open_session(SessionOptions::default());
+        let healthy = &chunks[1];
+        let r = other
+            .submit(&format!("SELECT COUNT(*) AS n FROM eventview WHERE G.uri = '{healthy}'"))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(r.relation.rows(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -337,6 +337,90 @@ fn session_quota_rejects_excess_in_flight_queries() {
     session.submit(SLOW_MSEED_T4).unwrap().wait().unwrap();
 }
 
+/// Drop-order lifecycle: dropping the last `Server` clone (and its
+/// sessions) with queries still mid-flight, mid-retry-backoff, or
+/// mid-prefetch must cancel and drain them — zero pinned chunks and
+/// zero staged prefetch bytes afterwards, with the shared `Sommelier`
+/// still fully usable.
+#[test]
+fn dropping_server_mid_flight_mid_backoff_mid_prefetch_releases_everything() {
+    use sommelier_core::{FaultPlan, RetryPolicy};
+    let _x = exclusive();
+    let dir = TempDir::new("server-drop-order");
+    let repo = {
+        let repo = Repository::at(dir.join("repo"));
+        let mut spec = sommelier_mseed::DatasetSpec::fiam(1, 64);
+        spec.days = 8;
+        repo.generate(&spec).unwrap();
+        repo
+    };
+    for scenario in ["mid-flight", "mid-backoff", "mid-prefetch"] {
+        let config = match scenario {
+            // Slow decodes: the drop lands inside a decode wave.
+            "mid-flight" => SommelierConfig {
+                use_recycler: false,
+                sim_chunk_io: Some(SimIo { per_page: Duration::from_millis(40) }),
+                ..server_config(2)
+            },
+            // Every attempt fails transiently with an effectively
+            // unbounded retry budget: the drop lands inside backoff.
+            "mid-backoff" => SommelierConfig {
+                use_recycler: false,
+                fault_plan: Some(FaultPlan {
+                    transient_rate: 1.0,
+                    max_transient_per_chunk: u32::MAX,
+                    ..FaultPlan::default()
+                }),
+                io_retry: RetryPolicy {
+                    max_attempts: 100_000,
+                    base_backoff: Duration::from_millis(5),
+                    max_backoff: Duration::from_millis(5),
+                },
+                ..server_config(2)
+            },
+            // A deep prefetch window over slow reads: the drop lands
+            // with raw bytes staged ahead of the decoders.
+            _ => SommelierConfig {
+                use_recycler: false,
+                prefetch_depth: 4,
+                sim_chunk_io: Some(SimIo { per_page: Duration::from_millis(40) }),
+                ..server_config(2)
+            },
+        };
+        let somm = Arc::new(mseed_system(&repo, config));
+        {
+            let server = Server::new(Arc::clone(&somm));
+            let session = server.open_session(SessionOptions::default());
+            let _running = session.submit(SLOW_MSEED_T4).unwrap();
+            // Let the query get properly underway before pulling the rug.
+            while somm.admission_stats().running == 0 {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            std::thread::sleep(Duration::from_millis(60));
+            // Handle first, then session, then the last server clone:
+            // the shared drop drain cancels the orphaned query and
+            // waits for it to unwind.
+        }
+        assert_eq!(
+            somm.cellar().unwrap().total_pins(),
+            0,
+            "{scenario}: dropped server leaked pins"
+        );
+        assert_eq!(
+            somm.prefetch_stage().map_or(0, |s| s.staged_bytes()),
+            0,
+            "{scenario}: dropped server leaked staged prefetch bytes"
+        );
+        assert!(somm.quarantined_chunks().is_empty(), "{scenario}: cancellation quarantined");
+        // The system itself was not shut down — it serves the next
+        // server instance (or direct queries) as before.
+        if scenario != "mid-backoff" {
+            let r = somm.query("SELECT COUNT(*) AS n FROM F WHERE station = 'FIAM'").unwrap();
+            assert_eq!(r.relation.rows(), 1);
+        }
+    }
+}
+
 #[test]
 fn scheduler_and_admission_metrics_reach_the_snapshot() {
     let _x = exclusive();
